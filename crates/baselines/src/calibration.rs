@@ -1,0 +1,78 @@
+//! Calibration constants for the baseline policies, with provenance.
+//!
+//! These are the only tuned numbers in the baseline models. Each is set
+//! once, justified against a specific statement or measurement in the paper
+//! (or well-known deployment behaviour), and used unchanged by every
+//! experiment — see DESIGN.md §4 ("not tuned per experiment").
+
+/// Fraction of host RAM DeepSpeed's offload path can actually use.
+///
+/// ZeRO-Offload/Infinity keeps FP32 master parameters, both Adam moments and
+/// pinned FP16 parameter/gradient staging buffers in *page-locked* host
+/// memory (16 bytes/param in total). Page-locked allocations on production
+/// hosts are capped well below physical RAM (OS, dataloaders, NCCL bounce
+/// buffers, and the kernel's own pinned-memory limits), and DeepSpeed's
+/// allocator keeps additional working copies. The paper's observation that
+/// DeepSpeed tops out at 28B parameters on a 1 TiB host ("since DeepSpeed
+/// statically partitions the model states across GPUs and CPUs, the maximum
+/// model scale will be limited by the CPU memory") pins this fraction:
+/// 28–30e9 × 16 B ≈ 450–480 GB ≈ 0.44 × 1 TiB (Table 5's 28B ceiling and
+/// Figure 7's 30B run on one server jointly pin the range).
+pub const DEEPSPEED_PINNED_HOST_FRACTION: f64 = 0.44;
+
+/// Efficiency of DeepSpeed's PCIe prefetching relative to ideal streaming.
+///
+/// DeepSpeed transfers model states at *tensor* granularity with a static
+/// schedule; Section 3.2 observes that for large tensors "there must be
+/// enough space in the GPU to start the communication. Prior to this, the
+/// communication bandwidth is unused." Tensor-sized transfers (up to 3 GB,
+/// Table 2) serialize behind allocation and cannot be advanced by lifetime
+/// analysis. We charge this as a flat PCIe-efficiency factor.
+pub const DEEPSPEED_PCIE_EFFICIENCY: f64 = 0.60;
+
+/// GPU bytes DeepSpeed reserves outside model states (CUDA context, NCCL,
+/// per-tensor allocator fragmentation — the motivation experiment quantifies
+/// the latter). Larger than Angel-PTM's 2 GiB page-pool reserve because of
+/// the per-tensor allocator's fragments.
+pub const DEEPSPEED_GPU_RESERVED: u64 = 4 * (1 << 30);
+
+/// Fraction of each pipeline stage's ideal compute Megatron loses to
+/// point-to-point communication and stage imbalance beyond the analytic
+/// 1F1B bubble (which is modelled exactly). From the Megatron-LM paper's
+/// reported scaling efficiencies.
+pub const MEGATRON_PP_OVERHEAD: f64 = 0.05;
+
+/// Activation headroom multiplier for DeepSpeed's per-tensor allocator: the
+/// fragmentation measured by the `motivation_fragmentation` experiment
+/// (~50% worst-case external fragmentation under the offload trace) means
+/// activations need half again their net size in practice, capping
+/// DeepSpeed's micro-batch below Angel-PTM's (Table 5: batch 36 vs 38;
+/// Figure 7's "can train with larger micro batch sizes").
+pub const DEEPSPEED_ACTIVATION_HEADROOM: f64 = 1.5;
+
+/// Per-iteration synchronous data-parallel gradient all-reduce overlap:
+/// Megatron overlaps the DP all-reduce with backward; the fraction that
+/// remains exposed on the critical path.
+pub const MEGATRON_DP_EXPOSED: f64 = 0.30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_in_sane_ranges() {
+        assert!(DEEPSPEED_PINNED_HOST_FRACTION > 0.3 && DEEPSPEED_PINNED_HOST_FRACTION < 0.6);
+        assert!(DEEPSPEED_PCIE_EFFICIENCY > 0.3 && DEEPSPEED_PCIE_EFFICIENCY <= 1.0);
+        assert!(MEGATRON_PP_OVERHEAD < 0.2);
+        assert!(MEGATRON_DP_EXPOSED < 1.0);
+    }
+
+    #[test]
+    fn pinned_fraction_reproduces_28_to_30b_ceiling() {
+        // 0.44 × 1 TiB ÷ 16 B/param ≈ 30.2B params — between Table 5's 28B
+        // maximum and Figure 7's 30B single-server run.
+        let host = 1u64 << 40;
+        let max_params = (host as f64 * DEEPSPEED_PINNED_HOST_FRACTION / 16.0) as u64;
+        assert!(max_params > 28_000_000_000 && max_params < 31_000_000_000);
+    }
+}

@@ -1,0 +1,345 @@
+//! DeepSpeed ZeRO-3 with Offload/Infinity — the static-partitioning policy
+//! the paper compares against.
+//!
+//! Behavioural differences from Angel-PTM, each taken from the paper's
+//! analysis and encoded here:
+//!
+//! 1. **Static partition** (Section 6.2): all FP32 optimizer states and the
+//!    pinned FP16 staging copies live in host memory permanently — "even
+//!    when the GPU has sufficient memory, these systems still transfer the
+//!    entire optimizer states and the update operations to the CPU, causing
+//!    unnecessary data movements". Capacity is therefore bounded by pinned
+//!    host memory, not by the hierarchical total.
+//! 2. **Per-tensor transfer granularity** (Section 3.2/4.1): large-tensor
+//!    transfers under-use PCIe ([`calibration::DEEPSPEED_PCIE_EFFICIENCY`])
+//!    and the per-tensor allocator fragments GPU memory
+//!    ([`calibration::DEEPSPEED_GPU_RESERVED`]).
+//! 3. **Just-in-time gathers**: no lifetime-based advancement of
+//!    all-gathers; every layer's parameters stream in when the layer runs.
+//! 4. **Step-boundary updates**: ZeRO-Offload's CPU Adam runs in
+//!    `optimizer.step()` *after* backward completes, then re-uploads the
+//!    updated FP16 parameters — all on the iteration's critical path. (Only
+//!    the gradient offload overlaps with backward.)
+//!
+//! ZeRO-Infinity (`ssd = true`) additionally parks optimizer states on the
+//! SSD, paying its 3.5 GB/s on every update.
+
+use crate::calibration;
+use angel_hw::ClusterSpec;
+use angel_model::{flops, TransformerConfig};
+use angel_sim::collectives::{hierarchical_collective_time_ns, Collective};
+use angel_sim::compute::{CpuUpdateModel, GpuComputeModel};
+use angel_sim::{Resources, SimTask, Simulation, Work};
+use serde::{Deserialize, Serialize};
+
+/// A DeepSpeed configuration.
+#[derive(Debug, Clone)]
+pub struct DeepSpeed {
+    pub cluster: ClusterSpec,
+    pub batch_size: u64,
+    /// ZeRO-Infinity: optimizer states on SSD.
+    pub ssd: bool,
+    pub gpu_compute: GpuComputeModel,
+    pub cpu_update: CpuUpdateModel,
+}
+
+/// Throughput result mirroring the engine's stats.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeepSpeedStats {
+    pub iter_time_ns: u64,
+    pub samples_per_sec: f64,
+    pub gpu_utilization: f64,
+}
+
+impl DeepSpeed {
+    pub fn new(cluster: ClusterSpec, batch_size: u64) -> Self {
+        Self {
+            cluster,
+            batch_size,
+            ssd: false,
+            gpu_compute: GpuComputeModel::a100(),
+            cpu_update: CpuUpdateModel::epyc_tencent(),
+        }
+    }
+
+    pub fn with_ssd(mut self, on: bool) -> Self {
+        self.ssd = on;
+        self
+    }
+
+    fn num_gpus(&self) -> u64 {
+        self.cluster.total_gpus() as u64
+    }
+
+    /// Whether `model` fits under the static-partition capacity rule.
+    ///
+    /// Host side: the *whole* model's states (16 B/param) must fit in pinned
+    /// memory across the participating servers. GPU side: the largest
+    /// layer's gathered FP16 parameters plus the working set must fit beside
+    /// the per-tensor allocator's reserve. ZeRO-Infinity moves the 12 B/param
+    /// optimizer slice to SSD, keeping 4 B/param pinned.
+    pub fn fits(&self, model: &TransformerConfig) -> bool {
+        let params = model.total_params();
+        let servers = self.cluster.num_servers as u64;
+        let host_per_server = self.cluster.server.cpu.capacity;
+        let pinned =
+            (host_per_server as f64 * calibration::DEEPSPEED_PINNED_HOST_FRACTION) as u64;
+        let host_need_per_server = if self.ssd {
+            // FP16 staging stays pinned; FP32 states go to SSD.
+            params * 4 / servers
+        } else {
+            params * 16 / servers
+        };
+        if host_need_per_server > pinned {
+            return false;
+        }
+        if self.ssd {
+            let ssd_cap = self.cluster.server.ssd.as_ref().map(|d| d.capacity).unwrap_or(0);
+            if params * 12 / servers > ssd_cap {
+                return false;
+            }
+        }
+        // GPU working check: gathered largest layer + activations.
+        let layer_params = model.params_per_layer();
+        let fp = angel_model::footprint::ModelFootprint::of(model, self.batch_size);
+        let ws = fp.layer.acts_total; // recompute keeps one layer's activations
+        let ws = (ws as f64 * calibration::DEEPSPEED_ACTIVATION_HEADROOM) as u64;
+        let gpu_need = layer_params * 2 * 2 /* double-buffered prefetch */ + ws;
+        let gpu_cap = self
+            .cluster
+            .server
+            .gpu(0)
+            .capacity
+            .saturating_sub(calibration::DEEPSPEED_GPU_RESERVED);
+        gpu_need <= gpu_cap
+    }
+
+    /// Largest layer count of `base` that fits (Table 5's search).
+    pub fn max_layers(&self, base: &TransformerConfig) -> usize {
+        let fits = |l: usize| l >= 1 && self.fits(&base.clone().with_layers(l));
+        if !fits(1) {
+            return 0;
+        }
+        let mut lo = 1;
+        let mut hi = 2;
+        while fits(hi) {
+            lo = hi;
+            hi *= 2;
+            if hi > 4096 {
+                return lo;
+            }
+        }
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if fits(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Simulate one iteration and report throughput.
+    ///
+    /// The lowering mirrors the engine's, minus the policies DeepSpeed lacks:
+    /// every layer's FP16 shard streams over (efficiency-degraded) PCIe in
+    /// both passes, gathers are just-in-time, updates are synchronous.
+    pub fn iter_stats(&self, model: &TransformerConfig) -> Option<DeepSpeedStats> {
+        if !self.fits(model) {
+            return None;
+        }
+        let n_gpus = self.num_gpus();
+        let mut resources = Resources::new();
+        let gpu = resources.add_compute("gpu-stream");
+        let pcie = &self.cluster.server.pcie;
+        let eff_bw = (pcie.bandwidth as f64 * calibration::DEEPSPEED_PCIE_EFFICIENCY) as u64;
+        let h2d = resources.add_link("pcie-h2d", eff_bw, pcie.latency_ns);
+        let d2h = resources.add_link("pcie-d2h", eff_bw, pcie.latency_ns);
+        let comm = resources.add_compute("nccl");
+        let cpu_upd = resources.add_compute("cpu-update");
+        let gpus_per_server = self.cluster.server.num_gpus() as u64;
+        let ssd_ch = resources.add_link(
+            "ssd",
+            (self.cluster.server.ssd_link.bandwidth / gpus_per_server).max(1),
+            self.cluster.server.ssd_link.latency_ns,
+        );
+        let mut sim = Simulation::new(resources);
+
+        let n = model.layers;
+        let layer_p16 = model.params_per_layer() * 2;
+        let shard = layer_p16.div_ceil(n_gpus);
+        let lf = flops::layer_flops(model, self.batch_size);
+        let width = model.d_model as f64;
+        let fwd_dur = self.gpu_compute.time_ns_sized(lf.forward, self.batch_size as f64, width);
+        let bwd_dur = self.gpu_compute.time_ns_sized(
+            lf.backward + lf.recompute,
+            self.batch_size as f64,
+            width,
+        );
+        let gather_dur = hierarchical_collective_time_ns(
+            Collective::AllGather,
+            layer_p16,
+            &self.cluster,
+            n_gpus,
+        );
+        let rs_dur = hierarchical_collective_time_ns(
+            Collective::ReduceScatter,
+            layer_p16,
+            &self.cluster,
+            n_gpus,
+        );
+        let layer_params = model.params_per_layer().div_ceil(n_gpus);
+        let upd_dur = self
+            .cpu_update
+            .time_ns_sharded(layer_params * 28, gpus_per_server as usize);
+        let layer_ssd = layer_params * 12;
+
+        let mut prev_compute: Option<usize> = None;
+        let mut grad_offloads: Vec<usize> = Vec::new();
+        // Forward then backward; every step re-streams the layer shard from
+        // pinned memory (static partition: nothing stays resident).
+        let steps: Vec<(usize, bool)> = (0..n)
+            .map(|l| (l, true))
+            .chain((0..n).rev().map(|l| (l, false)))
+            .collect();
+        for (l, is_fwd) in steps {
+            let mut fetch = SimTask::new(h2d, Work::Bytes(shard))
+                .with_label(format!("fetch l{l}"));
+            if let Some(p) = prev_compute {
+                // Just-in-time: prefetch of the next layer starts only once
+                // the previous layer's compute is underway (one-deep static
+                // pipeline, no lifetime-based advancement).
+                fetch = fetch.with_deps([p]);
+            }
+            let fid = sim.submit(fetch);
+            let gid = sim.submit(
+                SimTask::new(comm, Work::Duration(gather_dur))
+                    .with_label(format!("gather l{l}"))
+                    .with_deps([fid]),
+            );
+            let dur = if is_fwd { fwd_dur } else { bwd_dur };
+            let cid = sim.submit(
+                SimTask::new(gpu, Work::Duration(dur))
+                    .with_label(format!("compute l{l}"))
+                    .with_deps([gid]),
+            );
+            if !is_fwd {
+                let rs = sim.submit(
+                    SimTask::new(comm, Work::Duration(rs_dur))
+                        .with_label(format!("rs l{l}"))
+                        .with_deps([cid]),
+                );
+                let off = sim.submit(
+                    SimTask::new(d2h, Work::Bytes(shard))
+                        .with_label(format!("grads l{l}"))
+                        .with_deps([rs]),
+                );
+                grad_offloads.push(off);
+            }
+            prev_compute = Some(cid);
+        }
+
+        // optimizer.step(): the CPU Adam phase starts only after the whole
+        // backward pass (all gradient offloads) lands, runs layer by layer,
+        // and re-uploads the updated FP16 shards — all exposed.
+        let mut prev_upd: Option<usize> = None;
+        for l in 0..n {
+            let mut deps: Vec<usize> = grad_offloads.clone();
+            deps.extend(prev_upd);
+            let before = if self.ssd {
+                let rd = sim.submit(
+                    SimTask::new(ssd_ch, Work::Bytes(layer_ssd))
+                        .with_label(format!("ssd_rd l{l}"))
+                        .with_deps(deps.clone()),
+                );
+                vec![rd]
+            } else {
+                deps.clone()
+            };
+            let up = sim.submit(
+                SimTask::new(cpu_upd, Work::Duration(upd_dur))
+                    .with_label(format!("upd l{l}"))
+                    .with_deps(before),
+            );
+            if self.ssd {
+                sim.submit(
+                    SimTask::new(ssd_ch, Work::Bytes(layer_ssd))
+                        .with_label(format!("ssd_wr l{l}"))
+                        .with_deps([up]),
+                );
+            }
+            // Updated FP16 parameter shard returns to the GPU.
+            sim.submit(
+                SimTask::new(h2d, Work::Bytes(shard))
+                    .with_label(format!("param_up l{l}"))
+                    .with_deps([up]),
+            );
+            prev_upd = Some(up);
+        }
+
+        let report = sim.run();
+        let iter = report.makespan.max(1);
+        Some(DeepSpeedStats {
+            iter_time_ns: iter,
+            samples_per_sec: (self.batch_size * n_gpus) as f64 / (iter as f64 / 1e9),
+            gpu_utilization: report.utilization(gpu),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpt_table5_geometry() -> TransformerConfig {
+        // Table 5: "we set the number of heads as 128, the embedding
+        // dimension as 8192, and the FFN hidden size as 32768" — the
+        // GPT3-28B/55B geometry.
+        TransformerConfig::gpt3_28b()
+    }
+
+    #[test]
+    fn max_gpt_scale_is_about_28b() {
+        let ds = DeepSpeed::new(ClusterSpec::single_a100(), 1);
+        let layers = ds.max_layers(&gpt_table5_geometry());
+        let params = gpt_table5_geometry().with_layers(layers).total_params();
+        // The paper: DeepSpeed tops out at 28B on one server.
+        assert!(
+            params > 25_000_000_000 && params < 32_000_000_000,
+            "DeepSpeed max = {layers} layers = {params} params"
+        );
+    }
+
+    #[test]
+    fn infinity_ssd_extends_capacity() {
+        let ds = DeepSpeed::new(ClusterSpec::single_a100(), 1);
+        let ds_inf = DeepSpeed::new(ClusterSpec::single_a100(), 1).with_ssd(true);
+        let base = gpt_table5_geometry();
+        assert!(ds_inf.max_layers(&base) > ds.max_layers(&base));
+    }
+
+    #[test]
+    fn throughput_none_when_oom() {
+        let ds = DeepSpeed::new(ClusterSpec::single_a100(), 1);
+        let big = gpt_table5_geometry().with_layers(200); // ~160B
+        assert!(ds.iter_stats(&big).is_none());
+    }
+
+    #[test]
+    fn throughput_reported_for_fitting_model() {
+        let ds = DeepSpeed::new(ClusterSpec::single_a100(), 4);
+        let m = TransformerConfig::gpt3_1_7b();
+        let s = ds.iter_stats(&m).expect("1.7B fits");
+        assert!(s.samples_per_sec > 0.0);
+        assert!(s.gpu_utilization > 0.0 && s.gpu_utilization <= 1.0);
+    }
+
+    #[test]
+    fn more_gpus_more_throughput() {
+        let m = TransformerConfig::gpt3_13b();
+        let s8 = DeepSpeed::new(ClusterSpec::a100_tencent(1), 2).iter_stats(&m).unwrap();
+        let s32 = DeepSpeed::new(ClusterSpec::a100_tencent(4), 2).iter_stats(&m).unwrap();
+        assert!(s32.samples_per_sec > s8.samples_per_sec);
+    }
+}

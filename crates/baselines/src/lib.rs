@@ -1,0 +1,29 @@
+//! Baseline system models for the Angel-PTM reproduction.
+//!
+//! The paper compares Angel-PTM against the two systems deployed on
+//! Tencent's Taiji platform before it — DeepSpeed (ZeRO-3 with
+//! Offload/Infinity) and Megatron-LM (hand-tuned hybrid parallelism) — plus
+//! PatrickStar's chunk-based memory manager in the related-work discussion.
+//! Each baseline here reproduces the *policy* the paper attributes that
+//! system's behaviour to, running over the same `angel-sim` hardware model
+//! and the same `angel-model` workloads as Angel-PTM's engine, so
+//! comparisons isolate policy differences exactly:
+//!
+//! * [`deepspeed`] — static partitioning of model states into pinned host
+//!   memory (ZeRO-Offload) or SSD (ZeRO-Infinity), per-tensor transfer
+//!   granularity, just-in-time gathers without lifetime-based advancement;
+//! * [`megatron`] — TP×PP×DP hybrid parallelism with exhaustive strategy
+//!   search, pipeline-bubble and tensor-parallel communication costs, and
+//!   replicated (non-sharded) model states;
+//! * [`patrickstar`] — chunk-based memory management, quantifying the
+//!   stranded-space overhead Section 4.1 criticizes;
+//! * [`calibration`] — every constant that ties a baseline policy to the
+//!   paper's observed numbers, each with its provenance.
+
+pub mod calibration;
+pub mod deepspeed;
+pub mod megatron;
+pub mod patrickstar;
+
+pub use deepspeed::DeepSpeed;
+pub use megatron::{search_best_strategy, MegatronStrategy};

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmark: gradient-push throughput of the Lock-Free
+//! Updating Mechanism (Algorithm 2) vs a mutex-coupled synchronous update —
+//! the microscopic version of Table 6's 2.96× claim: the compute loop must
+//! never stall on the update path.
+
+use angel_core::lockfree::{
+    ClearPolicy, LayerState, LockFreeTrainer, MemoryStore, Optimizer, SgdOptimizer, StateStore,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const LAYERS: usize = 8;
+const N: usize = 4096;
+
+fn identity(x: f32) -> f32 {
+    x
+}
+
+fn bench_push_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_path");
+
+    // Lock-free: pushes return immediately; updates run on other threads.
+    group.bench_function("lockfree_push", |b| {
+        let initial = vec![vec![0.1f32; N]; LAYERS];
+        let store =
+            MemoryStore::new(initial.iter().cloned().map(LayerState::new).collect());
+        let t = LockFreeTrainer::spawn(
+            initial,
+            Box::new(store),
+            Box::new(SgdOptimizer { lr: 0.01 }),
+            identity,
+            ClearPolicy::OnUpdateReceipt,
+        );
+        let mut l = 0usize;
+        b.iter(|| {
+            t.push_grads(l % LAYERS, vec![0.5; N]);
+            let _ = black_box(t.read_params(l % LAYERS));
+            l += 1;
+        });
+        t.wait_quiescent();
+    });
+
+    // Synchronous coupling: every "push" runs fetch + update + offload
+    // inline, the way training without Algorithm 2 must.
+    group.bench_function("synchronous_update", |b| {
+        let initial = vec![vec![0.1f32; N]; LAYERS];
+        let mut store =
+            MemoryStore::new(initial.iter().cloned().map(LayerState::new).collect());
+        let mut opt = SgdOptimizer { lr: 0.01 };
+        let mut l = 0usize;
+        b.iter(|| {
+            let layer = l % LAYERS;
+            let mut state = store.fetch(layer);
+            opt.update(layer, &mut state, &vec![0.5; N], 1);
+            black_box(&state.p32[0]);
+            store.offload(layer, state);
+            l += 1;
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_push_throughput
+}
+criterion_main!(benches);

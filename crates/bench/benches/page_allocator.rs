@@ -1,0 +1,87 @@
+//! Criterion micro-benchmark: Angel-PTM's page allocator vs the baseline
+//! allocators (best-fit/BFC, chunk-based, naive first-fit) on a realistic
+//! offload trace — repeated allocate/release of a transformer layer's
+//! model-state tensors, the workload Section 3.2 identifies as the
+//! fragmentation driver.
+
+use angel_core::PageAllocator;
+use angel_hw::{DeviceId, MIB};
+use angel_memsim::{AddressAllocator, BestFitAllocator, ChunkAllocator, NaiveAllocator};
+use angel_model::{model_inventory, TensorClass, TransformerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// The tensor sizes of a few GPT layers (model states only).
+fn trace() -> Vec<u64> {
+    let cfg = TransformerConfig::gpt3_1_7b().with_layers(4);
+    model_inventory(&cfg, 1)
+        .into_iter()
+        .filter(|t| t.class != TensorClass::Activation)
+        .map(|t| t.bytes)
+        .collect()
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let sizes = trace();
+    let total: u64 = sizes.iter().sum();
+    let capacity = total * 2;
+    let mut group = c.benchmark_group("alloc_release_cycle");
+
+    group.bench_function(BenchmarkId::new("page", "4MiB"), |b| {
+        b.iter(|| {
+            let mut a = PageAllocator::with_page_size(4 * MIB, false);
+            a.add_pool(DeviceId::gpu(0), capacity);
+            let ids: Vec<_> = sizes
+                .iter()
+                .map(|&s| a.alloc_tensor_raw(s, DeviceId::gpu(0)).unwrap())
+                .collect();
+            for id in ids {
+                a.release_tensor(id).unwrap();
+            }
+            black_box(a.stats(DeviceId::gpu(0)))
+        })
+    });
+
+    group.bench_function("best_fit", |b| {
+        b.iter(|| {
+            let mut a = BestFitAllocator::new(capacity);
+            let allocs: Vec<_> = sizes.iter().map(|&s| a.allocate(s).unwrap()).collect();
+            for x in allocs {
+                a.free(x);
+            }
+            black_box(a.stats())
+        })
+    });
+
+    group.bench_function("naive_first_fit", |b| {
+        b.iter(|| {
+            let mut a = NaiveAllocator::new(capacity);
+            let allocs: Vec<_> = sizes.iter().map(|&s| a.allocate(s).unwrap()).collect();
+            for x in allocs {
+                a.free(x);
+            }
+            black_box(a.stats())
+        })
+    });
+
+    group.bench_function("chunk", |b| {
+        let chunk = *sizes.iter().max().unwrap();
+        b.iter(|| {
+            let mut a = ChunkAllocator::new(capacity * 2, chunk);
+            let allocs: Vec<_> = sizes.iter().map(|&s| a.allocate(s).unwrap()).collect();
+            for x in allocs {
+                a.free(x);
+            }
+            black_box(a.stats())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_allocators
+}
+criterion_main!(benches);

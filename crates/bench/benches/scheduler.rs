@@ -1,0 +1,38 @@
+//! Criterion micro-benchmark: Unified Scheduler (Algorithm 1) planning cost
+//! as model depth grows. Planning happens once per training job, but the
+//! phase-2 peak-memory analysis must stay cheap even for hundred-layer,
+//! 10⁵-page models — this guards the incremental-timeline complexity.
+
+use angel_core::scheduler::{input_from_trace, UnifiedScheduler};
+use angel_core::Tracer;
+use angel_hw::GIB;
+use angel_model::TransformerConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_schedule");
+    for layers in [8usize, 32, 96] {
+        let cfg = TransformerConfig::gpt3_13b().with_layers(layers);
+        let trace = Tracer::default().trace(&cfg, 4, true);
+        let input = input_from_trace(&trace, 4 * 1024 * 1024, 8, 30 * GIB);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &input, |b, input| {
+            b.iter(|| black_box(UnifiedScheduler::default().schedule(input).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tracer(c: &mut Criterion) {
+    let cfg = TransformerConfig::gpt3_13b().with_layers(40);
+    c.bench_function("tracer_symbolic_iteration", |b| {
+        b.iter(|| black_box(Tracer::default().trace(&cfg, 4, true)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scheduler, bench_tracer
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark: discrete-event executor throughput — every
+//! experiment harness replays schedules through it, so its cost bounds the
+//! whole evaluation suite's runtime.
+
+use angel_sim::{Resources, SimTask, Simulation, Work};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A layered pipeline: move → gather → compute per step, like the engine's
+/// lowering.
+fn build(n_steps: usize) -> Simulation {
+    let mut r = Resources::new();
+    let gpu = r.add_compute("gpu");
+    let h2d = r.add_link("h2d", 32_000_000_000, 10_000);
+    let comm = r.add_compute("comm");
+    let mut sim = Simulation::new(r);
+    let mut prev: Option<usize> = None;
+    for _ in 0..n_steps {
+        let mv = sim.submit(SimTask::new(h2d, Work::Bytes(4 << 20)));
+        let mut g = SimTask::new(comm, Work::Duration(50_000)).with_deps([mv]);
+        if let Some(p) = prev {
+            g = g.with_deps([p]);
+        }
+        let gid = sim.submit(g);
+        let cid = sim.submit(SimTask::new(gpu, Work::Duration(200_000)).with_deps([gid]));
+        prev = Some(cid);
+    }
+    sim
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_executor");
+    for steps in [100usize, 1000, 10_000] {
+        let sim = build(steps);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &sim, |b, sim| {
+            b.iter(|| black_box(sim.run()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_executor
+}
+criterion_main!(benches);

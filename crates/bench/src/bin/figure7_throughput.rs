@@ -1,0 +1,107 @@
+//! Figure 7 — throughput of Angel-PTM vs DeepSpeed vs Megatron-LM on GPT
+//! models from 1.7B to 120B, on 1×8 and 4×8 GPUs, normalized to DeepSpeed.
+//!
+//! The paper trains "a series of GPT models with the maximum batch size";
+//! we sweep batch sizes per (system, model, cluster) and keep each system's
+//! best, then normalize to DeepSpeed as the figure does. Expected shape:
+//!
+//! * 1×8: Megatron wins at 1.7B (Angel ~2.4% behind), Angel wins everywhere
+//!   else; Megatron OOMs from 30B; 55B runs only on Angel.
+//! * 4×8: Megatron reaches 30B; 120B runs only on DeepSpeed and Angel;
+//!   Angel best throughout.
+
+use angel_baselines::{search_best_strategy, DeepSpeed};
+use angel_bench::{fmt_sps, Experiment};
+use angel_core::{Engine, EngineConfig};
+use angel_hw::ClusterSpec;
+use angel_model::TransformerConfig;
+
+const BATCHES: &[u64] = &[1, 2, 4, 8, 16, 32];
+
+fn angel_best(model: &TransformerConfig, servers: usize) -> Option<f64> {
+    BATCHES
+        .iter()
+        .filter_map(|&b| {
+            let cfg = EngineConfig::servers(servers).with_batch_size(b);
+            Engine::initialize(model, &cfg).ok().map(|mut e| e.train_iteration().samples_per_sec)
+        })
+        .fold(None, |best, s| Some(best.map_or(s, |b: f64| b.max(s))))
+}
+
+fn deepspeed_best(model: &TransformerConfig, servers: usize) -> Option<f64> {
+    BATCHES
+        .iter()
+        .filter_map(|&b| {
+            DeepSpeed::new(ClusterSpec::a100_tencent(servers), b)
+                .iter_stats(model)
+                .map(|s| s.samples_per_sec)
+        })
+        .fold(None, |best, s| Some(best.map_or(s, |b: f64| b.max(s))))
+}
+
+fn megatron_best(model: &TransformerConfig, servers: usize) -> Option<f64> {
+    BATCHES
+        .iter()
+        .filter_map(|&b| {
+            search_best_strategy(model, &ClusterSpec::a100_tencent(servers), b)
+                .map(|e| e.samples_per_sec)
+        })
+        .fold(None, |best, s| Some(best.map_or(s, |b: f64| b.max(s))))
+}
+
+fn main() {
+    // Table 4's "GPT3-30B" geometry computes to ~51B parameters (a paper
+    // inconsistency — see EXPERIMENTS.md); for the Figure 7 sweep we use a
+    // 30B model built from the Table 5 geometry so nominal and computed
+    // sizes agree.
+    let mut gpt30 = TransformerConfig::gpt3_28b().with_layers(37);
+    gpt30.name = "GPT3-30B*".into();
+    let models = [
+        TransformerConfig::gpt3_1_7b(),
+        TransformerConfig::gpt3_13b(),
+        gpt30,
+        TransformerConfig::gpt3_55b(),
+        TransformerConfig::gpt3_120b(),
+    ];
+
+    for servers in [1usize, 4] {
+        let mut table = Experiment::new(
+            "figure7",
+            if servers == 1 {
+                "Throughput on 1×8 GPUs, normalized to DeepSpeed (bars of Figure 7 top)"
+            } else {
+                "Throughput on 4×8 GPUs, normalized to DeepSpeed (bars of Figure 7 bottom)"
+            },
+            &["Model", "DeepSpeed", "Megatron-LM", "AngelPTM", "Angel/DS", "Angel/Megatron"],
+        );
+        for m in &models {
+            let ds = deepspeed_best(m, servers);
+            let mg = megatron_best(m, servers);
+            let an = angel_best(m, servers);
+            let norm = |x: Option<f64>| match (x, ds) {
+                (Some(v), Some(d)) => format!("{:.2} ({})", v / d, fmt_sps(v)),
+                (Some(v), None) => format!("— ({})", fmt_sps(v)),
+                _ => "OOM".into(),
+            };
+            let ratio = |a: Option<f64>, b: Option<f64>| match (a, b) {
+                (Some(a), Some(b)) => format!("{:.2}", a / b),
+                _ => "—".into(),
+            };
+            table.row(vec![
+                m.name.clone(),
+                norm(ds),
+                norm(mg),
+                norm(an),
+                ratio(an, ds),
+                ratio(an, mg),
+            ]);
+        }
+        table.note(
+            "Cells show throughput normalized to DeepSpeed (absolute samples/s in \
+             parentheses). Paper: Angel beats DeepSpeed by 35.4% avg / up to 70%, and \
+             Megatron-LM by 38.9% avg / up to 88.9%; Megatron wins only at 1.7B on 1×8 \
+             (Angel −2.4%).",
+        );
+        table.emit();
+    }
+}

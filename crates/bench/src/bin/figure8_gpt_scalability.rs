@@ -1,0 +1,61 @@
+//! Figure 8 — scalability of Angel-PTM training GPT3-175B on 256→768 GPUs.
+//!
+//! The paper reports super-linear scaling: 11.68 samples/s on 256 GPUs up to
+//! 36.46 on 768 (3.12× for 3× the GPUs), because spreading model states over
+//! more GPUs frees memory for larger micro-batches, CPU updates parallelize
+//! over more hosts and movements over more PCIe channels. We reproduce the
+//! mechanism: per-GPU batch is chosen as the largest that fits at each fleet
+//! size, so bigger fleets climb the GPU-efficiency curve.
+
+use angel_bench::{fmt_ratio, fmt_sps, Experiment};
+use angel_core::{Engine, EngineConfig};
+use angel_model::TransformerConfig;
+
+fn best_at(servers: usize, model: &TransformerConfig) -> Option<(u64, f64)> {
+    let mut best: Option<(u64, f64)> = None;
+    for b in [1u64, 2, 4, 8, 16, 32] {
+        let cfg = EngineConfig::servers(servers).with_batch_size(b);
+        if let Ok(mut e) = Engine::initialize(model, &cfg) {
+            let s = e.train_iteration();
+            if best.map_or(true, |(_, sp)| s.samples_per_sec > sp) {
+                best = Some((b, s.samples_per_sec));
+            }
+        }
+    }
+    best
+}
+
+fn main() {
+    let model = TransformerConfig::gpt3_175b();
+    let mut table = Experiment::new(
+        "figure8",
+        "Scalability on GPT3-175B (paper: 11.68 sps @256 GPUs → 36.46 @768, 3.12× super-linear)",
+        &["GPUs", "Micro-batch/GPU", "Samples/s", "Scaling vs 256", "Linear would be"],
+    );
+    let fleets = [32usize, 48, 64, 80, 96]; // 256..768 GPUs
+    let mut base: Option<f64> = None;
+    for servers in fleets {
+        let gpus = servers * 8;
+        match best_at(servers, &model) {
+            Some((b, sps)) => {
+                let baseline = *base.get_or_insert(sps);
+                table.row(vec![
+                    gpus.to_string(),
+                    b.to_string(),
+                    fmt_sps(sps),
+                    fmt_ratio(sps / baseline),
+                    fmt_ratio(gpus as f64 / 256.0),
+                ]);
+            }
+            None => {
+                table.row(vec![gpus.to_string(), "—".into(), "OOM".into(), "—".into(), "—".into()]);
+            }
+        }
+    }
+    table.note(
+        "Super-linear scaling comes from per-GPU micro-batch growth as states spread \
+         thinner (GPU efficiency curve) and from update/movement parallelism across \
+         hosts, as in the paper's analysis.",
+    );
+    table.emit();
+}

@@ -1,0 +1,184 @@
+//! Section 3.2 motivation — "Insufficient Memory Usage": coarse memory
+//! management fragments as model states move between tiers.
+//!
+//! Replays an offload-style trace — per-layer model-state tensors allocated
+//! and released in waves with interleaved lifetimes, as the hierarchical
+//! schedule produces — through four managers: naive first-fit (PyTorch-like),
+//! best-fit/BFC (TensorFlow), chunk-based (PatrickStar) and Angel-PTM's page
+//! allocator. Reports worst external fragmentation, stranded space and the
+//! largest request each manager could no longer satisfy.
+
+use angel_bench::Experiment;
+use angel_core::PageAllocator;
+use angel_hw::{fmt_bytes, DeviceId, MIB};
+use angel_memsim::{
+    AddressAllocator, AllocError, BestFitAllocator, ChunkAllocator, NaiveAllocator,
+    SegregatedFitAllocator,
+};
+use angel_model::{layer_inventory, TensorClass, TransformerConfig};
+
+/// Offload trace: layers' tensors come and go with overlapping lifetimes.
+/// Returns (sizes per layer, number of waves).
+fn build_trace() -> Vec<Vec<u64>> {
+    let cfg = TransformerConfig::gpt3_13b().with_layers(12);
+    (0..cfg.layers)
+        .map(|l| {
+            layer_inventory(&cfg, l, 2)
+                .into_iter()
+                .filter(|t| t.class != TensorClass::Activation)
+                .map(|t| t.bytes)
+                .collect()
+        })
+        .collect()
+}
+
+struct Outcome {
+    worst_external: f64,
+    failures: u64,
+    first_failure: Option<String>,
+}
+
+/// Run the trace: keep a sliding window of 4 live layers, releasing the
+/// oldest before allocating the next — the residency churn of hierarchical
+/// training. Repeat for several epochs so fragmentation can accumulate.
+fn run(alloc: &mut dyn AddressAllocator, layers: &[Vec<u64>]) -> Outcome {
+    let mut live: std::collections::VecDeque<Vec<angel_memsim::Allocation>> =
+        std::collections::VecDeque::new();
+    let mut failures = 0;
+    let mut first_failure = None;
+    for _epoch in 0..6 {
+        for layer in layers {
+            if live.len() >= 4 {
+                for a in live.pop_front().unwrap() {
+                    alloc.free(a);
+                }
+            }
+            let mut allocs = Vec::new();
+            for &bytes in layer {
+                match alloc.allocate(bytes) {
+                    Ok(a) => allocs.push(a),
+                    Err(e) => {
+                        failures += 1;
+                        if first_failure.is_none() {
+                            first_failure = Some(match e {
+                                AllocError::Fragmented { requested, free, largest } => format!(
+                                    "fragmented: need {} with {} free (largest {})",
+                                    fmt_bytes(requested),
+                                    fmt_bytes(free),
+                                    fmt_bytes(largest)
+                                ),
+                                other => other.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+            live.push_back(allocs);
+        }
+        while let Some(batch) = live.pop_front() {
+            for a in batch {
+                alloc.free(a);
+            }
+        }
+    }
+    Outcome { worst_external: alloc.stats().worst_external_frag, failures, first_failure }
+}
+
+fn main() {
+    let layers = build_trace();
+    let window_bytes: u64 = layers.iter().take(4).flatten().sum();
+    // Pool sized to hold the window with 12% slack: coarse managers must
+    // survive on reuse, exactly the regime Section 3.2 describes.
+    let capacity = window_bytes * 112 / 100;
+
+    let mut table = Experiment::new(
+        "motivation",
+        "Fragmentation of coarse memory managers under the offload trace (Section 3.2)",
+        &["Manager", "Worst ext. frag", "Failed allocs", "First failure"],
+    );
+
+    let mut naive = NaiveAllocator::new(capacity);
+    let o = run(&mut naive, &layers);
+    table.row(vec![
+        "naive first-fit (PyTorch-like)".into(),
+        format!("{:.1}%", o.worst_external * 100.0),
+        o.failures.to_string(),
+        o.first_failure.unwrap_or_default(),
+    ]);
+
+    let mut bfc = BestFitAllocator::new(capacity);
+    let o = run(&mut bfc, &layers);
+    table.row(vec![
+        "best-fit / BFC (TensorFlow)".into(),
+        format!("{:.1}%", o.worst_external * 100.0),
+        o.failures.to_string(),
+        o.first_failure.unwrap_or_default(),
+    ]);
+
+    let mut segfit = SegregatedFitAllocator::new(capacity);
+    let o = run(&mut segfit, &layers);
+    table.row(vec![
+        "segregated-fit (binned BFC)".into(),
+        format!("{:.1}%", o.worst_external * 100.0),
+        o.failures.to_string(),
+        o.first_failure.unwrap_or_default(),
+    ]);
+
+    let chunk = layers.iter().flatten().copied().max().unwrap();
+    let mut chunked = ChunkAllocator::new(capacity, chunk);
+    let o = run(&mut chunked, &layers);
+    table.row(vec![
+        "chunk-based (PatrickStar)".into(),
+        format!("{:.1}%", o.worst_external * 100.0),
+        o.failures.to_string(),
+        o.first_failure.unwrap_or_default(),
+    ]);
+
+    // Angel-PTM pages: run the same trace through the real page allocator.
+    let mut pages = PageAllocator::with_page_size(4 * MIB, false);
+    pages.add_pool(DeviceId::gpu(0), capacity);
+    let mut page_failures = 0u64;
+    let mut first = None;
+    for _epoch in 0..6 {
+        let mut live: std::collections::VecDeque<Vec<_>> = Default::default();
+        for layer in &layers {
+            if live.len() >= 4 {
+                for t in live.pop_front().unwrap() {
+                    pages.release_tensor(t).unwrap();
+                }
+            }
+            let mut ids = Vec::new();
+            for &bytes in layer {
+                match pages.alloc_tensor_raw(bytes, DeviceId::gpu(0)) {
+                    Ok(id) => ids.push(id),
+                    Err(e) => {
+                        page_failures += 1;
+                        first.get_or_insert_with(|| e.to_string());
+                    }
+                }
+            }
+            live.push_back(ids);
+        }
+        while let Some(batch) = live.pop_front() {
+            for t in batch {
+                pages.release_tensor(t).unwrap();
+            }
+        }
+    }
+    let s = pages.stats(DeviceId::gpu(0));
+    table.row(vec![
+        "Angel-PTM pages (4 MiB)".into(),
+        "0.0% (by construction)".into(),
+        page_failures.to_string(),
+        first.unwrap_or_default(),
+    ]);
+    table.note(format!(
+        "Pool = 4-layer working set + 12% slack ({}). Page allocator internal \
+         fragmentation at peak: {:.2}%. Any free page serves any request, so external \
+         fragmentation cannot occur; the coarse managers accumulate holes as the trace \
+         churns — the paper's motivation for the Page abstraction.",
+        fmt_bytes(capacity),
+        s.internal_frag() * 100.0
+    ));
+    table.emit();
+}

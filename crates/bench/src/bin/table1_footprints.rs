@@ -1,0 +1,58 @@
+//! Table 1 — memory footprints of a single Transformer layer under
+//! mixed-precision training with Adam.
+//!
+//! Prints the per-operation footprint formulas evaluated at the paper's
+//! reference geometry (GPT-3 175B: d_m = 12288, d_ffn = 49152, s = 2048) and
+//! verifies the closed-form totals, plus the Section 2.2 whole-model figures
+//! (648 / 162 / 1944 GB).
+
+use angel_bench::Experiment;
+use angel_hw::GIB;
+use angel_model::footprint::{gpt_layer_footprint, ModelFootprint};
+use angel_model::TransformerConfig;
+
+fn main() {
+    let d = 12288u64;
+    let f = 49152u64;
+    let b = 1u64;
+    let s = 2048u64;
+    let fp = gpt_layer_footprint(d, f, b, s);
+
+    let mut table = Experiment::new(
+        "table1",
+        "Memory footprints of a single Transformer layer (b=1, s=2048, d_m=12288, d_ffn=49152)",
+        &["Block", "Layer", "Params (B)", "Acts (B)", "Optims (B)"],
+    );
+    for op in &fp.ops {
+        table.row(vec![
+            op.block.to_string(),
+            op.op.to_string(),
+            op.params_bytes.to_string(),
+            op.acts_bytes.to_string(),
+            op.optims_bytes.to_string(),
+        ]);
+    }
+    table.row(vec![
+        "Total".into(),
+        "(paper's simplified totals)".into(),
+        format!("{} = 16d²+8d·dffn", fp.params_total),
+        format!("{} = 40bsd+8bs·dffn", fp.acts_total),
+        format!("{} = 48d²+24d·dffn", fp.optims_total),
+    ]);
+    assert_eq!(fp.params_total, 16 * d * d + 8 * d * f);
+    assert_eq!(fp.acts_total, 40 * b * s * d + 8 * b * s * f);
+    assert_eq!(fp.optims_total, 48 * d * d + 24 * d * f);
+
+    // Section 2.2's whole-model check.
+    let cfg = TransformerConfig::gpt3_175b_openai();
+    let model_fp = ModelFootprint::of(&cfg, 1);
+    let gb = |x: u64| x as f64 / GIB as f64;
+    table.note(format!(
+        "GPT-3 175B whole model (96 layers): Params {:.0} GB (paper 648), Acts {:.0} GB \
+         (paper 162), Optims {:.0} GB (paper 1944)",
+        gb(model_fp.params_total),
+        gb(model_fp.acts_total),
+        gb(model_fp.optims_total)
+    ));
+    table.emit();
+}

@@ -1,0 +1,65 @@
+//! Table 2 — distribution of tensor sizes within one layer of GPT-3.
+//!
+//! Generates the per-layer tensor inventory at the Table 2 setting (GPT-3
+//! geometry, batch 16 — the batch implied by the table's 768 MB activation
+//! class) and prints the size histogram next to the paper's rows.
+
+use angel_bench::Experiment;
+use angel_hw::MIB;
+use angel_model::inventory::{layer_inventory, size_distribution};
+use angel_model::TransformerConfig;
+
+/// The paper's Table 2, verbatim: (size in MB, count).
+const PAPER: &[(f64, usize)] = &[
+    (3072.0, 4),
+    (2304.0, 6),
+    (1152.0, 4),
+    (768.0, 20),
+    (576.0, 12),
+    (288.0, 8),
+    (0.375, 4),
+    (0.046875, 6),
+    (0.0234375, 4),
+];
+
+fn main() {
+    let cfg = TransformerConfig::gpt3_175b_openai().with_seq_len(2048);
+    let inv = layer_inventory(&cfg, 0, 16);
+    let dist = size_distribution(&inv);
+
+    let mut table = Experiment::new(
+        "table2",
+        "Distribution of tensor sizes within one layer of GPT-3 (ours vs paper)",
+        &["Tensor size (MB)", "Count (ours)", "Count (paper)"],
+    );
+
+    let mut matched_large = 0;
+    for (size, count) in dist.iter().rev() {
+        let mb = *size as f64 / MIB as f64;
+        let paper_count = PAPER
+            .iter()
+            .find(|(p, _)| (p - mb).abs() / p.max(1e-9) < 1e-6)
+            .map(|(_, c)| c.to_string())
+            .unwrap_or_else(|| "—".into());
+        if mb >= 1.0 && paper_count != "—" && paper_count == count.to_string() {
+            matched_large += 1;
+        }
+        table.row(vec![format!("{mb}"), count.to_string(), paper_count]);
+    }
+    for (mb, c) in PAPER {
+        let found = dist
+            .iter()
+            .any(|(size, _)| (*size as f64 / MIB as f64 - mb).abs() / mb.max(1e-9) < 1e-6);
+        if !found {
+            table.row(vec![format!("{mb}"), "—".into(), c.to_string()]);
+        }
+    }
+    assert_eq!(matched_large, 6, "all six ≥1 MB classes must match the paper exactly");
+    table.note(
+        "All six ≥1 MB size classes match Table 2 exactly. The paper's three sub-MB rows \
+         are not derivable from its own Table 1 formulas (see EXPERIMENTS.md); ours list \
+         the small tensors that do follow from Table 1 (attention scores at the simplified \
+         b×s shape, LayerNorm parameters and optimizer states).",
+    );
+    table.emit();
+}

@@ -1,0 +1,119 @@
+//! Table 5 — maximum supported model scale on a single server.
+//!
+//! "We increase the number of transformer blocks and fix other model
+//! settings" (GPT: 128 heads, d=8192, d_ffn=32768; T5: d=4096,
+//! d_ffn=16384). For each system we binary-search the largest layer count
+//! that initializes, then measure throughput at batch 1 and at the largest
+//! batch the memory model admits.
+
+use angel_baselines::DeepSpeed;
+use angel_bench::{fmt_params, fmt_sps, Experiment};
+use angel_core::{Engine, EngineConfig};
+use angel_hw::ClusterSpec;
+use angel_model::TransformerConfig;
+
+/// Largest batch size (powers of two-ish sweep) at which `init` succeeds.
+fn max_batch(mut fits: impl FnMut(u64) -> bool) -> u64 {
+    let mut best = 1;
+    for b in [1u64, 2, 4, 8, 12, 16, 24, 32, 38, 48, 50, 64] {
+        if fits(b) {
+            best = b;
+        }
+    }
+    best
+}
+
+fn main() {
+    let mut table = Experiment::new(
+        "table5",
+        "Max supported model scale on a single server (8×A100-40G, 1 TiB host)",
+        &["Model", "System", "#Params", "#Batch", "Samples/s", "Paper"],
+    );
+
+    for (family, base) in [
+        ("GPT", TransformerConfig::gpt3_28b()),
+        ("T5", TransformerConfig::t5_27b()),
+    ] {
+        // ---- DeepSpeed -------------------------------------------------
+        let ds = DeepSpeed::new(ClusterSpec::single_a100(), 1);
+        let ds_layers = ds.max_layers(&base);
+        let ds_model = base.clone().with_layers(ds_layers);
+        let ds_b1 = ds.iter_stats(&ds_model).expect("max model fits at batch 1");
+        let ds_bmax = max_batch(|b| {
+            DeepSpeed::new(ClusterSpec::single_a100(), b).fits(&ds_model)
+        });
+        let ds_max = DeepSpeed::new(ClusterSpec::single_a100(), ds_bmax)
+            .iter_stats(&ds_model)
+            .expect("fits at max batch");
+        let paper_ds = if family == "GPT" { "28B, 7.61 sps @36" } else { "27B, 7.31 sps @32" };
+        table.row(vec![
+            family.into(),
+            "DeepSpeed".into(),
+            fmt_params(ds_model.total_params()),
+            "1".into(),
+            fmt_sps(ds_b1.samples_per_sec),
+            paper_ds.into(),
+        ]);
+        table.row(vec![
+            family.into(),
+            "DeepSpeed".into(),
+            fmt_params(ds_model.total_params()),
+            ds_bmax.to_string(),
+            fmt_sps(ds_max.samples_per_sec),
+            String::new(),
+        ]);
+
+        // ---- Angel-PTM at DeepSpeed's max model (same-model comparison) --
+        let angel_cfg = |b: u64| EngineConfig::single_server().with_batch_size(b);
+        let angel_bmax_same =
+            max_batch(|b| Engine::initialize(&ds_model, &angel_cfg(b)).is_ok());
+        let mut e = Engine::initialize(&ds_model, &angel_cfg(angel_bmax_same)).unwrap();
+        let s = e.train_iteration();
+        let paper_angel_same =
+            if family == "GPT" { "28B, 10.99 sps @38" } else { "27B, 14.38 sps @50" };
+        table.row(vec![
+            family.into(),
+            "AngelPTM".into(),
+            fmt_params(ds_model.total_params()),
+            angel_bmax_same.to_string(),
+            fmt_sps(s.samples_per_sec),
+            paper_angel_same.into(),
+        ]);
+
+        // ---- Angel-PTM at its own maximum scale ---------------------------
+        let angel_layers = Engine::max_layers(&base, &angel_cfg(1));
+        let angel_model = base.clone().with_layers(angel_layers);
+        let mut e1 = Engine::initialize(&angel_model, &angel_cfg(1)).unwrap();
+        let s1 = e1.train_iteration();
+        let paper_max = if family == "GPT" { "55B, 0.464 sps @1" } else { "58B, 0.432 sps @1" };
+        table.row(vec![
+            family.into(),
+            "AngelPTM".into(),
+            fmt_params(angel_model.total_params()),
+            "1".into(),
+            fmt_sps(s1.samples_per_sec),
+            paper_max.into(),
+        ]);
+        let angel_bmax = max_batch(|b| Engine::initialize(&angel_model, &angel_cfg(b)).is_ok());
+        let mut em = Engine::initialize(&angel_model, &angel_cfg(angel_bmax)).unwrap();
+        let sm = em.train_iteration();
+        let paper_maxb = if family == "GPT" { "55B, 3.34 sps @10" } else { "58B, 3.37 sps @4" };
+        table.row(vec![
+            family.into(),
+            "AngelPTM".into(),
+            fmt_params(angel_model.total_params()),
+            angel_bmax.to_string(),
+            fmt_sps(sm.samples_per_sec),
+            paper_maxb.into(),
+        ]);
+
+        let scale_gain =
+            angel_model.total_params() as f64 / ds_model.total_params() as f64 - 1.0;
+        table.note(format!(
+            "{family}: Angel-PTM max scale gain over DeepSpeed = {:.1}% (paper: {}%)",
+            scale_gain * 100.0,
+            if family == "GPT" { "96.4" } else { "114.8" }
+        ));
+    }
+    table.emit();
+}

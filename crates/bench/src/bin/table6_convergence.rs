@@ -1,0 +1,108 @@
+//! Table 6 (validation-loss columns) — real training: does the Lock-Free
+//! Updating Mechanism hurt model quality?
+//!
+//! Paper: T5-MoE-1T reaches valid loss 1.124; the 10T model 0.853
+//! synchronously and 0.861 with lock-free updates — i.e. (a) bigger models
+//! reach lower loss, (b) lock-free staleness costs ≈1%. We reproduce both
+//! *shapes* with genuine training (hand-written transformer + mixed-precision
+//! Adam + Algorithm 2 with real threads and an SSD-throttled state store):
+//! a small and a larger character LM, each trained synchronously and
+//! lock-free on the same synthetic corpus.
+
+use angel_bench::Experiment;
+use angel_core::lockfree::ClearPolicy;
+use angel_train::{train_lockfree, train_sync, CharCorpus, GptConfig, TrainConfig};
+
+fn main() {
+    let corpus = CharCorpus::generate(16, 60_000, 2024);
+    let mut table = Experiment::new(
+        "table6-convergence",
+        "Validation loss: synchronous vs lock-free training (real runs, synthetic corpus)",
+        &["Model", "Mode", "Valid loss", "Initial", "Grads dropped", "Updates", "Paper analogue"],
+    );
+
+    let small = GptConfig { vocab: 16, seq_len: 32, d_model: 24, d_ffn: 48, layers: 2 };
+    let large = GptConfig { vocab: 16, seq_len: 32, d_model: 48, d_ffn: 96, layers: 3 };
+
+    let mut losses = Vec::new();
+    for (name, model, paper) in [
+        ("small (≈1T analogue)", small, "1.124"),
+        ("large (≈10T analogue)", large, "0.853 / 0.861"),
+    ] {
+        let cfg = TrainConfig {
+            model,
+            steps: 2500,
+            seq_len: 32,
+            seed: 7,
+            // Emulate an SSD-bound state store so lock-free updates lag for
+            // real (per-update delay proportional to state bytes). The rate
+            // is chosen so staleness lands at a few iterations, the regime
+            // the paper's deployment operates in (its updating thread "runs
+            // slower than the GPU due to the limited SSD I/O bandwidth" but
+            // still cycles continuously).
+            ssd_bytes_per_sec: Some(150_000_000),
+            // Algorithm 2's buffer-clear timing is ambiguous in the paper's
+            // pseudocode; the lossless take-at-snapshot reading (the clear
+            // is paired with the gradient read) matches the reported ≈1%
+            // quality gap, while the literal clear-on-receipt reading drops
+            // every micro-batch landing inside an update window (measured
+            // separately below). See EXPERIMENTS.md.
+            clear_policy: ClearPolicy::TakeAtSnapshot,
+            ..Default::default()
+        };
+        let sync = train_sync(&cfg, &corpus);
+        let lf = train_lockfree(&cfg, &corpus);
+        table.row(vec![
+            name.into(),
+            "sync".into(),
+            format!("{:.4}", sync.valid_loss),
+            format!("{:.4}", sync.initial_valid_loss),
+            "0".into(),
+            sync.updates_applied.to_string(),
+            paper.into(),
+        ]);
+        table.row(vec![
+            name.into(),
+            "lock-free".into(),
+            format!("{:.4}", lf.valid_loss),
+            format!("{:.4}", lf.initial_valid_loss),
+            lf.grads_dropped.to_string(),
+            lf.updates_applied.to_string(),
+            String::new(),
+        ]);
+        losses.push((sync.valid_loss, lf.valid_loss));
+    }
+
+    // The paper-literal clear protocol, for comparison.
+    let lossy_cfg = TrainConfig {
+        model: large,
+        steps: 2500,
+        seq_len: 32,
+        seed: 7,
+        ssd_bytes_per_sec: Some(150_000_000),
+        clear_policy: ClearPolicy::OnUpdateReceipt,
+        ..Default::default()
+    };
+    let lossy = train_lockfree(&lossy_cfg, &corpus);
+    table.row(vec![
+        "large (≈10T analogue)".into(),
+        "lock-free (clear-on-receipt)".into(),
+        format!("{:.4}", lossy.valid_loss),
+        format!("{:.4}", lossy.initial_valid_loss),
+        lossy.grads_dropped.to_string(),
+        lossy.updates_applied.to_string(),
+        String::new(),
+    ]);
+
+    let (s_small, _) = losses[0];
+    let (s_large, l_large) = losses[1];
+    table.note(format!(
+        "Shape checks — larger model reaches lower loss: {:.4} → {:.4} (paper 1.124 → \
+         0.853); lock-free within {:.1}% of sync on the large model (paper: 0.861 vs \
+         0.853 = +0.9%).",
+        s_small,
+        s_large,
+        (l_large - s_large).abs() / s_large * 100.0
+    ));
+    table.emit();
+}

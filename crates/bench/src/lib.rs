@@ -1,0 +1,137 @@
+//! Shared report helpers for the experiment harnesses.
+//!
+//! Every `src/bin/*` binary reproduces one table or figure of the paper and
+//! prints (a) a human-readable table with the paper's reference values next
+//! to ours, and (b) a JSON record on request (`--json`), consumed when
+//! regenerating EXPERIMENTS.md.
+
+use serde::Serialize;
+
+/// A reproduced experiment: id (e.g. "table5"), caption, and rows.
+#[derive(Debug, Clone, Serialize)]
+pub struct Experiment {
+    pub id: &'static str,
+    pub caption: &'static str,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (calibration caveats,
+    /// substitutions).
+    pub notes: Vec<String>,
+}
+
+impl Experiment {
+    pub fn new(id: &'static str, caption: &'static str, columns: &[&str]) -> Self {
+        Self {
+            id,
+            caption,
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render as an aligned text table (also valid GitHub markdown).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.caption));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout; with `--json` in argv also emit the JSON record.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        if std::env::args().any(|a| a == "--json") {
+            println!("{}", serde_json::to_string_pretty(self).expect("serializable"));
+        }
+    }
+}
+
+/// Format a throughput number the way the paper's tables do.
+pub fn fmt_sps(samples_per_sec: f64) -> String {
+    format!("{samples_per_sec:.2}")
+}
+
+/// Format a parameter count in billions/trillions.
+pub fn fmt_params(params: u64) -> String {
+    if params >= 1_000_000_000_000 {
+        format!("{:.2}T", params as f64 / 1e12)
+    } else {
+        format!("{:.1}B", params as f64 / 1e9)
+    }
+}
+
+/// Format a speedup/ratio.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut e = Experiment::new("t", "caption", &["a", "bee"]);
+        e.row(vec!["1".into(), "2".into()]);
+        e.row(vec!["longer".into(), "x".into()]);
+        e.note("a note");
+        let r = e.render();
+        assert!(r.contains("## t — caption"));
+        assert!(r.contains("| longer | x   |"));
+        assert!(r.contains("> a note"));
+        let lines: Vec<&str> = r.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(lines.len(), 4); // header + sep + 2 rows
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut e = Experiment::new("t", "c", &["a", "b"]);
+        e.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_params(1_700_000_000), "1.7B");
+        assert_eq!(fmt_params(1_200_000_000_000), "1.20T");
+        assert_eq!(fmt_sps(10.987), "10.99");
+        assert_eq!(fmt_ratio(2.959), "2.96x");
+    }
+}

@@ -1,0 +1,865 @@
+//! The page allocator: pre-allocated per-device page pools and page-level
+//! tensor placement.
+//!
+//! From Section 5 of the paper: "To reduce the overhead of requesting memory
+//! space and take advantage of the iterative nature of training, we
+//! pre-allocate space from the hierarchical memory of the system, including
+//! GPU memory, CPU pinned memory, and SSD memory. To enable fine-grained
+//! memory operations, we divide the pre-allocated memory into pages of fixed
+//! size, where each page can be allocated, released and moved
+//! independently."
+//!
+//! # Placement rules (Section 4.1)
+//!
+//! * Tensors **smaller than one page** "occupy an individual page for
+//!   simplicity, considering that they only account for a very small
+//!   fraction of the overall memory usage".
+//! * Larger tensors are laid out bump-style across pages; the partially
+//!   filled tail page of one tensor becomes the *open page* where the next
+//!   large tensor starts, so every page hosts **at most two tensors** ("by
+//!   carefully arranging these tensors, we can ensure that each page is
+//!   associated with at most two tensors").
+//!
+//! Because any free page can serve any allocation (tensors are lists of
+//! pages, not contiguous ranges), **external fragmentation is zero by
+//! construction**; the only waste is bounded internal fragmentation in
+//! partial pages, which [`PoolStats`] reports. This is precisely the
+//! advantage over the per-tensor and chunk-based baselines measured by the
+//! `motivation_fragmentation` experiment.
+
+use crate::error::{Error, Result};
+use crate::page::{Page, PageId, PAGE_SIZE_DEFAULT};
+use crate::tensor::{DType, PageRange, Tensor, TensorId};
+use angel_hw::DeviceId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Usage statistics for one device's page pool.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct PoolStats {
+    pub capacity_pages: usize,
+    pub used_pages: usize,
+    /// Bytes actually occupied by tensor data within used pages.
+    pub tenant_bytes: u64,
+    pub peak_used_pages: usize,
+    pub page_size: u64,
+}
+
+impl PoolStats {
+    pub fn free_pages(&self) -> usize {
+        self.capacity_pages - self.used_pages
+    }
+
+    /// Reserved-but-unused fraction of the in-use pages: the page
+    /// abstraction's only waste.
+    pub fn internal_frag(&self) -> f64 {
+        let reserved = self.used_pages as u64 * self.page_size;
+        if reserved == 0 {
+            0.0
+        } else {
+            1.0 - self.tenant_bytes as f64 / reserved as f64
+        }
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used_pages as u64 * self.page_size
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Pool {
+    capacity_pages: usize,
+    used_pages: usize,
+    peak_used_pages: usize,
+    tenant_bytes: u64,
+    /// Fully-free page objects ready for reuse on this device.
+    free_list: Vec<PageId>,
+    /// The page with one tenant and remaining space where the next large
+    /// tensor may start.
+    open_page: Option<PageId>,
+}
+
+impl Pool {
+    fn new(capacity_pages: usize) -> Self {
+        Self {
+            capacity_pages,
+            used_pages: 0,
+            peak_used_pages: 0,
+            tenant_bytes: 0,
+            free_list: Vec::new(),
+            open_page: None,
+        }
+    }
+
+    fn free_pages(&self) -> usize {
+        self.capacity_pages - self.used_pages
+    }
+}
+
+/// The Allocator component of Angel-PTM (Figure 5): owns every page, every
+/// tensor's placement, and the per-device pools.
+#[derive(Debug)]
+pub struct PageAllocator {
+    page_size: u64,
+    /// Whether new pages carry real backing memory.
+    backed: bool,
+    pages: Vec<Page>,
+    pools: BTreeMap<DeviceId, Pool>,
+    tensors: HashMap<TensorId, Tensor>,
+    next_tensor_id: usize,
+}
+
+impl PageAllocator {
+    /// An allocator with the paper's default 4 MiB pages, virtual backing.
+    pub fn new() -> Self {
+        Self::with_page_size(PAGE_SIZE_DEFAULT, false)
+    }
+
+    /// Custom page size; `backed` pages own real zeroed memory.
+    pub fn with_page_size(page_size: u64, backed: bool) -> Self {
+        assert!(page_size > 0);
+        Self {
+            page_size,
+            backed,
+            pages: Vec::new(),
+            pools: BTreeMap::new(),
+            tensors: HashMap::new(),
+            next_tensor_id: 0,
+        }
+    }
+
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Pre-allocate a pool of `capacity_bytes / page_size` pages on `device`.
+    pub fn add_pool(&mut self, device: DeviceId, capacity_bytes: u64) {
+        let pages = (capacity_bytes / self.page_size) as usize;
+        self.pools.insert(device, Pool::new(pages));
+    }
+
+    pub fn has_pool(&self, device: DeviceId) -> bool {
+        self.pools.contains_key(&device)
+    }
+
+    pub fn stats(&self, device: DeviceId) -> PoolStats {
+        let pool = &self.pools[&device];
+        PoolStats {
+            capacity_pages: pool.capacity_pages,
+            used_pages: pool.used_pages,
+            tenant_bytes: pool.tenant_bytes,
+            peak_used_pages: pool.peak_used_pages,
+            page_size: self.page_size,
+        }
+    }
+
+    pub fn page(&self, id: PageId) -> &Page {
+        &self.pages[id.0]
+    }
+
+    pub fn tensor(&self, id: TensorId) -> Result<&Tensor> {
+        self.tensors.get(&id).ok_or(Error::UnknownTensor(id.0))
+    }
+
+    /// Number of pages a tensor of `bytes` occupies exclusively (ignoring
+    /// the shared open-page head).
+    pub fn pages_for(&self, bytes: u64) -> usize {
+        bytes.div_ceil(self.page_size) as usize
+    }
+
+    // ----- page-frame management ----------------------------------------
+
+    /// Take a fresh (empty) page on `device` from the free list or by
+    /// materializing a new one within pool capacity.
+    fn take_page(&mut self, device: DeviceId) -> Result<PageId> {
+        let backed = self.backed;
+        let page_size = self.page_size;
+        let next_index = self.pages.len();
+        let pool = self
+            .pools
+            .get_mut(&device)
+            .unwrap_or_else(|| panic!("no pool registered for {device}"));
+        if pool.used_pages >= pool.capacity_pages {
+            return Err(Error::OutOfPages {
+                device,
+                requested_pages: 1,
+                free_pages: 0,
+            });
+        }
+        pool.used_pages += 1;
+        pool.peak_used_pages = pool.peak_used_pages.max(pool.used_pages);
+        if let Some(id) = pool.free_list.pop() {
+            debug_assert!(self.pages[id.0].is_free());
+            self.pages[id.0].move_to(device);
+            return Ok(id);
+        }
+        let id = PageId(next_index);
+        let page = if backed {
+            Page::new_backed(id, page_size, device)
+        } else {
+            Page::new_virtual(id, page_size, device)
+        };
+        self.pages.push(page);
+        Ok(id)
+    }
+
+    /// Return an empty page to its device's free list.
+    fn return_page(&mut self, id: PageId) {
+        let device = self.pages[id.0].device();
+        let pool = self.pools.get_mut(&device).expect("pool");
+        pool.used_pages -= 1;
+        if pool.open_page == Some(id) {
+            pool.open_page = None;
+        }
+        pool.free_list.push(id);
+    }
+
+    // ----- tensor allocation ---------------------------------------------
+
+    /// Allocate a tensor of the given shape/dtype on `device`, applying the
+    /// Section 4.1 placement rules. Fails with [`Error::OutOfPages`] when the
+    /// pool cannot supply the required pages (leaving the pool unchanged).
+    pub fn alloc_tensor(
+        &mut self,
+        shape: Vec<usize>,
+        dtype: DType,
+        device: DeviceId,
+    ) -> Result<TensorId> {
+        let id = TensorId(self.next_tensor_id);
+        let mut tensor = Tensor::new(id, shape, dtype);
+        let bytes = tensor.bytes();
+        assert!(bytes > 0, "zero-sized tensor");
+
+        // Feasibility check up front so failure has no side effects.
+        let (open_take, fresh_pages) = self.plan(device, bytes);
+        let pool = &self.pools[&device];
+        if fresh_pages > pool.free_pages() {
+            return Err(Error::OutOfPages {
+                device,
+                requested_pages: fresh_pages,
+                free_pages: pool.free_pages(),
+            });
+        }
+
+        let mut remaining = bytes;
+        let mut ranges = Vec::new();
+
+        // Start in the open page when the rules allow it.
+        if open_take > 0 {
+            let open_id = self.pools[&device].open_page.expect("planned open page");
+            let offset = self.pages[open_id.0].allocate(open_take, id)?;
+            ranges.push(PageRange { page: open_id, offset, bytes: open_take });
+            remaining -= open_take;
+            // Two tenants now: the page is closed.
+            self.pools.get_mut(&device).unwrap().open_page = None;
+        }
+
+        // Fill fresh pages.
+        while remaining > 0 {
+            let take = remaining.min(self.page_size);
+            let pid = self.take_page(device)?;
+            let offset = self.pages[pid.0].allocate(take, id)?;
+            debug_assert_eq!(offset, 0);
+            ranges.push(PageRange { page: pid, offset, bytes: take });
+            remaining -= take;
+            // A partially filled tail of a *large* tensor becomes the open
+            // page; small tensors keep their page to themselves.
+            if remaining == 0 && take < self.page_size && bytes >= self.page_size {
+                self.pools.get_mut(&device).unwrap().open_page = Some(pid);
+            }
+        }
+
+        self.pools.get_mut(&device).unwrap().tenant_bytes += bytes;
+        tensor.pages = ranges;
+        tensor.device = Some(device);
+        self.tensors.insert(id, tensor);
+        self.next_tensor_id += 1;
+        Ok(id)
+    }
+
+    /// Allocate an untyped buffer of `bytes` on `device`.
+    pub fn alloc_tensor_raw(&mut self, bytes: u64, device: DeviceId) -> Result<TensorId> {
+        self.alloc_tensor(vec![bytes as usize], DType::Byte, device)
+    }
+
+    /// How an allocation of `bytes` on `device` would be laid out:
+    /// `(bytes taken from the open page, fresh pages needed)`.
+    fn plan(&self, device: DeviceId, bytes: u64) -> (u64, usize) {
+        let pool = &self.pools[&device];
+        // Small tensors get their own page.
+        if bytes < self.page_size {
+            return (0, 1);
+        }
+        let open_avail = pool
+            .open_page
+            .map(|p| self.pages[p.0].available_bytes())
+            .unwrap_or(0);
+        let open_take = open_avail.min(bytes);
+        let fresh = (bytes - open_take).div_ceil(self.page_size) as usize;
+        (open_take, fresh)
+    }
+
+    /// Release a tensor: drop it from every page; pages that become empty
+    /// return to their device's free list. Works for split tensors too
+    /// (pages on different devices after partial moves): each range's bytes
+    /// are returned to the pool of the device its page currently lives on.
+    pub fn release_tensor(&mut self, id: TensorId) -> Result<()> {
+        let tensor = self.tensors.remove(&id).ok_or(Error::UnknownTensor(id.0))?;
+        for range in &tensor.pages {
+            let device = self.pages[range.page.0].device();
+            self.pages[range.page.0].release(id)?;
+            if self.pages[range.page.0].is_free() {
+                self.return_page(range.page);
+            }
+            self.pools.get_mut(&device).unwrap().tenant_bytes -= range.bytes;
+        }
+        Ok(())
+    }
+
+    // ----- movement -------------------------------------------------------
+
+    /// Move one page to `target`, consuming a frame there and freeing one on
+    /// the source device. All tenants of the page travel with it.
+    pub fn move_page(&mut self, id: PageId, target: DeviceId) -> Result<()> {
+        let source = self.pages[id.0].device();
+        if source == target {
+            return Ok(());
+        }
+        let tenant_bytes: u64 = self.pages[id.0].tenants().map(|t| t.bytes).sum();
+        {
+            let tpool = self
+                .pools
+                .get_mut(&target)
+                .unwrap_or_else(|| panic!("no pool registered for {target}"));
+            if tpool.used_pages >= tpool.capacity_pages {
+                return Err(Error::OutOfPages { device: target, requested_pages: 1, free_pages: 0 });
+            }
+            tpool.used_pages += 1;
+            tpool.peak_used_pages = tpool.peak_used_pages.max(tpool.used_pages);
+            tpool.tenant_bytes += tenant_bytes;
+        }
+        {
+            let spool = self.pools.get_mut(&source).unwrap();
+            spool.used_pages -= 1;
+            spool.tenant_bytes -= tenant_bytes;
+            if spool.open_page == Some(id) {
+                spool.open_page = None;
+            }
+        }
+        self.pages[id.0].move_to(target);
+        // Update the device of tensors fully resident on a single device:
+        // after any page of a tensor moves, the tensor is split across
+        // devices and not compute-ready (device = None, the paper's −1)
+        // until all its pages agree again.
+        let tenant_ids: Vec<TensorId> =
+            self.pages[id.0].tenants().map(|t| t.tensor).collect();
+        for tid in tenant_ids {
+            if let Some(t) = self.tensors.get_mut(&tid) {
+                let devices: Vec<DeviceId> =
+                    t.pages.iter().map(|r| self.pages[r.page.0].device()).collect();
+                t.device = if devices.windows(2).all(|w| w[0] == w[1]) {
+                    devices.first().copied()
+                } else {
+                    None
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// Move a whole tensor to `target`, page by page. Pages shared with
+    /// another tensor cannot move wholesale (they would drag the
+    /// co-tenant); the moving tensor's slice is reallocated on the target
+    /// instead, copying data for backed pages.
+    pub fn move_tensor(&mut self, id: TensorId, target: DeviceId) -> Result<()> {
+        let tensor = self.tensors.get(&id).ok_or(Error::UnknownTensor(id.0))?.clone();
+        if tensor.device == Some(target) {
+            return Ok(());
+        }
+        let shared: Vec<PageRange> = tensor
+            .pages
+            .iter()
+            .copied()
+            .filter(|r| self.pages[r.page.0].num_tenants() > 1)
+            .collect();
+        if shared.is_empty() {
+            for r in &tensor.pages {
+                self.move_page(r.page, target)?;
+            }
+            return Ok(());
+        }
+        // Mixed case: reallocate the whole tensor on the target device.
+        let data = if self.backed { Some(self.read_tensor(id)?) } else { None };
+        let shape = tensor.shape.clone();
+        let dtype = tensor.dtype;
+        self.release_tensor(id)?;
+        let new_id = self.alloc_tensor(shape, dtype, target)?;
+        if let Some(bytes) = data {
+            self.write_tensor(new_id, &bytes)?;
+        }
+        // Preserve the public id: re-key the new tensor under the old id.
+        let mut t = self.tensors.remove(&new_id).unwrap();
+        t.id = id;
+        for r in &t.pages {
+            // Retag tenants in the pages.
+            self.pages[r.page.0].release(new_id)?;
+            let page = &mut self.pages[r.page.0];
+            // Re-allocate under the original id at the same spot: since the
+            // page was just filled bump-style, releasing the most recent
+            // tenant restores available_bytes only if the page emptied;
+            // instead, re-insert directly.
+            page.allocate_at(id, r.offset, r.bytes)?;
+        }
+        self.tensors.insert(id, t);
+        Ok(())
+    }
+
+    /// The paper's `merge()`: re-lay a tensor into exclusively-owned pages
+    /// in order (offset 0 in every page) so its data is logically
+    /// contiguous for computation.
+    pub fn merge_tensor(&mut self, id: TensorId) -> Result<()> {
+        let tensor = self.tensors.get(&id).ok_or(Error::UnknownTensor(id.0))?.clone();
+        if self.tensor_is_merged(&tensor) {
+            return Ok(());
+        }
+        let device = tensor.device.ok_or(Error::WrongDevice { expected: None, actual: None })?;
+        let data = if self.backed { Some(self.read_tensor(id)?) } else { None };
+        self.release_tensor(id)?;
+        // Re-allocate with sharing disabled by temporarily clearing the open
+        // page.
+        let saved_open = self.pools.get_mut(&device).unwrap().open_page.take();
+        let new_id = self.alloc_tensor(tensor.shape.clone(), tensor.dtype, device)?;
+        // Merged tensors never leave an open tail for others either.
+        self.pools.get_mut(&device).unwrap().open_page = saved_open;
+        if let Some(bytes) = data {
+            self.write_tensor(new_id, &bytes)?;
+        }
+        let mut t = self.tensors.remove(&new_id).unwrap();
+        t.id = id;
+        for r in &t.pages {
+            self.pages[r.page.0].release(new_id)?;
+            self.pages[r.page.0].allocate_at(id, r.offset, r.bytes)?;
+        }
+        self.tensors.insert(id, t);
+        Ok(())
+    }
+
+    /// Whether a tensor already satisfies merge's post-condition.
+    pub fn tensor_is_merged(&self, tensor: &Tensor) -> bool {
+        tensor.pages.iter().all(|r| {
+            r.offset == 0 && self.pages[r.page.0].num_tenants() == 1
+        })
+    }
+
+    // ----- backed data access ---------------------------------------------
+
+    /// Write `data` across the tensor's page ranges (backed mode).
+    pub fn write_tensor(&mut self, id: TensorId, data: &[u8]) -> Result<()> {
+        let ranges = self.tensors.get(&id).ok_or(Error::UnknownTensor(id.0))?.pages.clone();
+        let total: u64 = ranges.iter().map(|r| r.bytes).sum();
+        if data.len() as u64 != total {
+            return Err(Error::PageInvariant("write_tensor size mismatch"));
+        }
+        let mut cursor = 0usize;
+        for r in &ranges {
+            let end = cursor + r.bytes as usize;
+            self.pages[r.page.0].write(id, 0, &data[cursor..end])?;
+            cursor = end;
+        }
+        Ok(())
+    }
+
+    /// Read the tensor's bytes across its page ranges (backed mode).
+    pub fn read_tensor(&self, id: TensorId) -> Result<Vec<u8>> {
+        let tensor = self.tensors.get(&id).ok_or(Error::UnknownTensor(id.0))?;
+        let mut out = Vec::with_capacity(tensor.bytes() as usize);
+        for r in &tensor.pages {
+            out.extend_from_slice(self.pages[r.page.0].read(id)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Default for PageAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: u64 = 1024; // small pages for tests
+
+    fn alloc_two_pools() -> PageAllocator {
+        let mut a = PageAllocator::with_page_size(PS, false);
+        a.add_pool(DeviceId::gpu(0), 16 * PS);
+        a.add_pool(DeviceId::CPU, 64 * PS);
+        a
+    }
+
+    #[test]
+    fn small_tensor_gets_own_page() {
+        let mut a = alloc_two_pools();
+        let t1 = a.alloc_tensor_raw(100, DeviceId::gpu(0)).unwrap();
+        let t2 = a.alloc_tensor_raw(100, DeviceId::gpu(0)).unwrap();
+        let p1 = a.tensor(t1).unwrap().pages[0].page;
+        let p2 = a.tensor(t2).unwrap().pages[0].page;
+        assert_ne!(p1, p2);
+        assert_eq!(a.page(p1).num_tenants(), 1);
+        assert_eq!(a.stats(DeviceId::gpu(0)).used_pages, 2);
+    }
+
+    #[test]
+    fn large_tensors_share_boundary_pages() {
+        let mut a = alloc_two_pools();
+        // 2.5 pages, then 2 pages: the second should start in the first's
+        // tail page.
+        let t1 = a.alloc_tensor_raw(PS * 5 / 2, DeviceId::gpu(0)).unwrap();
+        let t2 = a.alloc_tensor_raw(PS * 2, DeviceId::gpu(0)).unwrap();
+        let tail = a.tensor(t1).unwrap().pages.last().unwrap().page;
+        let head = a.tensor(t2).unwrap().pages.first().unwrap().page;
+        assert_eq!(tail, head, "second tensor starts in the open page");
+        assert_eq!(a.page(tail).num_tenants(), 2);
+        // 2.5 + 2 bytes = 4.5 pages of data in 5 page frames.
+        assert_eq!(a.stats(DeviceId::gpu(0)).used_pages, 5);
+    }
+
+    #[test]
+    fn at_most_two_tenants_ever() {
+        let mut a = alloc_two_pools();
+        for _ in 0..4 {
+            a.alloc_tensor_raw(PS * 3 / 2, DeviceId::gpu(0)).unwrap();
+        }
+        for p in 0..a.pages.len() {
+            assert!(a.page(PageId(p)).num_tenants() <= 2);
+        }
+    }
+
+    #[test]
+    fn release_returns_pages_to_free_list() {
+        let mut a = alloc_two_pools();
+        let t = a.alloc_tensor_raw(PS * 3, DeviceId::gpu(0)).unwrap();
+        assert_eq!(a.stats(DeviceId::gpu(0)).used_pages, 3);
+        a.release_tensor(t).unwrap();
+        let s = a.stats(DeviceId::gpu(0));
+        assert_eq!(s.used_pages, 0);
+        assert_eq!(s.tenant_bytes, 0);
+        assert_eq!(s.peak_used_pages, 3);
+        // Reuse: the same frames serve the next allocation.
+        let t2 = a.alloc_tensor_raw(PS * 3, DeviceId::gpu(0)).unwrap();
+        assert_eq!(a.stats(DeviceId::gpu(0)).used_pages, 3);
+        a.release_tensor(t2).unwrap();
+    }
+
+    #[test]
+    fn shared_page_survives_one_release() {
+        let mut a = alloc_two_pools();
+        let t1 = a.alloc_tensor_raw(PS * 3 / 2, DeviceId::gpu(0)).unwrap();
+        let t2 = a.alloc_tensor_raw(PS, DeviceId::gpu(0)).unwrap();
+        let shared = a.tensor(t2).unwrap().pages[0].page;
+        assert_eq!(a.page(shared).num_tenants(), 2);
+        a.release_tensor(t1).unwrap();
+        assert_eq!(a.page(shared).num_tenants(), 1);
+        // One frame freed (t1's exclusive page), shared page still used.
+        assert_eq!(a.stats(DeviceId::gpu(0)).used_pages, 2);
+        a.release_tensor(t2).unwrap();
+        assert_eq!(a.stats(DeviceId::gpu(0)).used_pages, 0);
+    }
+
+    #[test]
+    fn out_of_pages_is_clean_failure() {
+        let mut a = PageAllocator::with_page_size(PS, false);
+        a.add_pool(DeviceId::gpu(0), 2 * PS);
+        let before = a.stats(DeviceId::gpu(0));
+        assert!(matches!(
+            a.alloc_tensor_raw(PS * 3, DeviceId::gpu(0)),
+            Err(Error::OutOfPages { .. })
+        ));
+        assert_eq!(a.stats(DeviceId::gpu(0)), before, "failed alloc must not leak");
+        // But 2 pages still work.
+        assert!(a.alloc_tensor_raw(PS * 2, DeviceId::gpu(0)).is_ok());
+    }
+
+    #[test]
+    fn no_external_fragmentation_by_construction() {
+        // Checkerboard-free the pool: page frames are interchangeable, so a
+        // full-pool-sized tensor still fits afterwards. This is the property
+        // the baselines in angel-memsim lack.
+        let mut a = PageAllocator::with_page_size(PS, false);
+        a.add_pool(DeviceId::gpu(0), 8 * PS);
+        let ts: Vec<_> =
+            (0..8).map(|_| a.alloc_tensor_raw(PS, DeviceId::gpu(0)).unwrap()).collect();
+        for (i, t) in ts.into_iter().enumerate() {
+            if i % 2 == 0 {
+                a.release_tensor(t).unwrap();
+            }
+        }
+        // 4 free frames: a 4-page tensor fits despite the interleaving.
+        assert!(a.alloc_tensor_raw(4 * PS, DeviceId::gpu(0)).is_ok());
+    }
+
+    #[test]
+    fn move_page_updates_pools_and_tensor_device() {
+        let mut a = alloc_two_pools();
+        let t = a.alloc_tensor_raw(PS * 2, DeviceId::gpu(0)).unwrap();
+        let first = a.tensor(t).unwrap().pages[0].page;
+        a.move_page(first, DeviceId::CPU).unwrap();
+        // Split across devices: not compute-ready.
+        assert_eq!(a.tensor(t).unwrap().device, None);
+        assert_eq!(a.tensor(t).unwrap().device_index(), -1);
+        assert_eq!(a.stats(DeviceId::gpu(0)).used_pages, 1);
+        assert_eq!(a.stats(DeviceId::CPU).used_pages, 1);
+        // Move the second page too: ready again, on CPU.
+        let second = a.tensor(t).unwrap().pages[1].page;
+        a.move_page(second, DeviceId::CPU).unwrap();
+        assert_eq!(a.tensor(t).unwrap().device, Some(DeviceId::CPU));
+    }
+
+    #[test]
+    fn move_tensor_exclusive_pages() {
+        let mut a = alloc_two_pools();
+        let t = a.alloc_tensor_raw(PS * 3, DeviceId::gpu(0)).unwrap();
+        a.move_tensor(t, DeviceId::CPU).unwrap();
+        assert_eq!(a.tensor(t).unwrap().device, Some(DeviceId::CPU));
+        assert_eq!(a.stats(DeviceId::gpu(0)).used_pages, 0);
+        assert_eq!(a.stats(DeviceId::CPU).used_pages, 3);
+    }
+
+    #[test]
+    fn move_tensor_with_shared_page_reallocates() {
+        let mut a = alloc_two_pools();
+        let t1 = a.alloc_tensor_raw(PS * 3 / 2, DeviceId::gpu(0)).unwrap();
+        let t2 = a.alloc_tensor_raw(PS * 3 / 2, DeviceId::gpu(0)).unwrap(); // shares t1's tail
+        a.move_tensor(t2, DeviceId::CPU).unwrap();
+        let t2t = a.tensor(t2).unwrap();
+        assert_eq!(t2t.device, Some(DeviceId::CPU));
+        assert_eq!(t2t.bytes(), PS * 3 / 2);
+        // t1 untouched on GPU.
+        assert_eq!(a.tensor(t1).unwrap().device, Some(DeviceId::gpu(0)));
+        // The formerly shared page now has one tenant.
+        let t1_tail = a.tensor(t1).unwrap().pages.last().unwrap().page;
+        assert_eq!(a.page(t1_tail).num_tenants(), 1);
+    }
+
+    #[test]
+    fn move_page_to_full_pool_fails() {
+        let mut a = PageAllocator::with_page_size(PS, false);
+        a.add_pool(DeviceId::gpu(0), 4 * PS);
+        a.add_pool(DeviceId::CPU, PS);
+        let _cpu_t = a.alloc_tensor_raw(PS, DeviceId::CPU).unwrap();
+        let t = a.alloc_tensor_raw(PS, DeviceId::gpu(0)).unwrap();
+        let p = a.tensor(t).unwrap().pages[0].page;
+        assert!(matches!(a.move_page(p, DeviceId::CPU), Err(Error::OutOfPages { .. })));
+        // Source accounting intact.
+        assert_eq!(a.stats(DeviceId::gpu(0)).used_pages, 1);
+    }
+
+    #[test]
+    fn merge_makes_pages_exclusive_and_zero_offset() {
+        let mut a = alloc_two_pools();
+        let _t1 = a.alloc_tensor_raw(PS * 3 / 2, DeviceId::gpu(0)).unwrap();
+        let t2 = a.alloc_tensor_raw(PS * 2, DeviceId::gpu(0)).unwrap();
+        assert!(!a.tensor_is_merged(a.tensor(t2).unwrap()));
+        a.merge_tensor(t2).unwrap();
+        let t2t = a.tensor(t2).unwrap().clone();
+        assert!(a.tensor_is_merged(&t2t));
+        assert_eq!(t2t.bytes(), PS * 2);
+        assert_eq!(t2t.pages.len(), 2);
+    }
+
+    #[test]
+    fn backed_data_survives_moves_and_merges() {
+        let mut a = PageAllocator::with_page_size(64, true);
+        a.add_pool(DeviceId::gpu(0), 64 * 16);
+        a.add_pool(DeviceId::CPU, 64 * 16);
+        let t1 = a.alloc_tensor_raw(96, DeviceId::gpu(0)).unwrap();
+        let t2 = a.alloc_tensor_raw(96, DeviceId::gpu(0)).unwrap(); // shares page
+        let payload: Vec<u8> = (0..96).map(|i| i as u8).collect();
+        a.write_tensor(t2, &payload).unwrap();
+        a.move_tensor(t2, DeviceId::CPU).unwrap(); // forced reallocation path
+        assert_eq!(a.read_tensor(t2).unwrap(), payload);
+        a.merge_tensor(t2).unwrap();
+        assert_eq!(a.read_tensor(t2).unwrap(), payload);
+        let _ = t1;
+    }
+
+    #[test]
+    fn tenant_bytes_accounting_through_page_moves() {
+        let mut a = alloc_two_pools();
+        let t = a.alloc_tensor_raw(PS * 2, DeviceId::gpu(0)).unwrap();
+        assert_eq!(a.stats(DeviceId::gpu(0)).tenant_bytes, PS * 2);
+        for r in a.tensor(t).unwrap().pages.clone() {
+            a.move_page(r.page, DeviceId::CPU).unwrap();
+        }
+        assert_eq!(a.stats(DeviceId::gpu(0)).tenant_bytes, 0);
+        assert_eq!(a.stats(DeviceId::CPU).tenant_bytes, PS * 2);
+        a.release_tensor(t).unwrap();
+        assert_eq!(a.stats(DeviceId::CPU).tenant_bytes, 0);
+    }
+
+    #[test]
+    fn internal_frag_reported() {
+        let mut a = alloc_two_pools();
+        // A small tensor wastes most of its page.
+        a.alloc_tensor_raw(64, DeviceId::gpu(0)).unwrap();
+        let s = a.stats(DeviceId::gpu(0));
+        assert!((s.internal_frag() - (1.0 - 64.0 / PS as f64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn typed_allocation() {
+        let mut a = alloc_two_pools();
+        let t = a.alloc_tensor(vec![16, 16], DType::Single, DeviceId::CPU).unwrap();
+        assert_eq!(a.tensor(t).unwrap().bytes(), 1024);
+        assert_eq!(a.tensor(t).unwrap().shape, vec![16, 16]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random operation against the allocator.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Alloc { bytes: u64, gpu: bool },
+        Release { pick: usize },
+        MoveTensor { pick: usize, to_gpu: bool },
+        MovePage { pick: usize, to_gpu: bool },
+        Merge { pick: usize },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (1u64..5_000, any::<bool>()).prop_map(|(bytes, gpu)| Op::Alloc { bytes, gpu }),
+            (any::<usize>()).prop_map(|pick| Op::Release { pick }),
+            (any::<usize>(), any::<bool>())
+                .prop_map(|(pick, to_gpu)| Op::MoveTensor { pick, to_gpu }),
+            (any::<usize>(), any::<bool>())
+                .prop_map(|(pick, to_gpu)| Op::MovePage { pick, to_gpu }),
+            (any::<usize>()).prop_map(|pick| Op::Merge { pick }),
+        ]
+    }
+
+    /// Global invariants after any operation sequence:
+    /// * every page holds ≤ 2 tenants;
+    /// * per-pool used_pages never exceeds capacity, and tenant bytes never
+    ///   exceed used_pages × page_size;
+    /// * every live tensor's ranges sum to its byte size, and its
+    ///   device/None state is consistent with its pages' devices.
+    fn check_invariants(a: &PageAllocator, live: &[TensorId]) {
+        for d in [DeviceId::gpu(0), DeviceId::CPU] {
+            let s = a.stats(d);
+            assert!(s.used_pages <= s.capacity_pages);
+            assert!(s.tenant_bytes <= s.used_pages as u64 * s.page_size);
+            assert!(s.peak_used_pages >= s.used_pages);
+        }
+        for &t in live {
+            let tensor = a.tensor(t).expect("live tensor resolvable");
+            assert_eq!(tensor.allocated_bytes(), tensor.bytes());
+            let devices: Vec<DeviceId> =
+                tensor.pages.iter().map(|r| a.page(r.page).device()).collect();
+            for r in &tensor.pages {
+                assert!(a.page(r.page).num_tenants() <= 2);
+                assert!(a.page(r.page).tenant_of(t).is_some());
+            }
+            let uniform = devices.windows(2).all(|w| w[0] == w[1]);
+            match tensor.device {
+                Some(dev) => {
+                    assert!(uniform && devices.first() == Some(&dev), "device mismatch")
+                }
+                None => assert!(!uniform, "split tensor must report not-ready"),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn allocator_invariants_hold_under_random_ops(
+            ops in proptest::collection::vec(op_strategy(), 1..80)
+        ) {
+            const PS: u64 = 1024;
+            let mut a = PageAllocator::with_page_size(PS, false);
+            a.add_pool(DeviceId::gpu(0), 24 * PS);
+            a.add_pool(DeviceId::CPU, 48 * PS);
+            let mut live: Vec<TensorId> = Vec::new();
+
+            for op in ops {
+                match op {
+                    Op::Alloc { bytes, gpu } => {
+                        let dev = if gpu { DeviceId::gpu(0) } else { DeviceId::CPU };
+                        if let Ok(t) = a.alloc_tensor_raw(bytes, dev) {
+                            live.push(t);
+                        }
+                    }
+                    Op::Release { pick } if !live.is_empty() => {
+                        let t = live.swap_remove(pick % live.len());
+                        a.release_tensor(t).unwrap();
+                    }
+                    Op::MoveTensor { pick, to_gpu } if !live.is_empty() => {
+                        let t = live[pick % live.len()];
+                        let dev = if to_gpu { DeviceId::gpu(0) } else { DeviceId::CPU };
+                        // May fail when the target pool is full: must be clean.
+                        let _ = a.move_tensor(t, dev);
+                    }
+                    Op::MovePage { pick, to_gpu } if !live.is_empty() => {
+                        let t = live[pick % live.len()];
+                        let dev = if to_gpu { DeviceId::gpu(0) } else { DeviceId::CPU };
+                        let page = a.tensor(t).unwrap().pages[0].page;
+                        let _ = a.move_page(page, dev);
+                    }
+                    Op::Merge { pick } if !live.is_empty() => {
+                        let t = live[pick % live.len()];
+                        // Merge requires a compute-ready (single-device) tensor.
+                        if a.tensor(t).unwrap().device.is_some() {
+                            a.merge_tensor(t).unwrap();
+                            prop_assert!(a.tensor_is_merged(a.tensor(t).unwrap()));
+                        }
+                    }
+                    _ => {}
+                }
+                check_invariants(&a, &live);
+            }
+
+            // Drain: everything releases and both pools return to empty.
+            for t in live.drain(..) {
+                a.release_tensor(t).unwrap();
+            }
+            for d in [DeviceId::gpu(0), DeviceId::CPU] {
+                prop_assert_eq!(a.stats(d).used_pages, 0);
+                prop_assert_eq!(a.stats(d).tenant_bytes, 0);
+            }
+        }
+
+        #[test]
+        fn backed_data_integrity_under_churn(
+            seeds in proptest::collection::vec((1u64..300, any::<bool>()), 1..24)
+        ) {
+            const PS: u64 = 64;
+            let mut a = PageAllocator::with_page_size(PS, true);
+            a.add_pool(DeviceId::gpu(0), 64 * PS);
+            a.add_pool(DeviceId::CPU, 64 * PS);
+            let mut live: Vec<(TensorId, Vec<u8>)> = Vec::new();
+            for (i, (bytes, mv)) in seeds.into_iter().enumerate() {
+                if let Ok(t) = a.alloc_tensor_raw(bytes, DeviceId::gpu(0)) {
+                    let payload: Vec<u8> =
+                        (0..bytes).map(|j| (i as u64 * 37 + j) as u8).collect();
+                    a.write_tensor(t, &payload).unwrap();
+                    live.push((t, payload));
+                }
+                if mv && !live.is_empty() {
+                    let (t, _) = live[i % live.len()];
+                    let _ = a.move_tensor(t, DeviceId::CPU);
+                }
+                // All payloads intact after every step.
+                for (t, expected) in &live {
+                    prop_assert_eq!(&a.read_tensor(*t).unwrap(), expected);
+                }
+            }
+        }
+    }
+}

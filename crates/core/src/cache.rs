@@ -1,0 +1,128 @@
+//! The dynamic GPU cache of optimizer states — Section 4.2's caching
+//! technique.
+//!
+//! "If sufficient space is available, we reserve a portion of the GPU memory
+//! as the cache to store a segment of the CPU's optimizer states.
+//! Additionally, we move the relevant CPU computations to the GPUs, which
+//! reduces memory transfers and accelerates computation ... we dynamically
+//! make cache size decisions for each model based on its tensor lifetime
+//! information, ensuring training without encountering GPU out-of-memory
+//! errors."
+//!
+//! This module takes the Unified Scheduler's planned peak (which already
+//! reflects tensor lifetimes) and sizes the cache to fill the remaining GPU
+//! memory, at page granularity, with a configurable safety margin. Cached
+//! optimizer pages are updated *on the GPU* (HBM-bandwidth-bound), the rest
+//! on the CPU (DDR-bandwidth-bound) — the split the Engine charges to the
+//! simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a cache-sizing decision for one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CachePlan {
+    /// Bytes of optimizer state cached in GPU memory.
+    pub cache_bytes: u64,
+    /// Number of whole pages that fit in the cache.
+    pub cache_pages: usize,
+    /// Fraction of this rank's optimizer states that is cached.
+    pub cached_fraction: f64,
+    /// Optimizer-state bytes updated on the GPU per iteration (the cached
+    /// portion).
+    pub gpu_update_bytes: u64,
+    /// Optimizer-state bytes updated on the CPU per iteration.
+    pub cpu_update_bytes: u64,
+}
+
+/// Size the optimizer-state cache for one rank.
+///
+/// * `gpu_capacity` — the rank's total GPU memory;
+/// * `planned_peak` — the scheduler's peak GPU bytes (params, gathers,
+///   working sets) that the cache must never displace;
+/// * `optim_state_bytes` — the rank's share of FP32 optimizer states;
+/// * `page_size` — cache granularity;
+/// * `safety_margin` — bytes kept free for allocator slack and fragmentation
+///   headroom (the "ensuring training without OOM" clause).
+pub fn plan_cache(
+    gpu_capacity: u64,
+    planned_peak: u64,
+    optim_state_bytes: u64,
+    page_size: u64,
+    safety_margin: u64,
+) -> CachePlan {
+    let spare = gpu_capacity
+        .saturating_sub(planned_peak)
+        .saturating_sub(safety_margin);
+    let cache_pages = (spare / page_size).min(optim_state_bytes.div_ceil(page_size)) as usize;
+    let cache_bytes = (cache_pages as u64 * page_size).min(optim_state_bytes);
+    let cached_fraction = if optim_state_bytes == 0 {
+        0.0
+    } else {
+        cache_bytes as f64 / optim_state_bytes as f64
+    };
+    CachePlan {
+        cache_bytes,
+        cache_pages,
+        cached_fraction,
+        gpu_update_bytes: cache_bytes,
+        cpu_update_bytes: optim_state_bytes - cache_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use angel_hw::{GIB, MIB};
+
+    const PAGE: u64 = 4 * MIB;
+
+    #[test]
+    fn no_spare_no_cache() {
+        let p = plan_cache(40 * GIB, 40 * GIB, 10 * GIB, PAGE, 0);
+        assert_eq!(p.cache_bytes, 0);
+        assert_eq!(p.cpu_update_bytes, 10 * GIB);
+        assert_eq!(p.cached_fraction, 0.0);
+    }
+
+    #[test]
+    fn spare_memory_fills_with_cache() {
+        // 40 GiB GPU, 25 GiB peak, 1 GiB margin → 14 GiB cache.
+        let p = plan_cache(40 * GIB, 25 * GIB, 100 * GIB, PAGE, GIB);
+        assert_eq!(p.cache_bytes, 14 * GIB);
+        assert_eq!(p.gpu_update_bytes, 14 * GIB);
+        assert_eq!(p.cpu_update_bytes, 86 * GIB);
+        assert!((p.cached_fraction - 0.14).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_capped_by_state_size() {
+        // Medium-scale models: "we can store and compute a large portion of
+        // tensors on the GPUs" — here the whole state fits.
+        let p = plan_cache(40 * GIB, 10 * GIB, 8 * GIB, PAGE, 0);
+        assert_eq!(p.cache_bytes, 8 * GIB);
+        assert_eq!(p.cpu_update_bytes, 0);
+        assert_eq!(p.cached_fraction, 1.0);
+    }
+
+    #[test]
+    fn page_granularity() {
+        let p = plan_cache(100 * PAGE, 90 * PAGE + 1, 100 * PAGE, PAGE, 0);
+        // Spare is just under 10 pages → 9 whole pages.
+        assert_eq!(p.cache_pages, 9);
+        assert_eq!(p.cache_bytes, 9 * PAGE);
+    }
+
+    #[test]
+    fn margin_respected() {
+        let with = plan_cache(40 * GIB, 20 * GIB, 100 * GIB, PAGE, 2 * GIB);
+        let without = plan_cache(40 * GIB, 20 * GIB, 100 * GIB, PAGE, 0);
+        assert_eq!(without.cache_bytes - with.cache_bytes, 2 * GIB);
+    }
+
+    #[test]
+    fn zero_state_edge() {
+        let p = plan_cache(40 * GIB, 10 * GIB, 0, PAGE, 0);
+        assert_eq!(p.cache_bytes, 0);
+        assert_eq!(p.cached_fraction, 0.0);
+    }
+}

@@ -1,0 +1,376 @@
+//! The Page abstraction — Figure 3 of the paper.
+//!
+//! A [`Page`] is "the minimum unit of memory operations for heterogeneous
+//! storage, including allocation, release, movement, and remote
+//! communication. Each tensor in the model states is composed of several
+//! pages." The struct mirrors the paper's C-style definition field by field:
+//!
+//! ```c
+//! struct Page {
+//!   void*  data_ptr;
+//!   size_t total_bytes;
+//!   size_t available_bytes;
+//!   size_t device_index;      // {0: GPU, 1: CPU, 2: SSD}
+//!   size_t tensor_id[2];      // ids for tensors in this page
+//!   size_t tensor_bytes[2];   // occupied bytes for each tensor
+//!   void allocate(size_t required_bytes, size_t id);
+//!   void release(size_t id);
+//!   void move(size_t target_device_index);
+//!   void send(size_t id);
+//!   void receive(size_t id);
+//! };
+//! ```
+//!
+//! Two tenancy rules from Section 4.1 are enforced here:
+//! * a page holds **at most two tensors** at any time ("we decide to limit
+//!   each page to contain information about a maximum of two tensors");
+//! * tenants occupy disjoint byte ranges allocated bump-style from offset 0.
+//!
+//! Pages can be *backed* (owning a real `BytesMut` buffer — used by the real
+//! training path and by tests that check data integrity through moves) or
+//! *virtual* (bookkeeping only — used when simulating hundreds of gigabytes
+//! of model states).
+
+use crate::error::{Error, Result};
+use crate::tensor::TensorId;
+use angel_hw::{DeviceId, MIB};
+use bytes::BytesMut;
+
+/// The paper's optimal page size: "the minimum Page size that can fully
+/// utilize the PCIe bandwidth is optimal for our system, i.e., 4MB."
+pub const PAGE_SIZE_DEFAULT: u64 = 4 * MIB;
+
+/// Identifier of a page within a [`crate::PageAllocator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub usize);
+
+/// One tenant entry: a tensor occupying `[offset, offset + bytes)` of the
+/// page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tenant {
+    pub tensor: TensorId,
+    pub offset: u64,
+    pub bytes: u64,
+}
+
+/// The Page of Figure 3.
+#[derive(Debug, Clone)]
+pub struct Page {
+    id: PageId,
+    /// `data_ptr` in the paper: real backing bytes, or `None` when the page
+    /// is virtual (capacity/throughput simulations).
+    data: Option<BytesMut>,
+    /// `total_bytes`.
+    total_bytes: u64,
+    /// `available_bytes` — bytes free for the next allocation (bump
+    /// allocation from the low end).
+    available_bytes: u64,
+    /// `device_index` — where the page currently lives.
+    device: DeviceId,
+    /// `tensor_id[2]` + `tensor_bytes[2]`: at most two tenants.
+    tenants: [Option<Tenant>; 2],
+}
+
+impl Page {
+    /// A virtual page (no backing memory) on `device`.
+    pub fn new_virtual(id: PageId, total_bytes: u64, device: DeviceId) -> Self {
+        assert!(total_bytes > 0);
+        Self { id, data: None, total_bytes, available_bytes: total_bytes, device, tenants: [None, None] }
+    }
+
+    /// A backed page owning `total_bytes` of zeroed real memory.
+    pub fn new_backed(id: PageId, total_bytes: u64, device: DeviceId) -> Self {
+        let mut page = Self::new_virtual(id, total_bytes, device);
+        page.data = Some(BytesMut::zeroed(total_bytes as usize));
+        page
+    }
+
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    pub fn available_bytes(&self) -> u64 {
+        self.available_bytes
+    }
+
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    pub fn is_backed(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// Bytes occupied by tenants.
+    pub fn used_bytes(&self) -> u64 {
+        self.total_bytes - self.available_bytes
+    }
+
+    /// Number of tenants currently in the page (0, 1 or 2).
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Whether the page has no tenants and is fully reusable.
+    pub fn is_free(&self) -> bool {
+        self.num_tenants() == 0
+    }
+
+    pub fn tenants(&self) -> impl Iterator<Item = &Tenant> {
+        self.tenants.iter().flatten()
+    }
+
+    /// The tenant entry for `tensor`, if present.
+    pub fn tenant_of(&self, tensor: TensorId) -> Option<&Tenant> {
+        self.tenants.iter().flatten().find(|t| t.tensor == tensor)
+    }
+
+    /// `allocate(required_bytes, id)`: reserve `required_bytes` for tensor
+    /// `id`, bump-allocated after the existing tenant (if any). Fails when
+    /// the page already has two tenants, the tensor is already resident, or
+    /// space is insufficient.
+    pub fn allocate(&mut self, required_bytes: u64, tensor: TensorId) -> Result<u64> {
+        if required_bytes == 0 || required_bytes > self.available_bytes {
+            return Err(Error::PageInvariant("allocation does not fit in page"));
+        }
+        if self.tenant_of(tensor).is_some() {
+            return Err(Error::PageInvariant("tensor already resident in page"));
+        }
+        let slot = self
+            .tenants
+            .iter()
+            .position(|t| t.is_none())
+            .ok_or(Error::PageInvariant("page already holds two tensors"))?;
+        let offset = self.total_bytes - self.available_bytes;
+        self.tenants[slot] = Some(Tenant { tensor, offset, bytes: required_bytes });
+        self.available_bytes -= required_bytes;
+        Ok(offset)
+    }
+
+    /// Install a tenant at an explicit `[offset, offset + bytes)` range
+    /// without bump allocation — used by the allocator when re-keying a
+    /// freshly laid-out tensor (move/merge paths). The range must lie within
+    /// the already-consumed region left behind by the tenant being replaced.
+    pub(crate) fn allocate_at(&mut self, tensor: TensorId, offset: u64, bytes: u64) -> Result<u64> {
+        if bytes == 0 || offset + bytes > self.total_bytes {
+            return Err(Error::PageInvariant("allocate_at out of bounds"));
+        }
+        if self.tenant_of(tensor).is_some() {
+            return Err(Error::PageInvariant("tensor already resident in page"));
+        }
+        let slot = self
+            .tenants
+            .iter()
+            .position(|t| t.is_none())
+            .ok_or(Error::PageInvariant("page already holds two tensors"))?;
+        self.tenants[slot] = Some(Tenant { tensor, offset, bytes });
+        // Keep the bump cursor past this range.
+        let cursor = self.total_bytes - self.available_bytes;
+        if offset + bytes > cursor {
+            self.available_bytes = self.total_bytes - (offset + bytes);
+        }
+        Ok(offset)
+    }
+
+    /// `release(id)`: drop tensor `id` from the page. When the page becomes
+    /// empty it is fully reusable; while the *other* tenant remains, the
+    /// released range is not reusable (bump allocation) — this bounded,
+    /// transient waste is the price of the two-tenant simplicity and is
+    /// reported as internal fragmentation by the allocator.
+    pub fn release(&mut self, tensor: TensorId) -> Result<()> {
+        let slot = self
+            .tenants
+            .iter()
+            .position(|t| t.map(|t| t.tensor) == Some(tensor))
+            .ok_or(Error::UnknownTensor(tensor.0))?;
+        self.tenants[slot] = None;
+        if self.is_free() {
+            self.available_bytes = self.total_bytes;
+        }
+        Ok(())
+    }
+
+    /// `move(target_device_index)`: relocate the page (bookkeeping; the
+    /// transfer cost is charged by the scheduler/simulator — the paper's
+    /// `move` is likewise asynchronous, the data motion happening on a CUDA
+    /// stream).
+    pub fn move_to(&mut self, target: DeviceId) {
+        self.device = target;
+    }
+
+    /// `send(id)` / `receive(id)`: serialize the page payload for transport
+    /// to another server and install a received payload. Only meaningful for
+    /// backed pages; virtual pages transport metadata only.
+    pub fn send(&self) -> Option<&[u8]> {
+        self.data.as_deref()
+    }
+
+    /// Install `payload` as this page's contents (the receive side of a
+    /// server-to-server transfer).
+    pub fn receive(&mut self, payload: &[u8]) -> Result<()> {
+        let data = self
+            .data
+            .as_mut()
+            .ok_or(Error::PageInvariant("receive() on a virtual page"))?;
+        if payload.len() != data.len() {
+            return Err(Error::PageInvariant("payload size mismatch"));
+        }
+        data.copy_from_slice(payload);
+        Ok(())
+    }
+
+    /// Write `bytes` into the page at the tenant range of `tensor` starting
+    /// at `range_offset` within that range. Backed pages only.
+    pub fn write(&mut self, tensor: TensorId, range_offset: u64, bytes: &[u8]) -> Result<()> {
+        let tenant = *self.tenant_of(tensor).ok_or(Error::UnknownTensor(tensor.0))?;
+        if range_offset + bytes.len() as u64 > tenant.bytes {
+            return Err(Error::PageInvariant("write beyond tenant range"));
+        }
+        let data =
+            self.data.as_mut().ok_or(Error::PageInvariant("write() on a virtual page"))?;
+        let start = (tenant.offset + range_offset) as usize;
+        data[start..start + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Read the tenant range of `tensor` (whole range). Backed pages only.
+    pub fn read(&self, tensor: TensorId) -> Result<&[u8]> {
+        let tenant = *self.tenant_of(tensor).ok_or(Error::UnknownTensor(tensor.0))?;
+        let data = self.data.as_ref().ok_or(Error::PageInvariant("read() on a virtual page"))?;
+        Ok(&data[tenant.offset as usize..(tenant.offset + tenant.bytes) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu0() -> DeviceId {
+        DeviceId::gpu(0)
+    }
+
+    #[test]
+    fn fresh_page_is_empty() {
+        let p = Page::new_virtual(PageId(0), PAGE_SIZE_DEFAULT, gpu0());
+        assert_eq!(p.total_bytes(), 4 * MIB);
+        assert_eq!(p.available_bytes(), 4 * MIB);
+        assert!(p.is_free());
+        assert!(!p.is_backed());
+    }
+
+    #[test]
+    fn two_tenants_bump_allocated() {
+        let mut p = Page::new_virtual(PageId(0), 100, gpu0());
+        let o1 = p.allocate(60, TensorId(1)).unwrap();
+        let o2 = p.allocate(30, TensorId(2)).unwrap();
+        assert_eq!((o1, o2), (0, 60));
+        assert_eq!(p.available_bytes(), 10);
+        assert_eq!(p.num_tenants(), 2);
+    }
+
+    #[test]
+    fn third_tenant_rejected() {
+        let mut p = Page::new_virtual(PageId(0), 100, gpu0());
+        p.allocate(10, TensorId(1)).unwrap();
+        p.allocate(10, TensorId(2)).unwrap();
+        assert!(matches!(
+            p.allocate(10, TensorId(3)),
+            Err(Error::PageInvariant("page already holds two tensors"))
+        ));
+    }
+
+    #[test]
+    fn duplicate_tenant_rejected() {
+        let mut p = Page::new_virtual(PageId(0), 100, gpu0());
+        p.allocate(10, TensorId(1)).unwrap();
+        assert!(p.allocate(10, TensorId(1)).is_err());
+    }
+
+    #[test]
+    fn oversized_allocation_rejected() {
+        let mut p = Page::new_virtual(PageId(0), 100, gpu0());
+        assert!(p.allocate(101, TensorId(1)).is_err());
+        assert!(p.allocate(0, TensorId(1)).is_err());
+        p.allocate(100, TensorId(1)).unwrap();
+        assert!(p.allocate(1, TensorId(2)).is_err());
+    }
+
+    #[test]
+    fn release_last_tenant_resets_page() {
+        let mut p = Page::new_virtual(PageId(0), 100, gpu0());
+        p.allocate(60, TensorId(1)).unwrap();
+        p.allocate(40, TensorId(2)).unwrap();
+        p.release(TensorId(1)).unwrap();
+        // Bump allocation: released low range is not reusable while tensor 2
+        // lives.
+        assert_eq!(p.available_bytes(), 0);
+        assert_eq!(p.num_tenants(), 1);
+        p.release(TensorId(2)).unwrap();
+        assert!(p.is_free());
+        assert_eq!(p.available_bytes(), 100);
+    }
+
+    #[test]
+    fn release_unknown_tensor_errors() {
+        let mut p = Page::new_virtual(PageId(0), 100, gpu0());
+        assert_eq!(p.release(TensorId(9)), Err(Error::UnknownTensor(9)));
+    }
+
+    #[test]
+    fn move_changes_device_only() {
+        let mut p = Page::new_virtual(PageId(0), 100, gpu0());
+        p.allocate(50, TensorId(1)).unwrap();
+        p.move_to(DeviceId::CPU);
+        assert_eq!(p.device(), DeviceId::CPU);
+        assert_eq!(p.used_bytes(), 50);
+        p.move_to(DeviceId::SSD);
+        assert_eq!(p.device(), DeviceId::SSD);
+    }
+
+    #[test]
+    fn backed_page_data_round_trip() {
+        let mut p = Page::new_backed(PageId(0), 128, gpu0());
+        p.allocate(64, TensorId(1)).unwrap();
+        p.allocate(32, TensorId(2)).unwrap();
+        p.write(TensorId(2), 0, &[7u8; 32]).unwrap();
+        p.write(TensorId(1), 8, &[9u8; 8]).unwrap();
+        assert_eq!(p.read(TensorId(2)).unwrap(), &[7u8; 32]);
+        let t1 = p.read(TensorId(1)).unwrap();
+        assert_eq!(&t1[8..16], &[9u8; 8]);
+        assert_eq!(&t1[0..8], &[0u8; 8]);
+    }
+
+    #[test]
+    fn write_beyond_tenant_range_rejected() {
+        let mut p = Page::new_backed(PageId(0), 128, gpu0());
+        p.allocate(16, TensorId(1)).unwrap();
+        assert!(p.write(TensorId(1), 10, &[0u8; 7]).is_err());
+        assert!(p.write(TensorId(1), 0, &[0u8; 16]).is_ok());
+    }
+
+    #[test]
+    fn send_receive_round_trip() {
+        let mut a = Page::new_backed(PageId(0), 64, gpu0());
+        let mut b = Page::new_backed(PageId(1), 64, DeviceId::gpu(1));
+        a.allocate(64, TensorId(1)).unwrap();
+        b.allocate(64, TensorId(1)).unwrap();
+        a.write(TensorId(1), 0, &[42u8; 64]).unwrap();
+        let payload = a.send().unwrap().to_vec();
+        b.receive(&payload).unwrap();
+        assert_eq!(b.read(TensorId(1)).unwrap(), &[42u8; 64]);
+    }
+
+    #[test]
+    fn virtual_page_rejects_data_ops() {
+        let mut p = Page::new_virtual(PageId(0), 64, gpu0());
+        p.allocate(32, TensorId(1)).unwrap();
+        assert!(p.send().is_none());
+        assert!(p.receive(&[0u8; 64]).is_err());
+        assert!(p.write(TensorId(1), 0, &[1]).is_err());
+        assert!(p.read(TensorId(1)).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Failure and recovery — Section 3.1 of the paper.
+//!
+//! "When more GPUs are involved, the Mean Time To Failure (MTTF) is
+//! shortened accordingly. Given the large amount of GPUs and the long
+//! training time, pre-training tasks would encounter GPU failure with a
+//! high probability, and should be restarted after failure."
+//!
+//! This module provides the production math that statement implies:
+//!
+//! * fleet MTTF from per-GPU MTTF (failures are independent exponentials,
+//!   so the fleet rate is the sum of the per-GPU rates);
+//! * checkpoint cost from the model-state volume and the storage bandwidth
+//!   (FP32 master states, the minimal restartable set);
+//! * **goodput** — the fraction of wall-clock spent on useful training —
+//!   under a periodic-checkpoint policy, and the Young–Daly interval that
+//!   maximizes it.
+
+use serde::{Deserialize, Serialize};
+
+/// Failure/recovery parameters for one training job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryModel {
+    /// Number of GPUs in the job.
+    pub gpus: usize,
+    /// Mean time to failure of a single GPU, in hours. Production A100
+    /// fleets report on the order of 5×10⁴–10⁵ hours per accelerator
+    /// (failures here include host, NIC and fabric faults attributed to the
+    /// rank).
+    pub mttf_per_gpu_hours: f64,
+    /// Seconds to write one checkpoint (all FP32 master states to durable
+    /// storage).
+    pub checkpoint_write_secs: f64,
+    /// Seconds to detect a failure, reschedule, reload the last checkpoint
+    /// and resume.
+    pub restart_secs: f64,
+}
+
+impl RecoveryModel {
+    /// Fleet MTTF in seconds: per-GPU MTTF divided by the GPU count.
+    pub fn fleet_mttf_secs(&self) -> f64 {
+        assert!(self.gpus >= 1);
+        self.mttf_per_gpu_hours * 3600.0 / self.gpus as f64
+    }
+
+    /// Expected failures over a run of `hours`.
+    pub fn expected_failures(&self, hours: f64) -> f64 {
+        hours * 3600.0 / self.fleet_mttf_secs()
+    }
+
+    /// The Young–Daly checkpoint interval (seconds between checkpoint
+    /// starts): `sqrt(2 · C · MTTF)` — the first-order optimum when
+    /// `C ≪ MTTF`.
+    pub fn young_daly_interval_secs(&self) -> f64 {
+        (2.0 * self.checkpoint_write_secs * self.fleet_mttf_secs()).sqrt()
+    }
+
+    /// Goodput (useful fraction of wall-clock) under periodic checkpoints
+    /// every `interval` seconds: time lost to (a) checkpoint writes,
+    /// (b) half an interval of re-done work per failure, (c) restart
+    /// downtime per failure.
+    pub fn goodput(&self, interval_secs: f64) -> f64 {
+        assert!(interval_secs > 0.0);
+        let mttf = self.fleet_mttf_secs();
+        let checkpoint_overhead = self.checkpoint_write_secs / interval_secs;
+        let failure_rate = 1.0 / mttf; // failures per second
+        let lost_per_failure =
+            interval_secs / 2.0 + self.restart_secs + self.checkpoint_write_secs;
+        let failure_overhead = failure_rate * lost_per_failure;
+        (1.0 - checkpoint_overhead - failure_overhead).max(0.0)
+    }
+
+    /// Goodput at the Young–Daly interval.
+    pub fn optimal_goodput(&self) -> f64 {
+        self.goodput(self.young_daly_interval_secs())
+    }
+}
+
+/// Checkpoint write time for `state_bytes` of FP32 master states over a
+/// storage channel of `bandwidth` bytes/s shared by `writers` concurrent
+/// writers (e.g. all servers writing to a distributed store, or each server
+/// to its local SSD — then `writers = 1` per-server with per-server bytes).
+pub fn checkpoint_write_secs(state_bytes: u64, bandwidth: u64, writers: usize) -> f64 {
+    assert!(bandwidth > 0 && writers >= 1);
+    state_bytes as f64 / (bandwidth as f64 * writers as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(gpus: usize) -> RecoveryModel {
+        RecoveryModel {
+            gpus,
+            mttf_per_gpu_hours: 50_000.0,
+            checkpoint_write_secs: 120.0,
+            restart_secs: 600.0,
+        }
+    }
+
+    #[test]
+    fn fleet_mttf_shrinks_with_gpus() {
+        // The Section 3.1 observation, quantified.
+        let small = job(8).fleet_mttf_secs();
+        let large = job(768).fleet_mttf_secs();
+        assert!((small / large - 96.0).abs() < 1e-9);
+        // 768 GPUs at 50k hours each: a failure roughly every 2.7 days.
+        assert!((large / 3600.0 - 65.1).abs() < 0.1, "{}", large / 3600.0);
+    }
+
+    #[test]
+    fn expected_failures_over_a_training_run() {
+        // A three-week pre-training run on 768 GPUs sees several failures —
+        // why "should be restarted after failure" matters.
+        let f = job(768).expected_failures(21.0 * 24.0);
+        assert!(f > 5.0 && f < 10.0, "{f}");
+    }
+
+    #[test]
+    fn young_daly_is_the_goodput_optimum() {
+        let m = job(256);
+        let star = m.young_daly_interval_secs();
+        let at_star = m.goodput(star);
+        for factor in [0.25, 0.5, 2.0, 4.0] {
+            assert!(
+                m.goodput(star * factor) <= at_star + 1e-9,
+                "interval {}×: {} vs {}",
+                factor,
+                m.goodput(star * factor),
+                at_star
+            );
+        }
+        assert!(at_star > 0.97, "goodput at optimum should be high: {at_star}");
+    }
+
+    #[test]
+    fn more_gpus_need_more_frequent_checkpoints() {
+        assert!(job(768).young_daly_interval_secs() < job(64).young_daly_interval_secs());
+    }
+
+    #[test]
+    fn checkpoint_time_from_state_volume() {
+        // GPT3-175B FP32 masters+moments ≈ 2.1 TB over 96 servers' SSDs
+        // (3.5 GB/s each): ~6.3 s.
+        let t = checkpoint_write_secs(2_100_000_000_000, 3_500_000_000, 96);
+        assert!((t - 6.25).abs() < 0.1, "{t}");
+    }
+
+    #[test]
+    fn degenerate_goodput_floors_at_zero() {
+        let mut m = job(8);
+        m.mttf_per_gpu_hours = 0.001; // pathological fleet
+        assert_eq!(m.goodput(10.0), 0.0);
+    }
+}

@@ -1,0 +1,666 @@
+//! The Unified Scheduler — Section 4.2 and Algorithm 1 of the paper.
+//!
+//! "The Unified Scheduler takes these statistics [tensor access patterns and
+//! life-times] as input and schedules each operation at the right time during
+//! training ... including calling the Allocator to move tensors, calling the
+//! Executor to perform GPU computations, and calling the Communicator for
+//! inter-GPU communication."
+//!
+//! The algorithm is reproduced with both phases:
+//!
+//! * **Phase 1** seeds the schedule with `move_to_gpu` tasks for every page
+//!   of every layer's parameter shard ("based on our prior knowledge that
+//!   the speed of CPU-GPU data transfer (32GB/s) is slower than that of
+//!   GPU-GPU communication (200GB/s)"), then walks the compute steps in
+//!   order, popping the most recent movement tasks onto a *wait stack*
+//!   whenever the layer at hand would not fit (lines 7–9), emitting
+//!   `all_gather` + `compute` tasks on demand (lines 10–12), and backfilling
+//!   waiting movements as memory frees up (lines 13–15).
+//! * **Phase 2** advances each `all_gather` to the earliest trigger id whose
+//!   resulting peak memory stays within the GPU budget, maximizing the
+//!   overlap between communication and earlier computation (lines 18–21).
+//!
+//! We extend the paper's single pass over layers to the full iteration's
+//! compute-step list (forward 0..n, backward n-1..0), with the trace ids of
+//! [`crate::tracer::Trace`] as trigger ids, so parameter residency is
+//! planned across both passes.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// A planned parameter page: `pages[index]` of `layer`'s local shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PlannedPage {
+    pub layer: usize,
+    pub index: usize,
+    pub bytes: u64,
+}
+
+/// One compute step of the iteration (trigger-id domain of the schedule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepKind {
+    Forward(usize),
+    Backward(usize),
+}
+
+impl StepKind {
+    pub fn layer(self) -> usize {
+        match self {
+            StepKind::Forward(l) | StepKind::Backward(l) => l,
+        }
+    }
+}
+
+/// Task operations emitted by Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskOp {
+    /// Move one parameter-shard page from CPU to GPU over PCIe.
+    MoveToGpu(PlannedPage),
+    /// All-gather the remote shards of one page across the data-parallel
+    /// ranks (plus a CPU fetch when the local shard was never moved in).
+    /// `step` is the compute step this gather feeds.
+    AllGather { page: PlannedPage, step: usize },
+    /// Run a compute step on the GPU.
+    Compute(StepKind),
+}
+
+/// A scheduled task: `{operation, page, trigger_id}` in the paper's wording.
+/// `trigger_id` is the compute-step id at (or after) which the task launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleTask {
+    pub op: TaskOp,
+    pub trigger_id: usize,
+}
+
+/// Per-layer scheduling input distilled from the Tracer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerPlan {
+    pub layer: usize,
+    /// Byte sizes of the pages of this rank's parameter shard (FP16 params
+    /// only — optimizer states stay on CPU/SSD per the Section 4.2 placement
+    /// heuristic unless cached separately).
+    pub shard_pages: Vec<u64>,
+    /// Bytes of the layer's *full* FP16 parameters once gathered.
+    pub full_param_bytes: u64,
+    /// Peak transient bytes of the layer's compute step (activations +
+    /// gradient buffers).
+    pub working_set: u64,
+}
+
+impl LayerPlan {
+    pub fn shard_bytes(&self) -> u64 {
+        self.shard_pages.iter().sum()
+    }
+}
+
+/// Scheduler input: the model plan, the compute-step list, the GPU byte
+/// budget available to model states, and the page size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedulerInput {
+    pub layers: Vec<LayerPlan>,
+    pub steps: Vec<StepKind>,
+    pub gpu_budget: u64,
+    pub page_size: u64,
+    /// Extra GPU bytes pinned at each step independent of this schedule's
+    /// decisions — e.g. accumulated activations of *other* layers when
+    /// recomputation is off. Empty = zero everywhere.
+    pub step_base_load: Vec<u64>,
+}
+
+impl SchedulerInput {
+    /// Compute steps for `n` layers: forward 0..n then backward n-1..0.
+    pub fn default_steps(n: usize) -> Vec<StepKind> {
+        (0..n)
+            .map(StepKind::Forward)
+            .chain((0..n).rev().map(StepKind::Backward))
+            .collect()
+    }
+
+}
+
+/// Aggregate statistics of a schedule, used by reports and the capacity
+/// search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Pages whose `move_to_gpu` survived phase 1 (GPU-resident shard).
+    pub pages_resident: usize,
+    /// Pages evicted through the wait stack and never re-scheduled.
+    pub pages_cpu_bound: usize,
+    /// Peak planned GPU bytes over all steps.
+    pub peak_gpu_bytes: u64,
+    /// Fraction of shard bytes resident on GPU.
+    pub resident_fraction: f64,
+    /// Number of all-gathers whose trigger was advanced in phase 2.
+    pub gathers_advanced: usize,
+}
+
+/// The schedule: ordered tasks plus stats.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schedule {
+    pub tasks: Vec<ScheduleTask>,
+    pub stats: ScheduleStats,
+    pub num_steps: usize,
+}
+
+impl Schedule {
+    /// All tasks with the given trigger id, in emission order.
+    pub fn at_trigger(&self, id: usize) -> impl Iterator<Item = &ScheduleTask> {
+        self.tasks.iter().filter(move |t| t.trigger_id == id)
+    }
+}
+
+/// The Unified Scheduler component. `phase2` enables the all-gather
+/// advancement pass (on in production; the scheduler ablation turns it off).
+/// `prefetch_horizon` caps how many steps before its compute a gather may
+/// launch: advancing further buys no extra overlap once the transfer hides
+/// behind one or two intervening computes, and the memory it would pin is
+/// better spent on the optimizer-state cache (Section 4.2's "dynamically
+/// make cache size decisions ... based on tensor lifetime information").
+#[derive(Debug, Clone)]
+pub struct UnifiedScheduler {
+    pub phase2: bool,
+    pub prefetch_horizon: usize,
+}
+
+impl Default for UnifiedScheduler {
+    fn default() -> Self {
+        Self { phase2: true, prefetch_horizon: 4 }
+    }
+}
+
+/// Incremental residency timeline: planned GPU bytes per compute step,
+/// maintained under range updates so scheduling stays near-linear in
+/// (pages + steps) even for hundred-layer models with 10⁵ shard pages.
+///
+/// `mem[j]` = resident shard bytes live at step `j` + gathered-buffer extras
+/// whose span covers `j` + step `j`'s working set.
+struct Timeline<'a> {
+    input: &'a SchedulerInput,
+    mem: Vec<u64>,
+    /// Bytes of layer `l`'s shard moved at trigger 0 and still scheduled.
+    resident0: Vec<u64>,
+    /// Re-scheduled pages per layer: `(trigger, bytes)`.
+    rescheduled: Vec<Vec<(usize, u64)>>,
+    /// Current all-gather trigger per step (starts just-in-time at `i`).
+    gather_trigger: Vec<usize>,
+    /// Last compute step touching each layer.
+    last_use: Vec<usize>,
+    /// The compute steps of each layer (forward and backward ids).
+    steps_of_layer: Vec<Vec<usize>>,
+}
+
+impl<'a> Timeline<'a> {
+    fn new(input: &'a SchedulerInput) -> Self {
+        let n_steps = input.steps.len();
+        let n_layers = input.layers.len();
+        let mut steps_of_layer = vec![Vec::new(); n_layers];
+        for (j, s) in input.steps.iter().enumerate() {
+            steps_of_layer[s.layer()].push(j);
+        }
+        let last_use: Vec<usize> =
+            steps_of_layer.iter().map(|v| *v.last().expect("layer unused")).collect();
+        let resident0: Vec<u64> = input.layers.iter().map(|l| l.shard_bytes()).collect();
+        let mut mem = vec![0u64; n_steps];
+        // Resident shards: every page starts at trigger 0, live until the
+        // layer's last use.
+        for (l, &bytes) in resident0.iter().enumerate() {
+            for m in mem.iter_mut().take(last_use[l] + 1) {
+                *m += bytes;
+            }
+        }
+        // Per-step working set + just-in-time gather extra (full − resident)
+        // + external base load.
+        for (j, s) in input.steps.iter().enumerate() {
+            let l = s.layer();
+            mem[j] += input.layers[l].working_set;
+            mem[j] += input.layers[l].full_param_bytes.saturating_sub(resident0[l]);
+            if let Some(&base) = input.step_base_load.get(j) {
+                mem[j] += base;
+            }
+        }
+        Self {
+            input,
+            mem,
+            resident0,
+            rescheduled: vec![Vec::new(); n_layers],
+            gather_trigger: (0..n_steps).collect(),
+            last_use,
+            steps_of_layer,
+        }
+    }
+
+    /// Shard bytes of layer `l` resident at step `j`.
+    fn resident(&self, l: usize, j: usize) -> u64 {
+        if j > self.last_use[l] {
+            return 0;
+        }
+        self.resident0[l]
+            + self.rescheduled[l].iter().filter(|(t, _)| *t <= j).map(|(_, b)| b).sum::<u64>()
+    }
+
+    /// Evict a trigger-0 page of layer `l` (phase 1, lines 7–9): the shard
+    /// bytes leave every step, but the layer's own compute steps must now
+    /// gather those bytes remotely, so their totals are unchanged.
+    fn evict(&mut self, l: usize, bytes: u64) {
+        self.resident0[l] -= bytes;
+        for j in 0..=self.last_use[l] {
+            self.mem[j] -= bytes;
+        }
+        for &i in &self.steps_of_layer[l] {
+            self.mem[i] += bytes; // gather extra grows by the same amount
+        }
+    }
+
+    /// Whether re-adding a page of layer `l` at trigger `t` keeps every step
+    /// within budget. Affected steps are `[t, last_use(l)]`, excluding the
+    /// layer's own compute steps at or after `t` (net-zero there).
+    fn readd_fits(&self, l: usize, bytes: u64, t: usize) -> bool {
+        if t > self.last_use[l] {
+            return false; // page would arrive after its layer's last use
+        }
+        let own: &[usize] = &self.steps_of_layer[l];
+        (t..=self.last_use[l]).all(|j| {
+            if own.contains(&j) && j >= t {
+                true
+            } else {
+                self.mem[j] + bytes <= self.input.gpu_budget
+            }
+        })
+    }
+
+    /// Commit a re-add (phase 1, lines 13–15).
+    fn readd(&mut self, l: usize, bytes: u64, t: usize) {
+        debug_assert!(self.readd_fits(l, bytes, t));
+        for j in t..=self.last_use[l] {
+            self.mem[j] += bytes;
+        }
+        for &i in &self.steps_of_layer[l] {
+            if i >= t {
+                self.mem[i] -= bytes; // gather extra shrinks back
+            }
+        }
+        self.rescheduled[l].push((t, bytes));
+    }
+
+    /// Phase 2 (lines 18–21): advance step `i`'s all-gather to the earliest
+    /// trigger that keeps every step within budget. Extending the gather's
+    /// span from `[g, i]` to `[g−1, i]` adds its buffer only at step `g−1`.
+    fn advance_gather(&mut self, i: usize, horizon: usize) -> bool {
+        let l = self.input.steps[i].layer();
+        let extra = self.input.layers[l].full_param_bytes.saturating_sub(self.resident(l, i));
+        let floor = i.saturating_sub(horizon);
+        let mut g = self.gather_trigger[i];
+        let original = g;
+        while g > floor && self.mem[g - 1] + extra <= self.input.gpu_budget {
+            g -= 1;
+            self.mem[g] += extra;
+        }
+        self.gather_trigger[i] = g;
+        g < original
+    }
+
+    fn peak(&self) -> u64 {
+        self.mem.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl UnifiedScheduler {
+    /// Run Algorithm 1 on `input`.
+    ///
+    /// Errors with [`Error::WorkingSetTooLarge`] when some layer cannot run
+    /// even with an empty GPU (gathered parameters + working set exceed the
+    /// budget) — the condition under which the paper's system is also out of
+    /// options without shrinking the batch.
+    pub fn schedule(&self, input: &SchedulerInput) -> Result<Schedule> {
+        assert!(!input.layers.is_empty(), "empty model");
+        let n_steps = input.steps.len();
+
+        // Infeasibility check: a layer must fit with nothing *evictable*
+        // resident (external base load cannot be evicted).
+        for (j, s) in input.steps.iter().enumerate() {
+            let l = &input.layers[s.layer()];
+            let base = input.step_base_load.get(j).copied().unwrap_or(0);
+            let need = l.full_param_bytes + l.working_set + base;
+            if need > input.gpu_budget {
+                return Err(Error::WorkingSetTooLarge {
+                    layer_bytes: need,
+                    gpu_bytes: input.gpu_budget,
+                });
+            }
+        }
+
+        let mut res = Timeline::new(input);
+
+        // ---- Phase 1 ----------------------------------------------------
+        // Lines 3–5: prioritize move_to_gpu for every page, trigger 0. The
+        // movement stack records emission order so line 8 can pop "the last
+        // movement task".
+        let mut move_stack: Vec<PlannedPage> = Vec::new();
+        for (li, layer) in input.layers.iter().enumerate() {
+            for (pi, &bytes) in layer.shard_pages.iter().enumerate() {
+                move_stack.push(PlannedPage { layer: li, index: pi, bytes });
+            }
+        }
+        // Pages re-scheduled later: (page, trigger id).
+        let mut rescheduled: Vec<(PlannedPage, usize)> = Vec::new();
+        let mut wait_stack: Vec<PlannedPage> = Vec::new();
+
+        for i in 0..n_steps {
+            // Lines 7–9: evict (pop) movements until this step fits.
+            // `mem[i]` includes the step's own gather and working set, so
+            // fitting means `mem[i] <= budget`.
+            while res.mem[i] > input.gpu_budget {
+                let victim = match move_stack.pop() {
+                    Some(p) => p,
+                    None => break, // nothing left to evict; gathers must stream
+                };
+                res.evict(victim.layer, victim.bytes);
+                wait_stack.push(victim);
+            }
+
+            // Lines 13–15: backfill waiting pages while memory allows
+            // (checked against every remaining step so later layers still
+            // fit — the trace-driven equivalent of `get_available_memory`).
+            while let Some(&page) = wait_stack.last() {
+                if res.readd_fits(page.layer, page.bytes, i + 1) {
+                    res.readd(page.layer, page.bytes, i + 1);
+                    wait_stack.pop();
+                    rescheduled.push((page, i + 1));
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Lines 10–12 were implicit above: every step gets an all_gather
+        // bundle and a compute task, gathered just-in-time (trigger = i)
+        // until phase 2 advances it.
+
+        // ---- Phase 2 ----------------------------------------------------
+        // Lines 18–21: advance each all_gather to the earliest trigger that
+        // stays within budget.
+        let mut gathers_advanced = 0usize;
+        if self.phase2 {
+            for i in 0..n_steps {
+                if res.advance_gather(i, self.prefetch_horizon) {
+                    gathers_advanced += 1;
+                }
+            }
+        }
+
+        // ---- Emit the task list ------------------------------------------
+        let mut tasks = Vec::new();
+        for page in &move_stack {
+            tasks.push(ScheduleTask { op: TaskOp::MoveToGpu(*page), trigger_id: 0 });
+        }
+        for &(page, trig) in &rescheduled {
+            tasks.push(ScheduleTask { op: TaskOp::MoveToGpu(page), trigger_id: trig });
+        }
+        for (i, step) in input.steps.iter().enumerate() {
+            let l = step.layer();
+            for (pi, &bytes) in input.layers[l].shard_pages.iter().enumerate() {
+                tasks.push(ScheduleTask {
+                    op: TaskOp::AllGather {
+                        page: PlannedPage { layer: l, index: pi, bytes },
+                        step: i,
+                    },
+                    trigger_id: res.gather_trigger[i],
+                });
+            }
+            tasks.push(ScheduleTask { op: TaskOp::Compute(*step), trigger_id: i });
+        }
+        tasks.sort_by_key(|t| t.trigger_id);
+
+        let resident_pages = move_stack.len() + rescheduled.len();
+        let total_pages: usize = input.layers.iter().map(|l| l.shard_pages.len()).sum();
+        let resident_bytes: u64 = move_stack.iter().map(|p| p.bytes).sum::<u64>()
+            + rescheduled.iter().map(|(p, _)| p.bytes).sum::<u64>();
+        let shard_bytes: u64 = input.layers.iter().map(|l| l.shard_bytes()).sum();
+
+        Ok(Schedule {
+            tasks,
+            num_steps: n_steps,
+            stats: ScheduleStats {
+                pages_resident: resident_pages,
+                pages_cpu_bound: total_pages - resident_pages,
+                peak_gpu_bytes: res.peak(),
+                resident_fraction: if shard_bytes == 0 {
+                    0.0
+                } else {
+                    resident_bytes as f64 / shard_bytes as f64
+                },
+                gathers_advanced,
+            },
+        })
+    }
+}
+
+/// Build a [`SchedulerInput`] from a [`crate::tracer::Trace`], a page size,
+/// a data-parallel degree (ZeRO sharding denominator) and the GPU budget.
+pub fn input_from_trace(
+    trace: &crate::tracer::Trace,
+    page_size: u64,
+    dp_degree: usize,
+    gpu_budget: u64,
+) -> SchedulerInput {
+    assert!(dp_degree >= 1);
+    let layers = (0..trace.layers)
+        .map(|l| {
+            let full = trace.layer_param16_bytes(l);
+            let shard = full.div_ceil(dp_degree as u64);
+            let mut pages = Vec::new();
+            let mut rest = shard;
+            while rest > 0 {
+                let take = rest.min(page_size);
+                pages.push(take);
+                rest -= take;
+            }
+            LayerPlan {
+                layer: l,
+                shard_pages: pages,
+                full_param_bytes: full,
+                working_set: trace.layer_working_set(l),
+            }
+        })
+        .collect();
+    // Without recomputation, every layer's activations stay live from its
+    // forward to its backward; that accumulated load is outside this
+    // schedule's control but must constrain it.
+    let steps = SchedulerInput::default_steps(trace.layers);
+    let step_base_load = if trace.recompute {
+        Vec::new()
+    } else {
+        steps
+            .iter()
+            .enumerate()
+            .map(|(j, s)| {
+                (0..trace.layers)
+                    .filter(|&l| l != s.layer() && trace.forward_id(l) <= j && j <= trace.backward_id(l))
+                    .map(|l| trace.layer_activation_bytes(l))
+                    .sum()
+            })
+            .collect()
+    };
+    SchedulerInput { layers, steps, gpu_budget, page_size, step_base_load }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A uniform toy model with hand-checkable numbers.
+    fn toy(n: usize, pages_per_layer: usize, page_bytes: u64, ws: u64, budget: u64) -> SchedulerInput {
+        let layers = (0..n)
+            .map(|l| LayerPlan {
+                layer: l,
+                shard_pages: vec![page_bytes; pages_per_layer],
+                full_param_bytes: page_bytes * pages_per_layer as u64,
+                working_set: ws,
+            })
+            .collect();
+        SchedulerInput {
+            layers,
+            steps: SchedulerInput::default_steps(n),
+            gpu_budget: budget,
+            page_size: page_bytes,
+            step_base_load: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn everything_resident_when_memory_ample() {
+        // 4 layers × 2 pages × 10 B = 80 B of shards, budget 1000.
+        let input = toy(4, 2, 10, 5, 1000);
+        let s = UnifiedScheduler::default().schedule(&input).unwrap();
+        assert_eq!(s.stats.pages_cpu_bound, 0);
+        assert_eq!(s.stats.pages_resident, 8);
+        assert!((s.stats.resident_fraction - 1.0).abs() < 1e-12);
+        let moves: Vec<_> =
+            s.tasks.iter().filter(|t| matches!(t.op, TaskOp::MoveToGpu(_))).collect();
+        assert_eq!(moves.len(), 8);
+        assert!(moves.iter().all(|t| t.trigger_id == 0));
+    }
+
+    #[test]
+    fn compute_tasks_in_step_order() {
+        let input = toy(3, 1, 10, 0, 1000);
+        let s = UnifiedScheduler::default().schedule(&input).unwrap();
+        let computes: Vec<_> = s
+            .tasks
+            .iter()
+            .filter_map(|t| match t.op {
+                TaskOp::Compute(k) => Some((k, t.trigger_id)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(computes.len(), 6);
+        assert_eq!(computes[0], (StepKind::Forward(0), 0));
+        assert_eq!(computes[5], (StepKind::Backward(0), 5));
+    }
+
+    #[test]
+    fn memory_pressure_evicts_pages() {
+        // Each layer: 4 pages × 10 B = 40 B full params; ws 10. Budget 120:
+        // cannot hold all 3 layers' shards (120 B) plus working sets.
+        let input = toy(3, 4, 10, 10, 120);
+        let s = UnifiedScheduler::default().schedule(&input).unwrap();
+        assert!(s.stats.pages_cpu_bound > 0, "must evict under pressure");
+        assert!(s.stats.peak_gpu_bytes <= 120);
+        assert!(s.stats.resident_fraction < 1.0);
+    }
+
+    #[test]
+    fn peak_never_exceeds_budget_when_feasible() {
+        for budget in [60, 90, 150, 400] {
+            let input = toy(4, 3, 10, 15, budget);
+            let s = UnifiedScheduler::default().schedule(&input).unwrap();
+            assert!(
+                s.stats.peak_gpu_bytes <= budget,
+                "budget {budget}: peak {}",
+                s.stats.peak_gpu_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_layer_detected() {
+        // One layer needs 40 + 100 = 140 > 100 budget even alone.
+        let input = toy(2, 4, 10, 100, 100);
+        assert!(matches!(
+            UnifiedScheduler::default().schedule(&input),
+            Err(Error::WorkingSetTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn phase2_advances_gathers_when_memory_allows() {
+        let input = toy(4, 2, 10, 5, 1000);
+        let s = UnifiedScheduler::default().schedule(&input).unwrap();
+        // With ample memory every gather advances to the prefetch horizon.
+        for t in &s.tasks {
+            if let TaskOp::AllGather { step, .. } = t.op {
+                assert_eq!(t.trigger_id, step.saturating_sub(4), "step {step}");
+            }
+        }
+        assert!(s.stats.gathers_advanced > 0);
+        // An unbounded horizon drags everything to trigger 0.
+        let deep = UnifiedScheduler { phase2: true, prefetch_horizon: usize::MAX }
+            .schedule(&input)
+            .unwrap();
+        let gathers: Vec<_> =
+            deep.tasks.iter().filter(|t| matches!(t.op, TaskOp::AllGather { .. })).collect();
+        assert!(gathers.iter().all(|t| t.trigger_id == 0));
+    }
+
+    #[test]
+    fn phase2_respects_budget() {
+        // Sharded layers (shard 20 of full 40): gathers cost real memory,
+        // so under a tight budget they can only be advanced a little.
+        let mut input = toy(4, 2, 10, 10, 120);
+        for l in &mut input.layers {
+            l.full_param_bytes = 40;
+        }
+        let s = UnifiedScheduler::default().schedule(&input).unwrap();
+        assert!(s.stats.peak_gpu_bytes <= 120);
+        let g0 = s
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.op, TaskOp::AllGather { .. }) && t.trigger_id == 0)
+            .count();
+        let total_g =
+            s.tasks.iter().filter(|t| matches!(t.op, TaskOp::AllGather { .. })).count();
+        assert!(g0 < total_g, "g0={g0} total={total_g}");
+    }
+
+    #[test]
+    fn tasks_sorted_by_trigger() {
+        let input = toy(5, 3, 10, 10, 200);
+        let s = UnifiedScheduler::default().schedule(&input).unwrap();
+        assert!(s.tasks.windows(2).all(|w| w[0].trigger_id <= w[1].trigger_id));
+    }
+
+    #[test]
+    fn input_from_trace_wires_up() {
+        let cfg = angel_model::TransformerConfig::gpt3_1_7b()
+            .with_layers(2)
+            .with_seq_len(128);
+        let trace = crate::tracer::Tracer::default().trace(&cfg, 1, true);
+        let input = input_from_trace(&trace, crate::PAGE_SIZE_DEFAULT, 8, 1 << 33);
+        assert_eq!(input.layers.len(), 2);
+        assert_eq!(input.steps.len(), 4);
+        // Shard = full/8 rounded up into 4 MiB pages.
+        let full = trace.layer_param16_bytes(0);
+        let shard: u64 = input.layers[0].shard_pages.iter().sum();
+        assert!(shard >= full / 8 && shard < full / 8 + crate::PAGE_SIZE_DEFAULT);
+        let s = UnifiedScheduler::default().schedule(&input).unwrap();
+        assert!(s.stats.peak_gpu_bytes <= input.gpu_budget);
+    }
+
+    #[test]
+    fn more_budget_means_more_residency() {
+        let tight = UnifiedScheduler::default().schedule(&toy(6, 4, 10, 10, 100)).unwrap();
+        let roomy = UnifiedScheduler::default().schedule(&toy(6, 4, 10, 10, 400)).unwrap();
+        assert!(roomy.stats.resident_fraction >= tight.stats.resident_fraction);
+        assert!(roomy.stats.pages_cpu_bound <= tight.stats.pages_cpu_bound);
+    }
+
+    #[test]
+    fn evicted_pages_can_be_rescheduled_later() {
+        // Big early layers force eviction; after backward passes them, the
+        // freed memory lets waiting pages return (lines 13–15).
+        let mut input = toy(4, 2, 10, 4, 70);
+        // Make layer 0 huge so early steps are tight.
+        input.layers[0].shard_pages = vec![10; 4];
+        input.layers[0].full_param_bytes = 40;
+        let s = UnifiedScheduler::default().schedule(&input).unwrap();
+        let late_moves = s
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.op, TaskOp::MoveToGpu(_)) && t.trigger_id > 0)
+            .count();
+        // Either everything fit up front, or some moves happen later — but
+        // the budget must hold regardless.
+        assert!(s.stats.peak_gpu_bytes <= 70);
+        let _ = late_moves;
+    }
+}

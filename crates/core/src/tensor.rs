@@ -1,0 +1,165 @@
+//! The Tensor structure — Figure 4 of the paper.
+//!
+//! ```c
+//! struct Tensor {
+//!   size_t id;
+//!   vector<Page> page_list;
+//!   size_t dtype;
+//!   size_t* shape;
+//!   size_t device_index;   // -1 when not ready for computation
+//!   void allocate(size_t* shape, size_t dtype);
+//!   void release();
+//!   void move(size_t target_device_index);
+//!   void merge();
+//! };
+//! ```
+//!
+//! In this Rust port the tensor does not *own* its pages (pages live in the
+//! [`crate::PageAllocator`] arena, since one page can be shared by two
+//! tensors); it holds their ids plus its range within each. The paper's
+//! footnote — "we set the device index as -1 when the tensor is not ready
+//! for computation (i.e., some of its pages need to be fetched from
+//! heterogeneous memory or other servers)" — maps onto `Option<DeviceId>`.
+
+use crate::page::PageId;
+use angel_hw::DeviceId;
+use serde::{Deserialize, Serialize};
+
+/// Unique tensor identifier. The paper assigns these by hooking parameter
+/// construction ("we modify the `__init__` method of the Parameter class to
+/// use a global variable id").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TensorId(pub usize);
+
+/// Element data types the memory manager cares about (it only needs sizes;
+/// real arithmetic lives in `angel-train`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// Raw bytes (untyped buffers, e.g. serialized pages in flight).
+    Byte,
+    /// 2-byte half precision (FP16 or BF16).
+    Half,
+    /// 4-byte single precision.
+    Single,
+}
+
+impl DType {
+    pub fn bytes(self) -> u64 {
+        match self {
+            DType::Byte => 1,
+            DType::Half => 2,
+            DType::Single => 4,
+        }
+    }
+}
+
+/// A tensor's slice of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRange {
+    pub page: PageId,
+    /// Byte offset of this range within the page.
+    pub offset: u64,
+    /// Bytes of this tensor stored in the page.
+    pub bytes: u64,
+}
+
+/// The Tensor of Figure 4.
+#[derive(Debug, Clone)]
+pub struct Tensor {
+    pub id: TensorId,
+    /// `page_list`: the pages composing this tensor, in element order.
+    pub pages: Vec<PageRange>,
+    pub dtype: DType,
+    pub shape: Vec<usize>,
+    /// `device_index`: `None` = the paper's −1, "not ready for computation".
+    pub device: Option<DeviceId>,
+}
+
+impl Tensor {
+    /// Metadata-only constructor; page ranges are attached by
+    /// [`crate::PageAllocator::alloc_tensor`].
+    pub fn new(id: TensorId, shape: Vec<usize>, dtype: DType) -> Self {
+        Self { id, pages: Vec::new(), dtype, shape, device: None }
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> u64 {
+        self.shape.iter().map(|&d| d as u64).product()
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.numel() * self.dtype.bytes()
+    }
+
+    /// Bytes currently covered by page ranges (equals [`Tensor::bytes`] once
+    /// allocated).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.pages.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Whether the tensor's data is materialized in pages.
+    pub fn is_allocated(&self) -> bool {
+        !self.pages.is_empty()
+    }
+
+    /// The paper's `device_index` with its −1 convention.
+    pub fn device_index(&self) -> isize {
+        match self.device {
+            Some(d) => d.kind.code() as isize,
+            None => -1,
+        }
+    }
+
+    /// Whether all pages sit on one device and the tensor is compute-ready.
+    pub fn is_ready(&self) -> bool {
+        self.device.is_some()
+    }
+
+    /// Whether the tensor occupies a contiguous range of a single page —
+    /// the post-condition of the paper's `merge()`.
+    pub fn is_contiguous(&self) -> bool {
+        self.pages.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_from_shape_and_dtype() {
+        let t = Tensor::new(TensorId(0), vec![128, 256], DType::Half);
+        assert_eq!(t.numel(), 32768);
+        assert_eq!(t.bytes(), 65536);
+        let t = Tensor::new(TensorId(1), vec![10], DType::Single);
+        assert_eq!(t.bytes(), 40);
+    }
+
+    #[test]
+    fn device_index_sentinel() {
+        let mut t = Tensor::new(TensorId(0), vec![4], DType::Half);
+        assert_eq!(t.device_index(), -1);
+        assert!(!t.is_ready());
+        t.device = Some(DeviceId::gpu(3));
+        assert_eq!(t.device_index(), 0); // GPU code
+        t.device = Some(DeviceId::SSD);
+        assert_eq!(t.device_index(), 2);
+        assert!(t.is_ready());
+    }
+
+    #[test]
+    fn unallocated_tensor_state() {
+        let t = Tensor::new(TensorId(0), vec![4, 4], DType::Single);
+        assert!(!t.is_allocated());
+        assert_eq!(t.allocated_bytes(), 0);
+        assert!(t.is_contiguous()); // vacuously
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let t = Tensor::new(TensorId(0), vec![], DType::Single);
+        assert_eq!(t.numel(), 1); // empty product
+        assert_eq!(t.bytes(), 4);
+    }
+}

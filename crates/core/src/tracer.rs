@@ -1,0 +1,383 @@
+//! The Tracer — Section 5 of the paper.
+//!
+//! "The Tracer in Angel-PTM is responsible for tracking the usage of each
+//! tensor and summarizing a tensor access pattern for the given model as a
+//! list of following elements: `tensor_id`, `first_id` (the logical ID when
+//! first accessing this tensor), `end_id` (the logical ID when last
+//! accessing this tensor), `cpu_time`, `gpu_time`."
+//!
+//! The production system obtains these by hooking parameter construction and
+//! registering forward/backward hooks over one profiled iteration. Here the
+//! iteration is replayed *symbolically*: training is iterative (Section 4.2,
+//! "the training of deep learning models is iterative by nature"), so one
+//! replay of the op list — forward over all layers, backward in reverse,
+//! optimizer updates — yields the exact access pattern of every subsequent
+//! iteration. Logical IDs index into that op list ("using logical IDs
+//! instead of real-time for lifetime tracking simplifies the scheduling
+//! process").
+
+use angel_model::{layer_inventory, TensorClass, TensorSpec, TransformerConfig};
+use angel_sim::compute::{CpuUpdateModel, GpuComputeModel};
+use serde::{Deserialize, Serialize};
+
+/// One step of the symbolic iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Forward computation of layer `l`.
+    Forward(usize),
+    /// Backward computation of layer `l` (includes recomputation when
+    /// enabled).
+    Backward(usize),
+    /// Optimizer update of layer `l` (scheduled after backward produces the
+    /// layer's gradients).
+    Update(usize),
+}
+
+impl OpKind {
+    pub fn layer(self) -> usize {
+        match self {
+            OpKind::Forward(l) | OpKind::Backward(l) | OpKind::Update(l) => l,
+        }
+    }
+}
+
+/// The access pattern of one tensor, exactly the record listed in Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorTrace {
+    /// The logical ID of this tensor (index into the traced inventory).
+    pub tensor_id: usize,
+    /// The logical ID when first accessing this tensor.
+    pub first_id: usize,
+    /// The logical ID when last accessing this tensor.
+    pub end_id: usize,
+    /// The time for producing this tensor on CPU (ns).
+    pub cpu_time: u64,
+    /// The time for producing this tensor on GPU (ns).
+    pub gpu_time: u64,
+}
+
+impl TensorTrace {
+    /// Life-time in logical IDs: "the duration from its first access time to
+    /// its last access time within a training iteration".
+    pub fn lifetime(&self) -> usize {
+        self.end_id - self.first_id
+    }
+
+    /// Whether the tensor is live at logical id `id`.
+    pub fn live_at(&self, id: usize) -> bool {
+        self.first_id <= id && id <= self.end_id
+    }
+}
+
+/// Everything the Unified Scheduler needs about one model: the op list, the
+/// inventory, and per-tensor traces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    pub ops: Vec<OpKind>,
+    pub inventory: Vec<TensorSpec>,
+    pub tensors: Vec<TensorTrace>,
+    pub layers: usize,
+    pub recompute: bool,
+}
+
+impl Trace {
+    /// Logical id of the forward op of layer `l`.
+    pub fn forward_id(&self, l: usize) -> usize {
+        l
+    }
+
+    /// Logical id of the backward op of layer `l` (backward runs in reverse
+    /// layer order right after the last forward).
+    pub fn backward_id(&self, l: usize) -> usize {
+        2 * self.layers - 1 - l
+    }
+
+    /// Logical id of the update op of layer `l`. Updates are emitted in
+    /// backward (reverse-layer) order, mirroring Algorithm 2's updating
+    /// thread ("for l_i ∈ reverse(model)").
+    pub fn update_id(&self, l: usize) -> usize {
+        2 * self.layers + (self.layers - 1 - l)
+    }
+
+    /// Bytes of model-state tensors belonging to layer `l` that must be
+    /// GPU-resident for its forward/backward (FP16 params).
+    pub fn layer_param16_bytes(&self, l: usize) -> u64 {
+        self.inventory
+            .iter()
+            .filter(|t| t.layer == l && t.class == TensorClass::Param16)
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Split of layer `l`'s FP16 parameter bytes into (non-expert,
+    /// expert) parts. Under expert parallelism the expert part is *local*
+    /// to each rank (sharded by routing, never gathered), while the
+    /// non-expert part is ZeRO-sharded and gathered per use.
+    pub fn layer_param16_split(&self, l: usize) -> (u64, u64) {
+        let mut dense = 0;
+        let mut expert = 0;
+        for t in self
+            .inventory
+            .iter()
+            .filter(|t| t.layer == l && t.class == TensorClass::Param16)
+        {
+            if t.name.contains("expert") {
+                expert += t.bytes;
+            } else {
+                dense += t.bytes;
+            }
+        }
+        (dense, expert)
+    }
+
+    /// Peak transient working set of layer `l` on the GPU: activations it
+    /// produces (bounded to the layer when recomputation is on) plus its
+    /// gradient buffer.
+    pub fn layer_working_set(&self, l: usize) -> u64 {
+        self.layer_activation_bytes(l) + self.layer_grad16_split(l).0
+            + self.layer_grad16_split(l).1
+    }
+
+    /// Activation bytes of layer `l`.
+    pub fn layer_activation_bytes(&self, l: usize) -> u64 {
+        self.inventory
+            .iter()
+            .filter(|t| t.layer == l && t.class == TensorClass::Activation)
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Split of layer `l`'s FP16 gradient bytes into (non-expert, expert)
+    /// parts, mirroring [`Trace::layer_param16_split`].
+    pub fn layer_grad16_split(&self, l: usize) -> (u64, u64) {
+        let mut dense = 0;
+        let mut expert = 0;
+        for t in self
+            .inventory
+            .iter()
+            .filter(|t| t.layer == l && t.class == TensorClass::Grad16)
+        {
+            if t.name.contains("expert") {
+                expert += t.bytes;
+            } else {
+                dense += t.bytes;
+            }
+        }
+        (dense, expert)
+    }
+
+    /// Total bytes live at logical id `id` — the peak-memory primitive used
+    /// by phase 2's OOM check.
+    pub fn live_bytes_at(&self, id: usize) -> u64 {
+        self.tensors
+            .iter()
+            .zip(&self.inventory)
+            .filter(|(tr, _)| tr.live_at(id))
+            .map(|(_, spec)| spec.bytes)
+            .sum()
+    }
+}
+
+/// The Tracer itself.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    pub gpu_model: GpuComputeModel,
+    pub cpu_model: CpuUpdateModel,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self { gpu_model: GpuComputeModel::a100(), cpu_model: CpuUpdateModel::epyc_tencent() }
+    }
+}
+
+impl Tracer {
+    /// Replay one symbolic iteration of `config` at batch `b` and summarize
+    /// every tensor's access pattern.
+    ///
+    /// Life-time rules:
+    /// * `Param16(l)`: first = forward(l), last = backward(l) — the update
+    ///   writes a *new* buffered parameter (Algorithm 2), so the training
+    ///   iteration's own access ends at backward;
+    /// * `Grad16(l)`: first = backward(l), last = update(l);
+    /// * optimizer states (`Master32`/`Momentum32`/`Variance32`): accessed
+    ///   only at update(l);
+    /// * `Activation(l)`: produced at forward(l); with recomputation it is
+    ///   released immediately (end = forward(l)) and re-derived inside
+    ///   backward's working set, otherwise it lives until backward(l).
+    pub fn trace(&self, config: &TransformerConfig, b: u64, recompute: bool) -> Trace {
+        let n = config.layers;
+        let mut ops = Vec::with_capacity(3 * n);
+        for l in 0..n {
+            ops.push(OpKind::Forward(l));
+        }
+        for l in (0..n).rev() {
+            ops.push(OpKind::Backward(l));
+        }
+        for l in (0..n).rev() {
+            ops.push(OpKind::Update(l));
+        }
+
+        let mut inventory = Vec::new();
+        for l in 0..n {
+            inventory.extend(layer_inventory(config, l, b));
+        }
+
+        let flops = angel_model::flops::layer_flops(config, b);
+        let layer_gpu_time =
+            self.gpu_model.time_ns_sized(flops.total(recompute), b as f64, config.d_model as f64);
+        let layer_param_bytes: u64 = inventory
+            .iter()
+            .filter(|t| t.layer == 0 && t.class != TensorClass::Activation)
+            .map(|t| t.bytes)
+            .sum();
+
+        let tensors = inventory
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let l = spec.layer;
+                let fwd = l;
+                let bwd = 2 * n - 1 - l;
+                let upd = 2 * n + (n - 1 - l);
+                let (first_id, end_id) = match spec.class {
+                    TensorClass::Param16 => (fwd, bwd),
+                    TensorClass::Grad16 => (bwd, upd),
+                    TensorClass::Master32 | TensorClass::Momentum32 | TensorClass::Variance32 => {
+                        (upd, upd)
+                    }
+                    TensorClass::Activation => {
+                        if recompute {
+                            (fwd, fwd)
+                        } else {
+                            (fwd, bwd)
+                        }
+                    }
+                };
+                // Production-time estimates, apportioned by size: the
+                // profiled per-layer GPU time split over the layer's state
+                // bytes, and the bandwidth-bound CPU update cost.
+                let gpu_time = if layer_param_bytes == 0 {
+                    0
+                } else {
+                    (layer_gpu_time as u128 * spec.bytes as u128
+                        / layer_param_bytes.max(1) as u128) as u64
+                };
+                let cpu_time = self.cpu_model.time_ns(spec.bytes * 2); // read+write
+                TensorTrace { tensor_id: i, first_id, end_id, cpu_time, gpu_time }
+            })
+            .collect();
+
+        Trace { ops, inventory, tensors, layers: n, recompute }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TransformerConfig {
+        TransformerConfig::gpt3_1_7b().with_layers(4).with_seq_len(128)
+    }
+
+    #[test]
+    fn op_list_structure() {
+        let trace = Tracer::default().trace(&small(), 2, true);
+        assert_eq!(trace.ops.len(), 12);
+        assert_eq!(trace.ops[0], OpKind::Forward(0));
+        assert_eq!(trace.ops[3], OpKind::Forward(3));
+        assert_eq!(trace.ops[4], OpKind::Backward(3));
+        assert_eq!(trace.ops[7], OpKind::Backward(0));
+        assert_eq!(trace.ops[8], OpKind::Update(3));
+        assert_eq!(trace.ops[11], OpKind::Update(0));
+        // The id helpers agree with the list.
+        for l in 0..4 {
+            assert_eq!(trace.ops[trace.forward_id(l)], OpKind::Forward(l));
+            assert_eq!(trace.ops[trace.backward_id(l)], OpKind::Backward(l));
+            assert_eq!(trace.ops[trace.update_id(l)], OpKind::Update(l));
+        }
+    }
+
+    #[test]
+    fn param_lifetime_spans_forward_to_backward() {
+        let trace = Tracer::default().trace(&small(), 2, true);
+        let (i, spec) = trace
+            .inventory
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.layer == 1 && t.class == TensorClass::Param16)
+            .unwrap();
+        let tr = &trace.tensors[i];
+        assert_eq!(tr.first_id, 1); // forward(1)
+        assert_eq!(tr.end_id, trace.backward_id(1));
+        assert!(tr.live_at(3));
+        assert!(!tr.live_at(trace.update_id(1)));
+        let _ = spec;
+    }
+
+    #[test]
+    fn grad_lifetime_spans_backward_to_update() {
+        let trace = Tracer::default().trace(&small(), 2, true);
+        let (i, _) = trace
+            .inventory
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.layer == 2 && t.class == TensorClass::Grad16)
+            .unwrap();
+        let tr = &trace.tensors[i];
+        assert_eq!(tr.first_id, trace.backward_id(2));
+        assert_eq!(tr.end_id, trace.update_id(2));
+    }
+
+    #[test]
+    fn optimizer_states_touch_only_update() {
+        let trace = Tracer::default().trace(&small(), 2, true);
+        for (tr, spec) in trace.tensors.iter().zip(&trace.inventory) {
+            if spec.class.is_optimizer_state() {
+                assert_eq!(tr.first_id, tr.end_id);
+                assert_eq!(tr.first_id, trace.update_id(spec.layer));
+                assert_eq!(tr.lifetime(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_shortens_activation_lifetime() {
+        let with = Tracer::default().trace(&small(), 2, true);
+        let without = Tracer::default().trace(&small(), 2, false);
+        let idx = with
+            .inventory
+            .iter()
+            .position(|t| t.layer == 0 && t.class == TensorClass::Activation)
+            .unwrap();
+        assert_eq!(with.tensors[idx].lifetime(), 0);
+        assert_eq!(without.tensors[idx].end_id, without.backward_id(0));
+        assert!(without.tensors[idx].lifetime() > 0);
+    }
+
+    #[test]
+    fn live_bytes_peak_midway() {
+        // Without recomputation, everything forward-produced is still live at
+        // the fwd/bwd boundary — the classic activation peak.
+        let trace = Tracer::default().trace(&small(), 2, false);
+        let at_start = trace.live_bytes_at(0);
+        let at_turn = trace.live_bytes_at(trace.layers - 1);
+        assert!(at_turn > at_start);
+    }
+
+    #[test]
+    fn times_are_populated() {
+        let trace = Tracer::default().trace(&small(), 2, true);
+        assert!(trace.tensors.iter().any(|t| t.gpu_time > 0));
+        assert!(trace.tensors.iter().all(|t| t.cpu_time > 0));
+    }
+
+    #[test]
+    fn layer_aggregates() {
+        let trace = Tracer::default().trace(&small(), 2, true);
+        assert!(trace.layer_param16_bytes(0) > 0);
+        assert!(trace.layer_working_set(0) > trace.layer_param16_bytes(0) / 100);
+        // All layers of a homogeneous GPT are identical.
+        assert_eq!(trace.layer_param16_bytes(0), trace.layer_param16_bytes(3));
+    }
+}

@@ -1,0 +1,106 @@
+//! ZeRO-style parameter sharding — Section 3.2's "Parameter Sharding" design
+//! and Section 5's "Efficient Movement on Distributed Servers".
+//!
+//! "We adopt the parameter sharding approach proposed by ZeRO, which evenly
+//! splits each parameter among multiple GPUs. When a parameter needs to be
+//! calculated, the complete parameter is obtained through an all-gather
+//! operation."
+//!
+//! "We evenly partition the model parameters across GPUs to parallelize the
+//! movement of parameters between the CPU and GPUs" — with 8 GPUs each on
+//! its own PCIe channel, host↔device movement of a full layer runs at 8× the
+//! single-channel bandwidth.
+
+use angel_hw::link::bytes_over_bandwidth_ns;
+use angel_hw::Link;
+use angel_sim::collectives::{collective_time_ns, Collective};
+use angel_sim::Ns;
+use serde::{Deserialize, Serialize};
+
+/// An even partition of tensors/pages across `ranks` data-parallel workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZeroPartition {
+    pub ranks: usize,
+}
+
+impl ZeroPartition {
+    pub fn new(ranks: usize) -> Self {
+        assert!(ranks >= 1);
+        Self { ranks }
+    }
+
+    /// Bytes of one rank's shard of a `total`-byte tensor (last rank may
+    /// hold padding; we use the ceiling uniformly, as ZeRO pads).
+    pub fn shard_bytes(&self, total: u64) -> u64 {
+        total.div_ceil(self.ranks as u64)
+    }
+
+    /// Time to all-gather a `total`-byte tensor (all ranks end with a full
+    /// copy) over `link`.
+    pub fn all_gather_time_ns(&self, total: u64, link: &Link) -> Ns {
+        collective_time_ns(Collective::AllGather, total, self.ranks as u64, link)
+    }
+
+    /// Time to reduce-scatter gradients of a `total`-byte tensor over `link`.
+    pub fn reduce_scatter_time_ns(&self, total: u64, link: &Link) -> Ns {
+        collective_time_ns(Collective::ReduceScatter, total, self.ranks as u64, link)
+    }
+
+    /// Time to move `total` bytes between host and devices when the movement
+    /// is parallelized across the ranks' independent PCIe channels — each
+    /// channel carries only the rank's shard.
+    pub fn parallel_move_time_ns(&self, total: u64, pcie: &Link) -> Ns {
+        pcie.latency_ns + bytes_over_bandwidth_ns(self.shard_bytes(total), pcie.bandwidth)
+    }
+
+    /// Speedup of parallel movement over a single channel, for reporting.
+    pub fn parallel_move_speedup(&self, total: u64, pcie: &Link) -> f64 {
+        let single = pcie.transfer_time_ns(total);
+        let parallel = self.parallel_move_time_ns(total, pcie);
+        single as f64 / parallel as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use angel_hw::{LinkClass, GB_PER_S, MIB};
+
+    fn pcie() -> Link {
+        Link::new(LinkClass::Pcie, 32 * GB_PER_S, 10_000)
+    }
+
+    #[test]
+    fn shard_is_even_with_padding() {
+        let z = ZeroPartition::new(8);
+        assert_eq!(z.shard_bytes(800), 100);
+        assert_eq!(z.shard_bytes(801), 101);
+        assert_eq!(ZeroPartition::new(1).shard_bytes(800), 800);
+    }
+
+    #[test]
+    fn parallel_movement_is_near_linear() {
+        // Section 5: 8 GPUs each with an independent PCIe channel move a
+        // layer ~8× faster than one channel.
+        let z = ZeroPartition::new(8);
+        let total = 512 * MIB;
+        let speedup = z.parallel_move_speedup(total, &pcie());
+        assert!(speedup > 7.5 && speedup <= 8.01, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn gather_time_reasonable() {
+        let z = ZeroPartition::new(8);
+        let nvlink = Link::new(LinkClass::NvLink, 200 * GB_PER_S, 5_000);
+        let t = z.all_gather_time_ns(512 * MIB, &nvlink);
+        // (7/8)·512 MiB over 200 GB/s ≈ 2.3 ms plus 7 × 5 µs latency.
+        assert!(t > 2_000_000 && t < 3_000_000, "t = {t}");
+    }
+
+    #[test]
+    fn reduce_scatter_matches_all_gather_volume() {
+        let z = ZeroPartition::new(4);
+        let l = pcie();
+        assert_eq!(z.all_gather_time_ns(1 << 20, &l), z.reduce_scatter_time_ns(1 << 20, &l));
+    }
+}

@@ -1,0 +1,154 @@
+//! Devices: GPUs, CPUs (host memory domains) and SSDs.
+//!
+//! The paper's Page abstraction (Figure 3) encodes device placement as a small
+//! integer: `device_map: {0: GPU, 1: CPU, 2: SSD}`. [`DeviceKind`] mirrors that
+//! mapping, and [`DeviceId`] extends it with an index so a server with eight
+//! GPUs can address each one.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three tiers of the hierarchical memory in Angel-PTM.
+///
+/// Ordering is by distance from the compute units: `Gpu < Cpu < Ssd`, matching
+/// the paper's `device_map: {0: GPU, 1: CPU, 2: SSD}` comment in Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// GPU HBM — fastest (600 GB/s on the paper's A100s), smallest (40 GiB).
+    Gpu,
+    /// Host DDR4 memory — reached over PCIe at 32 GB/s.
+    Cpu,
+    /// NVMe SSD storage — largest (11 TB) but slowest (3.5 GB/s).
+    Ssd,
+}
+
+impl DeviceKind {
+    /// The integer code used by the paper's `device_map`.
+    pub fn code(self) -> usize {
+        match self {
+            DeviceKind::Gpu => 0,
+            DeviceKind::Cpu => 1,
+            DeviceKind::Ssd => 2,
+        }
+    }
+
+    /// Inverse of [`DeviceKind::code`].
+    pub fn from_code(code: usize) -> Option<Self> {
+        match code {
+            0 => Some(DeviceKind::Gpu),
+            1 => Some(DeviceKind::Cpu),
+            2 => Some(DeviceKind::Ssd),
+            _ => None,
+        }
+    }
+
+    /// All kinds, ordered fastest to slowest.
+    pub fn all() -> [DeviceKind; 3] {
+        [DeviceKind::Gpu, DeviceKind::Cpu, DeviceKind::Ssd]
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceKind::Gpu => write!(f, "GPU"),
+            DeviceKind::Cpu => write!(f, "CPU"),
+            DeviceKind::Ssd => write!(f, "SSD"),
+        }
+    }
+}
+
+/// A device address: tier plus index within that tier on one server.
+///
+/// The host memory domain and the SSD array are each modelled as a single
+/// device (`index == 0`); GPUs are indexed 0..n.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId {
+    pub kind: DeviceKind,
+    pub index: usize,
+}
+
+impl DeviceId {
+    pub const fn new(kind: DeviceKind, index: usize) -> Self {
+        Self { kind, index }
+    }
+
+    /// The `index`-th GPU on a server.
+    pub const fn gpu(index: usize) -> Self {
+        Self::new(DeviceKind::Gpu, index)
+    }
+
+    /// The host memory domain.
+    pub const CPU: DeviceId = Self::new(DeviceKind::Cpu, 0);
+
+    /// The SSD array.
+    pub const SSD: DeviceId = Self::new(DeviceKind::Ssd, 0);
+
+    pub fn is_gpu(self) -> bool {
+        self.kind == DeviceKind::Gpu
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            DeviceKind::Gpu => write!(f, "GPU{}", self.index),
+            DeviceKind::Cpu => write!(f, "CPU"),
+            DeviceKind::Ssd => write!(f, "SSD"),
+        }
+    }
+}
+
+/// Static description of one device: what it is, how much it holds and how
+/// fast its local memory is.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    pub id: DeviceId,
+    /// Usable capacity in bytes.
+    pub capacity: u64,
+    /// Local memory bandwidth in bytes/second (HBM for GPUs, DDR for CPU,
+    /// internal flash bandwidth for SSD).
+    pub bandwidth: u64,
+}
+
+impl Device {
+    pub fn new(id: DeviceId, capacity: u64, bandwidth: u64) -> Self {
+        Self { id, capacity, bandwidth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_map_codes_match_figure3() {
+        assert_eq!(DeviceKind::Gpu.code(), 0);
+        assert_eq!(DeviceKind::Cpu.code(), 1);
+        assert_eq!(DeviceKind::Ssd.code(), 2);
+        for kind in DeviceKind::all() {
+            assert_eq!(DeviceKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(DeviceKind::from_code(3), None);
+    }
+
+    #[test]
+    fn kind_ordering_is_fastest_first() {
+        assert!(DeviceKind::Gpu < DeviceKind::Cpu);
+        assert!(DeviceKind::Cpu < DeviceKind::Ssd);
+    }
+
+    #[test]
+    fn device_id_display() {
+        assert_eq!(DeviceId::gpu(3).to_string(), "GPU3");
+        assert_eq!(DeviceId::CPU.to_string(), "CPU");
+        assert_eq!(DeviceId::SSD.to_string(), "SSD");
+    }
+
+    #[test]
+    fn gpu_predicate() {
+        assert!(DeviceId::gpu(0).is_gpu());
+        assert!(!DeviceId::CPU.is_gpu());
+        assert!(!DeviceId::SSD.is_gpu());
+    }
+}

@@ -1,0 +1,89 @@
+//! Hardware description substrate for the Angel-PTM reproduction.
+//!
+//! Angel-PTM (VLDB 2023) was evaluated on Tencent's production A100 servers
+//! (Table 3 of the paper): 8 × NVIDIA A100-40GB per server, 4 × AMD EPYC 7K62,
+//! 1 TiB DDR4, an 11 TB NVMe SSD array, NVLink 3.0 inside the server and
+//! 16 × 12.5 GB/s RoCE NICs between servers. This crate captures that hardware
+//! as *data* — devices, links and topologies with capacities, bandwidths and
+//! latencies — so that the rest of the system (allocator, scheduler,
+//! discrete-event executor) can be written against a hardware model instead of
+//! real CUDA devices, which are unavailable in this environment.
+//!
+//! Everything here is a plain description; the discrete-event semantics live
+//! in the `angel-sim` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use angel_hw::{ServerSpec, DeviceKind};
+//!
+//! let server = ServerSpec::a100_tencent();
+//! assert_eq!(server.gpus.len(), 8);
+//! assert_eq!(server.gpu(0).capacity, 40 * angel_hw::GIB);
+//! // PCIe host<->device bandwidth from the paper: 32 GB/s.
+//! assert_eq!(server.pcie.bandwidth, 32_000_000_000);
+//! ```
+
+pub mod device;
+pub mod link;
+pub mod topology;
+
+pub use device::{Device, DeviceId, DeviceKind};
+pub use link::{Link, LinkClass};
+pub use topology::{ClusterSpec, ServerSpec};
+
+/// One kibibyte (2^10 bytes).
+pub const KIB: u64 = 1024;
+/// One mebibyte (2^20 bytes).
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte (2^30 bytes).
+pub const GIB: u64 = 1024 * MIB;
+/// One tebibyte (2^40 bytes).
+pub const TIB: u64 = 1024 * GIB;
+
+/// Bandwidths in the paper are quoted in decimal GB/s (e.g. "PCIe 32GB/s",
+/// "SSD peak 3.5GB/s"); this constant converts those figures to bytes/second.
+pub const GB_PER_S: u64 = 1_000_000_000;
+
+/// Format a byte count with a binary-unit suffix for reports and logs.
+///
+/// ```
+/// assert_eq!(angel_hw::fmt_bytes(4 * angel_hw::MIB), "4.00 MiB");
+/// assert_eq!(angel_hw::fmt_bytes(1536), "1.50 KiB");
+/// ```
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= TIB {
+        format!("{:.2} TiB", b / TIB as f64)
+    } else if bytes >= GIB {
+        format!("{:.2} GiB", b / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.2} MiB", b / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.2} KiB", b / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants_are_consistent() {
+        assert_eq!(MIB, 1 << 20);
+        assert_eq!(GIB, 1 << 30);
+        assert_eq!(TIB, 1 << 40);
+        assert_eq!(GB_PER_S, 10u64.pow(9));
+    }
+
+    #[test]
+    fn fmt_bytes_covers_all_ranges() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2 * KIB), "2.00 KiB");
+        assert_eq!(fmt_bytes(3 * MIB), "3.00 MiB");
+        assert_eq!(fmt_bytes(40 * GIB), "40.00 GiB");
+        assert_eq!(fmt_bytes(11 * TIB), "11.00 TiB");
+    }
+}

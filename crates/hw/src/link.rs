@@ -1,0 +1,134 @@
+//! Interconnect links: PCIe, NVLink, NICs and the SSD channel.
+//!
+//! Section 4.3 of the paper quotes the three I/O speeds that drive all of
+//! Angel-PTM's scheduling decisions on an A100 server: GPU memory access at
+//! 600 GB/s, CPU↔GPU transfer at 32 GB/s (PCIe), and SSD↔CPU transfer at
+//! 3.5 GB/s. Section 6.1 adds NVLink 3.0 inside a server and 16 × 12.5 GB/s
+//! RoCE NICs between servers. A [`Link`] carries a bandwidth and a fixed
+//! per-operation latency, giving the classic α+β/BW transfer-time model used
+//! by the discrete-event executor.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of wire a [`Link`] models. Used by the simulator to decide which
+/// contention domain a transfer occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Host ↔ one GPU over PCIe (one independent channel per GPU on the
+    /// paper's A100 servers, which have four PCIe switches feeding 8 GPUs).
+    Pcie,
+    /// GPU ↔ GPU inside a server over NVLink 3.0.
+    NvLink,
+    /// Server ↔ server over RoCE NICs.
+    Nic,
+    /// CPU ↔ SSD over NVMe.
+    SsdChannel,
+}
+
+impl fmt::Display for LinkClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkClass::Pcie => write!(f, "PCIe"),
+            LinkClass::NvLink => write!(f, "NVLink"),
+            LinkClass::Nic => write!(f, "NIC"),
+            LinkClass::SsdChannel => write!(f, "SSD-channel"),
+        }
+    }
+}
+
+/// A point-to-point or shared interconnect with a linear cost model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    pub class: LinkClass,
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: u64,
+    /// Fixed per-operation latency in nanoseconds (driver launch, DMA setup,
+    /// NVMe command overhead, ...).
+    pub latency_ns: u64,
+}
+
+impl Link {
+    pub fn new(class: LinkClass, bandwidth: u64, latency_ns: u64) -> Self {
+        assert!(bandwidth > 0, "a link must have positive bandwidth");
+        Self { class, bandwidth, latency_ns }
+    }
+
+    /// Time to move `bytes` over this link, in nanoseconds: `α + bytes/β`.
+    ///
+    /// ```
+    /// use angel_hw::{Link, LinkClass};
+    /// // The paper's PCIe: 32 GB/s. A 4 MiB page takes ~131 µs + latency.
+    /// let pcie = Link::new(LinkClass::Pcie, 32_000_000_000, 10_000);
+    /// let t = pcie.transfer_time_ns(4 * 1024 * 1024);
+    /// assert_eq!(t, 10_000 + 131_072);
+    /// ```
+    pub fn transfer_time_ns(&self, bytes: u64) -> u64 {
+        self.latency_ns + bytes_over_bandwidth_ns(bytes, self.bandwidth)
+    }
+
+    /// Effective bandwidth achieved for a transfer of `bytes`, accounting for
+    /// the fixed latency. Small transfers waste the wire — this is the
+    /// quantitative basis for the paper's choice of the 4 MiB page size
+    /// ("the minimum Page size that can fully utilize the PCIe bandwidth").
+    pub fn effective_bandwidth(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let t = self.transfer_time_ns(bytes) as f64 / 1e9;
+        bytes as f64 / t
+    }
+}
+
+/// `bytes / bandwidth` in nanoseconds with round-half-up, avoiding f64 in the
+/// hot path of the simulator.
+pub fn bytes_over_bandwidth_ns(bytes: u64, bandwidth: u64) -> u64 {
+    debug_assert!(bandwidth > 0);
+    // time_ns = bytes * 1e9 / bandwidth; use u128 to avoid overflow on
+    // multi-terabyte transfers.
+    ((bytes as u128 * 1_000_000_000u128 + bandwidth as u128 / 2) / bandwidth as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GB_PER_S;
+
+    #[test]
+    fn transfer_time_linear_model() {
+        let link = Link::new(LinkClass::Pcie, 32 * GB_PER_S, 5_000);
+        assert_eq!(link.transfer_time_ns(0), 5_000);
+        // 32 GB over a 32 GB/s link = 1 second.
+        assert_eq!(link.transfer_time_ns(32 * GB_PER_S), 5_000 + 1_000_000_000);
+    }
+
+    #[test]
+    fn effective_bandwidth_saturates_with_size() {
+        let link = Link::new(LinkClass::Pcie, 32 * GB_PER_S, 10_000);
+        let small = link.effective_bandwidth(64 * 1024);
+        let page = link.effective_bandwidth(4 * 1024 * 1024);
+        let huge = link.effective_bandwidth(1 << 30);
+        assert!(small < page && page < huge);
+        // A 4 MiB page should already achieve >90% of peak PCIe bandwidth —
+        // the paper's justification for the 4 MiB page size.
+        assert!(page > 0.90 * (32 * GB_PER_S) as f64, "page bw = {page}");
+        // While a 64 KiB transfer wastes most of the wire.
+        assert!(small < 0.60 * (32 * GB_PER_S) as f64, "small bw = {small}");
+    }
+
+    #[test]
+    fn no_overflow_on_huge_transfers() {
+        // 11 TB over the SSD channel.
+        let ssd = Link::new(LinkClass::SsdChannel, 3_500_000_000, 100_000);
+        let t = ssd.transfer_time_ns(11 * crate::TIB);
+        // ~3455 seconds.
+        assert!(t > 3_000_000_000_000 && t < 4_000_000_000_000);
+    }
+
+    #[test]
+    fn rounding_is_half_up() {
+        assert_eq!(bytes_over_bandwidth_ns(1, 1_000_000_000), 1);
+        assert_eq!(bytes_over_bandwidth_ns(1, 2_000_000_000), 1); // 0.5 rounds up
+        assert_eq!(bytes_over_bandwidth_ns(1, 3_000_000_000), 0); // 0.33 rounds down
+    }
+}

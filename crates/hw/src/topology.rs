@@ -1,0 +1,211 @@
+//! Server and cluster topologies.
+//!
+//! [`ServerSpec::a100_tencent`] encodes the evaluation machine from Table 3 of
+//! the paper verbatim; [`ClusterSpec`] scales it out to the multi-server
+//! settings used in the scalability experiments (Figures 8 and 9: up to 96
+//! servers / 768 GPUs).
+
+use crate::device::{Device, DeviceId, DeviceKind};
+use crate::link::{Link, LinkClass};
+use crate::{GB_PER_S, GIB, TIB};
+use serde::{Deserialize, Serialize};
+
+/// One GPU server: a set of GPUs, a host memory domain, optional SSD storage,
+/// and the links between them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Human-readable name used in reports.
+    pub name: String,
+    pub gpus: Vec<Device>,
+    pub cpu: Device,
+    /// `None` models a server whose SSD tier is not used for training
+    /// (the default for all paper experiments except Section 6.5).
+    pub ssd: Option<Device>,
+    /// Host ↔ GPU link. The paper's A100 servers expose an independent PCIe
+    /// channel per GPU (four switches × two GPUs), so this link is replicated
+    /// per GPU by the simulator.
+    pub pcie: Link,
+    /// GPU ↔ GPU link inside the server.
+    pub nvlink: Link,
+    /// CPU ↔ SSD link.
+    pub ssd_link: Link,
+    /// Number of CPU worker threads available for optimizer updates.
+    pub cpu_workers: usize,
+}
+
+impl ServerSpec {
+    /// The production A100 server from Table 3 / Sections 4.3 and 6.1:
+    ///
+    /// * 8 × NVIDIA A100 40 GiB HBM2 (600 GB/s local bandwidth),
+    /// * 32 × 32 GiB DDR4 = 1 TiB host memory,
+    /// * 11 TB NVMe SSD at 3.5 GB/s peak,
+    /// * PCIe at 32 GB/s per GPU, NVLink 3.0 at 200 GB/s,
+    /// * 4 × 48-core EPYC CPUs (we expose 192 worker threads).
+    pub fn a100_tencent() -> Self {
+        Self {
+            name: "tencent-a100".to_string(),
+            gpus: (0..8)
+                .map(|i| Device::new(DeviceId::gpu(i), 40 * GIB, 600 * GB_PER_S))
+                .collect(),
+            cpu: Device::new(DeviceId::CPU, 32 * 32 * GIB, 170 * GB_PER_S),
+            ssd: Some(Device::new(DeviceId::SSD, 11 * TIB, 3_500_000_000)),
+            pcie: Link::new(LinkClass::Pcie, 32 * GB_PER_S, 10_000),
+            nvlink: Link::new(LinkClass::NvLink, 200 * GB_PER_S, 5_000),
+            ssd_link: Link::new(LinkClass::SsdChannel, 3_500_000_000, 100_000),
+            cpu_workers: 192,
+        }
+    }
+
+    /// A scaled-down server for fast unit tests: 4 GPUs × 1 GiB, 8 GiB host,
+    /// 64 GiB SSD, same relative bandwidths as the A100 box.
+    pub fn tiny_test() -> Self {
+        Self {
+            name: "tiny-test".to_string(),
+            gpus: (0..4)
+                .map(|i| Device::new(DeviceId::gpu(i), GIB, 600 * GB_PER_S))
+                .collect(),
+            cpu: Device::new(DeviceId::CPU, 8 * GIB, 170 * GB_PER_S),
+            ssd: Some(Device::new(DeviceId::SSD, 64 * GIB, 3_500_000_000)),
+            pcie: Link::new(LinkClass::Pcie, 32 * GB_PER_S, 10_000),
+            nvlink: Link::new(LinkClass::NvLink, 200 * GB_PER_S, 5_000),
+            ssd_link: Link::new(LinkClass::SsdChannel, 3_500_000_000, 100_000),
+            cpu_workers: 8,
+        }
+    }
+
+    /// Number of GPUs on this server.
+    pub fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// The `index`-th GPU device.
+    pub fn gpu(&self, index: usize) -> &Device {
+        &self.gpus[index]
+    }
+
+    /// Look up any device on this server by id. Returns `None` for a GPU
+    /// index out of range or a missing SSD tier.
+    pub fn device(&self, id: DeviceId) -> Option<&Device> {
+        match id.kind {
+            DeviceKind::Gpu => self.gpus.get(id.index),
+            DeviceKind::Cpu => Some(&self.cpu),
+            DeviceKind::Ssd => self.ssd.as_ref(),
+        }
+    }
+
+    /// Total GPU memory on the server.
+    pub fn total_gpu_memory(&self) -> u64 {
+        self.gpus.iter().map(|g| g.capacity).sum()
+    }
+
+    /// The link used for a transfer between two device tiers, or `None` when
+    /// no direct link exists (e.g. GPU ↔ SSD must be staged through the CPU,
+    /// exactly as on real hardware — the workflow of Figure 1).
+    pub fn link_between(&self, a: DeviceKind, b: DeviceKind) -> Option<&Link> {
+        use DeviceKind::*;
+        match (a, b) {
+            (Gpu, Cpu) | (Cpu, Gpu) => Some(&self.pcie),
+            (Gpu, Gpu) => Some(&self.nvlink),
+            (Cpu, Ssd) | (Ssd, Cpu) => Some(&self.ssd_link),
+            (Gpu, Ssd) | (Ssd, Gpu) => None,
+            (Cpu, Cpu) | (Ssd, Ssd) => None,
+        }
+    }
+
+    /// Remove the SSD tier (the default configuration in Sections 6.2–6.4).
+    pub fn without_ssd(mut self) -> Self {
+        self.ssd = None;
+        self
+    }
+}
+
+/// A homogeneous cluster of [`ServerSpec`]s connected by RoCE NICs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    pub server: ServerSpec,
+    pub num_servers: usize,
+    /// Aggregate inter-server NIC bandwidth per server. The paper: 16 NICs ×
+    /// 12.5 GB/s = 200 GB/s aggregate per server.
+    pub nic: Link,
+}
+
+impl ClusterSpec {
+    /// A cluster of `num_servers` Tencent A100 servers with 16 × 12.5 GB/s
+    /// RoCE NICs each (Section 6.1).
+    pub fn a100_tencent(num_servers: usize) -> Self {
+        assert!(num_servers >= 1);
+        Self {
+            server: ServerSpec::a100_tencent(),
+            num_servers,
+            nic: Link::new(LinkClass::Nic, 16 * 12_500_000_000, 20_000),
+        }
+    }
+
+    /// Single-server "cluster" — the Table 5 / Figure 7 (1×8) setting.
+    pub fn single_a100() -> Self {
+        Self::a100_tencent(1)
+    }
+
+    /// Total number of GPUs across the cluster.
+    pub fn total_gpus(&self) -> usize {
+        self.num_servers * self.server.num_gpus()
+    }
+
+    /// The slowest hop for a collective spanning the whole cluster: NIC when
+    /// multiple servers are involved, NVLink otherwise.
+    pub fn cross_gpu_link(&self) -> &Link {
+        if self.num_servers > 1 {
+            &self.nic
+        } else {
+            &self.server.nvlink
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_configuration() {
+        let s = ServerSpec::a100_tencent();
+        assert_eq!(s.num_gpus(), 8);
+        assert_eq!(s.gpu(0).capacity, 40 * GIB);
+        assert_eq!(s.cpu.capacity, 1024 * GIB); // 32 × 32 GiB
+        assert_eq!(s.ssd.as_ref().unwrap().capacity, 11 * TIB);
+        assert_eq!(s.pcie.bandwidth, 32 * GB_PER_S);
+        assert_eq!(s.nvlink.bandwidth, 200 * GB_PER_S);
+        assert_eq!(s.ssd_link.bandwidth, 3_500_000_000);
+        assert_eq!(s.total_gpu_memory(), 320 * GIB);
+    }
+
+    #[test]
+    fn device_lookup() {
+        let s = ServerSpec::a100_tencent();
+        assert!(s.device(DeviceId::gpu(7)).is_some());
+        assert!(s.device(DeviceId::gpu(8)).is_none());
+        assert!(s.device(DeviceId::CPU).is_some());
+        assert!(s.device(DeviceId::SSD).is_some());
+        assert!(s.without_ssd().device(DeviceId::SSD).is_none());
+    }
+
+    #[test]
+    fn link_routing_matches_hardware() {
+        let s = ServerSpec::a100_tencent();
+        use DeviceKind::*;
+        assert_eq!(s.link_between(Gpu, Cpu).unwrap().class, LinkClass::Pcie);
+        assert_eq!(s.link_between(Gpu, Gpu).unwrap().class, LinkClass::NvLink);
+        assert_eq!(s.link_between(Cpu, Ssd).unwrap().class, LinkClass::SsdChannel);
+        // No direct GPU↔SSD path: must stage through the CPU (Figure 1).
+        assert!(s.link_between(Gpu, Ssd).is_none());
+    }
+
+    #[test]
+    fn cluster_scaling() {
+        let c = ClusterSpec::a100_tencent(96);
+        assert_eq!(c.total_gpus(), 768); // the Figure 8 maximum
+        assert_eq!(c.nic.bandwidth, 200_000_000_000); // 16 × 12.5 GB/s
+        assert_eq!(c.cross_gpu_link().class, LinkClass::Nic);
+        assert_eq!(ClusterSpec::single_a100().cross_gpu_link().class, LinkClass::NvLink);
+    }
+}

@@ -1,0 +1,430 @@
+//! Baseline allocators behind a common [`AddressAllocator`] trait.
+//!
+//! These model the memory-management policies of the systems Angel-PTM is
+//! compared against in Sections 3.2 and 4.1:
+//!
+//! * [`NaiveAllocator`] — first-fit per-tensor allocation with coalescing on
+//!   free, the behaviour of a PyTorch-style caching allocator under the
+//!   offload workload ("DeepSpeed uses the original memory management of
+//!   PyTorch for offloading and recomputing, which frequently allocates and
+//!   releases tensors, leading to space fragments");
+//! * [`BestFitAllocator`] — TensorFlow's BFC policy ("TensorFlow utilizes
+//!   the best-fit allocation (BFC) algorithm ... it may take longer to find
+//!   an available block");
+//! * [`ChunkAllocator`] — PatrickStar's policy ("manages GPU memory in chunks
+//!   rather than tensors, where the chunk size must be larger than the
+//!   largest tensor used in model training. This would also result in memory
+//!   fragments within each chunk").
+//!
+//! Angel-PTM's own page allocator lives in `angel-core::allocator`; the
+//! `motivation_fragmentation` harness in `angel-bench` runs all four over the
+//! same tensor traces.
+
+use crate::pool::{BytePool, Extent};
+use crate::stats::FragmentationStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why an allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocError {
+    /// Not enough free bytes anywhere in the pool.
+    OutOfMemory { requested: u64, free: u64 },
+    /// Enough free bytes in total, but no single extent is large enough —
+    /// i.e. the failure is *caused by fragmentation*. Distinguishing the two
+    /// failure modes is the point of the motivation experiment.
+    Fragmented { requested: u64, free: u64, largest: u64 },
+    /// The request exceeds what this allocator can ever satisfy (e.g. larger
+    /// than the chunk size of a [`ChunkAllocator`]).
+    Unsatisfiable { requested: u64, limit: u64 },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested, free } => {
+                write!(f, "out of memory: requested {requested} B, {free} B free")
+            }
+            AllocError::Fragmented { requested, free, largest } => write!(
+                f,
+                "fragmented: requested {requested} B, {free} B free but largest extent {largest} B"
+            ),
+            AllocError::Unsatisfiable { requested, limit } => {
+                write!(f, "unsatisfiable: requested {requested} B exceeds limit {limit} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A live allocation handed back by an [`AddressAllocator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    pub offset: u64,
+    /// Bytes requested by the caller.
+    pub size: u64,
+    /// Bytes actually reserved (≥ `size`; the difference is internal
+    /// fragmentation, e.g. chunk rounding).
+    pub reserved: u64,
+}
+
+/// Common interface over all allocation policies so the fragmentation
+/// experiment can drive them uniformly.
+pub trait AddressAllocator {
+    /// Reserve `size` bytes, returning where they live.
+    fn allocate(&mut self, size: u64) -> Result<Allocation, AllocError>;
+    /// Release a previous allocation.
+    fn free(&mut self, alloc: Allocation);
+    /// Total pool capacity.
+    fn capacity(&self) -> u64;
+    /// Current fragmentation / usage statistics.
+    fn stats(&self) -> FragmentationStats;
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn classify_failure(pool: &BytePool, requested: u64) -> AllocError {
+    let free = pool.free_bytes();
+    if requested > free {
+        AllocError::OutOfMemory { requested, free }
+    } else {
+        AllocError::Fragmented { requested, free, largest: pool.largest_free_extent() }
+    }
+}
+
+/// First-fit per-tensor allocation: the PyTorch-like baseline.
+#[derive(Debug, Clone)]
+pub struct NaiveAllocator {
+    pool: BytePool,
+    stats: FragmentationStats,
+}
+
+impl NaiveAllocator {
+    pub fn new(capacity: u64) -> Self {
+        Self { pool: BytePool::new(capacity), stats: FragmentationStats::new(capacity) }
+    }
+}
+
+impl AddressAllocator for NaiveAllocator {
+    fn allocate(&mut self, size: u64) -> Result<Allocation, AllocError> {
+        match self.pool.allocate_first_fit(size) {
+            Some(ext) => {
+                self.stats.on_allocate(size, size);
+                self.stats.observe(&self.pool);
+                Ok(Allocation { offset: ext.offset, size, reserved: size })
+            }
+            None => {
+                self.stats.on_failure();
+                Err(classify_failure(&self.pool, size))
+            }
+        }
+    }
+
+    fn free(&mut self, alloc: Allocation) {
+        self.pool.free(Extent::new(alloc.offset, alloc.reserved));
+        self.stats.on_free(alloc.size, alloc.reserved);
+        self.stats.observe(&self.pool);
+    }
+
+    fn capacity(&self) -> u64 {
+        self.pool.capacity()
+    }
+
+    fn stats(&self) -> FragmentationStats {
+        self.stats.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "naive-first-fit"
+    }
+}
+
+/// Best-fit with coalescing: TensorFlow's BFC policy.
+#[derive(Debug, Clone)]
+pub struct BestFitAllocator {
+    pool: BytePool,
+    stats: FragmentationStats,
+}
+
+impl BestFitAllocator {
+    pub fn new(capacity: u64) -> Self {
+        Self { pool: BytePool::new(capacity), stats: FragmentationStats::new(capacity) }
+    }
+}
+
+impl AddressAllocator for BestFitAllocator {
+    fn allocate(&mut self, size: u64) -> Result<Allocation, AllocError> {
+        match self.pool.allocate_best_fit(size) {
+            Some(ext) => {
+                self.stats.on_allocate(size, size);
+                self.stats.observe(&self.pool);
+                Ok(Allocation { offset: ext.offset, size, reserved: size })
+            }
+            None => {
+                self.stats.on_failure();
+                Err(classify_failure(&self.pool, size))
+            }
+        }
+    }
+
+    fn free(&mut self, alloc: Allocation) {
+        self.pool.free(Extent::new(alloc.offset, alloc.reserved));
+        self.stats.on_free(alloc.size, alloc.reserved);
+        self.stats.observe(&self.pool);
+    }
+
+    fn capacity(&self) -> u64 {
+        self.pool.capacity()
+    }
+
+    fn stats(&self) -> FragmentationStats {
+        self.stats.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "best-fit (BFC)"
+    }
+}
+
+/// PatrickStar-style chunk allocation: memory is carved into fixed chunks no
+/// smaller than the largest tensor; each tensor lives inside one chunk, and a
+/// chunk holds tensors until it cannot fit the next one (bump allocation
+/// within the chunk, whole-chunk reclamation when all tenants are freed).
+///
+/// Internal fragmentation appears at the tail of every chunk, and a single
+/// large tensor can strand most of a chunk — the paper's critique.
+#[derive(Debug, Clone)]
+pub struct ChunkAllocator {
+    chunk_size: u64,
+    /// Per-chunk bookkeeping: bump cursor and live-tenant count. A chunk is
+    /// recycled (cursor reset) only when its tenant count drops to zero —
+    /// the whole-chunk-granularity reuse that strands tail space.
+    chunks: Vec<ChunkState>,
+    capacity: u64,
+    stats: FragmentationStats,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ChunkState {
+    cursor: u64,
+    tenants: u32,
+}
+
+impl ChunkAllocator {
+    /// `capacity` is rounded down to a whole number of chunks; `chunk_size`
+    /// must be at least as large as the largest tensor ever requested
+    /// (requests above it return [`AllocError::Unsatisfiable`]).
+    pub fn new(capacity: u64, chunk_size: u64) -> Self {
+        assert!(chunk_size > 0);
+        let num_chunks = (capacity / chunk_size) as usize;
+        Self {
+            chunk_size,
+            chunks: vec![ChunkState::default(); num_chunks],
+            capacity: num_chunks as u64 * chunk_size,
+            stats: FragmentationStats::new(num_chunks as u64 * chunk_size),
+        }
+    }
+
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    fn chunk_of(&self, offset: u64) -> usize {
+        (offset / self.chunk_size) as usize
+    }
+}
+
+impl AddressAllocator for ChunkAllocator {
+    fn allocate(&mut self, size: u64) -> Result<Allocation, AllocError> {
+        if size > self.chunk_size {
+            self.stats.on_failure();
+            return Err(AllocError::Unsatisfiable { requested: size, limit: self.chunk_size });
+        }
+        // First chunk whose bump cursor leaves room.
+        let found = self
+            .chunks
+            .iter()
+            .position(|c| self.chunk_size - c.cursor >= size && c.tenants > 0)
+            .or_else(|| self.chunks.iter().position(|c| c.tenants == 0));
+        match found {
+            Some(i) => {
+                let base = i as u64 * self.chunk_size;
+                if self.chunks[i].tenants == 0 {
+                    self.chunks[i].cursor = 0;
+                }
+                let offset = base + self.chunks[i].cursor;
+                self.chunks[i].cursor += size;
+                self.chunks[i].tenants += 1;
+                self.stats.on_allocate(size, size);
+                self.stats.observe_raw(
+                    self.used_reserved_bytes(),
+                    self.largest_available(),
+                    self.free_bytes_visible(),
+                );
+                Ok(Allocation { offset, size, reserved: size })
+            }
+            None => {
+                self.stats.on_failure();
+                let free = self.free_bytes_visible();
+                if size > free {
+                    Err(AllocError::OutOfMemory { requested: size, free })
+                } else {
+                    Err(AllocError::Fragmented {
+                        requested: size,
+                        free,
+                        largest: self.largest_available(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn free(&mut self, alloc: Allocation) {
+        let i = self.chunk_of(alloc.offset);
+        assert!(self.chunks[i].tenants > 0, "double free in chunk {i}");
+        self.chunks[i].tenants -= 1;
+        if self.chunks[i].tenants == 0 {
+            self.chunks[i].cursor = 0;
+        }
+        self.stats.on_free(alloc.size, alloc.reserved);
+        self.stats.observe_raw(
+            self.used_reserved_bytes(),
+            self.largest_available(),
+            self.free_bytes_visible(),
+        );
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn stats(&self) -> FragmentationStats {
+        self.stats.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "chunk-based (PatrickStar)"
+    }
+}
+
+impl ChunkAllocator {
+    /// Bytes usable for *new* allocations: tail space of partially-filled
+    /// live chunks plus whole empty chunks. Space behind the cursor of a
+    /// live chunk is stranded until the whole chunk empties.
+    fn free_bytes_visible(&self) -> u64 {
+        self.chunks
+            .iter()
+            .map(|c| if c.tenants == 0 { self.chunk_size } else { self.chunk_size - c.cursor })
+            .sum()
+    }
+
+    fn used_reserved_bytes(&self) -> u64 {
+        self.capacity - self.free_bytes_visible()
+    }
+
+    fn largest_available(&self) -> u64 {
+        self.chunks
+            .iter()
+            .map(|c| if c.tenants == 0 { self.chunk_size } else { self.chunk_size - c.cursor })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_fragmentation_failure_mode() {
+        let mut a = NaiveAllocator::new(1000);
+        let blocks: Vec<_> = (0..10).map(|_| a.allocate(100).unwrap()).collect();
+        for (i, b) in blocks.into_iter().enumerate() {
+            if i % 2 == 0 {
+                a.free(b);
+            }
+        }
+        // 500 B free but checkerboarded into 100 B holes.
+        match a.allocate(200) {
+            Err(AllocError::Fragmented { free: 500, largest: 100, .. }) => {}
+            other => panic!("expected fragmentation failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn best_fit_reuses_exact_holes() {
+        let mut a = BestFitAllocator::new(1000);
+        let x = a.allocate(128).unwrap();
+        let _y = a.allocate(300).unwrap();
+        a.free(x);
+        // A new 128 B tensor lands exactly in the hole.
+        let z = a.allocate(128).unwrap();
+        assert_eq!(z.offset, 0);
+    }
+
+    #[test]
+    fn chunk_rejects_oversized_tensors() {
+        let mut a = ChunkAllocator::new(10_000, 1000);
+        assert!(matches!(
+            a.allocate(1001),
+            Err(AllocError::Unsatisfiable { requested: 1001, limit: 1000 })
+        ));
+    }
+
+    #[test]
+    fn chunk_strands_tail_space() {
+        // 2 chunks of 1000. Put a 600 B tensor in each; each chunk now has a
+        // 400 B tail, but an 800 B tensor cannot fit anywhere even though
+        // 800 B is "free" in total — the paper's critique of chunking.
+        let mut a = ChunkAllocator::new(2000, 1000);
+        let _t1 = a.allocate(600).unwrap();
+        let _t2 = a.allocate(600).unwrap();
+        match a.allocate(800) {
+            Err(AllocError::Fragmented { free: 800, largest: 400, .. }) => {}
+            other => panic!("expected stranded-tail failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunk_recycles_when_empty() {
+        let mut a = ChunkAllocator::new(1000, 1000);
+        let t1 = a.allocate(900).unwrap();
+        assert!(a.allocate(200).is_err());
+        a.free(t1);
+        // Whole chunk recycled; cursor reset.
+        let t2 = a.allocate(1000).unwrap();
+        assert_eq!(t2.offset, 0);
+    }
+
+    #[test]
+    fn chunk_cursor_not_reset_while_live() {
+        let mut a = ChunkAllocator::new(1000, 1000);
+        let t1 = a.allocate(400).unwrap();
+        let t2 = a.allocate(400).unwrap();
+        a.free(t1);
+        // 400 B hole at the front is stranded; only the 200 B tail remains.
+        assert!(a.allocate(300).is_err());
+        a.free(t2);
+        assert!(a.allocate(1000).is_ok());
+    }
+
+    #[test]
+    fn stats_track_peak_usage() {
+        let mut a = BestFitAllocator::new(1000);
+        let x = a.allocate(800).unwrap();
+        a.free(x);
+        let s = a.stats();
+        assert_eq!(s.peak_used_bytes, 800);
+        assert_eq!(s.used_bytes, 0);
+        assert_eq!(s.num_allocations, 1);
+        assert_eq!(s.num_frees, 1);
+    }
+
+    #[test]
+    fn allocator_names() {
+        assert_eq!(NaiveAllocator::new(1).name(), "naive-first-fit");
+        assert_eq!(BestFitAllocator::new(1).name(), "best-fit (BFC)");
+        assert_eq!(ChunkAllocator::new(1, 1).name(), "chunk-based (PatrickStar)");
+    }
+}

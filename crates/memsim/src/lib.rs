@@ -1,0 +1,102 @@
+//! Memory substrate for the Angel-PTM reproduction.
+//!
+//! Section 3.2 of the paper motivates the Page abstraction by observing that
+//! coarse memory management — per-tensor allocation (PyTorch/TensorFlow-style)
+//! or oversized chunks (PatrickStar) — fragments GPU memory as model states
+//! move between tiers: "As the training process continues and the model state
+//! is constantly moved, more and more memory fragmentation is generated,
+//! leading to inefficient memory usage."
+//!
+//! This crate provides the pieces needed to *measure* that claim:
+//!
+//! * [`BytePool`] — a simulated contiguous address space with an explicit
+//!   free-list and exhaustive invariant checking;
+//! * three baseline allocators behind the [`AddressAllocator`] trait:
+//!   [`BestFitAllocator`] (TensorFlow's BFC with coalescing),
+//!   [`ChunkAllocator`] (PatrickStar's fixed chunks) and
+//!   [`NaiveAllocator`] (first-fit per-tensor allocation, PyTorch-like);
+//! * [`FragmentationStats`] — external/internal fragmentation and peak-usage
+//!   accounting shared by all allocators, including Angel-PTM's page
+//!   allocator in `angel-core`.
+//!
+//! The allocators here manage *simulated addresses* (offsets into a pool),
+//! not real memory: fragmentation is a property of the address arithmetic,
+//! so nothing is lost by the simulation, and pools of hundreds of gigabytes
+//! cost nothing to model.
+
+pub mod alloc;
+pub mod pool;
+pub mod segfit;
+pub mod stats;
+
+pub use alloc::{
+    AddressAllocator, AllocError, Allocation, BestFitAllocator, ChunkAllocator, NaiveAllocator,
+};
+pub use pool::{BytePool, Extent};
+pub use segfit::SegregatedFitAllocator;
+pub use stats::FragmentationStats;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Drive any allocator with a random allocate/free trace and check the
+    /// shared invariants: no overlap, in-bounds, used+free accounting.
+    fn exercise(alloc: &mut dyn AddressAllocator, ops: &[(bool, u64)]) {
+        let mut live: Vec<Allocation> = Vec::new();
+        for &(is_alloc, size) in ops {
+            if is_alloc || live.is_empty() {
+                if let Ok(a) = alloc.allocate(size.max(1)) {
+                    // In-bounds.
+                    assert!(a.offset + a.size <= alloc.capacity());
+                    // No overlap with any live allocation.
+                    for b in &live {
+                        let disjoint =
+                            a.offset + a.size <= b.offset || b.offset + b.size <= a.offset;
+                        assert!(disjoint, "overlap: {a:?} vs {b:?}");
+                    }
+                    live.push(a);
+                }
+            } else {
+                let idx = (size as usize) % live.len();
+                let victim = live.swap_remove(idx);
+                alloc.free(victim);
+            }
+            let stats = alloc.stats();
+            assert!(stats.used_bytes <= alloc.capacity());
+            assert!(stats.peak_used_bytes >= stats.used_bytes);
+        }
+        for a in live.drain(..) {
+            alloc.free(a);
+        }
+        // After freeing everything, no bytes may remain in use.
+        assert_eq!(alloc.stats().used_bytes, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn best_fit_invariants(ops in proptest::collection::vec((any::<bool>(), 1u64..64_000), 1..200)) {
+            let mut a = BestFitAllocator::new(1 << 20);
+            exercise(&mut a, &ops);
+        }
+
+        #[test]
+        fn naive_invariants(ops in proptest::collection::vec((any::<bool>(), 1u64..64_000), 1..200)) {
+            let mut a = NaiveAllocator::new(1 << 20);
+            exercise(&mut a, &ops);
+        }
+
+        #[test]
+        fn chunk_invariants(ops in proptest::collection::vec((any::<bool>(), 1u64..32_000), 1..200)) {
+            let mut a = ChunkAllocator::new(1 << 20, 64_000);
+            exercise(&mut a, &ops);
+        }
+
+        #[test]
+        fn segfit_invariants(ops in proptest::collection::vec((any::<bool>(), 1u64..64_000), 1..200)) {
+            let mut a = SegregatedFitAllocator::new(1 << 21);
+            exercise(&mut a, &ops);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! A simulated contiguous address space with an explicit free-list.
+//!
+//! [`BytePool`] is the shared bookkeeping core under every allocator in this
+//! crate: it tracks which extents of a `[0, capacity)` address range are free,
+//! supports splitting on allocation and coalescing on free, and can answer the
+//! fragmentation questions the motivation experiment asks (largest free block
+//! vs. total free bytes).
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open `[offset, offset + size)` range of simulated addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Extent {
+    pub offset: u64,
+    pub size: u64,
+}
+
+impl Extent {
+    pub fn new(offset: u64, size: u64) -> Self {
+        Self { offset, size }
+    }
+
+    pub fn end(&self) -> u64 {
+        self.offset + self.size
+    }
+
+    /// Whether `self` and `other` touch or overlap (so they could coalesce).
+    pub fn adjacent_or_overlapping(&self, other: &Extent) -> bool {
+        self.offset <= other.end() && other.offset <= self.end()
+    }
+}
+
+/// A `[0, capacity)` address range with a sorted, coalesced free-list.
+///
+/// Invariants (checked by `debug_assert_invariants` and the property tests):
+/// * free extents are sorted by offset, non-empty, non-overlapping and
+///   non-adjacent (adjacent extents are always merged);
+/// * the sum of free extents plus `used_bytes` equals `capacity`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BytePool {
+    capacity: u64,
+    /// Sorted by offset; maximally coalesced.
+    free: Vec<Extent>,
+    used_bytes: u64,
+}
+
+impl BytePool {
+    /// A pool covering `[0, capacity)`, fully free.
+    pub fn new(capacity: u64) -> Self {
+        let free = if capacity > 0 {
+            vec![Extent::new(0, capacity)]
+        } else {
+            Vec::new()
+        };
+        Self { capacity, free, used_bytes: 0 }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used_bytes
+    }
+
+    /// The largest single free extent — the biggest allocation that can
+    /// currently succeed. `free_bytes() - largest_free_extent()` is the
+    /// classic external-fragmentation measure.
+    pub fn largest_free_extent(&self) -> u64 {
+        self.free.iter().map(|e| e.size).max().unwrap_or(0)
+    }
+
+    /// Number of discontiguous free extents.
+    pub fn num_free_extents(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Iterate over the free extents in address order.
+    pub fn free_extents(&self) -> impl Iterator<Item = &Extent> {
+        self.free.iter()
+    }
+
+    /// Carve `size` bytes from the free extent at `free_index`, taking the
+    /// low end of the extent. Panics if the extent is too small.
+    fn carve(&mut self, free_index: usize, size: u64) -> Extent {
+        let ext = self.free[free_index];
+        assert!(ext.size >= size, "carve: extent too small");
+        let out = Extent::new(ext.offset, size);
+        if ext.size == size {
+            self.free.remove(free_index);
+        } else {
+            self.free[free_index] = Extent::new(ext.offset + size, ext.size - size);
+        }
+        self.used_bytes += size;
+        self.debug_assert_invariants();
+        out
+    }
+
+    /// First-fit: take the lowest-addressed free extent that fits.
+    pub fn allocate_first_fit(&mut self, size: u64) -> Option<Extent> {
+        assert!(size > 0, "zero-sized allocation");
+        let idx = self.free.iter().position(|e| e.size >= size)?;
+        Some(self.carve(idx, size))
+    }
+
+    /// Best-fit: take the smallest free extent that fits (ties go to the
+    /// lowest address because the free-list is offset-sorted). This is the
+    /// allocation policy of TensorFlow's BFC allocator the paper cites.
+    pub fn allocate_best_fit(&mut self, size: u64) -> Option<Extent> {
+        assert!(size > 0, "zero-sized allocation");
+        let idx = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.size >= size)
+            .min_by_key(|(_, e)| e.size)
+            .map(|(i, _)| i)?;
+        Some(self.carve(idx, size))
+    }
+
+    /// Return an extent to the pool, coalescing with its neighbours.
+    ///
+    /// Panics (in debug builds) on double-free or out-of-bounds extents: these
+    /// are always caller bugs, never recoverable conditions.
+    pub fn free(&mut self, ext: Extent) {
+        assert!(ext.size > 0, "freeing empty extent");
+        assert!(ext.end() <= self.capacity, "freeing out-of-bounds extent");
+        debug_assert!(
+            !self.free.iter().any(|f| f.offset < ext.end() && ext.offset < f.end()),
+            "double free of {ext:?}"
+        );
+        // Insertion point in the sorted free-list.
+        let pos = self.free.partition_point(|f| f.offset < ext.offset);
+        let mut merged = ext;
+        // Coalesce with predecessor.
+        if pos > 0 && self.free[pos - 1].end() == merged.offset {
+            let prev = self.free.remove(pos - 1);
+            merged = Extent::new(prev.offset, prev.size + merged.size);
+            // Removal shifted the insertion point left by one.
+            return self.finish_free(pos - 1, merged, ext.size);
+        }
+        self.finish_free(pos, merged, ext.size);
+    }
+
+    fn finish_free(&mut self, pos: usize, mut merged: Extent, freed: u64) {
+        // Coalesce with successor.
+        if pos < self.free.len() && merged.end() == self.free[pos].offset {
+            let next = self.free.remove(pos);
+            merged = Extent::new(merged.offset, merged.size + next.size);
+        }
+        self.free.insert(pos, merged);
+        self.used_bytes -= freed;
+        self.debug_assert_invariants();
+    }
+
+    fn debug_assert_invariants(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut total = 0;
+            for w in self.free.windows(2) {
+                assert!(w[0].end() < w[1].offset, "free-list not coalesced/sorted: {w:?}");
+            }
+            for e in &self.free {
+                assert!(e.size > 0);
+                assert!(e.end() <= self.capacity);
+                total += e.size;
+            }
+            assert_eq!(total + self.used_bytes, self.capacity, "byte accounting broken");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_pool_is_one_extent() {
+        let p = BytePool::new(1000);
+        assert_eq!(p.free_bytes(), 1000);
+        assert_eq!(p.num_free_extents(), 1);
+        assert_eq!(p.largest_free_extent(), 1000);
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_address() {
+        let mut p = BytePool::new(1000);
+        let a = p.allocate_first_fit(100).unwrap();
+        assert_eq!(a.offset, 0);
+        let b = p.allocate_first_fit(100).unwrap();
+        assert_eq!(b.offset, 100);
+        assert_eq!(p.used_bytes(), 200);
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_hole() {
+        let mut p = BytePool::new(1000);
+        let a = p.allocate_first_fit(100).unwrap(); // [0,100)
+        let b = p.allocate_first_fit(50).unwrap(); // [100,150)
+        let _c = p.allocate_first_fit(100).unwrap(); // [150,250)
+        p.free(a); // hole of 100 at 0
+        p.free(b); // merges? no: a=[0,100), b=[100,150) adjacent -> merges to [0,150)
+        assert_eq!(p.num_free_extents(), 2); // [0,150) and [250,1000)
+        // Re-fragment: take 50 from the front hole.
+        let d = p.allocate_best_fit(120).unwrap();
+        // Best fit chooses the 150-byte hole, not the 750-byte tail.
+        assert_eq!(d.offset, 0);
+    }
+
+    #[test]
+    fn coalescing_merges_both_sides() {
+        let mut p = BytePool::new(300);
+        let a = p.allocate_first_fit(100).unwrap();
+        let b = p.allocate_first_fit(100).unwrap();
+        let c = p.allocate_first_fit(100).unwrap();
+        p.free(a);
+        p.free(c);
+        assert_eq!(p.num_free_extents(), 2);
+        p.free(b); // merges with both neighbours
+        assert_eq!(p.num_free_extents(), 1);
+        assert_eq!(p.largest_free_extent(), 300);
+    }
+
+    #[test]
+    fn allocation_failure_leaves_pool_untouched() {
+        let mut p = BytePool::new(100);
+        let _a = p.allocate_first_fit(60).unwrap();
+        assert!(p.allocate_first_fit(50).is_none());
+        assert_eq!(p.used_bytes(), 60);
+        assert!(p.allocate_best_fit(50).is_none());
+    }
+
+    #[test]
+    fn external_fragmentation_is_observable() {
+        // Classic checkerboard: free every other block; total free is large
+        // but the largest extent is small.
+        let mut p = BytePool::new(1000);
+        let blocks: Vec<_> = (0..10).map(|_| p.allocate_first_fit(100).unwrap()).collect();
+        for (i, b) in blocks.into_iter().enumerate() {
+            if i % 2 == 0 {
+                p.free(b);
+            }
+        }
+        assert_eq!(p.free_bytes(), 500);
+        assert_eq!(p.largest_free_extent(), 100);
+        assert_eq!(p.num_free_extents(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_pool() {
+        let mut p = BytePool::new(0);
+        assert_eq!(p.free_bytes(), 0);
+        assert!(p.allocate_first_fit(1).is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! Fragmentation and usage statistics shared by all allocators.
+
+use crate::pool::BytePool;
+use serde::{Deserialize, Serialize};
+
+/// Running statistics for one allocator over one trace.
+///
+/// `used_bytes` counts bytes the caller asked for; `reserved_bytes` counts
+/// bytes actually taken from the pool (rounding, chunk tails). The difference
+/// is internal fragmentation. External fragmentation is derived from pool
+/// observations: `1 - largest_free_extent / free_bytes`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FragmentationStats {
+    pub capacity: u64,
+    pub used_bytes: u64,
+    pub reserved_bytes: u64,
+    pub peak_used_bytes: u64,
+    pub peak_reserved_bytes: u64,
+    pub num_allocations: u64,
+    pub num_frees: u64,
+    pub num_failures: u64,
+    /// Worst external fragmentation ratio observed over the trace, in
+    /// `[0, 1]`: 0 = one contiguous free block, →1 = free space shattered.
+    pub worst_external_frag: f64,
+    /// Most recent external fragmentation ratio.
+    pub external_frag: f64,
+    /// Largest free extent at the last observation.
+    pub largest_free_extent: u64,
+}
+
+impl FragmentationStats {
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, ..Default::default() }
+    }
+
+    /// Record a successful allocation of `size` bytes occupying `reserved`.
+    pub fn on_allocate(&mut self, size: u64, reserved: u64) {
+        debug_assert!(reserved >= size);
+        self.used_bytes += size;
+        self.reserved_bytes += reserved;
+        self.peak_used_bytes = self.peak_used_bytes.max(self.used_bytes);
+        self.peak_reserved_bytes = self.peak_reserved_bytes.max(self.reserved_bytes);
+        self.num_allocations += 1;
+    }
+
+    /// Record a free of a previous allocation.
+    pub fn on_free(&mut self, size: u64, reserved: u64) {
+        self.used_bytes -= size;
+        self.reserved_bytes -= reserved;
+        self.num_frees += 1;
+    }
+
+    /// Record a failed allocation.
+    pub fn on_failure(&mut self) {
+        self.num_failures += 1;
+    }
+
+    /// Sample external fragmentation from a [`BytePool`].
+    pub fn observe(&mut self, pool: &BytePool) {
+        self.observe_raw(pool.used_bytes(), pool.largest_free_extent(), pool.free_bytes());
+    }
+
+    /// Sample external fragmentation from raw numbers (for allocators that do
+    /// not use a `BytePool` internally, like the chunk allocator).
+    pub fn observe_raw(&mut self, _used: u64, largest_free: u64, free: u64) {
+        self.largest_free_extent = largest_free;
+        self.external_frag = if free == 0 {
+            0.0
+        } else {
+            1.0 - largest_free as f64 / free as f64
+        };
+        if self.external_frag > self.worst_external_frag {
+            self.worst_external_frag = self.external_frag;
+        }
+    }
+
+    /// Internal fragmentation ratio right now: wasted ÷ reserved.
+    pub fn internal_frag(&self) -> f64 {
+        if self.reserved_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.used_bytes as f64 / self.reserved_bytes as f64
+        }
+    }
+
+    /// Fraction of the pool in use (by reservation) at the peak.
+    pub fn peak_utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.peak_reserved_bytes as f64 / self.capacity as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_round_trip() {
+        let mut s = FragmentationStats::new(1000);
+        s.on_allocate(100, 128);
+        s.on_allocate(200, 200);
+        assert_eq!(s.used_bytes, 300);
+        assert_eq!(s.reserved_bytes, 328);
+        assert!((s.internal_frag() - (1.0 - 300.0 / 328.0)).abs() < 1e-12);
+        s.on_free(100, 128);
+        s.on_free(200, 200);
+        assert_eq!(s.used_bytes, 0);
+        assert_eq!(s.internal_frag(), 0.0);
+        assert_eq!(s.peak_used_bytes, 300);
+        assert!((s.peak_utilization() - 0.328).abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_frag_ratio() {
+        let mut s = FragmentationStats::new(1000);
+        // 500 free in one block: no external fragmentation.
+        s.observe_raw(500, 500, 500);
+        assert_eq!(s.external_frag, 0.0);
+        // 500 free, largest 100: heavily fragmented.
+        s.observe_raw(500, 100, 500);
+        assert!((s.external_frag - 0.8).abs() < 1e-12);
+        assert!((s.worst_external_frag - 0.8).abs() < 1e-12);
+        // Recovers, but worst-case is sticky.
+        s.observe_raw(500, 500, 500);
+        assert_eq!(s.external_frag, 0.0);
+        assert!((s.worst_external_frag - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pool_edge_cases() {
+        let mut s = FragmentationStats::new(0);
+        s.observe_raw(0, 0, 0);
+        assert_eq!(s.external_frag, 0.0);
+        assert_eq!(s.peak_utilization(), 0.0);
+        assert_eq!(s.internal_frag(), 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Transformer architecture descriptions and the Table 4 model zoo.
+//!
+//! Table 4 of the paper lists the eleven models used in the evaluation. We
+//! encode it verbatim. Note that the *names* in the paper are nominal: for a
+//! few entries the parameter count computed from the listed geometry does not
+//! exactly match the name (e.g. "GPT3-30B" with 64 × d=8192 layers computes
+//! to ~51B dense parameters). Where an experiment depends on the actual size
+//! (capacity searches, Table 5) we always use the *computed* count from the
+//! geometry, never the nominal name, and say so in EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// Model family — affects layer structure (decoder-only vs. encoder-decoder)
+/// and whether FFNs are replaced by expert layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// Decoder-only (GPT-3 style): each layer = self-attention + FFN.
+    Gpt,
+    /// Encoder–decoder (T5 style). We model a decoder block with an extra
+    /// cross-attention sub-layer.
+    T5,
+    /// T5 with Mixture-of-Experts FFNs (Switch-Transformer style).
+    T5Moe,
+}
+
+/// Architecture of one Transformer model, in the paper's notation:
+/// `b` batch size, `s` sequence length, `d_m` (`d_model`) hidden size,
+/// `d_ffn` FFN hidden size.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    pub name: String,
+    pub family: ModelFamily,
+    /// Number of Transformer blocks (`#Layer` in Table 4).
+    pub layers: usize,
+    /// Attention heads (`#Head`).
+    pub heads: usize,
+    /// Embedding hidden size (`d_Model`).
+    pub d_model: usize,
+    /// FFN hidden size (`d_FFN`).
+    pub d_ffn: usize,
+    /// Experts per MoE layer (`#Expert`); 0 for dense models.
+    pub experts: usize,
+    /// Sequence length. The paper's analysis in Section 2.2 uses 2048.
+    pub seq_len: usize,
+    /// Vocabulary size (embeddings are excluded from the paper's memory
+    /// analysis, but the FLOPs model can include the LM head).
+    pub vocab: usize,
+}
+
+impl TransformerConfig {
+    /// A fully custom config.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        family: ModelFamily,
+        layers: usize,
+        heads: usize,
+        d_model: usize,
+        d_ffn: usize,
+        experts: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            family,
+            layers,
+            heads,
+            d_model,
+            d_ffn,
+            experts,
+            seq_len: 2048,
+            vocab: 51200,
+        }
+    }
+
+    /// Builder-style override of the sequence length.
+    pub fn with_seq_len(mut self, seq_len: usize) -> Self {
+        self.seq_len = seq_len;
+        self
+    }
+
+    /// Builder-style override of the layer count — the capacity experiments
+    /// "increase the number of transformer blocks and fix other model
+    /// settings" (Section 6.2).
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Builder-style override of the expert count (Figure 9 scales experts
+    /// with the number of GPUs).
+    pub fn with_experts(mut self, experts: usize) -> Self {
+        self.experts = experts;
+        self
+    }
+
+    // ----- Table 4 presets, verbatim ------------------------------------
+
+    pub fn gpt3_1_7b() -> Self {
+        Self::new("GPT3-1.7B", ModelFamily::Gpt, 24, 24, 2304, 9216, 0)
+    }
+
+    pub fn gpt3_13b() -> Self {
+        Self::new("GPT3-13B", ModelFamily::Gpt, 40, 40, 5140, 20506, 0)
+    }
+
+    pub fn gpt3_28b() -> Self {
+        Self::new("GPT3-28B", ModelFamily::Gpt, 26, 128, 8192, 32768, 0)
+    }
+
+    pub fn gpt3_30b() -> Self {
+        Self::new("GPT3-30B", ModelFamily::Gpt, 64, 36, 8192, 32768, 0)
+    }
+
+    pub fn gpt3_55b() -> Self {
+        Self::new("GPT3-55B", ModelFamily::Gpt, 68, 128, 8192, 32768, 0)
+    }
+
+    pub fn gpt3_120b() -> Self {
+        Self::new("GPT3-120B", ModelFamily::Gpt, 64, 96, 12288, 49152, 0)
+    }
+
+    pub fn gpt3_175b() -> Self {
+        Self::new("GPT3-175B", ModelFamily::Gpt, 70, 112, 14336, 57344, 0)
+    }
+
+    /// The canonical GPT-3 175B geometry from the original OpenAI paper,
+    /// used by Section 2.2's memory analysis and Table 2's tensor-size
+    /// distribution (d_m = 12288, d_ffn = 49152).
+    pub fn gpt3_175b_openai() -> Self {
+        Self::new("GPT3-175B(openai)", ModelFamily::Gpt, 96, 96, 12288, 49152, 0)
+    }
+
+    pub fn t5_1_4b() -> Self {
+        Self::new("T5-1.4B", ModelFamily::T5, 16, 16, 1024, 16384, 0)
+    }
+
+    pub fn t5_27b() -> Self {
+        Self::new("T5-27B", ModelFamily::T5, 28, 64, 4096, 16384, 0)
+    }
+
+    pub fn t5_58b() -> Self {
+        Self::new("T5-58B", ModelFamily::T5, 60, 64, 4096, 16384, 0)
+    }
+
+    pub fn t5_moe_1_2t() -> Self {
+        Self::new("T5-MoE-1.2T", ModelFamily::T5Moe, 16, 16, 1024, 16384, 2304)
+    }
+
+    /// All Table 4 presets in row order.
+    pub fn table4() -> Vec<Self> {
+        vec![
+            Self::gpt3_1_7b(),
+            Self::gpt3_13b(),
+            Self::gpt3_28b(),
+            Self::gpt3_30b(),
+            Self::gpt3_55b(),
+            Self::gpt3_120b(),
+            Self::gpt3_175b(),
+            Self::t5_1_4b(),
+            Self::t5_27b(),
+            Self::t5_58b(),
+            Self::t5_moe_1_2t(),
+        ]
+    }
+
+    // ----- Derived quantities -------------------------------------------
+
+    /// Whether this model replaces FFNs with expert layers.
+    pub fn is_moe(&self) -> bool {
+        self.experts > 0
+    }
+
+    /// Attention parameter count per block: Q, K, V and output projections,
+    /// each `d_model × d_model` (biases folded in as in the paper, which
+    /// ignores small tensors).
+    pub fn attn_params_per_layer(&self) -> u64 {
+        let d = self.d_model as u64;
+        let per_attn = 4 * d * d;
+        match self.family {
+            ModelFamily::Gpt => per_attn,
+            // Decoder blocks carry an extra cross-attention; we average the
+            // encoder and decoder halves: (1 + 2) / 2 attention networks.
+            ModelFamily::T5 | ModelFamily::T5Moe => per_attn * 3 / 2,
+        }
+    }
+
+    /// FFN parameter count per block: two `d_model × d_ffn` matrices. For MoE
+    /// models this is the size of **one** expert; multiply by
+    /// [`TransformerConfig::experts`] for the full expert bank.
+    pub fn ffn_params_per_expert(&self) -> u64 {
+        2 * self.d_model as u64 * self.d_ffn as u64
+    }
+
+    /// LayerNorm parameters per block (weights + biases for the two norms —
+    /// the "4·d_m" the paper explicitly ignores in totals).
+    pub fn norm_params_per_layer(&self) -> u64 {
+        4 * self.d_model as u64
+    }
+
+    /// Dense parameter count per block, with every expert counted once for
+    /// MoE models. Embeddings are excluded, matching the paper ("we do not
+    /// take the embedding_look_up and loss function into consideration").
+    pub fn params_per_layer(&self) -> u64 {
+        let experts = self.experts.max(1) as u64;
+        self.attn_params_per_layer()
+            + experts * self.ffn_params_per_expert()
+            + self.norm_params_per_layer()
+    }
+
+    /// Total parameter count of the model (all layers, all experts).
+    pub fn total_params(&self) -> u64 {
+        self.layers as u64 * self.params_per_layer()
+    }
+
+    /// Bytes of *model states* per parameter under mixed-precision Adam:
+    /// FP16 parameter (2) + FP16 gradient (2) + FP32 master (4) + FP32
+    /// momentum (4) + FP32 variance (4) = 16. This is the constant behind
+    /// Table 1's `Params + Optims` columns.
+    pub const STATE_BYTES_PER_PARAM: u64 = 16;
+
+    /// Total bytes of model states (parameters + gradients + optimizer).
+    pub fn model_state_bytes(&self) -> u64 {
+        self.total_params() * Self::STATE_BYTES_PER_PARAM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_presets_match_paper_rows() {
+        let t = TransformerConfig::table4();
+        assert_eq!(t.len(), 11);
+        assert_eq!((t[0].layers, t[0].heads, t[0].d_model, t[0].d_ffn), (24, 24, 2304, 9216));
+        assert_eq!((t[6].layers, t[6].heads, t[6].d_model, t[6].d_ffn), (70, 112, 14336, 57344));
+        assert_eq!(t[10].experts, 2304);
+        assert!(t[10].is_moe());
+        assert!(!t[0].is_moe());
+    }
+
+    #[test]
+    fn gpt_params_per_layer_formula() {
+        // For d_ffn = 4·d_model a GPT block has 12·d² parameters (+ norms).
+        let c = TransformerConfig::gpt3_28b();
+        let d = c.d_model as u64;
+        assert_eq!(c.attn_params_per_layer(), 4 * d * d);
+        assert_eq!(c.ffn_params_per_expert(), 8 * d * d);
+        assert_eq!(c.params_per_layer(), 12 * d * d + 4 * d);
+    }
+
+    #[test]
+    fn gpt3_175b_openai_is_about_175b() {
+        // 96 layers × 12·12288² ≈ 174B — the canonical figure (embeddings
+        // excluded, hence slightly under 175B).
+        let c = TransformerConfig::gpt3_175b_openai();
+        let p = c.total_params();
+        assert!(p > 170_000_000_000 && p < 180_000_000_000, "params = {p}");
+    }
+
+    #[test]
+    fn model_state_bytes_match_section22_analysis() {
+        // Section 2.2: GPT-3 175B Params = 648 GB, Optims = 1944 GB
+        // (so states = 2592 GB = params × 16 bytes ≈ 162e9 × 16).
+        let c = TransformerConfig::gpt3_175b_openai();
+        let gib = 1u64 << 30;
+        let params_bytes = c.total_params() * 4; // fp16 p + g
+        let optim_bytes = c.total_params() * 12;
+        // The paper's 648/1944 GB figures are for the 96-layer geometry
+        // without embeddings; allow 5% slack for its rounding.
+        let params_gb = params_bytes as f64 / gib as f64;
+        let optim_gb = optim_bytes as f64 / gib as f64;
+        assert!((params_gb - 648.0).abs() / 648.0 < 0.05, "params = {params_gb} GB");
+        assert!((optim_gb - 1944.0).abs() / 1944.0 < 0.05, "optims = {optim_gb} GB");
+    }
+
+    #[test]
+    fn moe_total_params_reach_1_2t() {
+        let c = TransformerConfig::t5_moe_1_2t();
+        // 16 layers × 2304 experts × 2×1024×16384 ≈ 1.24T (attention adds a
+        // rounding error on top).
+        let p = c.total_params();
+        assert!(p > 1_100_000_000_000 && p < 1_350_000_000_000, "params = {p}");
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = TransformerConfig::gpt3_28b().with_layers(68).with_seq_len(1024).with_experts(4);
+        assert_eq!(c.layers, 68);
+        assert_eq!(c.seq_len, 1024);
+        assert_eq!(c.experts, 4);
+    }
+
+    #[test]
+    fn t5_has_cross_attention_overhead() {
+        let gpt = TransformerConfig::new("g", ModelFamily::Gpt, 1, 16, 1024, 4096, 0);
+        let t5 = TransformerConfig::new("t", ModelFamily::T5, 1, 16, 1024, 4096, 0);
+        assert!(t5.attn_params_per_layer() > gpt.attn_params_per_layer());
+    }
+}

@@ -1,0 +1,317 @@
+//! Closed-form memory footprints of one Transformer layer — Table 1 of the
+//! paper, under mixed-precision training with the Adam optimizer.
+//!
+//! The paper's conventions (Section 2.2):
+//! * **Params** counts FP16 parameters *and* their FP16 gradients
+//!   ("2 (forward and backward)"), i.e. 4 bytes per parameter;
+//! * **Acts** counts FP16 activations and activation gradients;
+//! * **Optims** counts FP32 master parameter + Adam momentum + variance,
+//!   i.e. 12 bytes per parameter;
+//! * small tensors (LayerNorm parameters, attention-score vectors) are shown
+//!   per-row but dropped from the totals.
+//!
+//! Totals for one GPT layer (Table 1, bottom row):
+//! `Params = 16·d² + 8·d·d_ffn`, `Acts = 40·b·s·d + 8·b·s·d_ffn`,
+//! `Optims = 48·d² + 24·d·d_ffn`.
+
+use crate::config::{ModelFamily, TransformerConfig};
+use serde::Serialize;
+
+/// One row of Table 1: the footprint of a single operation inside the layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct OpFootprint {
+    /// Which block the op belongs to ("Attn" / "FFN" in Table 1).
+    pub block: &'static str,
+    /// Operation name as in Table 1 ("Linear(Q,K,V)", "MatMul", ...).
+    pub op: &'static str,
+    /// FP16 parameters + gradients, in bytes.
+    pub params_bytes: u64,
+    /// FP16 activations + activation gradients, in bytes.
+    pub acts_bytes: u64,
+    /// FP32 optimizer states (master + momentum + variance), in bytes.
+    pub optims_bytes: u64,
+}
+
+/// The full footprint of one Transformer layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct LayerFootprint {
+    pub ops: Vec<OpFootprint>,
+    /// Totals using the paper's simplification (small tensors dropped).
+    pub params_total: u64,
+    pub acts_total: u64,
+    pub optims_total: u64,
+}
+
+impl LayerFootprint {
+    /// All bytes of persistent model states for this layer (params+optims).
+    pub fn model_state_total(&self) -> u64 {
+        self.params_total + self.optims_total
+    }
+
+    /// Exact sums over all rows, including the small tensors the paper's
+    /// totals drop. Used to bound the approximation error.
+    pub fn exact_totals(&self) -> (u64, u64, u64) {
+        let p = self.ops.iter().map(|o| o.params_bytes).sum();
+        let a = self.ops.iter().map(|o| o.acts_bytes).sum();
+        let o = self.ops.iter().map(|o| o.optims_bytes).sum();
+        (p, a, o)
+    }
+}
+
+/// Compute Table 1 for one GPT layer of the given geometry at batch size `b`
+/// and sequence length `s`. Every row reproduces the formulas in the table.
+pub fn gpt_layer_footprint(d_m: u64, d_ffn: u64, b: u64, s: u64) -> LayerFootprint {
+    let ops = vec![
+        // --- Attention block -------------------------------------------
+        OpFootprint {
+            block: "Attn",
+            op: "Linear(Q,K,V)",
+            params_bytes: 12 * d_m * d_m, // 3 mats × (p+g) × 2B
+            acts_bytes: 12 * b * s * d_m, // {Q,K,V} × (fwd+bwd) × 2B
+            optims_bytes: 36 * d_m * d_m, // 3 mats × 3 states × 4B
+        },
+        OpFootprint {
+            block: "Attn",
+            op: "MatMul", // Q·Kᵀ attention scores
+            params_bytes: 0,
+            acts_bytes: 4 * b * s, // the paper's simplified b×s score shape
+            optims_bytes: 0,
+        },
+        OpFootprint {
+            block: "Attn",
+            op: "ScaledMaskSoftmax", // fused Scale+Mask+Softmax kernel
+            params_bytes: 0,
+            acts_bytes: 4 * b * s,
+            optims_bytes: 0,
+        },
+        OpFootprint {
+            block: "Attn",
+            op: "MatMul", // scores · V
+            params_bytes: 0,
+            acts_bytes: 4 * b * s * d_m,
+            optims_bytes: 0,
+        },
+        OpFootprint {
+            block: "Attn",
+            op: "Linear", // output projection
+            params_bytes: 4 * d_m * d_m,
+            acts_bytes: 4 * b * s * d_m,
+            optims_bytes: 12 * d_m * d_m,
+        },
+        OpFootprint {
+            block: "Attn",
+            op: "Add", // residual
+            params_bytes: 0,
+            acts_bytes: 4 * b * s * d_m,
+            optims_bytes: 0,
+        },
+        OpFootprint {
+            block: "Attn",
+            op: "LayerNorm",
+            params_bytes: 4 * d_m,
+            acts_bytes: 4 * b * s * d_m,
+            optims_bytes: 12 * d_m,
+        },
+        // --- FFN block ---------------------------------------------------
+        OpFootprint {
+            block: "FFN",
+            op: "Linear", // up-projection
+            params_bytes: 4 * d_m * d_ffn,
+            acts_bytes: 4 * b * s * d_ffn,
+            optims_bytes: 12 * d_m * d_ffn,
+        },
+        OpFootprint {
+            block: "FFN",
+            op: "GeLU",
+            params_bytes: 0,
+            acts_bytes: 4 * b * s * d_ffn,
+            optims_bytes: 0,
+        },
+        OpFootprint {
+            block: "FFN",
+            op: "Linear", // down-projection
+            params_bytes: 4 * d_m * d_ffn,
+            acts_bytes: 4 * b * s * d_m,
+            optims_bytes: 12 * d_m * d_ffn,
+        },
+        OpFootprint {
+            block: "FFN",
+            op: "Add",
+            params_bytes: 0,
+            acts_bytes: 4 * b * s * d_m,
+            optims_bytes: 0,
+        },
+        OpFootprint {
+            block: "FFN",
+            op: "LayerNorm",
+            params_bytes: 4 * d_m,
+            acts_bytes: 4 * b * s * d_m,
+            optims_bytes: 12 * d_m,
+        },
+    ];
+    LayerFootprint {
+        ops,
+        params_total: 16 * d_m * d_m + 8 * d_m * d_ffn,
+        acts_total: 40 * b * s * d_m + 8 * b * s * d_ffn,
+        optims_total: 48 * d_m * d_m + 24 * d_m * d_ffn,
+    }
+}
+
+/// Footprint of the whole model at batch size `b`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ModelFootprint {
+    pub layer: LayerFootprint,
+    pub layers: usize,
+    pub params_total: u64,
+    pub acts_total: u64,
+    pub optims_total: u64,
+}
+
+impl ModelFootprint {
+    /// Derive the footprint of `config` at batch size `b`.
+    ///
+    /// For T5 models the extra cross-attention sub-layer in decoder blocks is
+    /// accounted by scaling the attention terms by 3/2 (half the blocks carry
+    /// two attention networks), consistently with
+    /// [`TransformerConfig::attn_params_per_layer`]. For MoE models, FFN
+    /// parameter/optimizer terms are multiplied by the expert count while
+    /// activation terms are not (tokens visit one expert each).
+    pub fn of(config: &TransformerConfig, b: u64) -> Self {
+        let d = config.d_model as u64;
+        let f = config.d_ffn as u64;
+        let s = config.seq_len as u64;
+        let layer = gpt_layer_footprint(d, f, b, s);
+        let attn_scale_num = match config.family {
+            ModelFamily::Gpt => 1u64,
+            ModelFamily::T5 | ModelFamily::T5Moe => 3,
+        };
+        let attn_scale_den = match config.family {
+            ModelFamily::Gpt => 1u64,
+            ModelFamily::T5 | ModelFamily::T5Moe => 2,
+        };
+        let experts = config.experts.max(1) as u64;
+        // Split layer totals into attention-ish (d²) and FFN-ish (d·d_ffn)
+        // components so each can scale independently.
+        let attn_params = 16 * d * d;
+        let ffn_params = 8 * d * f;
+        let attn_optims = 48 * d * d;
+        let ffn_optims = 24 * d * f;
+        let params_per_layer =
+            attn_params * attn_scale_num / attn_scale_den + ffn_params * experts;
+        let optims_per_layer =
+            attn_optims * attn_scale_num / attn_scale_den + ffn_optims * experts;
+        let acts_per_layer = layer.acts_total; // activation volume is per token-path
+        let n = config.layers as u64;
+        Self {
+            layer,
+            layers: config.layers,
+            params_total: n * params_per_layer,
+            acts_total: n * acts_per_layer,
+            optims_total: n * optims_per_layer,
+        }
+    }
+
+    /// Persistent model states for the whole model.
+    pub fn model_state_total(&self) -> u64 {
+        self.params_total + self.optims_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use angel_hw::GIB;
+
+    const D: u64 = 12288; // GPT-3 175B geometry used in Section 2.2
+    const F: u64 = 49152;
+
+    #[test]
+    fn table1_rows_match_formulas() {
+        let fp = gpt_layer_footprint(D, F, 1, 2048);
+        let qkv = &fp.ops[0];
+        assert_eq!(qkv.params_bytes, 12 * D * D);
+        assert_eq!(qkv.acts_bytes, 12 * 2048 * D);
+        assert_eq!(qkv.optims_bytes, 36 * D * D);
+        let ffn_up = &fp.ops[7];
+        assert_eq!(ffn_up.params_bytes, 4 * D * F);
+        assert_eq!(ffn_up.acts_bytes, 4 * 2048 * F);
+        assert_eq!(ffn_up.optims_bytes, 12 * D * F);
+    }
+
+    #[test]
+    fn table1_totals_match_bottom_row() {
+        let b = 4;
+        let s = 2048;
+        let fp = gpt_layer_footprint(D, F, b, s);
+        assert_eq!(fp.params_total, 16 * D * D + 8 * D * F);
+        assert_eq!(fp.acts_total, 40 * b * s * D + 8 * b * s * F);
+        assert_eq!(fp.optims_total, 48 * D * D + 24 * D * F);
+    }
+
+    #[test]
+    fn totals_drop_only_small_tensors() {
+        // The paper's totals ignore LayerNorm params and score activations;
+        // the relative error of that simplification must be tiny (<0.1%).
+        let fp = gpt_layer_footprint(D, F, 1, 2048);
+        let (p, a, o) = fp.exact_totals();
+        let rel = |exact: u64, total: u64| (exact as f64 - total as f64).abs() / exact as f64;
+        assert!(rel(p, fp.params_total) < 1e-3);
+        assert!(rel(a, fp.acts_total) < 1e-3);
+        assert!(rel(o, fp.optims_total) < 1e-3);
+    }
+
+    #[test]
+    fn section22_gpt3_175b_analysis() {
+        // "For the GPT-3 175B, the Params, Acts and Optims consumes 648GB,
+        // 162GB, and 1944GB, respectively, when batch size is 1, sequence
+        // length is 2048, d_m = 12288 and d_ffn = 49152."
+        let cfg = crate::TransformerConfig::gpt3_175b_openai().with_seq_len(2048);
+        let fp = ModelFootprint::of(&cfg, 1);
+        let to_gb = |x: u64| x as f64 / GIB as f64;
+        assert!((to_gb(fp.params_total) - 648.0).abs() / 648.0 < 0.02, "{}", to_gb(fp.params_total));
+        assert!((to_gb(fp.acts_total) - 162.0).abs() / 162.0 < 0.02, "{}", to_gb(fp.acts_total));
+        assert!(
+            (to_gb(fp.optims_total) - 1944.0).abs() / 1944.0 < 0.02,
+            "{}",
+            to_gb(fp.optims_total)
+        );
+    }
+
+    #[test]
+    fn optims_are_three_times_params() {
+        // 12 bytes of FP32 state vs 4 bytes of FP16 param+grad per parameter.
+        let fp = gpt_layer_footprint(D, F, 1, 2048);
+        assert_eq!(fp.optims_total, 3 * fp.params_total);
+    }
+
+    #[test]
+    fn acts_scale_linearly_with_batch() {
+        let f1 = gpt_layer_footprint(D, F, 1, 2048);
+        let f8 = gpt_layer_footprint(D, F, 8, 2048);
+        assert_eq!(f8.acts_total, 8 * f1.acts_total);
+        assert_eq!(f8.params_total, f1.params_total);
+        assert_eq!(f8.optims_total, f1.optims_total);
+    }
+
+    #[test]
+    fn moe_scales_states_not_acts() {
+        let dense = crate::TransformerConfig::t5_1_4b();
+        let moe = dense.clone().with_experts(8);
+        let fd = ModelFootprint::of(&dense, 4);
+        let fm = ModelFootprint::of(&moe, 4);
+        assert!(fm.params_total > 7 * fd.params_total / 2); // FFN dominates
+        assert_eq!(fm.acts_total, fd.acts_total);
+    }
+
+    #[test]
+    fn model_footprint_consistency_with_config_params() {
+        // ModelFootprint's byte totals must equal the config's parameter
+        // count × the per-parameter byte constants (up to the ignored norms).
+        let cfg = crate::TransformerConfig::gpt3_28b();
+        let fp = ModelFootprint::of(&cfg, 1);
+        let params = cfg.total_params();
+        let approx = fp.params_total + fp.optims_total;
+        let exact = params * crate::TransformerConfig::STATE_BYTES_PER_PARAM;
+        assert!((approx as f64 - exact as f64).abs() / (exact as f64) < 1e-3);
+    }
+}

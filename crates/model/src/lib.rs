@@ -1,0 +1,39 @@
+//! Model substrate for the Angel-PTM reproduction.
+//!
+//! Angel-PTM manages *model states* — parameters and optimizer states — plus
+//! activations, at the granularity of tensors and 4 MiB pages. Everything the
+//! memory manager and scheduler need to know about a model is therefore its
+//! **tensor inventory**: which tensors exist, how many bytes each occupies,
+//! and when each is touched during an iteration. This crate derives that
+//! inventory analytically from the paper's own formulas:
+//!
+//! * [`TransformerConfig`] — architecture descriptions with the eleven
+//!   presets of Table 4 (GPT3-1.7B … T5-MoE-1.2T);
+//! * [`footprint`] — the closed-form per-layer memory footprints of Table 1
+//!   (mixed-precision training with Adam);
+//! * [`inventory`] — the per-layer named-tensor list whose size distribution
+//!   reproduces Table 2;
+//! * [`flops`] — forward/backward FLOP counts used by the discrete-event
+//!   simulator to convert work into time;
+//! * [`moe`] — Mixture-of-Experts extensions (expert counts, all-to-all
+//!   communication volumes) for the T5-MoE experiments (Figures 9, Table 6).
+
+pub mod config;
+pub mod flops;
+pub mod footprint;
+pub mod inventory;
+pub mod moe;
+
+pub use config::{ModelFamily, TransformerConfig};
+pub use footprint::{LayerFootprint, ModelFootprint};
+pub use inventory::{TensorClass, TensorSpec, layer_inventory, model_inventory};
+
+/// Bytes per element for the numeric formats in mixed-precision training
+/// (Figure 1 of the paper): computation in half precision, model states in
+/// single precision.
+pub mod dtype {
+    /// FP16 / BF16 — parameters and gradients used by forward/backward.
+    pub const HALF: u64 = 2;
+    /// FP32 — master parameters and Adam moments.
+    pub const SINGLE: u64 = 4;
+}

@@ -1,0 +1,124 @@
+//! Mixture-of-Experts extensions for the T5-MoE experiments.
+//!
+//! Section 6.4: "Angel-PTM trained T5-MoE models using expert parallelism,
+//! where expert parameters within an MoE layer are sharded among all GPUs
+//! while non-MoE parameters are duplicated. The T5-MoE-1.2T model has 2304
+//! experts per MoE layer, and the number of experts per GPU per MoE layer is
+//! fixed at 9 to achieve different model sizes when varying the number of
+//! GPUs."
+
+use crate::config::TransformerConfig;
+use crate::dtype;
+use serde::{Deserialize, Serialize};
+
+/// Expert-parallel layout of an MoE model over a GPU fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpertParallelism {
+    pub num_gpus: usize,
+    pub experts_per_gpu: usize,
+}
+
+impl ExpertParallelism {
+    /// The paper's scaling rule: 9 experts per GPU per MoE layer, so the
+    /// expert count (and total parameter count) grows with the fleet.
+    pub const PAPER_EXPERTS_PER_GPU: usize = 9;
+
+    pub fn paper_scaling(num_gpus: usize) -> Self {
+        Self { num_gpus, experts_per_gpu: Self::PAPER_EXPERTS_PER_GPU }
+    }
+
+    /// Experts per MoE layer across the fleet (e.g. 128 GPUs × 9 = 1152, the
+    /// paper's example).
+    pub fn total_experts(&self) -> usize {
+        self.num_gpus * self.experts_per_gpu
+    }
+
+    /// Scale `base` to this fleet: expert count set to
+    /// [`ExpertParallelism::total_experts`].
+    pub fn scale_model(&self, base: &TransformerConfig) -> TransformerConfig {
+        let mut cfg = base.clone().with_experts(self.total_experts());
+        cfg.name = format!("{}@{}gpus", base.name, self.num_gpus);
+        cfg
+    }
+}
+
+/// Bytes each GPU contributes to / receives from the all-to-all token
+/// exchange of one MoE layer: every token's hidden vector travels to its
+/// expert's GPU and back.
+///
+/// With `b·s` tokens per GPU of `d_model` FP16 elements, and uniform routing,
+/// a fraction `(g-1)/g` of tokens leave the local GPU. We model the dispatch
+/// and combine phases separately (×2).
+pub fn all_to_all_bytes_per_gpu(config: &TransformerConfig, b_per_gpu: u64, num_gpus: u64) -> u64 {
+    let tokens = b_per_gpu * config.seq_len as u64;
+    let vec_bytes = config.d_model as u64 * dtype::HALF;
+    if num_gpus <= 1 {
+        return 0;
+    }
+    let leaving = tokens * (num_gpus - 1) / num_gpus;
+    2 * leaving * vec_bytes // dispatch + combine
+}
+
+/// Total parameters held per GPU under expert parallelism: the local expert
+/// shard plus a full replica of all non-expert parameters.
+pub fn params_per_gpu(config: &TransformerConfig, ep: ExpertParallelism) -> u64 {
+    assert!(config.is_moe());
+    let expert_params = config.layers as u64
+        * ep.experts_per_gpu as u64
+        * config.ffn_params_per_expert();
+    let shared = config.layers as u64
+        * (config.attn_params_per_layer() + config.norm_params_per_layer());
+    expert_params + shared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_128_gpus() {
+        // "the T5-MoE model trained on 128 GPUs has 1152 experts per MoE
+        // layer".
+        let ep = ExpertParallelism::paper_scaling(128);
+        assert_eq!(ep.total_experts(), 1152);
+    }
+
+    #[test]
+    fn full_model_needs_256_gpus() {
+        // 2304 experts / 9 per GPU = 256 GPUs for the full 1.2T model.
+        let ep = ExpertParallelism::paper_scaling(256);
+        assert_eq!(ep.total_experts(), 2304);
+        let cfg = ep.scale_model(&TransformerConfig::t5_moe_1_2t());
+        assert_eq!(cfg.experts, 2304);
+    }
+
+    #[test]
+    fn all_to_all_volume_grows_with_fleet() {
+        let cfg = TransformerConfig::t5_moe_1_2t();
+        let v2 = all_to_all_bytes_per_gpu(&cfg, 4, 2);
+        let v64 = all_to_all_bytes_per_gpu(&cfg, 4, 64);
+        assert!(v64 > v2);
+        assert_eq!(all_to_all_bytes_per_gpu(&cfg, 4, 1), 0);
+        // Asymptote: all tokens leave, dispatch+combine.
+        let tokens = 4 * cfg.seq_len as u64;
+        let limit = 2 * tokens * cfg.d_model as u64 * 2;
+        assert!(v64 < limit);
+        assert!(v64 > limit * 9 / 10);
+    }
+
+    #[test]
+    fn params_per_gpu_constant_under_paper_scaling() {
+        // The paper fixes experts/GPU at 9, so per-GPU parameters are the
+        // same at any fleet size — the basis of its near-linear scaling.
+        let base = TransformerConfig::t5_moe_1_2t();
+        let p64 = params_per_gpu(
+            &ExpertParallelism::paper_scaling(64).scale_model(&base),
+            ExpertParallelism::paper_scaling(64),
+        );
+        let p256 = params_per_gpu(
+            &ExpertParallelism::paper_scaling(256).scale_model(&base),
+            ExpertParallelism::paper_scaling(256),
+        );
+        assert_eq!(p64, p256);
+    }
+}

@@ -1,0 +1,169 @@
+//! Analytic cost models for the NCCL collectives Angel-PTM's Communicator
+//! schedules: all-gather, reduce-scatter, all-reduce (ring algorithms) and
+//! the MoE all-to-all.
+//!
+//! Ring collectives on `n` ranks move `(n-1)/n` of the full buffer through
+//! every rank's slowest link, in `n-1` latency-bound steps. For hierarchical
+//! topologies (NVLink inside a server, NICs between servers) the bottleneck
+//! is the inter-server hop whenever more than one server participates; this
+//! is why the paper reports lower scalability for all-to-all-heavy MoE
+//! models (Figure 9) than for GPT (Figure 8).
+
+use crate::Ns;
+use angel_hw::link::bytes_over_bandwidth_ns;
+use angel_hw::{ClusterSpec, Link};
+use serde::{Deserialize, Serialize};
+
+/// The collective operations of the paper's Communicator ("These primitives
+/// include collective operations such as AllReduce, AllGather, and
+/// ReduceScatter").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collective {
+    AllGather,
+    ReduceScatter,
+    AllReduce,
+    AllToAll,
+}
+
+/// Bytes that cross each rank's link for a collective over a buffer of
+/// `full_bytes` (the *gathered* size) on `n` ranks.
+pub fn wire_bytes_per_rank(op: Collective, full_bytes: u64, n: u64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    match op {
+        // Each rank receives the other n-1 shards of size full/n.
+        Collective::AllGather | Collective::ReduceScatter => full_bytes * (n - 1) / n,
+        // Ring all-reduce = reduce-scatter + all-gather.
+        Collective::AllReduce => 2 * full_bytes * (n - 1) / n,
+        // Uniform all-to-all of a per-rank buffer of `full_bytes`:
+        // (n-1)/n of it leaves the rank (and as much arrives).
+        Collective::AllToAll => full_bytes * (n - 1) / n,
+    }
+}
+
+/// Time for a collective over `full_bytes` on `n` ranks connected by `link`,
+/// with `n-1` (or `2(n-1)` for all-reduce) latency-bound ring steps.
+pub fn collective_time_ns(op: Collective, full_bytes: u64, n: u64, link: &Link) -> Ns {
+    if n <= 1 {
+        return 0;
+    }
+    let wire = wire_bytes_per_rank(op, full_bytes, n);
+    let steps = match op {
+        Collective::AllReduce => 2 * (n - 1),
+        _ => n - 1,
+    };
+    steps * link.latency_ns + bytes_over_bandwidth_ns(wire, link.bandwidth)
+}
+
+/// Time for a collective over a hierarchical cluster: intra-server ranks use
+/// NVLink; once multiple servers participate the inter-server NIC is the
+/// bottleneck link (its per-server aggregate bandwidth is shared by all the
+/// server's GPUs).
+pub fn hierarchical_collective_time_ns(
+    op: Collective,
+    full_bytes: u64,
+    cluster: &ClusterSpec,
+    num_gpus: u64,
+) -> Ns {
+    let per_server = cluster.server.num_gpus() as u64;
+    if num_gpus <= per_server {
+        return collective_time_ns(op, full_bytes, num_gpus, &cluster.server.nvlink);
+    }
+    let servers = num_gpus.div_ceil(per_server);
+    // Phase 1: intra-server collective over NVLink.
+    let intra = collective_time_ns(op, full_bytes, per_server, &cluster.server.nvlink);
+    // Phase 2: inter-server collective over the NICs. All GPUs of a server
+    // share the server's aggregate NIC bandwidth.
+    let shared_nic = Link::new(
+        cluster.nic.class,
+        (cluster.nic.bandwidth / per_server).max(1),
+        cluster.nic.latency_ns,
+    );
+    let inter = collective_time_ns(op, full_bytes, servers, &shared_nic);
+    intra + inter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use angel_hw::LinkClass;
+
+    fn nvlink() -> Link {
+        Link::new(LinkClass::NvLink, 200_000_000_000, 5_000)
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        for op in [
+            Collective::AllGather,
+            Collective::ReduceScatter,
+            Collective::AllReduce,
+            Collective::AllToAll,
+        ] {
+            assert_eq!(collective_time_ns(op, 1 << 30, 1, &nvlink()), 0);
+            assert_eq!(wire_bytes_per_rank(op, 1 << 30, 1), 0);
+        }
+    }
+
+    #[test]
+    fn all_reduce_is_twice_reduce_scatter() {
+        let b = 1u64 << 30;
+        let rs = wire_bytes_per_rank(Collective::ReduceScatter, b, 8);
+        let ar = wire_bytes_per_rank(Collective::AllReduce, b, 8);
+        assert_eq!(ar, 2 * rs);
+    }
+
+    #[test]
+    fn wire_bytes_approach_full_buffer() {
+        let b = 1u64 << 30;
+        let w2 = wire_bytes_per_rank(Collective::AllGather, b, 2);
+        let w64 = wire_bytes_per_rank(Collective::AllGather, b, 64);
+        assert_eq!(w2, b / 2);
+        assert!(w64 > b * 9 / 10 && w64 < b);
+    }
+
+    #[test]
+    fn time_grows_sublinearly_with_ranks() {
+        // The per-rank wire volume saturates at the full buffer size, so a
+        // bigger ring costs only more latency steps — the property behind
+        // ZeRO's scalability.
+        let b = 1u64 << 30;
+        let t8 = collective_time_ns(Collective::AllGather, b, 8, &nvlink());
+        let t64 = collective_time_ns(Collective::AllGather, b, 64, &nvlink());
+        assert!(t64 < t8 * 2);
+    }
+
+    #[test]
+    fn hierarchical_uses_nvlink_within_server() {
+        let cluster = ClusterSpec::a100_tencent(4);
+        let b = 1u64 << 28;
+        let t_intra = hierarchical_collective_time_ns(Collective::AllGather, b, &cluster, 8);
+        let t_flat = collective_time_ns(Collective::AllGather, b, 8, &cluster.server.nvlink);
+        assert_eq!(t_intra, t_flat);
+    }
+
+    #[test]
+    fn crossing_servers_is_much_slower() {
+        let cluster = ClusterSpec::a100_tencent(4);
+        let b = 1u64 << 28;
+        let t8 = hierarchical_collective_time_ns(Collective::AllGather, b, &cluster, 8);
+        let t32 = hierarchical_collective_time_ns(Collective::AllGather, b, &cluster, 32);
+        // NIC bandwidth per GPU (200/8 = 25 GB/s) ≪ NVLink (200 GB/s).
+        assert!(t32 > 3 * t8, "t8={t8} t32={t32}");
+    }
+
+    #[test]
+    fn all_to_all_volume_matches_moe_model() {
+        // The collective model and angel-model's MoE byte formula must agree.
+        let cfg = angel_model::TransformerConfig::t5_moe_1_2t();
+        let b = 4u64;
+        let n = 16u64;
+        let per_gpu_buffer =
+            b * cfg.seq_len as u64 * cfg.d_model as u64 * angel_model::dtype::HALF;
+        let from_model = angel_model::moe::all_to_all_bytes_per_gpu(&cfg, b, n);
+        // dispatch + combine = 2 one-way all-to-alls.
+        let from_collective = 2 * wire_bytes_per_rank(Collective::AllToAll, per_gpu_buffer, n);
+        assert_eq!(from_model, from_collective);
+    }
+}

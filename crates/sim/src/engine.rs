@@ -1,0 +1,551 @@
+//! The discrete-event engine: resources with CUDA-stream (FIFO) semantics, a
+//! dependency-aware task executor, and memory-domain peak tracking.
+//!
+//! # Execution model
+//!
+//! A [`SimTask`] is bound to exactly one [`ResourceId`] and may depend on any
+//! set of earlier tasks. Execution follows stream semantics, matching how the
+//! paper's Executor "inserts computations into the corresponding stream and
+//! schedules them to the computation threads in the order of insertion":
+//!
+//! * tasks on the **same resource** start in submission order, back to back;
+//! * a task additionally waits for **all its dependencies** to complete;
+//! * task duration is either fixed ([`Work::Duration`]) or derived from the
+//!   resource's bandwidth and latency ([`Work::Bytes`]).
+//!
+//! Memory domains track allocation high-water marks: each task can acquire
+//! bytes at start and release bytes at completion, and the executor records
+//! the peak per domain — how the paper's phase-2 OOM check is evaluated.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+use crate::Ns;
+
+/// Handle to a resource registered in [`Resources`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceId(pub usize);
+
+/// Handle to a memory domain (one per device whose peak usage matters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MemDomainId(pub usize);
+
+/// The registry of resources and memory domains for one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct Resources {
+    names: Vec<String>,
+    /// `Some((bandwidth_bytes_per_s, latency_ns))` for transfer resources;
+    /// `None` for compute resources that only take fixed durations.
+    links: Vec<Option<(u64, Ns)>>,
+    mem_names: Vec<String>,
+    mem_capacity: Vec<u64>,
+}
+
+impl Resources {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resource names in id order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|s| s.as_str())
+    }
+
+    /// Register a compute resource (GPU stream, CPU worker pool, ...).
+    pub fn add_compute(&mut self, name: impl Into<String>) -> ResourceId {
+        self.names.push(name.into());
+        self.links.push(None);
+        ResourceId(self.names.len() - 1)
+    }
+
+    /// Register a transfer resource with a bandwidth/latency cost model
+    /// (PCIe channel, NVLink fabric, NIC, SSD channel).
+    pub fn add_link(&mut self, name: impl Into<String>, bandwidth: u64, latency_ns: Ns) -> ResourceId {
+        assert!(bandwidth > 0);
+        self.names.push(name.into());
+        self.links.push(Some((bandwidth, latency_ns)));
+        ResourceId(self.names.len() - 1)
+    }
+
+    /// Register a memory domain with a capacity (for OOM/peak reporting).
+    pub fn add_mem_domain(&mut self, name: impl Into<String>, capacity: u64) -> MemDomainId {
+        self.mem_names.push(name.into());
+        self.mem_capacity.push(capacity);
+        MemDomainId(self.mem_names.len() - 1)
+    }
+
+    pub fn name(&self, id: ResourceId) -> &str {
+        &self.names[id.0]
+    }
+
+    pub fn mem_name(&self, id: MemDomainId) -> &str {
+        &self.mem_names[id.0]
+    }
+
+    pub fn mem_capacity(&self, id: MemDomainId) -> u64 {
+        self.mem_capacity[id.0]
+    }
+
+    pub fn num_resources(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn num_mem_domains(&self) -> usize {
+        self.mem_names.len()
+    }
+
+    fn duration_of(&self, resource: ResourceId, work: &Work) -> Ns {
+        match (work, self.links[resource.0]) {
+            (Work::Duration(ns), _) => *ns,
+            (Work::Bytes(bytes), Some((bw, lat))) => {
+                lat + angel_hw::link::bytes_over_bandwidth_ns(*bytes, bw)
+            }
+            (Work::Bytes(_), None) => {
+                panic!(
+                    "Work::Bytes submitted to compute resource '{}' (no bandwidth model)",
+                    self.names[resource.0]
+                )
+            }
+        }
+    }
+}
+
+/// How much simulated work a task performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Work {
+    /// Fixed duration in nanoseconds (computed by a cost model upstream).
+    Duration(Ns),
+    /// A transfer of this many bytes; duration comes from the resource's
+    /// bandwidth/latency.
+    Bytes(u64),
+}
+
+/// Memory side effect of a task on one domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemEffect {
+    pub domain: MemDomainId,
+    /// Bytes acquired when the task starts (e.g. destination buffer of a
+    /// move-in).
+    pub acquire: u64,
+    /// Bytes released when the task completes (e.g. source of a move-out,
+    /// activation freed by the last consumer).
+    pub release: u64,
+}
+
+/// One node of the schedule DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimTask {
+    pub resource: ResourceId,
+    pub work: Work,
+    /// Indices of tasks (within the same submission) that must complete
+    /// before this one starts.
+    pub deps: Vec<usize>,
+    pub mem: Vec<MemEffect>,
+    /// Free-form label, used for tracing and per-kind busy accounting.
+    pub label: String,
+}
+
+impl SimTask {
+    pub fn new(resource: ResourceId, work: Work) -> Self {
+        Self { resource, work, deps: Vec::new(), mem: Vec::new(), label: String::new() }
+    }
+
+    pub fn with_deps(mut self, deps: impl IntoIterator<Item = usize>) -> Self {
+        self.deps.extend(deps);
+        self
+    }
+
+    pub fn with_mem(mut self, effect: MemEffect) -> Self {
+        self.mem.push(effect);
+        self
+    }
+
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// Result of executing one schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Completion time of the last task.
+    pub makespan: Ns,
+    /// Busy nanoseconds per resource, indexed by `ResourceId.0`.
+    pub busy: Vec<Ns>,
+    /// Peak bytes per memory domain, indexed by `MemDomainId.0`.
+    pub peak_mem: Vec<u64>,
+    /// Final bytes per memory domain (non-zero = leak, unless intentional).
+    pub final_mem: Vec<u64>,
+    /// Per-task completion times (same order as submission).
+    pub finish_times: Vec<Ns>,
+    /// Per-task start times.
+    pub start_times: Vec<Ns>,
+}
+
+impl ExecutionReport {
+    /// Utilization of a resource: busy ÷ makespan.
+    pub fn utilization(&self, r: ResourceId) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.busy[r.0] as f64 / self.makespan as f64
+        }
+    }
+
+    /// The paper's idle fraction for a resource: 1 − utilization. Section 4.3
+    /// observes "nearly 80% of the iteration time is idle" when SSD is used
+    /// without the lock-free mechanism.
+    pub fn idle_fraction(&self, r: ResourceId) -> f64 {
+        1.0 - self.utilization(r)
+    }
+
+    /// Overlap ratio: Σ busy ÷ makespan — how many resources were kept busy
+    /// on average. 1.0 = perfectly serial, N = N-way overlap.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.busy.iter().sum::<Ns>() as f64 / self.makespan as f64
+        }
+    }
+}
+
+/// A submitted schedule ready to execute.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    resources: Resources,
+    tasks: Vec<SimTask>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    finish: Ns,
+    task: usize,
+}
+
+// Min-heap ordering by finish time (then task index for determinism).
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.finish.cmp(&self.finish).then(other.task.cmp(&self.task))
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Simulation {
+    pub fn new(resources: Resources) -> Self {
+        Self { resources, tasks: Vec::new() }
+    }
+
+    pub fn resources(&self) -> &Resources {
+        &self.resources
+    }
+
+    /// Submit a task; returns its index for use in later `deps`.
+    pub fn submit(&mut self, task: SimTask) -> usize {
+        for &d in &task.deps {
+            assert!(d < self.tasks.len(), "dependency on not-yet-submitted task {d}");
+        }
+        assert!(task.resource.0 < self.resources.num_resources(), "unknown resource");
+        self.tasks.push(task);
+        self.tasks.len() - 1
+    }
+
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Submitted tasks in submission order.
+    pub fn tasks(&self) -> impl Iterator<Item = &SimTask> {
+        self.tasks.iter()
+    }
+
+    /// Execute the schedule to completion and report.
+    ///
+    /// The executor is an event-driven list scheduler: it maintains, per
+    /// resource, the submission-ordered queue of its tasks; the head of a
+    /// queue starts as soon as (a) the resource is free and (b) all its
+    /// dependencies completed. This mirrors CUDA stream semantics: a stream
+    /// blocks on its head task's events, it never reorders.
+    pub fn run(&self) -> ExecutionReport {
+        let n = self.tasks.len();
+        let nr = self.resources.num_resources();
+        let nm = self.resources.num_mem_domains();
+
+        // Per-resource FIFO queues of task indices.
+        let mut queues: Vec<std::collections::VecDeque<usize>> =
+            vec![std::collections::VecDeque::new(); nr];
+        for (i, t) in self.tasks.iter().enumerate() {
+            queues[t.resource.0].push_back(i);
+        }
+
+        let mut deps_left: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+        // Reverse adjacency: who waits on me.
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in self.tasks.iter().enumerate() {
+            for &d in &t.deps {
+                dependents[d].push(i);
+            }
+        }
+
+        let mut resource_free_at: Vec<Ns> = vec![0; nr];
+        let mut busy: Vec<Ns> = vec![0; nr];
+        let mut mem_now: Vec<u64> = vec![0; nm];
+        let mut peak_mem: Vec<u64> = vec![0; nm];
+        let mut start_times: Vec<Ns> = vec![0; n];
+        let mut finish_times: Vec<Ns> = vec![0; n];
+        let mut done: Vec<bool> = vec![false; n];
+        let mut started: Vec<bool> = vec![false; n];
+        let mut dep_ready_at: Vec<Ns> = vec![0; n];
+
+        let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
+        let mut now: Ns = 0;
+        let mut completed = 0usize;
+
+        // Try to start the head task of each resource queue.
+        macro_rules! try_start_heads {
+            () => {
+                for r in 0..nr {
+                    while let Some(&head) = queues[r].front() {
+                        if started[head] {
+                            queues[r].pop_front();
+                            continue;
+                        }
+                        if deps_left[head] > 0 {
+                            break; // stream blocks on its head
+                        }
+                        let start = now.max(resource_free_at[r]).max(dep_ready_at[head]);
+                        let task = &self.tasks[head];
+                        let dur = self.resources.duration_of(task.resource, &task.work);
+                        let finish = start + dur;
+                        started[head] = true;
+                        start_times[head] = start;
+                        finish_times[head] = finish;
+                        resource_free_at[r] = finish;
+                        busy[r] += dur;
+                        // Acquire memory at start.
+                        for e in &task.mem {
+                            mem_now[e.domain.0] += e.acquire;
+                            peak_mem[e.domain.0] = peak_mem[e.domain.0].max(mem_now[e.domain.0]);
+                        }
+                        heap.push(Pending { finish, task: head });
+                        queues[r].pop_front();
+                    }
+                }
+            };
+        }
+
+        try_start_heads!();
+        while let Some(Pending { finish, task }) = heap.pop() {
+            now = finish;
+            done[task] = true;
+            completed += 1;
+            // Release memory at completion.
+            for e in &self.tasks[task].mem {
+                let m = &mut mem_now[e.domain.0];
+                assert!(*m >= e.release, "memory underflow in domain {}", e.domain.0);
+                *m -= e.release;
+            }
+            for &dep in &dependents[task] {
+                deps_left[dep] -= 1;
+                dep_ready_at[dep] = dep_ready_at[dep].max(finish);
+            }
+            try_start_heads!();
+        }
+
+        assert_eq!(
+            completed, n,
+            "deadlock: {} tasks never ran (circular deps or blocked stream head)",
+            n - completed
+        );
+
+        ExecutionReport {
+            makespan: finish_times.iter().copied().max().unwrap_or(0),
+            busy,
+            peak_mem,
+            final_mem: mem_now,
+            finish_times,
+            start_times,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_resource() -> (Resources, ResourceId) {
+        let mut r = Resources::new();
+        let c = r.add_compute("gpu0");
+        (r, c)
+    }
+
+    #[test]
+    fn serial_tasks_on_one_resource() {
+        let (r, gpu) = one_resource();
+        let mut sim = Simulation::new(r);
+        sim.submit(SimTask::new(gpu, Work::Duration(100)));
+        sim.submit(SimTask::new(gpu, Work::Duration(50)));
+        let rep = sim.run();
+        assert_eq!(rep.makespan, 150);
+        assert_eq!(rep.busy[gpu.0], 150);
+        assert_eq!(rep.utilization(gpu), 1.0);
+    }
+
+    #[test]
+    fn independent_resources_overlap() {
+        let mut r = Resources::new();
+        let gpu = r.add_compute("gpu");
+        let pcie = r.add_link("pcie", 1_000_000_000, 0); // 1 GB/s
+        let mut sim = Simulation::new(r);
+        sim.submit(SimTask::new(gpu, Work::Duration(1_000_000)));
+        sim.submit(SimTask::new(pcie, Work::Bytes(1_000_000))); // 1 ms
+        let rep = sim.run();
+        assert_eq!(rep.makespan, 1_000_000); // fully overlapped
+        assert!((rep.overlap_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependency_serializes_across_resources() {
+        let mut r = Resources::new();
+        let gpu = r.add_compute("gpu");
+        let pcie = r.add_link("pcie", 1_000_000_000, 0);
+        let mut sim = Simulation::new(r);
+        let move_in = sim.submit(SimTask::new(pcie, Work::Bytes(2_000_000))); // 2 ms
+        sim.submit(SimTask::new(gpu, Work::Duration(1_000_000)).with_deps([move_in]));
+        let rep = sim.run();
+        assert_eq!(rep.makespan, 3_000_000);
+        assert_eq!(rep.start_times[1], 2_000_000);
+        assert!(rep.idle_fraction(gpu) > 0.6); // GPU idle while waiting
+    }
+
+    #[test]
+    fn stream_head_blocks_later_tasks_on_same_stream() {
+        // CUDA-stream semantics: if the head of a stream waits on an event,
+        // everything behind it waits too, even if independent.
+        let mut r = Resources::new();
+        let gpu = r.add_compute("gpu");
+        let pcie = r.add_link("pcie", 1_000_000, 0); // 1 MB/s, slow
+        let mut sim = Simulation::new(r);
+        let slow_move = sim.submit(SimTask::new(pcie, Work::Bytes(1_000_000))); // 1 s
+        sim.submit(SimTask::new(gpu, Work::Duration(10)).with_deps([slow_move]));
+        sim.submit(SimTask::new(gpu, Work::Duration(10))); // independent but queued behind
+        let rep = sim.run();
+        assert_eq!(rep.start_times[2], 1_000_000_000 + 10);
+    }
+
+    #[test]
+    fn transfer_duration_uses_bandwidth_and_latency() {
+        let mut r = Resources::new();
+        let link = r.add_link("ssd", 3_500_000_000, 100_000);
+        let mut sim = Simulation::new(r);
+        sim.submit(SimTask::new(link, Work::Bytes(3_500_000_000)));
+        let rep = sim.run();
+        assert_eq!(rep.makespan, 1_000_000_000 + 100_000);
+    }
+
+    #[test]
+    fn memory_peak_tracking() {
+        let mut r = Resources::new();
+        let gpu = r.add_compute("gpu");
+        let dom = r.add_mem_domain("gpu-mem", 1000);
+        let mut sim = Simulation::new(r);
+        // Acquire 600, release at end.
+        let a = sim.submit(
+            SimTask::new(gpu, Work::Duration(10))
+                .with_mem(MemEffect { domain: dom, acquire: 600, release: 600 }),
+        );
+        // Second acquires 300 while first still holds (no dep): but same
+        // stream ⇒ serial ⇒ never concurrent. Add a second stream.
+        let _ = a;
+        let rep = sim.run();
+        assert_eq!(rep.peak_mem[dom.0], 600);
+        assert_eq!(rep.final_mem[dom.0], 0);
+    }
+
+    #[test]
+    fn concurrent_memory_acquisition_peaks_add() {
+        let mut r = Resources::new();
+        let s1 = r.add_compute("s1");
+        let s2 = r.add_compute("s2");
+        let dom = r.add_mem_domain("mem", 0);
+        let mut sim = Simulation::new(r);
+        sim.submit(
+            SimTask::new(s1, Work::Duration(100))
+                .with_mem(MemEffect { domain: dom, acquire: 600, release: 600 }),
+        );
+        sim.submit(
+            SimTask::new(s2, Work::Duration(100))
+                .with_mem(MemEffect { domain: dom, acquire: 500, release: 500 }),
+        );
+        let rep = sim.run();
+        assert_eq!(rep.peak_mem[dom.0], 1100);
+    }
+
+    #[test]
+    fn unreleased_memory_shows_in_final() {
+        let mut r = Resources::new();
+        let gpu = r.add_compute("gpu");
+        let dom = r.add_mem_domain("mem", 0);
+        let mut sim = Simulation::new(r);
+        sim.submit(
+            SimTask::new(gpu, Work::Duration(1))
+                .with_mem(MemEffect { domain: dom, acquire: 128, release: 0 }),
+        );
+        let rep = sim.run();
+        assert_eq!(rep.final_mem[dom.0], 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency on not-yet-submitted")]
+    fn forward_dependency_rejected() {
+        let (r, gpu) = one_resource();
+        let mut sim = Simulation::new(r);
+        sim.submit(SimTask::new(gpu, Work::Duration(1)).with_deps([5]));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let (r, _gpu) = one_resource();
+        let sim = Simulation::new(r);
+        let rep = sim.run();
+        assert_eq!(rep.makespan, 0);
+        assert_eq!(rep.overlap_ratio(), 0.0);
+    }
+
+    #[test]
+    fn diamond_dependency() {
+        let mut r = Resources::new();
+        let a = r.add_compute("a");
+        let b = r.add_compute("b");
+        let c = r.add_compute("c");
+        let mut sim = Simulation::new(r);
+        let root = sim.submit(SimTask::new(a, Work::Duration(10)));
+        let left = sim.submit(SimTask::new(b, Work::Duration(20)).with_deps([root]));
+        let right = sim.submit(SimTask::new(c, Work::Duration(30)).with_deps([root]));
+        sim.submit(SimTask::new(a, Work::Duration(5)).with_deps([left, right]));
+        let rep = sim.run();
+        assert_eq!(rep.makespan, 10 + 30 + 5);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two identical runs produce identical reports.
+        let build = || {
+            let mut r = Resources::new();
+            let a = r.add_compute("a");
+            let b = r.add_compute("b");
+            let mut sim = Simulation::new(r);
+            let t0 = sim.submit(SimTask::new(a, Work::Duration(10)));
+            let t1 = sim.submit(SimTask::new(b, Work::Duration(10)));
+            sim.submit(SimTask::new(a, Work::Duration(10)).with_deps([t0, t1]));
+            sim.run()
+        };
+        assert_eq!(build(), build());
+    }
+}

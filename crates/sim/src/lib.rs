@@ -1,0 +1,38 @@
+//! Discrete-event execution substrate for the Angel-PTM reproduction.
+//!
+//! Angel-PTM's Unified Scheduler emits *schedules*: ordered lists of tasks —
+//! page movements, all-gathers, layer computations, optimizer updates — each
+//! bound to a hardware resource (a CUDA stream, a PCIe channel, the NIC, the
+//! SSD). On the real system those schedules execute on A100 servers; here
+//! they execute on a discrete-event simulator with the same interface:
+//! per-resource FIFO streams (CUDA-stream semantics), task dependencies, and
+//! calibrated durations derived from the Table 3 bandwidths and a FLOPs
+//! model.
+//!
+//! The simulator reports exactly the quantities the paper's evaluation
+//! measures: end-to-end iteration time (→ samples/s), per-resource busy time
+//! (→ GPU utilization, the Section 4.3 "80% idle" observation), overlap
+//! ratios, and peak memory per device.
+//!
+//! * [`engine`] — event queue, FIFO resources, the schedule executor;
+//! * [`compute`] — time models for GPU compute and CPU optimizer updates;
+//! * [`collectives`] — analytic cost models for ring all-gather /
+//!   reduce-scatter / all-reduce and MoE all-to-all.
+
+pub mod collectives;
+pub mod compute;
+pub mod engine;
+pub mod trace;
+
+pub use engine::{
+    ExecutionReport, MemDomainId, MemEffect, ResourceId, Resources, SimTask, Simulation, Work,
+};
+pub use trace::chrome_trace;
+
+/// Nanoseconds — the simulator's clock unit.
+pub type Ns = u64;
+
+/// Convert nanoseconds to seconds for reports.
+pub fn ns_to_s(ns: Ns) -> f64 {
+    ns as f64 / 1e9
+}

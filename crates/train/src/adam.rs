@@ -1,0 +1,160 @@
+//! Mixed-precision Adam — the optimizer of the paper's workflow (Figure 1):
+//! FP32 master parameters and moments, BF16 parameters and gradients in the
+//! compute path.
+//!
+//! Implements [`angel_core::lockfree::Optimizer`] so the same code drives
+//! both the synchronous baseline and the lock-free updating thread.
+
+use crate::bf16::bf16_round;
+use angel_core::lockfree::{LayerState, Optimizer};
+use serde::{Deserialize, Serialize};
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// Round incoming gradients to BF16 before use (they arrive as BF16 from
+    /// the compute path; the rounding makes the simulation exact even when
+    /// the caller kept f32 precision).
+    pub bf16_grads: bool,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, bf16_grads: true }
+    }
+}
+
+/// The optimizer: one step counter per layer for bias correction.
+#[derive(Debug, Clone)]
+pub struct MixedPrecisionAdam {
+    pub config: AdamConfig,
+    steps: Vec<u64>,
+}
+
+impl MixedPrecisionAdam {
+    pub fn new(config: AdamConfig, layers: usize) -> Self {
+        Self { config, steps: vec![0; layers] }
+    }
+
+    /// One Adam step over a flat parameter group. `grads` are averaged over
+    /// `micro` micro-batches first (the lock-free buffer accumulates sums).
+    pub fn step(&mut self, layer: usize, state: &mut LayerState, grads: &[f32], micro: u32) {
+        assert_eq!(state.p32.len(), grads.len());
+        let c = self.config;
+        self.steps[layer] += 1;
+        let t = self.steps[layer] as i32;
+        let bc1 = 1.0 - c.beta1.powi(t);
+        let bc2 = 1.0 - c.beta2.powi(t);
+        let inv_micro = 1.0 / micro.max(1) as f32;
+        for i in 0..grads.len() {
+            let mut g = grads[i] * inv_micro;
+            if c.bf16_grads {
+                g = bf16_round(g);
+            }
+            let m = &mut state.m32[i];
+            let v = &mut state.v32[i];
+            *m = c.beta1 * *m + (1.0 - c.beta1) * g;
+            *v = c.beta2 * *v + (1.0 - c.beta2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            state.p32[i] -= c.lr * mhat / (vhat.sqrt() + c.eps);
+        }
+    }
+}
+
+impl Optimizer for MixedPrecisionAdam {
+    fn update(&mut self, layer: usize, state: &mut LayerState, grads: &[f32], micro: u32) {
+        self.step(layer, state, grads, micro);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(p: Vec<f32>) -> LayerState {
+        LayerState::new(p)
+    }
+
+    #[test]
+    fn first_step_moves_by_lr() {
+        // With bias correction, the first Adam step is ≈ lr·sign(g).
+        let mut adam = MixedPrecisionAdam::new(AdamConfig::default(), 1);
+        let mut s = state(vec![1.0, -2.0]);
+        adam.step(0, &mut s, &[0.5, -0.25], 1);
+        assert!((s.p32[0] - (1.0 - 1e-3)).abs() < 1e-5, "{}", s.p32[0]);
+        assert!((s.p32[1] - (-2.0 + 1e-3)).abs() < 1e-5, "{}", s.p32[1]);
+    }
+
+    #[test]
+    fn zero_gradient_is_a_fixed_point() {
+        let mut adam = MixedPrecisionAdam::new(AdamConfig::default(), 1);
+        let mut s = state(vec![3.0; 4]);
+        adam.step(0, &mut s, &[0.0; 4], 1);
+        assert_eq!(s.p32, vec![3.0; 4]);
+        assert_eq!(s.m32, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn micro_batch_averaging() {
+        // Accumulated gradient 4.0 over 4 micro-batches == single grad 1.0.
+        let mut a1 = MixedPrecisionAdam::new(AdamConfig::default(), 1);
+        let mut a2 = MixedPrecisionAdam::new(AdamConfig::default(), 1);
+        let mut s1 = state(vec![1.0]);
+        let mut s2 = state(vec![1.0]);
+        a1.step(0, &mut s1, &[4.0], 4);
+        a2.step(0, &mut s2, &[1.0], 1);
+        assert!((s1.p32[0] - s2.p32[0]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimize f(p) = Σ (p-c)²/2; grad = p - c.
+        let c = [0.3f32, -0.7, 2.0];
+        let mut adam =
+            MixedPrecisionAdam::new(AdamConfig { lr: 0.05, ..Default::default() }, 1);
+        let mut s = state(vec![0.0; 3]);
+        for _ in 0..2000 {
+            let g: Vec<f32> = s.p32.iter().zip(&c).map(|(p, c)| p - c).collect();
+            adam.step(0, &mut s, &g, 1);
+        }
+        for (p, c) in s.p32.iter().zip(&c) {
+            assert!((p - c).abs() < 0.02, "{p} vs {c}");
+        }
+    }
+
+    #[test]
+    fn per_layer_step_counters_independent() {
+        let mut adam = MixedPrecisionAdam::new(AdamConfig::default(), 2);
+        let mut s0 = state(vec![0.0]);
+        let mut s1 = state(vec![0.0]);
+        for _ in 0..10 {
+            adam.step(0, &mut s0, &[1.0], 1);
+        }
+        adam.step(1, &mut s1, &[1.0], 1);
+        // Layer 1's first step still gets full bias correction.
+        assert!((s1.p32[0] + 1e-3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bf16_gradient_rounding_is_small_perturbation() {
+        let cfg_on = AdamConfig { bf16_grads: true, ..Default::default() };
+        let cfg_off = AdamConfig { bf16_grads: false, ..Default::default() };
+        let mut a_on = MixedPrecisionAdam::new(cfg_on, 1);
+        let mut a_off = MixedPrecisionAdam::new(cfg_off, 1);
+        let mut s_on = state(vec![1.0; 8]);
+        let mut s_off = state(vec![1.0; 8]);
+        let g: Vec<f32> = (0..8).map(|i| 0.123 + i as f32 * 0.0456).collect();
+        for _ in 0..50 {
+            a_on.step(0, &mut s_on, &g, 1);
+            a_off.step(0, &mut s_off, &g, 1);
+        }
+        for (a, b) in s_on.p32.iter().zip(&s_off.p32) {
+            assert!((a - b).abs() < 5e-3, "{a} vs {b}");
+        }
+    }
+}

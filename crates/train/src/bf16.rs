@@ -1,0 +1,104 @@
+//! BF16 emulation.
+//!
+//! Section 6.1: "We train all of these models using the mixed precision
+//! technique ... which stores the model states in FP32 while computes in
+//! BF16." BF16 is simply the top 16 bits of an IEEE-754 f32 (same exponent
+//! range, 8-bit mantissa), so emulating it on f32 hardware is exact:
+//! round-to-nearest-even on the low 16 mantissa bits.
+
+/// Round an f32 to the nearest representable BF16 value (returned as f32).
+pub fn bf16_round(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    let bits = x.to_bits();
+    // Round-to-nearest-even: add 0x7FFF plus the LSB of the kept part.
+    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+    let rounded = bits.wrapping_add(rounding_bias) & 0xFFFF_0000;
+    f32::from_bits(rounded)
+}
+
+/// Apply BF16 rounding to a whole buffer in place.
+pub fn bf16_round_slice(xs: &mut [f32]) {
+    for x in xs.iter_mut() {
+        *x = bf16_round(*x);
+    }
+}
+
+/// Maximum relative error introduced by one BF16 rounding: 2⁻⁸ = 0.39%.
+pub const BF16_MAX_REL_ERR: f32 = 1.0 / 256.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_values_survive() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, -0.25, 1.5] {
+            assert_eq!(bf16_round(v), v);
+        }
+    }
+
+    #[test]
+    fn rounding_truncates_mantissa() {
+        let x = 1.0 + f32::EPSILON; // not representable in bf16
+        let r = bf16_round(x);
+        assert_eq!(r, 1.0);
+        assert_eq!(r.to_bits() & 0xFFFF, 0);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // BF16 keeps 7 mantissa bits: the spacing just above 1.0 is 2⁻⁷.
+        let step = f32::from_bits(0x3F81_0000); // 1 + 2⁻⁷, representable
+        assert_eq!(bf16_round(step), step);
+        // Exactly halfway between 1.0 and 1+2⁻⁷ rounds to even (1.0).
+        let half = f32::from_bits(0x3F80_8000); // 1 + 2⁻⁸
+        assert_eq!(bf16_round(half), 1.0);
+        // Three quarters of the gap rounds up.
+        let three_q = f32::from_bits(0x3F80_C000);
+        assert_eq!(bf16_round(three_q), step);
+        // Exactly halfway between 1+2⁻⁷ and 1+2⁻⁶ rounds to even (1+2⁻⁶).
+        let half2 = f32::from_bits(0x3F81_8000);
+        assert_eq!(bf16_round(half2), f32::from_bits(0x3F82_0000));
+    }
+
+    #[test]
+    fn specials() {
+        assert!(bf16_round(f32::NAN).is_nan());
+        assert_eq!(bf16_round(f32::INFINITY), f32::INFINITY);
+        assert_eq!(bf16_round(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert_eq!(bf16_round(-0.0).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn slice_helper() {
+        let mut xs = vec![1.0 + f32::EPSILON; 4];
+        bf16_round_slice(&mut xs);
+        assert!(xs.iter().all(|&x| x == 1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn relative_error_bounded(x in -1e30f32..1e30f32) {
+            prop_assume!(x.is_finite() && x != 0.0);
+            let r = bf16_round(x);
+            let rel = ((r - x) / x).abs();
+            prop_assert!(rel <= BF16_MAX_REL_ERR, "x={x} r={r} rel={rel}");
+        }
+
+        #[test]
+        fn idempotent(x in proptest::num::f32::NORMAL) {
+            let once = bf16_round(x);
+            prop_assert_eq!(bf16_round(once), once);
+        }
+
+        #[test]
+        fn low_bits_cleared(x in proptest::num::f32::NORMAL) {
+            let r = bf16_round(x);
+            prop_assume!(r.is_finite());
+            prop_assert_eq!(r.to_bits() & 0xFFFF, 0);
+        }
+    }
+}

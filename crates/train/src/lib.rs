@@ -1,0 +1,38 @@
+//! Real training substrate for the Angel-PTM reproduction.
+//!
+//! The simulation crates reproduce the paper's *systems* results (capacity,
+//! throughput, scalability). What they cannot reproduce is the *model
+//! quality* claim of Section 6.5: that the Lock-Free Updating Mechanism's
+//! staleness "has little impact to the model quality" (Table 6's validation
+//! loss: 0.853 synchronous vs 0.861 lock-free). That claim is about SGD
+//! dynamics, so this crate trains real models:
+//!
+//! * [`ops`] — dense f32 kernels (matmul, softmax, layernorm, GeLU,
+//!   embedding, cross-entropy) with hand-derived backward passes, each
+//!   verified against finite differences in the tests;
+//! * [`bf16`] — BF16 emulation by round-to-nearest-even mantissa truncation,
+//!   matching the paper's "stores the model states in FP32 while computes in
+//!   BF16";
+//! * [`model`] — a small but genuine pre-LN GPT (causal self-attention +
+//!   FFN) whose parameters live in per-layer flat groups so the lock-free
+//!   machinery can own them;
+//! * [`adam`] — mixed-precision Adam (FP32 master + moments, BF16
+//!   parameters/gradients), implementing `angel_core::lockfree::Optimizer`;
+//! * [`data`] — a deterministic synthetic character corpus;
+//! * [`trainer`] — synchronous and lock-free training loops sharing the same
+//!   model/optimizer code, for the Table 6 convergence comparison.
+
+pub mod adam;
+pub mod bf16;
+pub mod data;
+pub mod generate;
+pub mod model;
+pub mod ops;
+pub mod trainer;
+
+pub use adam::{AdamConfig, MixedPrecisionAdam};
+pub use bf16::bf16_round;
+pub use data::CharCorpus;
+pub use model::{GptConfig, TinyGpt};
+pub use generate::{generate, perplexity, SampleConfig};
+pub use trainer::{train_lockfree, train_sync, TrainConfig, TrainReport};

@@ -1,0 +1,477 @@
+//! Dense f32 kernels with hand-derived backward passes.
+//!
+//! Everything operates on row-major slices with explicit dimensions — no
+//! tensor framework, as none exists in this environment. Each backward is
+//! validated against central finite differences in the test module, which is
+//! the load-bearing correctness argument for the convergence experiment.
+
+/// `C(m×n) = A(m×k) · B(k×n)`.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// `C(m×n) = A(m×k) · Bᵀ` where `B` is `n×k` (i.e. `C = A · B^T`).
+pub fn matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += a[i * k + p] * b[j * k + p];
+            }
+            c[i * n + j] = s;
+        }
+    }
+    c
+}
+
+/// `C(k×n) = Aᵀ · B` where `A` is `m×k`, `B` is `m×n`.
+pub fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    let mut c = vec![0.0f32; k * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &b[i * n..(i + 1) * n];
+            let crow = &mut c[p * n..(p + 1) * n];
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// Backward of `C = A·B`: `dA = dC·Bᵀ`, `dB = Aᵀ·dC`, accumulated into the
+/// provided gradient buffers.
+pub fn matmul_backward(
+    dc: &[f32],
+    a: &[f32],
+    b: &[f32],
+    da: &mut [f32],
+    db: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let d = dc[i * n + j];
+            if d == 0.0 {
+                continue;
+            }
+            for p in 0..k {
+                da[i * k + p] += d * b[p * n + j];
+                db[p * n + j] += a[i * k + p] * d;
+            }
+        }
+    }
+}
+
+/// Transpose an `m×n` matrix.
+pub fn transpose(a: &[f32], m: usize, n: usize) -> Vec<f32> {
+    let mut t = vec![0.0f32; n * m];
+    for i in 0..m {
+        for j in 0..n {
+            t[j * m + i] = a[i * n + j];
+        }
+    }
+    t
+}
+
+/// Row-wise softmax over an `m×n` matrix with an optional causal mask
+/// (`mask_causal = true` zeroes attention to future positions, assuming the
+/// matrix is square scores).
+pub fn softmax_rows(x: &[f32], m: usize, n: usize, mask_causal: bool) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let row = &x[i * n..(i + 1) * n];
+        let limit = if mask_causal { i + 1 } else { n };
+        let max = row[..limit].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for j in 0..limit {
+            let e = (row[j] - max).exp();
+            out[i * n + j] = e;
+            sum += e;
+        }
+        for j in 0..limit {
+            out[i * n + j] /= sum;
+        }
+        // masked entries stay 0.
+    }
+    out
+}
+
+/// Backward of row-wise softmax: `dx_j = y_j (dy_j − Σ_k dy_k y_k)`.
+pub fn softmax_rows_backward(dy: &[f32], y: &[f32], m: usize, n: usize) -> Vec<f32> {
+    let mut dx = vec![0.0f32; m * n];
+    for i in 0..m {
+        let yr = &y[i * n..(i + 1) * n];
+        let dyr = &dy[i * n..(i + 1) * n];
+        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        for j in 0..n {
+            dx[i * n + j] = yr[j] * (dyr[j] - dot);
+        }
+    }
+    dx
+}
+
+/// LayerNorm over the last dimension of an `m×d` matrix, with scale `gamma`
+/// and shift `beta`. Returns `(y, mean, rstd)` — the statistics are needed
+/// by the backward pass.
+pub fn layernorm(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    m: usize,
+    d: usize,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    const EPS: f32 = 1e-5;
+    let mut y = vec![0.0f32; m * d];
+    let mut means = vec![0.0f32; m];
+    let mut rstds = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &x[i * d..(i + 1) * d];
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let rstd = 1.0 / (var + EPS).sqrt();
+        for j in 0..d {
+            y[i * d + j] = (row[j] - mean) * rstd * gamma[j] + beta[j];
+        }
+        means[i] = mean;
+        rstds[i] = rstd;
+    }
+    (y, means, rstds)
+}
+
+/// Backward of LayerNorm. Accumulates `dgamma`/`dbeta`; returns `dx`.
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_backward(
+    dy: &[f32],
+    x: &[f32],
+    gamma: &[f32],
+    mean: &[f32],
+    rstd: &[f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+    m: usize,
+    d: usize,
+) -> Vec<f32> {
+    let mut dx = vec![0.0f32; m * d];
+    for i in 0..m {
+        let xr = &x[i * d..(i + 1) * d];
+        let dyr = &dy[i * d..(i + 1) * d];
+        let mu = mean[i];
+        let rs = rstd[i];
+        // xhat_j = (x_j - mu) * rs; dy_xhat_j = dy_j * gamma_j
+        let mut sum_dyx = 0.0f32;
+        let mut sum_dyx_xhat = 0.0f32;
+        for j in 0..d {
+            let xhat = (xr[j] - mu) * rs;
+            let dyx = dyr[j] * gamma[j];
+            sum_dyx += dyx;
+            sum_dyx_xhat += dyx * xhat;
+            dgamma[j] += dyr[j] * xhat;
+            dbeta[j] += dyr[j];
+        }
+        let dinv = d as f32;
+        for j in 0..d {
+            let xhat = (xr[j] - mu) * rs;
+            let dyx = dyr[j] * gamma[j];
+            dx[i * d + j] = rs * (dyx - sum_dyx / dinv - xhat * sum_dyx_xhat / dinv);
+        }
+    }
+    dx
+}
+
+/// GeLU (tanh approximation, as in GPT) applied elementwise.
+pub fn gelu(x: &[f32]) -> Vec<f32> {
+    x.iter().map(|&v| gelu_scalar(v)).collect()
+}
+
+fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Backward of GeLU.
+pub fn gelu_backward(dy: &[f32], x: &[f32]) -> Vec<f32> {
+    const C: f32 = 0.797_884_6;
+    dy.iter()
+        .zip(x)
+        .map(|(&d, &v)| {
+            let inner = C * (v + 0.044715 * v * v * v);
+            let t = inner.tanh();
+            let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * v * v);
+            d * (0.5 * (1.0 + t) + 0.5 * v * dt)
+        })
+        .collect()
+}
+
+/// Cross-entropy loss from logits (`m×v`) and integer targets.
+/// Returns `(mean loss, dlogits)`.
+pub fn cross_entropy(logits: &[f32], targets: &[usize], m: usize, v: usize) -> (f32, Vec<f32>) {
+    let probs = softmax_rows(logits, m, v, false);
+    let mut loss = 0.0f32;
+    let mut dlogits = probs.clone();
+    for i in 0..m {
+        let t = targets[i];
+        debug_assert!(t < v);
+        loss -= probs[i * v + t].max(1e-12).ln();
+        dlogits[i * v + t] -= 1.0;
+    }
+    let scale = 1.0 / m as f32;
+    dlogits.iter_mut().for_each(|g| *g *= scale);
+    (loss * scale, dlogits)
+}
+
+/// Elementwise `a += b`.
+pub fn add_inplace(a: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// Elementwise `a * s`.
+pub fn scale(a: &mut [f32], s: f32) {
+    for x in a.iter_mut() {
+        *x *= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite difference of a scalar function of a vector input.
+    fn numeric_grad(f: &mut dyn FnMut(&[f32]) -> f32, x: &[f32], eps: f32) -> Vec<f32> {
+        let mut g = vec![0.0f32; x.len()];
+        let mut xp = x.to_vec();
+        for i in 0..x.len() {
+            let orig = xp[i];
+            xp[i] = orig + eps;
+            let fp = f(&xp);
+            xp[i] = orig - eps;
+            let fm = f(&xp);
+            xp[i] = orig;
+            g[i] = (fp - fm) / (2.0 * eps);
+        }
+        g
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32, what: &str) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{what}[{i}]: {x} vs {y}"
+            );
+        }
+    }
+
+    fn pseudo(n: usize, seed: u32) -> Vec<f32> {
+        // Deterministic pseudo-random values in [-1, 1].
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                (s >> 8) as f32 / (1u32 << 23) as f32 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let i = vec![1.0, 0.0, 0.0, 1.0];
+        assert_eq!(matmul(&a, &i, 2, 2, 2), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        assert_eq!(matmul(&a, &b, 2, 2, 2), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_variants_agree() {
+        let a = pseudo(6, 1); // 2×3
+        let b = pseudo(12, 2); // 3×4
+        let c = matmul(&a, &b, 2, 3, 4);
+        let bt = transpose(&b, 3, 4); // 4×3
+        assert_close(&matmul_nt(&a, &bt, 2, 3, 4), &c, 1e-6, "nt");
+        // Aᵀ·C via matmul_tn must equal transpose(A)·C via plain matmul.
+        let at = transpose(&a, 2, 3); // 3×2
+        assert_close(&matmul_tn(&a, &c, 2, 3, 4), &matmul(&at, &c, 3, 2, 4), 1e-6, "tn");
+    }
+
+    #[test]
+    fn matmul_grad_check() {
+        let m = 2;
+        let k = 3;
+        let n = 2;
+        let a = pseudo(m * k, 3);
+        let b = pseudo(k * n, 4);
+        // Scalar objective: sum of C elements weighted by fixed w.
+        let w = pseudo(m * n, 5);
+        let loss_a = |a: &[f32]| -> f32 {
+            matmul(a, &b, m, k, n).iter().zip(&w).map(|(c, w)| c * w).sum()
+        };
+        let mut da = vec![0.0f32; m * k];
+        let mut db = vec![0.0f32; k * n];
+        matmul_backward(&w, &a, &b, &mut da, &mut db, m, k, n);
+        let num_da = numeric_grad(&mut { |x: &[f32]| loss_a(x) }, &a, 1e-3);
+        assert_close(&da, &num_da, 1e-2, "dA");
+        let loss_b = |b: &[f32]| -> f32 {
+            matmul(&a, b, m, k, n).iter().zip(&w).map(|(c, w)| c * w).sum()
+        };
+        let num_db = numeric_grad(&mut { |x: &[f32]| loss_b(x) }, &b, 1e-3);
+        assert_close(&db, &num_db, 1e-2, "dB");
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = pseudo(12, 7);
+        let y = softmax_rows(&x, 3, 4, false);
+        for i in 0..3 {
+            let s: f32 = y[i * 4..(i + 1) * 4].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn causal_mask_zeroes_future() {
+        let x = pseudo(16, 8);
+        let y = softmax_rows(&x, 4, 4, true);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_eq!(y[i * 4 + j], 0.0);
+            }
+            let s: f32 = y[i * 4..(i + 1) * 4].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_grad_check() {
+        let m = 2;
+        let n = 4;
+        let x = pseudo(m * n, 9);
+        let w = pseudo(m * n, 10);
+        let loss = |x: &[f32]| -> f32 {
+            softmax_rows(x, m, n, false).iter().zip(&w).map(|(y, w)| y * w).sum()
+        };
+        let y = softmax_rows(&x, m, n, false);
+        let dx = softmax_rows_backward(&w, &y, m, n);
+        let num = numeric_grad(&mut { |x: &[f32]| loss(x) }, &x, 1e-3);
+        assert_close(&dx, &num, 1e-2, "softmax dx");
+    }
+
+    #[test]
+    fn layernorm_normalizes() {
+        let x = pseudo(20, 11);
+        let gamma = vec![1.0f32; 5];
+        let beta = vec![0.0f32; 5];
+        let (y, _, _) = layernorm(&x, &gamma, &beta, 4, 5);
+        for i in 0..4 {
+            let row = &y[i * 5..(i + 1) * 5];
+            let mean: f32 = row.iter().sum::<f32>() / 5.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 5.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layernorm_grad_check() {
+        let m = 2;
+        let d = 5;
+        let x = pseudo(m * d, 12);
+        let gamma = pseudo(d, 13).iter().map(|v| v + 1.5).collect::<Vec<_>>();
+        let beta = pseudo(d, 14);
+        let w = pseudo(m * d, 15);
+        let loss = |x: &[f32]| -> f32 {
+            layernorm(x, &gamma, &beta, m, d).0.iter().zip(&w).map(|(y, w)| y * w).sum()
+        };
+        let (_, mean, rstd) = layernorm(&x, &gamma, &beta, m, d);
+        let mut dg = vec![0.0; d];
+        let mut db = vec![0.0; d];
+        let dx = layernorm_backward(&w, &x, &gamma, &mean, &rstd, &mut dg, &mut db, m, d);
+        let num = numeric_grad(&mut { |x: &[f32]| loss(x) }, &x, 1e-3);
+        assert_close(&dx, &num, 2e-2, "layernorm dx");
+        // gamma gradient too.
+        let loss_g = |g: &[f32]| -> f32 {
+            layernorm(&x, g, &beta, m, d).0.iter().zip(&w).map(|(y, w)| y * w).sum()
+        };
+        let num_g = numeric_grad(&mut { |g: &[f32]| loss_g(g) }, &gamma, 1e-3);
+        assert_close(&dg, &num_g, 2e-2, "layernorm dgamma");
+    }
+
+    #[test]
+    fn gelu_grad_check() {
+        let x = pseudo(16, 16);
+        let w = pseudo(16, 17);
+        let loss =
+            |x: &[f32]| -> f32 { gelu(x).iter().zip(&w).map(|(y, w)| y * w).sum() };
+        let dx = gelu_backward(&w, &x);
+        let num = numeric_grad(&mut { |x: &[f32]| loss(x) }, &x, 1e-3);
+        assert_close(&dx, &num, 1e-2, "gelu dx");
+    }
+
+    #[test]
+    fn gelu_known_points() {
+        assert!(gelu_scalar(0.0).abs() < 1e-7);
+        assert!((gelu_scalar(10.0) - 10.0).abs() < 1e-3); // ≈identity for large x
+        assert!(gelu_scalar(-10.0).abs() < 1e-3); // ≈0 for very negative x
+    }
+
+    #[test]
+    fn cross_entropy_grad_check() {
+        let m = 3;
+        let v = 5;
+        let logits = pseudo(m * v, 18);
+        let targets = vec![1usize, 4, 0];
+        let (_, dl) = cross_entropy(&logits, &targets, m, v);
+        let num = numeric_grad(
+            &mut { |x: &[f32]| cross_entropy(x, &targets, m, v).0 },
+            &logits,
+            1e-3,
+        );
+        assert_close(&dl, &num, 1e-2, "ce dlogits");
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_low_loss() {
+        // Put huge mass on the target class.
+        let mut logits = vec![0.0f32; 10];
+        logits[3] = 50.0;
+        let (loss, _) = cross_entropy(&logits, &[3], 1, 10);
+        assert!(loss < 1e-3);
+        let (bad, _) = cross_entropy(&logits, &[7], 1, 10);
+        assert!(bad > 10.0);
+    }
+}

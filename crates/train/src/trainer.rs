@@ -1,0 +1,294 @@
+//! Synchronous and lock-free training loops — the Table 6 convergence
+//! experiment ("experimental results on the validation loss verify that this
+//! mechanism has little impact to the model quality").
+//!
+//! Both loops share the model ([`crate::TinyGpt`]), optimizer
+//! ([`crate::MixedPrecisionAdam`]) and data ([`crate::CharCorpus`]); the only
+//! difference is *when* gradients meet parameters:
+//!
+//! * [`train_sync`] — the baseline: every step applies its gradients before
+//!   the next forward (classic synchronous training);
+//! * [`train_lockfree`] — the compute loop reads *buffered* parameters and
+//!   pushes gradients into Algorithm 2's machinery
+//!   ([`angel_core::lockfree::LockFreeTrainer`]), with a [`MemoryStore`]
+//!   throttled to an SSD-like bandwidth so updates genuinely lag behind the
+//!   compute loop, producing real staleness.
+
+use crate::adam::{AdamConfig, MixedPrecisionAdam};
+use crate::bf16::{bf16_round, bf16_round_slice};
+use crate::data::CharCorpus;
+use crate::model::{GptConfig, TinyGpt};
+use angel_core::lockfree::{ClearPolicy, LayerState, LockFreeTrainer, MemoryStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Shared training-run configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    pub model: GptConfig,
+    pub adam: AdamConfig,
+    pub steps: usize,
+    pub seq_len: usize,
+    pub seed: u64,
+    /// Emulated SSD bandwidth for the lock-free store (bytes/s); `None` =
+    /// unthrottled.
+    pub ssd_bytes_per_sec: Option<u64>,
+    pub clear_policy: ClearPolicy,
+    /// Global gradient-norm clip (standard for transformer pre-training);
+    /// `None` disables clipping.
+    pub grad_clip: Option<f32>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            model: GptConfig::tiny(),
+            adam: AdamConfig { lr: 3e-3, ..Default::default() },
+            steps: 300,
+            seq_len: 32,
+            seed: 17,
+            ssd_bytes_per_sec: None,
+            clear_policy: ClearPolicy::OnUpdateReceipt,
+            grad_clip: Some(1.0),
+        }
+    }
+}
+
+/// Scale all gradient groups so the global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_global_norm(grads: &mut [Vec<f32>], max_norm: f32) -> f32 {
+    let norm_sq: f32 = grads.iter().flat_map(|g| g.iter()).map(|x| x * x).sum();
+    let norm = norm_sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for x in g.iter_mut() {
+                *x *= scale;
+            }
+        }
+    }
+    norm
+}
+
+/// Outcome of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    pub final_train_loss: f32,
+    pub valid_loss: f32,
+    pub initial_valid_loss: f32,
+    /// Loss every 20 steps, for curves.
+    pub loss_curve: Vec<f32>,
+    /// Lock-free only: micro-batches dropped in update windows.
+    pub grads_dropped: u64,
+    pub grads_pushed: u64,
+    pub updates_applied: u64,
+}
+
+/// Mean validation loss of `params` over the corpus' validation windows.
+pub fn validation_loss(
+    model: &TinyGpt,
+    params: &[Vec<f32>],
+    corpus: &CharCorpus,
+    seq_len: usize,
+) -> f32 {
+    let mut total = 0.0f32;
+    let mut n = 0usize;
+    for (x, y) in corpus.valid_windows(seq_len) {
+        total += model.loss(params, &x, &y);
+        n += 1;
+    }
+    total / n.max(1) as f32
+}
+
+/// Synchronous baseline: gradient step before the next forward, with the
+/// mixed-precision dance of Figure 1 (FP32 master, BF16 compute copies).
+pub fn train_sync(config: &TrainConfig, corpus: &CharCorpus) -> TrainReport {
+    let model = TinyGpt::new(config.model);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut states: Vec<LayerState> =
+        model.init_params(config.seed).into_iter().map(LayerState::new).collect();
+    let mut adam = MixedPrecisionAdam::new(config.adam, states.len());
+    let mut curve = Vec::new();
+    let initial_valid = {
+        let p: Vec<Vec<f32>> = states.iter().map(|s| s.p32.clone()).collect();
+        validation_loss(&model, &p, corpus, config.seq_len)
+    };
+    let mut last_loss = 0.0;
+    for step in 0..config.steps {
+        // BF16 compute copies of the FP32 masters.
+        let mut p16: Vec<Vec<f32>> = states.iter().map(|s| s.p32.clone()).collect();
+        for g in &mut p16 {
+            bf16_round_slice(g);
+        }
+        let (x, y) = corpus.sample(config.seq_len, &mut rng);
+        let (loss, mut grads) = model.forward_backward(&p16, &x, &y);
+        if let Some(max_norm) = config.grad_clip {
+            clip_global_norm(&mut grads, max_norm);
+        }
+        for g in &mut grads {
+            bf16_round_slice(g);
+        }
+        for (l, (state, grad)) in states.iter_mut().zip(&grads).enumerate() {
+            adam.step(l, state, grad, 1);
+        }
+        last_loss = loss;
+        if step % 20 == 0 {
+            curve.push(loss);
+        }
+    }
+    let p: Vec<Vec<f32>> = states.iter().map(|s| s.p32.clone()).collect();
+    TrainReport {
+        final_train_loss: last_loss,
+        valid_loss: validation_loss(&model, &p, corpus, config.seq_len),
+        initial_valid_loss: initial_valid,
+        loss_curve: curve,
+        grads_dropped: 0,
+        grads_pushed: config.steps as u64,
+        updates_applied: config.steps as u64,
+    }
+}
+
+/// Lock-free training: the compute loop never waits for updates.
+pub fn train_lockfree(config: &TrainConfig, corpus: &CharCorpus) -> TrainReport {
+    let model = TinyGpt::new(config.model);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let initial = model.init_params(config.seed);
+    let n_groups = initial.len();
+    let initial_valid = validation_loss(&model, &initial, corpus, config.seq_len);
+
+    let store_states: Vec<LayerState> =
+        initial.iter().cloned().map(LayerState::new).collect();
+    let store = match config.ssd_bytes_per_sec {
+        Some(bw) => MemoryStore::throttled(store_states, bw),
+        None => MemoryStore::new(store_states),
+    };
+    let adam = MixedPrecisionAdam::new(config.adam, n_groups);
+    let trainer = LockFreeTrainer::spawn(
+        initial,
+        Box::new(store),
+        Box::new(adam),
+        bf16_round,
+        config.clear_policy,
+    );
+
+    let mut curve = Vec::new();
+    let mut last_loss = 0.0;
+    for step in 0..config.steps {
+        // Line 20 of Algorithm 2: fetch buffered (possibly stale) params.
+        let params: Vec<Vec<f32>> =
+            (0..n_groups).map(|l| trainer.read_params(l).0).collect();
+        let (x, y) = corpus.sample(config.seq_len, &mut rng);
+        let (loss, mut grads) = model.forward_backward(&params, &x, &y);
+        if let Some(max_norm) = config.grad_clip {
+            clip_global_norm(&mut grads, max_norm);
+        }
+        // Line 24: offload BF16 gradients, reverse layer order as backward
+        // produces them.
+        for (l, g) in grads.iter_mut().enumerate().rev() {
+            bf16_round_slice(g);
+            trainer.push_grads(l, std::mem::take(g));
+        }
+        last_loss = loss;
+        if step % 20 == 0 {
+            curve.push(loss);
+        }
+    }
+    // Let the updating thread settle, then read the final masters.
+    trainer.wait_quiescent();
+    let stats = trainer.stats();
+    let states = trainer.shutdown(n_groups);
+    let p: Vec<Vec<f32>> = states.into_iter().map(|s| s.p32).collect();
+    TrainReport {
+        final_train_loss: last_loss,
+        valid_loss: validation_loss(&model, &p, corpus, config.seq_len),
+        initial_valid_loss: initial_valid,
+        loss_curve: curve,
+        grads_dropped: stats.grads_dropped,
+        grads_pushed: stats.grads_pushed,
+        updates_applied: stats.updates_applied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(steps: usize) -> TrainConfig {
+        TrainConfig {
+            model: GptConfig { vocab: 12, seq_len: 24, d_model: 24, d_ffn: 48, layers: 2 },
+            steps,
+            seq_len: 24,
+            ..Default::default()
+        }
+    }
+
+    fn corpus() -> CharCorpus {
+        CharCorpus::generate(12, 30_000, 99)
+    }
+
+    #[test]
+    fn sync_training_learns() {
+        let cfg = quick_config(250);
+        let report = train_sync(&cfg, &corpus());
+        assert!(
+            report.valid_loss < report.initial_valid_loss * 0.8,
+            "sync: {} → {}",
+            report.initial_valid_loss,
+            report.valid_loss
+        );
+        assert!(!report.loss_curve.is_empty());
+    }
+
+    #[test]
+    fn lockfree_training_learns() {
+        let cfg = quick_config(250);
+        let report = train_lockfree(&cfg, &corpus());
+        assert!(
+            report.valid_loss < report.initial_valid_loss * 0.85,
+            "lockfree: {} → {}",
+            report.initial_valid_loss,
+            report.valid_loss
+        );
+        assert_eq!(report.grads_pushed, 250 * cfg.model.num_groups() as u64);
+        assert!(report.updates_applied > 0);
+    }
+
+    #[test]
+    fn lockfree_matches_sync_quality() {
+        // The Table 6 claim at small scale: sync 0.853 vs lock-free 0.861 —
+        // within ~1%. We allow 10% at this tiny scale/step count.
+        let cfg = quick_config(300);
+        let c = corpus();
+        let sync = train_sync(&cfg, &c);
+        let lf = train_lockfree(&cfg, &c);
+        let rel = (lf.valid_loss - sync.valid_loss).abs() / sync.valid_loss;
+        assert!(
+            rel < 0.10,
+            "lock-free quality must track sync: sync={} lockfree={} rel={rel}",
+            sync.valid_loss,
+            lf.valid_loss
+        );
+    }
+
+    #[test]
+    fn throttled_store_induces_staleness_but_still_learns() {
+        let mut cfg = quick_config(200);
+        // ~1 MB/s: update rounds visibly lag the compute loop.
+        cfg.ssd_bytes_per_sec = Some(1_000_000);
+        let report = train_lockfree(&cfg, &corpus());
+        // Accumulation happened: far fewer updates than pushes.
+        assert!(report.updates_applied < report.grads_pushed);
+        assert!(report.valid_loss < report.initial_valid_loss);
+    }
+
+    #[test]
+    fn deterministic_sync_runs() {
+        let cfg = quick_config(50);
+        let c = corpus();
+        let a = train_sync(&cfg, &c);
+        let b = train_sync(&cfg, &c);
+        assert_eq!(a.valid_loss, b.valid_loss);
+        assert_eq!(a.loss_curve, b.loss_curve);
+    }
+}

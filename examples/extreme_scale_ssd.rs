@@ -1,0 +1,84 @@
+//! Extreme model scale with the SSD tier and the Lock-Free Updating
+//! Mechanism — the Section 6.5 scenario.
+//!
+//! ```text
+//! cargo run -p angel-examples --bin extreme_scale_ssd
+//! ```
+//!
+//! Builds a multi-trillion-parameter T5-MoE, shows that it only fits once
+//! the SSD tier is enabled, and compares synchronous vs lock-free updating.
+
+use angel_core::{Engine, EngineConfig};
+use angel_hw::fmt_bytes;
+use angel_model::TransformerConfig;
+
+fn main() {
+    let base = TransformerConfig::t5_moe_1_2t();
+    let per_expert = base.ffn_params_per_expert() * base.layers as u64;
+    let servers = 16usize;
+    println!("cluster: {} × A100 servers ({} GPUs)\n", servers, servers * 8);
+
+    // Sweep model scale: which tiers are needed, and where does even the
+    // lock-free mechanism's own host-buffer footprint (4 B/param of FP16
+    // parameter+gradient buffers, Algorithm 2) become the binding limit?
+    println!("{:>7}  {:>10}  {:>9}  {:>10}", "params", "no SSD", "SSD sync", "SSD+lockfree");
+    let mut demo: Option<TransformerConfig> = None;
+    for target_t in [1u64, 2, 4, 8] {
+        let model =
+            base.clone().with_experts((target_t * 1_000_000_000_000 / per_expert) as usize);
+        let plain = EngineConfig::servers(servers).with_batch_size(4);
+        let ssd = plain.clone().with_ssd(true);
+        let lf = ssd.clone().with_lock_free(true);
+        let fits = |c: &EngineConfig| Engine::initialize(&model, c).is_ok();
+        let (a, b, c) = (fits(&plain), fits(&ssd), fits(&lf));
+        println!(
+            "{:>6}T  {:>10}  {:>9}  {:>10}",
+            target_t,
+            if a { "fits" } else { "OOM" },
+            if b { "fits" } else { "OOM" },
+            if c { "fits" } else { "OOM (buffers)" }
+        );
+        if c && demo.is_none() && !a {
+            demo = Some(model);
+        }
+    }
+
+    // Detailed look at the largest SSD-dependent scale that supports both
+    // modes.
+    let model = demo.expect("some scale needs SSD and fits lock-free");
+    println!(
+        "\nmodel: {} experts/layer, {:.2}T parameters, {} of model states",
+        model.experts,
+        model.total_params() as f64 / 1e12,
+        fmt_bytes(model.model_state_bytes()),
+    );
+
+    let ssd_sync = EngineConfig::servers(servers).with_batch_size(4).with_ssd(true);
+    let mut sync_engine = Engine::initialize(&model, &ssd_sync).expect("fits");
+    let sync = sync_engine.train_iteration();
+    println!(
+        "\nsynchronous: placement GPU {} / CPU {} / SSD {} per rank",
+        fmt_bytes(sync_engine.placement().gpu_bytes),
+        fmt_bytes(sync_engine.placement().cpu_bytes),
+        fmt_bytes(sync_engine.placement().ssd_bytes),
+    );
+    println!(
+        "  iteration {:.1} s — each optimizer cycle drags the FP32 states through \
+         3.5 GB/s flash ({:.1} s), the Section 4.3 bottleneck (\"nearly 80% of the \
+         iteration time is idle\"; here updates dominate unless amortized — see \
+         table6_ssd_lockfree).",
+        sync.iter_time_ns as f64 / 1e9,
+        sync.update_cycle_ns as f64 / 1e9,
+    );
+
+    let mut lf_engine =
+        Engine::initialize(&model, &ssd_sync.clone().with_lock_free(true)).expect("fits");
+    let lf = lf_engine.train_iteration();
+    println!(
+        "\n+ lock-free: {:.2} samples/s; GPU-bound iteration {:.1} ms; update staleness \
+         {:.1} iterations (convergence impact: see `table6_convergence`)",
+        lf.samples_per_sec,
+        lf.iter_time_ns as f64 / 1e6,
+        lf.staleness_iters,
+    );
+}

@@ -1,0 +1,78 @@
+//! Real training with the Lock-Free Updating Mechanism — Algorithm 2 with
+//! genuine threads, gradients and Adam math on a small language model.
+//!
+//! ```text
+//! cargo run --release -p angel-examples --bin lockfree_convergence
+//! ```
+//!
+//! Trains the same character-level GPT twice — synchronously and through the
+//! lock-free mechanism with an SSD-throttled state store — and prints the
+//! loss curves side by side, demonstrating the Table 6 claim that staleness
+//! "has little impact to the model quality".
+
+use angel_core::lockfree::ClearPolicy;
+use angel_train::generate::{generate, SampleConfig};
+use angel_train::{train_lockfree, train_sync, CharCorpus, GptConfig, TinyGpt, TrainConfig};
+
+fn main() {
+    let corpus = CharCorpus::generate(16, 60_000, 99);
+    let cfg = TrainConfig {
+        model: GptConfig::tiny(),
+        steps: 800,
+        seq_len: 32,
+        seed: 3,
+        ssd_bytes_per_sec: Some(150_000_000),
+        clear_policy: ClearPolicy::TakeAtSnapshot,
+        ..Default::default()
+    };
+
+    println!("training {:?}", cfg.model);
+    println!("corpus: {} train tokens, vocab {}\n", corpus.train.len(), corpus.vocab);
+
+    let sync = train_sync(&cfg, &corpus);
+    let lf = train_lockfree(&cfg, &corpus);
+
+    println!("step   sync-loss  lockfree-loss");
+    for (i, (a, b)) in sync.loss_curve.iter().zip(&lf.loss_curve).enumerate() {
+        println!("{:4}   {a:9.4}  {b:13.4}", i * 20);
+    }
+    println!("\nvalidation loss: sync {:.4} vs lock-free {:.4}", sync.valid_loss, lf.valid_loss);
+    println!(
+        "lock-free ran {} optimizer updates for {} gradient pushes (accumulation under \
+         SSD pressure), {} micro-batches dropped",
+        lf.updates_applied, lf.grads_pushed, lf.grads_dropped,
+    );
+    let gap = (lf.valid_loss - sync.valid_loss) / sync.valid_loss * 100.0;
+    println!("quality gap: {gap:+.1}% (paper's Table 6: +0.9%)");
+
+    // Qualitative check: sample a continuation from a trained model.
+    let model = TinyGpt::new(cfg.model);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let params = {
+        // quick fresh sync training to get parameters for sampling
+        use angel_core::lockfree::LayerState;
+        use angel_train::MixedPrecisionAdam;
+        let mut st: Vec<LayerState> =
+            model.init_params(cfg.seed).into_iter().map(LayerState::new).collect();
+        let mut adam = MixedPrecisionAdam::new(cfg.adam, st.len());
+        for _ in 0..cfg.steps {
+            let (x, y) = corpus.sample(cfg.seq_len, &mut rng);
+            let p: Vec<Vec<f32>> = st.iter().map(|s| s.p32.clone()).collect();
+            let (_, grads) = model.forward_backward(&p, &x, &y);
+            for (l, (state, g)) in st.iter_mut().zip(&grads).enumerate() {
+                adam.step(l, state, g, 1);
+            }
+        }
+        st.into_iter().map(|s| s.p32).collect::<Vec<_>>()
+    };
+    let prompt = &corpus.valid[..8];
+    let continuation = generate(
+        &model,
+        &params,
+        prompt,
+        SampleConfig { temperature: 0.7, tokens: 24 },
+        &mut rng,
+    );
+    println!("\nsampled continuation of {:?}: {:?}", prompt, continuation);
+}

@@ -1,0 +1,75 @@
+//! Quickstart — the Figure 6 workflow: define a model, initialize the
+//! engine, train.
+//!
+//! ```text
+//! cargo run -p angel-examples --bin quickstart
+//! ```
+//!
+//! Mirrors the paper's programming interface:
+//!
+//! ```python
+//! model = angelptm.initialize(model, optimizer, config)
+//! for batch in batches:
+//!     loss = model(batch); model.backward(loss); model.step()
+//! ```
+
+use angel_core::{Engine, EngineConfig};
+use angel_hw::fmt_bytes;
+use angel_model::TransformerConfig;
+
+fn main() {
+    // 1. Define the model — a 13B GPT from the paper's Table 4.
+    let model = TransformerConfig::gpt3_13b();
+    println!(
+        "model: {} — {} layers, d_model {}, {:.1}B parameters, {} of model states",
+        model.name,
+        model.layers,
+        model.d_model,
+        model.total_params() as f64 / 1e9,
+        fmt_bytes(model.model_state_bytes()),
+    );
+
+    // 2. Configure the hardware: one Tencent A100 server (Table 3).
+    let config = EngineConfig::single_server().with_batch_size(8);
+    println!(
+        "cluster: {} GPUs × {}, host pool {}",
+        config.num_gpus(),
+        fmt_bytes(config.cluster.server.gpu(0).capacity),
+        fmt_bytes(config.usable_host_bytes()),
+    );
+
+    // 3. angelptm.initialize(): trace → place → schedule → cache.
+    let mut engine = Engine::initialize(&model, &config).expect("13B fits on one server");
+    let placement = engine.placement();
+    println!(
+        "placement (per rank): GPU {}, CPU {}, SSD {}",
+        fmt_bytes(placement.gpu_bytes),
+        fmt_bytes(placement.cpu_bytes),
+        fmt_bytes(placement.ssd_bytes),
+    );
+    let sched = engine.schedule().stats;
+    println!(
+        "schedule: {} pages GPU-resident, {} CPU-bound, peak {} of {}, {} gathers advanced",
+        sched.pages_resident,
+        sched.pages_cpu_bound,
+        fmt_bytes(sched.peak_gpu_bytes),
+        fmt_bytes(config.gpu_budget()),
+        sched.gathers_advanced,
+    );
+    println!(
+        "dynamic GPU cache: {} of optimizer states ({:.0}%)",
+        fmt_bytes(engine.cache_plan().cache_bytes),
+        engine.cache_plan().cached_fraction * 100.0,
+    );
+
+    // 4. Train.
+    let report = engine.run(10);
+    let s = report.per_iter;
+    println!(
+        "\n10 iterations: {:.2} samples/s | iter {:.0} ms | GPU util {:.0}% | overlap {:.2}",
+        s.samples_per_sec,
+        s.iter_time_ns as f64 / 1e6,
+        s.gpu_utilization * 100.0,
+        s.overlap_ratio,
+    );
+}

@@ -1,0 +1,67 @@
+//! Determinism: identical inputs must produce identical schedules, reports
+//! and (for synchronous training) identical losses — the property that makes
+//! the experiment harnesses reproducible.
+
+use angel_core::Engine;
+use angel_integration::{server, small_gpt};
+use angel_model::TransformerConfig;
+use angel_train::{train_sync, CharCorpus, TrainConfig};
+use proptest::prelude::*;
+
+#[test]
+fn engine_reports_are_deterministic() {
+    let run = || {
+        let mut e = Engine::initialize(&small_gpt(), &server(4)).unwrap();
+        e.train_iteration()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn schedules_are_deterministic() {
+    let s1 = Engine::initialize(&small_gpt(), &server(2)).unwrap().schedule().tasks.clone();
+    let s2 = Engine::initialize(&small_gpt(), &server(2)).unwrap().schedule().tasks.clone();
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn sync_training_is_bit_deterministic() {
+    let corpus = CharCorpus::generate(12, 5_000, 5);
+    let cfg = TrainConfig { steps: 40, ..Default::default() };
+    let a = train_sync(&cfg, &corpus);
+    let b = train_sync(&cfg, &corpus);
+    assert_eq!(a.valid_loss.to_bits(), b.valid_loss.to_bits());
+    assert_eq!(a.loss_curve, b.loss_curve);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any (batch, layers) combination either initializes deterministically
+    /// or fails deterministically — and never violates the GPU budget.
+    #[test]
+    fn engine_init_total_function(batch in 1u64..16, layers in 2usize..12) {
+        let model = TransformerConfig::gpt3_1_7b().with_layers(layers).with_seq_len(256);
+        let cfg = server(batch);
+        let r1 = Engine::initialize(&model, &cfg);
+        let r2 = Engine::initialize(&model, &cfg);
+        match (r1, r2) {
+            (Ok(e1), Ok(e2)) => {
+                prop_assert_eq!(e1.schedule().stats, e2.schedule().stats);
+                prop_assert!(e1.schedule().stats.peak_gpu_bytes <= cfg.gpu_budget());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "non-deterministic initialization"),
+        }
+    }
+
+    /// Throughput is monotone non-increasing in model depth at fixed config.
+    #[test]
+    fn deeper_models_are_never_faster(extra in 1usize..8) {
+        let base = TransformerConfig::gpt3_1_7b().with_layers(4).with_seq_len(256);
+        let deeper = base.clone().with_layers(4 + extra);
+        let s_base = Engine::initialize(&base, &server(2)).unwrap().train_iteration();
+        let s_deep = Engine::initialize(&deeper, &server(2)).unwrap().train_iteration();
+        prop_assert!(s_deep.samples_per_sec <= s_base.samples_per_sec * 1.001);
+    }
+}

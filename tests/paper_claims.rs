@@ -1,0 +1,229 @@
+//! The paper's headline claims, as executable assertions. Each test names
+//! the table/figure it guards; thresholds are deliberately looser than the
+//! harness outputs so normal calibration drift cannot break CI while the
+//! *shape* (who wins, where crossovers fall) stays pinned.
+
+use angel_baselines::{search_best_strategy, DeepSpeed};
+use angel_core::{Engine, EngineConfig};
+use angel_hw::ClusterSpec;
+use angel_model::TransformerConfig;
+
+/// Table 5: Angel-PTM supports ~2× DeepSpeed's maximum model scale on one
+/// server (paper: +96.4% GPT, +114.8% T5).
+#[test]
+fn table5_scale_gain() {
+    for base in [TransformerConfig::gpt3_28b(), TransformerConfig::t5_27b()] {
+        let ds = DeepSpeed::new(ClusterSpec::single_a100(), 1);
+        let ds_params = base.clone().with_layers(ds.max_layers(&base)).total_params();
+        let angel_layers = Engine::max_layers(&base, &EngineConfig::single_server());
+        let angel_params = base.clone().with_layers(angel_layers).total_params();
+        let gain = angel_params as f64 / ds_params as f64;
+        assert!(
+            gain > 1.6 && gain < 2.6,
+            "{}: Angel/DeepSpeed scale ratio {gain:.2} (paper ≈ 2.0)",
+            base.name
+        );
+        // And the absolute ballpark of the paper's numbers.
+        assert!(
+            (25e9..35e9).contains(&(ds_params as f64)),
+            "DeepSpeed max ≈ 28B, got {ds_params}"
+        );
+        assert!(
+            (45e9..65e9).contains(&(angel_params as f64)),
+            "Angel max ≈ 55B, got {angel_params}"
+        );
+    }
+}
+
+/// Table 5: at DeepSpeed's maximum model, Angel-PTM is faster (paper: +44%
+/// GPT, +96.7% T5 at each system's best batch).
+#[test]
+fn table5_same_model_throughput() {
+    let base = TransformerConfig::gpt3_28b();
+    let ds = DeepSpeed::new(ClusterSpec::single_a100(), 1);
+    let model = base.clone().with_layers(ds.max_layers(&base));
+    let mut best_ds: f64 = 0.0;
+    let mut best_angel: f64 = 0.0;
+    for b in [1u64, 4, 8, 16, 24, 32] {
+        if let Some(s) = DeepSpeed::new(ClusterSpec::single_a100(), b).iter_stats(&model) {
+            best_ds = best_ds.max(s.samples_per_sec);
+        }
+        if let Ok(mut e) =
+            Engine::initialize(&model, &EngineConfig::single_server().with_batch_size(b))
+        {
+            best_angel = best_angel.max(e.train_iteration().samples_per_sec);
+        }
+    }
+    assert!(
+        best_angel > best_ds,
+        "Angel ({best_angel:.2}) must beat DeepSpeed ({best_ds:.2}) at the same model"
+    );
+}
+
+/// Figure 7 (1×8): Megatron-LM's hand-tuned strategy is the fastest system
+/// on the GPU-resident 1.7B model, with Angel within a few percent (paper:
+/// −2.4%); from 30B Megatron OOMs while Angel continues.
+#[test]
+fn figure7_small_model_crossover() {
+    let small = TransformerConfig::gpt3_1_7b();
+    let cluster = ClusterSpec::single_a100();
+    let mega = search_best_strategy(&small, &cluster, 8).expect("1.7B fits");
+    let mut angel = Engine::initialize(
+        &small,
+        &EngineConfig::single_server().with_batch_size(8),
+    )
+    .unwrap();
+    let a = angel.train_iteration().samples_per_sec;
+    let ratio = a / mega.samples_per_sec;
+    assert!(
+        ratio > 0.90 && ratio < 1.05,
+        "Angel/Megatron at 1.7B should be slightly below 1.0 (paper −2.4%), got {ratio:.3}"
+    );
+    // Megatron picked pure DP for the small model.
+    assert_eq!((mega.strategy.tp, mega.strategy.pp), (1, 1));
+
+    // 30B-class model: Megatron OOM on 8 GPUs, Angel fine.
+    let m30 = TransformerConfig::gpt3_28b().with_layers(37);
+    assert!(search_best_strategy(&m30, &cluster, 1).is_none());
+    assert!(Engine::initialize(&m30, &EngineConfig::single_server()).is_ok());
+}
+
+/// Figure 8: throughput on GPT3-175B grows ~linearly from 256 to 768 GPUs
+/// (paper: 3.12×; ours ≈ 3.0×, the super-linear margin being a second-order
+/// effect — see EXPERIMENTS.md).
+#[test]
+fn figure8_scaling() {
+    let model = TransformerConfig::gpt3_175b();
+    let run = |servers: usize| {
+        Engine::initialize(&model, &EngineConfig::servers(servers).with_batch_size(8))
+            .unwrap()
+            .train_iteration()
+            .samples_per_sec
+    };
+    let at256 = run(32);
+    let at768 = run(96);
+    let scaling = at768 / at256;
+    assert!(scaling > 2.7 && scaling < 3.3, "256→768 GPU scaling {scaling:.2} (paper 3.12)");
+}
+
+/// Figure 9: T5-MoE under the paper's 9-experts-per-GPU rule scales
+/// near-linearly (model grows with the fleet).
+#[test]
+fn figure9_moe_scaling() {
+    let base = TransformerConfig::t5_moe_1_2t();
+    let run = |servers: usize| {
+        let ep = angel_model::moe::ExpertParallelism::paper_scaling(servers * 8);
+        let model = ep.scale_model(&base);
+        Engine::initialize(&model, &EngineConfig::servers(servers).with_batch_size(8))
+            .unwrap()
+            .train_iteration()
+            .samples_per_sec
+    };
+    let at64 = run(8);
+    let at256 = run(32);
+    let scaling = at256 / at64;
+    assert!(scaling > 3.5 && scaling <= 4.05, "64→256 GPU MoE scaling {scaling:.2} of 4.0");
+}
+
+/// Table 6 (throughput): with the SSD tier, the lock-free mechanism takes
+/// the optimizer cycle off the critical path entirely.
+#[test]
+fn table6_lockfree_removes_ssd_from_critical_path() {
+    let model = TransformerConfig::t5_moe_1_2t().with_experts(512);
+    let cfg = EngineConfig::servers(8).with_batch_size(4).with_ssd(true);
+    let sync = Engine::initialize(&model, &cfg).unwrap().train_iteration();
+    let lf = Engine::initialize(&model, &cfg.clone().with_lock_free(true))
+        .unwrap()
+        .train_iteration();
+    assert!(
+        lf.iter_time_ns * 2 < sync.iter_time_ns,
+        "lock-free must at least halve the SSD-bound iteration: {} vs {}",
+        lf.iter_time_ns,
+        sync.iter_time_ns
+    );
+    assert!(lf.staleness_iters > 0.0);
+}
+
+/// Section 3.2 motivation: under offload churn (allocate/release waves with
+/// overlapping lifetimes), chunking fails allocations that the page
+/// allocator satisfies with the identical pool size.
+#[test]
+fn motivation_pages_beat_chunks_under_churn() {
+    use angel_hw::DeviceId;
+    use angel_memsim::{AddressAllocator, ChunkAllocator};
+
+    let model = TransformerConfig::gpt3_13b().with_layers(12);
+    let layers: Vec<Vec<u64>> = (0..model.layers)
+        .map(|l| {
+            angel_model::layer_inventory(&model, l, 2)
+                .into_iter()
+                .filter(|t| t.class != angel_model::TensorClass::Activation)
+                .map(|t| t.bytes)
+                .collect()
+        })
+        .collect();
+    let window: u64 = layers.iter().take(4).flatten().sum();
+    let capacity = window * 112 / 100; // 12% slack over a 4-layer window
+    let chunk = layers.iter().flatten().copied().max().unwrap();
+
+    // Chunk allocator: sliding window of 3 live layers, several epochs.
+    let mut chunked = ChunkAllocator::new(capacity, chunk);
+    let mut chunk_failures = 0u64;
+    let mut live: std::collections::VecDeque<Vec<angel_memsim::Allocation>> = Default::default();
+    for _ in 0..6 {
+        for layer in &layers {
+            if live.len() >= 4 {
+                for a in live.pop_front().unwrap() {
+                    chunked.free(a);
+                }
+            }
+            let mut batch = Vec::new();
+            for &b in layer {
+                match chunked.allocate(b) {
+                    Ok(a) => batch.push(a),
+                    Err(_) => chunk_failures += 1,
+                }
+            }
+            live.push_back(batch);
+        }
+        while let Some(batch) = live.pop_front() {
+            for a in batch {
+                chunked.free(a);
+            }
+        }
+    }
+
+    // Page allocator: same trace, same pool size — zero failures.
+    let mut pages = angel_core::PageAllocator::with_page_size(4 << 20, false);
+    pages.add_pool(DeviceId::gpu(0), capacity);
+    let mut page_failures = 0u64;
+    let mut live: std::collections::VecDeque<Vec<angel_core::TensorId>> = Default::default();
+    for _ in 0..6 {
+        for layer in &layers {
+            if live.len() >= 4 {
+                for t in live.pop_front().unwrap() {
+                    pages.release_tensor(t).unwrap();
+                }
+            }
+            let mut batch = Vec::new();
+            for &b in layer {
+                match pages.alloc_tensor_raw(b, DeviceId::gpu(0)) {
+                    Ok(t) => batch.push(t),
+                    Err(_) => page_failures += 1,
+                }
+            }
+            live.push_back(batch);
+        }
+        while let Some(batch) = live.pop_front() {
+            for t in batch {
+                pages.release_tensor(t).unwrap();
+            }
+        }
+    }
+
+    assert_eq!(page_failures, 0, "page allocator must satisfy the whole trace");
+    assert!(
+        chunk_failures > 0,
+        "chunking must fail under churn at the same pool size (got {chunk_failures})"
+    );
+}
