@@ -60,6 +60,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn constants_in_sane_ranges() {
         assert!(DEEPSPEED_PINNED_HOST_FRACTION > 0.3 && DEEPSPEED_PINNED_HOST_FRACTION < 0.6);
         assert!(DEEPSPEED_PCIE_EFFICIENCY > 0.3 && DEEPSPEED_PCIE_EFFICIENCY <= 1.0);

@@ -25,11 +25,10 @@
 //! SSD, paying its 3.5 GB/s on every update.
 
 use crate::calibration;
+use angel_core::plan::{Lowering, LoweringConfig};
 use angel_hw::ClusterSpec;
 use angel_model::{flops, TransformerConfig};
-use angel_sim::collectives::{hierarchical_collective_time_ns, Collective};
 use angel_sim::compute::{CpuUpdateModel, GpuComputeModel};
-use angel_sim::{Resources, SimTask, Simulation, Work};
 use serde::{Deserialize, Serialize};
 
 /// A DeepSpeed configuration.
@@ -82,8 +81,7 @@ impl DeepSpeed {
         let params = model.total_params();
         let servers = self.cluster.num_servers as u64;
         let host_per_server = self.cluster.server.cpu.capacity;
-        let pinned =
-            (host_per_server as f64 * calibration::DEEPSPEED_PINNED_HOST_FRACTION) as u64;
+        let pinned = (host_per_server as f64 * calibration::DEEPSPEED_PINNED_HOST_FRACTION) as u64;
         let host_need_per_server = if self.ssd {
             // FP16 staging stays pinned; FP32 states go to SSD.
             params * 4 / servers
@@ -94,7 +92,13 @@ impl DeepSpeed {
             return false;
         }
         if self.ssd {
-            let ssd_cap = self.cluster.server.ssd.as_ref().map(|d| d.capacity).unwrap_or(0);
+            let ssd_cap = self
+                .cluster
+                .server
+                .ssd
+                .as_ref()
+                .map(|d| d.capacity)
+                .unwrap_or(0);
             if params * 12 / servers > ssd_cap {
                 return false;
             }
@@ -142,7 +146,8 @@ impl DeepSpeed {
 
     /// Simulate one iteration and report throughput.
     ///
-    /// The lowering mirrors the engine's, minus the policies DeepSpeed lacks:
+    /// Lowered through the same [`Lowering`] primitives as the engine, so
+    /// both run on identical simulated hardware and differ only in policy:
     /// every layer's FP16 shard streams over (efficiency-degraded) PCIe in
     /// both passes, gathers are just-in-time, updates are synchronous.
     pub fn iter_stats(&self, model: &TransformerConfig) -> Option<DeepSpeedStats> {
@@ -150,45 +155,25 @@ impl DeepSpeed {
             return None;
         }
         let n_gpus = self.num_gpus();
-        let mut resources = Resources::new();
-        let gpu = resources.add_compute("gpu-stream");
-        let pcie = &self.cluster.server.pcie;
-        let eff_bw = (pcie.bandwidth as f64 * calibration::DEEPSPEED_PCIE_EFFICIENCY) as u64;
-        let h2d = resources.add_link("pcie-h2d", eff_bw, pcie.latency_ns);
-        let d2h = resources.add_link("pcie-d2h", eff_bw, pcie.latency_ns);
-        let comm = resources.add_compute("nccl");
-        let cpu_upd = resources.add_compute("cpu-update");
-        let gpus_per_server = self.cluster.server.num_gpus() as u64;
-        let ssd_ch = resources.add_link(
-            "ssd",
-            (self.cluster.server.ssd_link.bandwidth / gpus_per_server).max(1),
-            self.cluster.server.ssd_link.latency_ns,
+        let mut lo = Lowering::new(
+            &LoweringConfig::new(self.cluster.clone(), n_gpus)
+                .with_pcie_efficiency(calibration::DEEPSPEED_PCIE_EFFICIENCY),
         );
-        let mut sim = Simulation::new(resources);
 
         let n = model.layers;
         let layer_p16 = model.params_per_layer() * 2;
         let shard = layer_p16.div_ceil(n_gpus);
         let lf = flops::layer_flops(model, self.batch_size);
         let width = model.d_model as f64;
-        let fwd_dur = self.gpu_compute.time_ns_sized(lf.forward, self.batch_size as f64, width);
+        let fwd_dur = self
+            .gpu_compute
+            .time_ns_sized(lf.forward, self.batch_size as f64, width);
         let bwd_dur = self.gpu_compute.time_ns_sized(
             lf.backward + lf.recompute,
             self.batch_size as f64,
             width,
         );
-        let gather_dur = hierarchical_collective_time_ns(
-            Collective::AllGather,
-            layer_p16,
-            &self.cluster,
-            n_gpus,
-        );
-        let rs_dur = hierarchical_collective_time_ns(
-            Collective::ReduceScatter,
-            layer_p16,
-            &self.cluster,
-            n_gpus,
-        );
+        let gpus_per_server = self.cluster.server.num_gpus() as u64;
         let layer_params = model.params_per_layer().div_ceil(n_gpus);
         let upd_dur = self
             .cpu_update
@@ -204,37 +189,16 @@ impl DeepSpeed {
             .chain((0..n).rev().map(|l| (l, false)))
             .collect();
         for (l, is_fwd) in steps {
-            let mut fetch = SimTask::new(h2d, Work::Bytes(shard))
-                .with_label(format!("fetch l{l}"));
-            if let Some(p) = prev_compute {
-                // Just-in-time: prefetch of the next layer starts only once
-                // the previous layer's compute is underway (one-deep static
-                // pipeline, no lifetime-based advancement).
-                fetch = fetch.with_deps([p]);
-            }
-            let fid = sim.submit(fetch);
-            let gid = sim.submit(
-                SimTask::new(comm, Work::Duration(gather_dur))
-                    .with_label(format!("gather l{l}"))
-                    .with_deps([fid]),
-            );
+            // Just-in-time: prefetch of the next layer starts only once the
+            // previous layer's compute is underway (one-deep static
+            // pipeline, no lifetime-based advancement).
+            let fid = lo.move_in(shard, prev_compute, format!("fetch l{l}"));
+            let gid = lo.all_gather(layer_p16, [fid], format!("gather l{l}"));
             let dur = if is_fwd { fwd_dur } else { bwd_dur };
-            let cid = sim.submit(
-                SimTask::new(gpu, Work::Duration(dur))
-                    .with_label(format!("compute l{l}"))
-                    .with_deps([gid]),
-            );
+            let cid = lo.compute_gpu(dur, [gid], format!("compute l{l}"));
             if !is_fwd {
-                let rs = sim.submit(
-                    SimTask::new(comm, Work::Duration(rs_dur))
-                        .with_label(format!("rs l{l}"))
-                        .with_deps([cid]),
-                );
-                let off = sim.submit(
-                    SimTask::new(d2h, Work::Bytes(shard))
-                        .with_label(format!("grads l{l}"))
-                        .with_deps([rs]),
-                );
+                let rs = lo.reduce_scatter(layer_p16, [cid], format!("rs l{l}"));
+                let off = lo.offload(shard, [rs], format!("grads l{l}"));
                 grad_offloads.push(off);
             }
             prev_compute = Some(cid);
@@ -248,42 +212,25 @@ impl DeepSpeed {
             let mut deps: Vec<usize> = grad_offloads.clone();
             deps.extend(prev_upd);
             let before = if self.ssd {
-                let rd = sim.submit(
-                    SimTask::new(ssd_ch, Work::Bytes(layer_ssd))
-                        .with_label(format!("ssd_rd l{l}"))
-                        .with_deps(deps.clone()),
-                );
-                vec![rd]
+                vec![lo.ssd_read(layer_ssd, deps, format!("ssd_rd l{l}"))]
             } else {
-                deps.clone()
+                deps
             };
-            let up = sim.submit(
-                SimTask::new(cpu_upd, Work::Duration(upd_dur))
-                    .with_label(format!("upd l{l}"))
-                    .with_deps(before),
-            );
+            let up = lo.update_cpu(upd_dur, before, format!("upd l{l}"));
             if self.ssd {
-                sim.submit(
-                    SimTask::new(ssd_ch, Work::Bytes(layer_ssd))
-                        .with_label(format!("ssd_wr l{l}"))
-                        .with_deps([up]),
-                );
+                lo.ssd_write(layer_ssd, [up], format!("ssd_wr l{l}"));
             }
             // Updated FP16 parameter shard returns to the GPU.
-            sim.submit(
-                SimTask::new(h2d, Work::Bytes(shard))
-                    .with_label(format!("param_up l{l}"))
-                    .with_deps([up]),
-            );
+            lo.move_in(shard, [up], format!("param_up l{l}"));
             prev_upd = Some(up);
         }
 
-        let report = sim.run();
+        let report = lo.run();
         let iter = report.makespan.max(1);
         Some(DeepSpeedStats {
             iter_time_ns: iter,
             samples_per_sec: (self.batch_size * n_gpus) as f64 / (iter as f64 / 1e9),
-            gpu_utilization: report.utilization(gpu),
+            gpu_utilization: report.utilization(lo.gpu_id()),
         })
     }
 }
@@ -338,8 +285,12 @@ mod tests {
     #[test]
     fn more_gpus_more_throughput() {
         let m = TransformerConfig::gpt3_13b();
-        let s8 = DeepSpeed::new(ClusterSpec::a100_tencent(1), 2).iter_stats(&m).unwrap();
-        let s32 = DeepSpeed::new(ClusterSpec::a100_tencent(4), 2).iter_stats(&m).unwrap();
+        let s8 = DeepSpeed::new(ClusterSpec::a100_tencent(1), 2)
+            .iter_stats(&m)
+            .unwrap();
+        let s32 = DeepSpeed::new(ClusterSpec::a100_tencent(4), 2)
+            .iter_stats(&m)
+            .unwrap();
         assert!(s32.samples_per_sec > s8.samples_per_sec);
     }
 }

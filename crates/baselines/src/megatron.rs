@@ -9,6 +9,7 @@
 //! Figure 7 while the ZeRO systems continue.
 
 use crate::calibration;
+use angel_core::plan::{Lowering, LoweringConfig};
 use angel_hw::ClusterSpec;
 use angel_model::{flops, footprint::ModelFootprint, TransformerConfig};
 use angel_sim::collectives::{collective_time_ns, hierarchical_collective_time_ns, Collective};
@@ -38,11 +39,7 @@ pub struct StrategyEval {
 }
 
 /// Per-GPU memory demand of a strategy (model states replicated across DP).
-fn gpu_bytes_needed(
-    model: &TransformerConfig,
-    s: &MegatronStrategy,
-    cluster: &ClusterSpec,
-) -> u64 {
+fn gpu_bytes_needed(model: &TransformerConfig, s: &MegatronStrategy, cluster: &ClusterSpec) -> u64 {
     let _ = cluster;
     let states = model.model_state_bytes(); // 16 B/param
     let states_per_gpu = states / (s.tp as u64 * s.pp as u64);
@@ -76,8 +73,7 @@ pub fn evaluate(
     // Per-micro-batch compute of one stage (layers/pp), split over TP.
     let layers_per_stage = n.div_ceil(s.pp as u64);
     // Recomputation replays the forward during backward.
-    let stage_flops =
-        layers_per_stage * (lf.forward + lf.backward + lf.recompute) / s.tp as u64;
+    let stage_flops = layers_per_stage * (lf.forward + lf.backward + lf.recompute) / s.tp as u64;
     // TP shrinks every matmul's per-GPU weight slice by `tp`; the shared
     // tile-work efficiency model (see `GpuComputeModel::effective_batch`)
     // charges narrow slices and rewards wide ones uniformly across systems —
@@ -87,8 +83,7 @@ pub fn evaluate(
     let stage_time = gpu_model.time_ns_sized(stage_flops, s.micro_batch as f64, slice);
     // TP all-reduces: 2 per layer per pass (4 total), volume b·s·d FP16,
     // on NVLink (TP groups stay inside a server).
-    let tp_volume =
-        s.micro_batch * model.seq_len as u64 * model.d_model as u64 * 2;
+    let tp_volume = s.micro_batch * model.seq_len as u64 * model.d_model as u64 * 2;
     let tp_time = if s.tp > 1 {
         4 * layers_per_stage
             * collective_time_ns(
@@ -106,26 +101,32 @@ pub fn evaluate(
         0
     };
     let per_micro = stage_time + tp_time + pp_overhead;
-    // 1F1B: time = (m + p − 1) × per-micro-batch stage time.
     let m = s.num_micro_batches;
     let p = s.pp as u64;
-    let pipeline_time = (m + p - 1) * per_micro;
     let bubble = (p - 1) as f64 / (m + p - 1) as f64;
     // DP gradient all-reduce (full replica gradients / (tp·pp)), partially
     // overlapped with backward.
     let grad_bytes = model.total_params() * 2 / (s.tp as u64 * s.pp as u64);
     let dp_time = if s.dp > 1 {
-        (hierarchical_collective_time_ns(
-            Collective::AllReduce,
-            grad_bytes,
-            cluster,
-            s.dp as u64,
-        ) as f64
+        (hierarchical_collective_time_ns(Collective::AllReduce, grad_bytes, cluster, s.dp as u64)
+            as f64
             * calibration::MEGATRON_DP_EXPOSED) as u64
     } else {
         0
     };
-    let iter = pipeline_time + dp_time;
+    // Lower the 1F1B pipeline through the shared primitives: the critical
+    // path of the first stage is `m + p − 1` back-to-back micro-batch
+    // slots on its GPU stream — the steady-state 1F1B schedule — followed
+    // by the exposed slice of the data-parallel gradient all-reduce.
+    let mut lo = Lowering::new(&LoweringConfig::new(cluster.clone(), s.dp as u64));
+    let mut prev: Option<usize> = None;
+    for slot in 0..(m + p - 1) {
+        prev = Some(lo.compute_gpu(per_micro, prev, format!("micro slot {slot}")));
+    }
+    if dp_time > 0 {
+        lo.collective_exposed(dp_time, prev, "dp all_reduce (exposed)");
+    }
+    let iter = lo.run().makespan;
     let global_batch = s.micro_batch * m * s.dp as u64;
     Some(StrategyEval {
         strategy: s,
@@ -158,22 +159,22 @@ pub fn search_best_strategy_global(
     let gpu_model = GpuComputeModel::a100();
     let mut best: Option<StrategyEval> = None;
     for tp in [1usize, 2, 4, 8] {
-        if tp > cluster.server.num_gpus() || n_gpus % tp != 0 {
+        if tp > cluster.server.num_gpus() || !n_gpus.is_multiple_of(tp) {
             continue;
         }
         let rest = n_gpus / tp;
         for pp in 1..=rest {
-            if rest % pp != 0 || model.layers % pp != 0 && pp > model.layers {
+            if !rest.is_multiple_of(pp) || !model.layers.is_multiple_of(pp) && pp > model.layers {
                 continue;
             }
             let dp = rest / pp;
-            if global_batch % dp as u64 != 0 {
+            if !global_batch.is_multiple_of(dp as u64) {
                 continue;
             }
             let replica_batch = global_batch / dp as u64;
             // Try micro-batch sizes dividing the replica batch.
             for &mb in &[1u64, 2, 4, 8, 16, 32] {
-                if mb > replica_batch || replica_batch % mb != 0 {
+                if mb > replica_batch || !replica_batch.is_multiple_of(mb) {
                     continue;
                 }
                 let s = MegatronStrategy {
@@ -184,7 +185,7 @@ pub fn search_best_strategy_global(
                     num_micro_batches: replica_batch / mb,
                 };
                 if let Some(eval) = evaluate(model, s, cluster, &gpu_model) {
-                    if best.map_or(true, |b| eval.samples_per_sec > b.samples_per_sec) {
+                    if best.is_none_or(|b| eval.samples_per_sec > b.samples_per_sec) {
                         best = Some(eval);
                     }
                 }
@@ -228,7 +229,10 @@ mod tests {
         let best = search_best_strategy(&m, &ClusterSpec::a100_tencent(4), 1);
         assert!(best.is_some());
         let b = best.unwrap();
-        assert!(b.strategy.tp * b.strategy.pp > 1, "must use model parallelism");
+        assert!(
+            b.strategy.tp * b.strategy.pp > 1,
+            "must use model parallelism"
+        );
     }
 
     #[test]
@@ -242,7 +246,13 @@ mod tests {
     fn bubble_fraction_formula() {
         let m = TransformerConfig::gpt3_13b();
         let cluster = ClusterSpec::a100_tencent(4);
-        let s = MegatronStrategy { tp: 8, pp: 4, dp: 1, micro_batch: 1, num_micro_batches: 8 };
+        let s = MegatronStrategy {
+            tp: 8,
+            pp: 4,
+            dp: 1,
+            micro_batch: 1,
+            num_micro_batches: 8,
+        };
         let e = evaluate(&m, s, &cluster, &GpuComputeModel::a100()).unwrap();
         assert!((e.bubble_fraction - 3.0 / 11.0).abs() < 1e-9);
     }
@@ -272,7 +282,7 @@ mod tests {
         // Our search space mirrors this: compare best strategies at 64 vs 72
         // GPUs (9 servers) for a 64-layer model at fixed global batch.
         let m = TransformerConfig::gpt3_30b(); // 64 layers
-        // Same workload (global batch 144) on both fleets.
+                                               // Same workload (global batch 144) on both fleets.
         let best64 = search_best_strategy_global(&m, &ClusterSpec::a100_tencent(8), 144);
         let best72 = search_best_strategy_global(&m, &ClusterSpec::a100_tencent(9), 144);
         if let (Some(a), Some(b)) = (best64, best72) {

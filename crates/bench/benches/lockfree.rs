@@ -22,8 +22,7 @@ fn bench_push_throughput(c: &mut Criterion) {
     // Lock-free: pushes return immediately; updates run on other threads.
     group.bench_function("lockfree_push", |b| {
         let initial = vec![vec![0.1f32; N]; LAYERS];
-        let store =
-            MemoryStore::new(initial.iter().cloned().map(LayerState::new).collect());
+        let store = MemoryStore::new(initial.iter().cloned().map(LayerState::new).collect());
         let t = LockFreeTrainer::spawn(
             initial,
             Box::new(store),
@@ -44,8 +43,7 @@ fn bench_push_throughput(c: &mut Criterion) {
     // inline, the way training without Algorithm 2 must.
     group.bench_function("synchronous_update", |b| {
         let initial = vec![vec![0.1f32; N]; LAYERS];
-        let mut store =
-            MemoryStore::new(initial.iter().cloned().map(LayerState::new).collect());
+        let mut store = MemoryStore::new(initial.iter().cloned().map(LayerState::new).collect());
         let mut opt = SgdOptimizer { lr: 0.01 };
         let mut l = 0usize;
         b.iter(|| {

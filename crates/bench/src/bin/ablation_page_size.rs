@@ -22,12 +22,24 @@ fn main() {
     let mut table = Experiment::new(
         "ablation-page-size",
         "Page-size ablation (Section 4.1: 4 MiB is the PCIe-saturating minimum)",
-        &["Page size", "PCIe eff.", "Internal frag", "Layer stream (ms)", "Samples/s"],
+        &[
+            "Page size",
+            "PCIe eff.",
+            "Internal frag",
+            "Layer stream (ms)",
+            "Samples/s",
+        ],
     );
 
-    for &page in
-        &[64 * KIB, 256 * KIB, MIB, 4 * MIB, 16 * MIB, 64 * MIB, 256 * MIB]
-    {
+    for &page in &[
+        64 * KIB,
+        256 * KIB,
+        MIB,
+        4 * MIB,
+        16 * MIB,
+        64 * MIB,
+        256 * MIB,
+    ] {
         let eff = pcie.effective_bandwidth(page) / (32.0 * GB_PER_S as f64);
 
         // Pack one layer's model states with the real allocator.
@@ -56,7 +68,9 @@ fn main() {
         let stream_ms = stream_ns as f64 / 1e6;
 
         // Engine-level sanity: the schedule still initializes at this size.
-        let cfg = EngineConfig::single_server().with_batch_size(4).with_page_size(page);
+        let cfg = EngineConfig::single_server()
+            .with_batch_size(4)
+            .with_page_size(page);
         let sps = match Engine::initialize(&model, &cfg) {
             Ok(mut e) => format!("{:.2}", e.train_iteration().samples_per_sec),
             Err(_) => "OOM".into(),

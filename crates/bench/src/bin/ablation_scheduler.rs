@@ -21,7 +21,7 @@ fn best(model: &TransformerConfig, cfg: &EngineConfig) -> Option<(u64, f64, f64,
             let gathers = e.schedule().stats.gathers_advanced;
             let cached = e.cache_plan().cached_fraction;
             let s = e.train_iteration();
-            if out.map_or(true, |(_, sp, ..)| s.samples_per_sec > sp) {
+            if out.is_none_or(|(_, sp, ..)| s.samples_per_sec > sp) {
                 out = Some((
                     b,
                     s.samples_per_sec,
@@ -42,13 +42,24 @@ fn main() {
         let mut table = Experiment::new(
             "ablation-scheduler",
             "Unified Scheduler ablation, 1×8 GPUs, best batch per variant",
-            &["Variant", "Best batch", "Samples/s", "GPU util", "Overlap", "Gathers adv.", "Cached"],
+            &[
+                "Variant",
+                "Best batch",
+                "Samples/s",
+                "GPU util",
+                "Overlap",
+                "Gathers adv.",
+                "Cached",
+            ],
         );
         table.note(format!("Model: {}", model.name));
 
         let variants: Vec<(&str, EngineConfig)> = vec![
             ("full Angel-PTM", base.clone()),
-            ("− phase-2 advancement", base.clone().with_phase2_advance(false)),
+            (
+                "− phase-2 advancement",
+                base.clone().with_phase2_advance(false),
+            ),
             ("− GPU cache", base.clone().with_gpu_cache(false)),
             ("− recomputation", base.clone().with_recompute(false)),
         ];
@@ -104,7 +115,10 @@ fn main() {
         cache_table.note(format!("Model: {}", model.name));
         for (name, cfg) in [
             ("with GPU cache", base.clone().with_batch_size(2)),
-            ("without GPU cache", base.clone().with_batch_size(2).with_gpu_cache(false)),
+            (
+                "without GPU cache",
+                base.clone().with_batch_size(2).with_gpu_cache(false),
+            ),
         ] {
             if let Ok(mut e) = Engine::initialize(&model, &cfg) {
                 let cached = e.cache_plan().cached_fraction;

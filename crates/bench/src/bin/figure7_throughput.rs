@@ -23,7 +23,9 @@ fn angel_best(model: &TransformerConfig, servers: usize) -> Option<f64> {
         .iter()
         .filter_map(|&b| {
             let cfg = EngineConfig::servers(servers).with_batch_size(b);
-            Engine::initialize(model, &cfg).ok().map(|mut e| e.train_iteration().samples_per_sec)
+            Engine::initialize(model, &cfg)
+                .ok()
+                .map(|mut e| e.train_iteration().samples_per_sec)
         })
         .fold(None, |best, s| Some(best.map_or(s, |b: f64| b.max(s))))
 }
@@ -72,7 +74,14 @@ fn main() {
             } else {
                 "Throughput on 4×8 GPUs, normalized to DeepSpeed (bars of Figure 7 bottom)"
             },
-            &["Model", "DeepSpeed", "Megatron-LM", "AngelPTM", "Angel/DS", "Angel/Megatron"],
+            &[
+                "Model",
+                "DeepSpeed",
+                "Megatron-LM",
+                "AngelPTM",
+                "Angel/DS",
+                "Angel/Megatron",
+            ],
         );
         for m in &models {
             let ds = deepspeed_best(m, servers);

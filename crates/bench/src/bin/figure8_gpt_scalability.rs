@@ -17,7 +17,7 @@ fn best_at(servers: usize, model: &TransformerConfig) -> Option<(u64, f64)> {
         let cfg = EngineConfig::servers(servers).with_batch_size(b);
         if let Ok(mut e) = Engine::initialize(model, &cfg) {
             let s = e.train_iteration();
-            if best.map_or(true, |(_, sp)| s.samples_per_sec > sp) {
+            if best.is_none_or(|(_, sp)| s.samples_per_sec > sp) {
                 best = Some((b, s.samples_per_sec));
             }
         }
@@ -30,7 +30,13 @@ fn main() {
     let mut table = Experiment::new(
         "figure8",
         "Scalability on GPT3-175B (paper: 11.68 sps @256 GPUs → 36.46 @768, 3.12× super-linear)",
-        &["GPUs", "Micro-batch/GPU", "Samples/s", "Scaling vs 256", "Linear would be"],
+        &[
+            "GPUs",
+            "Micro-batch/GPU",
+            "Samples/s",
+            "Scaling vs 256",
+            "Linear would be",
+        ],
     );
     let fleets = [32usize, 48, 64, 80, 96]; // 256..768 GPUs
     let mut base: Option<f64> = None;
@@ -48,7 +54,13 @@ fn main() {
                 ]);
             }
             None => {
-                table.row(vec![gpus.to_string(), "—".into(), "OOM".into(), "—".into(), "—".into()]);
+                table.row(vec![
+                    gpus.to_string(),
+                    "—".into(),
+                    "OOM".into(),
+                    "—".into(),
+                    "—".into(),
+                ]);
             }
         }
     }

@@ -20,7 +20,14 @@ fn main() {
     let mut table = Experiment::new(
         "figure9",
         "Scalability on T5-MoE under expert parallelism (9 experts/GPU/layer)",
-        &["GPUs", "Experts/layer", "Samples/s", "Scaling vs 64", "Linear", "All-to-all share"],
+        &[
+            "GPUs",
+            "Experts/layer",
+            "Samples/s",
+            "Scaling vs 64",
+            "Linear",
+            "All-to-all share",
+        ],
     );
     let mut baseline: Option<f64> = None;
     for servers in [8usize, 16, 24, 32] {

@@ -61,7 +61,11 @@ fn run(alloc: &mut dyn AddressAllocator, layers: &[Vec<u64>]) -> Outcome {
                         failures += 1;
                         if first_failure.is_none() {
                             first_failure = Some(match e {
-                                AllocError::Fragmented { requested, free, largest } => format!(
+                                AllocError::Fragmented {
+                                    requested,
+                                    free,
+                                    largest,
+                                } => format!(
                                     "fragmented: need {} with {} free (largest {})",
                                     fmt_bytes(requested),
                                     fmt_bytes(free),
@@ -81,7 +85,11 @@ fn run(alloc: &mut dyn AddressAllocator, layers: &[Vec<u64>]) -> Outcome {
             }
         }
     }
-    Outcome { worst_external: alloc.stats().worst_external_frag, failures, first_failure }
+    Outcome {
+        worst_external: alloc.stats().worst_external_frag,
+        failures,
+        first_failure,
+    }
 }
 
 fn main() {
@@ -94,7 +102,12 @@ fn main() {
     let mut table = Experiment::new(
         "motivation",
         "Fragmentation of coarse memory managers under the offload trace (Section 3.2)",
-        &["Manager", "Worst ext. frag", "Failed allocs", "First failure"],
+        &[
+            "Manager",
+            "Worst ext. frag",
+            "Failed allocs",
+            "First failure",
+        ],
     );
 
     let mut naive = NaiveAllocator::new(capacity);

@@ -54,7 +54,10 @@ fn main() {
             table.row(vec![format!("{mb}"), "—".into(), c.to_string()]);
         }
     }
-    assert_eq!(matched_large, 6, "all six ≥1 MB classes must match the paper exactly");
+    assert_eq!(
+        matched_large, 6,
+        "all six ≥1 MB classes must match the paper exactly"
+    );
     table.note(
         "All six ≥1 MB size classes match Table 2 exactly. The paper's three sub-MB rows \
          are not derivable from its own Table 1 formulas (see EXPERIMENTS.md); ours list \

@@ -39,13 +39,15 @@ fn main() {
         let ds_layers = ds.max_layers(&base);
         let ds_model = base.clone().with_layers(ds_layers);
         let ds_b1 = ds.iter_stats(&ds_model).expect("max model fits at batch 1");
-        let ds_bmax = max_batch(|b| {
-            DeepSpeed::new(ClusterSpec::single_a100(), b).fits(&ds_model)
-        });
+        let ds_bmax = max_batch(|b| DeepSpeed::new(ClusterSpec::single_a100(), b).fits(&ds_model));
         let ds_max = DeepSpeed::new(ClusterSpec::single_a100(), ds_bmax)
             .iter_stats(&ds_model)
             .expect("fits at max batch");
-        let paper_ds = if family == "GPT" { "28B, 7.61 sps @36" } else { "27B, 7.31 sps @32" };
+        let paper_ds = if family == "GPT" {
+            "28B, 7.61 sps @36"
+        } else {
+            "27B, 7.31 sps @32"
+        };
         table.row(vec![
             family.into(),
             "DeepSpeed".into(),
@@ -65,12 +67,14 @@ fn main() {
 
         // ---- Angel-PTM at DeepSpeed's max model (same-model comparison) --
         let angel_cfg = |b: u64| EngineConfig::single_server().with_batch_size(b);
-        let angel_bmax_same =
-            max_batch(|b| Engine::initialize(&ds_model, &angel_cfg(b)).is_ok());
+        let angel_bmax_same = max_batch(|b| Engine::initialize(&ds_model, &angel_cfg(b)).is_ok());
         let mut e = Engine::initialize(&ds_model, &angel_cfg(angel_bmax_same)).unwrap();
         let s = e.train_iteration();
-        let paper_angel_same =
-            if family == "GPT" { "28B, 10.99 sps @38" } else { "27B, 14.38 sps @50" };
+        let paper_angel_same = if family == "GPT" {
+            "28B, 10.99 sps @38"
+        } else {
+            "27B, 14.38 sps @50"
+        };
         table.row(vec![
             family.into(),
             "AngelPTM".into(),
@@ -85,7 +89,11 @@ fn main() {
         let angel_model = base.clone().with_layers(angel_layers);
         let mut e1 = Engine::initialize(&angel_model, &angel_cfg(1)).unwrap();
         let s1 = e1.train_iteration();
-        let paper_max = if family == "GPT" { "55B, 0.464 sps @1" } else { "58B, 0.432 sps @1" };
+        let paper_max = if family == "GPT" {
+            "55B, 0.464 sps @1"
+        } else {
+            "58B, 0.432 sps @1"
+        };
         table.row(vec![
             family.into(),
             "AngelPTM".into(),
@@ -97,7 +105,11 @@ fn main() {
         let angel_bmax = max_batch(|b| Engine::initialize(&angel_model, &angel_cfg(b)).is_ok());
         let mut em = Engine::initialize(&angel_model, &angel_cfg(angel_bmax)).unwrap();
         let sm = em.train_iteration();
-        let paper_maxb = if family == "GPT" { "55B, 3.34 sps @10" } else { "58B, 3.37 sps @4" };
+        let paper_maxb = if family == "GPT" {
+            "55B, 3.34 sps @10"
+        } else {
+            "58B, 3.37 sps @4"
+        };
         table.row(vec![
             family.into(),
             "AngelPTM".into(),
@@ -107,8 +119,7 @@ fn main() {
             paper_maxb.into(),
         ]);
 
-        let scale_gain =
-            angel_model.total_params() as f64 / ds_model.total_params() as f64 - 1.0;
+        let scale_gain = angel_model.total_params() as f64 / ds_model.total_params() as f64 - 1.0;
         table.note(format!(
             "{family}: Angel-PTM max scale gain over DeepSpeed = {:.1}% (paper: {}%)",
             scale_gain * 100.0,

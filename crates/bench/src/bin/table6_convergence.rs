@@ -18,11 +18,31 @@ fn main() {
     let mut table = Experiment::new(
         "table6-convergence",
         "Validation loss: synchronous vs lock-free training (real runs, synthetic corpus)",
-        &["Model", "Mode", "Valid loss", "Initial", "Grads dropped", "Updates", "Paper analogue"],
+        &[
+            "Model",
+            "Mode",
+            "Valid loss",
+            "Initial",
+            "Grads dropped",
+            "Updates",
+            "Paper analogue",
+        ],
     );
 
-    let small = GptConfig { vocab: 16, seq_len: 32, d_model: 24, d_ffn: 48, layers: 2 };
-    let large = GptConfig { vocab: 16, seq_len: 32, d_model: 48, d_ffn: 96, layers: 3 };
+    let small = GptConfig {
+        vocab: 16,
+        seq_len: 32,
+        d_model: 24,
+        d_ffn: 48,
+        layers: 2,
+    };
+    let large = GptConfig {
+        vocab: 16,
+        seq_len: 32,
+        d_model: 48,
+        d_ffn: 96,
+        layers: 3,
+    };
 
     let mut losses = Vec::new();
     for (name, model, paper) in [

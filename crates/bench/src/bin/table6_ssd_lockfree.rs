@@ -37,7 +37,15 @@ fn main() {
     let mut table = Experiment::new(
         "table6",
         "T5-MoE training with SSD: synchronous vs Lock-Free Updating (Algorithm 2)",
-        &["#Params", "#GPUs", "Mode", "Samples/s", "vs sync", "Staleness (iters)", "Paper"],
+        &[
+            "#Params",
+            "#GPUs",
+            "Mode",
+            "Samples/s",
+            "vs sync",
+            "Staleness (iters)",
+            "Paper",
+        ],
     );
 
     let batch = 8u64;
@@ -48,9 +56,10 @@ fn main() {
         let model = moe_with_params(target);
         let gpus = servers * 8;
 
-        let cfg = EngineConfig::servers(servers).with_batch_size(batch).with_ssd(true);
-        let Ok(mut lf_engine) =
-            Engine::initialize(&model, &cfg.clone().with_lock_free(true))
+        let cfg = EngineConfig::servers(servers)
+            .with_batch_size(batch)
+            .with_ssd(true);
+        let Ok(mut lf_engine) = Engine::initialize(&model, &cfg.clone().with_lock_free(true))
         else {
             table.row(vec![
                 fmt_params(model.total_params()),
@@ -79,7 +88,11 @@ fn main() {
                 fmt_sps(sync_sps),
                 "1.00x".into(),
                 "0.0".into(),
-                if u == u_star { paper_sync.into() } else { String::new() },
+                if u == u_star {
+                    paper_sync.into()
+                } else {
+                    String::new()
+                },
             ]);
             if u == u_star {
                 let lf_sps = (batch * gpus as u64) as f64 / (t_gpu / 1e9);

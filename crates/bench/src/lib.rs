@@ -73,11 +73,29 @@ impl Experiment {
         out
     }
 
+    /// The JSON record for this experiment (the `--json` output).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "id": self.id,
+            "caption": self.caption,
+            "columns": self.columns.clone(),
+            "rows": self
+                .rows
+                .iter()
+                .map(|r| serde_json::Value::from(r.clone()))
+                .collect::<Vec<_>>(),
+            "notes": self.notes.clone(),
+        })
+    }
+
     /// Print to stdout; with `--json` in argv also emit the JSON record.
     pub fn emit(&self) {
         println!("{}", self.render());
         if std::env::args().any(|a| a == "--json") {
-            println!("{}", serde_json::to_string_pretty(self).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&self.to_json()).expect("serializable")
+            );
         }
     }
 }

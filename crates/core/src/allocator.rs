@@ -247,7 +247,11 @@ impl PageAllocator {
         if open_take > 0 {
             let open_id = self.pools[&device].open_page.expect("planned open page");
             let offset = self.pages[open_id.0].allocate(open_take, id)?;
-            ranges.push(PageRange { page: open_id, offset, bytes: open_take });
+            ranges.push(PageRange {
+                page: open_id,
+                offset,
+                bytes: open_take,
+            });
             remaining -= open_take;
             // Two tenants now: the page is closed.
             self.pools.get_mut(&device).unwrap().open_page = None;
@@ -259,7 +263,11 @@ impl PageAllocator {
             let pid = self.take_page(device)?;
             let offset = self.pages[pid.0].allocate(take, id)?;
             debug_assert_eq!(offset, 0);
-            ranges.push(PageRange { page: pid, offset, bytes: take });
+            ranges.push(PageRange {
+                page: pid,
+                offset,
+                bytes: take,
+            });
             remaining -= take;
             // A partially filled tail of a *large* tensor becomes the open
             // page; small tensors keep their page to themselves.
@@ -331,7 +339,11 @@ impl PageAllocator {
                 .get_mut(&target)
                 .unwrap_or_else(|| panic!("no pool registered for {target}"));
             if tpool.used_pages >= tpool.capacity_pages {
-                return Err(Error::OutOfPages { device: target, requested_pages: 1, free_pages: 0 });
+                return Err(Error::OutOfPages {
+                    device: target,
+                    requested_pages: 1,
+                    free_pages: 0,
+                });
             }
             tpool.used_pages += 1;
             tpool.peak_used_pages = tpool.peak_used_pages.max(tpool.used_pages);
@@ -350,12 +362,14 @@ impl PageAllocator {
         // after any page of a tensor moves, the tensor is split across
         // devices and not compute-ready (device = None, the paper's −1)
         // until all its pages agree again.
-        let tenant_ids: Vec<TensorId> =
-            self.pages[id.0].tenants().map(|t| t.tensor).collect();
+        let tenant_ids: Vec<TensorId> = self.pages[id.0].tenants().map(|t| t.tensor).collect();
         for tid in tenant_ids {
             if let Some(t) = self.tensors.get_mut(&tid) {
-                let devices: Vec<DeviceId> =
-                    t.pages.iter().map(|r| self.pages[r.page.0].device()).collect();
+                let devices: Vec<DeviceId> = t
+                    .pages
+                    .iter()
+                    .map(|r| self.pages[r.page.0].device())
+                    .collect();
                 t.device = if devices.windows(2).all(|w| w[0] == w[1]) {
                     devices.first().copied()
                 } else {
@@ -371,7 +385,11 @@ impl PageAllocator {
     /// co-tenant); the moving tensor's slice is reallocated on the target
     /// instead, copying data for backed pages.
     pub fn move_tensor(&mut self, id: TensorId, target: DeviceId) -> Result<()> {
-        let tensor = self.tensors.get(&id).ok_or(Error::UnknownTensor(id.0))?.clone();
+        let tensor = self
+            .tensors
+            .get(&id)
+            .ok_or(Error::UnknownTensor(id.0))?
+            .clone();
         if tensor.device == Some(target) {
             return Ok(());
         }
@@ -388,7 +406,11 @@ impl PageAllocator {
             return Ok(());
         }
         // Mixed case: reallocate the whole tensor on the target device.
-        let data = if self.backed { Some(self.read_tensor(id)?) } else { None };
+        let data = if self.backed {
+            Some(self.read_tensor(id)?)
+        } else {
+            None
+        };
         let shape = tensor.shape.clone();
         let dtype = tensor.dtype;
         self.release_tensor(id)?;
@@ -417,12 +439,23 @@ impl PageAllocator {
     /// in order (offset 0 in every page) so its data is logically
     /// contiguous for computation.
     pub fn merge_tensor(&mut self, id: TensorId) -> Result<()> {
-        let tensor = self.tensors.get(&id).ok_or(Error::UnknownTensor(id.0))?.clone();
+        let tensor = self
+            .tensors
+            .get(&id)
+            .ok_or(Error::UnknownTensor(id.0))?
+            .clone();
         if self.tensor_is_merged(&tensor) {
             return Ok(());
         }
-        let device = tensor.device.ok_or(Error::WrongDevice { expected: None, actual: None })?;
-        let data = if self.backed { Some(self.read_tensor(id)?) } else { None };
+        let device = tensor.device.ok_or(Error::WrongDevice {
+            expected: None,
+            actual: None,
+        })?;
+        let data = if self.backed {
+            Some(self.read_tensor(id)?)
+        } else {
+            None
+        };
         self.release_tensor(id)?;
         // Re-allocate with sharing disabled by temporarily clearing the open
         // page.
@@ -445,16 +478,22 @@ impl PageAllocator {
 
     /// Whether a tensor already satisfies merge's post-condition.
     pub fn tensor_is_merged(&self, tensor: &Tensor) -> bool {
-        tensor.pages.iter().all(|r| {
-            r.offset == 0 && self.pages[r.page.0].num_tenants() == 1
-        })
+        tensor
+            .pages
+            .iter()
+            .all(|r| r.offset == 0 && self.pages[r.page.0].num_tenants() == 1)
     }
 
     // ----- backed data access ---------------------------------------------
 
     /// Write `data` across the tensor's page ranges (backed mode).
     pub fn write_tensor(&mut self, id: TensorId, data: &[u8]) -> Result<()> {
-        let ranges = self.tensors.get(&id).ok_or(Error::UnknownTensor(id.0))?.pages.clone();
+        let ranges = self
+            .tensors
+            .get(&id)
+            .ok_or(Error::UnknownTensor(id.0))?
+            .pages
+            .clone();
         let total: u64 = ranges.iter().map(|r| r.bytes).sum();
         if data.len() as u64 != total {
             return Err(Error::PageInvariant("write_tensor size mismatch"));
@@ -576,7 +615,11 @@ mod tests {
             a.alloc_tensor_raw(PS * 3, DeviceId::gpu(0)),
             Err(Error::OutOfPages { .. })
         ));
-        assert_eq!(a.stats(DeviceId::gpu(0)), before, "failed alloc must not leak");
+        assert_eq!(
+            a.stats(DeviceId::gpu(0)),
+            before,
+            "failed alloc must not leak"
+        );
         // But 2 pages still work.
         assert!(a.alloc_tensor_raw(PS * 2, DeviceId::gpu(0)).is_ok());
     }
@@ -588,8 +631,9 @@ mod tests {
         // the baselines in angel-memsim lack.
         let mut a = PageAllocator::with_page_size(PS, false);
         a.add_pool(DeviceId::gpu(0), 8 * PS);
-        let ts: Vec<_> =
-            (0..8).map(|_| a.alloc_tensor_raw(PS, DeviceId::gpu(0)).unwrap()).collect();
+        let ts: Vec<_> = (0..8)
+            .map(|_| a.alloc_tensor_raw(PS, DeviceId::gpu(0)).unwrap())
+            .collect();
         for (i, t) in ts.into_iter().enumerate() {
             if i % 2 == 0 {
                 a.release_tensor(t).unwrap();
@@ -650,7 +694,10 @@ mod tests {
         let _cpu_t = a.alloc_tensor_raw(PS, DeviceId::CPU).unwrap();
         let t = a.alloc_tensor_raw(PS, DeviceId::gpu(0)).unwrap();
         let p = a.tensor(t).unwrap().pages[0].page;
-        assert!(matches!(a.move_page(p, DeviceId::CPU), Err(Error::OutOfPages { .. })));
+        assert!(matches!(
+            a.move_page(p, DeviceId::CPU),
+            Err(Error::OutOfPages { .. })
+        ));
         // Source accounting intact.
         assert_eq!(a.stats(DeviceId::gpu(0)).used_pages, 1);
     }
@@ -710,7 +757,9 @@ mod tests {
     #[test]
     fn typed_allocation() {
         let mut a = alloc_two_pools();
-        let t = a.alloc_tensor(vec![16, 16], DType::Single, DeviceId::CPU).unwrap();
+        let t = a
+            .alloc_tensor(vec![16, 16], DType::Single, DeviceId::CPU)
+            .unwrap();
         assert_eq!(a.tensor(t).unwrap().bytes(), 1024);
         assert_eq!(a.tensor(t).unwrap().shape, vec![16, 16]);
     }
@@ -759,8 +808,11 @@ mod proptests {
         for &t in live {
             let tensor = a.tensor(t).expect("live tensor resolvable");
             assert_eq!(tensor.allocated_bytes(), tensor.bytes());
-            let devices: Vec<DeviceId> =
-                tensor.pages.iter().map(|r| a.page(r.page).device()).collect();
+            let devices: Vec<DeviceId> = tensor
+                .pages
+                .iter()
+                .map(|r| a.page(r.page).device())
+                .collect();
             for r in &tensor.pages {
                 assert!(a.page(r.page).num_tenants() <= 2);
                 assert!(a.page(r.page).tenant_of(t).is_some());

@@ -94,8 +94,11 @@ impl Communicator {
         let mut ops = std::mem::take(&mut self.queue);
         let before: Vec<usize> = ops.iter().map(|p| p.handle).collect();
         ops.sort_by_key(|p| (p.trigger, p.seq));
-        let reordered =
-            ops.iter().zip(&before).filter(|(p, &orig)| p.handle != orig).count();
+        let reordered = ops
+            .iter()
+            .zip(&before)
+            .filter(|(p, &orig)| p.handle != orig)
+            .count();
         for p in ops {
             let dur = self.collective_ns(p.op, p.bytes);
             let id = sim.submit(
@@ -148,7 +151,10 @@ mod tests {
         let comm = Communicator::new(&mut r, cluster, 8);
         let small = comm.collective_ns(Collective::AllGather, MIB);
         let big = comm.collective_ns(Collective::AllGather, 64 * MIB);
-        assert!(big > 5 * small, "latency-dominated small transfer: {small} vs {big}");
+        assert!(
+            big > 5 * small,
+            "latency-dominated small transfer: {small} vs {big}"
+        );
     }
 
     #[test]
@@ -190,9 +196,7 @@ mod tests {
                 let l = sim.submit(SimTask::new(ch, Work::Duration(d_long)));
                 let s = sim.submit(SimTask::new(ch, Work::Duration(d_short)));
                 let _ = (l, long);
-                let c = sim.submit(
-                    SimTask::new(gpu, Work::Duration(1_000_000)).with_deps([s]),
-                );
+                let c = sim.submit(SimTask::new(gpu, Work::Duration(1_000_000)).with_deps([s]));
                 let _ = c;
                 return sim.run().makespan;
             }
@@ -202,7 +206,10 @@ mod tests {
         };
         let with = build(true);
         let without = build(false);
-        assert!(with < without, "reordering must shorten the pipeline: {with} vs {without}");
+        assert!(
+            with < without,
+            "reordering must shorten the pipeline: {with} vs {without}"
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub struct HostMemoryPolicy {
 
 impl Default for HostMemoryPolicy {
     fn default() -> Self {
-        Self { usable_fraction: 0.48 }
+        Self {
+            usable_fraction: 0.48,
+        }
     }
 }
 
@@ -159,12 +161,21 @@ impl EngineConfig {
         if !self.use_ssd {
             return 0;
         }
-        self.cluster.server.ssd.as_ref().map(|d| d.capacity).unwrap_or(0)
+        self.cluster
+            .server
+            .ssd
+            .as_ref()
+            .map(|d| d.capacity)
+            .unwrap_or(0)
     }
 
     /// Per-GPU bytes available to model states and schedules.
     pub fn gpu_budget(&self) -> u64 {
-        self.cluster.server.gpu(0).capacity.saturating_sub(self.gpu_reserved)
+        self.cluster
+            .server
+            .gpu(0)
+            .capacity
+            .saturating_sub(self.gpu_reserved)
     }
 }
 

@@ -7,62 +7,42 @@
 //!     loss = model(batch); model.backward(loss); model.step()
 //! ```
 //!
-//! [`Engine::initialize`] performs what the production system does at
-//! `angelptm.initialize`:
+//! [`Engine::initialize`] composes the staged planning pipeline in
+//! [`crate::plan`] — Trace → Shard → Place → Schedule → Lower:
 //!
-//! 1. run the [`crate::Tracer`] over one symbolic iteration;
-//! 2. place model states across the hierarchical memory (GPU ← CPU ← SSD)
-//!    under the Section 4.2 heuristic — forward/backward on GPU, optimizer
-//!    updates on CPU, FP32 states spilling to SSD when enabled;
-//! 3. run the Unified Scheduler (Algorithm 1) to plan page movements,
-//!    all-gathers and computes;
-//! 4. size the dynamic GPU cache from the schedule's lifetime-accurate peak;
-//! 5. materialize the placement in a real [`crate::PageAllocator`] so every
-//!    page-accounting invariant is enforced, not assumed.
+//! 1. [`TracePlan`]: run the [`crate::Tracer`] over one symbolic iteration;
+//! 2. [`ShardPlan`]: ZeRO/expert-parallel byte accounting → scheduler input;
+//! 3. [`MemoryPlan`]: tier budgets, the Section 4.1/4.2 placement heuristic
+//!    (forward/backward on GPU, optimizer updates on CPU, FP32 states
+//!    spilling to SSD when enabled), and materialization in a real
+//!    [`crate::PageAllocator`] so every page-accounting invariant is
+//!    enforced, not assumed;
+//! 4. [`SchedulePlan`]: the Unified Scheduler (Algorithm 1) plans page
+//!    movements, all-gathers and computes, and the dynamic GPU cache is
+//!    sized from the schedule's lifetime-accurate peak;
+//! 5. [`crate::plan::lower_schedule`]: the schedule is lowered onto the
+//!    `angel-sim` discrete-event hardware.
 //!
-//! [`Engine::train_iteration`] lowers the schedule onto the `angel-sim`
-//! discrete-event hardware and reports the quantities the paper's evaluation
-//! tables measure: iteration time → samples/s, per-resource utilization,
-//! peak GPU memory, residency, staleness under the lock-free mechanism.
+//! [`Engine::train_iteration`] runs the lowered iteration and reports the
+//! quantities the paper's evaluation tables measure: iteration time →
+//! samples/s, per-resource utilization, peak GPU memory, residency,
+//! staleness under the lock-free mechanism.
 
 use crate::allocator::PageAllocator;
-use crate::cache::{plan_cache, CachePlan};
-use crate::communicator::Communicator;
-use crate::executor::{Executor, Stream};
+use crate::cache::CachePlan;
 use crate::config::EngineConfig;
-use crate::error::{Error, Result};
-use crate::scheduler::{
-    input_from_trace, Schedule, StepKind, TaskOp, UnifiedScheduler,
+use crate::error::Result;
+use crate::plan::{
+    lower_schedule, LoweredIteration, MemoryPlan, ScheduleLowering, SchedulePlan, ShardPlan,
+    TracePlan,
 };
-use crate::tensor::DType;
-use crate::tracer::{Trace, Tracer};
+use crate::scheduler::Schedule;
+use crate::tracer::Trace;
 use crate::zero::ZeroPartition;
-use angel_hw::DeviceId;
 use angel_model::TransformerConfig;
-use angel_sim::collectives::Collective;
-use angel_sim::{MemEffect, Resources, SimTask, Simulation, Work};
-
-/// Resource ids of one lowered iteration, for utilization reporting.
-struct LoweredResources {
-    gpu: angel_sim::ResourceId,
-    h2d: angel_sim::ResourceId,
-    d2h: angel_sim::ResourceId,
-    comm: angel_sim::ResourceId,
-}
 use serde::{Deserialize, Serialize};
 
-/// Where this rank's model-state bytes ended up.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Placement {
-    /// FP16 param+grad bytes resident on this rank's GPU (scheduler+cache).
-    pub gpu_bytes: u64,
-    /// Bytes in the CPU page pool (this rank's share).
-    pub cpu_bytes: u64,
-    /// Bytes on SSD (this rank's share).
-    pub ssd_bytes: u64,
-    /// This rank's total share of model states.
-    pub rank_state_bytes: u64,
-}
+pub use crate::plan::memory::Placement;
 
 /// Per-iteration statistics — the measurement vocabulary of Section 6.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -116,221 +96,26 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Initialize training: trace, place, schedule, cache, materialize.
+    /// Initialize training: Trace → Shard → Place → Schedule, then
+    /// materialize the placement.
     pub fn initialize(model: &TransformerConfig, config: &EngineConfig) -> Result<Self> {
-        let n_gpus = config.num_gpus();
-        let zero = ZeroPartition::new(n_gpus);
-        let tracer = Tracer {
-            gpu_model: config.gpu_compute,
-            cpu_model: config.cpu_update,
-        };
-        let trace = tracer.trace(model, config.batch_size, config.recompute);
-
-        // ---- Byte placement (per representative rank) -------------------
-        let total_params = model.total_params();
-        let state_bytes = model.model_state_bytes();
-        let rank_params = total_params.div_ceil(n_gpus as u64);
-        let rank_state_bytes = state_bytes.div_ceil(n_gpus as u64);
-        let rank_optim = rank_params * 12;
-        let rank_p16g16 = rank_params * 4;
-
-        let gpus_per_server = config.cluster.server.num_gpus() as u64;
-        // Lock-free mode pins the Algorithm 2 FP16 buffers (p'₁₆ + g'₁₆,
-        // 4 bytes/param) as two flat host arrays outside the page pool; the
-        // pool then manages the remaining host memory. The buffers may use
-        // at most 60% of physical RAM (beyond that the host cannot also run
-        // the dataloader and the pool).
-        let host_physical = config.cluster.server.cpu.capacity;
-        let buffers_per_server =
-            if config.lock_free { rank_params * 4 * gpus_per_server } else { 0 };
-        if buffers_per_server > (host_physical as f64 * 0.60) as u64 {
-            return Err(Error::ModelTooLarge {
-                state_bytes,
-                usable_bytes: host_physical * config.cluster.num_servers as u64,
-            });
-        }
-        let pool_per_server = ((host_physical - buffers_per_server) as f64
-            * config.host_policy.usable_fraction) as u64;
-        let rank_cpu_pool = pool_per_server / gpus_per_server;
-        let rank_ssd_pool = config.usable_ssd_bytes() / gpus_per_server;
-        let gpu_budget = config.gpu_budget();
-
-        // ---- Schedule (Algorithm 1) --------------------------------------
-        // Dense models: plain ZeRO sharding of every layer's parameters.
-        // MoE models (Section 6.4): expert parameters are partitioned by
-        // expert parallelism — each rank holds `experts/N` experts locally
-        // and never gathers the rest; only the non-expert parameters are
-        // ZeRO-sharded and gathered.
-        let input = if model.is_moe() {
-            let experts_per_rank = (model.experts as u64).div_ceil(n_gpus as u64);
-            let layers = (0..trace.layers)
-                .map(|l| {
-                    let (dense, expert_total) = trace.layer_param16_split(l);
-                    let local_experts = if model.experts > 0 {
-                        expert_total / model.experts as u64 * experts_per_rank
-                    } else {
-                        0
-                    };
-                    let shard = dense.div_ceil(n_gpus as u64) + local_experts;
-                    let mut pages = Vec::new();
-                    let mut rest = shard;
-                    while rest > 0 {
-                        let take = rest.min(config.page_size);
-                        pages.push(take);
-                        rest -= take;
-                    }
-                    // Gradients: a rank only materializes its local experts'
-                    // gradients (tokens routed elsewhere never come back).
-                    let (dense_g, expert_g) = trace.layer_grad16_split(l);
-                    let local_expert_g = if model.experts > 0 {
-                        expert_g / model.experts as u64 * experts_per_rank
-                    } else {
-                        0
-                    };
-                    crate::scheduler::LayerPlan {
-                        layer: l,
-                        shard_pages: pages,
-                        full_param_bytes: dense + local_experts,
-                        working_set: trace.layer_activation_bytes(l) + dense_g + local_expert_g,
-                    }
-                })
-                .collect();
-            let steps = crate::scheduler::SchedulerInput::default_steps(trace.layers);
-            let step_base_load = if config.recompute {
-                Vec::new()
-            } else {
-                steps
-                    .iter()
-                    .enumerate()
-                    .map(|(j, s)| {
-                        (0..trace.layers)
-                            .filter(|&l| {
-                                l != s.layer()
-                                    && trace.forward_id(l) <= j
-                                    && j <= trace.backward_id(l)
-                            })
-                            .map(|l| trace.layer_activation_bytes(l))
-                            .sum()
-                    })
-                    .collect()
-            };
-            crate::scheduler::SchedulerInput {
-                layers,
-                steps,
-                gpu_budget,
-                page_size: config.page_size,
-                step_base_load,
-            }
-        } else {
-            input_from_trace(&trace, config.page_size, n_gpus, gpu_budget)
-        };
-        let schedule = UnifiedScheduler { phase2: config.phase2_advance, ..Default::default() }
-            .schedule(&input)?;
-
-        // GPU residency decided by the scheduler (param shard pages) plus
-        // whatever optimizer cache fits afterwards.
-        let resident_param_bytes =
-            (schedule.stats.resident_fraction * zero.shard_bytes(total_params * 4) as f64) as u64;
-        let cache_plan = if config.gpu_cache {
-            plan_cache(
-                gpu_budget,
-                schedule.stats.peak_gpu_bytes,
-                rank_optim,
-                config.page_size,
-                config.page_size * 16, // safety margin: 16 pages
-            )
-        } else {
-            plan_cache(gpu_budget, gpu_budget, rank_optim, config.page_size, 0)
-        };
-
-        // Optimizer states: GPU cache first, then SSD (when enabled) else
-        // CPU; FP16 states: GPU-resident fraction, remainder CPU.
-        let optim_on_gpu = cache_plan.cache_bytes;
-        let optim_rest = rank_optim - optim_on_gpu;
-        let (optim_ssd, optim_cpu) = if config.use_ssd {
-            (optim_rest.min(rank_ssd_pool), optim_rest.saturating_sub(rank_ssd_pool))
-        } else {
-            (0, optim_rest)
-        };
-        // FP16 parameters/gradients on the CPU: in lock-free mode they live
-        // entirely in the pinned Algorithm 2 buffers (already accounted
-        // above), so the page pool carries none of them; synchronous mode
-        // spills whatever the GPU cannot keep resident.
-        let p16_cpu = if config.lock_free {
-            0
-        } else {
-            rank_p16g16.saturating_sub(resident_param_bytes)
-        };
-        let cpu_needed = optim_cpu + p16_cpu;
-        if cpu_needed > rank_cpu_pool {
-            let usable = gpu_budget * n_gpus as u64
-                + rank_cpu_pool * n_gpus as u64
-                + rank_ssd_pool * n_gpus as u64;
-            return Err(Error::ModelTooLarge { state_bytes, usable_bytes: usable });
-        }
-
-        let placement = Placement {
-            gpu_bytes: resident_param_bytes + optim_on_gpu,
-            cpu_bytes: cpu_needed,
-            ssd_bytes: optim_ssd,
-            rank_state_bytes,
-        };
-
-        // ---- Materialize in the real allocator ---------------------------
-        // Virtual pages: bookkeeping only, so even terabyte placements are
-        // cheap, but every pool-capacity and two-tenant invariant is
-        // enforced for real.
-        let mut allocator = PageAllocator::with_page_size(config.page_size, false);
-        allocator.add_pool(DeviceId::gpu(0), gpu_budget);
-        allocator.add_pool(DeviceId::CPU, rank_cpu_pool);
-        if config.use_ssd {
-            allocator.add_pool(DeviceId::SSD, rank_ssd_pool);
-        }
-        // One tensor per layer per state class, on its planned tier. We
-        // allocate the CPU/SSD-resident structures; GPU residency changes
-        // dynamically per the schedule.
-        let n_layers = model.layers as u64;
-        let per_layer_p16 = (p16_cpu / n_layers).max(1);
-        let per_layer_optim_cpu = optim_cpu / n_layers;
-        let per_layer_optim_ssd = optim_ssd / n_layers;
-        for _layer in 0..model.layers {
-            allocator.alloc_tensor(vec![per_layer_p16 as usize], DType::Byte, DeviceId::CPU)?;
-            if per_layer_optim_cpu > 0 {
-                allocator.alloc_tensor(
-                    vec![per_layer_optim_cpu as usize],
-                    DType::Byte,
-                    DeviceId::CPU,
-                )?;
-            }
-            if per_layer_optim_ssd > 0 {
-                allocator.alloc_tensor(
-                    vec![per_layer_optim_ssd as usize],
-                    DType::Byte,
-                    DeviceId::SSD,
-                )?;
-            }
-        }
-
-        let layer_comm_bytes = (0..model.layers)
-            .map(|l| {
-                if model.is_moe() {
-                    trace.layer_param16_split(l).0
-                } else {
-                    trace.layer_param16_bytes(l)
-                }
-            })
-            .collect();
+        let traced = TracePlan::build(model, config);
+        let shard = ShardPlan::build(model, config, &traced);
+        let mem = MemoryPlan::build(config, &shard)?;
+        let planned = SchedulePlan::build(config, &shard, &mem, &traced.zero)?;
+        let placed = mem.place(config, &shard, &planned)?;
+        let allocator = mem.materialize(config, model.layers, &placed)?;
 
         Ok(Self {
             model: model.clone(),
             config: config.clone(),
-            trace,
-            schedule,
-            placement,
-            cache_plan,
+            trace: traced.trace,
+            schedule: planned.schedule,
+            placement: placed.placement,
+            cache_plan: planned.cache_plan,
             allocator,
-            zero,
-            layer_comm_bytes,
+            zero: traced.zero,
+            layer_comm_bytes: shard.layer_comm_bytes,
         })
     }
 
@@ -354,16 +139,18 @@ impl Engine {
         &self.allocator
     }
 
-    /// One optimizer update cycle over this rank's CPU/SSD states: SSD read
-    /// + CPU update + SSD write, with the CPU/SSD bandwidth shared by the
-    /// server's ranks.
+    /// One optimizer update cycle over this rank's CPU/SSD states — SSD
+    /// read, CPU update, SSD write — with the CPU/SSD bandwidth shared by
+    /// the server's ranks.
     pub fn update_cycle_ns(&self) -> u64 {
         let gpus_per_server = self.config.cluster.server.num_gpus();
         // Traffic = 28 bytes/param over the non-GPU-cached parameters.
         let cpu_params = self.cache_plan.cpu_update_bytes / 12;
         let cpu_traffic = cpu_params * 28;
-        let cpu_time =
-            self.config.cpu_update.time_ns_sharded(cpu_traffic, gpus_per_server);
+        let cpu_time = self
+            .config
+            .cpu_update
+            .time_ns_sharded(cpu_traffic, gpus_per_server);
         let ssd_time = if self.config.use_ssd {
             let link = &self.config.cluster.server.ssd_link;
             // Read + write the SSD-resident FP32 states, bandwidth shared
@@ -380,199 +167,23 @@ impl Engine {
         cpu_time + ssd_time
     }
 
-    /// Execute one training iteration on the simulated hardware.
-    /// Lower the schedule onto the simulated hardware: streams via the
-    /// [`Executor`], collectives via the [`Communicator`], transfers on the
-    /// PCIe/SSD links. Returns the ready-to-run simulation plus the ids of
-    /// the resources whose utilization the stats report.
-    fn build_iteration_sim(&self) -> (Simulation, LoweredResources) {
-        let mut resources = Resources::new();
-        let executor = Executor::new(&mut resources);
-        let gpu_mem = resources.add_mem_domain("gpu-mem", self.config.gpu_budget());
-        let pcie = &self.config.cluster.server.pcie;
-        let h2d = resources.add_link("pcie-h2d", pcie.bandwidth, pcie.latency_ns);
-        let d2h = resources.add_link("pcie-d2h", pcie.bandwidth, pcie.latency_ns);
-        let n_gpus = self.config.num_gpus() as u64;
-        let communicator = Communicator::new(&mut resources, self.config.cluster.clone(), n_gpus);
-        let ssd_bw = self.config.cluster.server.ssd_link.bandwidth;
-        let gpus_per_server = self.config.cluster.server.num_gpus();
-        // SSD bandwidth is shared by the server's ranks.
-        let ssd_ch = resources.add_link(
-            "ssd-channel",
-            (ssd_bw / gpus_per_server as u64).max(1),
-            self.config.cluster.server.ssd_link.latency_ns,
-        );
-
-        let mut sim = Simulation::new(resources);
-        let n_steps = self.schedule.num_steps;
-        let flops = angel_model::flops::layer_flops(&self.model, self.config.batch_size);
-
-        // Per-step bookkeeping while lowering.
-        let mut compute_task: Vec<Option<usize>> = vec![None; n_steps];
-        let mut gather_trigger: Vec<usize> = (0..n_steps).collect();
-        for t in &self.schedule.tasks {
-            if let TaskOp::AllGather { step, .. } = t.op {
-                gather_trigger[step] = t.trigger_id;
-            }
-        }
-
-        // 1. Initial page movements (trigger 0) on the H2D channel.
-        for t in &self.schedule.tasks {
-            if let TaskOp::MoveToGpu(page) = t.op {
-                if t.trigger_id == 0 {
-                    sim.submit(
-                        SimTask::new(h2d, Work::Bytes(page.bytes))
-                            .with_label(format!("move l{}p{}", page.layer, page.index))
-                            .with_mem(MemEffect {
-                                domain: gpu_mem,
-                                acquire: page.bytes,
-                                release: 0,
-                            }),
-                    );
-                }
-            }
-        }
-
-        // 2. Per-step gathers and computes in trigger order.
-        for i in 0..n_steps {
-            let step = step_of(&self.schedule, i);
-            let layer = step.layer();
-            // All-gather of the full layer parameters across ranks, launched
-            // at its (phase-2 advanced) trigger: dependency on the compute
-            // task of step `trigger − 1`.
-            let trig = gather_trigger[i];
-            let gdeps: Vec<usize> = if trig > 0 {
-                compute_task[trig - 1].into_iter().collect()
-            } else {
-                Vec::new()
-            };
-            let gid = communicator.submit_now(
-                &mut sim,
-                Collective::AllGather,
-                self.layer_comm_bytes[layer],
-                gdeps,
-                format!("all_gather s{i}"),
-            );
-
-            // Compute: forward or backward (+ recompute).
-            let width = self.model.d_model as f64;
-            let dur = match step {
-                StepKind::Forward(_) => self.config.gpu_compute.time_ns_sized(
-                    flops.forward,
-                    self.config.batch_size as f64,
-                    width,
-                ),
-                StepKind::Backward(_) => self.config.gpu_compute.time_ns_sized(
-                    flops.backward
-                        + if self.config.recompute { flops.recompute } else { 0 },
-                    self.config.batch_size as f64,
-                    width,
-                ),
-            };
-            // Page bookkeeping / event dispatch overhead rides the GPU
-            // stream (the paper's measured ~2.4% management cost).
-            let dur = dur + (dur as f64 * self.config.mm_overhead) as u64;
-            let cid =
-                executor.submit(&mut sim, Stream::Gpu, dur, [gid], format!("compute s{i}"));
-            compute_task[i] = Some(cid);
-
-            // Backward extras: reduce-scatter gradients + offload the shard.
-            if let StepKind::Backward(l) = step {
-                let rs = communicator.submit_now(
-                    &mut sim,
-                    Collective::ReduceScatter,
-                    self.layer_comm_bytes[l],
-                    [cid],
-                    format!("reduce_scatter l{l}"),
-                );
-                let shard = self.zero.shard_bytes(self.layer_comm_bytes[l]);
-                let off = sim.submit(
-                    SimTask::new(d2h, Work::Bytes(shard))
-                        .with_label(format!("grad_offload l{l}"))
-                        .with_deps([rs]),
-                );
-
-                // Synchronous optimizer updates join the iteration's
-                // critical path; the lock-free mechanism decouples them
-                // (accounted analytically by train_iteration).
-                if !self.config.lock_free {
-                    let n_layers = self.model.layers as u64;
-                    let cpu_params = self.cache_plan.cpu_update_bytes / 12 / n_layers;
-                    let upd_dur = self
-                        .config
-                        .cpu_update
-                        .time_ns_sharded(cpu_params * 28, gpus_per_server);
-                    if self.config.use_ssd && self.placement.ssd_bytes > 0 {
-                        let layer_ssd = self.placement.ssd_bytes / n_layers;
-                        let rd = sim.submit(
-                            SimTask::new(ssd_ch, Work::Bytes(layer_ssd))
-                                .with_label(format!("ssd_read l{l}"))
-                                .with_deps([off]),
-                        );
-                        let upd = executor.submit(
-                            &mut sim,
-                            Stream::Cpu,
-                            upd_dur,
-                            [rd],
-                            format!("cpu_update l{l}"),
-                        );
-                        sim.submit(
-                            SimTask::new(ssd_ch, Work::Bytes(layer_ssd))
-                                .with_label(format!("ssd_write l{l}"))
-                                .with_deps([upd]),
-                        );
-                        // Updated FP16 parameters return to the GPU pages.
-                        sim.submit(
-                            SimTask::new(h2d, Work::Bytes(cpu_params * 2))
-                                .with_label(format!("param_up l{l}"))
-                                .with_deps([upd]),
-                        );
-                    } else if cpu_params > 0 {
-                        let upd = executor.submit(
-                            &mut sim,
-                            Stream::Cpu,
-                            upd_dur,
-                            [off],
-                            format!("cpu_update l{l}"),
-                        );
-                        // Updated FP16 parameters return to the GPU pages;
-                        // GPU-cached layers skip this PCIe round trip — the
-                        // Section 4.2 cache's second saving.
-                        sim.submit(
-                            SimTask::new(h2d, Work::Bytes(cpu_params * 2))
-                                .with_label(format!("param_up l{l}"))
-                                .with_deps([upd]),
-                        );
-                    }
-                }
-            }
-        }
-
-        // GPU-cached optimizer updates run on the GPU stream after backward.
-        if self.cache_plan.gpu_update_bytes > 0 && !self.config.lock_free {
-            let traffic = self.cache_plan.gpu_update_bytes / 12 * 28;
-            executor.submit(
-                &mut sim,
-                Stream::Gpu,
-                self.config.gpu_update.time_ns(traffic),
-                [],
-                "gpu_cached_update",
-            );
-        }
-
-        let lowered = LoweredResources {
-            gpu: executor.stream_id(Stream::Gpu),
-            h2d,
-            d2h,
-            comm: communicator.channel_id(),
-        };
-        (sim, lowered)
+    /// Lower this engine's schedule onto the simulated hardware.
+    fn build_iteration_sim(&self) -> LoweredIteration {
+        lower_schedule(&ScheduleLowering {
+            model: &self.model,
+            config: &self.config,
+            schedule: &self.schedule,
+            placement: self.placement,
+            cache_plan: self.cache_plan,
+            zero: &self.zero,
+            layer_comm_bytes: &self.layer_comm_bytes,
+        })
     }
 
     /// Execute one training iteration on the simulated hardware.
     pub fn train_iteration(&mut self) -> IterStats {
-        let (sim, lowered) = self.build_iteration_sim();
-        let report = sim.run();
+        let lowered = self.build_iteration_sim();
+        let report = lowered.sim.run();
         let iter = report.makespan.max(1);
         let update_cycle = self.update_cycle_ns();
         // Lock-free: GPU iterations proceed at pipeline speed; updates cycle
@@ -602,9 +213,9 @@ impl Engine {
     /// (`chrome://tracing` / Perfetto) — computes, movements, collectives
     /// and updates on their own tracks, making the overlap visible.
     pub fn export_chrome_trace(&self) -> String {
-        let (sim, _) = self.build_iteration_sim();
-        let report = sim.run();
-        angel_sim::chrome_trace(&sim, &report)
+        let lowered = self.build_iteration_sim();
+        let report = lowered.sim.run();
+        angel_sim::chrome_trace(&lowered.sim, &report)
     }
 
     /// Run `iters` iterations (deterministic steady state).
@@ -650,23 +261,15 @@ impl Engine {
     }
 }
 
-fn step_of(schedule: &Schedule, i: usize) -> StepKind {
-    schedule
-        .tasks
-        .iter()
-        .find_map(|t| match t.op {
-            TaskOp::Compute(k) if t.trigger_id == i => Some(k),
-            _ => None,
-        })
-        .expect("every step has a compute task")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Error;
 
     fn tiny_model() -> TransformerConfig {
-        TransformerConfig::gpt3_1_7b().with_layers(4).with_seq_len(256)
+        TransformerConfig::gpt3_1_7b()
+            .with_layers(4)
+            .with_seq_len(256)
     }
 
     #[test]
@@ -680,9 +283,11 @@ mod tests {
 
     #[test]
     fn iteration_produces_sane_stats() {
-        let mut e =
-            Engine::initialize(&tiny_model(), &EngineConfig::single_server().with_batch_size(8))
-                .unwrap();
+        let mut e = Engine::initialize(
+            &tiny_model(),
+            &EngineConfig::single_server().with_batch_size(8),
+        )
+        .unwrap();
         let s = e.train_iteration();
         assert!(s.iter_time_ns > 0);
         assert!(s.samples_per_sec > 0.0);
@@ -718,16 +323,20 @@ mod tests {
     fn ssd_extends_capacity() {
         let base = TransformerConfig::gpt3_28b();
         let without = Engine::max_layers(&base, &EngineConfig::single_server());
-        let with =
-            Engine::max_layers(&base, &EngineConfig::single_server().with_ssd(true));
-        assert!(with > without, "SSD must extend capacity: {with} vs {without}");
+        let with = Engine::max_layers(&base, &EngineConfig::single_server().with_ssd(true));
+        assert!(
+            with > without,
+            "SSD must extend capacity: {with} vs {without}"
+        );
     }
 
     #[test]
     fn lock_free_reports_staleness() {
         let mut e = Engine::initialize(
             &tiny_model(),
-            &EngineConfig::single_server().with_ssd(true).with_lock_free(true),
+            &EngineConfig::single_server()
+                .with_ssd(true)
+                .with_lock_free(true),
         )
         .unwrap();
         let s = e.train_iteration();

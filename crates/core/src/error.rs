@@ -10,7 +10,11 @@ pub type Result<T> = std::result::Result<T, Error>;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// A device's page pool is exhausted.
-    OutOfPages { device: DeviceId, requested_pages: usize, free_pages: usize },
+    OutOfPages {
+        device: DeviceId,
+        requested_pages: usize,
+        free_pages: usize,
+    },
     /// The model cannot be placed on the configured hardware at all
     /// (model states exceed the sum of all usable tiers).
     ModelTooLarge { state_bytes: u64, usable_bytes: u64 },
@@ -20,7 +24,10 @@ pub enum Error {
     /// A tensor id was used before allocation or after release.
     UnknownTensor(usize),
     /// An operation was applied to a tensor on the wrong device.
-    WrongDevice { expected: Option<DeviceId>, actual: Option<DeviceId> },
+    WrongDevice {
+        expected: Option<DeviceId>,
+        actual: Option<DeviceId>,
+    },
     /// Page-level invariant violation (caller bug surfaced as error in
     /// release builds where debug_asserts are off).
     PageInvariant(&'static str),
@@ -29,17 +36,27 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::OutOfPages { device, requested_pages, free_pages } => write!(
+            Error::OutOfPages {
+                device,
+                requested_pages,
+                free_pages,
+            } => write!(
                 f,
                 "out of pages on {device}: requested {requested_pages}, {free_pages} free"
             ),
-            Error::ModelTooLarge { state_bytes, usable_bytes } => write!(
+            Error::ModelTooLarge {
+                state_bytes,
+                usable_bytes,
+            } => write!(
                 f,
                 "model states ({}) exceed usable hierarchical memory ({})",
                 angel_hw::fmt_bytes(*state_bytes),
                 angel_hw::fmt_bytes(*usable_bytes)
             ),
-            Error::WorkingSetTooLarge { layer_bytes, gpu_bytes } => write!(
+            Error::WorkingSetTooLarge {
+                layer_bytes,
+                gpu_bytes,
+            } => write!(
                 f,
                 "per-layer working set ({}) exceeds GPU memory ({})",
                 angel_hw::fmt_bytes(*layer_bytes),
@@ -62,9 +79,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = Error::OutOfPages { device: DeviceId::gpu(0), requested_pages: 10, free_pages: 2 };
+        let e = Error::OutOfPages {
+            device: DeviceId::gpu(0),
+            requested_pages: 10,
+            free_pages: 2,
+        };
         assert!(e.to_string().contains("GPU0"));
-        let e = Error::ModelTooLarge { state_bytes: 1 << 40, usable_bytes: 1 << 30 };
+        let e = Error::ModelTooLarge {
+            state_bytes: 1 << 40,
+            usable_bytes: 1 << 30,
+        };
         assert!(e.to_string().contains("1.00 TiB"));
         let e = Error::UnknownTensor(7);
         assert!(e.to_string().contains('7'));

@@ -106,8 +106,9 @@ mod tests {
         let mut resources = Resources::new();
         let ex = Executor::new(&mut resources);
         let mut sim = Simulation::new(resources);
-        let ids: Vec<_> =
-            (0..5).map(|i| ex.submit(&mut sim, Stream::Gpu, 10, [], format!("k{i}"))).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|i| ex.submit(&mut sim, Stream::Gpu, 10, [], format!("k{i}")))
+            .collect();
         let report = sim.run();
         for w in ids.windows(2) {
             assert!(report.start_times[w[0]] < report.start_times[w[1]]);

@@ -28,10 +28,20 @@
 //!   threads — a CPU updating thread, a CPU buffering thread and the
 //!   training loop — decoupled through FP16 parameter/gradient buffers so
 //!   SSD-bound optimizer updates never block GPU computation;
+//! * the **planning pipeline** ([`plan`]): five explicit stages shared by
+//!   the Engine and every baseline —
+//!
+//!   ```text
+//!   Trace ──▶ Shard ──▶ Place ──▶ Schedule ──▶ Lower
+//!   (§5      (§3.2     (§4.1/4.2  (Alg. 1 +    (§5 Executor/
+//!    Tracer)  ZeRO+EP)  heuristic)  §4.2 cache)  Communicator)
+//!   ```
+//!
 //! * the **Engine** ([`engine`]): the user-facing API in the spirit of the
-//!   paper's Figure 6 (`initialize` → `forward/backward/step`), which lowers
-//!   schedules onto the `angel-sim` discrete-event hardware model and
-//!   reports iteration times, utilization and memory peaks.
+//!   paper's Figure 6 (`initialize` → `forward/backward/step`), a thin
+//!   composition of those pipeline stages that runs the lowered iteration
+//!   on the `angel-sim` discrete-event hardware model and reports iteration
+//!   times, utilization and memory peaks.
 //!
 //! Hardware (GPUs, PCIe, NVLink, NICs, SSD) is simulated with the calibrated
 //! Table 3 parameters — see DESIGN.md for the substitution argument — but
@@ -62,6 +72,7 @@ pub mod error;
 pub mod executor;
 pub mod lockfree;
 pub mod page;
+pub mod plan;
 pub mod recovery;
 pub mod scheduler;
 pub mod tensor;
@@ -70,11 +81,15 @@ pub mod zero;
 
 pub use allocator::PageAllocator;
 pub use communicator::Communicator;
-pub use executor::{Executor, Stream};
 pub use config::EngineConfig;
 pub use engine::{Engine, IterStats, RunReport};
 pub use error::{Error, Result};
+pub use executor::{Executor, Stream};
 pub use page::{Page, PageId, PAGE_SIZE_DEFAULT};
+pub use plan::{
+    lower_schedule, Lowering, LoweringConfig, MemoryPlan, Placement, SchedulePlan, ShardPlan,
+    TracePlan,
+};
 pub use scheduler::{ScheduleTask, TaskOp, UnifiedScheduler};
 pub use tensor::{Tensor, TensorId};
-pub use tracer::{Tracer, TensorTrace};
+pub use tracer::{TensorTrace, Tracer};

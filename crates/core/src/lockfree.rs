@@ -52,7 +52,11 @@ impl LayerState {
     /// Fresh state with zero moments.
     pub fn new(p32: Vec<f32>) -> Self {
         let n = p32.len();
-        Self { p32, m32: vec![0.0; n], v32: vec![0.0; n] }
+        Self {
+            p32,
+            m32: vec![0.0; n],
+            v32: vec![0.0; n],
+        }
     }
 }
 
@@ -74,7 +78,10 @@ pub struct MemoryStore {
 
 impl MemoryStore {
     pub fn new(initial: Vec<LayerState>) -> Self {
-        Self { states: initial.into_iter().map(Some).collect(), throttle_bytes_per_sec: None }
+        Self {
+            states: initial.into_iter().map(Some).collect(),
+            throttle_bytes_per_sec: None,
+        }
     }
 
     pub fn throttled(initial: Vec<LayerState>, bytes_per_sec: u64) -> Self {
@@ -93,7 +100,9 @@ impl MemoryStore {
 
 impl StateStore for MemoryStore {
     fn fetch(&mut self, layer: usize) -> LayerState {
-        let state = self.states[layer].take().expect("state fetched twice without offload");
+        let state = self.states[layer]
+            .take()
+            .expect("state fetched twice without offload");
         self.delay(state.p32.len() * 12);
         state
     }
@@ -186,7 +195,11 @@ enum BufMsg {
     Grads { layer: usize, g: Vec<f32> },
     /// Updated parameters from the updating thread (line 6), tagged with how
     /// many micro-batches the update consumed.
-    Updated { layer: usize, p32: Vec<f32>, applied_micro: u32 },
+    Updated {
+        layer: usize,
+        p32: Vec<f32>,
+        applied_micro: u32,
+    },
 }
 
 struct Shared {
@@ -221,12 +234,21 @@ impl LockFreeTrainer {
         let shared = Arc::new(Shared {
             grad_bufs: initial
                 .iter()
-                .map(|p| Mutex::new(GradBuf { g: vec![0.0; p.len()], micro: 0, version: 0 }))
+                .map(|p| {
+                    Mutex::new(GradBuf {
+                        g: vec![0.0; p.len()],
+                        micro: 0,
+                        version: 0,
+                    })
+                })
                 .collect(),
             param_bufs: initial
                 .iter()
                 .map(|p| {
-                    RwLock::new(ParamBuf { p: p.iter().map(|&x| cast(x)).collect(), version: 0 })
+                    RwLock::new(ParamBuf {
+                        p: p.iter().map(|&x| cast(x)).collect(),
+                        version: 0,
+                    })
                 })
                 .collect(),
             stats: AtomicStats::default(),
@@ -255,7 +277,12 @@ impl LockFreeTrainer {
             })
             .expect("spawn updating thread");
 
-        Self { shared, to_buffering: tx, buffering: Some(buffering), updating: Some(updating) }
+        Self {
+            shared,
+            to_buffering: tx,
+            buffering: Some(buffering),
+            updating: Some(updating),
+        }
     }
 
     /// Line 20: fetch the buffered FP16 parameters of a layer (plus their
@@ -267,7 +294,10 @@ impl LockFreeTrainer {
 
     /// Line 24: offload a layer's gradients toward the buffering thread.
     pub fn push_grads(&self, layer: usize, g: Vec<f32>) {
-        self.shared.stats.grads_pushed.fetch_add(1, Ordering::SeqCst);
+        self.shared
+            .stats
+            .grads_pushed
+            .fetch_add(1, Ordering::SeqCst);
         self.to_buffering
             .send(BufMsg::Grads { layer, g })
             .expect("buffering thread alive");
@@ -342,16 +372,23 @@ fn buffering_loop(shared: Arc<Shared>, rx: Receiver<BufMsg>) {
                 }
                 buf.micro += 1;
             }
-            BufMsg::Updated { layer, p32, applied_micro } => {
+            BufMsg::Updated {
+                layer,
+                p32,
+                applied_micro,
+            } => {
                 // Lines 12–13: clear buffered gradients, cast parameters.
                 if shared.clear_policy == ClearPolicy::OnUpdateReceipt {
                     let mut buf = shared.grad_bufs[layer].lock();
                     let dropped = buf.micro.saturating_sub(0); // everything present is cleared
-                    // Of the cleared micro-batches, `applied_micro` were
-                    // consumed by the update; the rest arrived during the
-                    // update window and are dropped.
+                                                               // Of the cleared micro-batches, `applied_micro` were
+                                                               // consumed by the update; the rest arrived during the
+                                                               // update window and are dropped.
                     let late = dropped.saturating_sub(applied_micro);
-                    shared.stats.grads_dropped.fetch_add(late as u64, Ordering::SeqCst);
+                    shared
+                        .stats
+                        .grads_dropped
+                        .fetch_add(late as u64, Ordering::SeqCst);
                     shared
                         .stats
                         .grads_settled
@@ -422,7 +459,10 @@ fn updating_loop(
             let mut state = store.fetch(layer);
             // Line 5: update via g'₁₆.
             optimizer.update(layer, &mut state, &grads, micro);
-            shared.stats.grads_applied.fetch_add(micro as u64, Ordering::SeqCst);
+            shared
+                .stats
+                .grads_applied
+                .fetch_add(micro as u64, Ordering::SeqCst);
             shared.stats.updates_applied.fetch_add(1, Ordering::SeqCst);
             // Line 6: pass p₃₂ to the buffering thread.
             let _ = tx.send(BufMsg::Updated {
@@ -449,11 +489,7 @@ mod tests {
         x
     }
 
-    fn trainer(
-        layers: usize,
-        n: usize,
-        policy: ClearPolicy,
-    ) -> (LockFreeTrainer, Vec<Vec<f32>>) {
+    fn trainer(layers: usize, n: usize, policy: ClearPolicy) -> (LockFreeTrainer, Vec<Vec<f32>>) {
         let initial: Vec<Vec<f32>> = (0..layers)
             .map(|l| (0..n).map(|i| (l * n + i) as f32 * 0.01).collect())
             .collect();
@@ -471,9 +507,9 @@ mod tests {
     #[test]
     fn initial_params_readable() {
         let (t, initial) = trainer(3, 8, ClearPolicy::OnUpdateReceipt);
-        for l in 0..3 {
+        for (l, expected) in initial.iter().enumerate() {
             let (p, v) = t.read_params(l);
-            assert_eq!(p, initial[l]);
+            assert_eq!(&p, expected);
             assert_eq!(v, 0);
         }
         t.shutdown(3);
@@ -503,7 +539,10 @@ mod tests {
             if v > v0 {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "param buffer never refreshed");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "param buffer never refreshed"
+            );
             std::thread::yield_now();
         }
         t.shutdown(1);
@@ -530,7 +569,10 @@ mod tests {
         let d0 = initial[0][0] - states[0].p32[0];
         let d1 = initial[0][1] - states[0].p32[1];
         assert!(d0 > 0.0 && d1 > 0.0);
-        assert!((d1 / d0 - 2.0).abs() < 1e-4, "proportional to gradient: {d1}/{d0}");
+        assert!(
+            (d1 / d0 - 2.0).abs() < 1e-4,
+            "proportional to gradient: {d1}/{d0}"
+        );
     }
 
     #[test]

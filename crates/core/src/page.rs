@@ -75,7 +75,14 @@ impl Page {
     /// A virtual page (no backing memory) on `device`.
     pub fn new_virtual(id: PageId, total_bytes: u64, device: DeviceId) -> Self {
         assert!(total_bytes > 0);
-        Self { id, data: None, total_bytes, available_bytes: total_bytes, device, tenants: [None, None] }
+        Self {
+            id,
+            data: None,
+            total_bytes,
+            available_bytes: total_bytes,
+            device,
+            tenants: [None, None],
+        }
     }
 
     /// A backed page owning `total_bytes` of zeroed real memory.
@@ -146,7 +153,11 @@ impl Page {
             .position(|t| t.is_none())
             .ok_or(Error::PageInvariant("page already holds two tensors"))?;
         let offset = self.total_bytes - self.available_bytes;
-        self.tenants[slot] = Some(Tenant { tensor, offset, bytes: required_bytes });
+        self.tenants[slot] = Some(Tenant {
+            tensor,
+            offset,
+            bytes: required_bytes,
+        });
         self.available_bytes -= required_bytes;
         Ok(offset)
     }
@@ -167,7 +178,11 @@ impl Page {
             .iter()
             .position(|t| t.is_none())
             .ok_or(Error::PageInvariant("page already holds two tensors"))?;
-        self.tenants[slot] = Some(Tenant { tensor, offset, bytes });
+        self.tenants[slot] = Some(Tenant {
+            tensor,
+            offset,
+            bytes,
+        });
         // Keep the bump cursor past this range.
         let cursor = self.total_bytes - self.available_bytes;
         if offset + bytes > cursor {
@@ -226,12 +241,16 @@ impl Page {
     /// Write `bytes` into the page at the tenant range of `tensor` starting
     /// at `range_offset` within that range. Backed pages only.
     pub fn write(&mut self, tensor: TensorId, range_offset: u64, bytes: &[u8]) -> Result<()> {
-        let tenant = *self.tenant_of(tensor).ok_or(Error::UnknownTensor(tensor.0))?;
+        let tenant = *self
+            .tenant_of(tensor)
+            .ok_or(Error::UnknownTensor(tensor.0))?;
         if range_offset + bytes.len() as u64 > tenant.bytes {
             return Err(Error::PageInvariant("write beyond tenant range"));
         }
-        let data =
-            self.data.as_mut().ok_or(Error::PageInvariant("write() on a virtual page"))?;
+        let data = self
+            .data
+            .as_mut()
+            .ok_or(Error::PageInvariant("write() on a virtual page"))?;
         let start = (tenant.offset + range_offset) as usize;
         data[start..start + bytes.len()].copy_from_slice(bytes);
         Ok(())
@@ -239,8 +258,13 @@ impl Page {
 
     /// Read the tenant range of `tensor` (whole range). Backed pages only.
     pub fn read(&self, tensor: TensorId) -> Result<&[u8]> {
-        let tenant = *self.tenant_of(tensor).ok_or(Error::UnknownTensor(tensor.0))?;
-        let data = self.data.as_ref().ok_or(Error::PageInvariant("read() on a virtual page"))?;
+        let tenant = *self
+            .tenant_of(tensor)
+            .ok_or(Error::UnknownTensor(tensor.0))?;
+        let data = self
+            .data
+            .as_ref()
+            .ok_or(Error::PageInvariant("read() on a virtual page"))?;
         Ok(&data[tenant.offset as usize..(tenant.offset + tenant.bytes) as usize])
     }
 }

@@ -1,0 +1,549 @@
+//! Stage 5 — Lower: turn plans into `angel-sim` task graphs (Section 5's
+//! Executor and Communicator, on simulated hardware).
+//!
+//! [`Lowering`] is the one place task graphs are built: it owns the
+//! simulation's resource surface (GPU/CPU streams, PCIe H2D/D2H links, the
+//! collective channel, the SSD channel, optionally a GPU memory domain) and
+//! exposes the movement/compute/collective primitives every system lowers
+//! through. The Engine lowers Algorithm 1 schedules ([`lower_schedule`]);
+//! the baselines lower their own policies (DeepSpeed's static partition
+//! with just-in-time gathers, Megatron's 1F1B pipeline) through the same
+//! primitives — so all systems are measured on identical simulated hardware
+//! and differ only in policy, never in plumbing.
+//!
+//! [`LoweringConfig`] carries the policy-visible hardware knobs: a PCIe
+//! efficiency factor (1.0 for Angel-PTM's page-granular streaming;
+//! DeepSpeed's tensor-granular transfers run degraded) and an optional GPU
+//! memory domain for acquire/release accounting.
+
+use crate::cache::CachePlan;
+use crate::communicator::Communicator;
+use crate::config::EngineConfig;
+use crate::executor::{Executor, Stream};
+use crate::scheduler::{Schedule, StepKind, TaskOp};
+use crate::zero::ZeroPartition;
+use angel_hw::ClusterSpec;
+use angel_model::TransformerConfig;
+use angel_sim::collectives::Collective;
+use angel_sim::{
+    ExecutionReport, MemDomainId, MemEffect, Ns, ResourceId, Resources, SimTask, Simulation,
+};
+
+use super::memory::Placement;
+
+/// Hardware-surface parameters of one lowering.
+#[derive(Debug, Clone)]
+pub struct LoweringConfig {
+    /// Cluster whose links/collective fabric the graph runs on.
+    pub cluster: ClusterSpec,
+    /// Ranks participating in collectives (duration model denominator).
+    pub ranks: u64,
+    /// PCIe efficiency relative to ideal streaming (1.0 = page-granular).
+    pub pcie_efficiency: f64,
+    /// Capacity of the GPU memory domain, when acquire/release accounting
+    /// is wanted.
+    pub gpu_mem_capacity: Option<u64>,
+}
+
+impl LoweringConfig {
+    pub fn new(cluster: ClusterSpec, ranks: u64) -> Self {
+        Self {
+            cluster,
+            ranks,
+            pcie_efficiency: 1.0,
+            gpu_mem_capacity: None,
+        }
+    }
+
+    /// The Engine's surface: full-efficiency PCIe, GPU memory domain sized
+    /// to the page-pool budget, collectives across the whole fleet.
+    pub fn for_engine(config: &EngineConfig) -> Self {
+        Self::new(config.cluster.clone(), config.num_gpus() as u64)
+            .with_gpu_mem(config.gpu_budget())
+    }
+
+    pub fn with_pcie_efficiency(mut self, efficiency: f64) -> Self {
+        self.pcie_efficiency = efficiency;
+        self
+    }
+
+    pub fn with_gpu_mem(mut self, capacity: u64) -> Self {
+        self.gpu_mem_capacity = Some(capacity);
+        self
+    }
+}
+
+/// The shared task-graph builder over one simulation's resource surface.
+pub struct Lowering {
+    sim: Simulation,
+    executor: Executor,
+    communicator: Communicator,
+    gpu_mem: Option<MemDomainId>,
+    h2d: ResourceId,
+    d2h: ResourceId,
+    ssd: ResourceId,
+}
+
+impl Lowering {
+    /// Register the standard resource surface and open the simulation.
+    pub fn new(cfg: &LoweringConfig) -> Self {
+        let mut resources = Resources::new();
+        let executor = Executor::new(&mut resources);
+        let gpu_mem = cfg
+            .gpu_mem_capacity
+            .map(|c| resources.add_mem_domain("gpu-mem", c));
+        let pcie = &cfg.cluster.server.pcie;
+        let pcie_bw = (pcie.bandwidth as f64 * cfg.pcie_efficiency) as u64;
+        let h2d = resources.add_link("pcie-h2d", pcie_bw, pcie.latency_ns);
+        let d2h = resources.add_link("pcie-d2h", pcie_bw, pcie.latency_ns);
+        let communicator = Communicator::new(&mut resources, cfg.cluster.clone(), cfg.ranks);
+        let gpus_per_server = cfg.cluster.server.num_gpus() as u64;
+        let ssd_link = &cfg.cluster.server.ssd_link;
+        // SSD bandwidth is shared by the server's ranks.
+        let ssd = resources.add_link(
+            "ssd-channel",
+            (ssd_link.bandwidth / gpus_per_server).max(1),
+            ssd_link.latency_ns,
+        );
+        Self {
+            sim: Simulation::new(resources),
+            executor,
+            communicator,
+            gpu_mem,
+            h2d,
+            d2h,
+            ssd,
+        }
+    }
+
+    // ---- Movement primitives --------------------------------------------
+
+    /// H2D transfer that also acquires GPU memory for the moved bytes
+    /// (page move-in). Without a GPU memory domain this is a plain
+    /// [`Lowering::move_in`].
+    pub fn stage_in(&mut self, bytes: u64, label: impl Into<String>) -> usize {
+        let mut task = SimTask::transfer(self.h2d, bytes).with_label(label);
+        if let Some(domain) = self.gpu_mem {
+            task = task.with_mem(MemEffect {
+                domain,
+                acquire: bytes,
+                release: 0,
+            });
+        }
+        self.sim.submit(task)
+    }
+
+    /// Host-to-device transfer on the H2D PCIe channel.
+    pub fn move_in(
+        &mut self,
+        bytes: u64,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.sim.submit(
+            SimTask::transfer(self.h2d, bytes)
+                .with_deps(deps)
+                .with_label(label),
+        )
+    }
+
+    /// Device-to-host transfer on the D2H PCIe channel (offload).
+    pub fn offload(
+        &mut self,
+        bytes: u64,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.sim.submit(
+            SimTask::transfer(self.d2h, bytes)
+                .with_deps(deps)
+                .with_label(label),
+        )
+    }
+
+    /// Read from the rank's SSD share.
+    pub fn ssd_read(
+        &mut self,
+        bytes: u64,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.sim.submit(
+            SimTask::transfer(self.ssd, bytes)
+                .with_deps(deps)
+                .with_label(label),
+        )
+    }
+
+    /// Write to the rank's SSD share.
+    pub fn ssd_write(
+        &mut self,
+        bytes: u64,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.sim.submit(
+            SimTask::transfer(self.ssd, bytes)
+                .with_deps(deps)
+                .with_label(label),
+        )
+    }
+
+    // ---- Collective primitives ------------------------------------------
+
+    /// All-gather of `bytes` across the configured ranks.
+    pub fn all_gather(
+        &mut self,
+        bytes: u64,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.communicator
+            .submit_now(&mut self.sim, Collective::AllGather, bytes, deps, label)
+    }
+
+    /// Reduce-scatter of `bytes` across the configured ranks.
+    pub fn reduce_scatter(
+        &mut self,
+        bytes: u64,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.communicator
+            .submit_now(&mut self.sim, Collective::ReduceScatter, bytes, deps, label)
+    }
+
+    /// A collective with an externally-modelled exposed duration (e.g. the
+    /// partially-overlapped data-parallel all-reduce of a 1F1B pipeline).
+    pub fn collective_exposed(
+        &mut self,
+        duration_ns: Ns,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.sim.submit(
+            SimTask::duration(self.communicator.channel_id(), duration_ns)
+                .with_deps(deps)
+                .with_label(label),
+        )
+    }
+
+    // ---- Compute primitives ---------------------------------------------
+
+    /// A kernel on the GPU stream.
+    pub fn compute_gpu(
+        &mut self,
+        duration_ns: Ns,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.executor
+            .submit(&mut self.sim, Stream::Gpu, duration_ns, deps, label)
+    }
+
+    /// An optimizer update on the CPU stream.
+    pub fn update_cpu(
+        &mut self,
+        duration_ns: Ns,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.executor
+            .submit(&mut self.sim, Stream::Cpu, duration_ns, deps, label)
+    }
+
+    // ---- Resource ids (for utilization reporting) -----------------------
+
+    pub fn gpu_id(&self) -> ResourceId {
+        self.executor.stream_id(Stream::Gpu)
+    }
+
+    pub fn cpu_id(&self) -> ResourceId {
+        self.executor.stream_id(Stream::Cpu)
+    }
+
+    pub fn h2d_id(&self) -> ResourceId {
+        self.h2d
+    }
+
+    pub fn d2h_id(&self) -> ResourceId {
+        self.d2h
+    }
+
+    pub fn comm_id(&self) -> ResourceId {
+        self.communicator.channel_id()
+    }
+
+    pub fn ssd_id(&self) -> ResourceId {
+        self.ssd
+    }
+
+    /// Execute the graph.
+    pub fn run(&self) -> ExecutionReport {
+        self.sim.run()
+    }
+
+    /// Hand the finished graph to the caller.
+    pub fn into_sim(self) -> Simulation {
+        self.sim
+    }
+}
+
+/// Everything needed to lower one planned Engine iteration.
+pub struct ScheduleLowering<'a> {
+    pub model: &'a TransformerConfig,
+    pub config: &'a EngineConfig,
+    pub schedule: &'a Schedule,
+    pub placement: Placement,
+    pub cache_plan: CachePlan,
+    pub zero: &'a ZeroPartition,
+    /// Per-layer FP16 bytes crossing the collective fabric.
+    pub layer_comm_bytes: &'a [u64],
+}
+
+/// A lowered iteration: the ready-to-run simulation plus the ids of the
+/// resources whose utilization the stats report.
+pub struct LoweredIteration {
+    pub sim: Simulation,
+    pub gpu: ResourceId,
+    pub h2d: ResourceId,
+    pub d2h: ResourceId,
+    pub comm: ResourceId,
+}
+
+/// Lower an Algorithm 1 [`Schedule`] plus its [`Placement`] onto the
+/// simulated hardware: streams via the Executor, collectives via the
+/// Communicator, transfers on the PCIe/SSD links.
+pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
+    let config = args.config;
+    let schedule = args.schedule;
+    let mut lo = Lowering::new(&LoweringConfig::for_engine(config));
+    let gpus_per_server = config.cluster.server.num_gpus();
+
+    let n_steps = schedule.num_steps;
+    let flops = angel_model::flops::layer_flops(args.model, config.batch_size);
+
+    // Per-step bookkeeping while lowering.
+    let mut compute_task: Vec<Option<usize>> = vec![None; n_steps];
+    let mut gather_trigger: Vec<usize> = (0..n_steps).collect();
+    for t in &schedule.tasks {
+        if let TaskOp::AllGather { step, .. } = t.op {
+            gather_trigger[step] = t.trigger_id;
+        }
+    }
+
+    // 1. Initial page movements (trigger 0) on the H2D channel.
+    for t in &schedule.tasks {
+        if let TaskOp::MoveToGpu(page) = t.op {
+            if t.trigger_id == 0 {
+                lo.stage_in(page.bytes, format!("move l{}p{}", page.layer, page.index));
+            }
+        }
+    }
+
+    // 2. Per-step gathers and computes in trigger order.
+    for i in 0..n_steps {
+        let step = step_of(schedule, i);
+        let layer = step.layer();
+        // All-gather of the full layer parameters across ranks, launched
+        // at its (phase-2 advanced) trigger: dependency on the compute
+        // task of step `trigger − 1`.
+        let trig = gather_trigger[i];
+        let gdeps: Vec<usize> = if trig > 0 {
+            compute_task[trig - 1].into_iter().collect()
+        } else {
+            Vec::new()
+        };
+        let gid = lo.all_gather(
+            args.layer_comm_bytes[layer],
+            gdeps,
+            format!("all_gather s{i}"),
+        );
+
+        // Compute: forward or backward (+ recompute).
+        let width = args.model.d_model as f64;
+        let dur = match step {
+            StepKind::Forward(_) => {
+                config
+                    .gpu_compute
+                    .time_ns_sized(flops.forward, config.batch_size as f64, width)
+            }
+            StepKind::Backward(_) => config.gpu_compute.time_ns_sized(
+                flops.backward + if config.recompute { flops.recompute } else { 0 },
+                config.batch_size as f64,
+                width,
+            ),
+        };
+        // Page bookkeeping / event dispatch overhead rides the GPU stream
+        // (the paper's measured ~2.4% management cost).
+        let dur = dur + (dur as f64 * config.mm_overhead) as u64;
+        let cid = lo.compute_gpu(dur, [gid], format!("compute s{i}"));
+        compute_task[i] = Some(cid);
+
+        // Backward extras: reduce-scatter gradients + offload the shard.
+        if let StepKind::Backward(l) = step {
+            let rs = lo.reduce_scatter(
+                args.layer_comm_bytes[l],
+                [cid],
+                format!("reduce_scatter l{l}"),
+            );
+            let shard = args.zero.shard_bytes(args.layer_comm_bytes[l]);
+            let off = lo.offload(shard, [rs], format!("grad_offload l{l}"));
+
+            // Synchronous optimizer updates join the iteration's critical
+            // path; the lock-free mechanism decouples them (accounted
+            // analytically by train_iteration).
+            if !config.lock_free {
+                let n_layers = args.model.layers as u64;
+                let cpu_params = args.cache_plan.cpu_update_bytes / 12 / n_layers;
+                let upd_dur = config
+                    .cpu_update
+                    .time_ns_sharded(cpu_params * 28, gpus_per_server);
+                if config.use_ssd && args.placement.ssd_bytes > 0 {
+                    let layer_ssd = args.placement.ssd_bytes / n_layers;
+                    let rd = lo.ssd_read(layer_ssd, [off], format!("ssd_read l{l}"));
+                    let upd = lo.update_cpu(upd_dur, [rd], format!("cpu_update l{l}"));
+                    lo.ssd_write(layer_ssd, [upd], format!("ssd_write l{l}"));
+                    // Updated FP16 parameters return to the GPU pages.
+                    lo.move_in(cpu_params * 2, [upd], format!("param_up l{l}"));
+                } else if cpu_params > 0 {
+                    let upd = lo.update_cpu(upd_dur, [off], format!("cpu_update l{l}"));
+                    // Updated FP16 parameters return to the GPU pages;
+                    // GPU-cached layers skip this PCIe round trip — the
+                    // Section 4.2 cache's second saving.
+                    lo.move_in(cpu_params * 2, [upd], format!("param_up l{l}"));
+                }
+            }
+        }
+    }
+
+    // GPU-cached optimizer updates run on the GPU stream after backward.
+    if args.cache_plan.gpu_update_bytes > 0 && !config.lock_free {
+        let traffic = args.cache_plan.gpu_update_bytes / 12 * 28;
+        lo.compute_gpu(config.gpu_update.time_ns(traffic), [], "gpu_cached_update");
+    }
+
+    let (gpu, h2d, d2h, comm) = (lo.gpu_id(), lo.h2d_id(), lo.d2h_id(), lo.comm_id());
+    LoweredIteration {
+        sim: lo.into_sim(),
+        gpu,
+        h2d,
+        d2h,
+        comm,
+    }
+}
+
+fn step_of(schedule: &Schedule, i: usize) -> StepKind {
+    schedule
+        .tasks
+        .iter()
+        .find_map(|t| match t.op {
+            TaskOp::Compute(k) if t.trigger_id == i => Some(k),
+            _ => None,
+        })
+        .expect("every step has a compute task")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lowering() -> Lowering {
+        Lowering::new(&LoweringConfig::new(ClusterSpec::single_a100(), 8))
+    }
+
+    #[test]
+    fn resource_surface_is_stable() {
+        let lo = lowering();
+        // The Engine's utilization reporting and every baseline depend on
+        // this fixed surface: two executor streams, two PCIe links, one
+        // collective channel, one SSD channel.
+        let names: Vec<&str> = lo.sim.resources().names().collect();
+        assert_eq!(
+            names,
+            [
+                "executor:gpu-stream",
+                "executor:cpu-stream",
+                "pcie-h2d",
+                "pcie-d2h",
+                "communicator:nccl-channel",
+                "ssd-channel"
+            ]
+        );
+    }
+
+    #[test]
+    fn streams_serialize_and_chain_exactly() {
+        // The 1F1B identity the Megatron lowering relies on: a chain of k
+        // equal kernels plus one exposed collective has makespan
+        // k·d + dp, exactly (integer addition in the DES).
+        let mut lo = lowering();
+        let mut prev: Option<usize> = None;
+        for k in 0..7 {
+            prev = Some(lo.compute_gpu(1000, prev, format!("micro {k}")));
+        }
+        lo.collective_exposed(123, prev, "dp");
+        assert_eq!(lo.run().makespan, 7 * 1000 + 123);
+    }
+
+    #[test]
+    fn pcie_efficiency_slows_transfers() {
+        let time_at = |eff: f64| {
+            let mut lo = Lowering::new(
+                &LoweringConfig::new(ClusterSpec::single_a100(), 8).with_pcie_efficiency(eff),
+            );
+            lo.move_in(1 << 30, [], "in");
+            lo.run().makespan
+        };
+        let full = time_at(1.0);
+        let degraded = time_at(0.5);
+        assert!(
+            degraded > full * 3 / 2,
+            "halved PCIe efficiency must slow a 1 GiB move: {full} vs {degraded}"
+        );
+    }
+
+    #[test]
+    fn collectives_price_through_the_cluster_model() {
+        use angel_sim::collectives::hierarchical_collective_time_ns;
+        let cluster = ClusterSpec::single_a100();
+        let mut lo = Lowering::new(&LoweringConfig::new(cluster.clone(), 8));
+        let g = lo.all_gather(64 << 20, [], "g");
+        let r = lo.reduce_scatter(64 << 20, [g], "r");
+        let _ = r;
+        let expect_g =
+            hierarchical_collective_time_ns(Collective::AllGather, 64 << 20, &cluster, 8);
+        let expect_r =
+            hierarchical_collective_time_ns(Collective::ReduceScatter, 64 << 20, &cluster, 8);
+        assert_eq!(lo.run().makespan, expect_g + expect_r);
+    }
+
+    #[test]
+    fn stage_in_accounts_gpu_memory() {
+        let mut lo = Lowering::new(
+            &LoweringConfig::new(ClusterSpec::single_a100(), 8).with_gpu_mem(1 << 30),
+        );
+        let a = lo.stage_in(4 << 20, "page a");
+        let b = lo.stage_in(4 << 20, "page b");
+        assert!(a < b);
+        // Both moves run on the H2D link, which is busy while they stream.
+        let report = lo.run();
+        assert!(report.utilization(lo.h2d_id()) > 0.9);
+    }
+
+    #[test]
+    fn ssd_channel_shares_server_bandwidth() {
+        // One rank's SSD channel runs at link bandwidth ÷ gpus-per-server,
+        // so an SSD read of B bytes takes ≈ gpus_per_server× the raw link
+        // time.
+        let cluster = ClusterSpec::single_a100();
+        let raw_bw = cluster.server.ssd_link.bandwidth;
+        let gps = cluster.server.num_gpus() as u64;
+        let mut lo = Lowering::new(&LoweringConfig::new(cluster.clone(), 8));
+        lo.ssd_read(raw_bw, [], "read one raw-bandwidth-second");
+        let t = lo.run().makespan;
+        let expect = cluster.server.ssd_link.latency_ns
+            + angel_hw::link::bytes_over_bandwidth_ns(raw_bw, (raw_bw / gps).max(1));
+        assert_eq!(t, expect);
+    }
+}

@@ -1,0 +1,80 @@
+//! Stage 1 — Trace: one symbolic iteration over the model (paper Section 5).
+//!
+//! The Tracer replays forward, backward and update once to record every
+//! tensor's `(first_id, end_id)` lifetime; everything downstream (sharding,
+//! placement, scheduling) is a pure function of this trace. This stage also
+//! fixes the ZeRO partition geometry, since the data-parallel degree is a
+//! property of the cluster, not of any later policy decision.
+
+use crate::config::EngineConfig;
+use crate::tracer::{Trace, Tracer};
+use crate::zero::ZeroPartition;
+use angel_model::TransformerConfig;
+
+/// The traced iteration plus the partition geometry derived from the fleet.
+#[derive(Debug, Clone)]
+pub struct TracePlan {
+    /// Lifetime-annotated tensor accesses of one training iteration.
+    pub trace: Trace,
+    /// Data-parallel degree (ZeRO sharding denominator).
+    pub n_gpus: usize,
+    /// ZeRO parameter/gradient/optimizer-state partition.
+    pub zero: ZeroPartition,
+}
+
+impl TracePlan {
+    /// Run the Tracer over `model` under `config`'s batch/recompute policy.
+    pub fn build(model: &TransformerConfig, config: &EngineConfig) -> Self {
+        let n_gpus = config.num_gpus();
+        let tracer = Tracer {
+            gpu_model: config.gpu_compute,
+            cpu_model: config.cpu_update,
+        };
+        Self {
+            trace: tracer.trace(model, config.batch_size, config.recompute),
+            n_gpus,
+            zero: ZeroPartition::new(n_gpus),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TransformerConfig {
+        TransformerConfig::gpt3_1_7b()
+            .with_layers(4)
+            .with_seq_len(256)
+    }
+
+    #[test]
+    fn trace_covers_every_layer() {
+        let tp = TracePlan::build(&tiny(), &EngineConfig::single_server());
+        assert_eq!(tp.trace.layers, 4);
+        for l in 0..4 {
+            assert!(tp.trace.forward_id(l) <= tp.trace.backward_id(l));
+            assert!(tp.trace.layer_param16_bytes(l) > 0);
+        }
+    }
+
+    #[test]
+    fn partition_matches_fleet() {
+        let tp = TracePlan::build(&tiny(), &EngineConfig::single_server());
+        assert_eq!(tp.n_gpus, EngineConfig::single_server().num_gpus());
+        // ZeRO shards divide the total evenly (up to div_ceil rounding).
+        let shard = tp.zero.shard_bytes(1 << 20);
+        assert_eq!(shard, (1u64 << 20).div_ceil(tp.n_gpus as u64));
+    }
+
+    #[test]
+    fn recompute_flag_propagates() {
+        let on = TracePlan::build(&tiny(), &EngineConfig::single_server().with_recompute(true));
+        let off = TracePlan::build(
+            &tiny(),
+            &EngineConfig::single_server().with_recompute(false),
+        );
+        assert!(on.trace.recompute);
+        assert!(!off.trace.recompute);
+    }
+}

@@ -63,8 +63,7 @@ impl RecoveryModel {
         let mttf = self.fleet_mttf_secs();
         let checkpoint_overhead = self.checkpoint_write_secs / interval_secs;
         let failure_rate = 1.0 / mttf; // failures per second
-        let lost_per_failure =
-            interval_secs / 2.0 + self.restart_secs + self.checkpoint_write_secs;
+        let lost_per_failure = interval_secs / 2.0 + self.restart_secs + self.checkpoint_write_secs;
         let failure_overhead = failure_rate * lost_per_failure;
         (1.0 - checkpoint_overhead - failure_overhead).max(0.0)
     }
@@ -129,7 +128,10 @@ mod tests {
                 at_star
             );
         }
-        assert!(at_star > 0.97, "goodput at optimum should be high: {at_star}");
+        assert!(
+            at_star > 0.97,
+            "goodput at optimum should be high: {at_star}"
+        );
     }
 
     #[test]

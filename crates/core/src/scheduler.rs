@@ -115,7 +115,6 @@ impl SchedulerInput {
             .chain((0..n).rev().map(StepKind::Backward))
             .collect()
     }
-
 }
 
 /// Aggregate statistics of a schedule, used by reports and the capacity
@@ -164,7 +163,10 @@ pub struct UnifiedScheduler {
 
 impl Default for UnifiedScheduler {
     fn default() -> Self {
-        Self { phase2: true, prefetch_horizon: 4 }
+        Self {
+            phase2: true,
+            prefetch_horizon: 4,
+        }
     }
 }
 
@@ -197,8 +199,10 @@ impl<'a> Timeline<'a> {
         for (j, s) in input.steps.iter().enumerate() {
             steps_of_layer[s.layer()].push(j);
         }
-        let last_use: Vec<usize> =
-            steps_of_layer.iter().map(|v| *v.last().expect("layer unused")).collect();
+        let last_use: Vec<usize> = steps_of_layer
+            .iter()
+            .map(|v| *v.last().expect("layer unused"))
+            .collect();
         let resident0: Vec<u64> = input.layers.iter().map(|l| l.shard_bytes()).collect();
         let mut mem = vec![0u64; n_steps];
         // Resident shards: every page starts at trigger 0, live until the
@@ -213,7 +217,9 @@ impl<'a> Timeline<'a> {
         for (j, s) in input.steps.iter().enumerate() {
             let l = s.layer();
             mem[j] += input.layers[l].working_set;
-            mem[j] += input.layers[l].full_param_bytes.saturating_sub(resident0[l]);
+            mem[j] += input.layers[l]
+                .full_param_bytes
+                .saturating_sub(resident0[l]);
             if let Some(&base) = input.step_base_load.get(j) {
                 mem[j] += base;
             }
@@ -235,7 +241,11 @@ impl<'a> Timeline<'a> {
             return 0;
         }
         self.resident0[l]
-            + self.rescheduled[l].iter().filter(|(t, _)| *t <= j).map(|(_, b)| b).sum::<u64>()
+            + self.rescheduled[l]
+                .iter()
+                .filter(|(t, _)| *t <= j)
+                .map(|(_, b)| b)
+                .sum::<u64>()
     }
 
     /// Evict a trigger-0 page of layer `l` (phase 1, lines 7–9): the shard
@@ -287,7 +297,9 @@ impl<'a> Timeline<'a> {
     /// span from `[g, i]` to `[g−1, i]` adds its buffer only at step `g−1`.
     fn advance_gather(&mut self, i: usize, horizon: usize) -> bool {
         let l = self.input.steps[i].layer();
-        let extra = self.input.layers[l].full_param_bytes.saturating_sub(self.resident(l, i));
+        let extra = self.input.layers[l]
+            .full_param_bytes
+            .saturating_sub(self.resident(l, i));
         let floor = i.saturating_sub(horizon);
         let mut g = self.gather_trigger[i];
         let original = g;
@@ -338,7 +350,11 @@ impl UnifiedScheduler {
         let mut move_stack: Vec<PlannedPage> = Vec::new();
         for (li, layer) in input.layers.iter().enumerate() {
             for (pi, &bytes) in layer.shard_pages.iter().enumerate() {
-                move_stack.push(PlannedPage { layer: li, index: pi, bytes });
+                move_stack.push(PlannedPage {
+                    layer: li,
+                    index: pi,
+                    bytes,
+                });
             }
         }
         // Pages re-scheduled later: (page, trigger id).
@@ -391,23 +407,36 @@ impl UnifiedScheduler {
         // ---- Emit the task list ------------------------------------------
         let mut tasks = Vec::new();
         for page in &move_stack {
-            tasks.push(ScheduleTask { op: TaskOp::MoveToGpu(*page), trigger_id: 0 });
+            tasks.push(ScheduleTask {
+                op: TaskOp::MoveToGpu(*page),
+                trigger_id: 0,
+            });
         }
         for &(page, trig) in &rescheduled {
-            tasks.push(ScheduleTask { op: TaskOp::MoveToGpu(page), trigger_id: trig });
+            tasks.push(ScheduleTask {
+                op: TaskOp::MoveToGpu(page),
+                trigger_id: trig,
+            });
         }
         for (i, step) in input.steps.iter().enumerate() {
             let l = step.layer();
             for (pi, &bytes) in input.layers[l].shard_pages.iter().enumerate() {
                 tasks.push(ScheduleTask {
                     op: TaskOp::AllGather {
-                        page: PlannedPage { layer: l, index: pi, bytes },
+                        page: PlannedPage {
+                            layer: l,
+                            index: pi,
+                            bytes,
+                        },
                         step: i,
                     },
                     trigger_id: res.gather_trigger[i],
                 });
             }
-            tasks.push(ScheduleTask { op: TaskOp::Compute(*step), trigger_id: i });
+            tasks.push(ScheduleTask {
+                op: TaskOp::Compute(*step),
+                trigger_id: i,
+            });
         }
         tasks.sort_by_key(|t| t.trigger_id);
 
@@ -475,13 +504,21 @@ pub fn input_from_trace(
             .enumerate()
             .map(|(j, s)| {
                 (0..trace.layers)
-                    .filter(|&l| l != s.layer() && trace.forward_id(l) <= j && j <= trace.backward_id(l))
+                    .filter(|&l| {
+                        l != s.layer() && trace.forward_id(l) <= j && j <= trace.backward_id(l)
+                    })
                     .map(|l| trace.layer_activation_bytes(l))
                     .sum()
             })
             .collect()
     };
-    SchedulerInput { layers, steps, gpu_budget, page_size, step_base_load }
+    SchedulerInput {
+        layers,
+        steps,
+        gpu_budget,
+        page_size,
+        step_base_load,
+    }
 }
 
 #[cfg(test)]
@@ -489,7 +526,13 @@ mod tests {
     use super::*;
 
     /// A uniform toy model with hand-checkable numbers.
-    fn toy(n: usize, pages_per_layer: usize, page_bytes: u64, ws: u64, budget: u64) -> SchedulerInput {
+    fn toy(
+        n: usize,
+        pages_per_layer: usize,
+        page_bytes: u64,
+        ws: u64,
+        budget: u64,
+    ) -> SchedulerInput {
         let layers = (0..n)
             .map(|l| LayerPlan {
                 layer: l,
@@ -515,8 +558,11 @@ mod tests {
         assert_eq!(s.stats.pages_cpu_bound, 0);
         assert_eq!(s.stats.pages_resident, 8);
         assert!((s.stats.resident_fraction - 1.0).abs() < 1e-12);
-        let moves: Vec<_> =
-            s.tasks.iter().filter(|t| matches!(t.op, TaskOp::MoveToGpu(_))).collect();
+        let moves: Vec<_> = s
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.op, TaskOp::MoveToGpu(_)))
+            .collect();
         assert_eq!(moves.len(), 8);
         assert!(moves.iter().all(|t| t.trigger_id == 0));
     }
@@ -584,11 +630,17 @@ mod tests {
         }
         assert!(s.stats.gathers_advanced > 0);
         // An unbounded horizon drags everything to trigger 0.
-        let deep = UnifiedScheduler { phase2: true, prefetch_horizon: usize::MAX }
-            .schedule(&input)
-            .unwrap();
-        let gathers: Vec<_> =
-            deep.tasks.iter().filter(|t| matches!(t.op, TaskOp::AllGather { .. })).collect();
+        let deep = UnifiedScheduler {
+            phase2: true,
+            prefetch_horizon: usize::MAX,
+        }
+        .schedule(&input)
+        .unwrap();
+        let gathers: Vec<_> = deep
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.op, TaskOp::AllGather { .. }))
+            .collect();
         assert!(gathers.iter().all(|t| t.trigger_id == 0));
     }
 
@@ -607,8 +659,11 @@ mod tests {
             .iter()
             .filter(|t| matches!(t.op, TaskOp::AllGather { .. }) && t.trigger_id == 0)
             .count();
-        let total_g =
-            s.tasks.iter().filter(|t| matches!(t.op, TaskOp::AllGather { .. })).count();
+        let total_g = s
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.op, TaskOp::AllGather { .. }))
+            .count();
         assert!(g0 < total_g, "g0={g0} total={total_g}");
     }
 
@@ -616,7 +671,10 @@ mod tests {
     fn tasks_sorted_by_trigger() {
         let input = toy(5, 3, 10, 10, 200);
         let s = UnifiedScheduler::default().schedule(&input).unwrap();
-        assert!(s.tasks.windows(2).all(|w| w[0].trigger_id <= w[1].trigger_id));
+        assert!(s
+            .tasks
+            .windows(2)
+            .all(|w| w[0].trigger_id <= w[1].trigger_id));
     }
 
     #[test]
@@ -638,8 +696,12 @@ mod tests {
 
     #[test]
     fn more_budget_means_more_residency() {
-        let tight = UnifiedScheduler::default().schedule(&toy(6, 4, 10, 10, 100)).unwrap();
-        let roomy = UnifiedScheduler::default().schedule(&toy(6, 4, 10, 10, 400)).unwrap();
+        let tight = UnifiedScheduler::default()
+            .schedule(&toy(6, 4, 10, 10, 100))
+            .unwrap();
+        let roomy = UnifiedScheduler::default()
+            .schedule(&toy(6, 4, 10, 10, 400))
+            .unwrap();
         assert!(roomy.stats.resident_fraction >= tight.stats.resident_fraction);
         assert!(roomy.stats.pages_cpu_bound <= tight.stats.pages_cpu_bound);
     }

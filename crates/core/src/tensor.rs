@@ -79,7 +79,13 @@ impl Tensor {
     /// Metadata-only constructor; page ranges are attached by
     /// [`crate::PageAllocator::alloc_tensor`].
     pub fn new(id: TensorId, shape: Vec<usize>, dtype: DType) -> Self {
-        Self { id, pages: Vec::new(), dtype, shape, device: None }
+        Self {
+            id,
+            pages: Vec::new(),
+            dtype,
+            shape,
+            device: None,
+        }
     }
 
     /// Number of elements.

@@ -134,8 +134,7 @@ impl Trace {
     /// produces (bounded to the layer when recomputation is on) plus its
     /// gradient buffer.
     pub fn layer_working_set(&self, l: usize) -> u64 {
-        self.layer_activation_bytes(l) + self.layer_grad16_split(l).0
-            + self.layer_grad16_split(l).1
+        self.layer_activation_bytes(l) + self.layer_grad16_split(l).0 + self.layer_grad16_split(l).1
     }
 
     /// Activation bytes of layer `l`.
@@ -187,7 +186,10 @@ pub struct Tracer {
 
 impl Default for Tracer {
     fn default() -> Self {
-        Self { gpu_model: GpuComputeModel::a100(), cpu_model: CpuUpdateModel::epyc_tencent() }
+        Self {
+            gpu_model: GpuComputeModel::a100(),
+            cpu_model: CpuUpdateModel::epyc_tencent(),
+        }
     }
 }
 
@@ -225,7 +227,8 @@ impl Tracer {
 
         let flops = angel_model::flops::layer_flops(config, b);
         let layer_gpu_time =
-            self.gpu_model.time_ns_sized(flops.total(recompute), b as f64, config.d_model as f64);
+            self.gpu_model
+                .time_ns_sized(flops.total(recompute), b as f64, config.d_model as f64);
         let layer_param_bytes: u64 = inventory
             .iter()
             .filter(|t| t.layer == 0 && t.class != TensorClass::Activation)
@@ -260,15 +263,27 @@ impl Tracer {
                 let gpu_time = if layer_param_bytes == 0 {
                     0
                 } else {
-                    (layer_gpu_time as u128 * spec.bytes as u128
-                        / layer_param_bytes.max(1) as u128) as u64
+                    (layer_gpu_time as u128 * spec.bytes as u128 / layer_param_bytes.max(1) as u128)
+                        as u64
                 };
                 let cpu_time = self.cpu_model.time_ns(spec.bytes * 2); // read+write
-                TensorTrace { tensor_id: i, first_id, end_id, cpu_time, gpu_time }
+                TensorTrace {
+                    tensor_id: i,
+                    first_id,
+                    end_id,
+                    cpu_time,
+                    gpu_time,
+                }
             })
             .collect();
 
-        Trace { ops, inventory, tensors, layers: n, recompute }
+        Trace {
+            ops,
+            inventory,
+            tensors,
+            layers: n,
+            recompute,
+        }
     }
 }
 
@@ -277,7 +292,9 @@ mod tests {
     use super::*;
 
     fn small() -> TransformerConfig {
-        TransformerConfig::gpt3_1_7b().with_layers(4).with_seq_len(128)
+        TransformerConfig::gpt3_1_7b()
+            .with_layers(4)
+            .with_seq_len(128)
     }
 
     #[test]

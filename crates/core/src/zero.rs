@@ -101,6 +101,9 @@ mod tests {
     fn reduce_scatter_matches_all_gather_volume() {
         let z = ZeroPartition::new(4);
         let l = pcie();
-        assert_eq!(z.all_gather_time_ns(1 << 20, &l), z.reduce_scatter_time_ns(1 << 20, &l));
+        assert_eq!(
+            z.all_gather_time_ns(1 << 20, &l),
+            z.reduce_scatter_time_ns(1 << 20, &l)
+        );
     }
 }

@@ -113,7 +113,11 @@ pub struct Device {
 
 impl Device {
     pub fn new(id: DeviceId, capacity: u64, bandwidth: u64) -> Self {
-        Self { id, capacity, bandwidth }
+        Self {
+            id,
+            capacity,
+            bandwidth,
+        }
     }
 }
 

@@ -51,7 +51,11 @@ pub struct Link {
 impl Link {
     pub fn new(class: LinkClass, bandwidth: u64, latency_ns: u64) -> Self {
         assert!(bandwidth > 0, "a link must have positive bandwidth");
-        Self { class, bandwidth, latency_ns }
+        Self {
+            class,
+            bandwidth,
+            latency_ns,
+        }
     }
 
     /// Time to move `bytes` over this link, in nanoseconds: `α + bytes/β`.

@@ -195,7 +195,10 @@ mod tests {
         use DeviceKind::*;
         assert_eq!(s.link_between(Gpu, Cpu).unwrap().class, LinkClass::Pcie);
         assert_eq!(s.link_between(Gpu, Gpu).unwrap().class, LinkClass::NvLink);
-        assert_eq!(s.link_between(Cpu, Ssd).unwrap().class, LinkClass::SsdChannel);
+        assert_eq!(
+            s.link_between(Cpu, Ssd).unwrap().class,
+            LinkClass::SsdChannel
+        );
         // No direct GPU↔SSD path: must stage through the CPU (Figure 1).
         assert!(s.link_between(Gpu, Ssd).is_none());
     }
@@ -206,6 +209,9 @@ mod tests {
         assert_eq!(c.total_gpus(), 768); // the Figure 8 maximum
         assert_eq!(c.nic.bandwidth, 200_000_000_000); // 16 × 12.5 GB/s
         assert_eq!(c.cross_gpu_link().class, LinkClass::Nic);
-        assert_eq!(ClusterSpec::single_a100().cross_gpu_link().class, LinkClass::NvLink);
+        assert_eq!(
+            ClusterSpec::single_a100().cross_gpu_link().class,
+            LinkClass::NvLink
+        );
     }
 }

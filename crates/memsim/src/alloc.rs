@@ -33,7 +33,11 @@ pub enum AllocError {
     /// Enough free bytes in total, but no single extent is large enough —
     /// i.e. the failure is *caused by fragmentation*. Distinguishing the two
     /// failure modes is the point of the motivation experiment.
-    Fragmented { requested: u64, free: u64, largest: u64 },
+    Fragmented {
+        requested: u64,
+        free: u64,
+        largest: u64,
+    },
     /// The request exceeds what this allocator can ever satisfy (e.g. larger
     /// than the chunk size of a [`ChunkAllocator`]).
     Unsatisfiable { requested: u64, limit: u64 },
@@ -45,12 +49,19 @@ impl fmt::Display for AllocError {
             AllocError::OutOfMemory { requested, free } => {
                 write!(f, "out of memory: requested {requested} B, {free} B free")
             }
-            AllocError::Fragmented { requested, free, largest } => write!(
+            AllocError::Fragmented {
+                requested,
+                free,
+                largest,
+            } => write!(
                 f,
                 "fragmented: requested {requested} B, {free} B free but largest extent {largest} B"
             ),
             AllocError::Unsatisfiable { requested, limit } => {
-                write!(f, "unsatisfiable: requested {requested} B exceeds limit {limit} B")
+                write!(
+                    f,
+                    "unsatisfiable: requested {requested} B exceeds limit {limit} B"
+                )
             }
         }
     }
@@ -89,7 +100,11 @@ fn classify_failure(pool: &BytePool, requested: u64) -> AllocError {
     if requested > free {
         AllocError::OutOfMemory { requested, free }
     } else {
-        AllocError::Fragmented { requested, free, largest: pool.largest_free_extent() }
+        AllocError::Fragmented {
+            requested,
+            free,
+            largest: pool.largest_free_extent(),
+        }
     }
 }
 
@@ -102,7 +117,10 @@ pub struct NaiveAllocator {
 
 impl NaiveAllocator {
     pub fn new(capacity: u64) -> Self {
-        Self { pool: BytePool::new(capacity), stats: FragmentationStats::new(capacity) }
+        Self {
+            pool: BytePool::new(capacity),
+            stats: FragmentationStats::new(capacity),
+        }
     }
 }
 
@@ -112,7 +130,11 @@ impl AddressAllocator for NaiveAllocator {
             Some(ext) => {
                 self.stats.on_allocate(size, size);
                 self.stats.observe(&self.pool);
-                Ok(Allocation { offset: ext.offset, size, reserved: size })
+                Ok(Allocation {
+                    offset: ext.offset,
+                    size,
+                    reserved: size,
+                })
             }
             None => {
                 self.stats.on_failure();
@@ -149,7 +171,10 @@ pub struct BestFitAllocator {
 
 impl BestFitAllocator {
     pub fn new(capacity: u64) -> Self {
-        Self { pool: BytePool::new(capacity), stats: FragmentationStats::new(capacity) }
+        Self {
+            pool: BytePool::new(capacity),
+            stats: FragmentationStats::new(capacity),
+        }
     }
 }
 
@@ -159,7 +184,11 @@ impl AddressAllocator for BestFitAllocator {
             Some(ext) => {
                 self.stats.on_allocate(size, size);
                 self.stats.observe(&self.pool);
-                Ok(Allocation { offset: ext.offset, size, reserved: size })
+                Ok(Allocation {
+                    offset: ext.offset,
+                    size,
+                    reserved: size,
+                })
             }
             None => {
                 self.stats.on_failure();
@@ -239,7 +268,10 @@ impl AddressAllocator for ChunkAllocator {
     fn allocate(&mut self, size: u64) -> Result<Allocation, AllocError> {
         if size > self.chunk_size {
             self.stats.on_failure();
-            return Err(AllocError::Unsatisfiable { requested: size, limit: self.chunk_size });
+            return Err(AllocError::Unsatisfiable {
+                requested: size,
+                limit: self.chunk_size,
+            });
         }
         // First chunk whose bump cursor leaves room.
         let found = self
@@ -262,13 +294,20 @@ impl AddressAllocator for ChunkAllocator {
                     self.largest_available(),
                     self.free_bytes_visible(),
                 );
-                Ok(Allocation { offset, size, reserved: size })
+                Ok(Allocation {
+                    offset,
+                    size,
+                    reserved: size,
+                })
             }
             None => {
                 self.stats.on_failure();
                 let free = self.free_bytes_visible();
                 if size > free {
-                    Err(AllocError::OutOfMemory { requested: size, free })
+                    Err(AllocError::OutOfMemory {
+                        requested: size,
+                        free,
+                    })
                 } else {
                     Err(AllocError::Fragmented {
                         requested: size,
@@ -315,7 +354,13 @@ impl ChunkAllocator {
     fn free_bytes_visible(&self) -> u64 {
         self.chunks
             .iter()
-            .map(|c| if c.tenants == 0 { self.chunk_size } else { self.chunk_size - c.cursor })
+            .map(|c| {
+                if c.tenants == 0 {
+                    self.chunk_size
+                } else {
+                    self.chunk_size - c.cursor
+                }
+            })
             .sum()
     }
 
@@ -326,7 +371,13 @@ impl ChunkAllocator {
     fn largest_available(&self) -> u64 {
         self.chunks
             .iter()
-            .map(|c| if c.tenants == 0 { self.chunk_size } else { self.chunk_size - c.cursor })
+            .map(|c| {
+                if c.tenants == 0 {
+                    self.chunk_size
+                } else {
+                    self.chunk_size - c.cursor
+                }
+            })
             .max()
             .unwrap_or(0)
     }
@@ -347,7 +398,11 @@ mod tests {
         }
         // 500 B free but checkerboarded into 100 B holes.
         match a.allocate(200) {
-            Err(AllocError::Fragmented { free: 500, largest: 100, .. }) => {}
+            Err(AllocError::Fragmented {
+                free: 500,
+                largest: 100,
+                ..
+            }) => {}
             other => panic!("expected fragmentation failure, got {other:?}"),
         }
     }
@@ -368,7 +423,10 @@ mod tests {
         let mut a = ChunkAllocator::new(10_000, 1000);
         assert!(matches!(
             a.allocate(1001),
-            Err(AllocError::Unsatisfiable { requested: 1001, limit: 1000 })
+            Err(AllocError::Unsatisfiable {
+                requested: 1001,
+                limit: 1000
+            })
         ));
     }
 
@@ -381,7 +439,11 @@ mod tests {
         let _t1 = a.allocate(600).unwrap();
         let _t2 = a.allocate(600).unwrap();
         match a.allocate(800) {
-            Err(AllocError::Fragmented { free: 800, largest: 400, .. }) => {}
+            Err(AllocError::Fragmented {
+                free: 800,
+                largest: 400,
+                ..
+            }) => {}
             other => panic!("expected stranded-tail failure, got {other:?}"),
         }
     }
@@ -425,6 +487,9 @@ mod tests {
     fn allocator_names() {
         assert_eq!(NaiveAllocator::new(1).name(), "naive-first-fit");
         assert_eq!(BestFitAllocator::new(1).name(), "best-fit (BFC)");
-        assert_eq!(ChunkAllocator::new(1, 1).name(), "chunk-based (PatrickStar)");
+        assert_eq!(
+            ChunkAllocator::new(1, 1).name(),
+            "chunk-based (PatrickStar)"
+        );
     }
 }

@@ -52,7 +52,11 @@ impl BytePool {
         } else {
             Vec::new()
         };
-        Self { capacity, free, used_bytes: 0 }
+        Self {
+            capacity,
+            free,
+            used_bytes: 0,
+        }
     }
 
     pub fn capacity(&self) -> u64 {
@@ -130,7 +134,10 @@ impl BytePool {
         assert!(ext.size > 0, "freeing empty extent");
         assert!(ext.end() <= self.capacity, "freeing out-of-bounds extent");
         debug_assert!(
-            !self.free.iter().any(|f| f.offset < ext.end() && ext.offset < f.end()),
+            !self
+                .free
+                .iter()
+                .any(|f| f.offset < ext.end() && ext.offset < f.end()),
             "double free of {ext:?}"
         );
         // Insertion point in the sorted free-list.
@@ -162,14 +169,21 @@ impl BytePool {
         {
             let mut total = 0;
             for w in self.free.windows(2) {
-                assert!(w[0].end() < w[1].offset, "free-list not coalesced/sorted: {w:?}");
+                assert!(
+                    w[0].end() < w[1].offset,
+                    "free-list not coalesced/sorted: {w:?}"
+                );
             }
             for e in &self.free {
                 assert!(e.size > 0);
                 assert!(e.end() <= self.capacity);
                 total += e.size;
             }
-            assert_eq!(total + self.used_bytes, self.capacity, "byte accounting broken");
+            assert_eq!(
+                total + self.used_bytes,
+                self.capacity,
+                "byte accounting broken"
+            );
         }
     }
 }
@@ -205,7 +219,7 @@ mod tests {
         p.free(a); // hole of 100 at 0
         p.free(b); // merges? no: a=[0,100), b=[100,150) adjacent -> merges to [0,150)
         assert_eq!(p.num_free_extents(), 2); // [0,150) and [250,1000)
-        // Re-fragment: take 50 from the front hole.
+                                             // Re-fragment: take 50 from the front hole.
         let d = p.allocate_best_fit(120).unwrap();
         // Best fit chooses the 150-byte hole, not the 750-byte tail.
         assert_eq!(d.offset, 0);
@@ -239,7 +253,9 @@ mod tests {
         // Classic checkerboard: free every other block; total free is large
         // but the largest extent is small.
         let mut p = BytePool::new(1000);
-        let blocks: Vec<_> = (0..10).map(|_| p.allocate_first_fit(100).unwrap()).collect();
+        let blocks: Vec<_> = (0..10)
+            .map(|_| p.allocate_first_fit(100).unwrap())
+            .collect();
         for (i, b) in blocks.into_iter().enumerate() {
             if i % 2 == 0 {
                 p.free(b);

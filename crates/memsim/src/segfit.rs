@@ -46,13 +46,20 @@ impl AddressAllocator for SegregatedFitAllocator {
             Some(ext) => {
                 self.stats.on_allocate(size, reserved);
                 self.stats.observe(&self.pool);
-                Ok(Allocation { offset: ext.offset, size, reserved })
+                Ok(Allocation {
+                    offset: ext.offset,
+                    size,
+                    reserved,
+                })
             }
             None => {
                 self.stats.on_failure();
                 let free = self.pool.free_bytes();
                 if reserved > free {
-                    Err(AllocError::OutOfMemory { requested: reserved, free })
+                    Err(AllocError::OutOfMemory {
+                        requested: reserved,
+                        free,
+                    })
                 } else {
                     Err(AllocError::Fragmented {
                         requested: reserved,
@@ -136,7 +143,10 @@ mod tests {
         let mut a = SegregatedFitAllocator::new(4096);
         let _x = a.allocate(1025).unwrap(); // bin 2048
         let _y = a.allocate(1025).unwrap(); // bin 2048
-        assert!(matches!(a.allocate(1025), Err(AllocError::OutOfMemory { .. })));
+        assert!(matches!(
+            a.allocate(1025),
+            Err(AllocError::OutOfMemory { .. })
+        ));
         // An exact-fit allocator would have placed all three.
         let mut exact = crate::BestFitAllocator::new(4096);
         let _ = exact.allocate(1025).unwrap();

@@ -30,7 +30,10 @@ pub struct FragmentationStats {
 
 impl FragmentationStats {
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, ..Default::default() }
+        Self {
+            capacity,
+            ..Default::default()
+        }
     }
 
     /// Record a successful allocation of `size` bytes occupying `reserved`.
@@ -57,7 +60,11 @@ impl FragmentationStats {
 
     /// Sample external fragmentation from a [`BytePool`].
     pub fn observe(&mut self, pool: &BytePool) {
-        self.observe_raw(pool.used_bytes(), pool.largest_free_extent(), pool.free_bytes());
+        self.observe_raw(
+            pool.used_bytes(),
+            pool.largest_free_extent(),
+            pool.free_bytes(),
+        );
     }
 
     /// Sample external fragmentation from raw numbers (for allocators that do

@@ -127,7 +127,15 @@ impl TransformerConfig {
     /// used by Section 2.2's memory analysis and Table 2's tensor-size
     /// distribution (d_m = 12288, d_ffn = 49152).
     pub fn gpt3_175b_openai() -> Self {
-        Self::new("GPT3-175B(openai)", ModelFamily::Gpt, 96, 96, 12288, 49152, 0)
+        Self::new(
+            "GPT3-175B(openai)",
+            ModelFamily::Gpt,
+            96,
+            96,
+            12288,
+            49152,
+            0,
+        )
     }
 
     pub fn t5_1_4b() -> Self {
@@ -232,8 +240,14 @@ mod tests {
     fn table4_presets_match_paper_rows() {
         let t = TransformerConfig::table4();
         assert_eq!(t.len(), 11);
-        assert_eq!((t[0].layers, t[0].heads, t[0].d_model, t[0].d_ffn), (24, 24, 2304, 9216));
-        assert_eq!((t[6].layers, t[6].heads, t[6].d_model, t[6].d_ffn), (70, 112, 14336, 57344));
+        assert_eq!(
+            (t[0].layers, t[0].heads, t[0].d_model, t[0].d_ffn),
+            (24, 24, 2304, 9216)
+        );
+        assert_eq!(
+            (t[6].layers, t[6].heads, t[6].d_model, t[6].d_ffn),
+            (70, 112, 14336, 57344)
+        );
         assert_eq!(t[10].experts, 2304);
         assert!(t[10].is_moe());
         assert!(!t[0].is_moe());
@@ -270,8 +284,14 @@ mod tests {
         // without embeddings; allow 5% slack for its rounding.
         let params_gb = params_bytes as f64 / gib as f64;
         let optim_gb = optim_bytes as f64 / gib as f64;
-        assert!((params_gb - 648.0).abs() / 648.0 < 0.05, "params = {params_gb} GB");
-        assert!((optim_gb - 1944.0).abs() / 1944.0 < 0.05, "optims = {optim_gb} GB");
+        assert!(
+            (params_gb - 648.0).abs() / 648.0 < 0.05,
+            "params = {params_gb} GB"
+        );
+        assert!(
+            (optim_gb - 1944.0).abs() / 1944.0 < 0.05,
+            "optims = {optim_gb} GB"
+        );
     }
 
     #[test]
@@ -280,12 +300,18 @@ mod tests {
         // 16 layers × 2304 experts × 2×1024×16384 ≈ 1.24T (attention adds a
         // rounding error on top).
         let p = c.total_params();
-        assert!(p > 1_100_000_000_000 && p < 1_350_000_000_000, "params = {p}");
+        assert!(
+            p > 1_100_000_000_000 && p < 1_350_000_000_000,
+            "params = {p}"
+        );
     }
 
     #[test]
     fn builder_overrides() {
-        let c = TransformerConfig::gpt3_28b().with_layers(68).with_seq_len(1024).with_experts(4);
+        let c = TransformerConfig::gpt3_28b()
+            .with_layers(68)
+            .with_seq_len(1024)
+            .with_experts(4);
         assert_eq!(c.layers, 68);
         assert_eq!(c.seq_len, 1024);
         assert_eq!(c.experts, 4);

@@ -105,7 +105,10 @@ mod tests {
         let total = model_flops(&cfg, 1, false) as f64;
         let tokens = cfg.seq_len as f64;
         let per_param_token = total / (cfg.total_params() as f64 * tokens);
-        assert!(per_param_token > 5.5 && per_param_token < 8.0, "{per_param_token}");
+        assert!(
+            per_param_token > 5.5 && per_param_token < 8.0,
+            "{per_param_token}"
+        );
     }
 
     #[test]

@@ -196,10 +196,8 @@ impl ModelFootprint {
         let ffn_params = 8 * d * f;
         let attn_optims = 48 * d * d;
         let ffn_optims = 24 * d * f;
-        let params_per_layer =
-            attn_params * attn_scale_num / attn_scale_den + ffn_params * experts;
-        let optims_per_layer =
-            attn_optims * attn_scale_num / attn_scale_den + ffn_optims * experts;
+        let params_per_layer = attn_params * attn_scale_num / attn_scale_den + ffn_params * experts;
+        let optims_per_layer = attn_optims * attn_scale_num / attn_scale_den + ffn_optims * experts;
         let acts_per_layer = layer.acts_total; // activation volume is per token-path
         let n = config.layers as u64;
         Self {
@@ -268,8 +266,16 @@ mod tests {
         let cfg = crate::TransformerConfig::gpt3_175b_openai().with_seq_len(2048);
         let fp = ModelFootprint::of(&cfg, 1);
         let to_gb = |x: u64| x as f64 / GIB as f64;
-        assert!((to_gb(fp.params_total) - 648.0).abs() / 648.0 < 0.02, "{}", to_gb(fp.params_total));
-        assert!((to_gb(fp.acts_total) - 162.0).abs() / 162.0 < 0.02, "{}", to_gb(fp.acts_total));
+        assert!(
+            (to_gb(fp.params_total) - 648.0).abs() / 648.0 < 0.02,
+            "{}",
+            to_gb(fp.params_total)
+        );
+        assert!(
+            (to_gb(fp.acts_total) - 162.0).abs() / 162.0 < 0.02,
+            "{}",
+            to_gb(fp.acts_total)
+        );
         assert!(
             (to_gb(fp.optims_total) - 1944.0).abs() / 1944.0 < 0.02,
             "{}",

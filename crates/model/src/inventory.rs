@@ -50,7 +50,10 @@ impl TensorClass {
 
     /// Optimizer state (FP32, updated on CPU in the paper's placement).
     pub fn is_optimizer_state(self) -> bool {
-        matches!(self, TensorClass::Master32 | TensorClass::Momentum32 | TensorClass::Variance32)
+        matches!(
+            self,
+            TensorClass::Master32 | TensorClass::Momentum32 | TensorClass::Variance32
+        )
     }
 
     pub fn bytes_per_element(self) -> u64 {
@@ -75,7 +78,12 @@ pub struct TensorSpec {
 
 impl TensorSpec {
     fn new(layer: usize, name: String, class: TensorClass, bytes: u64) -> Self {
-        Self { name, layer, class, bytes }
+        Self {
+            name,
+            layer,
+            class,
+            bytes,
+        }
     }
 }
 
@@ -155,7 +163,17 @@ fn push_attention(out: &mut Vec<TensorSpec>, layer: usize, prefix: &str, d: u64,
 }
 
 /// One FFN (or one expert) worth of tensors.
-fn push_ffn(out: &mut Vec<TensorSpec>, layer: usize, prefix: &str, d: u64, f: u64, b: u64, s: u64, with_acts: bool) {
+#[allow(clippy::too_many_arguments)]
+fn push_ffn(
+    out: &mut Vec<TensorSpec>,
+    layer: usize,
+    prefix: &str,
+    d: u64,
+    f: u64,
+    b: u64,
+    s: u64,
+    with_acts: bool,
+) {
     push_weight(out, layer, &format!("{prefix}.w1"), d * f);
     push_weight(out, layer, &format!("{prefix}.w2"), f * d);
     if with_acts {
@@ -200,7 +218,8 @@ pub fn layer_inventory(config: &TransformerConfig, layer: usize, b: u64) -> Vec<
     let s = config.seq_len as u64;
     let mut out = Vec::new();
     push_attention(&mut out, layer, "attn", d, b, s);
-    let is_decoder = matches!(config.family, ModelFamily::T5 | ModelFamily::T5Moe) && layer % 2 == 1;
+    let is_decoder =
+        matches!(config.family, ModelFamily::T5 | ModelFamily::T5Moe) && layer % 2 == 1;
     if is_decoder {
         push_attention(&mut out, layer, "xattn", d, b, s);
     }
@@ -223,7 +242,9 @@ pub fn layer_inventory(config: &TransformerConfig, layer: usize, b: u64) -> Vec<
 
 /// Tensor inventory of the whole model.
 pub fn model_inventory(config: &TransformerConfig, b: u64) -> Vec<TensorSpec> {
-    (0..config.layers).flat_map(|l| layer_inventory(config, l, b)).collect()
+    (0..config.layers)
+        .flat_map(|l| layer_inventory(config, l, b))
+        .collect()
 }
 
 /// Summarise an inventory as Table 2 does: a map from tensor size (bytes) to
@@ -263,15 +284,20 @@ mod tests {
         let dist = size_distribution(&table2_layer());
         // Size classes ≥ 1 MB must match Table 2 exactly.
         let expected: &[(u64, usize)] = &[
-            (3072 * MIB, 4),  // b·s·d_ffn activations (FFN up + GeLU, fwd+bwd)
-            (2304 * MIB, 6),  // FFN weight optimizer states (2 mats × 3)
-            (1152 * MIB, 4),  // FFN weights fp16 (2 mats × param+grad)
-            (768 * MIB, 20),  // b·s·d activations
-            (576 * MIB, 12),  // attention weight optimizer states (4 × 3)
-            (288 * MIB, 8),   // attention weights fp16 (4 × param+grad)
+            (3072 * MIB, 4), // b·s·d_ffn activations (FFN up + GeLU, fwd+bwd)
+            (2304 * MIB, 6), // FFN weight optimizer states (2 mats × 3)
+            (1152 * MIB, 4), // FFN weights fp16 (2 mats × param+grad)
+            (768 * MIB, 20), // b·s·d activations
+            (576 * MIB, 12), // attention weight optimizer states (4 × 3)
+            (288 * MIB, 8),  // attention weights fp16 (4 × param+grad)
         ];
         for &(size, count) in expected {
-            assert_eq!(dist.get(&size), Some(&count), "size class {} MiB", size / MIB);
+            assert_eq!(
+                dist.get(&size),
+                Some(&count),
+                "size class {} MiB",
+                size / MIB
+            );
         }
     }
 
@@ -297,8 +323,7 @@ mod tests {
         let f = 49152u64;
         let b = 16u64;
         let s = 2048u64;
-        let params16 =
-            by_class[&TensorClass::Param16] + by_class[&TensorClass::Grad16];
+        let params16 = by_class[&TensorClass::Param16] + by_class[&TensorClass::Grad16];
         let optims = by_class[&TensorClass::Master32]
             + by_class[&TensorClass::Momentum32]
             + by_class[&TensorClass::Variance32];
@@ -336,10 +361,11 @@ mod tests {
     fn moe_replicates_expert_weights_only() {
         let cfg = TransformerConfig::t5_moe_1_2t().with_experts(4);
         let inv = layer_inventory(&cfg, 0, 1);
-        let expert_weights =
-            inv.iter().filter(|t| t.name.contains("expert") && t.class == TensorClass::Param16);
+        let expert_weights = inv
+            .iter()
+            .filter(|t| t.name.contains("expert") && t.class == TensorClass::Param16);
         assert_eq!(expert_weights.count(), 4 * 2); // 4 experts × 2 matrices
-        // Activations don't scale with experts.
+                                                   // Activations don't scale with experts.
         let acts: u64 = inv
             .iter()
             .filter(|t| t.class == TensorClass::Activation)

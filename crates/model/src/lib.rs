@@ -26,7 +26,7 @@ pub mod moe;
 
 pub use config::{ModelFamily, TransformerConfig};
 pub use footprint::{LayerFootprint, ModelFootprint};
-pub use inventory::{TensorClass, TensorSpec, layer_inventory, model_inventory};
+pub use inventory::{layer_inventory, model_inventory, TensorClass, TensorSpec};
 
 /// Bytes per element for the numeric formats in mixed-precision training
 /// (Figure 1 of the paper): computation in half precision, model states in

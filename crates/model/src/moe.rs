@@ -24,7 +24,10 @@ impl ExpertParallelism {
     pub const PAPER_EXPERTS_PER_GPU: usize = 9;
 
     pub fn paper_scaling(num_gpus: usize) -> Self {
-        Self { num_gpus, experts_per_gpu: Self::PAPER_EXPERTS_PER_GPU }
+        Self {
+            num_gpus,
+            experts_per_gpu: Self::PAPER_EXPERTS_PER_GPU,
+        }
     }
 
     /// Experts per MoE layer across the fleet (e.g. 128 GPUs × 9 = 1152, the
@@ -63,11 +66,10 @@ pub fn all_to_all_bytes_per_gpu(config: &TransformerConfig, b_per_gpu: u64, num_
 /// shard plus a full replica of all non-expert parameters.
 pub fn params_per_gpu(config: &TransformerConfig, ep: ExpertParallelism) -> u64 {
     assert!(config.is_moe());
-    let expert_params = config.layers as u64
-        * ep.experts_per_gpu as u64
-        * config.ffn_params_per_expert();
-    let shared = config.layers as u64
-        * (config.attn_params_per_layer() + config.norm_params_per_layer());
+    let expert_params =
+        config.layers as u64 * ep.experts_per_gpu as u64 * config.ffn_params_per_expert();
+    let shared =
+        config.layers as u64 * (config.attn_params_per_layer() + config.norm_params_per_layer());
     expert_params + shared
 }
 

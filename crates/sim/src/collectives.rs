@@ -159,8 +159,7 @@ mod tests {
         let cfg = angel_model::TransformerConfig::t5_moe_1_2t();
         let b = 4u64;
         let n = 16u64;
-        let per_gpu_buffer =
-            b * cfg.seq_len as u64 * cfg.d_model as u64 * angel_model::dtype::HALF;
+        let per_gpu_buffer = b * cfg.seq_len as u64 * cfg.d_model as u64 * angel_model::dtype::HALF;
         let from_model = angel_model::moe::all_to_all_bytes_per_gpu(&cfg, b, n);
         // dispatch + combine = 2 one-way all-to-alls.
         let from_collective = 2 * wire_bytes_per_rank(Collective::AllToAll, per_gpu_buffer, n);

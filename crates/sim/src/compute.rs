@@ -106,7 +106,11 @@ impl Default for CpuUpdateModel {
 impl CpuUpdateModel {
     /// The 4 × EPYC 7K62 host of Table 3.
     pub fn epyc_tencent() -> Self {
-        Self { effective_bandwidth: 102 * 1_000_000_000, workers: 192, overhead_ns: 5_000 }
+        Self {
+            effective_bandwidth: 102 * 1_000_000_000,
+            workers: 192,
+            overhead_ns: 5_000,
+        }
     }
 
     /// Time for one worker-pool-wide update touching `bytes` of state.
@@ -135,7 +139,10 @@ pub struct GpuUpdateModel {
 
 impl Default for GpuUpdateModel {
     fn default() -> Self {
-        Self { effective_bandwidth: 480 * 1_000_000_000, overhead_ns: 10_000 }
+        Self {
+            effective_bandwidth: 480 * 1_000_000_000,
+            overhead_ns: 10_000,
+        }
     }
 }
 

@@ -60,7 +60,12 @@ impl Resources {
 
     /// Register a transfer resource with a bandwidth/latency cost model
     /// (PCIe channel, NVLink fabric, NIC, SSD channel).
-    pub fn add_link(&mut self, name: impl Into<String>, bandwidth: u64, latency_ns: Ns) -> ResourceId {
+    pub fn add_link(
+        &mut self,
+        name: impl Into<String>,
+        bandwidth: u64,
+        latency_ns: Ns,
+    ) -> ResourceId {
         assert!(bandwidth > 0);
         self.names.push(name.into());
         self.links.push(Some((bandwidth, latency_ns)));
@@ -147,7 +152,25 @@ pub struct SimTask {
 
 impl SimTask {
     pub fn new(resource: ResourceId, work: Work) -> Self {
-        Self { resource, work, deps: Vec::new(), mem: Vec::new(), label: String::new() }
+        Self {
+            resource,
+            work,
+            deps: Vec::new(),
+            mem: Vec::new(),
+            label: String::new(),
+        }
+    }
+
+    /// A transfer of `bytes` on a link resource; duration comes from the
+    /// link's bandwidth/latency model.
+    pub fn transfer(resource: ResourceId, bytes: u64) -> Self {
+        Self::new(resource, Work::Bytes(bytes))
+    }
+
+    /// A fixed-duration occupancy of a resource (duration computed by a
+    /// cost model upstream).
+    pub fn duration(resource: ResourceId, duration_ns: Ns) -> Self {
+        Self::new(resource, Work::Duration(duration_ns))
     }
 
     pub fn with_deps(mut self, deps: impl IntoIterator<Item = usize>) -> Self {
@@ -227,7 +250,10 @@ struct Pending {
 // Min-heap ordering by finish time (then task index for determinism).
 impl Ord for Pending {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.finish.cmp(&self.finish).then(other.task.cmp(&self.task))
+        other
+            .finish
+            .cmp(&self.finish)
+            .then(other.task.cmp(&self.task))
     }
 }
 
@@ -239,7 +265,10 @@ impl PartialOrd for Pending {
 
 impl Simulation {
     pub fn new(resources: Resources) -> Self {
-        Self { resources, tasks: Vec::new() }
+        Self {
+            resources,
+            tasks: Vec::new(),
+        }
     }
 
     pub fn resources(&self) -> &Resources {
@@ -249,9 +278,15 @@ impl Simulation {
     /// Submit a task; returns its index for use in later `deps`.
     pub fn submit(&mut self, task: SimTask) -> usize {
         for &d in &task.deps {
-            assert!(d < self.tasks.len(), "dependency on not-yet-submitted task {d}");
+            assert!(
+                d < self.tasks.len(),
+                "dependency on not-yet-submitted task {d}"
+            );
         }
-        assert!(task.resource.0 < self.resources.num_resources(), "unknown resource");
+        assert!(
+            task.resource.0 < self.resources.num_resources(),
+            "unknown resource"
+        );
         self.tasks.push(task);
         self.tasks.len() - 1
     }
@@ -359,7 +394,8 @@ impl Simulation {
         }
 
         assert_eq!(
-            completed, n,
+            completed,
+            n,
             "deadlock: {} tasks never ran (circular deps or blocked stream head)",
             n - completed
         );
@@ -456,10 +492,11 @@ mod tests {
         let dom = r.add_mem_domain("gpu-mem", 1000);
         let mut sim = Simulation::new(r);
         // Acquire 600, release at end.
-        let a = sim.submit(
-            SimTask::new(gpu, Work::Duration(10))
-                .with_mem(MemEffect { domain: dom, acquire: 600, release: 600 }),
-        );
+        let a = sim.submit(SimTask::new(gpu, Work::Duration(10)).with_mem(MemEffect {
+            domain: dom,
+            acquire: 600,
+            release: 600,
+        }));
         // Second acquires 300 while first still holds (no dep): but same
         // stream ⇒ serial ⇒ never concurrent. Add a second stream.
         let _ = a;
@@ -475,14 +512,16 @@ mod tests {
         let s2 = r.add_compute("s2");
         let dom = r.add_mem_domain("mem", 0);
         let mut sim = Simulation::new(r);
-        sim.submit(
-            SimTask::new(s1, Work::Duration(100))
-                .with_mem(MemEffect { domain: dom, acquire: 600, release: 600 }),
-        );
-        sim.submit(
-            SimTask::new(s2, Work::Duration(100))
-                .with_mem(MemEffect { domain: dom, acquire: 500, release: 500 }),
-        );
+        sim.submit(SimTask::new(s1, Work::Duration(100)).with_mem(MemEffect {
+            domain: dom,
+            acquire: 600,
+            release: 600,
+        }));
+        sim.submit(SimTask::new(s2, Work::Duration(100)).with_mem(MemEffect {
+            domain: dom,
+            acquire: 500,
+            release: 500,
+        }));
         let rep = sim.run();
         assert_eq!(rep.peak_mem[dom.0], 1100);
     }
@@ -493,10 +532,11 @@ mod tests {
         let gpu = r.add_compute("gpu");
         let dom = r.add_mem_domain("mem", 0);
         let mut sim = Simulation::new(r);
-        sim.submit(
-            SimTask::new(gpu, Work::Duration(1))
-                .with_mem(MemEffect { domain: dom, acquire: 128, release: 0 }),
-        );
+        sim.submit(SimTask::new(gpu, Work::Duration(1)).with_mem(MemEffect {
+            domain: dom,
+            acquire: 128,
+            release: 0,
+        }));
         let rep = sim.run();
         assert_eq!(rep.final_mem[dom.0], 128);
     }

@@ -27,7 +27,11 @@ pub fn chrome_trace(sim: &Simulation, report: &ExecutionReport) -> String {
     for (i, task) in sim.tasks().enumerate() {
         let start_us = report.start_times[i] as f64 / 1e3;
         let dur_us = (report.finish_times[i] - report.start_times[i]) as f64 / 1e3;
-        let name = if task.label.is_empty() { format!("task{i}") } else { task.label.clone() };
+        let name = if task.label.is_empty() {
+            format!("task{i}")
+        } else {
+            task.label.clone()
+        };
         events.push(serde_json::json!({
             "name": name,
             "ph": "X",
@@ -52,7 +56,11 @@ mod tests {
         let pcie = r.add_link("pcie", 1_000_000_000, 0);
         let mut sim = Simulation::new(r);
         let m = sim.submit(SimTask::new(pcie, Work::Bytes(1000)).with_label("move"));
-        sim.submit(SimTask::new(gpu, Work::Duration(500)).with_deps([m]).with_label("kernel"));
+        sim.submit(
+            SimTask::new(gpu, Work::Duration(500))
+                .with_deps([m])
+                .with_label("kernel"),
+        );
         let report = sim.run();
         let json = super::chrome_trace(&sim, &report);
         assert!(json.contains("\"kernel\""));

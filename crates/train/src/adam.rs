@@ -24,7 +24,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, bf16_grads: true }
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            bf16_grads: true,
+        }
     }
 }
 
@@ -37,7 +43,10 @@ pub struct MixedPrecisionAdam {
 
 impl MixedPrecisionAdam {
     pub fn new(config: AdamConfig, layers: usize) -> Self {
-        Self { config, steps: vec![0; layers] }
+        Self {
+            config,
+            steps: vec![0; layers],
+        }
     }
 
     /// One Adam step over a flat parameter group. `grads` are averaged over
@@ -50,8 +59,8 @@ impl MixedPrecisionAdam {
         let bc1 = 1.0 - c.beta1.powi(t);
         let bc2 = 1.0 - c.beta2.powi(t);
         let inv_micro = 1.0 / micro.max(1) as f32;
-        for i in 0..grads.len() {
-            let mut g = grads[i] * inv_micro;
+        for (i, &grad) in grads.iter().enumerate() {
+            let mut g = grad * inv_micro;
             if c.bf16_grads {
                 g = bf16_round(g);
             }
@@ -115,8 +124,13 @@ mod tests {
     fn converges_on_quadratic() {
         // Minimize f(p) = Σ (p-c)²/2; grad = p - c.
         let c = [0.3f32, -0.7, 2.0];
-        let mut adam =
-            MixedPrecisionAdam::new(AdamConfig { lr: 0.05, ..Default::default() }, 1);
+        let mut adam = MixedPrecisionAdam::new(
+            AdamConfig {
+                lr: 0.05,
+                ..Default::default()
+            },
+            1,
+        );
         let mut s = state(vec![0.0; 3]);
         for _ in 0..2000 {
             let g: Vec<f32> = s.p32.iter().zip(&c).map(|(p, c)| p - c).collect();
@@ -142,8 +156,14 @@ mod tests {
 
     #[test]
     fn bf16_gradient_rounding_is_small_perturbation() {
-        let cfg_on = AdamConfig { bf16_grads: true, ..Default::default() };
-        let cfg_off = AdamConfig { bf16_grads: false, ..Default::default() };
+        let cfg_on = AdamConfig {
+            bf16_grads: true,
+            ..Default::default()
+        };
+        let cfg_off = AdamConfig {
+            bf16_grads: false,
+            ..Default::default()
+        };
         let mut a_on = MixedPrecisionAdam::new(cfg_on, 1);
         let mut a_off = MixedPrecisionAdam::new(cfg_off, 1);
         let mut s_on = state(vec![1.0; 8]);

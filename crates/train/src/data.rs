@@ -45,7 +45,11 @@ impl CharCorpus {
             out.push(next);
         }
         let valid = out.split_off(len);
-        Self { vocab, train: out, valid }
+        Self {
+            vocab,
+            train: out,
+            valid,
+        }
     }
 
     /// Sample a `(input, target)` window of `seq_len` tokens from the
@@ -59,7 +63,10 @@ impl CharCorpus {
     }
 
     /// Iterate consecutive validation windows.
-    pub fn valid_windows(&self, seq_len: usize) -> impl Iterator<Item = (Vec<usize>, Vec<usize>)> + '_ {
+    pub fn valid_windows(
+        &self,
+        seq_len: usize,
+    ) -> impl Iterator<Item = (Vec<usize>, Vec<usize>)> + '_ {
         (0..(self.valid.len() - 1) / seq_len).map(move |i| {
             let start = i * seq_len;
             (

@@ -18,7 +18,10 @@ pub struct SampleConfig {
 
 impl Default for SampleConfig {
     fn default() -> Self {
-        Self { temperature: 0.8, tokens: 64 }
+        Self {
+            temperature: 0.8,
+            tokens: 64,
+        }
     }
 }
 
@@ -99,7 +102,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny() -> (TinyGpt, Vec<Vec<f32>>) {
-        let m = TinyGpt::new(GptConfig { vocab: 8, seq_len: 16, d_model: 16, d_ffn: 32, layers: 1 });
+        let m = TinyGpt::new(GptConfig {
+            vocab: 8,
+            seq_len: 16,
+            d_model: 16,
+            d_ffn: 32,
+            layers: 1,
+        });
         let p = m.init_params(11);
         (m, p)
     }
@@ -117,7 +126,10 @@ mod tests {
     #[test]
     fn greedy_generation_is_deterministic() {
         let (m, p) = tiny();
-        let cfg = SampleConfig { temperature: 0.0, tokens: 12 };
+        let cfg = SampleConfig {
+            temperature: 0.0,
+            tokens: 12,
+        };
         let mut r1 = StdRng::seed_from_u64(1);
         let mut r2 = StdRng::seed_from_u64(2); // greedy ignores the rng
         let a = generate(&m, &p, &[3, 4], cfg, &mut r1);
@@ -130,7 +142,10 @@ mod tests {
     #[test]
     fn sampled_generation_respects_seed() {
         let (m, p) = tiny();
-        let cfg = SampleConfig { temperature: 1.0, tokens: 20 };
+        let cfg = SampleConfig {
+            temperature: 1.0,
+            tokens: 20,
+        };
         let a = generate(&m, &p, &[0], cfg, &mut StdRng::seed_from_u64(7));
         let b = generate(&m, &p, &[0], cfg, &mut StdRng::seed_from_u64(7));
         assert_eq!(a, b);
@@ -145,7 +160,10 @@ mod tests {
             &m,
             &p,
             &long_prompt,
-            SampleConfig { temperature: 0.0, tokens: 4 },
+            SampleConfig {
+                temperature: 0.0,
+                tokens: 4,
+            },
             &mut StdRng::seed_from_u64(1),
         );
         assert_eq!(out.len(), 4);
@@ -155,7 +173,13 @@ mod tests {
     fn trained_model_has_lower_perplexity() {
         let corpus = CharCorpus::generate(8, 20_000, 3);
         let cfg = crate::trainer::TrainConfig {
-            model: GptConfig { vocab: 8, seq_len: 24, d_model: 24, d_ffn: 48, layers: 2 },
+            model: GptConfig {
+                vocab: 8,
+                seq_len: 24,
+                d_model: 24,
+                d_ffn: 48,
+                layers: 2,
+            },
             steps: 200,
             seq_len: 24,
             ..Default::default()
@@ -166,6 +190,9 @@ mod tests {
         let report = crate::trainer::train_sync(&cfg, &corpus);
         // valid_loss is the mean cross-entropy of the trained model.
         let after = report.valid_loss.exp();
-        assert!(after < before * 0.8, "perplexity must drop: {before} → {after}");
+        assert!(
+            after < before * 0.8,
+            "perplexity must drop: {before} → {after}"
+        );
     }
 }

@@ -33,6 +33,6 @@ pub mod trainer;
 pub use adam::{AdamConfig, MixedPrecisionAdam};
 pub use bf16::bf16_round;
 pub use data::CharCorpus;
-pub use model::{GptConfig, TinyGpt};
 pub use generate::{generate, perplexity, SampleConfig};
+pub use model::{GptConfig, TinyGpt};
 pub use trainer::{train_lockfree, train_sync, TrainConfig, TrainReport};

@@ -29,7 +29,13 @@ impl GptConfig {
     /// A configuration small enough for CI but large enough to learn the
     /// synthetic corpus.
     pub fn tiny() -> Self {
-        Self { vocab: 16, seq_len: 32, d_model: 32, d_ffn: 64, layers: 2 }
+        Self {
+            vocab: 16,
+            seq_len: 32,
+            d_model: 32,
+            d_ffn: 64,
+            layers: 2,
+        }
     }
 
     /// Number of parameter groups: embeddings + layers + head.
@@ -115,7 +121,18 @@ fn block_grads<'a>(group: &'a mut [f32], d: usize, f: usize) -> BlockGrads<'a> {
     let (ln2_g, rest) = rest.split_at_mut(d);
     let (ln2_b, rest) = rest.split_at_mut(d);
     let (w1, w2) = rest.split_at_mut(d * f);
-    BlockGrads { ln1_g, ln1_b, wq, wk, wv, wo, ln2_g, ln2_b, w1, w2 }
+    BlockGrads {
+        ln1_g,
+        ln1_b,
+        wq,
+        wk,
+        wv,
+        wo,
+        ln2_g,
+        ln2_b,
+        w1,
+        w2,
+    }
 }
 
 /// Per-layer forward caches needed by backward.
@@ -336,8 +353,7 @@ impl TinyGpt {
         }
 
         // ---- Backward --------------------------------------------------------
-        let mut grads: Vec<Vec<f32>> =
-            c.group_sizes().iter().map(|&n| vec![0.0f32; n]).collect();
+        let mut grads: Vec<Vec<f32>> = c.group_sizes().iter().map(|&n| vec![0.0f32; n]).collect();
 
         // Head.
         let mut dxnf = vec![0.0f32; s * d];
@@ -366,7 +382,15 @@ impl TinyGpt {
             let mut dxn2 = vec![0.0f32; s * d];
             matmul_backward(&dh, &cache.xn2, p.w1, &mut dxn2, g.w1, s, d, f);
             let dx_ln2 = layernorm_backward(
-                &dxn2, &cache.x_mid, p.ln2_g, &cache.mean2, &cache.rstd2, g.ln2_g, g.ln2_b, s, d,
+                &dxn2,
+                &cache.x_mid,
+                p.ln2_g,
+                &cache.mean2,
+                &cache.rstd2,
+                g.ln2_g,
+                g.ln2_b,
+                s,
+                d,
             );
             // Residual: dL/dx_mid = dx (skip path) + dx_ln2 (norm path).
             let mut dx_mid = dx;
@@ -391,7 +415,15 @@ impl TinyGpt {
             matmul_backward(&dk, &cache.xn1, p.wk, &mut dxn1, g.wk, s, d, d);
             matmul_backward(&dv, &cache.xn1, p.wv, &mut dxn1, g.wv, s, d, d);
             let dx_ln1 = layernorm_backward(
-                &dxn1, &cache.x_in, p.ln1_g, &cache.mean1, &cache.rstd1, g.ln1_g, g.ln1_b, s, d,
+                &dxn1,
+                &cache.x_in,
+                p.ln1_g,
+                &cache.mean1,
+                &cache.rstd1,
+                g.ln1_g,
+                g.ln1_b,
+                s,
+                d,
             );
             dx = dx_mid;
             add_inplace(&mut dx, &dx_ln1);
@@ -418,7 +450,13 @@ mod tests {
     use super::*;
 
     fn micro_config() -> GptConfig {
-        GptConfig { vocab: 5, seq_len: 4, d_model: 8, d_ffn: 12, layers: 1 }
+        GptConfig {
+            vocab: 5,
+            seq_len: 4,
+            d_model: 8,
+            d_ffn: 12,
+            layers: 1,
+        }
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
 
 /// Backward of `C = A·B`: `dA = dC·Bᵀ`, `dB = Aᵀ·dC`, accumulated into the
 /// provided gradient buffers.
+#[allow(clippy::too_many_arguments)]
 pub fn matmul_backward(
     dc: &[f32],
     a: &[f32],
@@ -109,7 +110,10 @@ pub fn softmax_rows(x: &[f32], m: usize, n: usize, mask_causal: bool) -> Vec<f32
     for i in 0..m {
         let row = &x[i * n..(i + 1) * n];
         let limit = if mask_causal { i + 1 } else { n };
-        let max = row[..limit].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = row[..limit]
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for j in 0..limit {
             let e = (row[j] - max).exp();
@@ -326,7 +330,12 @@ mod tests {
         assert_close(&matmul_nt(&a, &bt, 2, 3, 4), &c, 1e-6, "nt");
         // Aᵀ·C via matmul_tn must equal transpose(A)·C via plain matmul.
         let at = transpose(&a, 2, 3); // 3×2
-        assert_close(&matmul_tn(&a, &c, 2, 3, 4), &matmul(&at, &c, 3, 2, 4), 1e-6, "tn");
+        assert_close(
+            &matmul_tn(&a, &c, 2, 3, 4),
+            &matmul(&at, &c, 3, 2, 4),
+            1e-6,
+            "tn",
+        );
     }
 
     #[test]
@@ -339,7 +348,11 @@ mod tests {
         // Scalar objective: sum of C elements weighted by fixed w.
         let w = pseudo(m * n, 5);
         let loss_a = |a: &[f32]| -> f32 {
-            matmul(a, &b, m, k, n).iter().zip(&w).map(|(c, w)| c * w).sum()
+            matmul(a, &b, m, k, n)
+                .iter()
+                .zip(&w)
+                .map(|(c, w)| c * w)
+                .sum()
         };
         let mut da = vec![0.0f32; m * k];
         let mut db = vec![0.0f32; k * n];
@@ -347,7 +360,11 @@ mod tests {
         let num_da = numeric_grad(&mut { |x: &[f32]| loss_a(x) }, &a, 1e-3);
         assert_close(&da, &num_da, 1e-2, "dA");
         let loss_b = |b: &[f32]| -> f32 {
-            matmul(&a, b, m, k, n).iter().zip(&w).map(|(c, w)| c * w).sum()
+            matmul(&a, b, m, k, n)
+                .iter()
+                .zip(&w)
+                .map(|(c, w)| c * w)
+                .sum()
         };
         let num_db = numeric_grad(&mut { |x: &[f32]| loss_b(x) }, &b, 1e-3);
         assert_close(&db, &num_db, 1e-2, "dB");
@@ -383,7 +400,11 @@ mod tests {
         let x = pseudo(m * n, 9);
         let w = pseudo(m * n, 10);
         let loss = |x: &[f32]| -> f32 {
-            softmax_rows(x, m, n, false).iter().zip(&w).map(|(y, w)| y * w).sum()
+            softmax_rows(x, m, n, false)
+                .iter()
+                .zip(&w)
+                .map(|(y, w)| y * w)
+                .sum()
         };
         let y = softmax_rows(&x, m, n, false);
         let dx = softmax_rows_backward(&w, &y, m, n);
@@ -415,7 +436,12 @@ mod tests {
         let beta = pseudo(d, 14);
         let w = pseudo(m * d, 15);
         let loss = |x: &[f32]| -> f32 {
-            layernorm(x, &gamma, &beta, m, d).0.iter().zip(&w).map(|(y, w)| y * w).sum()
+            layernorm(x, &gamma, &beta, m, d)
+                .0
+                .iter()
+                .zip(&w)
+                .map(|(y, w)| y * w)
+                .sum()
         };
         let (_, mean, rstd) = layernorm(&x, &gamma, &beta, m, d);
         let mut dg = vec![0.0; d];
@@ -425,7 +451,12 @@ mod tests {
         assert_close(&dx, &num, 2e-2, "layernorm dx");
         // gamma gradient too.
         let loss_g = |g: &[f32]| -> f32 {
-            layernorm(&x, g, &beta, m, d).0.iter().zip(&w).map(|(y, w)| y * w).sum()
+            layernorm(&x, g, &beta, m, d)
+                .0
+                .iter()
+                .zip(&w)
+                .map(|(y, w)| y * w)
+                .sum()
         };
         let num_g = numeric_grad(&mut { |g: &[f32]| loss_g(g) }, &gamma, 1e-3);
         assert_close(&dg, &num_g, 2e-2, "layernorm dgamma");
@@ -435,8 +466,7 @@ mod tests {
     fn gelu_grad_check() {
         let x = pseudo(16, 16);
         let w = pseudo(16, 17);
-        let loss =
-            |x: &[f32]| -> f32 { gelu(x).iter().zip(&w).map(|(y, w)| y * w).sum() };
+        let loss = |x: &[f32]| -> f32 { gelu(x).iter().zip(&w).map(|(y, w)| y * w).sum() };
         let dx = gelu_backward(&w, &x);
         let num = numeric_grad(&mut { |x: &[f32]| loss(x) }, &x, 1e-3);
         assert_close(&dx, &num, 1e-2, "gelu dx");

@@ -44,7 +44,10 @@ impl Default for TrainConfig {
     fn default() -> Self {
         Self {
             model: GptConfig::tiny(),
-            adam: AdamConfig { lr: 3e-3, ..Default::default() },
+            adam: AdamConfig {
+                lr: 3e-3,
+                ..Default::default()
+            },
             steps: 300,
             seq_len: 32,
             seed: 17,
@@ -106,8 +109,11 @@ pub fn validation_loss(
 pub fn train_sync(config: &TrainConfig, corpus: &CharCorpus) -> TrainReport {
     let model = TinyGpt::new(config.model);
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut states: Vec<LayerState> =
-        model.init_params(config.seed).into_iter().map(LayerState::new).collect();
+    let mut states: Vec<LayerState> = model
+        .init_params(config.seed)
+        .into_iter()
+        .map(LayerState::new)
+        .collect();
     let mut adam = MixedPrecisionAdam::new(config.adam, states.len());
     let mut curve = Vec::new();
     let initial_valid = {
@@ -157,8 +163,7 @@ pub fn train_lockfree(config: &TrainConfig, corpus: &CharCorpus) -> TrainReport 
     let n_groups = initial.len();
     let initial_valid = validation_loss(&model, &initial, corpus, config.seq_len);
 
-    let store_states: Vec<LayerState> =
-        initial.iter().cloned().map(LayerState::new).collect();
+    let store_states: Vec<LayerState> = initial.iter().cloned().map(LayerState::new).collect();
     let store = match config.ssd_bytes_per_sec {
         Some(bw) => MemoryStore::throttled(store_states, bw),
         None => MemoryStore::new(store_states),
@@ -176,8 +181,7 @@ pub fn train_lockfree(config: &TrainConfig, corpus: &CharCorpus) -> TrainReport 
     let mut last_loss = 0.0;
     for step in 0..config.steps {
         // Line 20 of Algorithm 2: fetch buffered (possibly stale) params.
-        let params: Vec<Vec<f32>> =
-            (0..n_groups).map(|l| trainer.read_params(l).0).collect();
+        let params: Vec<Vec<f32>> = (0..n_groups).map(|l| trainer.read_params(l).0).collect();
         let (x, y) = corpus.sample(config.seq_len, &mut rng);
         let (loss, mut grads) = model.forward_backward(&params, &x, &y);
         if let Some(max_norm) = config.grad_clip {
@@ -216,7 +220,13 @@ mod tests {
 
     fn quick_config(steps: usize) -> TrainConfig {
         TrainConfig {
-            model: GptConfig { vocab: 12, seq_len: 24, d_model: 24, d_ffn: 48, layers: 2 },
+            model: GptConfig {
+                vocab: 12,
+                seq_len: 24,
+                d_model: 24,
+                d_ffn: 48,
+                layers: 2,
+            },
             steps,
             seq_len: 24,
             ..Default::default()

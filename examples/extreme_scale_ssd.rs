@@ -16,16 +16,24 @@ fn main() {
     let base = TransformerConfig::t5_moe_1_2t();
     let per_expert = base.ffn_params_per_expert() * base.layers as u64;
     let servers = 16usize;
-    println!("cluster: {} × A100 servers ({} GPUs)\n", servers, servers * 8);
+    println!(
+        "cluster: {} × A100 servers ({} GPUs)\n",
+        servers,
+        servers * 8
+    );
 
     // Sweep model scale: which tiers are needed, and where does even the
     // lock-free mechanism's own host-buffer footprint (4 B/param of FP16
     // parameter+gradient buffers, Algorithm 2) become the binding limit?
-    println!("{:>7}  {:>10}  {:>9}  {:>10}", "params", "no SSD", "SSD sync", "SSD+lockfree");
+    println!(
+        "{:>7}  {:>10}  {:>9}  {:>10}",
+        "params", "no SSD", "SSD sync", "SSD+lockfree"
+    );
     let mut demo: Option<TransformerConfig> = None;
     for target_t in [1u64, 2, 4, 8] {
-        let model =
-            base.clone().with_experts((target_t * 1_000_000_000_000 / per_expert) as usize);
+        let model = base
+            .clone()
+            .with_experts((target_t * 1_000_000_000_000 / per_expert) as usize);
         let plain = EngineConfig::servers(servers).with_batch_size(4);
         let ssd = plain.clone().with_ssd(true);
         let lf = ssd.clone().with_lock_free(true);
@@ -53,7 +61,9 @@ fn main() {
         fmt_bytes(model.model_state_bytes()),
     );
 
-    let ssd_sync = EngineConfig::servers(servers).with_batch_size(4).with_ssd(true);
+    let ssd_sync = EngineConfig::servers(servers)
+        .with_batch_size(4)
+        .with_ssd(true);
     let mut sync_engine = Engine::initialize(&model, &ssd_sync).expect("fits");
     let sync = sync_engine.train_iteration();
     println!(

@@ -15,7 +15,10 @@ use angel_model::TransformerConfig;
 
 fn main() {
     let model = TransformerConfig::gpt3_13b();
-    println!("fine-tuning {} (batch 2 per GPU — small to avoid overfitting)\n", model.name);
+    println!(
+        "fine-tuning {} (batch 2 per GPU — small to avoid overfitting)\n",
+        model.name
+    );
 
     // How few servers can host the job at all? Without hierarchical memory
     // (GPU-only states, à la pure ZeRO-3), 13B × 16 B = 203 GB of states
@@ -41,8 +44,16 @@ fn main() {
     // The cache is what keeps small-batch utilization up: compare.
     println!("\nGPU cache ablation on 1 server (the Section 4.2 caching technique):");
     for (label, cfg) in [
-        ("with cache   ", EngineConfig::single_server().with_batch_size(2)),
-        ("without cache", EngineConfig::single_server().with_batch_size(2).with_gpu_cache(false)),
+        (
+            "with cache   ",
+            EngineConfig::single_server().with_batch_size(2),
+        ),
+        (
+            "without cache",
+            EngineConfig::single_server()
+                .with_batch_size(2)
+                .with_gpu_cache(false),
+        ),
     ] {
         let mut e = Engine::initialize(&model, &cfg).expect("fits");
         let s = e.train_iteration();
@@ -61,7 +72,11 @@ fn main() {
         let cfg = EngineConfig::servers(servers).with_batch_size(2);
         if let Ok(mut e) = Engine::initialize(&model, &cfg) {
             let s = e.train_iteration();
-            println!("  {:3} GPUs → {:8.2} samples/s", servers * 8, s.samples_per_sec);
+            println!(
+                "  {:3} GPUs → {:8.2} samples/s",
+                servers * 8,
+                s.samples_per_sec
+            );
         }
     }
 }

@@ -27,7 +27,11 @@ fn main() {
     };
 
     println!("training {:?}", cfg.model);
-    println!("corpus: {} train tokens, vocab {}\n", corpus.train.len(), corpus.vocab);
+    println!(
+        "corpus: {} train tokens, vocab {}\n",
+        corpus.train.len(),
+        corpus.vocab
+    );
 
     let sync = train_sync(&cfg, &corpus);
     let lf = train_lockfree(&cfg, &corpus);
@@ -36,7 +40,10 @@ fn main() {
     for (i, (a, b)) in sync.loss_curve.iter().zip(&lf.loss_curve).enumerate() {
         println!("{:4}   {a:9.4}  {b:13.4}", i * 20);
     }
-    println!("\nvalidation loss: sync {:.4} vs lock-free {:.4}", sync.valid_loss, lf.valid_loss);
+    println!(
+        "\nvalidation loss: sync {:.4} vs lock-free {:.4}",
+        sync.valid_loss, lf.valid_loss
+    );
     println!(
         "lock-free ran {} optimizer updates for {} gradient pushes (accumulation under \
          SSD pressure), {} micro-batches dropped",
@@ -53,8 +60,11 @@ fn main() {
         // quick fresh sync training to get parameters for sampling
         use angel_core::lockfree::LayerState;
         use angel_train::MixedPrecisionAdam;
-        let mut st: Vec<LayerState> =
-            model.init_params(cfg.seed).into_iter().map(LayerState::new).collect();
+        let mut st: Vec<LayerState> = model
+            .init_params(cfg.seed)
+            .into_iter()
+            .map(LayerState::new)
+            .collect();
         let mut adam = MixedPrecisionAdam::new(cfg.adam, st.len());
         for _ in 0..cfg.steps {
             let (x, y) = corpus.sample(cfg.seq_len, &mut rng);
@@ -71,7 +81,10 @@ fn main() {
         &model,
         &params,
         prompt,
-        SampleConfig { temperature: 0.7, tokens: 24 },
+        SampleConfig {
+            temperature: 0.7,
+            tokens: 24,
+        },
         &mut rng,
     );
     println!("\nsampled continuation of {:?}: {:?}", prompt, continuation);

@@ -1,0 +1,138 @@
+//! Numeric-identity probe: prints the exact quantities the paper-claims
+//! tests depend on, so refactors of the planning pipeline can be checked
+//! for bit-identical behaviour (`cargo run --bin numeric_probe`).
+
+use angel_baselines::{search_best_strategy, DeepSpeed};
+use angel_core::{Engine, EngineConfig};
+use angel_hw::ClusterSpec;
+use angel_model::TransformerConfig;
+
+fn main() {
+    // Table 5 capacity numbers.
+    for base in [TransformerConfig::gpt3_28b(), TransformerConfig::t5_27b()] {
+        let ds = DeepSpeed::new(ClusterSpec::single_a100(), 1);
+        println!("{} ds_max_layers={}", base.name, ds.max_layers(&base));
+        println!(
+            "{} angel_max_layers={}",
+            base.name,
+            Engine::max_layers(&base, &EngineConfig::single_server())
+        );
+        println!(
+            "{} angel_max_layers_ssd={}",
+            base.name,
+            Engine::max_layers(&base, &EngineConfig::single_server().with_ssd(true))
+        );
+    }
+
+    // Engine iteration numbers across representative configs.
+    let configs: Vec<(&str, TransformerConfig, EngineConfig)> = vec![
+        (
+            "1.7b_b8",
+            TransformerConfig::gpt3_1_7b(),
+            EngineConfig::single_server().with_batch_size(8),
+        ),
+        (
+            "28b_b4",
+            TransformerConfig::gpt3_28b(),
+            EngineConfig::single_server().with_batch_size(4),
+        ),
+        (
+            "175b_32srv_b8",
+            TransformerConfig::gpt3_175b(),
+            EngineConfig::servers(32).with_batch_size(8),
+        ),
+        (
+            "moe_8srv_ssd_b4",
+            TransformerConfig::t5_moe_1_2t().with_experts(512),
+            EngineConfig::servers(8).with_batch_size(4).with_ssd(true),
+        ),
+        (
+            "moe_8srv_ssd_lf_b4",
+            TransformerConfig::t5_moe_1_2t().with_experts(512),
+            EngineConfig::servers(8)
+                .with_batch_size(4)
+                .with_ssd(true)
+                .with_lock_free(true),
+        ),
+    ];
+    for (tag, model, cfg) in configs {
+        match Engine::initialize(&model, &cfg) {
+            Ok(mut e) => {
+                let p = e.placement();
+                let s = e.train_iteration();
+                println!(
+                    "{tag} iter={} sps={:.9} gpu={:.9} pcie={:.9} comm={:.9} ov={:.9} peak={} resident={:.9} upd={} stale={:.9} place=({},{},{},{})",
+                    s.iter_time_ns,
+                    s.samples_per_sec,
+                    s.gpu_utilization,
+                    s.pcie_utilization,
+                    s.comm_utilization,
+                    s.overlap_ratio,
+                    s.peak_gpu_bytes,
+                    s.resident_fraction,
+                    s.update_cycle_ns,
+                    s.staleness_iters,
+                    p.gpu_bytes,
+                    p.cpu_bytes,
+                    p.ssd_bytes,
+                    p.rank_state_bytes,
+                );
+            }
+            Err(e) => println!("{tag} err={e:?}"),
+        }
+    }
+
+    // DeepSpeed iteration numbers.
+    for b in [1u64, 4, 8, 16] {
+        let m = TransformerConfig::gpt3_13b();
+        match DeepSpeed::new(ClusterSpec::single_a100(), b).iter_stats(&m) {
+            Some(s) => println!(
+                "ds_13b_b{b} iter={} sps={:.9} gpu={:.9}",
+                s.iter_time_ns, s.samples_per_sec, s.gpu_utilization
+            ),
+            None => println!("ds_13b_b{b} oom"),
+        }
+    }
+    let m28 = TransformerConfig::gpt3_28b().with_layers(
+        DeepSpeed::new(ClusterSpec::single_a100(), 1).max_layers(&TransformerConfig::gpt3_28b()),
+    );
+    for b in [1u64, 8, 24] {
+        match DeepSpeed::new(ClusterSpec::single_a100(), b)
+            .with_ssd(true)
+            .iter_stats(&m28)
+        {
+            Some(s) => println!(
+                "ds_28b_ssd_b{b} iter={} sps={:.9} gpu={:.9}",
+                s.iter_time_ns, s.samples_per_sec, s.gpu_utilization
+            ),
+            None => println!("ds_28b_ssd_b{b} oom"),
+        }
+    }
+
+    // Megatron strategy-search numbers.
+    for (tag, model, servers, b) in [
+        (
+            "mega_1.7b_1srv",
+            TransformerConfig::gpt3_1_7b(),
+            1usize,
+            8u64,
+        ),
+        ("mega_13b_4srv", TransformerConfig::gpt3_13b(), 4, 2),
+        ("mega_30b_4srv", TransformerConfig::gpt3_30b(), 4, 1),
+    ] {
+        match search_best_strategy(&model, &ClusterSpec::a100_tencent(servers), b) {
+            Some(e) => println!(
+                "{tag} tp={} pp={} dp={} mb={} m={} iter={} sps={:.9} bubble={:.9}",
+                e.strategy.tp,
+                e.strategy.pp,
+                e.strategy.dp,
+                e.strategy.micro_batch,
+                e.strategy.num_micro_batches,
+                e.iter_time_ns,
+                e.samples_per_sec,
+                e.bubble_fraction
+            ),
+            None => println!("{tag} oom"),
+        }
+    }
+}

@@ -19,15 +19,26 @@ fn engine_reports_are_deterministic() {
 
 #[test]
 fn schedules_are_deterministic() {
-    let s1 = Engine::initialize(&small_gpt(), &server(2)).unwrap().schedule().tasks.clone();
-    let s2 = Engine::initialize(&small_gpt(), &server(2)).unwrap().schedule().tasks.clone();
+    let s1 = Engine::initialize(&small_gpt(), &server(2))
+        .unwrap()
+        .schedule()
+        .tasks
+        .clone();
+    let s2 = Engine::initialize(&small_gpt(), &server(2))
+        .unwrap()
+        .schedule()
+        .tasks
+        .clone();
     assert_eq!(s1, s2);
 }
 
 #[test]
 fn sync_training_is_bit_deterministic() {
     let corpus = CharCorpus::generate(12, 5_000, 5);
-    let cfg = TrainConfig { steps: 40, ..Default::default() };
+    let cfg = TrainConfig {
+        steps: 40,
+        ..Default::default()
+    };
     let a = train_sync(&cfg, &corpus);
     let b = train_sync(&cfg, &corpus);
     assert_eq!(a.valid_loss.to_bits(), b.valid_loss.to_bits());

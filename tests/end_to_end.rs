@@ -75,14 +75,20 @@ fn schedule_tasks_cover_all_steps() {
 fn capacity_errors_are_informative() {
     let huge = TransformerConfig::gpt3_175b().with_layers(2000);
     match Engine::initialize(&huge, &server(1)) {
-        Err(Error::ModelTooLarge { state_bytes, usable_bytes }) => {
+        Err(Error::ModelTooLarge {
+            state_bytes,
+            usable_bytes,
+        }) => {
             assert!(state_bytes > usable_bytes);
         }
         other => panic!("expected ModelTooLarge, got {:?}", other.map(|_| ())),
     }
     // Batch so large even one layer cannot run.
     match Engine::initialize(&TransformerConfig::gpt3_120b(), &server(512)) {
-        Err(Error::WorkingSetTooLarge { layer_bytes, gpu_bytes }) => {
+        Err(Error::WorkingSetTooLarge {
+            layer_bytes,
+            gpu_bytes,
+        }) => {
             assert!(layer_bytes > gpu_bytes);
         }
         other => panic!("expected WorkingSetTooLarge, got {:?}", other.map(|_| ())),
@@ -94,21 +100,20 @@ fn ssd_tier_extends_capacity_end_to_end() {
     let base = TransformerConfig::gpt3_28b();
     let without = Engine::max_layers(&base, &server(1));
     let with = Engine::max_layers(&base, &server(1).with_ssd(true));
-    assert!(with > without * 2, "SSD should far more than double capacity: {without} → {with}");
+    assert!(
+        with > without * 2,
+        "SSD should far more than double capacity: {without} → {with}"
+    );
 }
 
 #[test]
 fn lock_free_mode_reports_background_updates() {
-    let mut engine = Engine::initialize(
-        &small_gpt(),
-        &server(2).with_ssd(true).with_lock_free(true),
-    )
-    .unwrap();
+    let mut engine =
+        Engine::initialize(&small_gpt(), &server(2).with_ssd(true).with_lock_free(true)).unwrap();
     let s = engine.train_iteration();
     assert!(s.update_cycle_ns > 0);
     // Lock-free iterations exclude the update cycle from the critical path.
-    let mut sync_engine =
-        Engine::initialize(&small_gpt(), &server(2).with_ssd(true)).unwrap();
+    let mut sync_engine = Engine::initialize(&small_gpt(), &server(2).with_ssd(true)).unwrap();
     let sync = sync_engine.train_iteration();
     assert!(
         s.iter_time_ns <= sync.iter_time_ns,
@@ -120,7 +125,11 @@ fn lock_free_mode_reports_background_updates() {
 
 #[test]
 fn utilization_improves_with_batch_size() {
-    let low = Engine::initialize(&small_gpt(), &server(1)).unwrap().train_iteration();
-    let high = Engine::initialize(&small_gpt(), &server(16)).unwrap().train_iteration();
+    let low = Engine::initialize(&small_gpt(), &server(1))
+        .unwrap()
+        .train_iteration();
+    let high = Engine::initialize(&small_gpt(), &server(16))
+        .unwrap()
+        .train_iteration();
     assert!(high.samples_per_sec > low.samples_per_sec);
 }

@@ -76,7 +76,9 @@ fn lockfree_checkpoint_restart() {
     let initial = vec![vec![1.0f32; 32]; 3];
     let t1 = LockFreeTrainer::spawn(
         initial.clone(),
-        Box::new(MemoryStore::new(initial.iter().cloned().map(LayerState::new).collect())),
+        Box::new(MemoryStore::new(
+            initial.iter().cloned().map(LayerState::new).collect(),
+        )),
         Box::new(SgdOptimizer { lr: 0.1 }),
         |x| x,
         ClearPolicy::TakeAtSnapshot,
@@ -98,11 +100,17 @@ fn lockfree_checkpoint_restart() {
         ClearPolicy::TakeAtSnapshot,
     );
     let (resumed, _) = t2.read_params(0);
-    assert_eq!(resumed, after_crash[0], "restart must resume from the checkpoint");
+    assert_eq!(
+        resumed, after_crash[0],
+        "restart must resume from the checkpoint"
+    );
     t2.push_grads(0, vec![1.0; 32]);
     t2.wait_quiescent();
     let finals = t2.shutdown(3);
-    assert!(finals[0].p32[0] < after_crash[0][0], "training continues after restart");
+    assert!(
+        finals[0].p32[0] < after_crash[0][0],
+        "training continues after restart"
+    );
 }
 
 /// A trainer dropped without shutdown (simulating an abrupt task kill) must
@@ -112,7 +120,9 @@ fn lockfree_abrupt_drop_does_not_hang() {
     let initial = vec![vec![0.0f32; 16]; 2];
     let t = LockFreeTrainer::spawn(
         initial.clone(),
-        Box::new(MemoryStore::new(initial.iter().cloned().map(LayerState::new).collect())),
+        Box::new(MemoryStore::new(
+            initial.iter().cloned().map(LayerState::new).collect(),
+        )),
         Box::new(SgdOptimizer { lr: 0.1 }),
         |x| x,
         ClearPolicy::OnUpdateReceipt,

@@ -6,7 +6,9 @@ use angel_model::TransformerConfig;
 /// A model small enough for fast tests but large enough to exercise
 /// sharding and scheduling.
 pub fn small_gpt() -> TransformerConfig {
-    TransformerConfig::gpt3_1_7b().with_layers(6).with_seq_len(512)
+    TransformerConfig::gpt3_1_7b()
+        .with_layers(6)
+        .with_seq_len(512)
 }
 
 /// One A100 server at a given batch size.

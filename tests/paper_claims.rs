@@ -14,7 +14,10 @@ use angel_model::TransformerConfig;
 fn table5_scale_gain() {
     for base in [TransformerConfig::gpt3_28b(), TransformerConfig::t5_27b()] {
         let ds = DeepSpeed::new(ClusterSpec::single_a100(), 1);
-        let ds_params = base.clone().with_layers(ds.max_layers(&base)).total_params();
+        let ds_params = base
+            .clone()
+            .with_layers(ds.max_layers(&base))
+            .total_params();
         let angel_layers = Engine::max_layers(&base, &EngineConfig::single_server());
         let angel_params = base.clone().with_layers(angel_layers).total_params();
         let gain = angel_params as f64 / ds_params as f64;
@@ -68,11 +71,8 @@ fn figure7_small_model_crossover() {
     let small = TransformerConfig::gpt3_1_7b();
     let cluster = ClusterSpec::single_a100();
     let mega = search_best_strategy(&small, &cluster, 8).expect("1.7B fits");
-    let mut angel = Engine::initialize(
-        &small,
-        &EngineConfig::single_server().with_batch_size(8),
-    )
-    .unwrap();
+    let mut angel =
+        Engine::initialize(&small, &EngineConfig::single_server().with_batch_size(8)).unwrap();
     let a = angel.train_iteration().samples_per_sec;
     let ratio = a / mega.samples_per_sec;
     assert!(
@@ -103,7 +103,10 @@ fn figure8_scaling() {
     let at256 = run(32);
     let at768 = run(96);
     let scaling = at768 / at256;
-    assert!(scaling > 2.7 && scaling < 3.3, "256→768 GPU scaling {scaling:.2} (paper 3.12)");
+    assert!(
+        scaling > 2.7 && scaling < 3.3,
+        "256→768 GPU scaling {scaling:.2} (paper 3.12)"
+    );
 }
 
 /// Figure 9: T5-MoE under the paper's 9-experts-per-GPU rule scales
@@ -122,7 +125,10 @@ fn figure9_moe_scaling() {
     let at64 = run(8);
     let at256 = run(32);
     let scaling = at256 / at64;
-    assert!(scaling > 3.5 && scaling <= 4.05, "64→256 GPU MoE scaling {scaling:.2} of 4.0");
+    assert!(
+        scaling > 3.5 && scaling <= 4.05,
+        "64→256 GPU MoE scaling {scaling:.2} of 4.0"
+    );
 }
 
 /// Table 6 (throughput): with the SSD tier, the lock-free mechanism takes
@@ -221,7 +227,10 @@ fn motivation_pages_beat_chunks_under_churn() {
         }
     }
 
-    assert_eq!(page_failures, 0, "page allocator must satisfy the whole trace");
+    assert_eq!(
+        page_failures, 0,
+        "page allocator must satisfy the whole trace"
+    );
     assert!(
         chunk_failures > 0,
         "chunking must fail under churn at the same pool size (got {chunk_failures})"

@@ -1,0 +1,86 @@
+//! Offline stand-in for `crossbeam` (see `vendor/README.md`).
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by the
+//! workspace (the lock-free updating mechanism's gradient mailbox). The
+//! stand-in wraps `std::sync::mpsc`; the `Sender` adds a mutex so it is
+//! `Sync` like crossbeam's (mpsc senders are only `Send`).
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Multi-producer sender; clone one per producer thread.
+    pub struct Sender<T> {
+        inner: Mutex<mpsc::Sender<T>>,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .send(value)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: Mutex::new(self.inner.lock().unwrap_or_else(|e| e.into_inner()).clone()),
+            }
+        }
+    }
+
+    /// Receiving end; owned by a single consumer thread.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: Mutex::new(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || tx.send(i).unwrap())
+                })
+                .collect();
+            drop(tx);
+            let mut got: Vec<u32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+            assert!(rx.recv().is_err()); // all senders dropped
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+    }
+}

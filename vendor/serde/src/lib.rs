@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` as forward-looking
+//! annotations — nothing serializes through serde's data model (the one JSON
+//! producer, `angel-bench`, builds `serde_json::Value` trees by hand). The
+//! traits are therefore empty markers with blanket impls and the derives
+//! expand to nothing.
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//!
+//! The marker traits in `vendor/serde` have blanket impls, so the derives
+//! need not (and must not) emit any code. `attributes(serde)` is declared so
+//! `#[serde(...)]` field/container attributes parse if they ever appear.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
