@@ -48,10 +48,12 @@ fn bench_push_throughput(c: &mut Criterion) {
         let mut l = 0usize;
         b.iter(|| {
             let layer = l % LAYERS;
-            let mut state = store.fetch(layer);
+            let mut state = store.fetch(layer).expect("in-memory store cannot fail");
             opt.update(layer, &mut state, &vec![0.5; N], 1);
             black_box(&state.p32[0]);
-            store.offload(layer, state);
+            store
+                .offload(layer, state)
+                .expect("in-memory store cannot fail");
             l += 1;
         });
     });

@@ -6,6 +6,112 @@ use std::fmt;
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Which [`crate::lockfree::StateStore`] operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    Fetch,
+    Offload,
+}
+
+impl fmt::Display for StoreOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreOp::Fetch => write!(f, "fetch"),
+            StoreOp::Offload => write!(f, "offload"),
+        }
+    }
+}
+
+/// How a [`crate::lockfree::StateStore`] operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreErrorKind {
+    /// Transient I/O fault (EIO, timeout, checksum mismatch): a retry of the
+    /// same operation may succeed.
+    Transient,
+    /// Permanent fault: the layer's backing storage is gone (dead device,
+    /// invariant violation) and no retry will succeed.
+    Permanent,
+}
+
+/// A failed state-store operation on the lock-free update path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    pub layer: usize,
+    pub op: StoreOp,
+    pub kind: StoreErrorKind,
+    /// Human-readable cause (e.g. which injector fired).
+    pub detail: &'static str,
+}
+
+impl StoreError {
+    pub fn transient(layer: usize, op: StoreOp, detail: &'static str) -> Self {
+        Self {
+            layer,
+            op,
+            kind: StoreErrorKind::Transient,
+            detail,
+        }
+    }
+
+    pub fn permanent(layer: usize, op: StoreOp, detail: &'static str) -> Self {
+        Self {
+            layer,
+            op,
+            kind: StoreErrorKind::Permanent,
+            detail,
+        }
+    }
+
+    pub fn is_transient(&self) -> bool {
+        self.kind == StoreErrorKind::Transient
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            StoreErrorKind::Transient => "transient",
+            StoreErrorKind::Permanent => "permanent",
+        };
+        write!(
+            f,
+            "{kind} store error during {} of layer {}: {}",
+            self.op, self.layer, self.detail
+        )
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Terminal failures of the lock-free trainer itself (as opposed to
+/// per-layer store faults, which the trainer degrades around).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainerError {
+    /// A store operation failed permanently while extracting final state.
+    Store(StoreError),
+    /// A worker thread panicked; its state (and the store it owned) is lost.
+    WorkerPanicked { thread: &'static str },
+}
+
+impl fmt::Display for TrainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainerError::Store(e) => write!(f, "{e}"),
+            TrainerError::WorkerPanicked { thread } => {
+                write!(f, "lock-free worker thread '{thread}' panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainerError {}
+
+impl From<StoreError> for TrainerError {
+    fn from(e: StoreError) -> Self {
+        TrainerError::Store(e)
+    }
+}
+
 /// Everything that can go wrong in memory management and scheduling.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -92,5 +198,20 @@ mod tests {
         assert!(e.to_string().contains("1.00 TiB"));
         let e = Error::UnknownTensor(7);
         assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn store_error_display_and_kind() {
+        let e = StoreError::transient(3, StoreOp::Fetch, "injected EIO");
+        assert!(e.is_transient());
+        assert!(e.to_string().contains("transient"));
+        assert!(e.to_string().contains("fetch"));
+        assert!(e.to_string().contains("layer 3"));
+        let p = StoreError::permanent(1, StoreOp::Offload, "device gone");
+        assert!(!p.is_transient());
+        let t: TrainerError = p.into();
+        assert!(t.to_string().contains("offload"));
+        let w = TrainerError::WorkerPanicked { thread: "updating" };
+        assert!(w.to_string().contains("updating"));
     }
 }

@@ -1,0 +1,278 @@
+//! Fault injection for the lock-free update path.
+//!
+//! Angel-PTM is a production system: at Tencent fleet sizes, SSD hiccups and
+//! device losses are routine events (Section 3.1), not exceptional ones. The
+//! [`FaultyStore`] decorator wraps any [`StateStore`] and injects, from a
+//! seeded generator:
+//!
+//! * **transient I/O errors** (per-op probability, independently tunable for
+//!   fetch and offload) — the retry-with-backoff path of
+//!   [`crate::lockfree::LockFreeTrainer`];
+//! * **latency spikes** (per-op probability + spike duration) — slow I/O
+//!   that must never block the training loop;
+//! * **permanent layer death** (after the n-th operation of a chosen kind on
+//!   a chosen layer, both operations fail permanently) — the degraded-mode
+//!   parking path.
+//!
+//! Faults are injected *before* the inner store is touched, so the inner
+//! store's state stays consistent across injected errors: an injected fetch
+//! failure does not consume the layer, an injected offload failure does not
+//! store it. The injector is deterministic given the seed and the sequence
+//! of operations applied to it (the sequence itself depends on thread
+//! scheduling — determinism here means reproducible fault *behaviour per
+//! op*, not a reproducible global interleaving).
+
+use crate::error::{StoreError, StoreOp};
+use crate::lockfree::{LayerState, StateStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to inject, when. Built with the `with_*` combinators.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    pub seed: u64,
+    /// Probability an individual `fetch` fails with a transient error.
+    pub fetch_transient_prob: f64,
+    /// Probability an individual `offload` fails with a transient error.
+    pub offload_transient_prob: f64,
+    /// Probability an individual operation stalls for `spike`.
+    pub spike_prob: f64,
+    /// Stall duration of a latency spike.
+    pub spike: Duration,
+    /// Scheduled permanent deaths: `(layer, op, after)` — once `layer` has
+    /// seen `after` operations of kind `op`, the layer dies permanently
+    /// (both operations fail from then on, including the triggering one).
+    dead_triggers: Vec<(usize, StoreOp, u64)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (yet) — combine with `with_*`.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            fetch_transient_prob: 0.0,
+            offload_transient_prob: 0.0,
+            spike_prob: 0.0,
+            spike: Duration::ZERO,
+            dead_triggers: Vec::new(),
+        }
+    }
+
+    /// Inject transient errors with the given per-op probabilities.
+    pub fn with_transient_prob(mut self, fetch: f64, offload: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fetch) && (0.0..=1.0).contains(&offload));
+        self.fetch_transient_prob = fetch;
+        self.offload_transient_prob = offload;
+        self
+    }
+
+    /// Stall a fraction of operations by `spike`.
+    pub fn with_latency_spikes(mut self, prob: f64, spike: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&prob));
+        self.spike_prob = prob;
+        self.spike = spike;
+        self
+    }
+
+    /// Kill `layer` permanently on its first operation of kind `op`.
+    pub fn with_dead_layer(self, layer: usize, op: StoreOp) -> Self {
+        self.with_dead_layer_after(layer, op, 0)
+    }
+
+    /// Kill `layer` permanently once it has completed `after` operations of
+    /// kind `op` (the `after`+1-th such operation fails and the layer is
+    /// dead — for both operations — from then on).
+    pub fn with_dead_layer_after(mut self, layer: usize, op: StoreOp, after: u64) -> Self {
+        self.dead_triggers.push((layer, op, after));
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct CounterInner {
+    errors: AtomicU64,
+    spikes: AtomicU64,
+}
+
+/// Shared handle onto a [`FaultyStore`]'s counters — clone it out before
+/// moving the store into the trainer, then compare against
+/// [`crate::lockfree::LockFreeStats`] after the run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultCounters(Arc<CounterInner>);
+
+impl FaultCounters {
+    /// Errors surfaced by the store (injected or propagated from the inner
+    /// store). Matches the trainer's `store_faults` counter by construction.
+    pub fn injected(&self) -> u64 {
+        self.0.errors.load(Ordering::SeqCst)
+    }
+
+    /// Latency spikes injected.
+    pub fn spikes(&self) -> u64 {
+        self.0.spikes.load(Ordering::SeqCst)
+    }
+}
+
+/// A [`StateStore`] decorator injecting seeded faults per [`FaultPlan`].
+pub struct FaultyStore<S> {
+    inner: S,
+    plan: FaultPlan,
+    rng: StdRng,
+    counters: FaultCounters,
+    /// Completed-or-attempted op counts per (layer, op), for dead triggers.
+    op_counts: HashMap<(usize, StoreOp), u64>,
+    dead: HashSet<usize>,
+}
+
+impl<S: StateStore> FaultyStore<S> {
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        Self {
+            inner,
+            plan,
+            rng,
+            counters: FaultCounters::default(),
+            op_counts: HashMap::new(),
+            dead: HashSet::new(),
+        }
+    }
+
+    /// Counter handle, valid after the store moves into the trainer.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters.clone()
+    }
+
+    fn error(&self, e: StoreError) -> StoreError {
+        self.counters.0.errors.fetch_add(1, Ordering::SeqCst);
+        e
+    }
+
+    /// Common pre-delegation injection; `Ok(())` means "proceed to inner".
+    fn inject(&mut self, layer: usize, op: StoreOp) -> Result<(), StoreError> {
+        if self.dead.contains(&layer) {
+            return Err(self.error(StoreError::permanent(layer, op, "layer storage died")));
+        }
+        let count = self.op_counts.entry((layer, op)).or_insert(0);
+        let seen = *count;
+        *count += 1;
+        if self
+            .plan
+            .dead_triggers
+            .iter()
+            .any(|&(l, o, after)| l == layer && o == op && seen >= after)
+        {
+            self.dead.insert(layer);
+            return Err(self.error(StoreError::permanent(layer, op, "layer storage died")));
+        }
+        if self.plan.spike_prob > 0.0 && self.rng.gen_bool(self.plan.spike_prob) {
+            self.counters.0.spikes.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(self.plan.spike);
+        }
+        let p = match op {
+            StoreOp::Fetch => self.plan.fetch_transient_prob,
+            StoreOp::Offload => self.plan.offload_transient_prob,
+        };
+        if p > 0.0 && self.rng.gen_bool(p) {
+            return Err(self.error(StoreError::transient(layer, op, "injected I/O error")));
+        }
+        Ok(())
+    }
+}
+
+impl<S: StateStore> StateStore for FaultyStore<S> {
+    fn fetch(&mut self, layer: usize) -> Result<LayerState, StoreError> {
+        self.inject(layer, StoreOp::Fetch)?;
+        match self.inner.fetch(layer) {
+            Ok(s) => Ok(s),
+            Err(e) => Err(self.error(e)),
+        }
+    }
+
+    fn offload(&mut self, layer: usize, state: LayerState) -> Result<(), StoreError> {
+        self.inject(layer, StoreOp::Offload)?;
+        match self.inner.offload(layer, state) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.error(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockfree::MemoryStore;
+
+    fn store_with(plan: FaultPlan) -> FaultyStore<MemoryStore> {
+        let initial = vec![LayerState::new(vec![1.0; 4]); 3];
+        FaultyStore::new(MemoryStore::new(initial), plan)
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let mut s = store_with(FaultPlan::seeded(1));
+        let st = s.fetch(0).unwrap();
+        s.offload(0, st).unwrap();
+        assert_eq!(s.counters().injected(), 0);
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_op_sequence() {
+        let run = || {
+            let mut s = store_with(FaultPlan::seeded(42).with_transient_prob(0.5, 0.5));
+            let mut outcomes = Vec::new();
+            for _ in 0..50 {
+                match s.fetch(0) {
+                    Ok(st) => {
+                        outcomes.push(true);
+                        // offload may itself fail; put the state back only
+                        // on success so the layer stays occupied.
+                        if s.inner.offload(0, st).is_err() {
+                            unreachable!("inner MemoryStore cannot fail here");
+                        }
+                    }
+                    Err(e) => {
+                        assert!(e.is_transient());
+                        outcomes.push(false);
+                    }
+                }
+            }
+            (outcomes, s.counters().injected())
+        };
+        let (a, na) = run();
+        let (b, nb) = run();
+        assert_eq!(a, b, "same seed + same op sequence ⇒ same faults");
+        assert_eq!(na, nb);
+        assert!(na > 0, "p=0.5 over 50 ops must fire");
+    }
+
+    #[test]
+    fn injected_fetch_failure_leaves_inner_intact() {
+        // An injected error must not consume the layer from the inner store.
+        let mut s = store_with(FaultPlan::seeded(3).with_transient_prob(1.0, 0.0));
+        assert!(s.fetch(0).unwrap_err().is_transient());
+        // Bypassing injection, the state is still there.
+        assert!(s.inner.fetch(0).is_ok());
+    }
+
+    #[test]
+    fn dead_trigger_counts_ops() {
+        let mut s = store_with(FaultPlan::seeded(5).with_dead_layer_after(2, StoreOp::Fetch, 2));
+        for _ in 0..2 {
+            let st = s.fetch(2).unwrap();
+            s.offload(2, st).unwrap();
+        }
+        let e = s.fetch(2).unwrap_err();
+        assert!(!e.is_transient());
+        // Death is permanent and covers both ops.
+        assert!(!s
+            .offload(2, LayerState::new(vec![0.0; 4]))
+            .unwrap_err()
+            .is_transient());
+        // Other layers unaffected.
+        assert!(s.fetch(0).is_ok());
+    }
+}

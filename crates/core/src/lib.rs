@@ -70,6 +70,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod lockfree;
 pub mod page;
 pub mod plan;
@@ -83,8 +84,9 @@ pub use allocator::PageAllocator;
 pub use communicator::Communicator;
 pub use config::EngineConfig;
 pub use engine::{Engine, IterStats, RunReport};
-pub use error::{Error, Result};
+pub use error::{Error, Result, StoreError, StoreErrorKind, StoreOp, TrainerError};
 pub use executor::{Executor, Stream};
+pub use fault::{FaultCounters, FaultPlan, FaultyStore};
 pub use page::{Page, PageId, PAGE_SIZE_DEFAULT};
 pub use plan::{
     lower_schedule, Lowering, LoweringConfig, MemoryPlan, Placement, SchedulePlan, ShardPlan,

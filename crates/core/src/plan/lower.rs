@@ -433,6 +433,86 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
     }
 }
 
+/// Checkpoint cost parameters derived by *executing* the checkpoint task
+/// graphs on the simulated hardware (instead of hand-entered bandwidth
+/// arithmetic): the write side lowers per-layer ZeRO-sharded FP32 master
+/// state (12 B/param) as `ssd_write` tasks on one rank's SSD share; the
+/// restore side lowers the matching `ssd_read`s plus the H2D `move_in` of
+/// the FP16 compute copies. Feed the result to
+/// [`crate::recovery::RecoveryModel::from_lowering`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointLowering {
+    /// Global restartable state: FP32 master + Adam moments, 12 B/param.
+    pub state_bytes: u64,
+    /// Bytes one rank writes (its ZeRO shard of every layer).
+    pub rank_shard_bytes: u64,
+    /// Seconds to write one checkpoint (makespan of the executed write
+    /// graph — all ranks write their shards concurrently, so one rank's
+    /// schedule is the fleet's).
+    pub write_secs: f64,
+    /// Seconds to read the checkpoint back and restage FP16 parameters to
+    /// the GPU on restart.
+    pub restore_secs: f64,
+}
+
+/// Per-layer FP32 master-state bytes (12 B/param: FP32 params + two Adam
+/// moments), with the remainder (embeddings, head) folded into layer 0.
+fn layer_state_bytes(model: &TransformerConfig) -> Vec<u64> {
+    let layers = model.layers as u64;
+    let per_layer = model.params_per_layer() * 12;
+    let remainder = model.total_params() * 12 - per_layer * layers;
+    (0..layers)
+        .map(|l| per_layer + if l == 0 { remainder } else { 0 })
+        .collect()
+}
+
+/// Build the checkpoint-*write* task graph for one rank: every layer's
+/// ZeRO shard of FP32 master state, serialized on the rank's SSD share.
+/// Exposed separately so callers can inject `angel_sim` faults (e.g. an
+/// SSD outage) into the simulation before running it.
+pub fn checkpoint_write_graph(model: &TransformerConfig, config: &EngineConfig) -> Lowering {
+    let mut lo = Lowering::new(&LoweringConfig::for_engine(config));
+    let ranks = config.num_gpus() as u64;
+    for (l, bytes) in layer_state_bytes(model).iter().enumerate() {
+        lo.ssd_write(bytes.div_ceil(ranks), [], format!("ckpt_write l{l}"));
+    }
+    lo
+}
+
+/// Build the checkpoint-*restore* task graph for one rank: per-layer SSD
+/// reads of the FP32 shard, each followed by the H2D restage of the
+/// layer's FP16 compute copy (2 B/param of the shard), pipelined so reads
+/// overlap earlier restages.
+pub fn checkpoint_restore_graph(model: &TransformerConfig, config: &EngineConfig) -> Lowering {
+    let mut lo = Lowering::new(&LoweringConfig::for_engine(config));
+    let ranks = config.num_gpus() as u64;
+    for (l, bytes) in layer_state_bytes(model).iter().enumerate() {
+        let shard = bytes.div_ceil(ranks);
+        let rd = lo.ssd_read(shard, [], format!("ckpt_read l{l}"));
+        // FP16 copies are 2 of the 12 bytes-per-param of master state.
+        lo.move_in(shard / 6, [rd], format!("ckpt_restage l{l}"));
+    }
+    lo
+}
+
+/// Derive checkpoint write/restore cost by executing both graphs.
+pub fn lower_checkpoint(model: &TransformerConfig, config: &EngineConfig) -> CheckpointLowering {
+    let ranks = config.num_gpus() as u64;
+    let state_bytes = model.total_params() * 12;
+    let rank_shard_bytes = layer_state_bytes(model)
+        .iter()
+        .map(|b| b.div_ceil(ranks))
+        .sum();
+    let write = checkpoint_write_graph(model, config).run();
+    let restore = checkpoint_restore_graph(model, config).run();
+    CheckpointLowering {
+        state_bytes,
+        rank_shard_bytes,
+        write_secs: angel_sim::ns_to_s(write.makespan),
+        restore_secs: angel_sim::ns_to_s(restore.makespan),
+    }
+}
+
 fn step_of(schedule: &Schedule, i: usize) -> StepKind {
     schedule
         .tasks
@@ -529,6 +609,55 @@ mod tests {
         // Both moves run on the H2D link, which is busy while they stream.
         let report = lo.run();
         assert!(report.utilization(lo.h2d_id()) > 0.9);
+    }
+
+    #[test]
+    fn checkpoint_cost_derives_from_executed_schedule() {
+        let model = TransformerConfig::gpt3_175b();
+        let config = EngineConfig::servers(96).with_batch_size(1);
+        let ckpt = lower_checkpoint(&model, &config);
+        assert_eq!(ckpt.state_bytes, model.total_params() * 12);
+        // Shards cover the state (up to per-layer rounding).
+        let ranks = config.num_gpus() as u64;
+        assert!(ckpt.rank_shard_bytes >= ckpt.state_bytes / ranks);
+        // The derived write time must match first-principles arithmetic:
+        // shard bytes over the rank's SSD share, plus per-task latency.
+        let ssd = &config.cluster.server.ssd_link;
+        let share = ssd.bandwidth / config.cluster.server.num_gpus() as u64;
+        let floor = ckpt.rank_shard_bytes as f64 / share as f64;
+        assert!(
+            ckpt.write_secs >= floor * 0.99,
+            "{} < {floor}",
+            ckpt.write_secs
+        );
+        assert!(
+            ckpt.write_secs < floor * 1.2,
+            "{} vs {floor}",
+            ckpt.write_secs
+        );
+        // Restore adds the H2D restage but pipelines it against the reads.
+        assert!(ckpt.restore_secs >= ckpt.write_secs * 0.99);
+        assert!(ckpt.restore_secs < ckpt.write_secs * 1.5);
+    }
+
+    #[test]
+    fn checkpoint_write_graph_degrades_under_ssd_outage() {
+        use angel_sim::{FaultEvent, FaultKind};
+        let model = TransformerConfig::gpt3_1_7b();
+        let config = EngineConfig::single_server().with_batch_size(1);
+        let lo = checkpoint_write_graph(&model, &config);
+        let ssd = lo.ssd_id();
+        let clean = lo.run().makespan;
+        let mut sim = lo.into_sim();
+        let outage = clean / 2;
+        sim.inject_fault(FaultEvent {
+            resource: ssd,
+            at: clean / 4,
+            kind: FaultKind::Outage { duration: outage },
+        });
+        let faulted = sim.run();
+        assert!(faulted.failed_tasks.is_empty());
+        assert_eq!(faulted.makespan, clean + outage);
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub mod schedule;
 pub mod shard;
 pub mod trace;
 
-pub use lower::{lower_schedule, LoweredIteration, Lowering, LoweringConfig, ScheduleLowering};
+pub use lower::{
+    checkpoint_restore_graph, checkpoint_write_graph, lower_checkpoint, lower_schedule,
+    CheckpointLowering, LoweredIteration, Lowering, LoweringConfig, ScheduleLowering,
+};
 pub use memory::{MemoryPlan, Placement, PlacementPlan};
 pub use schedule::SchedulePlan;
 pub use shard::ShardPlan;

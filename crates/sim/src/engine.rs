@@ -189,6 +189,29 @@ impl SimTask {
     }
 }
 
+/// What happens to a resource when a [`FaultEvent`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The resource is unavailable for `duration` starting at the event
+    /// time: tasks due to start inside the window are deferred past it, and
+    /// in-flight tasks are paused (their finish extends by the overlap).
+    Outage { duration: Ns },
+    /// The resource dies at the event time and never comes back: tasks that
+    /// would start at or after it never run, and in-flight tasks are killed
+    /// without completing (their memory is not released).
+    Permanent,
+}
+
+/// A scheduled resource fault — the simulator-side model of Section 3.1's
+/// "in-frequent hardware failures" (SSD hiccups, NIC resets, node losses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    pub resource: ResourceId,
+    /// Simulation time at which the fault fires.
+    pub at: Ns,
+    pub kind: FaultKind,
+}
+
 /// Result of executing one schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionReport {
@@ -204,6 +227,9 @@ pub struct ExecutionReport {
     pub finish_times: Vec<Ns>,
     /// Per-task start times.
     pub start_times: Vec<Ns>,
+    /// Tasks that never completed because a permanent fault killed them or
+    /// an unsatisfied dependency blocked them. Empty without faults.
+    pub failed_tasks: Vec<usize>,
 }
 
 impl ExecutionReport {
@@ -239,6 +265,7 @@ impl ExecutionReport {
 pub struct Simulation {
     resources: Resources,
     tasks: Vec<SimTask>,
+    faults: Vec<FaultEvent>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,11 +295,21 @@ impl Simulation {
         Self {
             resources,
             tasks: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
     pub fn resources(&self) -> &Resources {
         &self.resources
+    }
+
+    /// Schedule a resource fault for the next [`Self::run`].
+    pub fn inject_fault(&mut self, fault: FaultEvent) {
+        assert!(
+            fault.resource.0 < self.resources.num_resources(),
+            "unknown resource"
+        );
+        self.faults.push(fault);
     }
 
     /// Submit a task; returns its index for use in later `deps`.
@@ -338,11 +375,51 @@ impl Simulation {
         let mut started: Vec<bool> = vec![false; n];
         let mut dep_ready_at: Vec<Ns> = vec![0; n];
 
+        // Fault preprocessing: per-resource sorted outage windows [start,
+        // end) and the earliest permanent-death time.
+        let mut outages: Vec<Vec<(Ns, Ns)>> = vec![Vec::new(); nr];
+        let mut dead_at: Vec<Option<Ns>> = vec![None; nr];
+        for f in &self.faults {
+            match f.kind {
+                FaultKind::Outage { duration } => {
+                    outages[f.resource.0].push((f.at, f.at.saturating_add(duration)));
+                }
+                FaultKind::Permanent => {
+                    let d = dead_at[f.resource.0].get_or_insert(f.at);
+                    *d = (*d).min(f.at);
+                }
+            }
+        }
+        // Merge overlapping windows so a paused task is not charged twice
+        // for the same downtime.
+        for w in &mut outages {
+            w.sort_unstable();
+            let mut merged: Vec<(Ns, Ns)> = Vec::with_capacity(w.len());
+            for &(s, e) in w.iter() {
+                match merged.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => merged.push((s, e)),
+                }
+            }
+            *w = merged;
+        }
+
         let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
         let mut now: Ns = 0;
         let mut completed = 0usize;
 
-        // Try to start the head task of each resource queue.
+        // Sentinel task index for clock-only wake events (outage-deferred
+        // starts have no completion event at the deferred time).
+        const WAKE: usize = usize::MAX;
+
+        // Try to start the head task of each resource queue. A head only
+        // starts when the clock has reached its start time — memory is
+        // acquired at the *actual* start, never at scheduling time, so
+        // same-timestamp releases (drained in batch below) are always
+        // visible to it. A head whose start lies in the future is left
+        // queued; its start time is either a completion event (resource
+        // free / dependency ready) or an explicitly pushed WAKE event
+        // (outage end), so it is re-examined exactly then.
         macro_rules! try_start_heads {
             () => {
                 for r in 0..nr {
@@ -354,10 +431,71 @@ impl Simulation {
                         if deps_left[head] > 0 {
                             break; // stream blocks on its head
                         }
-                        let start = now.max(resource_free_at[r]).max(dep_ready_at[head]);
+                        let mut start = now.max(resource_free_at[r]).max(dep_ready_at[head]);
+                        // Dead resources never free up; fail below, don't
+                        // wait forever.
+                        if start > now && resource_free_at[r] != Ns::MAX {
+                            break; // a completion event at `start` retries
+                        }
                         let task = &self.tasks[head];
                         let dur = self.resources.duration_of(task.resource, &task.work);
-                        let finish = start + dur;
+                        // Saturating: a stream behind a dead resource has
+                        // `resource_free_at == Ns::MAX` and fails the death
+                        // check below instead of overflowing here.
+                        let mut finish = start.saturating_add(dur);
+                        // Outages defer a start inside a window past it and
+                        // pause an in-flight task for the overlap. Windows
+                        // are sorted, and `finish` only grows, so one pass
+                        // catches windows reached because of earlier stalls.
+                        for &(ws, we) in &outages[r] {
+                            if we <= start {
+                                continue;
+                            }
+                            if ws <= start {
+                                finish += we - start;
+                                start = we;
+                            } else if ws < finish {
+                                finish += we - ws;
+                            }
+                        }
+                        if start > now {
+                            // Outage deferral: no completion event lands at
+                            // the window end, so schedule an explicit wake
+                            // and re-examine this head then.
+                            heap.push(Pending {
+                                finish: start,
+                                task: WAKE,
+                            });
+                            break;
+                        }
+                        if let Some(d) = dead_at[r] {
+                            if start >= d {
+                                // The resource is gone before the task could
+                                // start: it never runs, and neither can
+                                // anything behind it in this stream — but
+                                // marking it started pops it so the stream
+                                // drains into failed_tasks too.
+                                started[head] = true;
+                                queues[r].pop_front();
+                                continue;
+                            }
+                            if finish > d {
+                                // Killed in flight at the moment of death:
+                                // acquired memory is never released (the
+                                // device took it down with it).
+                                started[head] = true;
+                                start_times[head] = start;
+                                busy[r] += d - start;
+                                resource_free_at[r] = Ns::MAX;
+                                for e in &task.mem {
+                                    mem_now[e.domain.0] += e.acquire;
+                                    peak_mem[e.domain.0] =
+                                        peak_mem[e.domain.0].max(mem_now[e.domain.0]);
+                                }
+                                queues[r].pop_front();
+                                continue;
+                            }
+                        }
                         started[head] = true;
                         start_times[head] = start;
                         finish_times[head] = finish;
@@ -378,27 +516,46 @@ impl Simulation {
         try_start_heads!();
         while let Some(Pending { finish, task }) = heap.pop() {
             now = finish;
-            done[task] = true;
-            completed += 1;
-            // Release memory at completion.
-            for e in &self.tasks[task].mem {
-                let m = &mut mem_now[e.domain.0];
-                assert!(*m >= e.release, "memory underflow in domain {}", e.domain.0);
-                *m -= e.release;
+            // Drain every completion at this timestamp before starting new
+            // tasks, so all simultaneous releases and dependency resolutions
+            // are visible to the next start decision. Popping one at a time
+            // overstated `peak_mem`: a task could start at time t against a
+            // memory level that a same-t completion was about to release.
+            let mut batch = vec![task];
+            while heap.peek().is_some_and(|p| p.finish == now) {
+                batch.push(heap.pop().expect("peeked").task);
             }
-            for &dep in &dependents[task] {
-                deps_left[dep] -= 1;
-                dep_ready_at[dep] = dep_ready_at[dep].max(finish);
+            for &task in &batch {
+                if task == WAKE {
+                    continue; // clock-only event, nothing completed
+                }
+                done[task] = true;
+                completed += 1;
+                // Release memory at completion.
+                for e in &self.tasks[task].mem {
+                    let m = &mut mem_now[e.domain.0];
+                    assert!(*m >= e.release, "memory underflow in domain {}", e.domain.0);
+                    *m -= e.release;
+                }
+                for &dep in &dependents[task] {
+                    deps_left[dep] -= 1;
+                    dep_ready_at[dep] = dep_ready_at[dep].max(now);
+                }
             }
             try_start_heads!();
         }
 
-        assert_eq!(
-            completed,
-            n,
-            "deadlock: {} tasks never ran (circular deps or blocked stream head)",
-            n - completed
-        );
+        // Without faults an incomplete run is a schedule bug; with faults it
+        // is the expected outcome, reported in `failed_tasks`.
+        if self.faults.is_empty() {
+            assert_eq!(
+                completed,
+                n,
+                "deadlock: {} tasks never ran (circular deps or blocked stream head)",
+                n - completed
+            );
+        }
+        let failed_tasks: Vec<usize> = (0..n).filter(|&i| !done[i]).collect();
 
         ExecutionReport {
             makespan: finish_times.iter().copied().max().unwrap_or(0),
@@ -407,6 +564,7 @@ impl Simulation {
             final_mem: mem_now,
             finish_times,
             start_times,
+            failed_tasks,
         }
     }
 }
@@ -571,6 +729,163 @@ mod tests {
         sim.submit(SimTask::new(a, Work::Duration(5)).with_deps([left, right]));
         let rep = sim.run();
         assert_eq!(rep.makespan, 10 + 30 + 5);
+    }
+
+    #[test]
+    fn same_timestamp_release_seen_before_new_start() {
+        // Regression: completions and starts at the same timestamp. Task C
+        // (s2) finishes at t=100, as does A (s1, holding 600 bytes). B (s2,
+        // acquiring 500) starts at t=100. Before the batch-drain fix the
+        // executor popped one completion (C, the lower task index), started
+        // B against A's still-unreleased 600, and reported peak 1100; the
+        // true peak is 600 — A's release at t=100 precedes B's start.
+        let mut r = Resources::new();
+        let s1 = r.add_compute("s1");
+        let s2 = r.add_compute("s2");
+        let dom = r.add_mem_domain("mem", 0);
+        let mut sim = Simulation::new(r);
+        sim.submit(SimTask::new(s2, Work::Duration(100))); // C: task 0
+        sim.submit(SimTask::new(s1, Work::Duration(100)).with_mem(MemEffect {
+            domain: dom,
+            acquire: 600,
+            release: 600,
+        })); // A: task 1
+        sim.submit(SimTask::new(s2, Work::Duration(50)).with_mem(MemEffect {
+            domain: dom,
+            acquire: 500,
+            release: 500,
+        })); // B: task 2
+        let rep = sim.run();
+        assert_eq!(rep.start_times[2], 100);
+        assert_eq!(
+            rep.peak_mem[dom.0], 600,
+            "same-timestamp release must land before the new start"
+        );
+        assert_eq!(rep.final_mem[dom.0], 0);
+    }
+
+    #[test]
+    fn outage_defers_task_starting_inside_window() {
+        let (r, gpu) = one_resource();
+        let mut sim = Simulation::new(r);
+        sim.submit(SimTask::new(gpu, Work::Duration(100)));
+        sim.submit(SimTask::new(gpu, Work::Duration(50)));
+        // Resource down [100, 400): the second task defers to t=400.
+        sim.inject_fault(FaultEvent {
+            resource: gpu,
+            at: 100,
+            kind: FaultKind::Outage { duration: 300 },
+        });
+        let rep = sim.run();
+        assert_eq!(rep.start_times[1], 400);
+        assert_eq!(rep.makespan, 450);
+        assert!(rep.failed_tasks.is_empty());
+    }
+
+    #[test]
+    fn outage_pauses_in_flight_task() {
+        let (r, gpu) = one_resource();
+        let mut sim = Simulation::new(r);
+        sim.submit(SimTask::new(gpu, Work::Duration(100)));
+        // Down [30, 70): the task is paused for 40 ns mid-flight.
+        sim.inject_fault(FaultEvent {
+            resource: gpu,
+            at: 30,
+            kind: FaultKind::Outage { duration: 40 },
+        });
+        let rep = sim.run();
+        assert_eq!(rep.finish_times[0], 140);
+    }
+
+    #[test]
+    fn overlapping_outages_merge() {
+        let (r, gpu) = one_resource();
+        let mut sim = Simulation::new(r);
+        sim.submit(SimTask::new(gpu, Work::Duration(100)));
+        // [10, 50) and [30, 80) overlap: union downtime is 70, not 90.
+        for (at, duration) in [(10, 40), (30, 50)] {
+            sim.inject_fault(FaultEvent {
+                resource: gpu,
+                at,
+                kind: FaultKind::Outage { duration },
+            });
+        }
+        let rep = sim.run();
+        assert_eq!(rep.finish_times[0], 170);
+    }
+
+    #[test]
+    fn outage_chain_catches_windows_reached_by_stall() {
+        let (r, gpu) = one_resource();
+        let mut sim = Simulation::new(r);
+        sim.submit(SimTask::new(gpu, Work::Duration(100)));
+        // The second window [120, 150) only overlaps because the first
+        // stall pushed the finish from 100 past 120.
+        for (at, duration) in [(50, 60), (120, 30)] {
+            sim.inject_fault(FaultEvent {
+                resource: gpu,
+                at,
+                kind: FaultKind::Outage { duration },
+            });
+        }
+        let rep = sim.run();
+        assert_eq!(rep.finish_times[0], 100 + 60 + 30);
+    }
+
+    #[test]
+    fn permanent_fault_kills_in_flight_and_blocks_stream() {
+        let mut r = Resources::new();
+        let gpu = r.add_compute("gpu");
+        let other = r.add_compute("other");
+        let dom = r.add_mem_domain("mem", 0);
+        let mut sim = Simulation::new(r);
+        let t0 = sim.submit(SimTask::new(gpu, Work::Duration(100)).with_mem(MemEffect {
+            domain: dom,
+            acquire: 64,
+            release: 64,
+        }));
+        let t1 = sim.submit(SimTask::new(gpu, Work::Duration(100)));
+        // Independent work on a live resource, ahead of the blocked task in
+        // its stream, still completes.
+        let t2 = sim.submit(SimTask::new(other, Work::Duration(10)));
+        // Depends on the killed task: can never run, even on a live resource.
+        let t3 = sim.submit(SimTask::new(other, Work::Duration(10)).with_deps([t0]));
+        sim.inject_fault(FaultEvent {
+            resource: gpu,
+            at: 50,
+            kind: FaultKind::Permanent,
+        });
+        let rep = sim.run();
+        assert_eq!(rep.failed_tasks, vec![t0, t1, t3]);
+        // The killed task never released what it had acquired.
+        assert_eq!(rep.final_mem[dom.0], 64);
+        assert_eq!(rep.finish_times[t2], 10);
+        // Busy time accrues only until the death.
+        assert_eq!(rep.busy[gpu.0], 50);
+    }
+
+    #[test]
+    fn permanent_fault_before_start_fails_whole_stream() {
+        let (r, gpu) = one_resource();
+        let mut sim = Simulation::new(r);
+        sim.submit(SimTask::new(gpu, Work::Duration(10)));
+        sim.submit(SimTask::new(gpu, Work::Duration(10)));
+        sim.inject_fault(FaultEvent {
+            resource: gpu,
+            at: 0,
+            kind: FaultKind::Permanent,
+        });
+        let rep = sim.run();
+        assert_eq!(rep.failed_tasks, vec![0, 1]);
+        assert_eq!(rep.makespan, 0);
+    }
+
+    #[test]
+    fn fault_free_run_reports_no_failures() {
+        let (r, gpu) = one_resource();
+        let mut sim = Simulation::new(r);
+        sim.submit(SimTask::new(gpu, Work::Duration(10)));
+        assert!(sim.run().failed_tasks.is_empty());
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub mod engine;
 pub mod trace;
 
 pub use engine::{
-    ExecutionReport, MemDomainId, MemEffect, ResourceId, Resources, SimTask, Simulation, Work,
+    ExecutionReport, FaultEvent, FaultKind, MemDomainId, MemEffect, ResourceId, Resources, SimTask,
+    Simulation, Work,
 };
 pub use trace::chrome_trace;
 

@@ -201,7 +201,9 @@ pub fn train_lockfree(config: &TrainConfig, corpus: &CharCorpus) -> TrainReport 
     // Let the updating thread settle, then read the final masters.
     trainer.wait_quiescent();
     let stats = trainer.stats();
-    let states = trainer.shutdown(n_groups);
+    let states = trainer
+        .shutdown(n_groups)
+        .expect("in-memory store cannot fail");
     let p: Vec<Vec<f32>> = states.into_iter().map(|s| s.p32).collect();
     TrainReport {
         final_train_loss: last_loss,

@@ -88,7 +88,7 @@ fn lockfree_checkpoint_restart() {
     }
     t1.wait_quiescent();
     // "GPU failure": shut down, persist the states (the checkpoint).
-    let checkpoint = t1.shutdown(3);
+    let checkpoint = t1.shutdown(3).expect("in-memory store cannot fail");
     let after_crash: Vec<Vec<f32>> = checkpoint.iter().map(|s| s.p32.clone()).collect();
 
     // Restart from the checkpoint and keep training.
@@ -106,7 +106,7 @@ fn lockfree_checkpoint_restart() {
     );
     t2.push_grads(0, vec![1.0; 32]);
     t2.wait_quiescent();
-    let finals = t2.shutdown(3);
+    let finals = t2.shutdown(3).expect("in-memory store cannot fail");
     assert!(
         finals[0].p32[0] < after_crash[0][0],
         "training continues after restart"
