@@ -26,9 +26,11 @@
 
 use crate::calibration;
 use angel_core::plan::{Lowering, LoweringConfig};
+use angel_core::verify::objects;
 use angel_hw::ClusterSpec;
 use angel_model::{flops, TransformerConfig};
 use angel_sim::compute::{CpuUpdateModel, GpuComputeModel};
+use angel_sim::Access;
 use serde::{Deserialize, Serialize};
 
 /// A DeepSpeed configuration.
@@ -144,13 +146,15 @@ impl DeepSpeed {
         lo
     }
 
-    /// Simulate one iteration and report throughput.
+    /// Build (without running) the one-iteration task graph.
     ///
     /// Lowered through the same [`Lowering`] primitives as the engine, so
     /// both run on identical simulated hardware and differ only in policy:
     /// every layer's FP16 shard streams over (efficiency-degraded) PCIe in
     /// both passes, gathers are just-in-time, updates are synchronous.
-    pub fn iter_stats(&self, model: &TransformerConfig) -> Option<DeepSpeedStats> {
+    /// Tasks carry access annotations, so the graph can be statically
+    /// verified (`Lowering::verify`) as well as executed.
+    pub fn lower_iteration(&self, model: &TransformerConfig) -> Option<Lowering> {
         if !self.fits(model) {
             return None;
         }
@@ -188,17 +192,43 @@ impl DeepSpeed {
             .map(|l| (l, true))
             .chain((0..n).rev().map(|l| (l, false)))
             .collect();
-        for (l, is_fwd) in steps {
+        for (s, &(l, is_fwd)) in steps.iter().enumerate() {
             // Just-in-time: prefetch of the next layer starts only once the
             // previous layer's compute is underway (one-deep static
             // pipeline, no lifetime-based advancement).
             let fid = lo.move_in(shard, prev_compute, format!("fetch l{l}"));
+            // The fetch streams this rank's persistent shard into a fresh
+            // per-step staging buffer; the gather fills it from the peers.
+            lo.annotate(
+                fid,
+                [
+                    Access::read(objects::layer_params(l)),
+                    Access::alloc(objects::gathered(s)),
+                ],
+            );
             let gid = lo.all_gather(layer_p16, [fid], format!("gather l{l}"));
+            lo.annotate(gid, [Access::write(objects::gathered(s))]);
             let dur = if is_fwd { fwd_dur } else { bwd_dur };
             let cid = lo.compute_gpu(dur, [gid], format!("compute l{l}"));
+            let mut accesses = vec![
+                Access::read(objects::gathered(s)),
+                Access::free(objects::gathered(s)),
+            ];
+            if !is_fwd {
+                accesses.push(Access::alloc(objects::layer_grads(l)));
+            }
+            lo.annotate(cid, accesses);
             if !is_fwd {
                 let rs = lo.reduce_scatter(layer_p16, [cid], format!("rs l{l}"));
+                lo.annotate(
+                    rs,
+                    [
+                        Access::free(objects::layer_grads(l)),
+                        Access::alloc(objects::grad_shard(l)),
+                    ],
+                );
                 let off = lo.offload(shard, [rs], format!("grads l{l}"));
+                lo.annotate(off, [Access::read(objects::grad_shard(l))]);
                 grad_offloads.push(off);
             }
             prev_compute = Some(cid);
@@ -212,24 +242,42 @@ impl DeepSpeed {
             let mut deps: Vec<usize> = grad_offloads.clone();
             deps.extend(prev_upd);
             let before = if self.ssd {
-                vec![lo.ssd_read(layer_ssd, deps, format!("ssd_rd l{l}"))]
+                let rd = lo.ssd_read(layer_ssd, deps, format!("ssd_rd l{l}"));
+                lo.annotate(rd, [Access::read(objects::layer_state(l))]);
+                vec![rd]
             } else {
                 deps
             };
             let up = lo.update_cpu(upd_dur, before, format!("upd l{l}"));
+            // The update consumes the gradient shard and rewrites the FP32
+            // master state.
+            lo.annotate(
+                up,
+                [
+                    Access::free(objects::grad_shard(l)),
+                    Access::write(objects::layer_state(l)),
+                ],
+            );
             if self.ssd {
-                lo.ssd_write(layer_ssd, [up], format!("ssd_wr l{l}"));
+                let wr = lo.ssd_write(layer_ssd, [up], format!("ssd_wr l{l}"));
+                lo.annotate(wr, [Access::read(objects::layer_state(l))]);
             }
             // Updated FP16 parameter shard returns to the GPU.
-            lo.move_in(shard, [up], format!("param_up l{l}"));
+            let pu = lo.move_in(shard, [up], format!("param_up l{l}"));
+            lo.annotate(pu, [Access::write(objects::layer_params(l))]);
             prev_upd = Some(up);
         }
+        Some(lo)
+    }
 
+    /// Simulate one iteration and report throughput.
+    pub fn iter_stats(&self, model: &TransformerConfig) -> Option<DeepSpeedStats> {
+        let lo = self.lower_iteration(model)?;
         let report = lo.run();
         let iter = report.makespan.max(1);
         Some(DeepSpeedStats {
             iter_time_ns: iter,
-            samples_per_sec: (self.batch_size * n_gpus) as f64 / (iter as f64 / 1e9),
+            samples_per_sec: (self.batch_size * self.num_gpus()) as f64 / (iter as f64 / 1e9),
             gpu_utilization: report.utilization(lo.gpu_id()),
         })
     }

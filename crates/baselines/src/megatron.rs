@@ -10,10 +10,12 @@
 
 use crate::calibration;
 use angel_core::plan::{Lowering, LoweringConfig};
+use angel_core::verify::objects;
 use angel_hw::ClusterSpec;
 use angel_model::{flops, footprint::ModelFootprint, TransformerConfig};
 use angel_sim::collectives::{collective_time_ns, hierarchical_collective_time_ns, Collective};
 use angel_sim::compute::GpuComputeModel;
+use angel_sim::Access;
 use serde::{Deserialize, Serialize};
 
 /// One point in the strategy space.
@@ -57,13 +59,22 @@ fn gpu_bytes_needed(model: &TransformerConfig, s: &MegatronStrategy, cluster: &C
     states_per_gpu + acts
 }
 
-/// Evaluate one strategy; `None` when it does not fit in GPU memory.
-pub fn evaluate(
+/// Build (without running) the first pipeline stage's one-iteration task
+/// graph for one strategy; `None` when it does not fit in GPU memory.
+///
+/// Lowered through the shared [`Lowering`] primitives: the critical path of
+/// the first stage is `m + p − 1` back-to-back micro-batch slots on its GPU
+/// stream — the steady-state 1F1B schedule — followed by the exposed slice
+/// of the data-parallel gradient all-reduce. Tasks carry access annotations
+/// (every slot touches the stage's *replicated* model state — Megatron
+/// never shards it), so the graph can be statically verified as well as
+/// executed.
+pub fn lower_strategy(
     model: &TransformerConfig,
     s: MegatronStrategy,
     cluster: &ClusterSpec,
     gpu_model: &GpuComputeModel,
-) -> Option<StrategyEval> {
+) -> Option<Lowering> {
     let gpu_cap = cluster.server.gpu(0).capacity.saturating_sub(2 * (1 << 30));
     if gpu_bytes_needed(model, &s, cluster) > gpu_cap {
         return None;
@@ -103,7 +114,6 @@ pub fn evaluate(
     let per_micro = stage_time + tp_time + pp_overhead;
     let m = s.num_micro_batches;
     let p = s.pp as u64;
-    let bubble = (p - 1) as f64 / (m + p - 1) as f64;
     // DP gradient all-reduce (full replica gradients / (tp·pp)), partially
     // overlapped with backward.
     let grad_bytes = model.total_params() * 2 / (s.tp as u64 * s.pp as u64);
@@ -114,19 +124,35 @@ pub fn evaluate(
     } else {
         0
     };
-    // Lower the 1F1B pipeline through the shared primitives: the critical
-    // path of the first stage is `m + p − 1` back-to-back micro-batch
-    // slots on its GPU stream — the steady-state 1F1B schedule — followed
-    // by the exposed slice of the data-parallel gradient all-reduce.
     let mut lo = Lowering::new(&LoweringConfig::new(cluster.clone(), s.dp as u64));
     let mut prev: Option<usize> = None;
     for slot in 0..(m + p - 1) {
-        prev = Some(lo.compute_gpu(per_micro, prev, format!("micro slot {slot}")));
+        let cid = lo.compute_gpu(per_micro, prev, format!("micro slot {slot}"));
+        // Every slot reads and updates the stage's replicated model state
+        // (parameters and accumulated gradients live in place).
+        lo.annotate(cid, [Access::write(objects::replica(0))]);
+        prev = Some(cid);
     }
     if dp_time > 0 {
-        lo.collective_exposed(dp_time, prev, "dp all_reduce (exposed)");
+        let dpid = lo.collective_exposed(dp_time, prev, "dp all_reduce (exposed)");
+        // The gradient all-reduce reads the replica's accumulated grads.
+        lo.annotate(dpid, [Access::read(objects::replica(0))]);
     }
+    Some(lo)
+}
+
+/// Evaluate one strategy; `None` when it does not fit in GPU memory.
+pub fn evaluate(
+    model: &TransformerConfig,
+    s: MegatronStrategy,
+    cluster: &ClusterSpec,
+    gpu_model: &GpuComputeModel,
+) -> Option<StrategyEval> {
+    let lo = lower_strategy(model, s, cluster, gpu_model)?;
     let iter = lo.run().makespan;
+    let m = s.num_micro_batches;
+    let p = s.pp as u64;
+    let bubble = (p - 1) as f64 / (m + p - 1) as f64;
     let global_batch = s.micro_batch * m * s.dp as u64;
     Some(StrategyEval {
         strategy: s,

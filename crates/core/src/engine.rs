@@ -167,6 +167,13 @@ impl Engine {
         cpu_time + ssd_time
     }
 
+    /// Lower this engine's schedule onto the simulated hardware without
+    /// running it — the graph the verifier checks and `train_iteration`
+    /// executes.
+    pub fn lower_iteration(&self) -> LoweredIteration {
+        self.build_iteration_sim()
+    }
+
     /// Lower this engine's schedule onto the simulated hardware.
     fn build_iteration_sim(&self) -> LoweredIteration {
         lower_schedule(&ScheduleLowering {
@@ -184,6 +191,15 @@ impl Engine {
     pub fn train_iteration(&mut self) -> IterStats {
         let lowered = self.build_iteration_sim();
         let report = lowered.sim.run();
+        // Debug builds statically verify every lowered iteration: no
+        // unordered conflicting accesses, well-formed object lifetimes, and
+        // a provable peak-memory bound that the executed report respects.
+        #[cfg(debug_assertions)]
+        {
+            let verdict = crate::verify::PlanGraph::from_sim(&lowered.sim).verify();
+            verdict.assert_clean("engine iteration lowering");
+            verdict.assert_covers(&report, "engine iteration lowering");
+        }
         let iter = report.makespan.max(1);
         let update_cycle = self.update_cycle_ns();
         // Lock-free: GPU iterations proceed at pipeline speed; updates cycle

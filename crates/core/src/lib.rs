@@ -76,8 +76,10 @@ pub mod page;
 pub mod plan;
 pub mod recovery;
 pub mod scheduler;
+pub mod sync;
 pub mod tensor;
 pub mod tracer;
+pub mod verify;
 pub mod zero;
 
 pub use allocator::PageAllocator;
@@ -95,3 +97,4 @@ pub use plan::{
 pub use scheduler::{ScheduleTask, TaskOp, UnifiedScheduler};
 pub use tensor::{Tensor, TensorId};
 pub use tracer::{TensorTrace, Tracer};
+pub use verify::{PlanGraph, PlanReport};

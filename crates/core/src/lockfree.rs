@@ -53,13 +53,49 @@
 //! Every fault is accounted: `grads_pushed == grads_applied + grads_dropped`
 //! holds across retries, parking and worker death (tested with the seeded
 //! [`crate::fault::FaultyStore`] injector).
+//!
+//! # Memory-ordering audit
+//!
+//! All atomics go through [`crate::sync`] and carry the *weakest* ordering
+//! the protocol needs; every site cites one of the invariants below. The
+//! claims are validated three ways: the bounded model checker in
+//! [`crate::verify::model`] exhaustively explores the protocol's
+//! interleavings, the `--cfg angel_model_check` build perturbs thread
+//! schedules at every atomic op, and the Miri CI job checks the relaxed
+//! orderings against the real memory model.
+//!
+//! * **I1 (counters are diagnostics)** — the seven stat counters are
+//!   monotonic event tallies. No control decision inside the protocol reads
+//!   them except quiescence (I2); exact-accounting tests read them after
+//!   `join()`, which synchronizes-with the worker's entire history, so
+//!   `Relaxed` increments are exact there. Snapshot reads while threads run
+//!   are documented as approximate.
+//! * **I2 (quiescence never over-reports settled)** — `pending_grads` must
+//!   not transiently report 0 while a pushed micro-batch is unsettled.
+//!   Every `grads_settled` increment is `Release` and the quiescence read
+//!   is `Acquire`, *and* `settled` is loaded before `pushed`: the `Acquire`
+//!   load anchors a snapshot in which every settle's matching push (which
+//!   happens-before the settle through the channel send and the grad-buf
+//!   mutex) is already visible, so `pushed ≥ settled` holds in the
+//!   snapshot and the subtraction never under-reports pending work.
+//! * **I3 (shutdown signal)** — `running` is a plain termination flag:
+//!   `Release` store in `stop_threads`, `Acquire` load in the updating
+//!   loop. No protocol data is published *through* the flag (the channel
+//!   and mutexes carry all data), but Release/Acquire keeps the flag's
+//!   semantics independent of that argument.
+//!
+//! Data-carrying synchronization is entirely on the crossbeam channel and
+//! the `parking_lot` mutexes; the version protocol that prevents double
+//! application (`GradBuf::version` / `last_snapshot_version`) runs wholly
+//! under the grad-buf mutex and needs no atomics at all.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
+
+use crate::sync::thread::JoinHandle;
+use crate::sync::{thread, AtomicBool, AtomicU64, Ordering};
 
 pub use crate::error::{StoreError, StoreErrorKind, StoreOp, TrainerError};
 
@@ -118,7 +154,7 @@ impl MemoryStore {
     fn delay(&self, bytes: usize) {
         if let Some(bw) = self.throttle_bytes_per_sec {
             let ns = bytes as u64 * 1_000_000_000 / bw.max(1);
-            std::thread::sleep(std::time::Duration::from_nanos(ns));
+            thread::sleep(std::time::Duration::from_nanos(ns));
         }
     }
 }
@@ -232,7 +268,7 @@ fn with_retry<T>(
             Ok(v) => return Ok(v),
             Err(e) if e.is_transient() && attempt < attempts => {
                 on_retry(attempt, &e);
-                std::thread::sleep(policy.backoff(attempt));
+                thread::sleep(policy.backoff(attempt));
                 attempt += 1;
             }
             Err(e) => return Err(e),
@@ -345,39 +381,49 @@ impl Shared {
     }
 
     fn snapshot_stats(&self) -> LockFreeStats {
+        // I1: an approximate snapshot while threads run; exact once the
+        // workers have joined (join synchronizes-with their whole history).
         let s = &self.stats;
         LockFreeStats {
-            grads_pushed: s.grads_pushed.load(Ordering::SeqCst),
-            grads_applied: s.grads_applied.load(Ordering::SeqCst),
-            grads_dropped: s.grads_dropped.load(Ordering::SeqCst),
-            updates_applied: s.updates_applied.load(Ordering::SeqCst),
-            store_faults: s.store_faults.load(Ordering::SeqCst),
-            store_retries: s.store_retries.load(Ordering::SeqCst),
-            layers_parked: s.layers_parked.load(Ordering::SeqCst),
+            grads_pushed: s.grads_pushed.load(Ordering::Relaxed),
+            grads_applied: s.grads_applied.load(Ordering::Relaxed),
+            grads_dropped: s.grads_dropped.load(Ordering::Relaxed),
+            updates_applied: s.updates_applied.load(Ordering::Relaxed),
+            store_faults: s.store_faults.load(Ordering::Relaxed),
+            store_retries: s.store_retries.load(Ordering::Relaxed),
+            layers_parked: s.layers_parked.load(Ordering::Relaxed),
         }
     }
 
     /// Mark `layer` parked so later gradient arrivals settle immediately.
     /// Serialized with the buffering thread by the grad-buf mutex.
     ///
-    /// `drop_buffered` decides who settles the micro-batches currently in
-    /// the buffer: `true` (fetch failed, no update in flight) drops them
-    /// here; `false` (offload failed *after* an update was applied and its
-    /// `Updated` message sent) leaves them for that in-flight receipt's
-    /// clear, which would otherwise double-count them.
-    fn park_layer(&self, layer: usize, error: StoreError, drop_buffered: bool) {
+    /// `drop` decides who settles the micro-batches currently in the
+    /// buffer: [`protocol::ParkDrop::Always`] (fetch failed, no update in
+    /// flight) drops them here; on the offload-failure path an `Updated`
+    /// message was sent *before* the park, and whether its receipt still
+    /// settles the buffer depends on a race with the buffering thread —
+    /// [`protocol::ParkDrop::UnlessReceiptInFlight`] resolves it under the
+    /// grad mutex via the buffer version. (The bounded model checker found
+    /// the interleaving where the unconditional keep strands a micro-batch:
+    /// receipt processed, new gradient buffered, then the park — see
+    /// `verify::model` and DESIGN.md §8.)
+    fn park_layer(&self, layer: usize, error: StoreError, drop: protocol::ParkDrop) {
         let newly_parked = {
             let mut buf = self.grad_bufs[layer].lock();
             let newly = !buf.parked;
             buf.parked = true;
             let stranded = buf.micro;
-            if drop_buffered && stranded > 0 {
+            if protocol::park_should_drop(drop, buf.version) && stranded > 0 {
+                // I1: diagnostic tally.
                 self.stats
                     .grads_dropped
-                    .fetch_add(stranded as u64, Ordering::SeqCst);
+                    .fetch_add(stranded as u64, Ordering::Relaxed);
+                // I2: settles must be Release so the quiescence Acquire load
+                // observes the pushes that produced these micro-batches.
                 self.stats
                     .grads_settled
-                    .fetch_add(stranded as u64, Ordering::SeqCst);
+                    .fetch_add(stranded as u64, Ordering::Release);
                 buf.g.iter_mut().for_each(|x| *x = 0.0);
                 buf.micro = 0;
                 buf.version += 1;
@@ -385,7 +431,8 @@ impl Shared {
             newly
         };
         if newly_parked {
-            self.stats.layers_parked.fetch_add(1, Ordering::SeqCst);
+            // I1: diagnostic tally.
+            self.stats.layers_parked.fetch_add(1, Ordering::Relaxed);
             let _ = self.events.send(TrainerEvent::LayerParked { layer, error });
         }
     }
@@ -492,7 +539,7 @@ impl LockFreeTrainer {
 
         // ---- Buffering thread (Algorithm 2 lines 9–15) -------------------
         let buf_shared = Arc::clone(&shared);
-        let buffering = std::thread::Builder::new()
+        let buffering = thread::Builder::new()
             .name("angel-buffering".into())
             .spawn(move || buffering_loop(buf_shared, rx))
             .expect("spawn buffering thread");
@@ -500,7 +547,7 @@ impl LockFreeTrainer {
         // ---- Updating thread (Algorithm 2 lines 1–7) ----------------------
         let upd_shared = Arc::clone(&shared);
         let upd_tx = tx.clone();
-        let updating = std::thread::Builder::new()
+        let updating = thread::Builder::new()
             .name("angel-updating".into())
             .spawn(move || {
                 let orphaned =
@@ -530,19 +577,27 @@ impl LockFreeTrainer {
     /// Never panics: if the buffering thread is gone the micro-batch is
     /// counted as dropped-and-settled so accounting and quiescence hold.
     pub fn push_grads(&self, layer: usize, g: Vec<f32>) {
+        // I2: the increment is sequenced before the channel send, and the
+        // send/recv pair orders it before the receiver's eventual settle
+        // (whose Release publishes it to the quiescence reader) — Relaxed
+        // suffices on the push side.
         self.shared
             .stats
             .grads_pushed
-            .fetch_add(1, Ordering::SeqCst);
+            .fetch_add(1, Ordering::Relaxed);
         if self.to_buffering.send(BufMsg::Grads { layer, g }).is_err() {
+            // I1: diagnostic tally.
             self.shared
                 .stats
                 .grads_dropped
-                .fetch_add(1, Ordering::SeqCst);
+                .fetch_add(1, Ordering::Relaxed);
+            // I2: settle on the push-failure path; Release pairs with the
+            // quiescence Acquire (same thread as the push, so the snapshot
+            // argument is trivial here, but the invariant is per-site).
             self.shared
                 .stats
                 .grads_settled
-                .fetch_add(1, Ordering::SeqCst);
+                .fetch_add(1, Ordering::Release);
         }
     }
 
@@ -577,9 +632,16 @@ impl LockFreeTrainer {
     /// Staleness proxy: pushed-but-not-yet-settled gradient micro-batches.
     pub fn pending_grads(&self) -> u64 {
         let s = &self.shared.stats;
-        s.grads_pushed
-            .load(Ordering::SeqCst)
-            .saturating_sub(s.grads_settled.load(Ordering::SeqCst))
+        // I2: load `settled` FIRST, with Acquire. Every settle is a Release
+        // increment that happens-after the matching push (channel + mutex),
+        // so the later Relaxed `pushed` load sees at least the pushes of
+        // everything settled in the snapshot: `pushed ≥ settled`, and the
+        // difference can only over-report pending work, never hide it.
+        // (Loading `pushed` first could miss concurrent settles *and* their
+        // pushes in a way that transiently under-counts pending.)
+        let settled = s.grads_settled.load(Ordering::Acquire);
+        let pushed = s.grads_pushed.load(Ordering::Relaxed);
+        pushed.saturating_sub(settled)
     }
 
     /// Block until every pushed gradient has been applied or dropped (test
@@ -598,7 +660,7 @@ impl LockFreeTrainer {
             if worker_dead {
                 return self.pending_grads() == 0;
             }
-            std::thread::yield_now();
+            thread::yield_now();
         }
     }
 
@@ -633,12 +695,14 @@ impl LockFreeTrainer {
                     || match fin.store.fetch(l) {
                         Ok(s) => Ok(s),
                         Err(e) => {
-                            stats.store_faults.fetch_add(1, Ordering::SeqCst);
+                            // I1: diagnostic tally.
+                            stats.store_faults.fetch_add(1, Ordering::Relaxed);
                             Err(e)
                         }
                     },
                     |_, _| {
-                        stats.store_retries.fetch_add(1, Ordering::SeqCst);
+                        // I1: diagnostic tally.
+                        stats.store_retries.fetch_add(1, Ordering::Relaxed);
                     },
                 )
                 .map_err(TrainerError::from)
@@ -651,7 +715,9 @@ impl LockFreeTrainer {
     /// an error value (second slot), never re-panicked — so the `Drop` path
     /// cannot double-panic and abort the process.
     fn stop_threads(&mut self) -> (Option<UpdaterFinal>, Option<TrainerError>) {
-        self.shared.running.store(false, Ordering::SeqCst);
+        // I3: termination flag; Release pairs with the updating loop's
+        // Acquire load.
+        self.shared.running.store(false, Ordering::Release);
         let mut error = None;
         let fin = match self.updating.take() {
             Some(h) => match h.join() {
@@ -698,8 +764,11 @@ fn buffering_loop(shared: Arc<Shared>, rx: Receiver<BufMsg>) {
                 if buf.parked {
                     // Degraded mode: the layer's store is gone; settle the
                     // micro-batch as dropped instead of stranding it.
-                    shared.stats.grads_dropped.fetch_add(1, Ordering::SeqCst);
-                    shared.stats.grads_settled.fetch_add(1, Ordering::SeqCst);
+                    // I1 (dropped) / I2 (settled: Release, pairs with the
+                    // quiescence Acquire; the push happens-before via the
+                    // channel recv).
+                    shared.stats.grads_dropped.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.grads_settled.fetch_add(1, Ordering::Release);
                     continue;
                 }
                 // Line 15: g'₁₆(l) ← g'₁₆(l) + g₁₆(l).
@@ -719,17 +788,20 @@ fn buffering_loop(shared: Arc<Shared>, rx: Receiver<BufMsg>) {
                     // Everything present is cleared with the receipt. Of the
                     // cleared micro-batches, `applied_micro` were consumed by
                     // the update; the rest arrived during the update window
-                    // and are dropped.
-                    let cleared = buf.micro;
-                    let late = cleared.saturating_sub(applied_micro);
+                    // and are dropped. The arithmetic is shared with the
+                    // model checker (`verify::model`) via `protocol`.
+                    let s = protocol::settle_receipt(buf.micro, applied_micro);
+                    // I1 (dropped) / I2 (settled: Release; the cleared
+                    // micro-batches' pushes happen-before through the grad
+                    // mutex and the channel).
                     shared
                         .stats
                         .grads_dropped
-                        .fetch_add(late as u64, Ordering::SeqCst);
+                        .fetch_add(s.late as u64, Ordering::Relaxed);
                     shared
                         .stats
                         .grads_settled
-                        .fetch_add(cleared as u64, Ordering::SeqCst);
+                        .fetch_add(s.cleared as u64, Ordering::Release);
                     buf.g.iter_mut().for_each(|x| *x = 0.0);
                     buf.micro = 0;
                     buf.version += 1;
@@ -761,7 +833,8 @@ fn updating_loop(
     let count_retry = |layer: usize, op: StoreOp| {
         let shared = &shared;
         move |r: u32, _e: &StoreError| {
-            shared.stats.store_retries.fetch_add(1, Ordering::SeqCst);
+            // I1: diagnostic tally.
+            shared.stats.store_retries.fetch_add(1, Ordering::Relaxed);
             let _ = shared.events.send(TrainerEvent::StoreRetry {
                 layer,
                 op,
@@ -771,7 +844,8 @@ fn updating_loop(
     };
     // Line 2: while there are uncleared buffered gradients (we poll until
     // shutdown, idling when nothing is pending).
-    while shared.running.load(Ordering::SeqCst) {
+    // I3: Acquire pairs with the Release store in stop_threads.
+    while shared.running.load(Ordering::Acquire) {
         let mut did_work = false;
         // Line 3: for l_i ∈ reverse(model) — gradients appear in reverse
         // layer order during backward, so reverse iteration updates the
@@ -779,15 +853,21 @@ fn updating_loop(
         for layer in (0..layers).rev() {
             let snapshot = {
                 let buf = shared.grad_bufs[layer].lock();
-                if buf.micro == 0 || buf.parked {
+                // Snapshot gate shared with the model checker: under
+                // OnUpdateReceipt the version protocol keeps at most one
+                // update per layer in flight so gradients are never applied
+                // twice.
+                if !protocol::may_snapshot(
+                    shared.clear_policy,
+                    buf.micro,
+                    buf.parked,
+                    last_snapshot_version[layer],
+                    buf.version,
+                ) {
                     continue;
                 }
                 match shared.clear_policy {
                     ClearPolicy::OnUpdateReceipt => {
-                        if last_snapshot_version[layer] == Some(buf.version) {
-                            // Previous update's clear hasn't landed yet.
-                            continue;
-                        }
                         last_snapshot_version[layer] = Some(buf.version);
                         (buf.g.clone(), buf.micro)
                     }
@@ -798,10 +878,13 @@ fn updating_loop(
                         buf.g.iter_mut().for_each(|x| *x = 0.0);
                         buf.micro = 0;
                         buf.version += 1;
+                        // I2: settled Release; the snapshot consumed these
+                        // micro-batches under the grad mutex, so their
+                        // pushes happen-before this increment.
                         shared
                             .stats
                             .grads_settled
-                            .fetch_add(micro as u64, Ordering::SeqCst);
+                            .fetch_add(micro as u64, Ordering::Release);
                         (g, micro)
                     }
                 }
@@ -814,7 +897,8 @@ fn updating_loop(
                 || match store.fetch(layer) {
                     Ok(s) => Ok(s),
                     Err(e) => {
-                        shared.stats.store_faults.fetch_add(1, Ordering::SeqCst);
+                        // I1: diagnostic tally.
+                        shared.stats.store_faults.fetch_add(1, Ordering::Relaxed);
                         Err(e)
                     }
                 },
@@ -826,27 +910,29 @@ fn updating_loop(
                     if shared.clear_policy == ClearPolicy::TakeAtSnapshot {
                         // The snapshot already settled these micro-batches;
                         // they will never be applied, so they are dropped.
+                        // I1: diagnostic tally.
                         shared
                             .stats
                             .grads_dropped
-                            .fetch_add(micro as u64, Ordering::SeqCst);
+                            .fetch_add(micro as u64, Ordering::Relaxed);
                     }
                     // (OnUpdateReceipt: the micro-batches are still in the
                     // buffer and no `Updated` receipt is in flight — the
                     // version protocol guarantees the previous clear landed
                     // before this snapshot — so park drops-and-settles them.)
-                    shared.park_layer(layer, e, true);
+                    shared.park_layer(layer, e, protocol::ParkDrop::Always);
                     did_work = true;
                     continue;
                 }
             };
             // Line 5: update via g'₁₆.
             optimizer.update(layer, &mut state, &grads, micro);
+            // I1: diagnostic tallies; conservation is asserted post-join.
             shared
                 .stats
                 .grads_applied
-                .fetch_add(micro as u64, Ordering::SeqCst);
-            shared.stats.updates_applied.fetch_add(1, Ordering::SeqCst);
+                .fetch_add(micro as u64, Ordering::Relaxed);
+            shared.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
             // Line 6: pass p₃₂ to the buffering thread.
             let _ = tx.send(BufMsg::Updated {
                 layer,
@@ -863,7 +949,8 @@ fn updating_loop(
                 || match store.offload(layer, state.clone()) {
                     Ok(()) => Ok(()),
                     Err(e) => {
-                        shared.stats.store_faults.fetch_add(1, Ordering::SeqCst);
+                        // I1: diagnostic tally.
+                        shared.stats.store_faults.fetch_add(1, Ordering::Relaxed);
                         Err(e)
                     }
                 },
@@ -873,22 +960,115 @@ fn updating_loop(
                 // The update was applied and its parameters are buffered,
                 // but the store lost the layer: park it and stash the state
                 // so shutdown can still return the freshest masters. Under
-                // OnUpdateReceipt the `Updated` message sent above is still
-                // in flight and its receipt settles everything buffered —
-                // park must NOT drop here or those micro-batches would be
-                // counted twice. Under TakeAtSnapshot the receipt does not
-                // touch the grad buffer, so arrivals since the snapshot are
-                // dropped by the park itself.
+                // OnUpdateReceipt the `Updated` message sent above may still
+                // be in flight; if so its receipt settles everything
+                // buffered and the park must NOT drop (double-count) — but
+                // if the buffering thread already processed it (buffer
+                // version advanced past our snapshot), anything buffered
+                // since would be stranded forever, so the park must drop.
+                // Under TakeAtSnapshot the receipt does not touch the grad
+                // buffer, so arrivals since the snapshot are always dropped
+                // by the park itself.
                 orphaned[layer] = Some(state);
-                shared.park_layer(layer, e, shared.clear_policy == ClearPolicy::TakeAtSnapshot);
+                let drop = match shared.clear_policy {
+                    ClearPolicy::TakeAtSnapshot => protocol::ParkDrop::Always,
+                    ClearPolicy::OnUpdateReceipt => protocol::ParkDrop::UnlessReceiptInFlight {
+                        snapshot_version: last_snapshot_version[layer]
+                            .expect("OnUpdateReceipt update implies a recorded snapshot"),
+                    },
+                };
+                shared.park_layer(layer, e, drop);
             }
             did_work = true;
         }
         if !did_work {
-            std::thread::yield_now();
+            thread::yield_now();
         }
     }
     orphaned
+}
+
+/// The pure arithmetic of the consistency-control protocol, extracted so
+/// the production threads ([`buffering_loop`], [`updating_loop`]) and the
+/// bounded model checker ([`crate::verify::model`]) execute the *same*
+/// decision logic — a checker over a diverged copy would prove nothing.
+pub mod protocol {
+    use super::ClearPolicy;
+
+    /// Accounting outcome of clearing the gradient buffer when an
+    /// `Updated` receipt arrives (Algorithm 2 lines 12–13).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ReceiptSettlement {
+        /// Micro-batches removed from the buffer (all of them).
+        pub cleared: u32,
+        /// Of those, how many arrived during the update window and were
+        /// never applied — the paper protocol's intentional loss.
+        pub late: u32,
+    }
+
+    /// Settle a receipt: everything buffered clears; `applied_micro` of it
+    /// was consumed by the update, the rest is dropped. Saturating because
+    /// a park may already have drained the buffer under the receipt.
+    pub fn settle_receipt(buffered_micro: u32, applied_micro: u32) -> ReceiptSettlement {
+        ReceiptSettlement {
+            cleared: buffered_micro,
+            late: buffered_micro.saturating_sub(applied_micro),
+        }
+    }
+
+    /// May the updating thread take a new snapshot of a layer's gradient
+    /// buffer? Under [`ClearPolicy::OnUpdateReceipt`] the version gate
+    /// keeps at most one update per layer in flight: a second snapshot of
+    /// the same buffer version would apply the same gradients twice.
+    pub fn may_snapshot(
+        policy: ClearPolicy,
+        buffered_micro: u32,
+        parked: bool,
+        last_snapshot: Option<u64>,
+        version: u64,
+    ) -> bool {
+        if buffered_micro == 0 || parked {
+            return false;
+        }
+        match policy {
+            ClearPolicy::OnUpdateReceipt => last_snapshot != Some(version),
+            ClearPolicy::TakeAtSnapshot => true,
+        }
+    }
+
+    /// Who settles the micro-batches buffered at park time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ParkDrop {
+        /// No receipt can be in flight for this layer (fetch failure, or
+        /// [`ClearPolicy::TakeAtSnapshot`] where receipts never touch the
+        /// grad buffer): the park drops-and-settles the buffer.
+        Always,
+        /// An `Updated` receipt was sent before the park
+        /// ([`ClearPolicy::OnUpdateReceipt`] offload failure). If it has
+        /// not been processed yet it will settle everything buffered, so
+        /// dropping here would double-count; if it *has* been processed,
+        /// anything buffered since would be stranded forever, so the park
+        /// must drop. The buffer version, read under the grad mutex,
+        /// distinguishes the two: the receipt's clear bumps it past
+        /// `snapshot_version`.
+        ///
+        /// The bounded model checker ([`crate::verify::model`]) found the
+        /// stranding interleaving when this was an unconditional "never
+        /// drop": receipt processed → new gradient buffered → park; the
+        /// stranded micro-batch kept `pending_grads() > 0` forever.
+        UnlessReceiptInFlight { snapshot_version: u64 },
+    }
+
+    /// Resolve a [`ParkDrop`] against the buffer version observed under
+    /// the grad mutex at park time.
+    pub fn park_should_drop(drop: ParkDrop, current_version: u64) -> bool {
+        match drop {
+            ParkDrop::Always => true,
+            ParkDrop::UnlessReceiptInFlight { snapshot_version } => {
+                current_version != snapshot_version
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -948,6 +1128,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "timing-sensitive / too slow under Miri")]
     fn buffered_params_eventually_refresh() {
         let (t, _) = trainer(1, 4, ClearPolicy::OnUpdateReceipt);
         let (_, v0) = t.read_params(0);
@@ -1012,6 +1193,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "timing-sensitive / too slow under Miri")]
     fn paper_policy_accounts_for_every_gradient() {
         let (t, _) = trainer(2, 16, ClearPolicy::OnUpdateReceipt);
         for i in 0..200 {
@@ -1026,6 +1208,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "timing-sensitive / too slow under Miri")]
     fn training_never_blocks_on_slow_store() {
         // A severely throttled store: pushes must return immediately anyway
         // — the decoupling property the mechanism exists for. The bound is
@@ -1173,6 +1356,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "timing-sensitive / too slow under Miri")]
     fn transient_faults_are_retried_and_counted() {
         let initial = vec![vec![0.5f32; 8]; 2];
         let inner = MemoryStore::new(initial.iter().cloned().map(LayerState::new).collect());
@@ -1208,6 +1392,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "timing-sensitive / too slow under Miri")]
     fn permanent_fetch_failure_parks_layer_and_training_continues() {
         let initial = vec![vec![0.5f32; 8]; 3];
         let inner = MemoryStore::new(initial.iter().cloned().map(LayerState::new).collect());
@@ -1295,6 +1480,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "timing-sensitive / too slow under Miri")]
     fn seeded_fault_stress_accounting_invariant() {
         // The satellite stress test: across many seeds, injected transient
         // faults, retries and degraded-mode parking, the conservation law
@@ -1360,6 +1546,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "timing-sensitive / too slow under Miri")]
     fn latency_spikes_do_not_block_pushes() {
         // Spikes on the store only slow the updating thread; pushes stay
         // non-blocking and all gradients settle.

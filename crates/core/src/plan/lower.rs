@@ -26,8 +26,10 @@ use angel_hw::ClusterSpec;
 use angel_model::TransformerConfig;
 use angel_sim::collectives::Collective;
 use angel_sim::{
-    ExecutionReport, MemDomainId, MemEffect, Ns, ResourceId, Resources, SimTask, Simulation,
+    Access, ExecutionReport, MemDomainId, MemEffect, Ns, ResourceId, Resources, SimTask, Simulation,
 };
+
+use crate::verify::{objects, PlanGraph, PlanReport};
 
 use super::memory::Placement;
 
@@ -278,6 +280,23 @@ impl Lowering {
         self.ssd
     }
 
+    /// The simulation under construction (read-only).
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Declare which logical objects a submitted task touches, for the
+    /// static race/lifetime verifier (see [`crate::verify::plan`]).
+    pub fn annotate(&mut self, task: usize, accesses: impl IntoIterator<Item = Access>) {
+        self.sim.annotate(task, accesses);
+    }
+
+    /// Run the static race/lifetime/peak-bound verifier over the graph
+    /// built so far.
+    pub fn verify(&self) -> PlanReport {
+        PlanGraph::from_sim(&self.sim).verify()
+    }
+
     /// Execute the graph.
     pub fn run(&self) -> ExecutionReport {
         self.sim.run()
@@ -332,11 +351,20 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
         }
     }
 
+    // Whether synchronous optimizer updates appear as tasks in this graph
+    // (decides who frees the gradient shard: the cpu_update, or the
+    // grad_offload as last on-graph consumer).
+    let n_layers = args.model.layers as u64;
+    let cpu_params = args.cache_plan.cpu_update_bytes / 12 / n_layers;
+    let ssd_updates = config.use_ssd && args.placement.ssd_bytes > 0;
+    let updates_on_graph = !config.lock_free && (ssd_updates || cpu_params > 0);
+
     // 1. Initial page movements (trigger 0) on the H2D channel.
     for t in &schedule.tasks {
         if let TaskOp::MoveToGpu(page) = t.op {
             if t.trigger_id == 0 {
-                lo.stage_in(page.bytes, format!("move l{}p{}", page.layer, page.index));
+                let id = lo.stage_in(page.bytes, format!("move l{}p{}", page.layer, page.index));
+                lo.annotate(id, [Access::write(objects::page(page.layer, page.index))]);
             }
         }
     }
@@ -359,6 +387,16 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
             gdeps,
             format!("all_gather s{i}"),
         );
+        // Each gather materializes a fresh per-step working buffer (which
+        // is what lets phase-2 advanced prefetch overlap safely) from the
+        // persistent parameter shards.
+        lo.annotate(
+            gid,
+            [
+                Access::read(objects::layer_params(layer)),
+                Access::alloc(objects::gathered(i)),
+            ],
+        );
 
         // Compute: forward or backward (+ recompute).
         let width = args.model.d_model as f64;
@@ -379,6 +417,16 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
         let dur = dur + (dur as f64 * config.mm_overhead) as u64;
         let cid = lo.compute_gpu(dur, [gid], format!("compute s{i}"));
         compute_task[i] = Some(cid);
+        // Compute is the gathered buffer's only (and last) consumer;
+        // backward additionally materializes the layer's full gradients.
+        let mut compute_accesses = vec![
+            Access::read(objects::gathered(i)),
+            Access::free(objects::gathered(i)),
+        ];
+        if let StepKind::Backward(l) = step {
+            compute_accesses.push(Access::alloc(objects::layer_grads(l)));
+        }
+        lo.annotate(cid, compute_accesses);
 
         // Backward extras: reduce-scatter gradients + offload the shard.
         if let StepKind::Backward(l) = step {
@@ -387,40 +435,81 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
                 [cid],
                 format!("reduce_scatter l{l}"),
             );
+            // The reduce-scatter consumes the full gradients and leaves
+            // this rank's reduced shard.
+            lo.annotate(
+                rs,
+                [
+                    Access::free(objects::layer_grads(l)),
+                    Access::alloc(objects::grad_shard(l)),
+                ],
+            );
             let shard = args.zero.shard_bytes(args.layer_comm_bytes[l]);
             let off = lo.offload(shard, [rs], format!("grad_offload l{l}"));
+            // When no optimizer update appears on this graph (lock-free
+            // mode accounts for updates analytically), the offload is the
+            // shard's last on-graph consumer.
+            if updates_on_graph {
+                lo.annotate(off, [Access::read(objects::grad_shard(l))]);
+            } else {
+                lo.annotate(
+                    off,
+                    [
+                        Access::read(objects::grad_shard(l)),
+                        Access::free(objects::grad_shard(l)),
+                    ],
+                );
+            }
 
             // Synchronous optimizer updates join the iteration's critical
             // path; the lock-free mechanism decouples them (accounted
             // analytically by train_iteration).
             if !config.lock_free {
-                let n_layers = args.model.layers as u64;
-                let cpu_params = args.cache_plan.cpu_update_bytes / 12 / n_layers;
                 let upd_dur = config
                     .cpu_update
                     .time_ns_sharded(cpu_params * 28, gpus_per_server);
-                if config.use_ssd && args.placement.ssd_bytes > 0 {
+                if ssd_updates {
                     let layer_ssd = args.placement.ssd_bytes / n_layers;
                     let rd = lo.ssd_read(layer_ssd, [off], format!("ssd_read l{l}"));
+                    lo.annotate(rd, [Access::read(objects::layer_state(l))]);
                     let upd = lo.update_cpu(upd_dur, [rd], format!("cpu_update l{l}"));
-                    lo.ssd_write(layer_ssd, [upd], format!("ssd_write l{l}"));
+                    lo.annotate(
+                        upd,
+                        [
+                            Access::free(objects::grad_shard(l)),
+                            Access::write(objects::layer_state(l)),
+                        ],
+                    );
+                    let wr = lo.ssd_write(layer_ssd, [upd], format!("ssd_write l{l}"));
+                    lo.annotate(wr, [Access::read(objects::layer_state(l))]);
                     // Updated FP16 parameters return to the GPU pages.
-                    lo.move_in(cpu_params * 2, [upd], format!("param_up l{l}"));
+                    let up = lo.move_in(cpu_params * 2, [upd], format!("param_up l{l}"));
+                    lo.annotate(up, [Access::write(objects::layer_params(l))]);
                 } else if cpu_params > 0 {
                     let upd = lo.update_cpu(upd_dur, [off], format!("cpu_update l{l}"));
+                    lo.annotate(
+                        upd,
+                        [
+                            Access::free(objects::grad_shard(l)),
+                            Access::write(objects::layer_state(l)),
+                        ],
+                    );
                     // Updated FP16 parameters return to the GPU pages;
                     // GPU-cached layers skip this PCIe round trip — the
                     // Section 4.2 cache's second saving.
-                    lo.move_in(cpu_params * 2, [upd], format!("param_up l{l}"));
+                    let up = lo.move_in(cpu_params * 2, [upd], format!("param_up l{l}"));
+                    lo.annotate(up, [Access::write(objects::layer_params(l))]);
                 }
             }
         }
     }
 
-    // GPU-cached optimizer updates run on the GPU stream after backward.
+    // GPU-cached optimizer updates run on the GPU stream after backward
+    // (ordered behind every compute by stream submission order).
     if args.cache_plan.gpu_update_bytes > 0 && !config.lock_free {
         let traffic = args.cache_plan.gpu_update_bytes / 12 * 28;
-        lo.compute_gpu(config.gpu_update.time_ns(traffic), [], "gpu_cached_update");
+        let id = lo.compute_gpu(config.gpu_update.time_ns(traffic), [], "gpu_cached_update");
+        lo.annotate(id, [Access::write(objects::gpu_cached_states())]);
     }
 
     let (gpu, h2d, d2h, comm) = (lo.gpu_id(), lo.h2d_id(), lo.d2h_id(), lo.comm_id());
@@ -474,7 +563,8 @@ pub fn checkpoint_write_graph(model: &TransformerConfig, config: &EngineConfig) 
     let mut lo = Lowering::new(&LoweringConfig::for_engine(config));
     let ranks = config.num_gpus() as u64;
     for (l, bytes) in layer_state_bytes(model).iter().enumerate() {
-        lo.ssd_write(bytes.div_ceil(ranks), [], format!("ckpt_write l{l}"));
+        let id = lo.ssd_write(bytes.div_ceil(ranks), [], format!("ckpt_write l{l}"));
+        lo.annotate(id, [Access::read(objects::layer_state(l))]);
     }
     lo
 }
@@ -489,8 +579,16 @@ pub fn checkpoint_restore_graph(model: &TransformerConfig, config: &EngineConfig
     for (l, bytes) in layer_state_bytes(model).iter().enumerate() {
         let shard = bytes.div_ceil(ranks);
         let rd = lo.ssd_read(shard, [], format!("ckpt_read l{l}"));
+        lo.annotate(rd, [Access::write(objects::layer_state(l))]);
         // FP16 copies are 2 of the 12 bytes-per-param of master state.
-        lo.move_in(shard / 6, [rd], format!("ckpt_restage l{l}"));
+        let up = lo.move_in(shard / 6, [rd], format!("ckpt_restage l{l}"));
+        lo.annotate(
+            up,
+            [
+                Access::read(objects::layer_state(l)),
+                Access::write(objects::layer_params(l)),
+            ],
+        );
     }
     lo
 }

@@ -1,0 +1,151 @@
+//! Synchronization shim for the lock-free updating mechanism.
+//!
+//! All atomics and thread primitives used by [`crate::lockfree`] go through
+//! this module instead of `std::sync` directly. In normal builds the shim
+//! re-exports the real `std` types with zero overhead. Under
+//! `--cfg angel_model_check` the atomics are replaced by instrumented
+//! wrappers that
+//!
+//! * count every atomic operation (so tests can assert the protocol's
+//!   synchronization footprint stays where the audit documented it), and
+//! * inject a deterministic `yield_now` before every Nth operation, widening
+//!   the set of thread interleavings the stress tests observe without
+//!   giving up reproducibility.
+//!
+//! The instrumented atomics are still real `std` atomics underneath — they
+//! are schedule perturbers, not a memory-model emulator. Exhaustive
+//! interleaving exploration lives in [`crate::verify::model`], which model
+//! checks the protocol state machine extracted from `lockfree.rs` under
+//! sequentially-consistent interleaving semantics; the orderings themselves
+//! are justified site by site in the audit table at the top of
+//! `lockfree.rs` and re-validated by the Miri CI job.
+
+/// Atomic integers and the memory-ordering enum.
+///
+/// Normal builds: the `std::sync::atomic` types, verbatim.
+#[cfg(not(angel_model_check))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+}
+
+/// Instrumented atomics for `--cfg angel_model_check` builds.
+#[cfg(angel_model_check)]
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+    use std::sync::atomic::{AtomicBool as StdBool, AtomicU64 as StdU64};
+
+    /// Global operation counter; also drives deterministic yield injection.
+    static OPS: StdU64 = StdU64::new(0);
+
+    /// Yield before every `YIELD_EVERY`th atomic op. A small prime so the
+    /// preemption points drift relative to the protocol's own periodicity.
+    const YIELD_EVERY: u64 = 3;
+
+    fn instrument() {
+        // Relaxed: the counter is diagnostic, not synchronizing.
+        let n = OPS.fetch_add(1, Ordering::Relaxed);
+        if n % YIELD_EVERY == 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Total atomic operations observed since process start.
+    pub fn ops_recorded() -> u64 {
+        OPS.load(Ordering::Relaxed)
+    }
+
+    #[derive(Debug, Default)]
+    pub struct AtomicU64 {
+        inner: StdU64,
+    }
+
+    impl AtomicU64 {
+        pub const fn new(v: u64) -> Self {
+            Self {
+                inner: StdU64::new(v),
+            }
+        }
+        pub fn load(&self, order: Ordering) -> u64 {
+            instrument();
+            self.inner.load(order)
+        }
+        pub fn store(&self, v: u64, order: Ordering) {
+            instrument();
+            self.inner.store(v, order);
+        }
+        pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+            instrument();
+            self.inner.fetch_add(v, order)
+        }
+    }
+
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: StdBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self {
+                inner: StdBool::new(v),
+            }
+        }
+        pub fn load(&self, order: Ordering) -> bool {
+            instrument();
+            self.inner.load(order)
+        }
+        pub fn store(&self, v: bool, order: Ordering) {
+            instrument();
+            self.inner.store(v, order);
+        }
+    }
+}
+
+/// Thread spawn/park primitives used by the trainer. One indirection point
+/// so a future scheduler-controlled implementation only changes this module.
+pub mod thread {
+    pub use std::thread::{sleep, yield_now, Builder, JoinHandle};
+}
+
+pub use atomic::{AtomicBool, AtomicU64, Ordering};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shim_atomics_behave_like_std() {
+        let n = AtomicU64::new(5);
+        assert_eq!(n.fetch_add(2, Ordering::Relaxed), 5);
+        assert_eq!(n.load(Ordering::Acquire), 7);
+        n.store(1, Ordering::Release);
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+
+        let b = AtomicBool::new(true);
+        assert!(b.load(Ordering::Acquire));
+        b.store(false, Ordering::Release);
+        assert!(!b.load(Ordering::Relaxed));
+    }
+
+    #[cfg(angel_model_check)]
+    #[test]
+    fn instrumented_atomics_count_operations() {
+        let before = atomic::ops_recorded();
+        let n = AtomicU64::new(0);
+        n.fetch_add(1, Ordering::Relaxed);
+        n.load(Ordering::Relaxed);
+        assert!(atomic::ops_recorded() >= before + 2);
+    }
+
+    #[test]
+    fn shim_is_shared_across_threads() {
+        let flag = std::sync::Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        let h = thread::Builder::new()
+            .name("sync-shim-test".into())
+            .spawn(move || f2.store(true, Ordering::Release))
+            .expect("spawn");
+        h.join().expect("join");
+        assert!(flag.load(Ordering::Acquire));
+    }
+}

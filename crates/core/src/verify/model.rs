@@ -1,0 +1,703 @@
+//! Bounded model checker for the lock-free updating mechanism.
+//!
+//! The production implementation in [`crate::lockfree`] runs three roles —
+//! the **training** loop pushing gradients, the **buffering** thread
+//! accumulating them and clearing on update receipts, and the **updating**
+//! thread snapshotting, applying the optimizer, and offloading state — over
+//! channels, mutexes and atomics. A test run observes *one* interleaving.
+//! This module explores *all* interleavings of a finite abstraction:
+//!
+//! * each mutex-protected critical section or channel operation of the real
+//!   code is one atomic transition of the model (the protocol's observable
+//!   events), and
+//! * the decision arithmetic — receipt settlement and the snapshot version
+//!   gate — is **not** re-implemented here: the model calls the same
+//!   [`crate::lockfree::protocol`] functions as the production threads, so
+//!   a bug in that logic is visible to both.
+//!
+//! Checked invariants:
+//!
+//! * **per state**: `settled ≤ pushed` (no micro-batch settles twice) and
+//!   `applied ≤ pushed` (no gradient applies twice);
+//! * **at termination**: `applied + dropped == settled` and
+//!   `pushed == settled + Σ buffered` — every pushed micro-batch is
+//!   accounted exactly once (the paper's conservation property,
+//!   `grads_pushed == grads_applied + grads_dropped` once quiescent);
+//! * **no deadlock**: every non-terminal state has an enabled transition —
+//!   under [`ShutdownMode::Quiescent`] this proves `wait_quiescent`
+//!   terminates on every schedule.
+//!
+//! [`Mutation`] seeds the bugs the checker must catch (skipped receipt,
+//! skipped version gate, park without settling, clear without counting);
+//! tests assert each is flagged and that the unmutated protocol is clean.
+//! Bounds (`pushes`, `layers`, `max_faults`) keep the state space finite;
+//! the checker is exhaustive *within* them (`Exploration::complete`).
+
+use crate::lockfree::{protocol, ClearPolicy};
+use std::collections::HashSet;
+
+/// How the run ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Shutdown only after every pushed gradient settled (the
+    /// `wait_quiescent` discipline of the accounting tests).
+    Quiescent,
+    /// Shutdown as soon as the trainer stops pushing, regardless of
+    /// in-flight work — models abortive teardown. Conservation must still
+    /// hold for everything that drained.
+    Abort,
+}
+
+/// Seeded protocol bugs. The checker must flag every one of these (under
+/// the policies noted) — a checker that cannot catch a planted bug is not
+/// evidence of anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    None,
+    /// The updating thread never sends the `Updated` receipt. Fatal under
+    /// [`ClearPolicy::OnUpdateReceipt`] (the buffer never clears, gradients
+    /// never settle); harmless under [`ClearPolicy::TakeAtSnapshot`], which
+    /// settles at snapshot time — the checker documents that asymmetry.
+    SkipReceipt,
+    /// The snapshot gate ignores the version protocol, so the same
+    /// buffered gradients can be applied twice.
+    SkipVersionCheck,
+    /// Parking a layer discards its buffered micro-batches without
+    /// settling them.
+    ParkWithoutSettle,
+    /// The receipt clear empties the buffer without counting
+    /// applied-vs-dropped.
+    ClearWithoutCount,
+}
+
+/// Model bounds and knobs.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    pub layers: usize,
+    /// Total gradient micro-batches the trainer pushes (round-robin over
+    /// layers).
+    pub pushes: u32,
+    pub policy: ClearPolicy,
+    pub shutdown: ShutdownMode,
+    /// Store-fault budget: each fetch or offload may nondeterministically
+    /// fail (and park the layer) while the budget lasts.
+    pub max_faults: u32,
+    pub mutation: Mutation,
+    /// Safety valve: stop exploring (with `complete = false`) past this
+    /// many distinct states.
+    pub max_states: usize,
+}
+
+impl ModelConfig {
+    pub fn new(policy: ClearPolicy, shutdown: ShutdownMode) -> Self {
+        Self {
+            layers: 1,
+            pushes: 3,
+            policy,
+            shutdown,
+            max_faults: 0,
+            mutation: Mutation::None,
+            max_states: 1_000_000,
+        }
+    }
+}
+
+/// What the checker found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A reachable non-terminal state with no enabled transition.
+    Deadlock,
+    /// More settles than pushes — some micro-batch was counted twice.
+    DoubleSettle { settled: u32, pushed: u32 },
+    /// More applications than pushes — some gradient was applied twice.
+    DoubleApply { applied: u32, pushed: u32 },
+    /// Terminal accounting does not balance.
+    Conservation {
+        pushed: u32,
+        applied: u32,
+        dropped: u32,
+        settled: u32,
+        buffered: u32,
+    },
+}
+
+/// Result of one exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Distinct states visited.
+    pub states: usize,
+    /// True iff the full bounded state space was explored (no
+    /// `max_states` cut-off and no violation short-circuit).
+    pub complete: bool,
+    pub violation: Option<Violation>,
+    /// Transition labels from the initial state to the violation (empty
+    /// when clean) — a counterexample schedule.
+    pub trace: Vec<String>,
+}
+
+/// A message in flight from trainer/updater to the buffering thread.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Msg {
+    Grads { layer: u8 },
+    Updated { layer: u8, applied: u32 },
+}
+
+/// Where the (single) updating thread is in its per-layer cycle. Snapshot
+/// and fetch collapse into one transition (both outcomes branch); apply and
+/// offload are separate so receipts and parks interleave with pushes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Phase {
+    Idle,
+    /// Snapshot taken and FP32 state fetched; optimizer not yet run.
+    /// `snap_version` is the buffer version at snapshot time — the
+    /// offload-failure park needs it to tell whether its receipt is still
+    /// in flight.
+    Fetched {
+        layer: u8,
+        micro: u32,
+        snap_version: u64,
+    },
+    /// Optimizer ran and the receipt (if any) was sent; offload pending.
+    Applied {
+        layer: u8,
+        snap_version: u64,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    buf_micro: Vec<u32>,
+    buf_version: Vec<u64>,
+    parked: Vec<bool>,
+    last_snapshot: Vec<Option<u64>>,
+    /// FIFO trainer/updater → buffering channel.
+    queue: Vec<Msg>,
+    phase: Phase,
+    pushed: u32,
+    applied: u32,
+    dropped: u32,
+    settled: u32,
+    to_push: u32,
+    running: bool,
+    faults_left: u32,
+    updater_done: bool,
+    buffering_done: bool,
+}
+
+impl State {
+    fn initial(cfg: &ModelConfig) -> Self {
+        Self {
+            buf_micro: vec![0; cfg.layers],
+            buf_version: vec![0; cfg.layers],
+            parked: vec![false; cfg.layers],
+            last_snapshot: vec![None; cfg.layers],
+            queue: Vec::new(),
+            phase: Phase::Idle,
+            pushed: 0,
+            applied: 0,
+            dropped: 0,
+            settled: 0,
+            to_push: cfg.pushes,
+            running: true,
+            faults_left: cfg.max_faults,
+            updater_done: false,
+            buffering_done: false,
+        }
+    }
+
+    fn buffered(&self) -> u32 {
+        self.buf_micro.iter().sum()
+    }
+
+    fn is_terminal(&self) -> bool {
+        !self.running && self.updater_done && self.buffering_done
+    }
+
+    /// Mirror of `Shared::park_layer` (and the mutated variant).
+    fn park(&mut self, layer: usize, drop_buffered: bool, mutation: Mutation) {
+        self.parked[layer] = true;
+        let stranded = self.buf_micro[layer];
+        if drop_buffered && stranded > 0 {
+            if mutation != Mutation::ParkWithoutSettle {
+                self.dropped += stranded;
+                self.settled += stranded;
+            }
+            self.buf_micro[layer] = 0;
+            self.buf_version[layer] += 1;
+        }
+    }
+
+    /// Invariants that must hold in *every* reachable state.
+    fn local_violation(&self) -> Option<Violation> {
+        if self.settled > self.pushed {
+            return Some(Violation::DoubleSettle {
+                settled: self.settled,
+                pushed: self.pushed,
+            });
+        }
+        if self.applied > self.pushed {
+            return Some(Violation::DoubleApply {
+                applied: self.applied,
+                pushed: self.pushed,
+            });
+        }
+        None
+    }
+
+    /// Invariants that must hold once everything has drained.
+    fn terminal_violation(&self) -> Option<Violation> {
+        let balanced = self.applied + self.dropped == self.settled
+            && self.pushed == self.settled + self.buffered();
+        if balanced {
+            None
+        } else {
+            Some(Violation::Conservation {
+                pushed: self.pushed,
+                applied: self.applied,
+                dropped: self.dropped,
+                settled: self.settled,
+                buffered: self.buffered(),
+            })
+        }
+    }
+
+    /// Every enabled transition, as (label, successor) pairs.
+    fn transitions(&self, cfg: &ModelConfig) -> Vec<(String, State)> {
+        let mut out = Vec::new();
+
+        // Trainer: push the next micro-batch, round-robin over layers.
+        if self.running && self.to_push > 0 {
+            let layer = (self.pushed as usize % cfg.layers) as u8;
+            let mut s = self.clone();
+            s.pushed += 1;
+            s.to_push -= 1;
+            s.queue.push(Msg::Grads { layer });
+            out.push((format!("push L{layer}"), s));
+        }
+
+        // Buffering thread: pop the channel head.
+        if !self.buffering_done {
+            if let Some(msg) = self.queue.first().cloned() {
+                let mut s = self.clone();
+                s.queue.remove(0);
+                let label = match msg {
+                    Msg::Grads { layer } => {
+                        let l = layer as usize;
+                        if s.parked[l] {
+                            // Degraded mode: settle as dropped immediately.
+                            s.dropped += 1;
+                            s.settled += 1;
+                        } else {
+                            s.buf_micro[l] += 1;
+                        }
+                        format!("buffer grads L{layer}")
+                    }
+                    Msg::Updated { layer, applied } => {
+                        let l = layer as usize;
+                        if cfg.policy == ClearPolicy::OnUpdateReceipt {
+                            if cfg.mutation == Mutation::ClearWithoutCount {
+                                self::clear_unaccounted(&mut s, l);
+                            } else {
+                                // The shared production arithmetic.
+                                let r = protocol::settle_receipt(s.buf_micro[l], applied);
+                                s.dropped += r.late;
+                                s.settled += r.cleared;
+                                self::clear_unaccounted(&mut s, l);
+                            }
+                        }
+                        format!("receipt L{layer} applied={applied}")
+                    }
+                };
+                out.push((label, s));
+            }
+        }
+
+        // Updating thread.
+        match self.phase {
+            Phase::Idle if self.running => {
+                for l in 0..cfg.layers {
+                    let gate_last = if cfg.mutation == Mutation::SkipVersionCheck {
+                        None // the seeded bug: pretend no snapshot is in flight
+                    } else {
+                        self.last_snapshot[l]
+                    };
+                    // The shared production gate.
+                    if !protocol::may_snapshot(
+                        cfg.policy,
+                        self.buf_micro[l],
+                        self.parked[l],
+                        gate_last,
+                        self.buf_version[l],
+                    ) {
+                        continue;
+                    }
+                    // Branch 1: fetch succeeds.
+                    let mut ok = self.clone();
+                    let (micro, snap_version) = ok.snapshot(l, cfg.policy);
+                    ok.phase = Phase::Fetched {
+                        layer: l as u8,
+                        micro,
+                        snap_version,
+                    };
+                    out.push((format!("snapshot+fetch L{l} micro={micro}"), ok));
+                    // Branch 2: fetch fails permanently (budget allowing):
+                    // the snapshot still happened first, then the park
+                    // drops-and-settles whatever is in the buffer.
+                    if self.faults_left > 0 {
+                        let mut fail = self.clone();
+                        fail.faults_left -= 1;
+                        let (micro, _) = fail.snapshot(l, cfg.policy);
+                        if cfg.policy == ClearPolicy::TakeAtSnapshot {
+                            // Snapshot already settled these; they will
+                            // never be applied.
+                            if cfg.mutation != Mutation::ParkWithoutSettle {
+                                fail.dropped += micro;
+                            }
+                        }
+                        fail.park(l, true, cfg.mutation);
+                        out.push((format!("fetch-fail park L{l}"), fail));
+                    }
+                }
+            }
+            Phase::Idle => {}
+            Phase::Fetched {
+                layer,
+                micro,
+                snap_version,
+            } => {
+                // Apply the optimizer and send the receipt.
+                let mut s = self.clone();
+                s.applied += micro;
+                if cfg.mutation != Mutation::SkipReceipt {
+                    s.queue.push(Msg::Updated {
+                        layer,
+                        applied: micro,
+                    });
+                }
+                s.phase = Phase::Applied {
+                    layer,
+                    snap_version,
+                };
+                out.push((format!("apply L{layer} micro={micro}"), s));
+            }
+            Phase::Applied {
+                layer,
+                snap_version,
+            } => {
+                // Branch 1: offload succeeds.
+                let mut ok = self.clone();
+                ok.phase = Phase::Idle;
+                out.push((format!("offload L{layer} ok"), ok));
+                // Branch 2: offload fails permanently: park, with the
+                // production drop decision — under OnUpdateReceipt the
+                // buffer version decides whether the receipt is still in
+                // flight (settles the buffer, must not double-drop) or
+                // already processed (arrivals since must drop or strand).
+                if self.faults_left > 0 {
+                    let mut fail = self.clone();
+                    fail.faults_left -= 1;
+                    let l = layer as usize;
+                    let drop = match cfg.policy {
+                        ClearPolicy::TakeAtSnapshot => protocol::ParkDrop::Always,
+                        ClearPolicy::OnUpdateReceipt => protocol::ParkDrop::UnlessReceiptInFlight {
+                            snapshot_version: snap_version,
+                        },
+                    };
+                    let do_drop = protocol::park_should_drop(drop, fail.buf_version[l]);
+                    fail.park(l, do_drop, cfg.mutation);
+                    fail.phase = Phase::Idle;
+                    out.push((format!("offload-fail park L{layer}"), fail));
+                }
+            }
+        }
+
+        // Shutdown: Quiescent waits for full settlement (wait_quiescent),
+        // Abort stops as soon as the trainer is done pushing.
+        if self.running
+            && self.to_push == 0
+            && match cfg.shutdown {
+                ShutdownMode::Quiescent => self.settled == self.pushed,
+                ShutdownMode::Abort => true,
+            }
+        {
+            let mut s = self.clone();
+            s.running = false;
+            out.push(("stop".into(), s));
+        }
+
+        // The updating thread exits at the top of its loop once `running`
+        // drops (it never abandons an in-flight update).
+        if !self.running && !self.updater_done && self.phase == Phase::Idle {
+            let mut s = self.clone();
+            s.updater_done = true;
+            out.push(("updater exits".into(), s));
+        }
+
+        // The buffering thread exits when all senders are gone (trainer
+        // stopped, updater joined) and the channel has drained.
+        if !self.running && self.updater_done && !self.buffering_done && self.queue.is_empty() {
+            let mut s = self.clone();
+            s.buffering_done = true;
+            out.push(("buffering exits".into(), s));
+        }
+
+        out
+    }
+
+    /// Take a snapshot of `layer`'s buffer (the production `match` on the
+    /// clear policy inside the grad mutex). Returns the snapshot size and
+    /// the buffer version the snapshot observed.
+    fn snapshot(&mut self, layer: usize, policy: ClearPolicy) -> (u32, u64) {
+        let micro = self.buf_micro[layer];
+        let version = self.buf_version[layer];
+        match policy {
+            ClearPolicy::OnUpdateReceipt => {
+                self.last_snapshot[layer] = Some(version);
+            }
+            ClearPolicy::TakeAtSnapshot => {
+                self.settled += micro;
+                self.buf_micro[layer] = 0;
+                self.buf_version[layer] += 1;
+            }
+        }
+        (micro, version)
+    }
+}
+
+/// Clear a layer's buffer without touching the counters (shared tail of the
+/// receipt paths; on its own it is the `ClearWithoutCount` bug).
+fn clear_unaccounted(s: &mut State, layer: usize) {
+    s.buf_micro[layer] = 0;
+    s.buf_version[layer] += 1;
+}
+
+/// Exhaustively explore the bounded protocol state space.
+pub fn check_lockfree(cfg: &ModelConfig) -> Exploration {
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut states = 0usize;
+    let mut capped = false;
+    let mut trace = Vec::new();
+    let violation = dfs(
+        cfg,
+        State::initial(cfg),
+        &mut visited,
+        &mut states,
+        &mut capped,
+        &mut trace,
+    );
+    trace.reverse();
+    Exploration {
+        states,
+        complete: !capped && violation.is_none(),
+        violation,
+        trace,
+    }
+}
+
+fn dfs(
+    cfg: &ModelConfig,
+    state: State,
+    visited: &mut HashSet<State>,
+    states: &mut usize,
+    capped: &mut bool,
+    trace: &mut Vec<String>,
+) -> Option<Violation> {
+    if let Some(v) = state.local_violation() {
+        return Some(v);
+    }
+    let succs = state.transitions(cfg);
+    if succs.is_empty() {
+        return if state.is_terminal() {
+            state.terminal_violation()
+        } else {
+            Some(Violation::Deadlock)
+        };
+    }
+    if !visited.insert(state) {
+        return None;
+    }
+    *states += 1;
+    if *states >= cfg.max_states {
+        *capped = true;
+        return None;
+    }
+    for (label, succ) in succs {
+        if let Some(v) = dfs(cfg, succ, visited, states, capped, trace) {
+            trace.push(label);
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_policies() -> [ClearPolicy; 2] {
+        [ClearPolicy::OnUpdateReceipt, ClearPolicy::TakeAtSnapshot]
+    }
+
+    #[test]
+    fn clean_protocol_verifies_under_both_policies_and_shutdown_modes() {
+        for policy in all_policies() {
+            for shutdown in [ShutdownMode::Quiescent, ShutdownMode::Abort] {
+                let e = check_lockfree(&ModelConfig::new(policy, shutdown));
+                assert!(
+                    e.violation.is_none(),
+                    "{policy:?}/{shutdown:?}: {:?}\ntrace: {:#?}",
+                    e.violation,
+                    e.trace
+                );
+                assert!(e.complete, "{policy:?}/{shutdown:?} hit the state cap");
+                assert!(e.states > 10, "exploration trivially small: {}", e.states);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_protocol_survives_store_faults() {
+        for policy in all_policies() {
+            for shutdown in [ShutdownMode::Quiescent, ShutdownMode::Abort] {
+                let mut cfg = ModelConfig::new(policy, shutdown);
+                cfg.layers = 2;
+                cfg.max_faults = 2;
+                let e = check_lockfree(&cfg);
+                assert!(
+                    e.violation.is_none(),
+                    "{policy:?}/{shutdown:?} with faults: {:?}\ntrace: {:#?}",
+                    e.violation,
+                    e.trace
+                );
+                assert!(e.complete);
+            }
+        }
+    }
+
+    #[test]
+    fn skipped_receipt_deadlocks_the_paper_policy() {
+        // Without the Updated receipt the buffer never clears, the
+        // gradients never settle, and wait_quiescent spins forever.
+        let mut cfg = ModelConfig::new(ClearPolicy::OnUpdateReceipt, ShutdownMode::Quiescent);
+        cfg.mutation = Mutation::SkipReceipt;
+        let e = check_lockfree(&cfg);
+        assert_eq!(
+            e.violation,
+            Some(Violation::Deadlock),
+            "trace: {:#?}",
+            e.trace
+        );
+        assert!(!e.trace.is_empty(), "counterexample schedule expected");
+    }
+
+    #[test]
+    fn skipped_receipt_is_harmless_under_take_at_snapshot() {
+        // TakeAtSnapshot settles at snapshot time; the receipt only
+        // refreshes FP16 parameters. The checker documents the asymmetry.
+        for shutdown in [ShutdownMode::Quiescent, ShutdownMode::Abort] {
+            let mut cfg = ModelConfig::new(ClearPolicy::TakeAtSnapshot, shutdown);
+            cfg.mutation = Mutation::SkipReceipt;
+            let e = check_lockfree(&cfg);
+            assert!(e.violation.is_none(), "{shutdown:?}: {:?}", e.violation);
+        }
+    }
+
+    #[test]
+    fn skipped_version_gate_applies_gradients_twice() {
+        let mut cfg = ModelConfig::new(ClearPolicy::OnUpdateReceipt, ShutdownMode::Quiescent);
+        cfg.mutation = Mutation::SkipVersionCheck;
+        let e = check_lockfree(&cfg);
+        match e.violation {
+            Some(Violation::DoubleApply { applied, pushed }) => {
+                assert!(applied > pushed, "{applied} vs {pushed}")
+            }
+            other => panic!("expected DoubleApply, got {other:?}\ntrace: {:#?}", e.trace),
+        }
+    }
+
+    #[test]
+    fn version_gate_is_not_needed_when_snapshots_clear() {
+        // Under TakeAtSnapshot the snapshot itself empties the buffer, so
+        // the version gate is redundant — skipping it must be clean.
+        let mut cfg = ModelConfig::new(ClearPolicy::TakeAtSnapshot, ShutdownMode::Quiescent);
+        cfg.mutation = Mutation::SkipVersionCheck;
+        let e = check_lockfree(&cfg);
+        assert!(e.violation.is_none(), "{:?}", e.violation);
+    }
+
+    #[test]
+    fn park_without_settle_is_flagged() {
+        // Quiescent: the stranded micro-batches never settle → deadlock.
+        let mut cfg = ModelConfig::new(ClearPolicy::OnUpdateReceipt, ShutdownMode::Quiescent);
+        cfg.max_faults = 1;
+        cfg.mutation = Mutation::ParkWithoutSettle;
+        let e = check_lockfree(&cfg);
+        assert_eq!(
+            e.violation,
+            Some(Violation::Deadlock),
+            "trace: {:#?}",
+            e.trace
+        );
+
+        // Abort: the run terminates but pushed gradients vanished without
+        // being buffered, applied, or dropped.
+        let mut cfg = ModelConfig::new(ClearPolicy::TakeAtSnapshot, ShutdownMode::Abort);
+        cfg.max_faults = 1;
+        cfg.mutation = Mutation::ParkWithoutSettle;
+        let e = check_lockfree(&cfg);
+        assert!(
+            matches!(e.violation, Some(Violation::Conservation { .. })),
+            "{:?}",
+            e.violation
+        );
+    }
+
+    #[test]
+    fn clear_without_count_is_flagged() {
+        let mut cfg = ModelConfig::new(ClearPolicy::OnUpdateReceipt, ShutdownMode::Quiescent);
+        cfg.mutation = Mutation::ClearWithoutCount;
+        let e = check_lockfree(&cfg);
+        assert_eq!(
+            e.violation,
+            Some(Violation::Deadlock),
+            "trace: {:#?}",
+            e.trace
+        );
+
+        let mut cfg = ModelConfig::new(ClearPolicy::OnUpdateReceipt, ShutdownMode::Abort);
+        cfg.mutation = Mutation::ClearWithoutCount;
+        let e = check_lockfree(&cfg);
+        assert!(
+            matches!(e.violation, Some(Violation::Conservation { .. })),
+            "{:?}",
+            e.violation
+        );
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let cfg = ModelConfig::new(ClearPolicy::OnUpdateReceipt, ShutdownMode::Quiescent);
+        let a = check_lockfree(&cfg);
+        let b = check_lockfree(&cfg);
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.violation, b.violation);
+    }
+
+    /// Deeper bounds for the dedicated CI verify job
+    /// (`RUSTFLAGS="--cfg angel_model_check"`): more layers, pushes and
+    /// faults than the default suite explores.
+    #[cfg(angel_model_check)]
+    #[test]
+    fn deep_bounded_exploration_is_clean() {
+        for policy in all_policies() {
+            let mut cfg = ModelConfig::new(policy, ShutdownMode::Abort);
+            cfg.layers = 2;
+            cfg.pushes = 6;
+            cfg.max_faults = 3;
+            cfg.max_states = 5_000_000;
+            let e = check_lockfree(&cfg);
+            assert!(e.violation.is_none(), "{policy:?}: {:?}", e.violation);
+            assert!(e.complete, "{policy:?} hit the state cap at {}", e.states);
+        }
+    }
+}

@@ -1,0 +1,782 @@
+//! Race/lifetime verifier and provable peak-memory bound for lowered task
+//! graphs.
+//!
+//! # The happens-before relation
+//!
+//! The executor in `angel-sim` guarantees exactly two ordering mechanisms
+//! (see its module docs): a task starts after all its **dependencies**
+//! complete, and tasks on the **same resource** start in submission order,
+//! back to back (CUDA-stream semantics, which also implies completion
+//! order on a FIFO resource). The verifier's happens-before relation `≺` is
+//! the transitive closure of those two edge families. Two accesses to the
+//! same [`ObjectId`] *conflict* unless both are reads; a **race** is a
+//! conflicting pair with neither `a ≺ b` nor `b ≺ a` — the executor may
+//! legally run them concurrently, so the plan's result depends on timing.
+//!
+//! # Lifetimes
+//!
+//! Objects with an [`AccessMode::Alloc`] or [`AccessMode::Free`] access are
+//! *managed*: their accesses, walked in happens-before order, must form
+//! `Alloc → (Read|Write)* → Free`. Anything else — use before alloc, use
+//! after free, double free, double alloc, or a missing free (leak) — is
+//! reported. Objects never allocated or freed in the graph are *external*
+//! (they outlive the plan, e.g. persistent parameter shards) and only get
+//! race checking.
+//!
+//! # The peak-memory bound
+//!
+//! For each memory domain the verifier computes a **sound static upper
+//! bound** on the executor's peak:
+//!
+//! ```text
+//! UB(d) = max over tasks t with acquire(t,d) > 0 of
+//!         Σ acquire(u,d) over u with ¬(t ≺ u)        (everything that may
+//!                                                      already hold memory
+//!                                                      when t acquires)
+//!       − Σ release(u,d) over u ∈ drained(t)          (provably released
+//!                                                      before t acquires)
+//! ```
+//!
+//! where `drained(t) = { u : u ⪯ x for some dependency x of t }`. The
+//! acquire sum is sound because any task `u` with `t ≺ u` must *start* —
+//! and therefore acquire — strictly after `t`'s acquire. The release set is
+//! deliberately conservative: a release may only be subtracted along paths
+//! that end in a *dependency* edge, because the executor drains the
+//! completion (and release) of a dependency before starting its dependents,
+//! but a zero-duration same-resource predecessor can still have its release
+//! undrained when its stream successor starts within the same scheduling
+//! pass. Every `ExecutionReport` the simulator produces must satisfy
+//! `peak_mem[d] ≤ UB(d)`; [`PlanReport::covers`] asserts exactly that.
+
+use angel_sim::{AccessMode, ExecutionReport, ObjectId, Simulation};
+use std::collections::BTreeMap;
+
+/// A conflicting, unordered pair of accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    pub object: ObjectId,
+    /// Submission indices of the two tasks (first < second).
+    pub first: usize,
+    pub second: usize,
+    pub first_label: String,
+    pub second_label: String,
+}
+
+/// What went wrong in a managed object's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifetimeIssue {
+    UseBeforeAlloc,
+    UseAfterFree,
+    DoubleAlloc,
+    DoubleFree,
+    FreeBeforeAlloc,
+    /// Allocated but never freed within the graph.
+    Leak,
+}
+
+/// One lifetime diagnostic, anchored at the offending task (for `Leak`,
+/// the allocating task).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LifetimeViolation {
+    pub object: ObjectId,
+    pub task: usize,
+    pub label: String,
+    pub issue: LifetimeIssue,
+}
+
+/// The verifier's verdict over one plan graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    pub races: Vec<Race>,
+    pub lifetime: Vec<LifetimeViolation>,
+    /// A dependency/stream cycle, as a task-index loop, if one exists. A
+    /// cyclic graph deadlocks the executor; race/lifetime/bound analyses
+    /// are skipped (happens-before is undefined).
+    pub cycle: Option<Vec<usize>>,
+    /// Provable peak-memory upper bound per domain (`MemDomainId.0`-indexed).
+    pub peak_bounds: Vec<u64>,
+    /// Domain capacities, for over-capacity reporting.
+    pub capacities: Vec<u64>,
+    pub task_count: usize,
+}
+
+impl PlanReport {
+    /// No races, no lifetime violations, no cycle.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty() && self.lifetime.is_empty() && self.cycle.is_none()
+    }
+
+    /// Does the static bound dominate an empirical report from the same
+    /// graph? (False for cyclic graphs — there is no sound bound.)
+    pub fn covers(&self, report: &ExecutionReport) -> bool {
+        self.cycle.is_none()
+            && report
+                .peak_mem
+                .iter()
+                .zip(&self.peak_bounds)
+                .all(|(&peak, &bound)| peak <= bound)
+    }
+
+    /// Panic with a readable diagnosis if the plan is not clean.
+    pub fn assert_clean(&self, what: &str) {
+        assert!(
+            self.is_clean(),
+            "plan verification failed for {what}: {} races {:?}, {} lifetime violations {:?}, cycle {:?}",
+            self.races.len(),
+            self.races.first(),
+            self.lifetime.len(),
+            self.lifetime.first(),
+            self.cycle,
+        );
+    }
+
+    /// Panic if the simulator observed a peak above the static bound.
+    pub fn assert_covers(&self, report: &ExecutionReport, what: &str) {
+        assert!(
+            self.covers(report),
+            "static peak bound violated for {what}: bounds {:?} vs simulated peaks {:?}",
+            self.peak_bounds,
+            report.peak_mem,
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TaskNode {
+    resource: usize,
+    deps: Vec<usize>,
+    accesses: Vec<(ObjectId, AccessMode)>,
+    /// (domain, acquire, release) triples.
+    mem: Vec<(usize, u64, u64)>,
+    label: String,
+}
+
+/// An analyzable copy of a lowered task graph. Mutable so tests can plant
+/// bugs ([`Self::remove_dep`], [`Self::add_dep`]) and prove the verifier
+/// catches them.
+#[derive(Debug, Clone)]
+pub struct PlanGraph {
+    tasks: Vec<TaskNode>,
+    num_domains: usize,
+    capacities: Vec<u64>,
+}
+
+/// Fixed-width bitset over task indices.
+#[derive(Clone)]
+struct BitMatrix {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        Self {
+            words,
+            bits: vec![0; words * n],
+        }
+    }
+    fn row(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.words..(i + 1) * self.words]
+    }
+    fn set(&mut self, i: usize, j: usize) {
+        self.bits[i * self.words + j / 64] |= 1 << (j % 64);
+    }
+    fn get(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.words + j / 64] >> (j % 64) & 1 == 1
+    }
+    /// row(i) |= row(j). Split at the row boundary to satisfy the borrow
+    /// checker without cloning.
+    fn or_row(&mut self, i: usize, j: usize) {
+        debug_assert_ne!(i, j);
+        let w = self.words;
+        let (a, b) = if i < j {
+            let (lo, hi) = self.bits.split_at_mut(j * w);
+            (&mut lo[i * w..i * w + w], &hi[..w])
+        } else {
+            let (lo, hi) = self.bits.split_at_mut(i * w);
+            (&mut hi[..w], &lo[j * w..j * w + w])
+        };
+        for (x, y) in a.iter_mut().zip(b) {
+            *x |= *y;
+        }
+    }
+}
+
+impl PlanGraph {
+    /// Snapshot a submitted simulation's task graph for analysis.
+    pub fn from_sim(sim: &Simulation) -> Self {
+        let tasks = sim
+            .tasks()
+            .map(|t| TaskNode {
+                resource: t.resource.0,
+                deps: t.deps.clone(),
+                accesses: t.accesses.iter().map(|a| (a.object, a.mode)).collect(),
+                mem: t
+                    .mem
+                    .iter()
+                    .map(|e| (e.domain.0, e.acquire, e.release))
+                    .collect(),
+                label: t.label.clone(),
+            })
+            .collect();
+        let num_domains = sim.resources().num_mem_domains();
+        let capacities = (0..num_domains)
+            .map(|d| sim.resources().mem_capacity(angel_sim::MemDomainId(d)))
+            .collect();
+        Self {
+            tasks,
+            num_domains,
+            capacities,
+        }
+    }
+
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Find a task index by label (panics if absent) — test convenience.
+    pub fn task_by_label(&self, label: &str) -> usize {
+        self.tasks
+            .iter()
+            .position(|t| t.label == label)
+            .unwrap_or_else(|| panic!("no task labelled {label:?}"))
+    }
+
+    /// Mutation hook: delete the dependency edge `dep → task` if present.
+    /// Returns whether an edge was removed.
+    pub fn remove_dep(&mut self, task: usize, dep: usize) -> bool {
+        let deps = &mut self.tasks[task].deps;
+        let before = deps.len();
+        deps.retain(|&d| d != dep);
+        deps.len() != before
+    }
+
+    /// Mutation hook: add an arbitrary dependency edge (may create a cycle —
+    /// that is the point; the simulator's `submit` cannot).
+    pub fn add_dep(&mut self, task: usize, dep: usize) {
+        self.tasks[task].deps.push(dep);
+    }
+
+    /// Run all analyses.
+    pub fn verify(&self) -> PlanReport {
+        let n = self.tasks.len();
+
+        // Edge set: dependency edges (d → i) plus same-resource stream
+        // edges (consecutive submissions on a resource).
+        let mut preds: Vec<Vec<usize>> = self.tasks.iter().map(|t| t.deps.clone()).collect();
+        let mut last_on_resource: BTreeMap<usize, usize> = BTreeMap::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            if let Some(&prev) = last_on_resource.get(&t.resource) {
+                preds[i].push(prev);
+            }
+            last_on_resource.insert(t.resource, i);
+        }
+
+        if let Some(cycle) = find_cycle(&preds) {
+            return PlanReport {
+                races: Vec::new(),
+                lifetime: Vec::new(),
+                cycle: Some(cycle),
+                peak_bounds: Vec::new(),
+                capacities: self.capacities.clone(),
+                task_count: n,
+            };
+        }
+
+        // Topological order (indices are already one: deps point backward
+        // and stream edges follow submission order — but `add_dep` can
+        // introduce forward edges, so sort properly).
+        let topo = toposort(&preds);
+
+        // anc[i] = strict ancestors of i (over deps ∪ stream edges);
+        // desc[i] = strict descendants.
+        let mut anc = BitMatrix::new(n);
+        for &i in &topo {
+            // Clone the (small) pred list to appease the borrow checker.
+            for p in preds[i].clone() {
+                anc.or_row(i, p);
+                anc.set(i, p);
+            }
+        }
+        let mut desc = BitMatrix::new(n);
+        for &i in topo.iter().rev() {
+            for p in preds[i].clone() {
+                desc.or_row(p, i);
+                desc.set(p, i);
+            }
+        }
+        // or_row only propagated direct edges; fold transitively: process
+        // in reverse topo for desc (descendants of my successors are mine).
+        // The loop above already visits in reverse topological order, so
+        // desc rows of successors were complete when merged. Same argument
+        // for anc in forward order. (Nothing further to do — kept as a note
+        // because the ordering is what makes the single pass sufficient.)
+
+        let ordered = |a: usize, b: usize| desc.get(a, b) || desc.get(b, a);
+
+        // ---- Races -------------------------------------------------------
+        let mut by_object: BTreeMap<ObjectId, Vec<(usize, AccessMode)>> = BTreeMap::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            for &(obj, mode) in &t.accesses {
+                by_object.entry(obj).or_default().push((i, mode));
+            }
+        }
+        let mut races = Vec::new();
+        for (&obj, accs) in &by_object {
+            for (k, &(a, ma)) in accs.iter().enumerate() {
+                for &(b, mb) in accs.iter().skip(k + 1) {
+                    if a == b {
+                        continue; // one task's accesses are sequential
+                    }
+                    let conflict = !(ma == AccessMode::Read && mb == AccessMode::Read);
+                    if conflict && !ordered(a, b) {
+                        let (first, second) = if a < b { (a, b) } else { (b, a) };
+                        races.push(Race {
+                            object: obj,
+                            first,
+                            second,
+                            first_label: self.tasks[first].label.clone(),
+                            second_label: self.tasks[second].label.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // ---- Lifetimes ---------------------------------------------------
+        // Walk each managed object's accesses in happens-before order (topo
+        // position is a linear extension of ≺; exact when race-free).
+        let mut topo_pos = vec![0usize; n];
+        for (pos, &i) in topo.iter().enumerate() {
+            topo_pos[i] = pos;
+        }
+        let mut lifetime = Vec::new();
+        for (&obj, accs) in &by_object {
+            let managed = accs
+                .iter()
+                .any(|&(_, m)| matches!(m, AccessMode::Alloc | AccessMode::Free));
+            if !managed {
+                continue;
+            }
+            let mut seq = accs.clone();
+            seq.sort_by_key(|&(i, _)| topo_pos[i]);
+            #[derive(PartialEq)]
+            enum LState {
+                Unallocated,
+                Live,
+                Freed,
+            }
+            let mut st = LState::Unallocated;
+            let mut alloc_task = None;
+            let mut violation = |task: usize, issue, label: &str| {
+                lifetime.push(LifetimeViolation {
+                    object: obj,
+                    task,
+                    label: label.to_string(),
+                    issue,
+                });
+            };
+            for &(i, mode) in &seq {
+                let label = &self.tasks[i].label;
+                match (mode, &st) {
+                    (AccessMode::Alloc, LState::Unallocated) => {
+                        st = LState::Live;
+                        alloc_task = Some(i);
+                    }
+                    (AccessMode::Alloc, LState::Freed) => {
+                        // Reuse after a free is a fresh lifetime.
+                        st = LState::Live;
+                        alloc_task = Some(i);
+                    }
+                    (AccessMode::Alloc, LState::Live) => {
+                        violation(i, LifetimeIssue::DoubleAlloc, label)
+                    }
+                    (AccessMode::Free, LState::Live) => st = LState::Freed,
+                    (AccessMode::Free, LState::Freed) => {
+                        violation(i, LifetimeIssue::DoubleFree, label)
+                    }
+                    (AccessMode::Free, LState::Unallocated) => {
+                        violation(i, LifetimeIssue::FreeBeforeAlloc, label)
+                    }
+                    (_, LState::Unallocated) => violation(i, LifetimeIssue::UseBeforeAlloc, label),
+                    (_, LState::Freed) => violation(i, LifetimeIssue::UseAfterFree, label),
+                    (_, LState::Live) => {}
+                }
+            }
+            if st == LState::Live {
+                let at = alloc_task.expect("Live implies an alloc");
+                lifetime.push(LifetimeViolation {
+                    object: obj,
+                    task: at,
+                    label: self.tasks[at].label.clone(),
+                    issue: LifetimeIssue::Leak,
+                });
+            }
+        }
+
+        // ---- Peak-memory bound ------------------------------------------
+        let nd = self.num_domains;
+        let mut acq = vec![vec![0u64; n]; nd];
+        let mut rel = vec![vec![0u64; n]; nd];
+        for (i, t) in self.tasks.iter().enumerate() {
+            for &(d, a, r) in &t.mem {
+                acq[d][i] += a;
+                rel[d][i] += r;
+            }
+        }
+        let mut peak_bounds = vec![0u64; nd];
+        let mut drained = vec![0u64; anc.words.max(1)];
+        for d in 0..nd {
+            let total_acq: u64 = acq[d].iter().sum();
+            let mut best = 0u64;
+            for t in 0..n {
+                if acq[d][t] == 0 {
+                    continue; // peaks occur immediately after an acquire
+                }
+                // Everything not provably after t may already hold memory.
+                let mut ub = total_acq;
+                for (w, &word) in desc.row(t).iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        let j = w * 64 + word.trailing_zeros() as usize;
+                        ub -= acq[d][j];
+                        word &= word - 1;
+                    }
+                }
+                // drained(t): ancestors (reflexive) of t's dependencies.
+                drained.iter_mut().for_each(|w| *w = 0);
+                for &x in &self.tasks[t].deps {
+                    for (w, &word) in anc.row(x).iter().enumerate() {
+                        drained[w] |= word;
+                    }
+                    drained[x / 64] |= 1 << (x % 64);
+                }
+                for (w, &word) in drained.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        let j = w * 64 + word.trailing_zeros() as usize;
+                        ub = ub.saturating_sub(rel[d][j]);
+                        word &= word - 1;
+                    }
+                }
+                best = best.max(ub);
+            }
+            peak_bounds[d] = best;
+        }
+
+        PlanReport {
+            races,
+            lifetime,
+            cycle: None,
+            peak_bounds,
+            capacities: self.capacities.clone(),
+            task_count: n,
+        }
+    }
+}
+
+/// Kahn toposort over predecessor lists; panics if cyclic (callers check
+/// with [`find_cycle`] first).
+fn toposort(preds: &[Vec<usize>]) -> Vec<usize> {
+    let n = preds.len();
+    let mut indeg = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            succs[p].push(i);
+            indeg[i] += 1;
+        }
+    }
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        order.push(i);
+        for &s in &succs[i] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "toposort on cyclic graph");
+    order
+}
+
+/// Return a cycle (as a task loop) if the edge relation has one.
+fn find_cycle(preds: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let n = preds.len();
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state = vec![0u8; n];
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        // Iterative DFS over predecessor edges.
+        let mut stack = vec![(start, 0usize)];
+        state[start] = 1;
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            if *idx < preds[v].len() {
+                let p = preds[v][*idx];
+                *idx += 1;
+                match state[p] {
+                    0 => {
+                        state[p] = 1;
+                        parent[p] = v;
+                        stack.push((p, 0));
+                    }
+                    1 => {
+                        // Found a back edge v → p: reconstruct the loop.
+                        let mut cycle = vec![p];
+                        let mut cur = v;
+                        while cur != p && cur != usize::MAX {
+                            cycle.push(cur);
+                            cur = parent[cur];
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                state[v] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use angel_sim::{Access, MemEffect, Resources, SimTask, Work};
+
+    fn two_stream_sim() -> (Simulation, angel_sim::ResourceId, angel_sim::ResourceId) {
+        let mut r = Resources::new();
+        let s1 = r.add_compute("s1");
+        let s2 = r.add_compute("s2");
+        (Simulation::new(r), s1, s2)
+    }
+
+    #[test]
+    fn ordered_conflicting_accesses_are_not_races() {
+        let (mut sim, s1, s2) = two_stream_sim();
+        let obj = ObjectId(1);
+        let w = sim.submit(
+            SimTask::new(s1, Work::Duration(10))
+                .with_access(Access::write(obj))
+                .with_label("writer"),
+        );
+        sim.submit(
+            SimTask::new(s2, Work::Duration(10))
+                .with_deps([w])
+                .with_access(Access::read(obj))
+                .with_label("reader"),
+        );
+        let report = PlanGraph::from_sim(&sim).verify();
+        report.assert_clean("ordered write→read");
+    }
+
+    #[test]
+    fn unordered_write_read_is_a_race() {
+        let (mut sim, s1, s2) = two_stream_sim();
+        let obj = ObjectId(1);
+        sim.submit(
+            SimTask::new(s1, Work::Duration(10))
+                .with_access(Access::write(obj))
+                .with_label("writer"),
+        );
+        sim.submit(
+            SimTask::new(s2, Work::Duration(10))
+                .with_access(Access::read(obj))
+                .with_label("reader"),
+        );
+        let report = PlanGraph::from_sim(&sim).verify();
+        assert_eq!(report.races.len(), 1);
+        let race = &report.races[0];
+        assert_eq!((race.first, race.second), (0, 1));
+        assert_eq!(race.object, obj);
+    }
+
+    #[test]
+    fn unordered_reads_do_not_conflict() {
+        let (mut sim, s1, s2) = two_stream_sim();
+        let obj = ObjectId(1);
+        sim.submit(SimTask::new(s1, Work::Duration(10)).with_access(Access::read(obj)));
+        sim.submit(SimTask::new(s2, Work::Duration(10)).with_access(Access::read(obj)));
+        PlanGraph::from_sim(&sim).verify().assert_clean("two reads");
+    }
+
+    #[test]
+    fn stream_order_counts_as_happens_before() {
+        // Same resource, no dep edge: FIFO order still orders the accesses.
+        let (mut sim, s1, _) = two_stream_sim();
+        let obj = ObjectId(1);
+        sim.submit(SimTask::new(s1, Work::Duration(10)).with_access(Access::write(obj)));
+        sim.submit(SimTask::new(s1, Work::Duration(10)).with_access(Access::write(obj)));
+        PlanGraph::from_sim(&sim)
+            .verify()
+            .assert_clean("stream-ordered writes");
+    }
+
+    #[test]
+    fn removing_the_dep_edge_plants_a_race() {
+        let (mut sim, s1, s2) = two_stream_sim();
+        let obj = ObjectId(1);
+        let w = sim.submit(
+            SimTask::new(s1, Work::Duration(10))
+                .with_access(Access::write(obj))
+                .with_label("writer"),
+        );
+        sim.submit(
+            SimTask::new(s2, Work::Duration(10))
+                .with_deps([w])
+                .with_access(Access::read(obj)),
+        );
+        let mut graph = PlanGraph::from_sim(&sim);
+        assert!(graph.verify().is_clean());
+        assert!(graph.remove_dep(1, w));
+        assert_eq!(graph.verify().races.len(), 1, "mutation must be flagged");
+    }
+
+    #[test]
+    fn lifetime_alloc_use_free_is_clean_and_leak_is_flagged() {
+        let (mut sim, s1, _) = two_stream_sim();
+        let obj = ObjectId(9);
+        let a = sim.submit(SimTask::new(s1, Work::Duration(1)).with_access(Access::alloc(obj)));
+        let u = sim.submit(
+            SimTask::new(s1, Work::Duration(1))
+                .with_deps([a])
+                .with_access(Access::read(obj)),
+        );
+        let mut graph = PlanGraph::from_sim(&sim);
+        // Without a free: leak.
+        let report = graph.verify();
+        assert_eq!(report.lifetime.len(), 1);
+        assert_eq!(report.lifetime[0].issue, LifetimeIssue::Leak);
+        // Add the free on a fresh sim: clean.
+        sim.submit(
+            SimTask::new(s1, Work::Duration(1))
+                .with_deps([u])
+                .with_access(Access::free(obj)),
+        );
+        graph = PlanGraph::from_sim(&sim);
+        graph.verify().assert_clean("alloc-use-free");
+    }
+
+    #[test]
+    fn use_after_free_and_double_free_are_flagged() {
+        let (mut sim, s1, _) = two_stream_sim();
+        let obj = ObjectId(9);
+        let a = sim.submit(SimTask::new(s1, Work::Duration(1)).with_access(Access::alloc(obj)));
+        let f = sim.submit(
+            SimTask::new(s1, Work::Duration(1))
+                .with_deps([a])
+                .with_access(Access::free(obj)),
+        );
+        sim.submit(
+            SimTask::new(s1, Work::Duration(1))
+                .with_deps([f])
+                .with_access(Access::write(obj)),
+        );
+        sim.submit(
+            SimTask::new(s1, Work::Duration(1))
+                .with_deps([f])
+                .with_access(Access::free(obj)),
+        );
+        let issues: Vec<_> = PlanGraph::from_sim(&sim)
+            .verify()
+            .lifetime
+            .iter()
+            .map(|v| v.issue)
+            .collect();
+        assert!(issues.contains(&LifetimeIssue::UseAfterFree), "{issues:?}");
+        assert!(issues.contains(&LifetimeIssue::DoubleFree), "{issues:?}");
+    }
+
+    #[test]
+    fn planted_cycle_is_detected() {
+        let (mut sim, s1, s2) = two_stream_sim();
+        let a = sim.submit(SimTask::new(s1, Work::Duration(1)));
+        sim.submit(SimTask::new(s2, Work::Duration(1)).with_deps([a]));
+        let mut graph = PlanGraph::from_sim(&sim);
+        graph.add_dep(a, 1); // a depends on its own dependent
+        let report = graph.verify();
+        assert!(!report.is_clean());
+        let cycle = report.cycle.expect("cycle must be found");
+        assert!(cycle.contains(&0) && cycle.contains(&1), "{cycle:?}");
+    }
+
+    #[test]
+    fn peak_bound_dominates_simulated_peak() {
+        let mut r = Resources::new();
+        let s1 = r.add_compute("s1");
+        let s2 = r.add_compute("s2");
+        let dom = r.add_mem_domain("mem", 0);
+        let mut sim = Simulation::new(r);
+        let a = sim.submit(SimTask::new(s1, Work::Duration(100)).with_mem(MemEffect {
+            domain: dom,
+            acquire: 600,
+            release: 600,
+        }));
+        sim.submit(SimTask::new(s2, Work::Duration(100)).with_mem(MemEffect {
+            domain: dom,
+            acquire: 500,
+            release: 500,
+        }));
+        sim.submit(
+            SimTask::new(s1, Work::Duration(10))
+                .with_deps([a])
+                .with_mem(MemEffect {
+                    domain: dom,
+                    acquire: 300,
+                    release: 300,
+                }),
+        );
+        let report = sim.run();
+        let verdict = PlanGraph::from_sim(&sim).verify();
+        verdict.assert_covers(&report, "3-task overlap");
+        // Concurrent 600+500 must be in the bound; the dependent 300 may
+        // reuse a's released 600.
+        assert!(verdict.peak_bounds[dom.0] >= 1100);
+    }
+
+    #[test]
+    fn bound_subtracts_releases_only_through_dependency_edges() {
+        // Zero-duration stream successor: the executor may start it before
+        // draining its stream-predecessor's release, so the bound must NOT
+        // subtract that release. Regression guard for the soundness
+        // argument in the module docs.
+        let mut r = Resources::new();
+        let s1 = r.add_compute("s1");
+        let dom = r.add_mem_domain("mem", 0);
+        let mut sim = Simulation::new(r);
+        sim.submit(SimTask::new(s1, Work::Duration(0)).with_mem(MemEffect {
+            domain: dom,
+            acquire: 100,
+            release: 100,
+        }));
+        sim.submit(SimTask::new(s1, Work::Duration(0)).with_mem(MemEffect {
+            domain: dom,
+            acquire: 100,
+            release: 100,
+        }));
+        let report = sim.run();
+        let verdict = PlanGraph::from_sim(&sim).verify();
+        verdict.assert_covers(&report, "zero-duration stream pair");
+        assert_eq!(
+            verdict.peak_bounds[dom.0], 200,
+            "stream release not drained"
+        );
+    }
+
+    #[test]
+    fn empty_graph_verifies() {
+        let (sim, _, _) = two_stream_sim();
+        let report = PlanGraph::from_sim(&sim).verify();
+        report.assert_clean("empty");
+        report.assert_covers(&sim.run(), "empty");
+    }
+}

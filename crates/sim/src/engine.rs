@@ -125,6 +125,64 @@ pub enum Work {
     Bytes(u64),
 }
 
+/// Identity of a logical object (page, tensor shard, optimizer state, ...)
+/// that tasks read and write. The simulator itself never interprets these —
+/// they exist so a static verifier can check that every pair of conflicting
+/// accesses is ordered by the dependency/stream happens-before relation.
+///
+/// The `u64` payload is an opaque key chosen by whoever lowers the plan;
+/// `angel_core::verify::objects` provides the tagged encodings used by the
+/// engine and baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+/// How a task touches an [`ObjectId`]. `Alloc` and `Free` conflict with
+/// everything (including each other); two `Read`s never conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessMode {
+    Read,
+    Write,
+    /// First access in the object's lifetime; brings it into existence.
+    Alloc,
+    /// Last access in the object's lifetime; the object must not be touched
+    /// afterwards.
+    Free,
+}
+
+/// One declared access of a task to a logical object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    pub object: ObjectId,
+    pub mode: AccessMode,
+}
+
+impl Access {
+    pub fn read(object: ObjectId) -> Self {
+        Self {
+            object,
+            mode: AccessMode::Read,
+        }
+    }
+    pub fn write(object: ObjectId) -> Self {
+        Self {
+            object,
+            mode: AccessMode::Write,
+        }
+    }
+    pub fn alloc(object: ObjectId) -> Self {
+        Self {
+            object,
+            mode: AccessMode::Alloc,
+        }
+    }
+    pub fn free(object: ObjectId) -> Self {
+        Self {
+            object,
+            mode: AccessMode::Free,
+        }
+    }
+}
+
 /// Memory side effect of a task on one domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemEffect {
@@ -146,6 +204,10 @@ pub struct SimTask {
     /// before this one starts.
     pub deps: Vec<usize>,
     pub mem: Vec<MemEffect>,
+    /// Declared accesses to logical objects, for static race/lifetime
+    /// verification. Purely observational: the executor ignores them.
+    #[serde(default)]
+    pub accesses: Vec<Access>,
     /// Free-form label, used for tracing and per-kind busy accounting.
     pub label: String,
 }
@@ -157,6 +219,7 @@ impl SimTask {
             work,
             deps: Vec::new(),
             mem: Vec::new(),
+            accesses: Vec::new(),
             label: String::new(),
         }
     }
@@ -185,6 +248,16 @@ impl SimTask {
 
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
+        self
+    }
+
+    pub fn with_access(mut self, access: Access) -> Self {
+        self.accesses.push(access);
+        self
+    }
+
+    pub fn with_accesses(mut self, accesses: impl IntoIterator<Item = Access>) -> Self {
+        self.accesses.extend(accesses);
         self
     }
 }
@@ -335,6 +408,12 @@ impl Simulation {
     /// Submitted tasks in submission order.
     pub fn tasks(&self) -> impl Iterator<Item = &SimTask> {
         self.tasks.iter()
+    }
+
+    /// Attach access annotations to an already-submitted task, for lowering
+    /// code that only learns object identities after submission.
+    pub fn annotate(&mut self, task: usize, accesses: impl IntoIterator<Item = Access>) {
+        self.tasks[task].accesses.extend(accesses);
     }
 
     /// Execute the schedule to completion and report.
@@ -886,6 +965,30 @@ mod tests {
         let mut sim = Simulation::new(r);
         sim.submit(SimTask::new(gpu, Work::Duration(10)));
         assert!(sim.run().failed_tasks.is_empty());
+    }
+
+    #[test]
+    fn access_annotations_are_observational() {
+        let (r, gpu) = one_resource();
+        let mut sim = Simulation::new(r);
+        let obj = ObjectId(42);
+        let t = sim.submit(
+            SimTask::new(gpu, Work::Duration(10))
+                .with_access(Access::write(obj))
+                .with_accesses([Access::read(ObjectId(7))]),
+        );
+        sim.annotate(t, [Access::free(obj)]);
+        let task = sim.tasks().next().expect("one task");
+        assert_eq!(
+            task.accesses,
+            vec![
+                Access::write(obj),
+                Access::read(ObjectId(7)),
+                Access::free(obj)
+            ]
+        );
+        // Executor behaviour is unchanged by annotations.
+        assert_eq!(sim.run().makespan, 10);
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub mod engine;
 pub mod trace;
 
 pub use engine::{
-    ExecutionReport, FaultEvent, FaultKind, MemDomainId, MemEffect, ResourceId, Resources, SimTask,
-    Simulation, Work,
+    Access, AccessMode, ExecutionReport, FaultEvent, FaultKind, MemDomainId, MemEffect, ObjectId,
+    ResourceId, Resources, SimTask, Simulation, Work,
 };
 pub use trace::chrome_trace;
 
