@@ -184,14 +184,17 @@ impl DeepSpeed {
             .time_ns_sharded(layer_params * 28, gpus_per_server as usize);
         let layer_ssd = layer_params * 12;
 
+        // Known graph size: 2n steps × (fetch + gather + compute), the
+        // backward half's reduce-scatter + offload, and per-layer updates
+        // (optional SSD read/write + update + param upload).
+        lo.reserve_tasks(2 * n * 3 + n * 2 + n * (2 + if self.ssd { 2 } else { 0 }));
         let mut prev_compute: Option<usize> = None;
-        let mut grad_offloads: Vec<usize> = Vec::new();
+        let mut grad_offloads: Vec<usize> = Vec::with_capacity(n);
         // Forward then backward; every step re-streams the layer shard from
         // pinned memory (static partition: nothing stays resident).
-        let steps: Vec<(usize, bool)> = (0..n)
-            .map(|l| (l, true))
-            .chain((0..n).rev().map(|l| (l, false)))
-            .collect();
+        let mut steps: Vec<(usize, bool)> = Vec::with_capacity(2 * n);
+        steps.extend((0..n).map(|l| (l, true)));
+        steps.extend((0..n).rev().map(|l| (l, false)));
         for (s, &(l, is_fwd)) in steps.iter().enumerate() {
             // Just-in-time: prefetch of the next layer starts only once the
             // previous layer's compute is underway (one-deep static

@@ -125,6 +125,7 @@ pub fn lower_strategy(
         0
     };
     let mut lo = Lowering::new(&LoweringConfig::new(cluster.clone(), s.dp as u64));
+    lo.reserve_tasks((m + p - 1) as usize + 1);
     let mut prev: Option<usize> = None;
     for slot in 0..(m + p - 1) {
         let cid = lo.compute_gpu(per_micro, prev, format!("micro slot {slot}"));

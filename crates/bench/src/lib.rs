@@ -152,4 +152,43 @@ mod tests {
         assert_eq!(fmt_sps(10.987), "10.99");
         assert_eq!(fmt_ratio(2.959), "2.96x");
     }
+
+    /// The checked-in planning-cost baseline must stay parseable and keep
+    /// its acceptance property: ≥10x speedup over the per-page oracle on
+    /// the 10⁵-page synthetic input, with byte-identical schedules.
+    /// Regenerate with `cargo run --release -p angel-bench --bin planning_cost`.
+    #[test]
+    fn bench_plan_baseline_parses() {
+        let path = format!("{}/../../BENCH_plan.json", env!("CARGO_MANIFEST_DIR"));
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing planning baseline {path}: {e}"));
+        let doc: serde_json::Value = serde_json::from_str(&raw).expect("valid JSON");
+        assert_eq!(doc["id"].as_str(), Some("plan_bench"));
+        let inputs = doc["inputs"].as_array().expect("inputs array");
+        assert!(!inputs.is_empty());
+        for rec in inputs {
+            for key in [
+                "name",
+                "layers",
+                "steps",
+                "pages",
+                "optimized_ms",
+                "oracle_ms",
+            ] {
+                assert!(!rec[key].is_null(), "record missing {key}");
+            }
+            assert_eq!(rec["identical"].as_bool(), Some(true));
+        }
+        let synth = inputs
+            .iter()
+            .find(|r| r["name"].as_str() == Some("synthetic-100k-pages"))
+            .expect("synthetic acceptance row");
+        assert!(synth["pages"].as_u64().unwrap() >= 100_000);
+        assert!(synth["steps"].as_u64().unwrap() >= 192);
+        let speedup = synth["speedup"].as_f64().unwrap();
+        assert!(
+            speedup >= 10.0,
+            "recorded speedup regressed below the 10x acceptance bar: {speedup}"
+        );
+    }
 }

@@ -191,11 +191,14 @@ impl Engine {
     pub fn train_iteration(&mut self) -> IterStats {
         let lowered = self.build_iteration_sim();
         let report = lowered.sim.run();
-        // Debug builds statically verify every lowered iteration: no
+        // Debug builds statically verify the lowered iteration: no
         // unordered conflicting accesses, well-formed object lifetimes, and
         // a provable peak-memory bound that the executed report respects.
+        // The verifier's happens-before closure is O(V²·E/64), so large
+        // lowerings are skipped past `debug_verify_task_limit` — see
+        // `should_debug_verify` for the `ANGEL_DEBUG_VERIFY` override.
         #[cfg(debug_assertions)]
-        {
+        if should_debug_verify(lowered.sim.num_tasks(), self.config.debug_verify_task_limit) {
             let verdict = crate::verify::PlanGraph::from_sim(&lowered.sim).verify();
             verdict.assert_clean("engine iteration lowering");
             verdict.assert_covers(&report, "engine iteration lowering");
@@ -274,6 +277,18 @@ impl Engine {
             }
         }
         lo
+    }
+}
+
+/// Whether a debug build should self-verify an iteration of `num_tasks`
+/// lowered tasks: unconditional below `limit`, skipped above it, with the
+/// `ANGEL_DEBUG_VERIFY` environment variable forcing either way
+/// (`always`/`1` = verify regardless of size, `off`/`0` = never).
+pub fn should_debug_verify(num_tasks: usize, limit: usize) -> bool {
+    match std::env::var("ANGEL_DEBUG_VERIFY").as_deref() {
+        Ok("always") | Ok("1") => true,
+        Ok("off") | Ok("0") => false,
+        _ => num_tasks <= limit,
     }
 }
 
@@ -366,6 +381,20 @@ mod tests {
         let r = e.run(10);
         assert_eq!(r.iters, 10);
         assert_eq!(r.total_time_ns, r.per_iter.iter_time_ns * 10);
+    }
+
+    #[test]
+    fn debug_verify_gates_on_task_count() {
+        // With ANGEL_DEBUG_VERIFY unset (the test environment), the
+        // decision is purely the threshold: unconditional below, off above.
+        if std::env::var("ANGEL_DEBUG_VERIFY").is_ok() {
+            return; // explicit override in the environment wins; skip
+        }
+        assert!(should_debug_verify(100, 100));
+        assert!(should_debug_verify(0, 100));
+        assert!(!should_debug_verify(101, 100));
+        let cfg = EngineConfig::single_server().with_debug_verify_task_limit(7);
+        assert_eq!(cfg.debug_verify_task_limit, 7);
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub mod page;
 pub mod plan;
 pub mod recovery;
 pub mod scheduler;
+pub mod seqtree;
 pub mod sync;
 pub mod tensor;
 pub mod tracer;

@@ -291,6 +291,12 @@ impl Lowering {
         self.sim.annotate(task, accesses);
     }
 
+    /// Reserve room for `additional` more tasks; lowerings that know their
+    /// graph size call this once instead of growing the task vector.
+    pub fn reserve_tasks(&mut self, additional: usize) {
+        self.sim.reserve_tasks(additional);
+    }
+
     /// Run the static race/lifetime/peak-bound verifier over the graph
     /// built so far.
     pub fn verify(&self) -> PlanReport {
@@ -342,12 +348,16 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
     let n_steps = schedule.num_steps;
     let flops = angel_model::flops::layer_flops(args.model, config.batch_size);
 
-    // Per-step bookkeeping while lowering.
+    // Per-step bookkeeping while lowering: one pass over the task list
+    // recovers each step's kind and (phase-2 advanced) gather trigger.
     let mut compute_task: Vec<Option<usize>> = vec![None; n_steps];
     let mut gather_trigger: Vec<usize> = (0..n_steps).collect();
+    let mut step_kind: Vec<Option<StepKind>> = vec![None; n_steps];
     for t in &schedule.tasks {
-        if let TaskOp::AllGather { step, .. } = t.op {
-            gather_trigger[step] = t.trigger_id;
+        match t.op {
+            TaskOp::AllGather { step, .. } => gather_trigger[step] = t.trigger_id,
+            TaskOp::Compute(k) => step_kind[t.trigger_id] = Some(k),
+            TaskOp::MoveToGpu(_) => {}
         }
     }
 
@@ -359,19 +369,28 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
     let ssd_updates = config.use_ssd && args.placement.ssd_bytes > 0;
     let updates_on_graph = !config.lock_free && (ssd_updates || cpu_params > 0);
 
-    // 1. Initial page movements (trigger 0) on the H2D channel.
-    for t in &schedule.tasks {
+    // The graph size is known from the schedule — reserve it up front:
+    // resident-page moves, per-step gather + compute, and the backward-half
+    // extras (reduce-scatter, offload, up to 4 update-path tasks).
+    let n_moves = schedule
+        .tasks
+        .iter()
+        .filter(|t| matches!(t.op, TaskOp::MoveToGpu(_)))
+        .count();
+    lo.reserve_tasks(n_moves + 2 * n_steps + n_steps.div_ceil(2) * 6 + 1);
+
+    // 1. Initial page movements (trigger 0) on the H2D channel — an O(1)
+    // slice of the trigger-indexed schedule.
+    for t in schedule.at_trigger(0) {
         if let TaskOp::MoveToGpu(page) = t.op {
-            if t.trigger_id == 0 {
-                let id = lo.stage_in(page.bytes, format!("move l{}p{}", page.layer, page.index));
-                lo.annotate(id, [Access::write(objects::page(page.layer, page.index))]);
-            }
+            let id = lo.stage_in(page.bytes, format!("move l{}p{}", page.layer, page.index));
+            lo.annotate(id, [Access::write(objects::page(page.layer, page.index))]);
         }
     }
 
     // 2. Per-step gathers and computes in trigger order.
     for i in 0..n_steps {
-        let step = step_of(schedule, i);
+        let step = step_kind[i].expect("every step has a compute task");
         let layer = step.layer();
         // All-gather of the full layer parameters across ranks, launched
         // at its (phase-2 advanced) trigger: dependency on the compute
@@ -562,6 +581,7 @@ fn layer_state_bytes(model: &TransformerConfig) -> Vec<u64> {
 pub fn checkpoint_write_graph(model: &TransformerConfig, config: &EngineConfig) -> Lowering {
     let mut lo = Lowering::new(&LoweringConfig::for_engine(config));
     let ranks = config.num_gpus() as u64;
+    lo.reserve_tasks(model.layers);
     for (l, bytes) in layer_state_bytes(model).iter().enumerate() {
         let id = lo.ssd_write(bytes.div_ceil(ranks), [], format!("ckpt_write l{l}"));
         lo.annotate(id, [Access::read(objects::layer_state(l))]);
@@ -576,6 +596,7 @@ pub fn checkpoint_write_graph(model: &TransformerConfig, config: &EngineConfig) 
 pub fn checkpoint_restore_graph(model: &TransformerConfig, config: &EngineConfig) -> Lowering {
     let mut lo = Lowering::new(&LoweringConfig::for_engine(config));
     let ranks = config.num_gpus() as u64;
+    lo.reserve_tasks(2 * model.layers);
     for (l, bytes) in layer_state_bytes(model).iter().enumerate() {
         let shard = bytes.div_ceil(ranks);
         let rd = lo.ssd_read(shard, [], format!("ckpt_read l{l}"));
@@ -609,17 +630,6 @@ pub fn lower_checkpoint(model: &TransformerConfig, config: &EngineConfig) -> Che
         write_secs: angel_sim::ns_to_s(write.makespan),
         restore_secs: angel_sim::ns_to_s(restore.makespan),
     }
-}
-
-fn step_of(schedule: &Schedule, i: usize) -> StepKind {
-    schedule
-        .tasks
-        .iter()
-        .find_map(|t| match t.op {
-            TaskOp::Compute(k) if t.trigger_id == i => Some(k),
-            _ => None,
-        })
-        .expect("every step has a compute task")
 }
 
 #[cfg(test)]

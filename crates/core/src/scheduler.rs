@@ -24,8 +24,21 @@
 //! compute-step list (forward 0..n, backward n-1..0), with the trace ids of
 //! [`crate::tracer::Trace`] as trigger ids, so parameter residency is
 //! planned across both passes.
+//!
+//! # Complexity (DESIGN.md §9)
+//!
+//! At the paper's scale a layer shard is 10⁴–10⁵ pages, so the planner's
+//! residency timeline is backed by a lazy range-add / range-max segment
+//! tree ([`crate::seqtree::RangeAddMax`]) and phase 1 batches whole
+//! same-layer page runs into single range updates. Every timeline
+//! operation — evict, re-add fit check, re-add commit, gather advancement,
+//! peak — is O(log steps), for an overall O((pages + steps)·log steps)
+//! plan. The pre-refactor per-page / per-step implementation is retained
+//! verbatim in [`oracle`]; tests and the criterion suite prove the
+//! optimized planner emits byte-identical schedules and stats.
 
 use crate::error::{Error, Result};
+use crate::seqtree::RangeAddMax;
 use serde::{Deserialize, Serialize};
 
 /// A planned parameter page: `pages[index]` of `layer`'s local shard.
@@ -133,19 +146,47 @@ pub struct ScheduleStats {
     pub gathers_advanced: usize,
 }
 
-/// The schedule: ordered tasks plus stats.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// The schedule: tasks ordered by trigger id, a per-trigger index, and
+/// stats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Schedule {
     pub tasks: Vec<ScheduleTask>,
     pub stats: ScheduleStats,
     pub num_steps: usize,
+    /// `trigger_offsets[t]..trigger_offsets[t + 1]` is the range of `tasks`
+    /// with trigger id `t` (length `num_steps + 1`). The executor reads one
+    /// trigger's tasks per step, so the lookup must not scan the task list.
+    pub trigger_offsets: Vec<usize>,
 }
 
 impl Schedule {
-    /// All tasks with the given trigger id, in emission order.
+    /// All tasks with the given trigger id, in emission order — an O(1)
+    /// slice lookup into the trigger-sorted task list.
     pub fn at_trigger(&self, id: usize) -> impl Iterator<Item = &ScheduleTask> {
-        self.tasks.iter().filter(move |t| t.trigger_id == id)
+        self.tasks[self.trigger_range(id)].iter()
     }
+
+    /// The index range of tasks with trigger id `id`.
+    pub fn trigger_range(&self, id: usize) -> std::ops::Range<usize> {
+        if id + 1 >= self.trigger_offsets.len() {
+            return 0..0;
+        }
+        self.trigger_offsets[id]..self.trigger_offsets[id + 1]
+    }
+}
+
+/// Build the per-trigger offset table from a trigger-sorted task list.
+/// Triggers are confined to `0..num_steps` by construction (re-adds land at
+/// `i + 1 <= last_use < num_steps`).
+fn trigger_offsets_of(tasks: &[ScheduleTask], num_steps: usize) -> Vec<usize> {
+    let mut offsets = vec![0usize; num_steps + 1];
+    for t in tasks {
+        offsets[t.trigger_id + 1] += 1;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    offsets
 }
 
 /// The Unified Scheduler component. `phase2` enables the all-gather
@@ -171,46 +212,65 @@ impl Default for UnifiedScheduler {
 }
 
 /// Incremental residency timeline: planned GPU bytes per compute step,
-/// maintained under range updates so scheduling stays near-linear in
-/// (pages + steps) even for hundred-layer models with 10⁵ shard pages.
+/// maintained as a lazy range-add / range-max segment tree so every
+/// scheduling decision is O(log steps) — near-linear planning overall even
+/// for hundred-layer models with 10⁵ shard pages.
 ///
-/// `mem[j]` = resident shard bytes live at step `j` + gathered-buffer extras
-/// whose span covers `j` + step `j`'s working set.
+/// Logical content (identical to [`oracle::NaiveTimeline`]): `mem[j]` =
+/// resident shard bytes live at step `j` + gathered-buffer extras whose
+/// span covers `j` + step `j`'s working set.
 struct Timeline<'a> {
     input: &'a SchedulerInput,
-    mem: Vec<u64>,
+    mem: RangeAddMax,
     /// Bytes of layer `l`'s shard moved at trigger 0 and still scheduled.
     resident0: Vec<u64>,
-    /// Re-scheduled pages per layer: `(trigger, bytes)`.
-    rescheduled: Vec<Vec<(usize, u64)>>,
+    /// Re-added bytes per layer as `(trigger, cumulative bytes)`, trigger
+    /// ascending — the prefix sums that replace the oracle's linear scan in
+    /// `resident()`.
+    resched_cum: Vec<Vec<(usize, u64)>>,
     /// Current all-gather trigger per step (starts just-in-time at `i`).
     gather_trigger: Vec<usize>,
     /// Last compute step touching each layer.
     last_use: Vec<usize>,
-    /// The compute steps of each layer (forward and backward ids).
+    /// The compute steps of each layer (forward and backward ids),
+    /// ascending.
     steps_of_layer: Vec<Vec<usize>>,
+    /// Per-layer step bitmaps (`words` u64 words per layer): O(1)
+    /// is-own-step membership, replacing the oracle's `own.contains(&j)`.
+    own_bits: Vec<u64>,
+    words: usize,
 }
 
 impl<'a> Timeline<'a> {
     fn new(input: &'a SchedulerInput) -> Self {
         let n_steps = input.steps.len();
         let n_layers = input.layers.len();
+        let words = n_steps.div_ceil(64);
         let mut steps_of_layer = vec![Vec::new(); n_layers];
+        let mut own_bits = vec![0u64; n_layers * words];
         for (j, s) in input.steps.iter().enumerate() {
-            steps_of_layer[s.layer()].push(j);
+            let l = s.layer();
+            steps_of_layer[l].push(j);
+            own_bits[l * words + j / 64] |= 1 << (j % 64);
         }
         let last_use: Vec<usize> = steps_of_layer
             .iter()
             .map(|v| *v.last().expect("layer unused"))
             .collect();
         let resident0: Vec<u64> = input.layers.iter().map(|l| l.shard_bytes()).collect();
-        let mut mem = vec![0u64; n_steps];
-        // Resident shards: every page starts at trigger 0, live until the
-        // layer's last use.
+        // Resident shards via a difference array (O(layers + steps) instead
+        // of the oracle's O(layers × steps) fill): every page starts at
+        // trigger 0, live until the layer's last use.
+        let mut diff = vec![0i64; n_steps + 1];
         for (l, &bytes) in resident0.iter().enumerate() {
-            for m in mem.iter_mut().take(last_use[l] + 1) {
-                *m += bytes;
-            }
+            diff[0] += bytes as i64;
+            diff[last_use[l] + 1] -= bytes as i64;
+        }
+        let mut mem = vec![0u64; n_steps];
+        let mut running = 0i64;
+        for (j, m) in mem.iter_mut().enumerate() {
+            running += diff[j];
+            *m = running as u64;
         }
         // Per-step working set + just-in-time gather extra (full − resident)
         // + external base load.
@@ -226,93 +286,122 @@ impl<'a> Timeline<'a> {
         }
         Self {
             input,
-            mem,
+            mem: RangeAddMax::from_values(&mem),
             resident0,
-            rescheduled: vec![Vec::new(); n_layers],
+            resched_cum: vec![Vec::new(); n_layers],
             gather_trigger: (0..n_steps).collect(),
             last_use,
             steps_of_layer,
+            own_bits,
+            words,
         }
     }
 
-    /// Shard bytes of layer `l` resident at step `j`.
+    /// Whether step `j` computes layer `l` (O(1) bitmap lookup).
+    fn is_own_step(&self, l: usize, j: usize) -> bool {
+        self.own_bits[l * self.words + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// Shard bytes of layer `l` resident at step `j` — prefix-sum lookup
+    /// over the re-add history instead of a linear scan.
     fn resident(&self, l: usize, j: usize) -> u64 {
         if j > self.last_use[l] {
             return 0;
         }
-        self.resident0[l]
-            + self.rescheduled[l]
-                .iter()
-                .filter(|(t, _)| *t <= j)
-                .map(|(_, b)| b)
-                .sum::<u64>()
+        let cum = &self.resched_cum[l];
+        let idx = cum.partition_point(|&(t, _)| t <= j);
+        self.resident0[l] + if idx == 0 { 0 } else { cum[idx - 1].1 }
     }
 
-    /// Evict a trigger-0 page of layer `l` (phase 1, lines 7–9): the shard
-    /// bytes leave every step, but the layer's own compute steps must now
-    /// gather those bytes remotely, so their totals are unchanged.
-    fn evict(&mut self, l: usize, bytes: u64) {
-        self.resident0[l] -= bytes;
-        for j in 0..=self.last_use[l] {
-            self.mem[j] -= bytes;
-        }
-        for &i in &self.steps_of_layer[l] {
-            self.mem[i] += bytes; // gather extra grows by the same amount
+    /// Evict `total` trigger-0 bytes of layer `l` in one batch (phase 1,
+    /// lines 7–9): the shard bytes leave every step, but the layer's own
+    /// compute steps must now gather those bytes remotely, so their totals
+    /// are unchanged.
+    fn evict(&mut self, l: usize, total: u64) {
+        self.resident0[l] -= total;
+        self.mem.add(0, self.last_use[l], -(total as i64));
+        for &s in &self.steps_of_layer[l] {
+            self.mem.add(s, s, total as i64); // gather extra grows
         }
     }
 
-    /// Whether re-adding a page of layer `l` at trigger `t` keeps every step
-    /// within budget. Affected steps are `[t, last_use(l)]`, excluding the
-    /// layer's own compute steps at or after `t` (net-zero there).
-    fn readd_fits(&self, l: usize, bytes: u64, t: usize) -> bool {
+    /// The byte capacity for re-adding layer-`l` pages at trigger `t`:
+    /// `None` when nothing fits (including zero-byte pages), `Some(cap)`
+    /// when any batch of total size `<= cap` keeps every affected step
+    /// within budget. Affected steps are `[t, last_use(l)]` minus the
+    /// layer's own compute steps (net-zero there), checked as range-max
+    /// queries over the gaps between own steps.
+    fn readd_capacity(&self, l: usize, t: usize) -> Option<u64> {
         if t > self.last_use[l] {
-            return false; // page would arrive after its layer's last use
+            return None; // pages would arrive after the layer's last use
         }
-        let own: &[usize] = &self.steps_of_layer[l];
-        (t..=self.last_use[l]).all(|j| {
-            if own.contains(&j) && j >= t {
-                true
-            } else {
-                self.mem[j] + bytes <= self.input.gpu_budget
+        let own = &self.steps_of_layer[l];
+        let mut gap_max: Option<u64> = None;
+        let mut seg_start = t;
+        for &s in &own[own.partition_point(|&s| s < t)..] {
+            if s > seg_start {
+                gap_max = gap_max.max(self.mem.max_in(seg_start, s - 1));
             }
-        })
+            seg_start = s + 1;
+        }
+        if seg_start <= self.last_use[l] {
+            gap_max = gap_max.max(self.mem.max_in(seg_start, self.last_use[l]));
+        }
+        match gap_max {
+            None => Some(u64::MAX), // only own steps affected: anything fits
+            Some(m) => self.input.gpu_budget.checked_sub(m),
+        }
     }
 
-    /// Commit a re-add (phase 1, lines 13–15).
-    fn readd(&mut self, l: usize, bytes: u64, t: usize) {
-        debug_assert!(self.readd_fits(l, bytes, t));
-        for j in t..=self.last_use[l] {
-            self.mem[j] += bytes;
-        }
-        for &i in &self.steps_of_layer[l] {
-            if i >= t {
-                self.mem[i] -= bytes; // gather extra shrinks back
+    /// Commit a batched re-add of `total` bytes of layer `l` at trigger `t`
+    /// (phase 1, lines 13–15).
+    fn readd(&mut self, l: usize, total: u64, t: usize) {
+        self.mem.add(t, self.last_use[l], total as i64);
+        for &s in &self.steps_of_layer[l] {
+            if s >= t {
+                self.mem.add(s, s, -(total as i64)); // gather extra shrinks
             }
         }
-        self.rescheduled[l].push((t, bytes));
+        let prev = self.resched_cum[l].last().map_or(0, |&(_, c)| c);
+        self.resched_cum[l].push((t, prev + total));
     }
 
     /// Phase 2 (lines 18–21): advance step `i`'s all-gather to the earliest
     /// trigger that keeps every step within budget. Extending the gather's
-    /// span from `[g, i]` to `[g−1, i]` adds its buffer only at step `g−1`.
+    /// span from `[g, i]` to `[g−1, i]` adds its buffer only at step `g−1`,
+    /// so the stop point is the latest step in `[floor, g−1]` already above
+    /// `budget − extra` — one segment-tree descent instead of a per-step
+    /// walk.
     fn advance_gather(&mut self, i: usize, horizon: usize) -> bool {
         let l = self.input.steps[i].layer();
         let extra = self.input.layers[l]
             .full_param_bytes
             .saturating_sub(self.resident(l, i));
         let floor = i.saturating_sub(horizon);
-        let mut g = self.gather_trigger[i];
-        let original = g;
-        while g > floor && self.mem[g - 1] + extra <= self.input.gpu_budget {
-            g -= 1;
-            self.mem[g] += extra;
+        let g = self.gather_trigger[i];
+        if g <= floor {
+            return false;
         }
-        self.gather_trigger[i] = g;
-        g < original
+        let new_g = match self.input.gpu_budget.checked_sub(extra) {
+            // The gather buffer alone overflows the budget: no step can
+            // absorb it (mem ≥ 0), so the trigger stays just-in-time.
+            None => g,
+            Some(threshold) => match self.mem.last_above(floor, g - 1, threshold) {
+                Some(j) => j + 1,
+                None => floor,
+            },
+        };
+        if new_g < g {
+            self.mem.add(new_g, g - 1, extra as i64);
+            self.gather_trigger[i] = new_g;
+            true
+        } else {
+            false
+        }
     }
 
     fn peak(&self) -> u64 {
-        self.mem.iter().copied().max().unwrap_or(0)
+        self.mem.max_all()
     }
 }
 
@@ -323,6 +412,10 @@ impl UnifiedScheduler {
     /// even with an empty GPU (gathered parameters + working set exceed the
     /// budget) — the condition under which the paper's system is also out of
     /// options without shrinking the batch.
+    ///
+    /// This is the optimized near-linear planner; [`oracle::schedule`] is
+    /// the retained reference implementation it is proven byte-identical
+    /// against.
     pub fn schedule(&self, input: &SchedulerInput) -> Result<Schedule> {
         assert!(!input.layers.is_empty(), "empty model");
         let n_steps = input.steps.len();
@@ -346,10 +439,14 @@ impl UnifiedScheduler {
         // ---- Phase 1 ----------------------------------------------------
         // Lines 3–5: prioritize move_to_gpu for every page, trigger 0. The
         // movement stack records emission order so line 8 can pop "the last
-        // movement task".
-        let mut move_stack: Vec<PlannedPage> = Vec::new();
+        // movement task". Total pages and shard bytes accumulate here (the
+        // only pass over the page lists) for the final stats.
+        let total_pages: usize = input.layers.iter().map(|l| l.shard_pages.len()).sum();
+        let mut shard_bytes = 0u64;
+        let mut move_stack: Vec<PlannedPage> = Vec::with_capacity(total_pages);
         for (li, layer) in input.layers.iter().enumerate() {
             for (pi, &bytes) in layer.shard_pages.iter().enumerate() {
+                shard_bytes += bytes;
                 move_stack.push(PlannedPage {
                     layer: li,
                     index: pi,
@@ -364,26 +461,76 @@ impl UnifiedScheduler {
         for i in 0..n_steps {
             // Lines 7–9: evict (pop) movements until this step fits.
             // `mem[i]` includes the step's own gather and working set, so
-            // fitting means `mem[i] <= budget`.
-            while res.mem[i] > input.gpu_budget {
-                let victim = match move_stack.pop() {
-                    Some(p) => p,
-                    None => break, // nothing left to evict; gathers must stream
+            // fitting means `mem[i] <= budget`. Same-layer page runs on the
+            // stack top are popped as one batched range update: evicting a
+            // page only lowers `mem[i]` when `i` lies in the victim layer's
+            // live span and is not one of its own compute steps (net-zero
+            // there), so a run either shrinks `mem[i]` page by page — take
+            // exactly enough pages to reach the budget — or not at all —
+            // the whole run drains, as the per-page loop would.
+            loop {
+                let current = res.mem.get(i);
+                if current <= input.gpu_budget {
+                    break;
+                }
+                let Some(&top) = move_stack.last() else {
+                    break; // nothing left to evict; gathers must stream
                 };
-                res.evict(victim.layer, victim.bytes);
-                wait_stack.push(victim);
+                let l = top.layer;
+                let run_start = run_start_of(&move_stack, l);
+                let net_zero = i > res.last_use[l] || res.is_own_step(l, i);
+                let mut batch = 0u64;
+                let mut taken = move_stack.len();
+                if net_zero {
+                    // Popping this run never changes mem[i]: all of it goes.
+                    taken = run_start;
+                    batch = move_stack[run_start..].iter().map(|p| p.bytes).sum();
+                } else {
+                    let need = current - input.gpu_budget;
+                    while taken > run_start && batch < need {
+                        taken -= 1;
+                        batch += move_stack[taken].bytes;
+                    }
+                }
+                res.evict(l, batch);
+                // Victims reach the wait stack in pop (reverse) order.
+                wait_stack.extend(move_stack.drain(taken..).rev());
             }
 
             // Lines 13–15: backfill waiting pages while memory allows
             // (checked against every remaining step so later layers still
             // fit — the trace-driven equivalent of `get_available_memory`).
-            while let Some(&page) = wait_stack.last() {
-                if res.readd_fits(page.layer, page.bytes, i + 1) {
-                    res.readd(page.layer, page.bytes, i + 1);
-                    wait_stack.pop();
-                    rescheduled.push((page, i + 1));
-                } else {
+            // Re-adds of one layer all see the same per-step headroom (the
+            // commit raises every checked step uniformly), so a same-layer
+            // run batches into one capacity query + one range update.
+            'readd: while let Some(&top) = wait_stack.last() {
+                let l = top.layer;
+                let t = i + 1;
+                let Some(cap) = res.readd_capacity(l, t) else {
                     break;
+                };
+                let run_start = run_start_of(&wait_stack, l);
+                let mut batch = 0u64;
+                let mut taken = wait_stack.len();
+                while taken > run_start {
+                    let bytes = wait_stack[taken - 1].bytes;
+                    match batch.checked_add(bytes) {
+                        Some(b) if b <= cap => {
+                            batch = b;
+                            taken -= 1;
+                        }
+                        _ => break,
+                    }
+                }
+                if taken == wait_stack.len() {
+                    break; // head of the run does not fit — stop backfilling
+                }
+                res.readd(l, batch, t);
+                for page in wait_stack.drain(taken..).rev() {
+                    rescheduled.push((page, t));
+                }
+                if taken > run_start {
+                    break 'readd; // run only partially fit
                 }
             }
         }
@@ -405,6 +552,318 @@ impl UnifiedScheduler {
         }
 
         // ---- Emit the task list ------------------------------------------
+        // Every task's trigger is known before emission, so the counting
+        // sort runs without materializing an unsorted buffer: count per
+        // trigger, prefix-sum into the offset table, then write each task
+        // straight into its final slot. Walking the sources in the oracle's
+        // emission order (moves, re-adds, per-step gathers + computes)
+        // keeps within-trigger order identical to its stable sort. Byte
+        // stats fold into the same walk.
+        let mut trigger_offsets = vec![0usize; n_steps + 1];
+        let bump = |offsets: &mut Vec<usize>, trigger: usize, by: usize| {
+            offsets[trigger + 1] += by;
+        };
+        bump(&mut trigger_offsets, 0, move_stack.len());
+        for &(_, trig) in &rescheduled {
+            bump(&mut trigger_offsets, trig, 1);
+        }
+        for (i, step) in input.steps.iter().enumerate() {
+            let n_pages = input.layers[step.layer()].shard_pages.len();
+            bump(&mut trigger_offsets, res.gather_trigger[i], n_pages);
+            bump(&mut trigger_offsets, i, 1); // the compute task
+        }
+        for i in 1..trigger_offsets.len() {
+            trigger_offsets[i] += trigger_offsets[i - 1];
+        }
+        let total_tasks = *trigger_offsets.last().unwrap();
+        let mut cursor = trigger_offsets.clone();
+        let mut tasks = vec![
+            ScheduleTask {
+                op: TaskOp::Compute(StepKind::Forward(0)),
+                trigger_id: 0,
+            };
+            total_tasks
+        ];
+        let place = |tasks: &mut Vec<ScheduleTask>, cursor: &mut Vec<usize>, task: ScheduleTask| {
+            tasks[cursor[task.trigger_id]] = task;
+            cursor[task.trigger_id] += 1;
+        };
+        let mut resident_bytes = 0u64;
+        for page in &move_stack {
+            resident_bytes += page.bytes;
+            place(
+                &mut tasks,
+                &mut cursor,
+                ScheduleTask {
+                    op: TaskOp::MoveToGpu(*page),
+                    trigger_id: 0,
+                },
+            );
+        }
+        for &(page, trig) in &rescheduled {
+            resident_bytes += page.bytes;
+            place(
+                &mut tasks,
+                &mut cursor,
+                ScheduleTask {
+                    op: TaskOp::MoveToGpu(page),
+                    trigger_id: trig,
+                },
+            );
+        }
+        for (i, step) in input.steps.iter().enumerate() {
+            let l = step.layer();
+            let trig = res.gather_trigger[i];
+            for (pi, &bytes) in input.layers[l].shard_pages.iter().enumerate() {
+                place(
+                    &mut tasks,
+                    &mut cursor,
+                    ScheduleTask {
+                        op: TaskOp::AllGather {
+                            page: PlannedPage {
+                                layer: l,
+                                index: pi,
+                                bytes,
+                            },
+                            step: i,
+                        },
+                        trigger_id: trig,
+                    },
+                );
+            }
+            place(
+                &mut tasks,
+                &mut cursor,
+                ScheduleTask {
+                    op: TaskOp::Compute(*step),
+                    trigger_id: i,
+                },
+            );
+        }
+
+        let resident_pages = move_stack.len() + rescheduled.len();
+        Ok(Schedule {
+            tasks,
+            num_steps: n_steps,
+            trigger_offsets,
+            stats: ScheduleStats {
+                pages_resident: resident_pages,
+                pages_cpu_bound: total_pages - resident_pages,
+                peak_gpu_bytes: res.peak(),
+                resident_fraction: if shard_bytes == 0 {
+                    0.0
+                } else {
+                    resident_bytes as f64 / shard_bytes as f64
+                },
+                gathers_advanced,
+            },
+        })
+    }
+}
+
+/// Start index of the maximal run of layer-`l` pages at the top of `stack`.
+fn run_start_of(stack: &[PlannedPage], l: usize) -> usize {
+    let mut start = stack.len();
+    while start > 0 && stack[start - 1].layer == l {
+        start -= 1;
+    }
+    start
+}
+
+/// The pre-optimization Algorithm 1 planner, retained verbatim as the
+/// correctness oracle: per-page O(steps) timeline updates, linear
+/// `resident()` scans, `contains`-based fit checks and a comparison sort.
+/// Tests ([`tests`] and the proptest suite) prove [`UnifiedScheduler::schedule`]
+/// emits byte-identical schedules; the criterion suite (`crates/bench`)
+/// records the speedup in `BENCH_plan.json`.
+pub mod oracle {
+    use super::*;
+
+    /// The naive residency timeline: a plain `Vec<u64>` with O(steps)
+    /// updates per page.
+    pub struct NaiveTimeline<'a> {
+        input: &'a SchedulerInput,
+        mem: Vec<u64>,
+        resident0: Vec<u64>,
+        rescheduled: Vec<Vec<(usize, u64)>>,
+        gather_trigger: Vec<usize>,
+        last_use: Vec<usize>,
+        steps_of_layer: Vec<Vec<usize>>,
+    }
+
+    impl<'a> NaiveTimeline<'a> {
+        pub fn new(input: &'a SchedulerInput) -> Self {
+            let n_steps = input.steps.len();
+            let n_layers = input.layers.len();
+            let mut steps_of_layer = vec![Vec::new(); n_layers];
+            for (j, s) in input.steps.iter().enumerate() {
+                steps_of_layer[s.layer()].push(j);
+            }
+            let last_use: Vec<usize> = steps_of_layer
+                .iter()
+                .map(|v| *v.last().expect("layer unused"))
+                .collect();
+            let resident0: Vec<u64> = input.layers.iter().map(|l| l.shard_bytes()).collect();
+            let mut mem = vec![0u64; n_steps];
+            for (l, &bytes) in resident0.iter().enumerate() {
+                for m in mem.iter_mut().take(last_use[l] + 1) {
+                    *m += bytes;
+                }
+            }
+            for (j, s) in input.steps.iter().enumerate() {
+                let l = s.layer();
+                mem[j] += input.layers[l].working_set;
+                mem[j] += input.layers[l]
+                    .full_param_bytes
+                    .saturating_sub(resident0[l]);
+                if let Some(&base) = input.step_base_load.get(j) {
+                    mem[j] += base;
+                }
+            }
+            Self {
+                input,
+                mem,
+                resident0,
+                rescheduled: vec![Vec::new(); n_layers],
+                gather_trigger: (0..n_steps).collect(),
+                last_use,
+                steps_of_layer,
+            }
+        }
+
+        fn resident(&self, l: usize, j: usize) -> u64 {
+            if j > self.last_use[l] {
+                return 0;
+            }
+            self.resident0[l]
+                + self.rescheduled[l]
+                    .iter()
+                    .filter(|(t, _)| *t <= j)
+                    .map(|(_, b)| b)
+                    .sum::<u64>()
+        }
+
+        fn evict(&mut self, l: usize, bytes: u64) {
+            self.resident0[l] -= bytes;
+            for j in 0..=self.last_use[l] {
+                self.mem[j] -= bytes;
+            }
+            for &i in &self.steps_of_layer[l] {
+                self.mem[i] += bytes;
+            }
+        }
+
+        fn readd_fits(&self, l: usize, bytes: u64, t: usize) -> bool {
+            if t > self.last_use[l] {
+                return false;
+            }
+            let own: &[usize] = &self.steps_of_layer[l];
+            (t..=self.last_use[l]).all(|j| {
+                if own.contains(&j) && j >= t {
+                    true
+                } else {
+                    self.mem[j] + bytes <= self.input.gpu_budget
+                }
+            })
+        }
+
+        fn readd(&mut self, l: usize, bytes: u64, t: usize) {
+            debug_assert!(self.readd_fits(l, bytes, t));
+            for j in t..=self.last_use[l] {
+                self.mem[j] += bytes;
+            }
+            for &i in &self.steps_of_layer[l] {
+                if i >= t {
+                    self.mem[i] -= bytes;
+                }
+            }
+            self.rescheduled[l].push((t, bytes));
+        }
+
+        fn advance_gather(&mut self, i: usize, horizon: usize) -> bool {
+            let l = self.input.steps[i].layer();
+            let extra = self.input.layers[l]
+                .full_param_bytes
+                .saturating_sub(self.resident(l, i));
+            let floor = i.saturating_sub(horizon);
+            let mut g = self.gather_trigger[i];
+            let original = g;
+            while g > floor && self.mem[g - 1] + extra <= self.input.gpu_budget {
+                g -= 1;
+                self.mem[g] += extra;
+            }
+            self.gather_trigger[i] = g;
+            g < original
+        }
+
+        fn peak(&self) -> u64 {
+            self.mem.iter().copied().max().unwrap_or(0)
+        }
+    }
+
+    /// Run the reference per-page Algorithm 1 — the exact pre-optimization
+    /// `UnifiedScheduler::schedule`.
+    pub fn schedule(sched: &UnifiedScheduler, input: &SchedulerInput) -> Result<Schedule> {
+        assert!(!input.layers.is_empty(), "empty model");
+        let n_steps = input.steps.len();
+
+        for (j, s) in input.steps.iter().enumerate() {
+            let l = &input.layers[s.layer()];
+            let base = input.step_base_load.get(j).copied().unwrap_or(0);
+            let need = l.full_param_bytes + l.working_set + base;
+            if need > input.gpu_budget {
+                return Err(Error::WorkingSetTooLarge {
+                    layer_bytes: need,
+                    gpu_bytes: input.gpu_budget,
+                });
+            }
+        }
+
+        let mut res = NaiveTimeline::new(input);
+
+        let mut move_stack: Vec<PlannedPage> = Vec::new();
+        for (li, layer) in input.layers.iter().enumerate() {
+            for (pi, &bytes) in layer.shard_pages.iter().enumerate() {
+                move_stack.push(PlannedPage {
+                    layer: li,
+                    index: pi,
+                    bytes,
+                });
+            }
+        }
+        let mut rescheduled: Vec<(PlannedPage, usize)> = Vec::new();
+        let mut wait_stack: Vec<PlannedPage> = Vec::new();
+
+        for i in 0..n_steps {
+            while res.mem[i] > input.gpu_budget {
+                let victim = match move_stack.pop() {
+                    Some(p) => p,
+                    None => break,
+                };
+                res.evict(victim.layer, victim.bytes);
+                wait_stack.push(victim);
+            }
+
+            while let Some(&page) = wait_stack.last() {
+                if res.readd_fits(page.layer, page.bytes, i + 1) {
+                    res.readd(page.layer, page.bytes, i + 1);
+                    wait_stack.pop();
+                    rescheduled.push((page, i + 1));
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let mut gathers_advanced = 0usize;
+        if sched.phase2 {
+            for i in 0..n_steps {
+                if res.advance_gather(i, sched.prefetch_horizon) {
+                    gathers_advanced += 1;
+                }
+            }
+        }
+
         let mut tasks = Vec::new();
         for page in &move_stack {
             tasks.push(ScheduleTask {
@@ -439,6 +898,7 @@ impl UnifiedScheduler {
             });
         }
         tasks.sort_by_key(|t| t.trigger_id);
+        let trigger_offsets = trigger_offsets_of(&tasks, n_steps);
 
         let resident_pages = move_stack.len() + rescheduled.len();
         let total_pages: usize = input.layers.iter().map(|l| l.shard_pages.len()).sum();
@@ -449,6 +909,7 @@ impl UnifiedScheduler {
         Ok(Schedule {
             tasks,
             num_steps: n_steps,
+            trigger_offsets,
             stats: ScheduleStats {
                 pages_resident: resident_pages,
                 pages_cpu_bound: total_pages - resident_pages,
@@ -477,7 +938,7 @@ pub fn input_from_trace(
         .map(|l| {
             let full = trace.layer_param16_bytes(l);
             let shard = full.div_ceil(dp_degree as u64);
-            let mut pages = Vec::new();
+            let mut pages = Vec::with_capacity(shard.div_ceil(page_size.max(1)) as usize);
             let mut rest = shard;
             while rest > 0 {
                 let take = rest.min(page_size);
@@ -678,6 +1139,25 @@ mod tests {
     }
 
     #[test]
+    fn trigger_index_matches_filter() {
+        // The O(1) slice lookup returns exactly what the old full-list
+        // filter did, for every trigger id (and nothing out of range).
+        let input = toy(5, 3, 10, 10, 200);
+        let s = UnifiedScheduler::default().schedule(&input).unwrap();
+        for id in 0..s.num_steps + 2 {
+            let via_index: Vec<_> = s.at_trigger(id).collect();
+            let via_filter: Vec<_> = s.tasks.iter().filter(|t| t.trigger_id == id).collect();
+            assert_eq!(via_index, via_filter, "trigger {id}");
+        }
+        assert_eq!(
+            s.trigger_offsets.len(),
+            s.num_steps + 1,
+            "offset table spans every trigger"
+        );
+        assert_eq!(*s.trigger_offsets.last().unwrap(), s.tasks.len());
+    }
+
+    #[test]
     fn input_from_trace_wires_up() {
         let cfg = angel_model::TransformerConfig::gpt3_1_7b()
             .with_layers(2)
@@ -724,5 +1204,241 @@ mod tests {
         // the budget must hold regardless.
         assert!(s.stats.peak_gpu_bytes <= 70);
         let _ = late_moves;
+    }
+
+    // ---- Oracle equivalence ---------------------------------------------
+
+    fn assert_identical(input: &SchedulerInput, sched: &UnifiedScheduler) {
+        let fast = sched.schedule(input);
+        let slow = oracle::schedule(sched, input);
+        match (fast, slow) {
+            (Ok(f), Ok(s)) => {
+                assert_eq!(f.tasks, s.tasks, "task lists diverge");
+                assert_eq!(f.stats, s.stats, "stats diverge");
+                assert_eq!(f.trigger_offsets, s.trigger_offsets, "indexes diverge");
+                assert_eq!(f.num_steps, s.num_steps);
+            }
+            (Err(_), Err(_)) => {}
+            (f, s) => panic!(
+                "feasibility diverges: fast {:?} vs oracle {:?}",
+                f.map(|x| x.stats),
+                s.map(|x| x.stats)
+            ),
+        }
+    }
+
+    #[test]
+    fn oracle_equivalence_on_hand_inputs() {
+        let sched = UnifiedScheduler::default();
+        for input in [
+            toy(4, 2, 10, 5, 1000),
+            toy(3, 4, 10, 10, 120),
+            toy(6, 4, 10, 10, 100),
+            toy(6, 4, 10, 10, 400),
+            toy(1, 1, 1, 0, 1),
+            toy(5, 3, 10, 10, 200),
+        ] {
+            assert_identical(&input, &sched);
+        }
+        // Sharded (gathers cost memory) + huge first layer + base load.
+        let mut input = toy(4, 2, 10, 10, 120);
+        for l in &mut input.layers {
+            l.full_param_bytes = 40;
+        }
+        assert_identical(&input, &UnifiedScheduler::default());
+        let mut input = toy(4, 2, 10, 4, 70);
+        input.layers[0].shard_pages = vec![10; 4];
+        input.layers[0].full_param_bytes = 40;
+        input.step_base_load = vec![3; 8];
+        assert_identical(&input, &UnifiedScheduler::default());
+        // Phase 2 off, and unbounded horizon.
+        assert_identical(
+            &toy(4, 3, 10, 15, 90),
+            &UnifiedScheduler {
+                phase2: false,
+                prefetch_horizon: 4,
+            },
+        );
+        assert_identical(
+            &toy(4, 3, 10, 15, 90),
+            &UnifiedScheduler {
+                phase2: true,
+                prefetch_horizon: usize::MAX,
+            },
+        );
+    }
+
+    #[test]
+    fn oracle_equivalence_on_traced_model() {
+        let cfg = angel_model::TransformerConfig::gpt3_1_7b()
+            .with_layers(6)
+            .with_seq_len(256);
+        let trace = crate::tracer::Tracer::default().trace(&cfg, 2, true);
+        for budget_shift in [30, 31, 33] {
+            let input = input_from_trace(&trace, crate::PAGE_SIZE_DEFAULT, 8, 1 << budget_shift);
+            assert_identical(&input, &UnifiedScheduler::default());
+        }
+    }
+
+    // ---- Phase-2 horizon boundary regressions ---------------------------
+
+    #[test]
+    fn advance_gather_stops_exactly_at_the_horizon() {
+        // Ample memory: every gather must advance to exactly
+        // max(i - horizon, 0), never one step further.
+        for horizon in [0usize, 1, 2, 4, 7] {
+            let input = toy(5, 2, 10, 5, 10_000);
+            let s = UnifiedScheduler {
+                phase2: true,
+                prefetch_horizon: horizon,
+            }
+            .schedule(&input)
+            .unwrap();
+            for t in &s.tasks {
+                if let TaskOp::AllGather { step, .. } = t.op {
+                    assert_eq!(
+                        t.trigger_id,
+                        step.saturating_sub(horizon),
+                        "horizon {horizon}, step {step}"
+                    );
+                }
+            }
+            assert_identical(
+                &input,
+                &UnifiedScheduler {
+                    phase2: true,
+                    prefetch_horizon: horizon,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn advance_gather_budget_block_inside_horizon() {
+        // Sharded layers under a budget that lets gathers advance only
+        // partway into the horizon window: the stop point (the latest
+        // over-threshold step) must match the oracle's one-step walk.
+        for budget in [80u64, 90, 100, 110, 120, 140] {
+            let mut input = toy(6, 2, 10, 10, budget);
+            for l in &mut input.layers {
+                l.full_param_bytes = 40; // shard 20 of full 40
+            }
+            for horizon in [1usize, 3, 4, 6, usize::MAX] {
+                assert_identical(
+                    &input,
+                    &UnifiedScheduler {
+                        phase2: true,
+                        prefetch_horizon: horizon,
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advance_gather_when_buffer_exceeds_budget() {
+        // A gather whose buffer alone is above the remaining budget must
+        // stay just-in-time (the oracle's `mem[g-1] + extra <= budget` is
+        // false everywhere; the optimized path's checked_sub underflow arm).
+        let mut input = toy(3, 1, 10, 0, 100);
+        for l in &mut input.layers {
+            l.full_param_bytes = 120; // gathered layer barely infeasible?
+        }
+        // full (120) + ws (0) > budget → infeasible for both.
+        assert_identical(&input, &UnifiedScheduler::default());
+        // Now make it feasible but with zero slack beyond the gather.
+        for l in &mut input.layers {
+            l.full_param_bytes = 100;
+        }
+        assert_identical(&input, &UnifiedScheduler::default());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random scheduler inputs: 1–7 layers with jagged page lists (0–6
+    /// pages of 0–40 bytes), independent full/working-set bytes, a budget
+    /// spanning infeasible-to-ample, optional per-step base load, and a
+    /// random prefetch horizon. Feasibility divergence is also checked.
+    fn input_strategy() -> impl Strategy<Value = (SchedulerInput, UnifiedScheduler)> {
+        (
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(0u64..40, 0..6),
+                    0u64..120,
+                    0u64..60,
+                ),
+                1..7,
+            ),
+            1u64..400,
+            any::<bool>(),
+            0usize..8,
+            any::<bool>(),
+        )
+            .prop_map(|(layers, budget, with_base, horizon, phase2)| {
+                let n = layers.len();
+                let layers: Vec<LayerPlan> = layers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(l, (pages, full, ws))| LayerPlan {
+                        layer: l,
+                        shard_pages: pages,
+                        full_param_bytes: full,
+                        working_set: ws,
+                    })
+                    .collect();
+                let steps = SchedulerInput::default_steps(n);
+                let step_base_load = if with_base {
+                    (0..steps.len()).map(|j| (j as u64 * 7) % 23).collect()
+                } else {
+                    Vec::new()
+                };
+                (
+                    SchedulerInput {
+                        layers,
+                        steps,
+                        gpu_budget: budget,
+                        page_size: 16,
+                        step_base_load,
+                    },
+                    UnifiedScheduler {
+                        phase2,
+                        prefetch_horizon: horizon,
+                    },
+                )
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The optimized planner is byte-identical to the retained naive
+        /// oracle: same task list, same `ScheduleStats` (including peak),
+        /// same trigger index — or the same infeasibility verdict.
+        #[test]
+        fn optimized_schedule_matches_oracle(
+            (input, sched) in input_strategy()
+        ) {
+            let fast = sched.schedule(&input);
+            let slow = oracle::schedule(&sched, &input);
+            match (fast, slow) {
+                (Ok(f), Ok(s)) => {
+                    prop_assert_eq!(f.tasks, s.tasks);
+                    prop_assert_eq!(f.stats, s.stats);
+                    prop_assert_eq!(f.trigger_offsets, s.trigger_offsets);
+                    prop_assert_eq!(f.num_steps, s.num_steps);
+                }
+                (Err(_), Err(_)) => {}
+                (f, s) => prop_assert!(
+                    false,
+                    "feasibility diverges: fast {:?} vs oracle {:?}",
+                    f.is_ok(),
+                    s.is_ok()
+                ),
+            }
+        }
     }
 }

@@ -405,6 +405,12 @@ impl Simulation {
         self.tasks.len()
     }
 
+    /// Reserve room for `additional` more tasks — lowerings know their
+    /// graph size up front, so the task vector need not grow geometrically.
+    pub fn reserve_tasks(&mut self, additional: usize) {
+        self.tasks.reserve(additional);
+    }
+
     /// Submitted tasks in submission order.
     pub fn tasks(&self) -> impl Iterator<Item = &SimTask> {
         self.tasks.iter()

@@ -67,11 +67,18 @@ impl Bencher {
 /// Top-level harness handle.
 pub struct Criterion {
     sample_size: usize,
+    /// `cargo bench -- --test` smoke mode (real criterion's behavior): run
+    /// every benchmark exactly once to prove it compiles and executes, with
+    /// no timing statistics.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
@@ -82,10 +89,19 @@ impl Criterion {
         self
     }
 
+    fn effective_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
-            sample_size: self.sample_size,
+            sample_size: self.effective_samples(),
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
@@ -95,7 +111,7 @@ impl Criterion {
         id: impl Into<BenchmarkId>,
         mut f: F,
     ) -> &mut Self {
-        run_one(&id.into().0, self.sample_size, &mut f);
+        run_one(&id.into().0, self.effective_samples(), &mut f);
         self
     }
 }
@@ -114,13 +130,16 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample_size must be positive");
-        self.sample_size = n;
+        if !self.test_mode {
+            self.sample_size = n;
+        }
         self
     }
 
