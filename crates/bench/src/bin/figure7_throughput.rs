@@ -12,20 +12,22 @@
 
 use angel_baselines::{search_best_strategy, DeepSpeed};
 use angel_bench::{fmt_sps, Experiment};
-use angel_core::{Engine, EngineConfig};
+use angel_core::{Engine, EngineConfig, MetricsSnapshot, Recorder};
 use angel_hw::ClusterSpec;
 use angel_model::TransformerConfig;
 
 const BATCHES: &[u64] = &[1, 2, 4, 8, 16, 32];
 
-fn angel_best(model: &TransformerConfig, servers: usize) -> Option<f64> {
+fn angel_best(model: &TransformerConfig, servers: usize, rec: &Recorder) -> Option<f64> {
     BATCHES
         .iter()
         .filter_map(|&b| {
             let cfg = EngineConfig::servers(servers).with_batch_size(b);
-            Engine::initialize(model, &cfg)
-                .ok()
-                .map(|mut e| e.train_iteration().samples_per_sec)
+            Engine::initialize(model, &cfg).ok().map(|e| {
+                e.with_recorder(rec.clone())
+                    .train_iteration()
+                    .samples_per_sec
+            })
         })
         .fold(None, |best, s| Some(best.map_or(s, |b: f64| b.max(s))))
 }
@@ -66,6 +68,11 @@ fn main() {
         TransformerConfig::gpt3_120b(),
     ];
 
+    // One recorder across the whole sweep: every Angel engine run feeds the
+    // same metrics registry, and the aggregate snapshot is written next to
+    // the tables as machine-readable JSON.
+    let recorder = Recorder::enabled();
+
     for servers in [1usize, 4] {
         let mut table = Experiment::new(
             "figure7",
@@ -86,7 +93,7 @@ fn main() {
         for m in &models {
             let ds = deepspeed_best(m, servers);
             let mg = megatron_best(m, servers);
-            let an = angel_best(m, servers);
+            let an = angel_best(m, servers, &recorder);
             let norm = |x: Option<f64>| match (x, ds) {
                 (Some(v), Some(d)) => format!("{:.2} ({})", v / d, fmt_sps(v)),
                 (Some(v), None) => format!("— ({})", fmt_sps(v)),
@@ -113,4 +120,18 @@ fn main() {
         );
         table.emit();
     }
+
+    std::fs::create_dir_all("target").ok();
+    let path = "target/figure7_metrics.json";
+    let json = recorder.snapshot().to_json_string();
+    std::fs::write(path, &json).expect("write metrics snapshot");
+    let snap = MetricsSnapshot::from_json_str(&json).expect("snapshot round-trips");
+    println!(
+        "\nwrote {path}: {} Angel iterations simulated, {} sim tasks executed",
+        snap.counters.get("engine.iterations").copied().unwrap_or(0),
+        snap.counters
+            .get("sim.tasks_executed")
+            .copied()
+            .unwrap_or(0),
+    );
 }

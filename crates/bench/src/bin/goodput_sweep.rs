@@ -19,7 +19,7 @@
 use angel_bench::Experiment;
 use angel_core::plan::{checkpoint_write_graph, lower_checkpoint};
 use angel_core::recovery::RecoveryModel;
-use angel_core::EngineConfig;
+use angel_core::{EngineConfig, MetricsSnapshot, Recorder};
 use angel_model::TransformerConfig;
 use angel_sim::{ns_to_s, FaultEvent, FaultKind};
 
@@ -51,14 +51,28 @@ fn main() {
         ],
     );
 
+    // Machine-readable sidecar: per-model checkpoint costs and best goodput
+    // land in a MetricsSnapshot next to the table.
+    let recorder = Recorder::enabled();
+
     for (name, model, servers) in &jobs {
         let config = EngineConfig::servers(*servers).with_batch_size(1);
         let ckpt = lower_checkpoint(model, &config);
+        recorder
+            .gauge(&format!("ckpt.write_ms.{name}"))
+            .set((ckpt.write_secs * 1e3) as u64);
+        recorder
+            .gauge(&format!("ckpt.restore_ms.{name}"))
+            .set((ckpt.restore_secs * 1e3) as u64);
         for &mtbf in &mtbfs {
             let m = RecoveryModel::from_lowering(config.num_gpus(), mtbf, &ckpt, DETECT_SECS);
             let yd = m.young_daly_interval_secs();
             for &f in &factors {
                 let interval = yd * f;
+                recorder.counter("goodput.rows").inc();
+                recorder
+                    .gauge(&format!("goodput.best_ppm.{name}"))
+                    .set_max((m.goodput(interval) * 1e6) as u64);
                 table.row(vec![
                     name.to_string(),
                     config.num_gpus().to_string(),
@@ -91,6 +105,9 @@ fn main() {
         },
     });
     let degraded_write = ns_to_s(sim.run().makespan);
+    recorder
+        .gauge("ckpt.degraded_write_ms")
+        .set((degraded_write * 1e3) as u64);
     let clean = RecoveryModel::from_lowering(config.num_gpus(), 50_000.0, &ckpt, DETECT_SECS);
     let degraded = RecoveryModel {
         checkpoint_write_secs: degraded_write,
@@ -113,4 +130,15 @@ fn main() {
          reliable fleets both checkpoint more often and lose more to each failure.",
     );
     table.emit();
+
+    std::fs::create_dir_all("target").ok();
+    let path = "target/goodput_metrics.json";
+    let json = recorder.snapshot().to_json_string();
+    std::fs::write(path, &json).expect("write metrics snapshot");
+    let snap = MetricsSnapshot::from_json_str(&json).expect("snapshot round-trips");
+    println!(
+        "\nwrote {path}: {} sweep rows, {} gauges",
+        snap.counters.get("goodput.rows").copied().unwrap_or(0),
+        snap.gauges.len(),
+    );
 }

@@ -17,7 +17,7 @@ use angel_bench::Experiment;
 use angel_core::scheduler::{
     input_from_trace, oracle, LayerPlan, Schedule, SchedulerInput, UnifiedScheduler,
 };
-use angel_core::Tracer;
+use angel_core::{MetricsSnapshot, Recorder, Tracer};
 use angel_model::TransformerConfig;
 use std::time::Instant;
 
@@ -123,6 +123,12 @@ fn main() {
             "identical",
         ],
     );
+    let recorder = Recorder::enabled();
+    let plan_us = recorder.histogram(
+        "plan.optimized_us",
+        // Planning-latency decades: 100 µs .. 10 s of wall time.
+        &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+    );
     let mut records = Vec::new();
     for row in &rows {
         let pages: usize = row.input.layers.iter().map(|l| l.shard_pages.len()).sum();
@@ -138,6 +144,11 @@ fn main() {
             row.name
         );
         let speedup = ora_s / opt_s.max(1e-9);
+        recorder.counter("plan.rows").inc();
+        plan_us.observe((opt_s * 1e6) as u64);
+        recorder
+            .gauge(&format!("plan.pages.{}", row.name))
+            .set(pages as u64);
         table.row(vec![
             row.name.to_string(),
             row.input.layers.len().to_string(),
@@ -180,4 +191,16 @@ fn main() {
     std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap() + "\n")
         .expect("write BENCH_plan.json");
     println!("\nwrote {out}");
+
+    std::fs::create_dir_all("target").ok();
+    let path = "target/planning_metrics.json";
+    let json = recorder.snapshot().to_json_string();
+    std::fs::write(path, &json).expect("write metrics snapshot");
+    let snap = MetricsSnapshot::from_json_str(&json).expect("snapshot round-trips");
+    let hist = &snap.histograms["plan.optimized_us"];
+    println!(
+        "wrote {path}: {} inputs planned, mean optimized time {:.2} ms",
+        snap.counters.get("plan.rows").copied().unwrap_or(0),
+        hist.sum as f64 / hist.total.max(1) as f64 / 1e3,
+    );
 }

@@ -1,0 +1,178 @@
+//! Trace-event schema linter for the exported timelines, run by CI after
+//! `observe` / `timeline_export`.
+//!
+//! ```text
+//! trace_lint [--min-pids N] [--min-counter-tracks N] FILE...
+//! trace_lint --metrics FILE...
+//! ```
+//!
+//! Trace mode checks every event in `traceEvents` against the Chrome
+//! trace-event format: a known phase (`M`, `X`, `C`, `i`), integer
+//! `pid`/`tid`, finite non-negative `ts`/`dur` (a NaN or infinite float
+//! serializes as JSON `null` and is rejected here), counter values present
+//! and finite, and metadata events carrying a name. `--min-pids` /
+//! `--min-counter-tracks` additionally assert the merged-timeline shape.
+//! Metrics mode parses each file as a [`MetricsSnapshot`] and re-checks the
+//! histogram invariants. Any violation prints the offending event and exits
+//! non-zero.
+
+use angel_core::MetricsSnapshot;
+
+/// Finite non-negative number, required present (JSON `null` = non-finite
+/// float at serialization time — exactly the corruption this linter exists
+/// to catch).
+fn finite_nonneg(v: &serde_json::Value, what: &str) -> Result<f64, String> {
+    let x = v
+        .as_f64()
+        .ok_or_else(|| format!("{what} is {v:?}, expected a finite number"))?;
+    if !x.is_finite() {
+        return Err(format!("{what} is not finite"));
+    }
+    if x < 0.0 {
+        return Err(format!("{what} is negative ({x})"));
+    }
+    Ok(x)
+}
+
+fn lint_event(e: &serde_json::Value) -> Result<(), String> {
+    let ph = e["ph"].as_str().ok_or_else(|| "missing ph".to_string())?;
+    e["pid"].as_u64().ok_or("pid not a u64")?;
+    let name = e["name"].as_str().ok_or("missing name")?;
+    // tid is required everywhere except process-scoped metadata
+    // (process_name has no thread).
+    if ph != "M" || name != "process_name" {
+        e["tid"].as_u64().ok_or("tid not a u64")?;
+    }
+    match ph {
+        "M" => {
+            if name == "thread_name" || name == "process_name" {
+                e["args"]["name"]
+                    .as_str()
+                    .ok_or("metadata without args.name")?;
+            }
+        }
+        "X" => {
+            finite_nonneg(&e["ts"], "ts")?;
+            finite_nonneg(&e["dur"], "dur")?;
+        }
+        "i" => {
+            finite_nonneg(&e["ts"], "ts")?;
+        }
+        "C" => {
+            finite_nonneg(&e["ts"], "ts")?;
+            finite_nonneg(&e["args"]["value"], "args.value")?;
+        }
+        other => return Err(format!("unknown phase {other:?}")),
+    }
+    Ok(())
+}
+
+fn lint_trace(text: &str, min_pids: usize, min_counter_tracks: usize) -> Result<String, String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc["traceEvents"]
+        .as_array()
+        .ok_or("no traceEvents array")?;
+    if events.is_empty() {
+        return Err("empty traceEvents".into());
+    }
+    let mut pids = std::collections::BTreeSet::new();
+    let mut counter_tracks = std::collections::BTreeSet::new();
+    for (i, e) in events.iter().enumerate() {
+        lint_event(e).map_err(|msg| format!("event {i}: {msg}: {e:?}"))?;
+        pids.insert(e["pid"].as_u64().unwrap());
+        if e["ph"].as_str() == Some("C") {
+            counter_tracks.insert(e["name"].as_str().unwrap().to_string());
+        }
+    }
+    if pids.len() < min_pids {
+        return Err(format!("{} pid(s), need >= {min_pids}", pids.len()));
+    }
+    if counter_tracks.len() < min_counter_tracks {
+        return Err(format!(
+            "{} counter track(s) {counter_tracks:?}, need >= {min_counter_tracks}",
+            counter_tracks.len()
+        ));
+    }
+    Ok(format!(
+        "{} events, {} processes, {} counter tracks",
+        events.len(),
+        pids.len(),
+        counter_tracks.len()
+    ))
+}
+
+fn lint_metrics(text: &str) -> Result<String, String> {
+    let snap = MetricsSnapshot::from_json_str(text)?;
+    for (name, h) in &snap.histograms {
+        let by_bucket: u64 = h.counts.iter().sum();
+        if by_bucket != h.total {
+            return Err(format!(
+                "histogram {name}: bucket counts sum to {by_bucket}, total says {}",
+                h.total
+            ));
+        }
+    }
+    Ok(format!(
+        "{} counters, {} gauges, {} histograms",
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len()
+    ))
+}
+
+fn main() {
+    let mut metrics_mode = false;
+    let mut min_pids = 1usize;
+    let mut min_counter_tracks = 0usize;
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--metrics" => metrics_mode = true,
+            "--min-pids" => {
+                min_pids = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-pids N");
+            }
+            "--min-counter-tracks" => {
+                min_counter_tracks = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-counter-tracks N");
+            }
+            _ => files.push(a),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: trace_lint [--metrics] [--min-pids N] [--min-counter-tracks N] FILE...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for f in &files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {f}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let res = if metrics_mode {
+            lint_metrics(&text)
+        } else {
+            lint_trace(&text, min_pids, min_counter_tracks)
+        };
+        match res {
+            Ok(summary) => println!("ok   {f}: {summary}"),
+            Err(msg) => {
+                eprintln!("FAIL {f}: {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

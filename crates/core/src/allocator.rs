@@ -28,6 +28,7 @@
 //! `motivation_fragmentation` experiment.
 
 use crate::error::{Error, Result};
+use crate::obs::{Counter, Gauge, Recorder};
 use crate::page::{Page, PageId, PAGE_SIZE_DEFAULT};
 use crate::tensor::{DType, PageRange, Tensor, TensorId};
 use angel_hw::DeviceId;
@@ -45,8 +46,12 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
+    /// Unused page frames. Saturating: a stats snapshot taken mid-mutation
+    /// (or hand-built over-committed) must report 0, not panic — the
+    /// `used_pages ≤ capacity_pages` invariant is asserted at the pool's
+    /// mutation sites, not here.
     pub fn free_pages(&self) -> usize {
-        self.capacity_pages - self.used_pages
+        self.capacity_pages.saturating_sub(self.used_pages)
     }
 
     /// Reserved-but-unused fraction of the in-use pages: the page
@@ -91,7 +96,56 @@ impl Pool {
     }
 
     fn free_pages(&self) -> usize {
-        self.capacity_pages - self.used_pages
+        self.capacity_pages.saturating_sub(self.used_pages)
+    }
+}
+
+/// Per-device gauges published on every pool mutation.
+#[derive(Debug, Clone)]
+struct PoolGauges {
+    used_pages: Gauge,
+    peak_pages: Gauge,
+    used_bytes: Gauge,
+    frag_ppm: Gauge,
+}
+
+impl PoolGauges {
+    fn new(rec: &Recorder, device: DeviceId) -> Self {
+        PoolGauges {
+            used_pages: rec.gauge(&format!("alloc.{device}.used_pages")),
+            peak_pages: rec.gauge(&format!("alloc.{device}.peak_pages")),
+            used_bytes: rec.gauge(&format!("alloc.{device}.used_bytes")),
+            frag_ppm: rec.gauge(&format!("alloc.{device}.frag_ppm")),
+        }
+    }
+}
+
+/// Allocator-wide observability handles; present only when a recorder is
+/// attached, so the unobserved allocator pays nothing.
+#[derive(Debug)]
+struct AllocObs {
+    recorder: Recorder,
+    pages_taken: Counter,
+    pages_returned: Counter,
+    page_moves: Counter,
+    tensors_allocated: Counter,
+    tensors_released: Counter,
+    failures: Counter,
+    pools: BTreeMap<DeviceId, PoolGauges>,
+}
+
+impl AllocObs {
+    fn new(recorder: Recorder) -> Self {
+        AllocObs {
+            pages_taken: recorder.counter("alloc.pages_taken"),
+            pages_returned: recorder.counter("alloc.pages_returned"),
+            page_moves: recorder.counter("alloc.page_moves"),
+            tensors_allocated: recorder.counter("alloc.tensors_allocated"),
+            tensors_released: recorder.counter("alloc.tensors_released"),
+            failures: recorder.counter("alloc.failures"),
+            pools: BTreeMap::new(),
+            recorder,
+        }
     }
 }
 
@@ -106,6 +160,7 @@ pub struct PageAllocator {
     pools: BTreeMap<DeviceId, Pool>,
     tensors: HashMap<TensorId, Tensor>,
     next_tensor_id: usize,
+    obs: Option<AllocObs>,
 }
 
 impl PageAllocator {
@@ -124,6 +179,45 @@ impl PageAllocator {
             pools: BTreeMap::new(),
             tensors: HashMap::new(),
             next_tensor_id: 0,
+            obs: None,
+        }
+    }
+
+    /// Attach an observability recorder: per-device used/peak/frag gauges
+    /// and page/tensor operation counters. A disabled recorder detaches.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        if !recorder.is_enabled() {
+            self.obs = None;
+            return;
+        }
+        let mut obs = AllocObs::new(recorder);
+        for device in self.pools.keys() {
+            obs.pools
+                .insert(*device, PoolGauges::new(&obs.recorder, *device));
+        }
+        self.obs = Some(obs);
+        let devices: Vec<DeviceId> = self.pools.keys().copied().collect();
+        for device in devices {
+            self.publish_stats(device);
+        }
+    }
+
+    /// Push the current [`PoolStats`] of `device` into its gauges.
+    fn publish_stats(&self, device: DeviceId) {
+        if let Some(obs) = &self.obs {
+            if let Some(g) = obs.pools.get(&device) {
+                let s = self.stats(device);
+                g.used_pages.set(s.used_pages as u64);
+                g.peak_pages.set(s.peak_used_pages as u64);
+                g.used_bytes.set(s.used_bytes());
+                g.frag_ppm.set((s.internal_frag() * 1e6) as u64);
+            }
+        }
+    }
+
+    fn note_failure(&self) {
+        if let Some(obs) = &self.obs {
+            obs.failures.inc();
         }
     }
 
@@ -135,6 +229,11 @@ impl PageAllocator {
     pub fn add_pool(&mut self, device: DeviceId, capacity_bytes: u64) {
         let pages = (capacity_bytes / self.page_size) as usize;
         self.pools.insert(device, Pool::new(pages));
+        if let Some(obs) = &mut self.obs {
+            let gauges = PoolGauges::new(&obs.recorder, device);
+            obs.pools.insert(device, gauges);
+        }
+        self.publish_stats(device);
     }
 
     pub fn has_pool(&self, device: DeviceId) -> bool {
@@ -174,20 +273,35 @@ impl PageAllocator {
         let backed = self.backed;
         let page_size = self.page_size;
         let next_index = self.pages.len();
-        let pool = self
-            .pools
-            .get_mut(&device)
-            .unwrap_or_else(|| panic!("no pool registered for {device}"));
-        if pool.used_pages >= pool.capacity_pages {
-            return Err(Error::OutOfPages {
-                device,
-                requested_pages: 1,
-                free_pages: 0,
-            });
+        {
+            let pool = self
+                .pools
+                .get(&device)
+                .unwrap_or_else(|| panic!("no pool registered for {device}"));
+            if pool.used_pages >= pool.capacity_pages {
+                self.note_failure();
+                return Err(Error::OutOfPages {
+                    device,
+                    requested_pages: 1,
+                    free_pages: 0,
+                });
+            }
         }
+        let pool = self.pools.get_mut(&device).expect("pool");
         pool.used_pages += 1;
+        debug_assert!(
+            pool.used_pages <= pool.capacity_pages,
+            "pool over-commit on {device}: {}/{} pages",
+            pool.used_pages,
+            pool.capacity_pages
+        );
         pool.peak_used_pages = pool.peak_used_pages.max(pool.used_pages);
-        if let Some(id) = pool.free_list.pop() {
+        let taken = pool.free_list.pop();
+        if let Some(obs) = &self.obs {
+            obs.pages_taken.inc();
+        }
+        self.publish_stats(device);
+        if let Some(id) = taken {
             debug_assert!(self.pages[id.0].is_free());
             self.pages[id.0].move_to(device);
             return Ok(id);
@@ -206,11 +320,19 @@ impl PageAllocator {
     fn return_page(&mut self, id: PageId) {
         let device = self.pages[id.0].device();
         let pool = self.pools.get_mut(&device).expect("pool");
+        debug_assert!(
+            pool.used_pages > 0,
+            "returning page {id:?} to an empty pool on {device}"
+        );
         pool.used_pages -= 1;
         if pool.open_page == Some(id) {
             pool.open_page = None;
         }
         pool.free_list.push(id);
+        if let Some(obs) = &self.obs {
+            obs.pages_returned.inc();
+        }
+        self.publish_stats(device);
     }
 
     // ----- tensor allocation ---------------------------------------------
@@ -233,10 +355,12 @@ impl PageAllocator {
         let (open_take, fresh_pages) = self.plan(device, bytes);
         let pool = &self.pools[&device];
         if fresh_pages > pool.free_pages() {
+            let free_pages = pool.free_pages();
+            self.note_failure();
             return Err(Error::OutOfPages {
                 device,
                 requested_pages: fresh_pages,
-                free_pages: pool.free_pages(),
+                free_pages,
             });
         }
 
@@ -281,6 +405,10 @@ impl PageAllocator {
         tensor.device = Some(device);
         self.tensors.insert(id, tensor);
         self.next_tensor_id += 1;
+        if let Some(obs) = &self.obs {
+            obs.tensors_allocated.inc();
+        }
+        self.publish_stats(device);
         Ok(id)
     }
 
@@ -312,13 +440,28 @@ impl PageAllocator {
     /// are returned to the pool of the device its page currently lives on.
     pub fn release_tensor(&mut self, id: TensorId) -> Result<()> {
         let tensor = self.tensors.remove(&id).ok_or(Error::UnknownTensor(id.0))?;
+        let mut touched: Vec<DeviceId> = Vec::new();
         for range in &tensor.pages {
             let device = self.pages[range.page.0].device();
             self.pages[range.page.0].release(id)?;
             if self.pages[range.page.0].is_free() {
                 self.return_page(range.page);
             }
-            self.pools.get_mut(&device).unwrap().tenant_bytes -= range.bytes;
+            let pool = self.pools.get_mut(&device).unwrap();
+            debug_assert!(
+                pool.tenant_bytes >= range.bytes,
+                "tenant bytes underflow on {device}"
+            );
+            pool.tenant_bytes -= range.bytes;
+            if !touched.contains(&device) {
+                touched.push(device);
+            }
+        }
+        if let Some(obs) = &self.obs {
+            obs.tensors_released.inc();
+        }
+        for device in touched {
+            self.publish_stats(device);
         }
         Ok(())
     }
@@ -336,27 +479,44 @@ impl PageAllocator {
         {
             let tpool = self
                 .pools
-                .get_mut(&target)
+                .get(&target)
                 .unwrap_or_else(|| panic!("no pool registered for {target}"));
             if tpool.used_pages >= tpool.capacity_pages {
+                self.note_failure();
                 return Err(Error::OutOfPages {
                     device: target,
                     requested_pages: 1,
                     free_pages: 0,
                 });
             }
+        }
+        {
+            let tpool = self.pools.get_mut(&target).unwrap();
             tpool.used_pages += 1;
+            debug_assert!(
+                tpool.used_pages <= tpool.capacity_pages,
+                "pool over-commit on {target} during move"
+            );
             tpool.peak_used_pages = tpool.peak_used_pages.max(tpool.used_pages);
             tpool.tenant_bytes += tenant_bytes;
         }
         {
             let spool = self.pools.get_mut(&source).unwrap();
+            debug_assert!(
+                spool.used_pages > 0 && spool.tenant_bytes >= tenant_bytes,
+                "source pool underflow on {source} during move"
+            );
             spool.used_pages -= 1;
             spool.tenant_bytes -= tenant_bytes;
             if spool.open_page == Some(id) {
                 spool.open_page = None;
             }
         }
+        if let Some(obs) = &self.obs {
+            obs.page_moves.inc();
+        }
+        self.publish_stats(source);
+        self.publish_stats(target);
         self.pages[id.0].move_to(target);
         // Update the device of tensors fully resident on a single device:
         // after any page of a tensor moves, the tensor is split across
@@ -752,6 +912,45 @@ mod tests {
         a.alloc_tensor_raw(64, DeviceId::gpu(0)).unwrap();
         let s = a.stats(DeviceId::gpu(0));
         assert!((s.internal_frag() - (1.0 - 64.0 / PS as f64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_pages_saturates_on_overcommitted_stats() {
+        // A hand-built (or mid-mutation) over-committed snapshot must not
+        // panic in debug builds; the invariant lives at the mutation sites.
+        let s = PoolStats {
+            capacity_pages: 2,
+            used_pages: 5,
+            tenant_bytes: 0,
+            peak_used_pages: 5,
+            page_size: PS,
+        };
+        assert_eq!(s.free_pages(), 0);
+    }
+
+    #[test]
+    fn recorder_tracks_pool_gauges_and_counters() {
+        use crate::obs::Recorder;
+        let rec = Recorder::enabled();
+        let mut a = alloc_two_pools();
+        a.set_recorder(rec.clone());
+        let gpu = DeviceId::gpu(0);
+        let t = a.alloc_tensor_raw(PS * 3, gpu).unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["alloc.pages_taken"], 3);
+        assert_eq!(snap.counters["alloc.tensors_allocated"], 1);
+        assert_eq!(snap.gauges[&format!("alloc.{gpu}.used_pages")], 3);
+        let p = a.tensor(t).unwrap().pages[0].page;
+        a.move_page(p, DeviceId::CPU).unwrap();
+        a.release_tensor(t).unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["alloc.page_moves"], 1);
+        assert_eq!(snap.counters["alloc.tensors_released"], 1);
+        assert_eq!(snap.gauges[&format!("alloc.{gpu}.used_pages")], 0);
+        assert_eq!(snap.gauges[&format!("alloc.{gpu}.peak_pages")], 3);
+        // Failures count too.
+        assert!(a.alloc_tensor_raw(PS * 1000, gpu).is_err());
+        assert_eq!(rec.snapshot().counters["alloc.failures"], 1);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::allocator::PageAllocator;
 use crate::cache::CachePlan;
 use crate::config::EngineConfig;
 use crate::error::Result;
+use crate::obs::{ObsThread, Recorder};
 use crate::plan::{
     lower_schedule, LoweredIteration, MemoryPlan, ScheduleLowering, SchedulePlan, ShardPlan,
     TracePlan,
@@ -93,6 +94,9 @@ pub struct Engine {
     /// (all layers for dense models; non-expert parameters only under
     /// expert parallelism — local experts never travel).
     layer_comm_bytes: Vec<u64>,
+    /// Observability handle; disabled (free) unless attached via
+    /// [`Engine::set_recorder`] / [`Engine::with_recorder`].
+    recorder: Recorder,
 }
 
 impl Engine {
@@ -116,7 +120,27 @@ impl Engine {
             allocator,
             zero: traced.zero,
             layer_comm_bytes: shard.layer_comm_bytes,
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Attach an observability recorder to the engine *and* its page
+    /// allocator: iteration counters/histograms, per-resource busy and
+    /// per-domain peak-memory gauges, and timeline events all flow into it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.allocator.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// Builder-style [`Engine::set_recorder`].
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.set_recorder(recorder);
+        self
+    }
+
+    /// The engine's recorder (disabled unless one was attached).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     pub fn schedule(&self) -> &Schedule {
@@ -189,6 +213,7 @@ impl Engine {
 
     /// Execute one training iteration on the simulated hardware.
     pub fn train_iteration(&mut self) -> IterStats {
+        let wall_start = self.recorder.now_ns();
         let lowered = self.build_iteration_sim();
         let report = lowered.sim.run();
         // Debug builds statically verify the lowered iteration: no
@@ -213,7 +238,7 @@ impl Engine {
             0.0
         };
 
-        IterStats {
+        let stats = IterStats {
             iter_time_ns: iter,
             samples_per_sec: self.config.global_batch() as f64 / (iter as f64 / 1e9),
             gpu_utilization: report.utilization(lowered.gpu),
@@ -225,7 +250,72 @@ impl Engine {
             resident_fraction: self.schedule.stats.resident_fraction,
             update_cycle_ns: update_cycle,
             staleness_iters: staleness,
+        };
+        if self.recorder.is_enabled() {
+            self.record_iteration(&lowered, &report, &stats, wall_start);
         }
+        stats
+    }
+
+    /// Publish one iteration's metrics into the attached recorder.
+    ///
+    /// Every value here is derived from the *simulated* execution (or from
+    /// the deterministic plan), never from the wall clock — so two identical
+    /// engines produce byte-identical [`crate::MetricsSnapshot`]s. Wall-clock
+    /// time appears only in the event ring (the `engine` timeline track).
+    fn record_iteration(
+        &self,
+        lowered: &LoweredIteration,
+        report: &angel_sim::ExecutionReport,
+        stats: &IterStats,
+        wall_start: u64,
+    ) {
+        let rec = &self.recorder;
+        let ppm = |x: f64| (x * 1e6).max(0.0) as u64;
+        rec.counter("engine.iterations").inc();
+        rec.histogram(
+            "engine.iter_time_ns",
+            // Millisecond-decade buckets: 1ms .. 100s of simulated time.
+            &[
+                1e6 as u64,
+                1e7 as u64,
+                1e8 as u64,
+                1e9 as u64,
+                1e10 as u64,
+                1e11 as u64,
+            ],
+        )
+        .observe(stats.iter_time_ns);
+        rec.gauge("engine.peak_gpu_bytes").set(stats.peak_gpu_bytes);
+        rec.gauge("engine.update_cycle_ns")
+            .set(stats.update_cycle_ns);
+        rec.gauge("engine.gpu_utilization_ppm")
+            .set(ppm(stats.gpu_utilization));
+        rec.gauge("engine.overlap_ratio_ppm")
+            .set(ppm(stats.overlap_ratio));
+        rec.gauge("engine.staleness_ppm")
+            .set(ppm(stats.staleness_iters));
+
+        // Simulated-executor metrics: per-resource busy time and per-domain
+        // memory peaks, exactly as the `ExecutionReport` accounts them.
+        let executed = lowered.sim.num_tasks() - report.failed_tasks.len();
+        rec.counter("sim.tasks_executed").add(executed as u64);
+        rec.counter("sim.tasks_failed")
+            .add(report.failed_tasks.len() as u64);
+        rec.gauge("sim.makespan_ns").set(report.makespan);
+        for (id, name) in lowered.sim.resources().iter() {
+            rec.gauge(&format!("sim.busy_ns.{name}"))
+                .set(report.busy[id.0]);
+        }
+        for (dom, name) in lowered.sim.resources().mem_domains() {
+            rec.gauge(&format!("sim.peak_bytes.{name}"))
+                .set(report.peak_mem[dom.0]);
+        }
+
+        // Timeline: one span per iteration on the engine track (wall clock),
+        // plus the simulated makespan as a counter sample.
+        rec.span(ObsThread::Engine, "train_iteration", -1, wall_start);
+        rec.counter_sample(ObsThread::Engine, "engine.sim_makespan_ns", report.makespan);
     }
 
     /// Export one iteration's timeline as Chrome trace-event JSON
@@ -235,6 +325,17 @@ impl Engine {
         let lowered = self.build_iteration_sim();
         let report = lowered.sim.run();
         angel_sim::chrome_trace(&lowered.sim, &report)
+    }
+
+    /// Export the *merged* Perfetto timeline: one process for the simulated
+    /// hardware (per-resource task tracks + per-domain resident-bytes
+    /// counters) and one for the runtime threads recorded in this engine's
+    /// [`Recorder`] event ring — lock-free updater threads, allocator and
+    /// engine spans — side by side in a single JSON.
+    pub fn export_merged_trace(&self) -> String {
+        let lowered = self.build_iteration_sim();
+        let report = lowered.sim.run();
+        crate::obs::merged_perfetto(&lowered.sim, &report, &self.recorder.events())
     }
 
     /// Run `iters` iterations (deterministic steady state).

@@ -72,6 +72,7 @@ pub mod error;
 pub mod executor;
 pub mod fault;
 pub mod lockfree;
+pub mod obs;
 pub mod page;
 pub mod plan;
 pub mod recovery;
@@ -90,6 +91,7 @@ pub use engine::{Engine, IterStats, RunReport};
 pub use error::{Error, Result, StoreError, StoreErrorKind, StoreOp, TrainerError};
 pub use executor::{Executor, Stream};
 pub use fault::{FaultCounters, FaultPlan, FaultyStore};
+pub use obs::{MetricsSnapshot, ObsEvent, ObsThread, Recorder};
 pub use page::{Page, PageId, PAGE_SIZE_DEFAULT};
 pub use plan::{
     lower_schedule, Lowering, LoweringConfig, MemoryPlan, Placement, SchedulePlan, ShardPlan,

@@ -94,6 +94,7 @@ use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::obs::{Counter, Gauge, ObsThread, Recorder};
 use crate::sync::thread::JoinHandle;
 use crate::sync::{thread, AtomicBool, AtomicU64, Ordering};
 
@@ -359,6 +360,37 @@ enum BufMsg {
     },
 }
 
+/// Observability handles for the trainer's hot paths. All fields are no-op
+/// when built from a disabled recorder (the default), so the per-layer
+/// update loop pays one branch per operation — the `lockfree` bench's
+/// < 2% disabled-overhead budget.
+struct TrainerObs {
+    rec: Recorder,
+    /// `BufMsg`s in flight toward the buffering thread.
+    queue_depth: Gauge,
+    grads_pushed: Counter,
+    grads_applied: Counter,
+    grads_dropped: Counter,
+    updates_applied: Counter,
+    store_retries: Counter,
+    layers_parked: Counter,
+}
+
+impl TrainerObs {
+    fn new(rec: Recorder) -> Self {
+        TrainerObs {
+            queue_depth: rec.gauge("trainer.queue_depth"),
+            grads_pushed: rec.counter("trainer.grads_pushed"),
+            grads_applied: rec.counter("trainer.grads_applied"),
+            grads_dropped: rec.counter("trainer.grads_dropped"),
+            updates_applied: rec.counter("trainer.updates_applied"),
+            store_retries: rec.counter("trainer.store_retries"),
+            layers_parked: rec.counter("trainer.layers_parked"),
+            rec,
+        }
+    }
+}
+
 struct Shared {
     grad_bufs: Vec<Mutex<GradBuf>>,
     param_bufs: Vec<RwLock<ParamBuf>>,
@@ -368,9 +400,41 @@ struct Shared {
     clear_policy: ClearPolicy,
     retry: RetryPolicy,
     events: Sender<TrainerEvent>,
+    /// Receiver end of `events`, owned by the shared state (not the
+    /// trainer) so terminal events are never stranded when the trainer is
+    /// dropped: [`StatsHandle::drain_events`] reads them post-join.
+    events_rx: Mutex<Receiver<TrainerEvent>>,
+    /// Events pumped out of `events_rx` but not yet handed to a caller.
+    event_stash: Mutex<Vec<TrainerEvent>>,
+    obs: TrainerObs,
 }
 
 impl Shared {
+    /// Pushed-but-not-yet-settled micro-batches (see
+    /// [`LockFreeTrainer::pending_grads`] for the ordering argument).
+    fn pending_now(&self) -> u64 {
+        let settled = self.stats.grads_settled.load(Ordering::Acquire);
+        let pushed = self.stats.grads_pushed.load(Ordering::Relaxed);
+        pushed.saturating_sub(settled)
+    }
+
+    /// Move everything currently queued on the event channel into the
+    /// stash. Called from `drain`/`take` sites and at shutdown (after the
+    /// worker joins) so no terminal event is ever lost with the channel.
+    fn pump_events(&self) {
+        let rx = self.events_rx.lock();
+        let mut stash = self.event_stash.lock();
+        while let Ok(e) = rx.try_recv() {
+            stash.push(e);
+        }
+    }
+
+    /// Pump and take all accumulated events.
+    fn take_events(&self) -> Vec<TrainerEvent> {
+        self.pump_events();
+        std::mem::take(&mut *self.event_stash.lock())
+    }
+
     fn degraded_layers(&self) -> Vec<usize> {
         self.grad_bufs
             .iter()
@@ -433,6 +497,10 @@ impl Shared {
         if newly_parked {
             // I1: diagnostic tally.
             self.stats.layers_parked.fetch_add(1, Ordering::Relaxed);
+            self.obs.layers_parked.inc();
+            self.obs
+                .rec
+                .instant(ObsThread::Updating, "layer_parked", layer as i64);
             let _ = self.events.send(TrainerEvent::LayerParked { layer, error });
         }
     }
@@ -455,6 +523,13 @@ impl StatsHandle {
     pub fn degraded_layers(&self) -> Vec<usize> {
         self.shared.degraded_layers()
     }
+
+    /// Drain status events, including terminal events emitted right before
+    /// shutdown: `stop_threads` pumps the channel after the workers join,
+    /// so events survive the trainer being dropped and stay readable here.
+    pub fn drain_events(&self) -> Vec<TrainerEvent> {
+        self.shared.take_events()
+    }
 }
 
 /// What the updating thread hands back at join time.
@@ -469,7 +544,6 @@ struct UpdaterFinal {
 pub struct LockFreeTrainer {
     shared: Arc<Shared>,
     to_buffering: Sender<BufMsg>,
-    events_rx: Receiver<TrainerEvent>,
     buffering: Option<JoinHandle<()>>,
     updating: Option<JoinHandle<UpdaterFinal>>,
 }
@@ -498,11 +572,36 @@ impl LockFreeTrainer {
     /// [`LockFreeTrainer::spawn`] with an explicit retry discipline.
     pub fn spawn_with(
         initial: Vec<Vec<f32>>,
+        store: Box<dyn StateStore>,
+        optimizer: Box<dyn Optimizer>,
+        cast: CastFn,
+        clear_policy: ClearPolicy,
+        retry: RetryPolicy,
+    ) -> Self {
+        Self::spawn_observed(
+            initial,
+            store,
+            optimizer,
+            cast,
+            clear_policy,
+            retry,
+            Recorder::disabled(),
+        )
+    }
+
+    /// [`LockFreeTrainer::spawn_with`] plus an observability recorder: the
+    /// worker threads emit queue-depth gauges, push/apply/park/retry
+    /// counters and wall-clock-timestamped events into it (see
+    /// [`crate::obs`]). Pass [`Recorder::disabled`] for the permanent
+    /// near-zero-cost no-op.
+    pub fn spawn_observed(
+        initial: Vec<Vec<f32>>,
         mut store: Box<dyn StateStore>,
         mut optimizer: Box<dyn Optimizer>,
         cast: CastFn,
         clear_policy: ClearPolicy,
         retry: RetryPolicy,
+        recorder: Recorder,
     ) -> Self {
         let layers = initial.len();
         let (events_tx, events_rx) = unbounded();
@@ -533,6 +632,9 @@ impl LockFreeTrainer {
             clear_policy,
             retry,
             events: events_tx,
+            events_rx: Mutex::new(events_rx),
+            event_stash: Mutex::new(Vec::new()),
+            obs: TrainerObs::new(recorder),
         });
 
         let (tx, rx): (Sender<BufMsg>, Receiver<BufMsg>) = unbounded();
@@ -559,7 +661,6 @@ impl LockFreeTrainer {
         Self {
             shared,
             to_buffering: tx,
-            events_rx,
             buffering: Some(buffering),
             updating: Some(updating),
         }
@@ -585,7 +686,21 @@ impl LockFreeTrainer {
             .stats
             .grads_pushed
             .fetch_add(1, Ordering::Relaxed);
+        let obs = &self.shared.obs;
+        obs.grads_pushed.inc();
+        obs.queue_depth.add(1);
+        if obs.rec.is_enabled() {
+            obs.rec
+                .instant(ObsThread::TrainLoop, "push_grads", layer as i64);
+            obs.rec.counter_sample(
+                ObsThread::TrainLoop,
+                "trainer.pending_grads",
+                self.shared.pending_now(),
+            );
+        }
         if self.to_buffering.send(BufMsg::Grads { layer, g }).is_err() {
+            obs.queue_depth.sub(1);
+            obs.grads_dropped.inc();
             // I1: diagnostic tally.
             self.shared
                 .stats
@@ -617,11 +732,7 @@ impl LockFreeTrainer {
 
     /// Drain all pending status events (non-blocking).
     pub fn drain_events(&self) -> Vec<TrainerEvent> {
-        let mut out = Vec::new();
-        while let Ok(e) = self.events_rx.try_recv() {
-            out.push(e);
-        }
-        out
+        self.shared.take_events()
     }
 
     /// Layers currently parked in degraded mode.
@@ -630,18 +741,17 @@ impl LockFreeTrainer {
     }
 
     /// Staleness proxy: pushed-but-not-yet-settled gradient micro-batches.
+    ///
+    /// I2: [`Shared::pending_now`] loads `settled` FIRST, with Acquire.
+    /// Every settle is a Release increment that happens-after the matching
+    /// push (channel + mutex), so the later Relaxed `pushed` load sees at
+    /// least the pushes of everything settled in the snapshot:
+    /// `pushed ≥ settled`, and the difference can only over-report pending
+    /// work, never hide it. (Loading `pushed` first could miss concurrent
+    /// settles *and* their pushes in a way that transiently under-counts
+    /// pending.)
     pub fn pending_grads(&self) -> u64 {
-        let s = &self.shared.stats;
-        // I2: load `settled` FIRST, with Acquire. Every settle is a Release
-        // increment that happens-after the matching push (channel + mutex),
-        // so the later Relaxed `pushed` load sees at least the pushes of
-        // everything settled in the snapshot: `pushed ≥ settled`, and the
-        // difference can only over-report pending work, never hide it.
-        // (Loading `pushed` first could miss concurrent settles *and* their
-        // pushes in a way that transiently under-counts pending.)
-        let settled = s.grads_settled.load(Ordering::Acquire);
-        let pushed = s.grads_pushed.load(Ordering::Relaxed);
-        pushed.saturating_sub(settled)
+        self.shared.pending_now()
     }
 
     /// Block until every pushed gradient has been applied or dropped (test
@@ -742,6 +852,11 @@ impl LockFreeTrainer {
                 });
             }
         }
+        // Both workers are gone: everything they ever sent is now queued on
+        // the event channel. Pump it into the stash so terminal events
+        // (e.g. a park during the final offload) survive the trainer and
+        // remain readable through [`StatsHandle::drain_events`].
+        self.shared.pump_events();
         (fin, error)
     }
 }
@@ -758,8 +873,13 @@ impl Drop for LockFreeTrainer {
 fn buffering_loop(shared: Arc<Shared>, rx: Receiver<BufMsg>) {
     // The loop exits when all senders are dropped (shutdown) after draining.
     while let Ok(msg) = rx.recv() {
+        shared.obs.queue_depth.sub(1);
         match msg {
             BufMsg::Grads { layer, g } => {
+                shared
+                    .obs
+                    .rec
+                    .instant(ObsThread::Buffering, "grad_buffered", layer as i64);
                 let mut buf = shared.grad_bufs[layer].lock();
                 if buf.parked {
                     // Degraded mode: the layer's store is gone; settle the
@@ -769,6 +889,12 @@ fn buffering_loop(shared: Arc<Shared>, rx: Receiver<BufMsg>) {
                     // channel recv).
                     shared.stats.grads_dropped.fetch_add(1, Ordering::Relaxed);
                     shared.stats.grads_settled.fetch_add(1, Ordering::Release);
+                    shared.obs.grads_dropped.inc();
+                    shared.obs.rec.instant(
+                        ObsThread::Buffering,
+                        "grad_dropped_parked",
+                        layer as i64,
+                    );
                     continue;
                 }
                 // Line 15: g'₁₆(l) ← g'₁₆(l) + g₁₆(l).
@@ -782,6 +908,7 @@ fn buffering_loop(shared: Arc<Shared>, rx: Receiver<BufMsg>) {
                 p32,
                 applied_micro,
             } => {
+                let t0 = shared.obs.rec.now_ns();
                 // Lines 12–13: clear buffered gradients, cast parameters.
                 if shared.clear_policy == ClearPolicy::OnUpdateReceipt {
                     let mut buf = shared.grad_bufs[layer].lock();
@@ -806,10 +933,23 @@ fn buffering_loop(shared: Arc<Shared>, rx: Receiver<BufMsg>) {
                     buf.micro = 0;
                     buf.version += 1;
                 }
-                let mut pbuf = shared.param_bufs[layer].write();
-                pbuf.p.clear();
-                pbuf.p.extend(p32.iter().map(|&x| (shared.cast)(x)));
-                pbuf.version += 1;
+                {
+                    let mut pbuf = shared.param_bufs[layer].write();
+                    pbuf.p.clear();
+                    pbuf.p.extend(p32.iter().map(|&x| (shared.cast)(x)));
+                    pbuf.version += 1;
+                }
+                if shared.obs.rec.is_enabled() {
+                    shared
+                        .obs
+                        .rec
+                        .span(ObsThread::Buffering, "apply_receipt", layer as i64, t0);
+                    shared.obs.rec.counter_sample(
+                        ObsThread::Buffering,
+                        "trainer.pending_grads",
+                        shared.pending_now(),
+                    );
+                }
             }
         }
     }
@@ -835,6 +975,11 @@ fn updating_loop(
         move |r: u32, _e: &StoreError| {
             // I1: diagnostic tally.
             shared.stats.store_retries.fetch_add(1, Ordering::Relaxed);
+            shared.obs.store_retries.inc();
+            shared
+                .obs
+                .rec
+                .instant(ObsThread::Updating, "store_retry", layer as i64);
             let _ = shared.events.send(TrainerEvent::StoreRetry {
                 layer,
                 op,
@@ -851,6 +996,7 @@ fn updating_loop(
         // layer order during backward, so reverse iteration updates the
         // layers whose gradients arrived first.
         for layer in (0..layers).rev() {
+            let t0 = shared.obs.rec.now_ns();
             let snapshot = {
                 let buf = shared.grad_bufs[layer].lock();
                 // Snapshot gate shared with the model checker: under
@@ -915,6 +1061,7 @@ fn updating_loop(
                             .stats
                             .grads_dropped
                             .fetch_add(micro as u64, Ordering::Relaxed);
+                        shared.obs.grads_dropped.add(micro as u64);
                     }
                     // (OnUpdateReceipt: the micro-batches are still in the
                     // buffer and no `Updated` receipt is in flight — the
@@ -933,7 +1080,10 @@ fn updating_loop(
                 .grads_applied
                 .fetch_add(micro as u64, Ordering::Relaxed);
             shared.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
+            shared.obs.grads_applied.add(micro as u64);
+            shared.obs.updates_applied.inc();
             // Line 6: pass p₃₂ to the buffering thread.
+            shared.obs.queue_depth.add(1);
             let _ = tx.send(BufMsg::Updated {
                 layer,
                 p32: state.p32.clone(),
@@ -978,6 +1128,17 @@ fn updating_loop(
                     },
                 };
                 shared.park_layer(layer, e, drop);
+            }
+            if shared.obs.rec.is_enabled() {
+                shared
+                    .obs
+                    .rec
+                    .span(ObsThread::Updating, "update_layer", layer as i64, t0);
+                shared.obs.rec.counter_sample(
+                    ObsThread::Updating,
+                    "trainer.pending_grads",
+                    shared.pending_now(),
+                );
             }
             did_work = true;
         }
@@ -1353,6 +1514,111 @@ mod tests {
         // The worker died with the gradient possibly unsettled; the waiter
         // must not spin forever.
         let _ = t.wait_quiescent();
+    }
+
+    /// Terminal events must not be stranded when the trainer is dropped
+    /// before `drain_events`: shutdown pumps the channel post-join and the
+    /// stash stays readable through the [`StatsHandle`].
+    #[test]
+    #[cfg_attr(miri, ignore = "timing-sensitive / too slow under Miri")]
+    fn terminal_events_survive_drop_via_stats_handle() {
+        let initial = vec![vec![0.5f32; 8]; 2];
+        let inner = MemoryStore::new(initial.iter().cloned().map(LayerState::new).collect());
+        let plan = FaultPlan::seeded(3).with_dead_layer(1, StoreOp::Fetch);
+        let store = FaultyStore::new(inner, plan);
+        let t = LockFreeTrainer::spawn_with(
+            initial,
+            Box::new(store),
+            Box::new(SgdOptimizer { lr: 0.1 }),
+            identity,
+            ClearPolicy::OnUpdateReceipt,
+            fast_retry(),
+        );
+        for l in 0..2 {
+            t.push_grads(l, vec![1.0; 8]);
+        }
+        assert!(t.wait_quiescent());
+        let handle = t.stats_handle();
+        // Drop without ever draining: the park event is still queued.
+        drop(t);
+        let events = handle.drain_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TrainerEvent::LayerParked { layer: 1, .. })),
+            "park event stranded at shutdown: {events:?}"
+        );
+        // Drained means drained: a second call returns nothing.
+        assert!(handle.drain_events().is_empty());
+    }
+
+    /// `spawn_observed` threads a live recorder through both worker
+    /// threads: mirror counters match the protocol stats and the event
+    /// ring holds wall-clock-stamped spans from the updating thread.
+    #[test]
+    #[cfg_attr(miri, ignore = "timing-sensitive / too slow under Miri")]
+    fn observed_trainer_records_metrics_and_events() {
+        use crate::obs::{ObsEventKind, Recorder};
+        let rec = Recorder::enabled();
+        let initial = vec![vec![0.5f32; 8]; 2];
+        let store = MemoryStore::new(initial.iter().cloned().map(LayerState::new).collect());
+        let t = LockFreeTrainer::spawn_observed(
+            initial,
+            Box::new(store),
+            Box::new(SgdOptimizer { lr: 0.1 }),
+            identity,
+            ClearPolicy::TakeAtSnapshot,
+            RetryPolicy::default(),
+            rec.clone(),
+        );
+        for i in 0..20 {
+            t.push_grads(i % 2, vec![1.0; 8]);
+        }
+        assert!(t.wait_quiescent());
+        let handle = t.stats_handle();
+        t.shutdown(2).unwrap();
+        let stats = handle.stats();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["trainer.grads_pushed"], 20);
+        assert_eq!(snap.counters["trainer.grads_applied"], stats.grads_applied);
+        assert_eq!(
+            snap.counters["trainer.updates_applied"],
+            stats.updates_applied
+        );
+        // Queue fully drained at shutdown.
+        assert_eq!(snap.gauges["trainer.queue_depth"], 0);
+        let events = rec.events();
+        assert!(events.iter().any(|e| {
+            e.thread == ObsThread::Updating
+                && matches!(
+                    e.kind,
+                    ObsEventKind::Span {
+                        name: "update_layer",
+                        ..
+                    }
+                )
+        }));
+        assert!(events.iter().any(|e| {
+            e.thread == ObsThread::TrainLoop
+                && matches!(
+                    e.kind,
+                    ObsEventKind::Instant {
+                        name: "push_grads",
+                        ..
+                    }
+                )
+        }));
+        assert!(events.iter().any(|e| {
+            matches!(
+                e.kind,
+                ObsEventKind::Counter {
+                    name: "trainer.pending_grads",
+                    ..
+                }
+            )
+        }));
+        // Wall-clock timestamps: at least one event strictly after epoch.
+        assert!(events.iter().any(|e| e.ts_ns > 0));
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Structured, timestamped runtime events.
+//!
+//! The registry's counters and gauges answer "how much"; the event ring
+//! answers "when". Every event carries a wall-clock timestamp relative to
+//! the [`Recorder`](crate::obs::Recorder) epoch, the *real OS thread* that
+//! produced it (the lock-free updater's buffering/updating threads, the
+//! training loop, the engine), and a small payload. Events are the raw
+//! material for the merged Perfetto timeline (`export.rs`), which places
+//! these runtime tracks next to the simulated hardware tracks so the
+//! paper's Section 4.2 overlap story is visible across both halves of the
+//! reproduction.
+//!
+//! The ring is bounded: under sustained load it drops the *oldest* events
+//! and counts the drops, so instrumentation can never grow memory without
+//! bound (the same reasoning as the paper's bounded grad buffers).
+
+use std::collections::VecDeque;
+
+/// Default event-ring capacity; enough for several iterations of a large
+/// model at one event per layer-op without measurable memory cost.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// The logical runtime track an event belongs to. Each variant becomes one
+/// named thread row (`tid`) in the merged Perfetto export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ObsThread {
+    /// The caller's training loop (pushes grads, runs iterations).
+    TrainLoop,
+    /// The lock-free updater's buffering thread (Algorithm 2, consumer).
+    Buffering,
+    /// The lock-free updater's updating thread (Algorithm 2, optimizer).
+    Updating,
+    /// The engine's planning/iteration driver.
+    Engine,
+    /// The simulated executor (reports lowered-schedule milestones).
+    Executor,
+}
+
+impl ObsThread {
+    /// Stable thread id used as the Perfetto `tid` within the runtime
+    /// process track. Distinct from simulated resource ids, which live in
+    /// a different `pid`.
+    pub fn tid(self) -> u64 {
+        match self {
+            ObsThread::TrainLoop => 0,
+            ObsThread::Buffering => 1,
+            ObsThread::Updating => 2,
+            ObsThread::Engine => 3,
+            ObsThread::Executor => 4,
+        }
+    }
+
+    /// Human-readable track name shown in the Perfetto UI.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsThread::TrainLoop => "train-loop",
+            ObsThread::Buffering => "lockfree-buffering",
+            ObsThread::Updating => "lockfree-updating",
+            ObsThread::Engine => "engine",
+            ObsThread::Executor => "sim-executor",
+        }
+    }
+
+    /// All runtime tracks, in `tid` order (used to emit thread-name
+    /// metadata deterministically).
+    pub fn all() -> [ObsThread; 5] {
+        [
+            ObsThread::TrainLoop,
+            ObsThread::Buffering,
+            ObsThread::Updating,
+            ObsThread::Engine,
+            ObsThread::Executor,
+        ]
+    }
+}
+
+/// Event payload. `&'static str` names keep recording allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEventKind {
+    /// A duration on a runtime track (Perfetto `X` event). `layer < 0`
+    /// means "not layer-scoped".
+    Span { name: &'static str, layer: i64 },
+    /// A point-in-time marker (Perfetto `i` instant event).
+    Instant { name: &'static str, layer: i64 },
+    /// A sampled counter value (Perfetto `C` event → a plotted track,
+    /// e.g. `trainer.pending_grads`).
+    Counter { name: &'static str, value: u64 },
+}
+
+/// One recorded runtime event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// Nanoseconds since the recorder epoch.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds (0 for instants and counter samples).
+    pub dur_ns: u64,
+    /// Which runtime track produced the event.
+    pub thread: ObsThread,
+    /// Payload.
+    pub kind: ObsEventKind,
+}
+
+/// Bounded drop-oldest ring of events.
+#[derive(Debug)]
+pub(crate) struct EventRing {
+    capacity: usize,
+    events: VecDeque<ObsEvent>,
+    dropped: u64,
+}
+
+impl EventRing {
+    pub(crate) fn new(capacity: usize) -> Self {
+        EventRing {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, ev: ObsEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<ObsEvent> {
+        self.events.iter().copied().collect()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> ObsEvent {
+        ObsEvent {
+            ts_ns: ts,
+            dur_ns: 0,
+            thread: ObsThread::TrainLoop,
+            kind: ObsEventKind::Instant {
+                name: "t",
+                layer: -1,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut ring = EventRing::new(3);
+        for t in 0..5 {
+            ring.push(ev(t));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].ts_ns, 2);
+        assert_eq!(snap[2].ts_ns, 4);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn thread_tids_are_unique_and_ordered() {
+        let all = ObsThread::all();
+        for (i, t) in all.iter().enumerate() {
+            assert_eq!(t.tid(), i as u64);
+            assert!(!t.name().is_empty());
+        }
+    }
+}

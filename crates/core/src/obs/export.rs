@@ -1,0 +1,325 @@
+//! Exports: the serializable [`MetricsSnapshot`] and the *merged* Perfetto
+//! timeline.
+//!
+//! The merged timeline is the PR's visualization centerpiece: process 1
+//! holds the simulated hardware tracks (one `tid` per sim resource, the
+//! existing `chrome_trace` content, plus per-memory-domain resident-bytes
+//! counter tracks replayed from the schedule's `MemEffect`s), and process 2
+//! holds the *real* runtime tracks — the lock-free updater's OS threads,
+//! the training loop, the engine — rebuilt from the recorder's event ring,
+//! plus sampled counter tracks such as `trainer.pending_grads`. Loading the
+//! one file in Perfetto shows the paper's Figure 5 overlap story on the
+//! simulated side next to what the reproduction's runtime actually did.
+//!
+//! The vendored `serde` derive is a no-op marker, so JSON is built and
+//! parsed explicitly over `serde_json::Value`; `BTreeMap` keys make every
+//! serialization deterministic (the basis of the snapshot determinism
+//! test).
+
+use std::collections::BTreeMap;
+
+use angel_sim::{ExecutionReport, Simulation};
+
+use super::events::{ObsEvent, ObsEventKind, ObsThread};
+
+/// Perfetto `pid` of the simulated-hardware process track.
+pub const SIM_PID: u64 = 1;
+/// Perfetto `pid` of the real runtime-threads process track.
+pub const RUNTIME_PID: u64 = 2;
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive bucket upper bounds; `counts` has one extra overflow slot.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub total: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// Point-in-time copy of every registered metric, JSON round-trippable.
+///
+/// `BTreeMap`s keep key order — and therefore the serialized bytes —
+/// deterministic for identical runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Instantaneous gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+fn u64_list(vals: &[u64]) -> serde_json::Value {
+    serde_json::Value::Array(vals.iter().map(|&v| serde_json::Value::from(v)).collect())
+}
+
+fn parse_u64(v: &serde_json::Value, what: &str) -> Result<u64, String> {
+    v.as_u64().ok_or_else(|| format!("{what}: expected u64"))
+}
+
+fn parse_u64_list(v: &serde_json::Value, what: &str) -> Result<Vec<u64>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("{what}: expected array"))?
+        .iter()
+        .map(|x| parse_u64(x, what))
+        .collect()
+}
+
+fn parse_u64_map(v: &serde_json::Value, what: &str) -> Result<BTreeMap<String, u64>, String> {
+    match v {
+        serde_json::Value::Object(m) => m
+            .iter()
+            .map(|(k, x)| Ok((k.clone(), parse_u64(x, what)?)))
+            .collect(),
+        serde_json::Value::Null => Ok(BTreeMap::new()),
+        _ => Err(format!("{what}: expected object")),
+    }
+}
+
+impl MetricsSnapshot {
+    /// Build the JSON document (the vendored serde derive is inert, so the
+    /// mapping is explicit).
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut counters = serde_json::Map::new();
+        for (k, v) in &self.counters {
+            counters.insert(k.clone(), serde_json::Value::from(*v));
+        }
+        let mut gauges = serde_json::Map::new();
+        for (k, v) in &self.gauges {
+            gauges.insert(k.clone(), serde_json::Value::from(*v));
+        }
+        let mut histograms = serde_json::Map::new();
+        for (k, h) in &self.histograms {
+            histograms.insert(
+                k.clone(),
+                serde_json::json!({
+                    "bounds": u64_list(&h.bounds),
+                    "counts": u64_list(&h.counts),
+                    "total": h.total,
+                    "sum": h.sum,
+                }),
+            );
+        }
+        serde_json::json!({
+            "counters": serde_json::Value::Object(counters),
+            "gauges": serde_json::Value::Object(gauges),
+            "histograms": serde_json::Value::Object(histograms),
+        })
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json()).expect("snapshot serializes")
+    }
+
+    /// Parse a snapshot back from its JSON document.
+    pub fn from_json(v: &serde_json::Value) -> Result<Self, String> {
+        let counters = parse_u64_map(&v["counters"], "counters")?;
+        let gauges = parse_u64_map(&v["gauges"], "gauges")?;
+        let mut histograms = BTreeMap::new();
+        match &v["histograms"] {
+            serde_json::Value::Object(m) => {
+                for (k, h) in m.iter() {
+                    let bounds = parse_u64_list(&h["bounds"], "histogram bounds")?;
+                    let counts = parse_u64_list(&h["counts"], "histogram counts")?;
+                    if counts.len() != bounds.len() + 1 {
+                        return Err(format!(
+                            "histogram {k}: {} counts for {} bounds",
+                            counts.len(),
+                            bounds.len()
+                        ));
+                    }
+                    histograms.insert(
+                        k.clone(),
+                        HistogramSnapshot {
+                            bounds,
+                            counts,
+                            total: parse_u64(&h["total"], "histogram total")?,
+                            sum: parse_u64(&h["sum"], "histogram sum")?,
+                        },
+                    );
+                }
+            }
+            serde_json::Value::Null => {}
+            _ => return Err("histograms: expected object".to_string()),
+        }
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+
+    /// Parse a snapshot from serialized JSON text.
+    pub fn from_json_str(s: &str) -> Result<Self, String> {
+        let v = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        Self::from_json(&v)
+    }
+}
+
+/// Trace events for the runtime half of the merged timeline: thread-name
+/// metadata for each [`ObsThread`] present in `events`, then one trace
+/// event per recorded [`ObsEvent`] (spans → `X`, instants → `i`,
+/// counter samples → `C`), all under `pid`.
+pub fn runtime_trace_events(events: &[ObsEvent], pid: u64) -> Vec<serde_json::Value> {
+    let mut out = Vec::new();
+    for thread in ObsThread::all() {
+        if events.iter().any(|e| e.thread == thread) {
+            out.push(serde_json::json!({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": thread.tid(),
+                "args": {"name": thread.name()},
+            }));
+        }
+    }
+    for ev in events {
+        let ts_us = ev.ts_ns as f64 / 1e3;
+        match ev.kind {
+            ObsEventKind::Span { name, layer } => {
+                let mut e = serde_json::json!({
+                    "name": name,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": ev.thread.tid(),
+                    "ts": ts_us,
+                    "dur": ev.dur_ns as f64 / 1e3,
+                });
+                if layer >= 0 {
+                    if let serde_json::Value::Object(m) = &mut e {
+                        m.insert("args".to_string(), serde_json::json!({ "layer": layer }));
+                    }
+                }
+                out.push(e);
+            }
+            ObsEventKind::Instant { name, layer } => {
+                let mut e = serde_json::json!({
+                    "name": name,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": ev.thread.tid(),
+                    "ts": ts_us,
+                });
+                if layer >= 0 {
+                    if let serde_json::Value::Object(m) = &mut e {
+                        m.insert("args".to_string(), serde_json::json!({ "layer": layer }));
+                    }
+                }
+                out.push(e);
+            }
+            ObsEventKind::Counter { name, value } => {
+                out.push(serde_json::json!({
+                    "name": name,
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": ev.thread.tid(),
+                    "ts": ts_us,
+                    "args": {"value": value},
+                }));
+            }
+        }
+    }
+    out
+}
+
+/// Serialize the merged Perfetto timeline: simulated hardware under
+/// [`SIM_PID`] (resource tracks + per-memory-domain resident-bytes counter
+/// tracks), real runtime threads under [`RUNTIME_PID`].
+pub fn merged_perfetto(sim: &Simulation, report: &ExecutionReport, events: &[ObsEvent]) -> String {
+    let mut all = Vec::new();
+    all.push(serde_json::json!({
+        "name": "process_name",
+        "ph": "M",
+        "pid": SIM_PID,
+        "args": {"name": "simulated-hardware"},
+    }));
+    all.extend(angel_sim::trace::trace_events(sim, report, SIM_PID));
+    all.extend(angel_sim::trace::counter_events(sim, report, SIM_PID));
+    all.push(serde_json::json!({
+        "name": "process_name",
+        "ph": "M",
+        "pid": RUNTIME_PID,
+        "args": {"name": "runtime-threads"},
+    }));
+    all.extend(runtime_trace_events(events, RUNTIME_PID));
+    serde_json::to_string_pretty(&serde_json::json!({
+        "traceEvents": all,
+        "displayTimeUnit": "ms",
+    }))
+    .expect("merged trace serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("a".into(), 1);
+        snap.counters.insert("b".into(), u32::MAX as u64 + 7);
+        snap.gauges.insert("g".into(), 42);
+        snap.histograms.insert(
+            "h".into(),
+            HistogramSnapshot {
+                bounds: vec![10, 100],
+                counts: vec![1, 2, 3],
+                total: 6,
+                sum: 777,
+            },
+        );
+        let text = snap.to_json_string();
+        let back = MetricsSnapshot::from_json_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_histograms() {
+        let bad = r#"{"counters": {}, "gauges": {}, "histograms": {"h": {"bounds": [1], "counts": [1], "total": 1, "sum": 1}}}"#;
+        assert!(MetricsSnapshot::from_json_str(bad).is_err());
+    }
+
+    #[test]
+    fn runtime_events_emit_metadata_only_for_present_threads() {
+        let events = vec![
+            ObsEvent {
+                ts_ns: 1_000,
+                dur_ns: 2_000,
+                thread: ObsThread::Updating,
+                kind: ObsEventKind::Span {
+                    name: "update_layer",
+                    layer: 3,
+                },
+            },
+            ObsEvent {
+                ts_ns: 4_000,
+                dur_ns: 0,
+                thread: ObsThread::Updating,
+                kind: ObsEventKind::Counter {
+                    name: "trainer.pending_grads",
+                    value: 2,
+                },
+            },
+        ];
+        let out = runtime_trace_events(&events, RUNTIME_PID);
+        // 1 thread_name + 1 span + 1 counter.
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            out[0]["args"]["name"].as_str().unwrap(),
+            "lockfree-updating"
+        );
+        assert_eq!(out[1]["ph"].as_str().unwrap(), "X");
+        assert_eq!(out[1]["args"]["layer"].as_i64().unwrap(), 3);
+        assert_eq!(out[2]["ph"].as_str().unwrap(), "C");
+        assert_eq!(out[2]["args"]["value"].as_u64().unwrap(), 2);
+        // Same pid, same tid for both payload events.
+        assert_eq!(out[1]["tid"], out[0]["tid"]);
+    }
+}

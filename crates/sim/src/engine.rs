@@ -51,6 +51,23 @@ impl Resources {
         self.names.iter().map(|s| s.as_str())
     }
 
+    /// `(id, name)` pairs in id order — the one authoritative mapping for
+    /// anything (trace export, metrics) that needs to key by resource id.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ResourceId(i), n.as_str()))
+    }
+
+    /// `(id, name)` pairs for memory domains, in id order.
+    pub fn mem_domains(&self) -> impl Iterator<Item = (MemDomainId, &str)> {
+        self.mem_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (MemDomainId(i), n.as_str()))
+    }
+
     /// Register a compute resource (GPU stream, CPU worker pool, ...).
     pub fn add_compute(&mut self, name: impl Into<String>) -> ResourceId {
         self.names.push(name.into());
@@ -320,6 +337,13 @@ impl ExecutionReport {
     /// without the lock-free mechanism.
     pub fn idle_fraction(&self, r: ResourceId) -> f64 {
         1.0 - self.utilization(r)
+    }
+
+    /// Whether task `i` ran to completion. Killed-in-flight tasks have a
+    /// start time but a zero finish time, so their duration is undefined —
+    /// consumers (e.g. the trace export) must skip them.
+    pub fn completed(&self, i: usize) -> bool {
+        !self.failed_tasks.contains(&i)
     }
 
     /// Overlap ratio: Σ busy ÷ makespan — how many resources were kept busy

@@ -1,0 +1,198 @@
+//! Observability-layer integration tests: the merged Perfetto export is
+//! byte-stable against a golden file, and the metrics snapshot of an engine
+//! run is fully deterministic (only simulated/plan-derived values — wall
+//! clock lives in the event ring, never in the snapshot).
+
+use angel_core::obs::{merged_perfetto, RUNTIME_PID, SIM_PID};
+use angel_core::{Engine, MetricsSnapshot, ObsEvent, ObsThread, Recorder};
+use angel_integration::{server, small_gpt};
+use angel_sim::{MemEffect, Resources, SimTask, Simulation, Work};
+
+use angel_core::obs::ObsEventKind;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/merged_timeline.json")
+}
+
+/// A tiny fully deterministic simulated iteration: one page move feeding a
+/// kernel, with resident-bytes effects on one memory domain.
+fn fixture_sim() -> (Simulation, angel_sim::ExecutionReport) {
+    let mut r = Resources::new();
+    let gpu = r.add_compute("gpu-stream");
+    let pcie = r.add_link("pcie-h2d", 1_000_000_000, 0);
+    let hbm = r.add_mem_domain("HBM", 1 << 20);
+    let mut sim = Simulation::new(r);
+    let mv = sim.submit(
+        SimTask::new(pcie, Work::Bytes(4_000))
+            .with_label("move_in:l0")
+            .with_mem(MemEffect {
+                domain: hbm,
+                acquire: 4_000,
+                release: 0,
+            }),
+    );
+    let k = sim.submit(
+        SimTask::new(gpu, Work::Duration(2_500))
+            .with_deps([mv])
+            .with_label("forward:l0"),
+    );
+    sim.submit(
+        SimTask::new(pcie, Work::Bytes(4_000))
+            .with_deps([k])
+            .with_label("move_out:l0")
+            .with_mem(MemEffect {
+                domain: hbm,
+                acquire: 0,
+                release: 4_000,
+            }),
+    );
+    let report = sim.run();
+    (sim, report)
+}
+
+/// Hand-built runtime events with fixed timestamps — the real threads'
+/// event shapes (span, instant, counter) without the real clock.
+fn fixture_events() -> Vec<ObsEvent> {
+    vec![
+        ObsEvent {
+            ts_ns: 1_000,
+            dur_ns: 0,
+            thread: ObsThread::TrainLoop,
+            kind: ObsEventKind::Instant {
+                name: "push_grads",
+                layer: 0,
+            },
+        },
+        ObsEvent {
+            ts_ns: 1_500,
+            dur_ns: 0,
+            thread: ObsThread::TrainLoop,
+            kind: ObsEventKind::Counter {
+                name: "trainer.pending_grads",
+                value: 1,
+            },
+        },
+        ObsEvent {
+            ts_ns: 2_000,
+            dur_ns: 3_000,
+            thread: ObsThread::Updating,
+            kind: ObsEventKind::Span {
+                name: "update_layer",
+                layer: 0,
+            },
+        },
+        ObsEvent {
+            ts_ns: 5_500,
+            dur_ns: 0,
+            thread: ObsThread::Updating,
+            kind: ObsEventKind::Counter {
+                name: "trainer.pending_grads",
+                value: 0,
+            },
+        },
+        ObsEvent {
+            ts_ns: 6_000,
+            dur_ns: 2_000,
+            thread: ObsThread::Engine,
+            kind: ObsEventKind::Span {
+                name: "train_iteration",
+                layer: -1,
+            },
+        },
+    ]
+}
+
+/// The merged export is byte-stable. Regenerate the golden file with
+/// `ANGEL_REGEN_GOLDEN=1 cargo test -p angel-integration --test observability`.
+#[test]
+fn merged_export_matches_golden() {
+    let (sim, report) = fixture_sim();
+    let json = merged_perfetto(&sim, &report, &fixture_events());
+    let path = golden_path();
+    if std::env::var_os("ANGEL_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file present (regenerate with ANGEL_REGEN_GOLDEN=1)");
+    assert_eq!(json, golden, "merged Perfetto export drifted from golden");
+}
+
+/// Structural assertions on the same fixture, so a legitimate format change
+/// updates the golden file *and* must keep these properties.
+#[test]
+fn merged_export_has_both_processes_and_counters() {
+    let (sim, report) = fixture_sim();
+    let json = merged_perfetto(&sim, &report, &fixture_events());
+    let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let events = doc["traceEvents"].as_array().unwrap();
+
+    let pids: std::collections::BTreeSet<u64> =
+        events.iter().filter_map(|e| e["pid"].as_u64()).collect();
+    assert!(pids.contains(&SIM_PID) && pids.contains(&RUNTIME_PID));
+
+    // Simulated tracks: every completed task became an X event under SIM_PID.
+    let sim_spans = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("X") && e["pid"].as_u64() == Some(SIM_PID))
+        .count();
+    assert_eq!(sim_spans, 3);
+
+    // Runtime tracks: the updater span landed on the named updating thread.
+    let thread_names: std::collections::BTreeMap<u64, String> = events
+        .iter()
+        .filter(|e| {
+            e["name"].as_str() == Some("thread_name") && e["pid"].as_u64() == Some(RUNTIME_PID)
+        })
+        .map(|e| {
+            (
+                e["tid"].as_u64().unwrap(),
+                e["args"]["name"].as_str().unwrap().to_string(),
+            )
+        })
+        .collect();
+    let upd = events
+        .iter()
+        .find(|e| e["name"].as_str() == Some("update_layer"))
+        .expect("updater span exported");
+    assert_eq!(
+        thread_names[&upd["tid"].as_u64().unwrap()],
+        "lockfree-updating"
+    );
+    assert_eq!(upd["dur"].as_f64().unwrap(), 3.0); // 3_000 ns = 3 µs
+
+    // Counter tracks from both halves: simulated resident bytes + runtime
+    // pending gradients.
+    let counter_tracks: std::collections::BTreeSet<&str> = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("C"))
+        .map(|e| e["name"].as_str().unwrap())
+        .collect();
+    assert!(counter_tracks.contains("HBM resident bytes"));
+    assert!(counter_tracks.contains("trainer.pending_grads"));
+}
+
+/// Two identical engine runs produce byte-identical `MetricsSnapshot` JSON:
+/// every recorded value is derived from the deterministic plan or the
+/// simulated clock, never the wall clock.
+#[test]
+fn metrics_snapshot_is_deterministic() {
+    let run = || {
+        let rec = Recorder::enabled();
+        let mut engine = Engine::initialize(&small_gpt(), &server(2)).expect("small model fits");
+        engine.set_recorder(rec.clone());
+        engine.train_iteration();
+        engine.train_iteration();
+        rec.snapshot().to_json_string()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "metrics snapshot must not depend on the wall clock");
+
+    let snap = MetricsSnapshot::from_json_str(&a).unwrap();
+    assert_eq!(snap.counters["engine.iterations"], 2);
+    assert!(snap.gauges.keys().any(|k| k.starts_with("alloc.")));
+    assert!(snap.gauges.keys().any(|k| k.starts_with("sim.busy_ns.")));
+    assert_eq!(snap.histograms["engine.iter_time_ns"].total, 2);
+}
