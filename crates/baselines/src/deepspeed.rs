@@ -25,7 +25,7 @@
 //! SSD, paying its 3.5 GB/s on every update.
 
 use crate::calibration;
-use angel_core::plan::{Lowering, LoweringConfig};
+use angel_core::plan::{Lowering, LoweringConfig, ParallelismPlan};
 use angel_core::verify::objects;
 use angel_hw::ClusterSpec;
 use angel_model::{flops, TransformerConfig};
@@ -70,6 +70,16 @@ impl DeepSpeed {
 
     fn num_gpus(&self) -> u64 {
         self.cluster.total_gpus() as u64
+    }
+
+    /// DeepSpeed expressed as a declarative [`ParallelismPlan`]: the pure
+    /// ZeRO-3 fixed point of the mesh abstraction — every GPU on the dp
+    /// axis, parameters/gradients/optimizer states all sharded, no model
+    /// parallelism. Identical to the engine's default plan; the systems
+    /// differ only in *policy* (static partition, just-in-time gathers,
+    /// synchronous updates), never in the parallelism factorization.
+    pub fn parallelism_plan(&self) -> ParallelismPlan {
+        ParallelismPlan::zero3(self.cluster.total_gpus())
     }
 
     /// Whether `model` fits under the static-partition capacity rule.
@@ -331,6 +341,20 @@ mod tests {
         let s = ds.iter_stats(&m).expect("1.7B fits");
         assert!(s.samples_per_sec > 0.0);
         assert!(s.gpu_utilization > 0.0 && s.gpu_utilization <= 1.0);
+    }
+
+    #[test]
+    fn deepspeed_is_the_zero3_fixed_point() {
+        use angel_core::plan::ZeroStage;
+        let cluster = ClusterSpec::a100_tencent(4);
+        let ds = DeepSpeed::new(cluster.clone(), 2);
+        let plan = ds.parallelism_plan();
+        assert_eq!(plan, ParallelismPlan::zero3(32));
+        assert_eq!(plan.zero_stage, ZeroStage::Full);
+        assert_eq!(plan.param_shard_ranks(), 32);
+        assert!(plan.gathers_params());
+        let mesh = plan.validate(&cluster).unwrap();
+        assert_eq!((mesh.dp(), mesh.tp(), mesh.pp()), (32, 1, 1));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! Figure 7 while the ZeRO systems continue.
 
 use crate::calibration;
-use angel_core::plan::{Lowering, LoweringConfig};
+use angel_core::plan::{Lowering, LoweringConfig, ParallelismPlan};
 use angel_core::verify::objects;
 use angel_hw::ClusterSpec;
 use angel_model::{flops, footprint::ModelFootprint, TransformerConfig};
@@ -28,6 +28,17 @@ pub struct MegatronStrategy {
     pub micro_batch: u64,
     /// Number of micro-batches per iteration (pipeline depth fill).
     pub num_micro_batches: u64,
+}
+
+impl MegatronStrategy {
+    /// This strategy expressed as a declarative [`ParallelismPlan`]:
+    /// Megatron-LM is the `ZeroStage::None` fixed point of the mesh
+    /// abstraction — tp×pp model parallelism with fully replicated model
+    /// states across the dp groups (the replication that OOMs at 30B on
+    /// 8 GPUs in Figure 7 while the ZeRO systems continue).
+    pub fn parallelism_plan(&self) -> ParallelismPlan {
+        ParallelismPlan::megatron(self.dp, self.tp, self.pp)
+    }
 }
 
 /// Evaluated strategy with predicted throughput.
@@ -299,6 +310,36 @@ mod tests {
         let e2 = evaluate(&m, mk(2), &cluster, &gm).unwrap();
         let e8 = evaluate(&m, mk(8), &cluster, &gm).unwrap();
         assert!(e8.bubble_fraction > e2.bubble_fraction);
+    }
+
+    #[test]
+    fn best_strategy_is_a_valid_mesh_plan() {
+        // The searched strategy is the ZeroStage::None fixed point of the
+        // declarative plan: it lays onto the same cluster as a DeviceMesh,
+        // with the tp group inside the NVLink domain (the constraint the
+        // search space enforces with `tp ≤ gpus/server`) and fully
+        // replicated model states.
+        use angel_core::plan::ZeroStage;
+        let cluster = ClusterSpec::a100_tencent(4);
+        let best = search_best_strategy(&TransformerConfig::gpt3_30b(), &cluster, 1).unwrap();
+        let plan = best.strategy.parallelism_plan();
+        assert_eq!(plan.zero_stage, ZeroStage::None);
+        assert_eq!(plan.param_shard_ranks(), 1, "Megatron never shards");
+        let mesh = plan
+            .validate(&cluster)
+            .expect("searched strategy fits the mesh");
+        assert_eq!(
+            (mesh.dp(), mesh.tp(), mesh.pp()),
+            (best.strategy.dp, best.strategy.tp, best.strategy.pp)
+        );
+        // The mesh prices tp collectives on NVLink — the same wire
+        // `lower_strategy`'s flat-rate tp term uses.
+        if best.strategy.tp > 1 {
+            assert_eq!(
+                mesh.axis_link(angel_hw::MeshAxis::Tp).class,
+                angel_hw::LinkClass::NvLink
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Cluster weak-scaling benchmark (Figure 9 / Table 3 regime): simulated
+//! throughput and wall-clock planning cost from one 8×A100 server out to
+//! 128 servers / 1024 GPUs, under declarative `ParallelismPlan`s.
+//!
+//! Three curves, all through `Engine::initialize`'s staged pipeline:
+//!
+//! * **fixed** — GPT3-13B on a growing fleet (strong scaling: the model
+//!   stays put, the dp group and its NIC-crossing collectives grow);
+//! * **scaled** — GPT3-28B geometry with 8 layers per server (weak
+//!   scaling: ~0.8 B parameters per GPU, 0.8 T total at 1024 GPUs);
+//! * **composed** — at the largest fleet, a dp×tp×pp mesh plan
+//!   (ZeRO-3 across dp groups, tensor parallelism inside the NVLink
+//!   domain, a 2-deep pipeline), statically verified.
+//!
+//! A fourth record stresses the segment-tree planner alone on the
+//! 1024-GPU-scale input (≈10× the page count of BENCH_plan.json's largest).
+//!
+//! Writes the machine-readable baseline `BENCH_scale.json` at the repo root
+//! (or to the path given as the first non-flag argument). `--quick` trims
+//! the sweep to its endpoints for CI smoke runs. Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p angel-bench --bin figure9_cluster
+//! ```
+
+use angel_bench::{fmt_params, fmt_sps, Experiment};
+use angel_core::plan::{ParallelismPlan, ZeroStage};
+use angel_core::scheduler::{input_from_trace, UnifiedScheduler};
+use angel_core::verify::PlanGraph;
+use angel_core::{Engine, EngineConfig, Tracer};
+use angel_model::TransformerConfig;
+use std::time::Instant;
+
+/// One engine run: wall-clock planning time + simulated throughput.
+fn run_point(model: &TransformerConfig, config: &EngineConfig) -> Option<(f64, f64, u64)> {
+    let t0 = Instant::now();
+    let mut engine = Engine::initialize(model, config).ok()?;
+    let planning_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = engine.train_iteration();
+    Some((planning_ms, stats.samples_per_sec, stats.iter_time_ns))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sweep: &[usize] = if quick {
+        &[1, 128]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128]
+    };
+
+    let fixed_model = TransformerConfig::gpt3_13b();
+    let scaled_geometry = TransformerConfig::gpt3_28b();
+    let layers_per_server = 8;
+
+    let mut table = Experiment::new(
+        "scale_bench",
+        "Weak scaling to 1024 simulated GPUs: throughput and planning cost",
+        &[
+            "servers",
+            "gpus",
+            "fixed sps",
+            "fixed plan ms",
+            "scaled params",
+            "scaled sps",
+            "scaled plan ms",
+        ],
+    );
+    let mut points = Vec::new();
+    for &servers in sweep {
+        let gpus = servers * 8;
+        let fixed = run_point(
+            &fixed_model,
+            &EngineConfig::servers(servers).with_batch_size(1),
+        )
+        .expect("13B fits every fleet");
+        let scaled_model = scaled_geometry
+            .clone()
+            .with_layers(layers_per_server * servers);
+        let scaled = run_point(
+            &scaled_model,
+            &EngineConfig::servers(servers).with_batch_size(1),
+        )
+        .expect("weak-scaled model keeps per-GPU bytes constant");
+        table.row(vec![
+            servers.to_string(),
+            gpus.to_string(),
+            fmt_sps(fixed.1),
+            format!("{:.1}", fixed.0),
+            fmt_params(scaled_model.total_params()),
+            fmt_sps(scaled.1),
+            format!("{:.1}", scaled.0),
+        ]);
+        points.push(serde_json::json!({
+            "servers": servers,
+            "gpus": gpus,
+            "fixed": {
+                "model": "gpt3-13b",
+                "samples_per_sec": fixed.1,
+                "planning_ms": fixed.0,
+                "iter_ms": fixed.2 as f64 / 1e6,
+            },
+            "scaled": {
+                "model": "gpt3-28b-geometry",
+                "layers": scaled_model.layers,
+                "params": scaled_model.total_params(),
+                "samples_per_sec": scaled.1,
+                "planning_ms": scaled.0,
+                "iter_ms": scaled.2 as f64 / 1e6,
+            },
+        }));
+    }
+    table.note(
+        "fixed = GPT3-13B, batch 1/GPU, default ZeRO-3 plan (strong scaling); \
+         scaled = GPT3-28B geometry growing 8 layers per server, ~0.8B \
+         params/GPU (weak scaling). Simulated A100 servers, 16×12.5 GB/s \
+         RoCE between them.",
+    );
+
+    // Composed mesh plan at the largest fleet: dp × tp=2 × pp=2, lowered
+    // through the same pipeline and statically verified.
+    let max_servers = *sweep.last().unwrap();
+    let max_gpus = max_servers * 8;
+    let plan = ParallelismPlan {
+        dp: max_gpus / 4,
+        tp: 2,
+        pp: 2,
+        zero_stage: ZeroStage::Full,
+    };
+    let composed_model = scaled_geometry
+        .clone()
+        .with_layers(layers_per_server * max_servers);
+    let t0 = Instant::now();
+    let engine = Engine::initialize(
+        &composed_model,
+        &EngineConfig::servers(max_servers)
+            .with_batch_size(1)
+            .with_parallelism(plan),
+    )
+    .expect("composed plan must initialize at max scale");
+    let composed_planning_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let lowered = engine.lower_iteration();
+    let verdict = PlanGraph::from_sim(&lowered.sim).verify();
+    verdict.assert_clean("composed mesh plan");
+    let report = lowered.sim.run();
+    verdict.assert_covers(&report, "composed mesh plan");
+    let composed = serde_json::json!({
+        "plan": format!("dp={} tp=2 pp=2 zero=full", plan.dp),
+        "servers": max_servers,
+        "gpus": max_gpus,
+        "planning_ms": composed_planning_ms,
+        "tasks": lowered.sim.num_tasks(),
+        "slot_makespan_ms": report.makespan as f64 / 1e6,
+        "verified": true,
+    });
+    table.note(format!(
+        "composed plan at {max_gpus} GPUs: dp={} × tp=2 × pp=2, {} lowered \
+         tasks, verifier clean.",
+        plan.dp,
+        lowered.sim.num_tasks(),
+    ));
+
+    // Planner stress: the raw Algorithm 1 input at 1024-GPU model scale —
+    // 1024 layers traced at page granularity fine enough for ~10× the page
+    // count of BENCH_plan.json's largest row.
+    let stress = if quick {
+        serde_json::json!(null)
+    } else {
+        let page = 1u64 << 20;
+        let stress_model = scaled_geometry.clone().with_layers(1024);
+        let trace = Tracer::default().trace(&stress_model, 1, true);
+        let mut input = input_from_trace(&trace, page, 1, 40 << 30);
+        let need = input
+            .layers
+            .iter()
+            .map(|l| l.full_param_bytes + l.working_set)
+            .max()
+            .unwrap_or(0);
+        input.gpu_budget = input.gpu_budget.max(need + need / 4);
+        let pages: usize = input.layers.iter().map(|l| l.shard_pages.len()).sum();
+        let t0 = Instant::now();
+        let schedule = UnifiedScheduler::default()
+            .schedule(&input)
+            .expect("stress input feasible");
+        let stress_ms = t0.elapsed().as_secs_f64() * 1e3;
+        table.note(format!(
+            "planner stress: {pages} pages / {} steps planned in {stress_ms:.0} ms \
+             ({} tasks).",
+            input.steps.len(),
+            schedule.tasks.len(),
+        ));
+        serde_json::json!({
+            "layers": 1024,
+            "steps": input.steps.len(),
+            "pages": pages,
+            "planning_ms": stress_ms,
+            "tasks": schedule.tasks.len(),
+        })
+    };
+
+    table.emit();
+
+    let out = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| format!("{}/../../BENCH_scale.json", env!("CARGO_MANIFEST_DIR")));
+    let doc = serde_json::json!({
+        "id": "scale_bench",
+        "generated_by": "cargo run --release -p angel-bench --bin figure9_cluster",
+        "units": {"samples_per_sec": "global samples/s (simulated)", "planning_ms": "wall clock"},
+        "points": points,
+        "composed": composed,
+        "planner_stress": stress,
+    });
+    std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+        .expect("write BENCH_scale.json");
+    println!("\nwrote {out}");
+}

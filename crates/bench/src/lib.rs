@@ -191,4 +191,61 @@ mod tests {
             "recorded speedup regressed below the 10x acceptance bar: {speedup}"
         );
     }
+
+    /// The checked-in cluster-scaling baseline must stay parseable and keep
+    /// its acceptance properties: a weak-scaling curve out to ≥1024
+    /// simulated GPUs with per-point throughput, a verified composed mesh
+    /// plan, and a ≥10⁶-page planner-stress record. Regenerate with
+    /// `cargo run --release -p angel-bench --bin figure9_cluster`.
+    #[test]
+    fn bench_scale_baseline_parses() {
+        let path = format!("{}/../../BENCH_scale.json", env!("CARGO_MANIFEST_DIR"));
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing scaling baseline {path}: {e}"));
+        let doc: serde_json::Value = serde_json::from_str(&raw).expect("valid JSON");
+        assert_eq!(doc["id"].as_str(), Some("scale_bench"));
+        let points = doc["points"].as_array().expect("points array");
+        assert!(points.len() >= 2);
+        for p in points {
+            assert!(p["gpus"].as_u64().unwrap() >= 8);
+            for curve in ["fixed", "scaled"] {
+                assert!(p[curve]["samples_per_sec"].as_f64().unwrap() > 0.0);
+                assert!(p[curve]["planning_ms"].as_f64().unwrap() >= 0.0);
+            }
+        }
+        let last = points.last().unwrap();
+        assert!(
+            last["gpus"].as_u64().unwrap() >= 1024,
+            "curve must reach 1024 simulated GPUs"
+        );
+        // Strong scaling: the fixed model's global throughput grows with
+        // the fleet.
+        let first = points.first().unwrap();
+        assert!(
+            last["fixed"]["samples_per_sec"].as_f64().unwrap()
+                > first["fixed"]["samples_per_sec"].as_f64().unwrap()
+        );
+        // Weak scaling: once collectives cross the NIC (≥2 servers), the
+        // scaled curve holds ≥50% efficiency out to the largest fleet.
+        let multi: Vec<f64> = points
+            .iter()
+            .filter(|p| p["servers"].as_u64().unwrap() >= 2)
+            .map(|p| p["scaled"]["samples_per_sec"].as_f64().unwrap())
+            .collect();
+        if let (Some(first_multi), Some(last_multi)) = (multi.first(), multi.last()) {
+            assert!(
+                *last_multi >= 0.5 * first_multi,
+                "weak-scaling efficiency regressed: {last_multi} vs {first_multi}"
+            );
+        }
+        let composed = &doc["composed"];
+        assert_eq!(composed["verified"].as_bool(), Some(true));
+        assert!(composed["tasks"].as_u64().unwrap() > 0);
+        let stress = &doc["planner_stress"];
+        assert!(
+            stress["pages"].as_u64().unwrap() >= 1_000_000,
+            "planner stress input must stay ~10x BENCH_plan.json's max"
+        );
+        assert!(stress["planning_ms"].as_f64().unwrap() > 0.0);
+    }
 }

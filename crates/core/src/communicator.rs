@@ -8,20 +8,151 @@
 //! Scheduler, thus it enables reordering the tasks in the queue to improve
 //! the overlap between computation and communication."
 //!
-//! The communication channel is a FIFO stream (NCCL serializes collectives
-//! per communicator), so *submission order matters*: a late-needed gather in
+//! NCCL serializes collectives *per communicator*, and a mesh run owns one
+//! communicator per parallelism group: the dp group's ZeRO
+//! all-gathers/reduce-scatters, the tp group's per-layer all-reduces, and
+//! the pp group's point-to-point activation sends each ride their own FIFO
+//! channel, so a tp all-reduce never queues behind a dp gather. Each channel
+//! is priced by a [`GroupSpec`]: the hierarchical α+β model of
+//! [`angel_sim::collectives::hierarchical_collective_ns`] — an intra-server
+//! NVLink ring composed with an inter-server NIC tree — parameterized by how
+//! the group's ranks are laid out on the [`DeviceMesh`].
+//!
+//! Within one channel *submission order matters*: a late-needed gather in
 //! front of an early-needed one stalls the pipeline. [`Communicator`]
 //! therefore buffers enqueued operations and, at [`Communicator::flush`],
 //! submits them ordered by trigger id (ties broken by enqueue order) — the
 //! reordering the paper describes.
 
-use angel_hw::ClusterSpec;
-use angel_sim::collectives::{hierarchical_collective_time_ns, Collective};
+use crate::error::{Error, Result};
+use angel_hw::{ClusterSpec, DeviceMesh, Link, MeshAxis};
+use angel_sim::collectives::{hierarchical_collective_ns, Collective};
 use angel_sim::{Ns, ResourceId, Resources, SimTask, Simulation, Work};
+
+/// Which parallelism group a communication operation belongs to. Each group
+/// maps to one NCCL-style FIFO channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommGroup {
+    /// Data parallelism: ZeRO all-gather / reduce-scatter / all-reduce.
+    Dp,
+    /// Tensor parallelism: per-layer activation all-reduces.
+    Tp,
+    /// Pipeline parallelism: point-to-point stage boundary transfers.
+    Pp,
+}
+
+impl CommGroup {
+    /// The simulation resource name of this group's channel.
+    pub fn channel_name(self) -> &'static str {
+        match self {
+            CommGroup::Dp => "communicator:dp-channel",
+            CommGroup::Tp => "communicator:tp-channel",
+            CommGroup::Pp => "communicator:pp-channel",
+        }
+    }
+
+    fn axis(self) -> MeshAxis {
+        match self {
+            CommGroup::Dp => MeshAxis::Dp,
+            CommGroup::Tp => MeshAxis::Tp,
+            CommGroup::Pp => MeshAxis::Pp,
+        }
+    }
+}
+
+/// The physical layout of one communication group, reduced to what the
+/// hierarchical cost model needs: how many ranks participate, how they pack
+/// into servers, and which wire each level rides.
+#[derive(Debug, Clone)]
+pub struct GroupSpec {
+    /// Total ranks in the group.
+    pub ranks: u64,
+    /// Group members co-located on one server (the intra-node ring size).
+    pub ranks_per_server: u64,
+    /// Servers the group spans (the inter-node tree size).
+    pub servers: u64,
+    /// Intra-server link (NVLink).
+    pub intra: Link,
+    /// Inter-server link (per-GPU share of the RoCE NIC).
+    pub inter: Link,
+}
+
+impl GroupSpec {
+    /// A flat fleet of `ranks` GPUs filling servers in order — the layout of
+    /// the pure data-parallel (pre-mesh) configuration. Arithmetically
+    /// identical to
+    /// [`angel_sim::collectives::hierarchical_collective_time_ns`].
+    pub fn from_cluster(cluster: &ClusterSpec, ranks: u64) -> Self {
+        let per_server = cluster.server.num_gpus() as u64;
+        let (ranks_per_server, servers) = if ranks <= per_server {
+            (ranks, 1)
+        } else {
+            (per_server, ranks.div_ceil(per_server))
+        };
+        Self {
+            ranks,
+            ranks_per_server,
+            servers,
+            intra: cluster.server.nvlink.clone(),
+            inter: cluster.shared_nic(),
+        }
+    }
+
+    /// The layout of one `axis` group of `mesh` (homogeneous across groups).
+    pub fn from_mesh(mesh: &DeviceMesh, axis: MeshAxis) -> Self {
+        Self {
+            ranks: mesh.axis_size(axis) as u64,
+            ranks_per_server: mesh.colocated_per_server(axis) as u64,
+            servers: mesh.group_servers(axis) as u64,
+            intra: mesh.cluster().server.nvlink.clone(),
+            inter: mesh.cluster().shared_nic(),
+        }
+    }
+
+    /// Duration of a collective over this group: intra-server ring composed
+    /// with inter-server tree.
+    pub fn collective_ns(&self, op: Collective, bytes: u64) -> Ns {
+        hierarchical_collective_ns(
+            op,
+            bytes,
+            &self.intra,
+            &self.inter,
+            self.ranks_per_server,
+            self.servers,
+        )
+    }
+
+    /// The wire a point-to-point transfer between adjacent group members
+    /// rides: NVLink while the group sits inside one server, the NIC once
+    /// it spans servers.
+    pub fn p2p_link(&self) -> &Link {
+        if self.servers <= 1 {
+            &self.intra
+        } else {
+            &self.inter
+        }
+    }
+
+    /// Duration of one point-to-point hop of `bytes` (pp activations).
+    pub fn p2p_ns(&self, bytes: u64) -> Ns {
+        if self.ranks <= 1 {
+            return 0;
+        }
+        self.p2p_link().transfer_ns(bytes)
+    }
+}
+
+/// One group's FIFO channel plus its cost model.
+#[derive(Debug)]
+struct GroupChannel {
+    channel: ResourceId,
+    spec: GroupSpec,
+}
 
 /// A queued communication operation.
 #[derive(Debug, Clone)]
 struct Pending {
+    group: CommGroup,
     op: Collective,
     bytes: u64,
     trigger: usize,
@@ -33,41 +164,106 @@ struct Pending {
     handle: usize,
 }
 
-/// The Communicator: a reorderable queue over one collective channel.
+/// The Communicator: a reorderable queue over per-group collective channels.
 #[derive(Debug)]
 pub struct Communicator {
-    channel: ResourceId,
-    cluster: ClusterSpec,
-    ranks: u64,
+    dp: GroupChannel,
+    tp: Option<GroupChannel>,
+    pp: Option<GroupChannel>,
     queue: Vec<Pending>,
     /// handle → submitted sim task id (populated by flush).
     submitted: Vec<Option<usize>>,
 }
 
 impl Communicator {
+    /// A dp-only communicator over a flat fleet of `ranks` GPUs — the
+    /// degenerate (pure ZeRO) configuration every pre-mesh caller built.
     pub fn new(resources: &mut Resources, cluster: ClusterSpec, ranks: u64) -> Self {
+        let spec = GroupSpec::from_cluster(&cluster, ranks);
         Self {
-            channel: resources.add_compute("communicator:nccl-channel"),
-            cluster,
-            ranks,
+            dp: GroupChannel {
+                channel: resources.add_compute(CommGroup::Dp.channel_name()),
+                spec,
+            },
+            tp: None,
+            pp: None,
             queue: Vec::new(),
             submitted: Vec::new(),
         }
     }
 
+    /// Per-group channels for a device mesh: the dp channel always exists;
+    /// tp and pp channels are registered only when their axis is non-trivial
+    /// (so degenerate meshes keep the pre-mesh resource surface).
+    pub fn for_mesh(resources: &mut Resources, mesh: &DeviceMesh) -> Self {
+        let channel = |r: &mut Resources, g: CommGroup| GroupChannel {
+            channel: r.add_compute(g.channel_name()),
+            spec: GroupSpec::from_mesh(mesh, g.axis()),
+        };
+        let dp = channel(resources, CommGroup::Dp);
+        let tp = (mesh.tp() > 1).then(|| channel(resources, CommGroup::Tp));
+        let pp = (mesh.pp() > 1).then(|| channel(resources, CommGroup::Pp));
+        Self {
+            dp,
+            tp,
+            pp,
+            queue: Vec::new(),
+            submitted: Vec::new(),
+        }
+    }
+
+    fn group(&self, group: CommGroup) -> Option<&GroupChannel> {
+        match group {
+            CommGroup::Dp => Some(&self.dp),
+            CommGroup::Tp => self.tp.as_ref(),
+            CommGroup::Pp => self.pp.as_ref(),
+        }
+    }
+
+    /// The dp channel (the only channel of a degenerate communicator).
     pub fn channel_id(&self) -> ResourceId {
-        self.channel
+        self.dp.channel
     }
 
-    /// Duration model for a collective on this cluster.
+    /// The channel of `group`, if that axis is non-trivial.
+    pub fn group_channel(&self, group: CommGroup) -> Option<ResourceId> {
+        self.group(group).map(|g| g.channel)
+    }
+
+    /// The layout spec of `group`, if that axis is non-trivial.
+    pub fn group_spec(&self, group: CommGroup) -> Option<&GroupSpec> {
+        self.group(group).map(|g| &g.spec)
+    }
+
+    /// Duration model for a dp-group collective.
     pub fn collective_ns(&self, op: Collective, bytes: u64) -> Ns {
-        hierarchical_collective_time_ns(op, bytes, &self.cluster, self.ranks)
+        self.dp.spec.collective_ns(op, bytes)
     }
 
-    /// Queue a collective. Returns a handle resolvable to the simulation
-    /// task id after [`Communicator::flush`].
+    /// Duration model for a collective on `group`'s channel (0 when the
+    /// axis is trivial — a one-rank group communicates nothing).
+    pub fn group_collective_ns(&self, group: CommGroup, op: Collective, bytes: u64) -> Ns {
+        self.group(group)
+            .map_or(0, |g| g.spec.collective_ns(op, bytes))
+    }
+
+    /// Queue a dp-group collective. Returns a handle resolvable to the
+    /// simulation task id after [`Communicator::flush`].
     pub fn enqueue(
         &mut self,
+        op: Collective,
+        bytes: u64,
+        trigger: usize,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.enqueue_on(CommGroup::Dp, op, bytes, trigger, deps, label)
+    }
+
+    /// Queue a collective on a specific group's channel.
+    pub fn enqueue_on(
+        &mut self,
+        group: CommGroup,
         op: Collective,
         bytes: u64,
         trigger: usize,
@@ -77,6 +273,7 @@ impl Communicator {
         let handle = self.submitted.len();
         self.submitted.push(None);
         self.queue.push(Pending {
+            group,
             op,
             bytes,
             trigger,
@@ -88,8 +285,9 @@ impl Communicator {
         handle
     }
 
-    /// Reorder the queue by trigger id and submit everything to the channel
-    /// stream. Returns the number of operations whose position changed.
+    /// Reorder the queue by trigger id and submit everything, each operation
+    /// to its group's channel stream. Returns the number of operations whose
+    /// position changed.
     pub fn flush(&mut self, sim: &mut Simulation) -> usize {
         let mut ops = std::mem::take(&mut self.queue);
         let before: Vec<usize> = ops.iter().map(|p| p.handle).collect();
@@ -100,9 +298,10 @@ impl Communicator {
             .filter(|(p, &orig)| p.handle != orig)
             .count();
         for p in ops {
-            let dur = self.collective_ns(p.op, p.bytes);
+            let dur = self.group_collective_ns(p.group, p.op, p.bytes);
+            let channel = self.group(p.group).unwrap_or(&self.dp).channel;
             let id = sim.submit(
-                SimTask::new(self.channel, Work::Duration(dur))
+                SimTask::new(channel, Work::Duration(dur))
                     .with_deps(p.deps.clone())
                     .with_label(p.label.clone()),
             );
@@ -111,14 +310,21 @@ impl Communicator {
         reordered
     }
 
-    /// The simulation task id for an enqueued operation (after flush).
-    pub fn task_id(&self, handle: usize) -> usize {
-        self.submitted[handle].expect("flush() before task_id()")
+    /// The simulation task id for an enqueued operation. Errors with
+    /// [`Error::UnflushedCollective`] when the handle was never submitted
+    /// via [`Communicator::flush`] (or is unknown) — a plan-wiring bug the
+    /// caller can surface instead of aborting.
+    pub fn task_id(&self, handle: usize) -> Result<usize> {
+        self.submitted
+            .get(handle)
+            .copied()
+            .flatten()
+            .ok_or(Error::UnflushedCollective { handle })
     }
 
-    /// Submit one collective immediately (bypassing the queue) — used when
-    /// the caller already emits operations in trigger order, as the Unified
-    /// Scheduler's sorted task list does.
+    /// Submit one dp-group collective immediately (bypassing the queue) —
+    /// used when the caller already emits operations in trigger order, as
+    /// the Unified Scheduler's sorted task list does.
     pub fn submit_now(
         &self,
         sim: &mut Simulation,
@@ -127,9 +333,25 @@ impl Communicator {
         deps: impl IntoIterator<Item = usize>,
         label: impl Into<String>,
     ) -> usize {
-        let dur = self.collective_ns(op, bytes);
+        self.submit_now_on(CommGroup::Dp, sim, op, bytes, deps, label)
+    }
+
+    /// Submit one collective immediately on a specific group's channel
+    /// (falling back to the dp channel when the axis is trivial, with zero
+    /// duration — the degenerate group communicates nothing).
+    pub fn submit_now_on(
+        &self,
+        group: CommGroup,
+        sim: &mut Simulation,
+        op: Collective,
+        bytes: u64,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        let dur = self.group_collective_ns(group, op, bytes);
+        let channel = self.group(group).unwrap_or(&self.dp).channel;
         sim.submit(
-            SimTask::new(self.channel, Work::Duration(dur))
+            SimTask::new(channel, Work::Duration(dur))
                 .with_deps(deps)
                 .with_label(label),
         )
@@ -140,6 +362,7 @@ impl Communicator {
 mod tests {
     use super::*;
     use angel_hw::MIB;
+    use angel_sim::collectives::hierarchical_collective_time_ns;
 
     fn setup() -> (Resources, ClusterSpec) {
         (Resources::new(), ClusterSpec::single_a100())
@@ -157,6 +380,99 @@ mod tests {
         );
     }
 
+    /// The flat-fleet [`GroupSpec`] must price exactly like the pre-mesh
+    /// whole-cluster model, at any scale — the byte-identity that keeps
+    /// every existing lowering unchanged.
+    #[test]
+    fn flat_group_spec_matches_cluster_model() {
+        for servers in [1usize, 2, 16, 128] {
+            let cluster = ClusterSpec::a100_tencent(servers);
+            let ranks = cluster.total_gpus() as u64;
+            let spec = GroupSpec::from_cluster(&cluster, ranks);
+            for op in [
+                Collective::AllGather,
+                Collective::ReduceScatter,
+                Collective::AllReduce,
+            ] {
+                for bytes in [1u64, MIB, 256 * MIB] {
+                    assert_eq!(
+                        spec.collective_ns(op, bytes),
+                        hierarchical_collective_time_ns(op, bytes, &cluster, ranks),
+                        "{op:?} servers={servers} bytes={bytes}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_groups_ride_the_right_wires() {
+        // 4 servers, dp=4 × pp=4 × tp=2: tp sits inside a server (NVLink),
+        // dp peers are one per server (NIC).
+        let mesh = DeviceMesh::new(ClusterSpec::a100_tencent(4), 4, 4, 2).unwrap();
+        let tp = GroupSpec::from_mesh(&mesh, MeshAxis::Tp);
+        assert_eq!((tp.ranks, tp.servers), (2, 1));
+        let dp = GroupSpec::from_mesh(&mesh, MeshAxis::Dp);
+        assert_eq!((dp.ranks, dp.ranks_per_server, dp.servers), (4, 1, 4));
+        // Same bytes: the NVLink-resident tp group is far cheaper than the
+        // NIC-crossing dp group.
+        let b = 64 * MIB;
+        assert!(
+            tp.collective_ns(Collective::AllReduce, b) * 3
+                < dp.collective_ns(Collective::AllReduce, b)
+        );
+        // pp (stride tp=2, span 8 ranks) still fits inside one server here,
+        // so its boundary hop stays on NVLink — the layout keeps pipeline
+        // neighbors as local as the axis order allows.
+        let pp = GroupSpec::from_mesh(&mesh, MeshAxis::Pp);
+        assert_eq!(pp.p2p_link().class, angel_hw::LinkClass::NvLink);
+        assert!(pp.p2p_ns(b) > 0);
+        // Grow the stage count past a server's GPUs and the pp hop is
+        // forced onto the NIC.
+        let deep = DeviceMesh::new(ClusterSpec::a100_tencent(4), 2, 8, 2).unwrap();
+        let deep_pp = GroupSpec::from_mesh(&deep, MeshAxis::Pp);
+        assert_eq!((deep_pp.ranks, deep_pp.servers), (8, 2));
+        assert_eq!(deep_pp.p2p_link().class, angel_hw::LinkClass::Nic);
+    }
+
+    #[test]
+    fn mesh_communicator_registers_per_group_channels() {
+        let mesh = DeviceMesh::new(ClusterSpec::a100_tencent(4), 4, 4, 2).unwrap();
+        let mut r = Resources::new();
+        let comm = Communicator::for_mesh(&mut r, &mesh);
+        assert!(comm.group_channel(CommGroup::Tp).is_some());
+        assert!(comm.group_channel(CommGroup::Pp).is_some());
+        assert_ne!(
+            comm.group_channel(CommGroup::Tp),
+            Some(comm.channel_id()),
+            "tp rides its own channel"
+        );
+        // Degenerate mesh: only the dp channel exists.
+        let flat = DeviceMesh::data_parallel(ClusterSpec::single_a100());
+        let mut r2 = Resources::new();
+        let comm2 = Communicator::for_mesh(&mut r2, &flat);
+        assert!(comm2.group_channel(CommGroup::Tp).is_none());
+        assert!(comm2.group_channel(CommGroup::Pp).is_none());
+        assert_eq!(comm2.group_channel(CommGroup::Dp), Some(comm2.channel_id()));
+    }
+
+    #[test]
+    fn degenerate_mesh_prices_like_flat_fleet() {
+        // for_mesh on the pure-dp mesh must reproduce new()'s durations.
+        let cluster = ClusterSpec::a100_tencent(4);
+        let mesh = DeviceMesh::data_parallel(cluster.clone());
+        let mut r1 = Resources::new();
+        let legacy = Communicator::new(&mut r1, cluster, 32);
+        let mut r2 = Resources::new();
+        let meshed = Communicator::for_mesh(&mut r2, &mesh);
+        for bytes in [1u64, MIB, 512 * MIB] {
+            assert_eq!(
+                legacy.collective_ns(Collective::AllGather, bytes),
+                meshed.collective_ns(Collective::AllGather, bytes),
+            );
+        }
+    }
+
     #[test]
     fn reordering_sorts_by_trigger() {
         let (mut r, cluster) = setup();
@@ -170,8 +486,13 @@ mod tests {
         assert!(reordered > 0);
         let report = sim.run();
         // g0 runs first, g2 last on the FIFO channel.
-        assert!(report.start_times[comm.task_id(h0)] < report.start_times[comm.task_id(h1)]);
-        assert!(report.start_times[comm.task_id(h1)] < report.start_times[comm.task_id(h2)]);
+        let (t0, t1, t2) = (
+            comm.task_id(h0).unwrap(),
+            comm.task_id(h1).unwrap(),
+            comm.task_id(h2).unwrap(),
+        );
+        assert!(report.start_times[t0] < report.start_times[t1]);
+        assert!(report.start_times[t1] < report.start_times[t2]);
     }
 
     #[test]
@@ -200,7 +521,7 @@ mod tests {
                 let _ = c;
                 return sim.run().makespan;
             }
-            let s = comm.task_id(short);
+            let s = comm.task_id(short).unwrap();
             sim.submit(SimTask::new(gpu, Work::Duration(1_000_000)).with_deps([s]));
             sim.run().makespan
         };
@@ -213,11 +534,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "flush() before task_id()")]
-    fn task_id_requires_flush() {
+    fn task_id_before_flush_is_a_typed_error() {
         let (mut r, cluster) = setup();
         let mut comm = Communicator::new(&mut r, cluster, 8);
         let h = comm.enqueue(Collective::AllGather, MIB, 0, [], "g");
-        let _ = comm.task_id(h);
+        assert_eq!(
+            comm.task_id(h),
+            Err(Error::UnflushedCollective { handle: h })
+        );
+        // Unknown handles error the same way instead of panicking.
+        assert!(matches!(
+            comm.task_id(99),
+            Err(Error::UnflushedCollective { handle: 99 })
+        ));
+        let mut sim = Simulation::new(r);
+        comm.flush(&mut sim);
+        assert!(comm.task_id(h).is_ok());
     }
 }

@@ -1,11 +1,13 @@
 //! Engine configuration and the calibration constants tying the simulation
 //! to the paper's hardware.
 
-use angel_hw::{ClusterSpec, GIB};
+use angel_hw::{ClusterSpec, DeviceMesh, GIB};
 use angel_sim::compute::{CpuUpdateModel, GpuComputeModel, GpuUpdateModel};
 use serde::{Deserialize, Serialize};
 
+use crate::error::Result;
 use crate::page::PAGE_SIZE_DEFAULT;
+use crate::plan::ParallelismPlan;
 
 /// Host-memory calibration. The fractions below are *policy-derived*, not
 /// per-experiment tuning knobs (see DESIGN.md §4):
@@ -44,6 +46,14 @@ pub struct EngineConfig {
     pub page_size: u64,
     /// Per-GPU micro-batch size.
     pub batch_size: u64,
+    /// How the cluster's GPUs factor into dp × tp × pp and which ZeRO stage
+    /// the dp axis runs. Defaults to pure ZeRO-3 data parallelism over every
+    /// GPU — the paper's configuration, and the degenerate mesh that keeps
+    /// all pre-mesh results byte-identical.
+    pub parallelism: ParallelismPlan,
+    /// Micro-batches per iteration (the pipeline fill of a pp > 1 plan;
+    /// 1 for pure data parallelism).
+    pub micro_batches: u64,
     /// Activation recomputation (on by default, as in the paper).
     pub recompute: bool,
     /// Use the SSD tier for FP32 optimizer states (Section 6.5 only).
@@ -86,10 +96,13 @@ impl EngineConfig {
     }
 
     pub fn for_cluster(cluster: ClusterSpec) -> Self {
+        let parallelism = ParallelismPlan::zero3(cluster.total_gpus());
         Self {
             cluster,
             page_size: PAGE_SIZE_DEFAULT,
             batch_size: 1,
+            parallelism,
+            micro_batches: 1,
             recompute: true,
             use_ssd: false,
             lock_free: false,
@@ -113,6 +126,19 @@ impl EngineConfig {
     pub fn with_batch_size(mut self, b: u64) -> Self {
         assert!(b >= 1);
         self.batch_size = b;
+        self
+    }
+
+    /// Set the dp × tp × pp factorization (validated against the cluster at
+    /// [`EngineConfig::device_mesh`] / engine initialization).
+    pub fn with_parallelism(mut self, plan: ParallelismPlan) -> Self {
+        self.parallelism = plan;
+        self
+    }
+
+    pub fn with_micro_batches(mut self, m: u64) -> Self {
+        assert!(m >= 1);
+        self.micro_batches = m;
         self
     }
 
@@ -152,14 +178,21 @@ impl EngineConfig {
         self
     }
 
-    /// Total GPUs (data-parallel degree).
+    /// Total GPUs in the cluster.
     pub fn num_gpus(&self) -> usize {
         self.cluster.total_gpus()
     }
 
-    /// Global batch size across all ranks.
+    /// Lay the configured [`ParallelismPlan`] onto the cluster.
+    pub fn device_mesh(&self) -> Result<DeviceMesh> {
+        self.parallelism.validate(&self.cluster)
+    }
+
+    /// Global batch size: each of the `dp` model replicas consumes
+    /// `batch_size` samples per micro-batch. With the default plan
+    /// (dp = every GPU, one micro-batch) this is `batch_size × num_gpus`.
     pub fn global_batch(&self) -> u64 {
-        self.batch_size * self.num_gpus() as u64
+        self.batch_size * self.micro_batches * self.parallelism.dp as u64
     }
 
     /// Host bytes usable by the page pool, per server.
@@ -220,6 +253,21 @@ mod tests {
         let c = EngineConfig::servers(96).with_batch_size(4);
         assert_eq!(c.num_gpus(), 768);
         assert_eq!(c.global_batch(), 3072);
+    }
+
+    #[test]
+    fn parallelism_plans_validate_onto_the_cluster() {
+        let c = EngineConfig::servers(4).with_parallelism(ParallelismPlan::megatron(4, 2, 4));
+        let mesh = c.device_mesh().unwrap();
+        assert_eq!((mesh.dp(), mesh.pp(), mesh.tp()), (4, 4, 2));
+        // A plan whose axis product misses the cluster is a typed error.
+        assert!(EngineConfig::servers(4)
+            .with_parallelism(ParallelismPlan::zero3(8))
+            .device_mesh()
+            .is_err());
+        // Global batch counts dp replicas × micro-batches, not raw GPUs.
+        let c = c.with_batch_size(2).with_micro_batches(8);
+        assert_eq!(c.global_batch(), 64);
     }
 
     #[test]

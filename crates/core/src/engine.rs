@@ -30,6 +30,7 @@
 
 use crate::allocator::PageAllocator;
 use crate::cache::CachePlan;
+use crate::communicator::CommGroup;
 use crate::config::EngineConfig;
 use crate::error::Result;
 use crate::obs::{ObsThread, Recorder};
@@ -103,7 +104,7 @@ impl Engine {
     /// Initialize training: Trace → Shard → Place → Schedule, then
     /// materialize the placement.
     pub fn initialize(model: &TransformerConfig, config: &EngineConfig) -> Result<Self> {
-        let traced = TracePlan::build(model, config);
+        let traced = TracePlan::build(model, config)?;
         let shard = ShardPlan::build(model, config, &traced);
         let mem = MemoryPlan::build(config, &shard)?;
         let planned = SchedulePlan::build(config, &shard, &mem, &traced.zero)?;
@@ -180,11 +181,7 @@ impl Engine {
             // Read + write the SSD-resident FP32 states, bandwidth shared
             // across the server's ranks.
             let bytes = 2 * self.placement.ssd_bytes;
-            link.latency_ns
-                + angel_hw::link::bytes_over_bandwidth_ns(
-                    bytes * gpus_per_server as u64,
-                    link.bandwidth,
-                )
+            link.transfer_ns(bytes * gpus_per_server as u64)
         } else {
             0
         };
@@ -228,7 +225,12 @@ impl Engine {
             verdict.assert_clean("engine iteration lowering");
             verdict.assert_covers(&report, "engine iteration lowering");
         }
-        let iter = report.makespan.max(1);
+        // The lowered graph covers one pipeline slot (one micro-batch through
+        // this rank's stage). A 1F1B pipeline drains `micro_batches + pp − 1`
+        // such slots per iteration; the degenerate plan (1 micro-batch, no
+        // pipeline) keeps the slot makespan as the iteration time unchanged.
+        let slots = self.config.micro_batches + self.config.parallelism.pp as u64 - 1;
+        let iter = (report.makespan * slots).max(1);
         let update_cycle = self.update_cycle_ns();
         // Lock-free: GPU iterations proceed at pipeline speed; updates cycle
         // in the background. Staleness = update cycle ÷ iteration time.
@@ -306,6 +308,14 @@ impl Engine {
         for (id, name) in lowered.sim.resources().iter() {
             rec.gauge(&format!("sim.busy_ns.{name}"))
                 .set(report.busy[id.0]);
+            // Per-group communicator channels additionally surface as
+            // counter tracks in the merged timeline, so a mesh run shows
+            // its dp/tp/pp traffic side by side.
+            for group in [CommGroup::Dp, CommGroup::Tp, CommGroup::Pp] {
+                if name == group.channel_name() {
+                    rec.counter_sample(ObsThread::Engine, group.channel_name(), report.busy[id.0]);
+                }
+            }
         }
         for (dom, name) in lowered.sim.resources().mem_domains() {
             rec.gauge(&format!("sim.peak_bytes.{name}"))

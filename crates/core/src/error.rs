@@ -137,6 +137,15 @@ pub enum Error {
     /// Page-level invariant violation (caller bug surfaced as error in
     /// release builds where debug_asserts are off).
     PageInvariant(&'static str),
+    /// [`crate::Communicator::task_id`] was asked for a collective that was
+    /// never flushed to the channel — a plan bug (a consumer wired to an
+    /// unsubmitted gather) that should surface as a plan error, not abort
+    /// the simulation.
+    UnflushedCollective { handle: usize },
+    /// A [`crate::ParallelismPlan`] cannot be laid onto the configured
+    /// cluster (axis product ≠ GPU count, TP spilling out of the NVLink
+    /// domain, invalid ZeRO stage, ...).
+    InvalidParallelism(String),
 }
 
 impl fmt::Display for Error {
@@ -173,6 +182,11 @@ impl fmt::Display for Error {
                 write!(f, "wrong device: expected {expected:?}, found {actual:?}")
             }
             Error::PageInvariant(msg) => write!(f, "page invariant violated: {msg}"),
+            Error::UnflushedCollective { handle } => write!(
+                f,
+                "collective handle {handle} was never flushed to the channel"
+            ),
+            Error::InvalidParallelism(msg) => write!(f, "invalid parallelism plan: {msg}"),
         }
     }
 }
@@ -198,6 +212,10 @@ mod tests {
         assert!(e.to_string().contains("1.00 TiB"));
         let e = Error::UnknownTensor(7);
         assert!(e.to_string().contains('7'));
+        let e = Error::UnflushedCollective { handle: 3 };
+        assert!(e.to_string().contains("handle 3"));
+        let e = Error::InvalidParallelism("dp × tp mismatch".into());
+        assert!(e.to_string().contains("dp × tp mismatch"));
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub mod verify;
 pub mod zero;
 
 pub use allocator::PageAllocator;
-pub use communicator::Communicator;
+pub use communicator::{CommGroup, Communicator, GroupSpec};
 pub use config::EngineConfig;
 pub use engine::{Engine, IterStats, RunReport};
 pub use error::{Error, Result, StoreError, StoreErrorKind, StoreOp, TrainerError};
@@ -94,8 +94,8 @@ pub use fault::{FaultCounters, FaultPlan, FaultyStore};
 pub use obs::{MetricsSnapshot, ObsEvent, ObsThread, Recorder};
 pub use page::{Page, PageId, PAGE_SIZE_DEFAULT};
 pub use plan::{
-    lower_schedule, Lowering, LoweringConfig, MemoryPlan, Placement, SchedulePlan, ShardPlan,
-    TracePlan,
+    lower_schedule, Lowering, LoweringConfig, MemoryPlan, ParallelismPlan, Placement, SchedulePlan,
+    ShardPlan, TracePlan, ZeroStage,
 };
 pub use scheduler::{ScheduleTask, TaskOp, UnifiedScheduler};
 pub use tensor::{Tensor, TensorId};

@@ -17,12 +17,12 @@
 //! memory domain for acquire/release accounting.
 
 use crate::cache::CachePlan;
-use crate::communicator::Communicator;
+use crate::communicator::{CommGroup, Communicator};
 use crate::config::EngineConfig;
 use crate::executor::{Executor, Stream};
 use crate::scheduler::{Schedule, StepKind, TaskOp};
 use crate::zero::ZeroPartition;
-use angel_hw::ClusterSpec;
+use angel_hw::{ClusterSpec, DeviceMesh};
 use angel_model::TransformerConfig;
 use angel_sim::collectives::Collective;
 use angel_sim::{
@@ -38,8 +38,12 @@ use super::memory::Placement;
 pub struct LoweringConfig {
     /// Cluster whose links/collective fabric the graph runs on.
     pub cluster: ClusterSpec,
-    /// Ranks participating in collectives (duration model denominator).
+    /// Ranks participating in dp collectives (duration model denominator).
     pub ranks: u64,
+    /// The device mesh, when the caller runs a non-trivial parallelism
+    /// plan: its tp/pp axes get their own communicator channels, priced by
+    /// their own group layouts.
+    pub mesh: Option<DeviceMesh>,
     /// PCIe efficiency relative to ideal streaming (1.0 = page-granular).
     pub pcie_efficiency: f64,
     /// Capacity of the GPU memory domain, when acquire/release accounting
@@ -52,16 +56,27 @@ impl LoweringConfig {
         Self {
             cluster,
             ranks,
+            mesh: None,
             pcie_efficiency: 1.0,
             gpu_mem_capacity: None,
         }
     }
 
     /// The Engine's surface: full-efficiency PCIe, GPU memory domain sized
-    /// to the page-pool budget, collectives across the whole fleet.
+    /// to the page-pool budget, collectives over the configured mesh (the
+    /// whole fleet on the dp axis by default).
     pub fn for_engine(config: &EngineConfig) -> Self {
-        Self::new(config.cluster.clone(), config.num_gpus() as u64)
-            .with_gpu_mem(config.gpu_budget())
+        let mut cfg = Self::new(config.cluster.clone(), config.num_gpus() as u64)
+            .with_gpu_mem(config.gpu_budget());
+        if let Ok(mesh) = config.device_mesh() {
+            cfg = cfg.with_mesh(mesh);
+        }
+        cfg
+    }
+
+    pub fn with_mesh(mut self, mesh: DeviceMesh) -> Self {
+        self.mesh = Some(mesh);
+        self
     }
 
     pub fn with_pcie_efficiency(mut self, efficiency: f64) -> Self {
@@ -98,7 +113,10 @@ impl Lowering {
         let pcie_bw = (pcie.bandwidth as f64 * cfg.pcie_efficiency) as u64;
         let h2d = resources.add_link("pcie-h2d", pcie_bw, pcie.latency_ns);
         let d2h = resources.add_link("pcie-d2h", pcie_bw, pcie.latency_ns);
-        let communicator = Communicator::new(&mut resources, cfg.cluster.clone(), cfg.ranks);
+        let communicator = match &cfg.mesh {
+            Some(mesh) => Communicator::for_mesh(&mut resources, mesh),
+            None => Communicator::new(&mut resources, cfg.cluster.clone(), cfg.ranks),
+        };
         let gpus_per_server = cfg.cluster.server.num_gpus() as u64;
         let ssd_link = &cfg.cluster.server.ssd_link;
         // SSD bandwidth is shared by the server's ranks.
@@ -215,6 +233,76 @@ impl Lowering {
             .submit_now(&mut self.sim, Collective::ReduceScatter, bytes, deps, label)
     }
 
+    /// The dp-group gradient synchronization of a [`ParallelismPlan`]:
+    /// reduce-scatter under ZeRO-3, all-reduce for replicated stages.
+    pub fn grad_sync(
+        &mut self,
+        op: Collective,
+        bytes: u64,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.communicator
+            .submit_now(&mut self.sim, op, bytes, deps, label)
+    }
+
+    /// Per-layer activation all-reduce on the tensor-parallel group's own
+    /// channel (free and on the dp channel when tp = 1).
+    pub fn tp_all_reduce(
+        &mut self,
+        bytes: u64,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.communicator.submit_now_on(
+            CommGroup::Tp,
+            &mut self.sim,
+            Collective::AllReduce,
+            bytes,
+            deps,
+            label,
+        )
+    }
+
+    /// Point-to-point stage boundary transfer on the pipeline group's
+    /// channel: NVLink while the pp group sits inside one server, the NIC
+    /// once stages span servers.
+    pub fn pp_transfer(
+        &mut self,
+        bytes: u64,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        let dur = self
+            .communicator
+            .group_spec(CommGroup::Pp)
+            .map_or(0, |s| s.p2p_ns(bytes));
+        let channel = self
+            .communicator
+            .group_channel(CommGroup::Pp)
+            .unwrap_or_else(|| self.communicator.channel_id());
+        self.sim.submit(
+            SimTask::duration(channel, dur)
+                .with_deps(deps)
+                .with_label(label),
+        )
+    }
+
+    /// A zero-duration marker on the dp channel — keeps the task-graph
+    /// shape (and counts) of gather-style steps for plans whose parameters
+    /// are already resident (ZeRO stages None/Optimizer gather nothing).
+    pub fn comm_noop(
+        &mut self,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.sim.submit(
+            SimTask::duration(self.communicator.channel_id(), 0)
+                .with_deps(deps)
+                .with_label(label),
+        )
+    }
+
     /// A collective with an externally-modelled exposed duration (e.g. the
     /// partially-overlapped data-parallel all-reduce of a 1F1B pipeline).
     pub fn collective_exposed(
@@ -274,6 +362,16 @@ impl Lowering {
 
     pub fn comm_id(&self) -> ResourceId {
         self.communicator.channel_id()
+    }
+
+    /// The tp group's channel, when the plan has a non-trivial tp axis.
+    pub fn tp_id(&self) -> Option<ResourceId> {
+        self.communicator.group_channel(CommGroup::Tp)
+    }
+
+    /// The pp group's channel, when the plan has a non-trivial pp axis.
+    pub fn pp_id(&self) -> Option<ResourceId> {
+        self.communicator.group_channel(CommGroup::Pp)
     }
 
     pub fn ssd_id(&self) -> ResourceId {
@@ -342,11 +440,17 @@ pub struct LoweredIteration {
 pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
     let config = args.config;
     let schedule = args.schedule;
+    let plan = config.parallelism;
     let mut lo = Lowering::new(&LoweringConfig::for_engine(config));
     let gpus_per_server = config.cluster.server.num_gpus();
 
     let n_steps = schedule.num_steps;
     let flops = angel_model::flops::layer_flops(args.model, config.batch_size);
+    // Tensor parallelism splits every kernel (and its weights) `tp` ways.
+    let tp = plan.tp.max(1) as u64;
+    // FP16 activation bytes of one micro-batch at a layer boundary.
+    let boundary_bytes =
+        config.batch_size * args.model.seq_len as u64 * args.model.d_model as u64 * 2;
 
     // Per-step bookkeeping while lowering: one pass over the task list
     // recovers each step's kind and (phase-2 advanced) gather trigger.
@@ -363,21 +467,23 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
 
     // Whether synchronous optimizer updates appear as tasks in this graph
     // (decides who frees the gradient shard: the cpu_update, or the
-    // grad_offload as last on-graph consumer).
-    let n_layers = args.model.layers as u64;
+    // grad_offload as last on-graph consumer). The schedule covers this
+    // rank's pipeline stage: half its steps are backward passes.
+    let n_layers = (n_steps as u64 / 2).max(1);
     let cpu_params = args.cache_plan.cpu_update_bytes / 12 / n_layers;
     let ssd_updates = config.use_ssd && args.placement.ssd_bytes > 0;
     let updates_on_graph = !config.lock_free && (ssd_updates || cpu_params > 0);
 
     // The graph size is known from the schedule — reserve it up front:
-    // resident-page moves, per-step gather + compute, and the backward-half
-    // extras (reduce-scatter, offload, up to 4 update-path tasks).
+    // resident-page moves, per-step gather + compute (+ tp all-reduce), the
+    // backward-half extras (grad sync, offload, up to 4 update-path tasks)
+    // and the pp boundary pair.
     let n_moves = schedule
         .tasks
         .iter()
         .filter(|t| matches!(t.op, TaskOp::MoveToGpu(_)))
         .count();
-    lo.reserve_tasks(n_moves + 2 * n_steps + n_steps.div_ceil(2) * 6 + 1);
+    lo.reserve_tasks(n_moves + 3 * n_steps + n_steps.div_ceil(2) * 6 + 3);
 
     // 1. Initial page movements (trigger 0) on the H2D channel — an O(1)
     // slice of the trigger-indexed schedule.
@@ -401,11 +507,18 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
         } else {
             Vec::new()
         };
-        let gid = lo.all_gather(
-            args.layer_comm_bytes[layer],
-            gdeps,
-            format!("all_gather s{i}"),
-        );
+        let gid = if plan.gathers_params() {
+            lo.all_gather(
+                args.layer_comm_bytes[layer],
+                gdeps,
+                format!("all_gather s{i}"),
+            )
+        } else {
+            // Replicated stages gather nothing; a zero-duration marker
+            // keeps the per-step graph shape (and the verifier's lifetime
+            // story) identical across ZeRO stages.
+            lo.comm_noop(gdeps, format!("stage_params s{i}"))
+        };
         // Each gather materializes a fresh per-step working buffer (which
         // is what lets phase-2 advanced prefetch overlap safely) from the
         // persistent parameter shards.
@@ -417,16 +530,17 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
             ],
         );
 
-        // Compute: forward or backward (+ recompute).
-        let width = args.model.d_model as f64;
+        // Compute: forward or backward (+ recompute), over this rank's
+        // 1/tp slice of the layer.
+        let width = (args.model.d_model / plan.tp.max(1)) as f64;
         let dur = match step {
-            StepKind::Forward(_) => {
-                config
-                    .gpu_compute
-                    .time_ns_sized(flops.forward, config.batch_size as f64, width)
-            }
+            StepKind::Forward(_) => config.gpu_compute.time_ns_sized(
+                flops.forward / tp,
+                config.batch_size as f64,
+                width,
+            ),
             StepKind::Backward(_) => config.gpu_compute.time_ns_sized(
-                flops.backward + if config.recompute { flops.recompute } else { 0 },
+                (flops.backward + if config.recompute { flops.recompute } else { 0 }) / tp,
                 config.batch_size as f64,
                 width,
             ),
@@ -435,7 +549,6 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
         // (the paper's measured ~2.4% management cost).
         let dur = dur + (dur as f64 * config.mm_overhead) as u64;
         let cid = lo.compute_gpu(dur, [gid], format!("compute s{i}"));
-        compute_task[i] = Some(cid);
         // Compute is the gathered buffer's only (and last) consumer;
         // backward additionally materializes the layer's full gradients.
         let mut compute_accesses = vec![
@@ -447,12 +560,38 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
         }
         lo.annotate(cid, compute_accesses);
 
-        // Backward extras: reduce-scatter gradients + offload the shard.
+        // Tensor parallelism synchronizes each step's partial activations
+        // (two all-reduces per layer visit — attention and MLP) on the tp
+        // group's own channel; downstream work chains behind it.
+        let mut eid = cid;
+        if plan.tp > 1 {
+            eid = lo.tp_all_reduce(2 * boundary_bytes, [cid], format!("tp_all_reduce s{i}"));
+        }
+        compute_task[i] = Some(eid);
+
+        // Pipeline boundary: after this stage's last forward, the boundary
+        // activations travel to the next stage and the backward half waits
+        // for the gradients to come back on the pp channel.
+        if plan.pp > 1 && i + 1 == n_steps / 2 {
+            let pp_bytes = boundary_bytes.div_ceil(tp);
+            let send = lo.pp_transfer(pp_bytes, [eid], "pp_send");
+            let recv = lo.pp_transfer(pp_bytes, [send], "pp_recv");
+            compute_task[i] = Some(recv);
+        }
+
+        // Backward extras: synchronize gradients across the dp group
+        // (reduce-scatter under ZeRO-3, all-reduce when replicated) and
+        // offload this rank's share.
         if let StepKind::Backward(l) = step {
-            let rs = lo.reduce_scatter(
+            let sync_op = plan.grad_sync_op();
+            let rs = lo.grad_sync(
+                sync_op,
                 args.layer_comm_bytes[l],
-                [cid],
-                format!("reduce_scatter l{l}"),
+                [eid],
+                match sync_op {
+                    Collective::ReduceScatter => format!("reduce_scatter l{l}"),
+                    _ => format!("grad_all_reduce l{l}"),
+                },
             );
             // The reduce-scatter consumes the full gradients and leaves
             // this rank's reduced shard.
@@ -654,9 +793,54 @@ mod tests {
                 "executor:cpu-stream",
                 "pcie-h2d",
                 "pcie-d2h",
-                "communicator:nccl-channel",
+                "communicator:dp-channel",
                 "ssd-channel"
             ]
+        );
+    }
+
+    #[test]
+    fn mesh_surface_adds_per_group_channels() {
+        let mesh = DeviceMesh::new(ClusterSpec::a100_tencent(4), 4, 4, 2).unwrap();
+        let lo =
+            Lowering::new(&LoweringConfig::new(ClusterSpec::a100_tencent(4), 32).with_mesh(mesh));
+        let names: Vec<&str> = lo.sim.resources().names().collect();
+        assert_eq!(
+            names,
+            [
+                "executor:gpu-stream",
+                "executor:cpu-stream",
+                "pcie-h2d",
+                "pcie-d2h",
+                "communicator:dp-channel",
+                "communicator:tp-channel",
+                "communicator:pp-channel",
+                "ssd-channel"
+            ]
+        );
+        assert!(lo.tp_id().is_some() && lo.pp_id().is_some());
+        // A degenerate mesh keeps the stable 6-resource surface.
+        let flat = DeviceMesh::data_parallel(ClusterSpec::single_a100());
+        let lo = Lowering::new(&LoweringConfig::new(ClusterSpec::single_a100(), 8).with_mesh(flat));
+        assert_eq!(lo.sim.resources().names().count(), 6);
+        assert!(lo.tp_id().is_none() && lo.pp_id().is_none());
+    }
+
+    #[test]
+    fn tp_and_pp_primitives_price_through_their_groups() {
+        use crate::communicator::GroupSpec;
+        use angel_hw::MeshAxis;
+        let cluster = ClusterSpec::a100_tencent(4);
+        let mesh = DeviceMesh::new(cluster.clone(), 4, 4, 2).unwrap();
+        let tp_spec = GroupSpec::from_mesh(&mesh, MeshAxis::Tp);
+        let pp_spec = GroupSpec::from_mesh(&mesh, MeshAxis::Pp);
+        let mut lo = Lowering::new(&LoweringConfig::new(cluster, 32).with_mesh(mesh));
+        let t = lo.tp_all_reduce(64 << 20, [], "tp");
+        let p = lo.pp_transfer(8 << 20, [t], "pp");
+        let _ = p;
+        assert_eq!(
+            lo.run().makespan,
+            tp_spec.collective_ns(Collective::AllReduce, 64 << 20) + pp_spec.p2p_ns(8 << 20)
         );
     }
 

@@ -227,7 +227,7 @@ mod tests {
     }
 
     fn shard_for(model: &TransformerConfig, config: &EngineConfig) -> ShardPlan {
-        ShardPlan::build(model, config, &TracePlan::build(model, config))
+        ShardPlan::build(model, config, &TracePlan::build(model, config).unwrap())
     }
 
     #[test]

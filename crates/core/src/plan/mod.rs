@@ -28,6 +28,7 @@
 
 pub mod lower;
 pub mod memory;
+pub mod parallel;
 pub mod schedule;
 pub mod shard;
 pub mod trace;
@@ -37,6 +38,7 @@ pub use lower::{
     CheckpointLowering, LoweredIteration, Lowering, LoweringConfig, ScheduleLowering,
 };
 pub use memory::{MemoryPlan, Placement, PlacementPlan};
+pub use parallel::{ParallelismPlan, ZeroStage};
 pub use schedule::SchedulePlan;
 pub use shard::ShardPlan;
 pub use trace::TracePlan;

@@ -1,0 +1,188 @@
+//! The declarative parallelism plan: dp × tp × pp with a ZeRO stage on the
+//! dp axis, validated onto a physical [`DeviceMesh`].
+//!
+//! Angel-PTM's cluster experiments (Table 3, Figure 9) compose ZeRO-style
+//! parameter sharding with the model-parallel axes Megatron-LM pioneered.
+//! veScale and TorchTitan express that composition as a single declarative
+//! object laid onto a device mesh; [`ParallelismPlan`] is our equivalent:
+//!
+//! * **dp** — data parallelism. The ZeRO stage decides what is sharded
+//!   across the dp group: [`ZeroStage::Full`] shards parameters, gradients
+//!   and optimizer states (Angel-PTM's default and the only pre-mesh
+//!   behaviour); [`ZeroStage::Optimizer`] shards only optimizer states
+//!   (ZeRO-1 / DeepSpeed stage 1); [`ZeroStage::None`] replicates
+//!   everything (Megatron-style vanilla dp).
+//! * **tp** — tensor parallelism: every layer's tensors split `tp` ways
+//!   *within* one server's NVLink domain, synchronized by per-layer
+//!   all-reduces on the tp group.
+//! * **pp** — pipeline parallelism: layers partition into `pp` contiguous
+//!   stages; adjacent stages exchange boundary activations point-to-point.
+//!
+//! The plan is pure policy; [`ParallelismPlan::validate`] is the one place
+//! it meets hardware, producing the [`DeviceMesh`] every later stage
+//! (shard, schedule, lower, communicator) prices against.
+
+use crate::error::{Error, Result};
+use angel_hw::{ClusterSpec, DeviceMesh};
+use angel_sim::collectives::Collective;
+use serde::{Deserialize, Serialize};
+
+/// What ZeRO shards across the data-parallel group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ZeroStage {
+    /// Stage 0: everything replicated; gradients all-reduced (vanilla dp).
+    None,
+    /// Stage 1: optimizer states sharded; parameters and gradients
+    /// replicated, gradients all-reduced.
+    Optimizer,
+    /// Stage 3: parameters, gradients and optimizer states all sharded —
+    /// per-layer all-gathers and reduce-scatters (Angel-PTM's default).
+    Full,
+}
+
+/// A dp × tp × pp factorization plus the dp-axis ZeRO stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelismPlan {
+    pub dp: usize,
+    pub tp: usize,
+    pub pp: usize,
+    pub zero_stage: ZeroStage,
+}
+
+impl ParallelismPlan {
+    /// Pure ZeRO-3 data parallelism over `dp` ranks — the pre-mesh default
+    /// every earlier PR lowered.
+    pub fn zero3(dp: usize) -> Self {
+        Self {
+            dp,
+            tp: 1,
+            pp: 1,
+            zero_stage: ZeroStage::Full,
+        }
+    }
+
+    /// A Megatron-style plan: model parallelism with replicated dp groups.
+    pub fn megatron(dp: usize, tp: usize, pp: usize) -> Self {
+        Self {
+            dp,
+            tp,
+            pp,
+            zero_stage: ZeroStage::None,
+        }
+    }
+
+    /// Lay the plan onto `cluster`, turning mesh-construction failures into
+    /// typed plan errors.
+    pub fn validate(&self, cluster: &ClusterSpec) -> Result<DeviceMesh> {
+        DeviceMesh::new(cluster.clone(), self.dp, self.pp, self.tp)
+            .map_err(|e| Error::InvalidParallelism(e.to_string()))
+    }
+
+    /// Degree of model parallelism (how many ranks a replica spans).
+    pub fn model_parallel(&self) -> u64 {
+        (self.tp * self.pp) as u64
+    }
+
+    /// ZeRO denominator for FP16 parameters/gradients: the dp degree under
+    /// stage 3, 1 (replicated) otherwise.
+    pub fn param_shard_ranks(&self) -> u64 {
+        match self.zero_stage {
+            ZeroStage::Full => self.dp as u64,
+            _ => 1,
+        }
+    }
+
+    /// ZeRO denominator for FP32 optimizer states.
+    pub fn optim_shard_ranks(&self) -> u64 {
+        match self.zero_stage {
+            ZeroStage::Full | ZeroStage::Optimizer => self.dp as u64,
+            ZeroStage::None => 1,
+        }
+    }
+
+    /// Whether parameters must be all-gathered per layer (stage 3 only —
+    /// other stages keep them resident).
+    pub fn gathers_params(&self) -> bool {
+        self.zero_stage == ZeroStage::Full
+    }
+
+    /// The dp-group gradient synchronization collective: reduce-scatter when
+    /// gradients are sharded (stage 3), all-reduce when replicated.
+    pub fn grad_sync_op(&self) -> Collective {
+        match self.zero_stage {
+            ZeroStage::Full => Collective::ReduceScatter,
+            _ => Collective::AllReduce,
+        }
+    }
+
+    /// Layers held by the representative (first) pipeline stage —
+    /// `ceil(layers / pp)`, the heaviest stage under uneven division.
+    pub fn stage_layers(&self, layers: usize) -> usize {
+        layers.div_ceil(self.pp).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero3_is_the_degenerate_default() {
+        let p = ParallelismPlan::zero3(32);
+        assert_eq!((p.dp, p.tp, p.pp), (32, 1, 1));
+        assert_eq!(p.param_shard_ranks(), 32);
+        assert_eq!(p.optim_shard_ranks(), 32);
+        assert!(p.gathers_params());
+        assert_eq!(p.grad_sync_op(), Collective::ReduceScatter);
+        assert_eq!(p.model_parallel(), 1);
+    }
+
+    #[test]
+    fn megatron_replicates_states() {
+        let p = ParallelismPlan::megatron(4, 8, 1);
+        assert_eq!(p.param_shard_ranks(), 1);
+        assert_eq!(p.optim_shard_ranks(), 1);
+        assert!(!p.gathers_params());
+        assert_eq!(p.grad_sync_op(), Collective::AllReduce);
+    }
+
+    #[test]
+    fn zero1_shards_only_optimizer() {
+        let p = ParallelismPlan {
+            dp: 16,
+            tp: 2,
+            pp: 1,
+            zero_stage: ZeroStage::Optimizer,
+        };
+        assert_eq!(p.param_shard_ranks(), 1);
+        assert_eq!(p.optim_shard_ranks(), 16);
+        assert_eq!(p.grad_sync_op(), Collective::AllReduce);
+    }
+
+    #[test]
+    fn validate_maps_mesh_errors() {
+        let cluster = ClusterSpec::a100_tencent(2); // 16 GPUs
+        assert!(ParallelismPlan::zero3(16).validate(&cluster).is_ok());
+        let err = ParallelismPlan::zero3(8).validate(&cluster).unwrap_err();
+        assert!(matches!(err, Error::InvalidParallelism(_)));
+        assert!(err.to_string().contains("16 GPUs"));
+        // tp straddling the NVLink domain is rejected too.
+        let err = ParallelismPlan {
+            dp: 1,
+            tp: 16,
+            pp: 1,
+            zero_stage: ZeroStage::Full,
+        }
+        .validate(&cluster)
+        .unwrap_err();
+        assert!(err.to_string().contains("NVLink"));
+    }
+
+    #[test]
+    fn stage_layers_round_up() {
+        let p = ParallelismPlan::megatron(1, 1, 4);
+        assert_eq!(p.stage_layers(10), 3);
+        assert_eq!(p.stage_layers(8), 2);
+        assert_eq!(ParallelismPlan::zero3(8).stage_layers(10), 10);
+    }
+}

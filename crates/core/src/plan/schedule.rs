@@ -44,9 +44,10 @@ impl SchedulePlan {
         .schedule(&shard.input)?;
 
         // GPU residency decided by the scheduler (param shard pages) plus
-        // whatever optimizer cache fits afterwards.
+        // whatever optimizer cache fits afterwards. The base is this rank's
+        // model-parallel slice: the whole model for pure data parallelism.
         let resident_param_bytes = (schedule.stats.resident_fraction
-            * zero.shard_bytes(shard.total_params * 4) as f64)
+            * zero.shard_bytes(shard.model_parallel_params * 4) as f64)
             as u64;
         let cache_plan = if config.gpu_cache {
             plan_cache(
@@ -87,7 +88,7 @@ mod tests {
 
     fn pipeline(config: &EngineConfig) -> (TracePlan, ShardPlan, MemoryPlan, SchedulePlan) {
         let model = tiny();
-        let traced = TracePlan::build(&model, config);
+        let traced = TracePlan::build(&model, config).unwrap();
         let shard = ShardPlan::build(&model, config, &traced);
         let mem = MemoryPlan::build(config, &shard).unwrap();
         let planned = SchedulePlan::build(config, &shard, &mem, &traced.zero).unwrap();

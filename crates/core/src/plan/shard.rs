@@ -11,9 +11,15 @@
 //!   rest; only the non-expert ("dense") parameters are ZeRO-sharded and
 //!   travel the collective fabric. Gradients follow the same split: a rank
 //!   only materializes its local experts' gradients (tokens routed
-//!   elsewhere never come back).
+//!   elsewhere never come back);
+//! * mesh plans: the [`ParallelismPlan`] composes on top — tensor
+//!   parallelism divides every layer's tensors (and activations) by `tp`
+//!   before ZeRO sharding, pipeline parallelism confines this rank's
+//!   schedule to its stage's `ceil(layers/pp)` layers, and the ZeRO stage
+//!   decides which state is sharded across the dp group at all.
 
 use crate::config::EngineConfig;
+use crate::plan::{ParallelismPlan, ZeroStage};
 use crate::scheduler::{input_from_trace, LayerPlan, SchedulerInput};
 use crate::tracer::Trace;
 use angel_model::TransformerConfig;
@@ -31,6 +37,9 @@ pub struct ShardPlan {
     pub layer_comm_bytes: Vec<u64>,
     /// Whole-model parameter count.
     pub total_params: u64,
+    /// Parameters of one model-parallel slice (`total / (tp·pp)` — the
+    /// whole model for pure data parallelism).
+    pub model_parallel_params: u64,
     /// Whole-model state bytes (16 B/param).
     pub state_bytes: u64,
     /// This rank's ZeRO parameter share.
@@ -44,27 +53,43 @@ pub struct ShardPlan {
 }
 
 impl ShardPlan {
-    /// Shard `model` across the fleet described by `traced`.
+    /// Shard `model` across the mesh described by `traced`.
     pub fn build(model: &TransformerConfig, config: &EngineConfig, traced: &TracePlan) -> Self {
-        let n_gpus = traced.n_gpus;
+        let plan = traced.plan;
         let trace = &traced.trace;
         let total_params = model.total_params();
         let state_bytes = model.model_state_bytes();
-        let rank_params = total_params.div_ceil(n_gpus as u64);
-        let rank_state_bytes = state_bytes.div_ceil(n_gpus as u64);
+
+        // Model parallelism divides the replica first; the ZeRO stage then
+        // decides what the dp group shards of each rank's slice.
+        let mp = plan.model_parallel();
+        let model_parallel_params = total_params.div_ceil(mp);
+        let rank_params = model_parallel_params.div_ceil(plan.param_shard_ranks());
+        let rank_optim = model_parallel_params.div_ceil(plan.optim_shard_ranks()) * 12;
+        let rank_p16g16 = rank_params * 4;
+        let rank_state_bytes = match plan.zero_stage {
+            // Fully sharded: an even slice of everything.
+            ZeroStage::Full => state_bytes.div_ceil(mp * plan.dp as u64),
+            // Replicated parameters/gradients plus the (possibly sharded)
+            // optimizer states.
+            _ => rank_p16g16 + rank_optim,
+        };
 
         let gpu_budget = config.gpu_budget();
+        let degenerate = plan.tp == 1 && plan.pp == 1 && plan.zero_stage == ZeroStage::Full;
         let input = if model.is_moe() {
             moe_input(
                 model,
                 trace,
-                n_gpus,
+                traced.n_gpus,
                 config.page_size,
                 gpu_budget,
                 config.recompute,
             )
+        } else if degenerate {
+            input_from_trace(trace, config.page_size, plan.dp, gpu_budget)
         } else {
-            input_from_trace(trace, config.page_size, n_gpus, gpu_budget)
+            mesh_input(trace, &plan, config.page_size, gpu_budget)
         };
 
         let layer_comm_bytes = (0..model.layers)
@@ -72,7 +97,7 @@ impl ShardPlan {
                 if model.is_moe() {
                     trace.layer_param16_split(l).0
                 } else {
-                    trace.layer_param16_bytes(l)
+                    trace.layer_param16_bytes(l).div_ceil(plan.tp as u64)
                 }
             })
             .collect();
@@ -81,12 +106,71 @@ impl ShardPlan {
             input,
             layer_comm_bytes,
             total_params,
+            model_parallel_params,
             state_bytes,
             rank_params,
             rank_state_bytes,
-            rank_optim: rank_params * 12,
-            rank_p16g16: rank_params * 4,
+            rank_optim,
+            rank_p16g16,
         }
+    }
+}
+
+/// Scheduler input for a non-degenerate mesh plan: this rank schedules its
+/// pipeline stage's layers, with every tensor (parameters, activations,
+/// gradients) already divided `tp` ways, and the ZeRO stage deciding how
+/// much of each layer's parameters this rank stores between iterations.
+fn mesh_input(
+    trace: &Trace,
+    plan: &ParallelismPlan,
+    page_size: u64,
+    gpu_budget: u64,
+) -> SchedulerInput {
+    let tp = plan.tp as u64;
+    let n_layers = plan.stage_layers(trace.layers);
+    let param_shard = plan.param_shard_ranks();
+    let layers = (0..n_layers)
+        .map(|l| {
+            let full = trace.layer_param16_bytes(l).div_ceil(tp);
+            let shard = full.div_ceil(param_shard);
+            let mut pages = Vec::with_capacity(shard.div_ceil(page_size.max(1)) as usize);
+            let mut rest = shard;
+            while rest > 0 {
+                let take = rest.min(page_size);
+                pages.push(take);
+                rest -= take;
+            }
+            LayerPlan {
+                layer: l,
+                shard_pages: pages,
+                full_param_bytes: full,
+                working_set: trace.layer_working_set(l).div_ceil(tp),
+            }
+        })
+        .collect();
+    let steps = SchedulerInput::default_steps(n_layers);
+    // Stage-local lifetime window: layer `l`'s activations live from its
+    // forward (step `l`) to its backward (step `2·n_layers − 1 − l`).
+    let step_base_load = if trace.recompute {
+        Vec::new()
+    } else {
+        steps
+            .iter()
+            .enumerate()
+            .map(|(j, s)| {
+                (0..n_layers)
+                    .filter(|&l| l != s.layer() && l <= j && j <= 2 * n_layers - 1 - l)
+                    .map(|l| trace.layer_activation_bytes(l).div_ceil(tp))
+                    .sum()
+            })
+            .collect()
+    };
+    SchedulerInput {
+        layers,
+        steps,
+        gpu_budget,
+        page_size,
+        step_base_load,
     }
 }
 
@@ -166,7 +250,7 @@ mod tests {
     use super::*;
 
     fn build(model: &TransformerConfig, config: &EngineConfig) -> ShardPlan {
-        let traced = TracePlan::build(model, config);
+        let traced = TracePlan::build(model, config).unwrap();
         ShardPlan::build(model, config, &traced)
     }
 
@@ -200,7 +284,7 @@ mod tests {
         let model = moe_model(6);
         let config = EngineConfig::single_server();
         let plan = build(&model, &config);
-        let traced = TracePlan::build(&model, &config);
+        let traced = TracePlan::build(&model, &config).unwrap();
         let n = config.num_gpus() as u64;
         for (l, lp) in plan.input.layers.iter().enumerate() {
             let (dense, expert_total) = traced.trace.layer_param16_split(l);
@@ -221,7 +305,7 @@ mod tests {
         let config = EngineConfig::single_server();
         let twelve = build(&moe_model(12), &config);
         let eight = build(&moe_model(8), &config);
-        let traced = TracePlan::build(&moe_model(12), &config);
+        let traced = TracePlan::build(&moe_model(12), &config).unwrap();
         for l in 0..4 {
             let (_, expert_total) = traced.trace.layer_param16_split(l);
             let per_expert = expert_total / 12;
@@ -241,7 +325,7 @@ mod tests {
         // bytes in shards or working sets.
         let model = moe_model(0);
         let config = EngineConfig::single_server();
-        let traced = TracePlan::build(&model, &config);
+        let traced = TracePlan::build(&model, &config).unwrap();
         let input = moe_input(
             &model,
             &traced.trace,
@@ -280,6 +364,56 @@ mod tests {
         for l in 0..4 {
             assert!(on.input.layers[l].working_set <= off.input.layers[l].working_set);
         }
+    }
+
+    #[test]
+    fn mesh_plan_divides_layers_and_bytes() {
+        // 4 servers (32 GPUs): dp=4 × pp=4 × tp=2 on an 8-layer model.
+        let model = TransformerConfig::gpt3_1_7b().with_layers(8);
+        let config = EngineConfig::servers(4)
+            .with_parallelism(crate::plan::ParallelismPlan::megatron(4, 2, 4));
+        let plan = build(&model, &config);
+        let traced = TracePlan::build(&model, &config).unwrap();
+        // This rank's stage holds 8/4 = 2 layers.
+        assert_eq!(plan.input.layers.len(), 2);
+        assert_eq!(plan.input.steps.len(), 4);
+        for (l, lp) in plan.input.layers.iter().enumerate() {
+            let full = traced.trace.layer_param16_bytes(l).div_ceil(2);
+            // Stage None: no ZeRO sharding — the whole tp slice is the shard.
+            assert_eq!(lp.full_param_bytes, full, "layer {l}");
+            assert_eq!(lp.shard_pages.iter().sum::<u64>(), full, "layer {l}");
+            assert_eq!(plan.layer_comm_bytes[l], full, "layer {l}");
+        }
+        // Replicated states: 16 bytes per parameter of the tp·pp slice.
+        let slice = plan.total_params.div_ceil(8);
+        assert_eq!(plan.rank_params, slice);
+        assert_eq!(plan.rank_state_bytes, slice * 16);
+    }
+
+    #[test]
+    fn zero3_mesh_composes_tp_with_sharding() {
+        // dp=8 × tp=2 under full ZeRO: each layer's tp slice is further
+        // sharded 8 ways across the dp group.
+        let model = TransformerConfig::gpt3_1_7b().with_layers(4);
+        let config = EngineConfig::servers(2).with_parallelism(crate::plan::ParallelismPlan {
+            dp: 8,
+            tp: 2,
+            pp: 1,
+            zero_stage: ZeroStage::Full,
+        });
+        let plan = build(&model, &config);
+        let traced = TracePlan::build(&model, &config).unwrap();
+        for (l, lp) in plan.input.layers.iter().enumerate() {
+            let slice = traced.trace.layer_param16_bytes(l).div_ceil(2);
+            assert_eq!(lp.full_param_bytes, slice, "layer {l}");
+            assert_eq!(
+                lp.shard_pages.iter().sum::<u64>(),
+                slice.div_ceil(8),
+                "layer {l}"
+            );
+        }
+        assert_eq!(plan.rank_params, plan.total_params.div_ceil(2).div_ceil(8));
+        assert_eq!(plan.rank_optim, plan.rank_params * 12);
     }
 
     #[test]

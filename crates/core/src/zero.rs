@@ -11,7 +11,6 @@
 //! its own PCIe channel, host↔device movement of a full layer runs at 8× the
 //! single-channel bandwidth.
 
-use angel_hw::link::bytes_over_bandwidth_ns;
 use angel_hw::Link;
 use angel_sim::collectives::{collective_time_ns, Collective};
 use angel_sim::Ns;
@@ -50,7 +49,7 @@ impl ZeroPartition {
     /// is parallelized across the ranks' independent PCIe channels — each
     /// channel carries only the rank's shard.
     pub fn parallel_move_time_ns(&self, total: u64, pcie: &Link) -> Ns {
-        pcie.latency_ns + bytes_over_bandwidth_ns(self.shard_bytes(total), pcie.bandwidth)
+        pcie.transfer_ns(self.shard_bytes(total))
     }
 
     /// Speedup of parallel movement over a single channel, for reporting.

@@ -26,10 +26,12 @@
 
 pub mod device;
 pub mod link;
+pub mod mesh;
 pub mod topology;
 
 pub use device::{Device, DeviceId, DeviceKind};
 pub use link::{Link, LinkClass};
+pub use mesh::{DeviceMesh, MeshAxis, MeshCoord, MeshError};
 pub use topology::{ClusterSpec, ServerSpec};
 
 /// One kibibyte (2^10 bytes).

@@ -60,15 +60,33 @@ impl Link {
 
     /// Time to move `bytes` over this link, in nanoseconds: `α + bytes/β`.
     ///
+    /// This is the *one* place the α+β arithmetic lives; every consumer
+    /// (simulator transfers, collective cost models, the ZeRO parallel-move
+    /// model) prices through it instead of re-deriving
+    /// `latency + bytes_over_bandwidth_ns` by hand.
+    ///
     /// ```
     /// use angel_hw::{Link, LinkClass};
     /// // The paper's PCIe: 32 GB/s. A 4 MiB page takes ~131 µs + latency.
     /// let pcie = Link::new(LinkClass::Pcie, 32_000_000_000, 10_000);
-    /// let t = pcie.transfer_time_ns(4 * 1024 * 1024);
+    /// let t = pcie.transfer_ns(4 * 1024 * 1024);
     /// assert_eq!(t, 10_000 + 131_072);
     /// ```
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        self.staged_transfer_ns(bytes, 1)
+    }
+
+    /// Time for a `steps`-stage operation moving `bytes` through this link:
+    /// `steps·α + bytes/β`. Ring/tree collectives pay one latency per step
+    /// but stream their wire bytes once — this helper keeps that arithmetic
+    /// in one place.
+    pub fn staged_transfer_ns(&self, bytes: u64, steps: u64) -> u64 {
+        steps * self.latency_ns + bytes_over_bandwidth_ns(bytes, self.bandwidth)
+    }
+
+    /// Alias of [`Link::transfer_ns`], kept for the original call sites.
     pub fn transfer_time_ns(&self, bytes: u64) -> u64 {
-        self.latency_ns + bytes_over_bandwidth_ns(bytes, self.bandwidth)
+        self.transfer_ns(bytes)
     }
 
     /// Effective bandwidth achieved for a transfer of `bytes`, accounting for
@@ -104,6 +122,20 @@ mod tests {
         assert_eq!(link.transfer_time_ns(0), 5_000);
         // 32 GB over a 32 GB/s link = 1 second.
         assert_eq!(link.transfer_time_ns(32 * GB_PER_S), 5_000 + 1_000_000_000);
+        // transfer_ns is the canonical spelling; transfer_time_ns delegates.
+        assert_eq!(
+            link.transfer_ns(32 * GB_PER_S),
+            link.transfer_time_ns(32 * GB_PER_S)
+        );
+    }
+
+    #[test]
+    fn staged_transfer_pays_latency_per_step() {
+        let link = Link::new(LinkClass::Nic, GB_PER_S, 20_000);
+        let one = link.staged_transfer_ns(GB_PER_S, 1);
+        let seven = link.staged_transfer_ns(GB_PER_S, 7);
+        assert_eq!(one, link.transfer_ns(GB_PER_S));
+        assert_eq!(seven - one, 6 * 20_000);
     }
 
     #[test]

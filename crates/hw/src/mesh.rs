@@ -1,0 +1,376 @@
+//! Device meshes: the physical side of a dp × pp × tp parallelism plan.
+//!
+//! Angel-PTM's headline experiments run across many 8×A100 servers joined by
+//! RoCE NICs (Table 3). A [`DeviceMesh`] maps the three logical parallelism
+//! axes onto that hardware: ranks are laid out with **tensor parallelism
+//! innermost** (consecutive ranks), pipeline parallelism next, and data
+//! parallelism outermost — the layout Megatron-LM and veScale use, chosen so
+//! the most latency-sensitive groups (TP all-reduces every layer) sit on the
+//! fastest links (NVLink inside one server) while the most bandwidth-tolerant
+//! groups (DP gradient collectives, once per iteration) are the ones that
+//! cross the NIC fabric.
+//!
+//! The mesh answers the questions the communicator and the planner ask:
+//! where does rank *r* live (`placement`), who is in its group along an axis
+//! (`group_ranks`), how many group members share a server
+//! (`colocated_per_server`), and which wire a group's collective rides
+//! (`axis_link`).
+
+use crate::link::Link;
+use crate::topology::ClusterSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three parallelism axes, outermost → innermost in the rank layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MeshAxis {
+    /// Data parallelism (ZeRO sharding / gradient collectives).
+    Dp,
+    /// Pipeline parallelism (layer stages, p2p activations).
+    Pp,
+    /// Tensor parallelism (intra-layer splits, per-layer all-reduces).
+    Tp,
+}
+
+impl fmt::Display for MeshAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshAxis::Dp => write!(f, "dp"),
+            MeshAxis::Pp => write!(f, "pp"),
+            MeshAxis::Tp => write!(f, "tp"),
+        }
+    }
+}
+
+/// Physical placement of one mesh rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MeshCoord {
+    /// Which server the rank's GPU sits in.
+    pub server: usize,
+    /// GPU slot within the server.
+    pub gpu: usize,
+}
+
+/// Why a (dp, pp, tp) factorization cannot be laid onto a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// `dp × pp × tp` must equal the cluster's GPU count exactly.
+    SizeMismatch {
+        dp: usize,
+        pp: usize,
+        tp: usize,
+        total_gpus: usize,
+    },
+    /// TP groups must fit inside one server (NVLink domain): `tp` must
+    /// divide the per-server GPU count.
+    TpSpansServers { tp: usize, gpus_per_server: usize },
+    /// Every axis degree must be ≥ 1.
+    ZeroAxis,
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::SizeMismatch {
+                dp,
+                pp,
+                tp,
+                total_gpus,
+            } => write!(
+                f,
+                "dp({dp}) × pp({pp}) × tp({tp}) = {} must equal the cluster's {total_gpus} GPUs",
+                dp * pp * tp
+            ),
+            MeshError::TpSpansServers {
+                tp,
+                gpus_per_server,
+            } => write!(
+                f,
+                "tp({tp}) must divide the {gpus_per_server} GPUs of one server \
+                 (TP groups cannot straddle the NVLink domain)"
+            ),
+            MeshError::ZeroAxis => write!(f, "every mesh axis must have degree >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+/// A dp × pp × tp mesh over an N-server cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceMesh {
+    cluster: ClusterSpec,
+    dp: usize,
+    pp: usize,
+    tp: usize,
+}
+
+impl DeviceMesh {
+    /// Lay a (dp, pp, tp) factorization onto `cluster`, tp innermost.
+    pub fn new(cluster: ClusterSpec, dp: usize, pp: usize, tp: usize) -> Result<Self, MeshError> {
+        if dp == 0 || pp == 0 || tp == 0 {
+            return Err(MeshError::ZeroAxis);
+        }
+        let total = cluster.total_gpus();
+        if dp * pp * tp != total {
+            return Err(MeshError::SizeMismatch {
+                dp,
+                pp,
+                tp,
+                total_gpus: total,
+            });
+        }
+        let g = cluster.server.num_gpus();
+        if tp > g || !g.is_multiple_of(tp) {
+            return Err(MeshError::TpSpansServers {
+                tp,
+                gpus_per_server: g,
+            });
+        }
+        Ok(Self {
+            cluster,
+            dp,
+            pp,
+            tp,
+        })
+    }
+
+    /// The pure data-parallel mesh (dp = every GPU) — Angel-PTM's default
+    /// ZeRO configuration, and the degenerate point every earlier PR lowered.
+    pub fn data_parallel(cluster: ClusterSpec) -> Self {
+        let dp = cluster.total_gpus();
+        Self {
+            cluster,
+            dp,
+            pp: 1,
+            tp: 1,
+        }
+    }
+
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    pub fn dp(&self) -> usize {
+        self.dp
+    }
+
+    pub fn pp(&self) -> usize {
+        self.pp
+    }
+
+    pub fn tp(&self) -> usize {
+        self.tp
+    }
+
+    /// Total ranks in the mesh (= the cluster's GPUs).
+    pub fn num_ranks(&self) -> usize {
+        self.dp * self.pp * self.tp
+    }
+
+    /// Group size along `axis`.
+    pub fn axis_size(&self, axis: MeshAxis) -> usize {
+        match axis {
+            MeshAxis::Dp => self.dp,
+            MeshAxis::Pp => self.pp,
+            MeshAxis::Tp => self.tp,
+        }
+    }
+
+    /// Rank distance between consecutive members of an `axis` group
+    /// (tp innermost ⇒ stride 1; dp outermost ⇒ stride pp·tp).
+    pub fn axis_stride(&self, axis: MeshAxis) -> usize {
+        match axis {
+            MeshAxis::Tp => 1,
+            MeshAxis::Pp => self.tp,
+            MeshAxis::Dp => self.pp * self.tp,
+        }
+    }
+
+    /// The global rank at mesh coordinates (dp_idx, pp_idx, tp_idx).
+    pub fn rank_of(&self, dp_idx: usize, pp_idx: usize, tp_idx: usize) -> usize {
+        debug_assert!(dp_idx < self.dp && pp_idx < self.pp && tp_idx < self.tp);
+        (dp_idx * self.pp + pp_idx) * self.tp + tp_idx
+    }
+
+    /// The (dp_idx, pp_idx, tp_idx) coordinates of a global rank.
+    pub fn coords_of(&self, rank: usize) -> (usize, usize, usize) {
+        debug_assert!(rank < self.num_ranks());
+        let tp_idx = rank % self.tp;
+        let pp_idx = (rank / self.tp) % self.pp;
+        let dp_idx = rank / (self.tp * self.pp);
+        (dp_idx, pp_idx, tp_idx)
+    }
+
+    /// Physical placement of a rank: ranks fill servers in order, so rank
+    /// `r` sits on server `r / gpus_per_server`, GPU slot `r mod g`.
+    pub fn placement(&self, rank: usize) -> MeshCoord {
+        let g = self.cluster.server.num_gpus();
+        MeshCoord {
+            server: rank / g,
+            gpu: rank % g,
+        }
+    }
+
+    /// All ranks of `rank`'s group along `axis` (including `rank`), in
+    /// group order.
+    pub fn group_ranks(&self, axis: MeshAxis, rank: usize) -> Vec<usize> {
+        let (dp_idx, pp_idx, tp_idx) = self.coords_of(rank);
+        (0..self.axis_size(axis))
+            .map(|i| match axis {
+                MeshAxis::Dp => self.rank_of(i, pp_idx, tp_idx),
+                MeshAxis::Pp => self.rank_of(dp_idx, i, tp_idx),
+                MeshAxis::Tp => self.rank_of(dp_idx, pp_idx, i),
+            })
+            .collect()
+    }
+
+    /// How many members of one `axis` group share a server. The layout is
+    /// homogeneous, so this is the same for every group of the axis:
+    /// members are `stride` ranks apart, a server holds `g` consecutive
+    /// ranks, so `min(size, g / stride)` members land together (1 when the
+    /// stride already exceeds a server).
+    pub fn colocated_per_server(&self, axis: MeshAxis) -> usize {
+        let g = self.cluster.server.num_gpus();
+        let stride = self.axis_stride(axis);
+        if stride >= g {
+            1
+        } else {
+            self.axis_size(axis).min(g / stride).max(1)
+        }
+    }
+
+    /// Servers spanned by one `axis` group.
+    pub fn group_servers(&self, axis: MeshAxis) -> usize {
+        self.axis_size(axis)
+            .div_ceil(self.colocated_per_server(axis))
+    }
+
+    /// The wire an `axis` group's collectives ride: NVLink when the whole
+    /// group sits inside one server, the RoCE NIC once it spans servers.
+    /// This per-axis selection replaces the old whole-cluster
+    /// `cross_gpu_link` shortcut.
+    pub fn axis_link(&self, axis: MeshAxis) -> &Link {
+        if self.group_servers(axis) <= 1 {
+            &self.cluster.server.nvlink
+        } else {
+            &self.cluster.nic
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkClass;
+
+    fn mesh(servers: usize, dp: usize, pp: usize, tp: usize) -> DeviceMesh {
+        DeviceMesh::new(ClusterSpec::a100_tencent(servers), dp, pp, tp).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_factorizations() {
+        let cluster = ClusterSpec::a100_tencent(2); // 16 GPUs
+        assert!(matches!(
+            DeviceMesh::new(cluster.clone(), 4, 1, 2),
+            Err(MeshError::SizeMismatch { total_gpus: 16, .. })
+        ));
+        // tp = 16 exceeds one server's 8 GPUs.
+        assert!(matches!(
+            DeviceMesh::new(cluster.clone(), 1, 1, 16),
+            Err(MeshError::TpSpansServers {
+                gpus_per_server: 8,
+                ..
+            })
+        ));
+        // tp = 3 does not divide 8.
+        assert!(matches!(
+            DeviceMesh::new(
+                ClusterSpec::a100_tencent(3), // 24 GPUs
+                8,
+                1,
+                3
+            ),
+            Err(MeshError::TpSpansServers { .. })
+        ));
+        assert!(matches!(
+            DeviceMesh::new(cluster, 0, 1, 1),
+            Err(MeshError::ZeroAxis)
+        ));
+    }
+
+    #[test]
+    fn tp_innermost_rank_layout() {
+        let m = mesh(2, 2, 2, 4); // 16 GPUs = 2dp × 2pp × 4tp
+        assert_eq!(m.rank_of(0, 0, 0), 0);
+        assert_eq!(m.rank_of(0, 0, 3), 3);
+        assert_eq!(m.rank_of(0, 1, 0), 4);
+        assert_eq!(m.rank_of(1, 0, 0), 8);
+        for r in 0..16 {
+            let (d, p, t) = m.coords_of(r);
+            assert_eq!(m.rank_of(d, p, t), r, "rank {r} round-trips");
+        }
+    }
+
+    #[test]
+    fn placement_fills_servers_in_order() {
+        let m = mesh(2, 2, 2, 4);
+        assert_eq!(m.placement(0), MeshCoord { server: 0, gpu: 0 });
+        assert_eq!(m.placement(7), MeshCoord { server: 0, gpu: 7 });
+        assert_eq!(m.placement(8), MeshCoord { server: 1, gpu: 0 });
+        assert_eq!(m.placement(15), MeshCoord { server: 1, gpu: 7 });
+    }
+
+    #[test]
+    fn tp_groups_stay_inside_a_server() {
+        // Any valid mesh: every tp group's ranks land on one server.
+        for (servers, dp, pp, tp) in [(2, 2, 2, 4), (4, 16, 1, 2), (1, 1, 1, 8), (16, 16, 1, 8)] {
+            let m = mesh(servers, dp, pp, tp);
+            for rank in 0..m.num_ranks() {
+                let servers_touched: std::collections::BTreeSet<usize> = m
+                    .group_ranks(MeshAxis::Tp, rank)
+                    .into_iter()
+                    .map(|r| m.placement(r).server)
+                    .collect();
+                assert_eq!(servers_touched.len(), 1, "tp group of rank {rank}");
+            }
+            assert_eq!(m.axis_link(MeshAxis::Tp).class, LinkClass::NvLink);
+        }
+    }
+
+    #[test]
+    fn dp_groups_cross_servers_when_model_parallelism_fills_one() {
+        // tp × pp = 8 fills a server, so every dp peer is on another server.
+        let m = mesh(4, 4, 4, 2);
+        assert_eq!(m.colocated_per_server(MeshAxis::Dp), 1);
+        assert_eq!(m.group_servers(MeshAxis::Dp), 4);
+        assert_eq!(m.axis_link(MeshAxis::Dp).class, LinkClass::Nic);
+        let group = m.group_ranks(MeshAxis::Dp, 0);
+        assert_eq!(group, vec![0, 8, 16, 24]);
+        let servers: Vec<usize> = group.iter().map(|&r| m.placement(r).server).collect();
+        assert_eq!(servers, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pure_data_parallel_matches_the_cluster() {
+        let m = DeviceMesh::data_parallel(ClusterSpec::a100_tencent(4));
+        assert_eq!(m.dp(), 32);
+        assert_eq!((m.pp(), m.tp()), (1, 1));
+        // 8 dp peers share each server; the group spans 4 servers → NIC.
+        assert_eq!(m.colocated_per_server(MeshAxis::Dp), 8);
+        assert_eq!(m.group_servers(MeshAxis::Dp), 4);
+        assert_eq!(m.axis_link(MeshAxis::Dp).class, LinkClass::Nic);
+        // On one server the same mesh rides NVLink end to end.
+        let single = DeviceMesh::data_parallel(ClusterSpec::single_a100());
+        assert_eq!(single.axis_link(MeshAxis::Dp).class, LinkClass::NvLink);
+    }
+
+    #[test]
+    fn group_members_agree_across_the_group() {
+        let m = mesh(2, 4, 2, 2);
+        let g0 = m.group_ranks(MeshAxis::Dp, 0);
+        for &r in &g0 {
+            assert_eq!(m.group_ranks(MeshAxis::Dp, r), g0, "rank {r}");
+        }
+    }
+}

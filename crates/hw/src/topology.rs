@@ -151,14 +151,17 @@ impl ClusterSpec {
         self.num_servers * self.server.num_gpus()
     }
 
-    /// The slowest hop for a collective spanning the whole cluster: NIC when
-    /// multiple servers are involved, NVLink otherwise.
-    pub fn cross_gpu_link(&self) -> &Link {
-        if self.num_servers > 1 {
-            &self.nic
-        } else {
-            &self.server.nvlink
-        }
+    /// The per-GPU share of a server's aggregate NIC bandwidth: when all
+    /// GPUs of a server participate in an inter-server collective, each
+    /// rank's stream contends for the same RoCE fabric. (Per-axis link
+    /// selection lives on [`crate::mesh::DeviceMesh`]; this helper only
+    /// derates the wire.)
+    pub fn shared_nic(&self) -> Link {
+        Link::new(
+            self.nic.class,
+            (self.nic.bandwidth / self.server.num_gpus() as u64).max(1),
+            self.nic.latency_ns,
+        )
     }
 }
 
@@ -208,10 +211,10 @@ mod tests {
         let c = ClusterSpec::a100_tencent(96);
         assert_eq!(c.total_gpus(), 768); // the Figure 8 maximum
         assert_eq!(c.nic.bandwidth, 200_000_000_000); // 16 × 12.5 GB/s
-        assert_eq!(c.cross_gpu_link().class, LinkClass::Nic);
-        assert_eq!(
-            ClusterSpec::single_a100().cross_gpu_link().class,
-            LinkClass::NvLink
-        );
+                                                      // 8 GPUs share the 200 GB/s fabric → 25 GB/s per rank stream.
+        let shared = c.shared_nic();
+        assert_eq!(shared.class, LinkClass::Nic);
+        assert_eq!(shared.bandwidth, 25_000_000_000);
+        assert_eq!(shared.latency_ns, c.nic.latency_ns);
     }
 }

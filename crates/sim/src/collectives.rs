@@ -10,7 +10,6 @@
 //! models (Figure 9) than for GPT (Figure 8).
 
 use crate::Ns;
-use angel_hw::link::bytes_over_bandwidth_ns;
 use angel_hw::{ClusterSpec, Link};
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +41,15 @@ pub fn wire_bytes_per_rank(op: Collective, full_bytes: u64, n: u64) -> u64 {
     }
 }
 
+/// Latency-bound steps of the ring algorithm: `n-1`, doubled for all-reduce
+/// (reduce-scatter + all-gather).
+fn ring_steps(op: Collective, n: u64) -> u64 {
+    match op {
+        Collective::AllReduce => 2 * (n - 1),
+        _ => n - 1,
+    }
+}
+
 /// Time for a collective over `full_bytes` on `n` ranks connected by `link`,
 /// with `n-1` (or `2(n-1)` for all-reduce) latency-bound ring steps.
 pub fn collective_time_ns(op: Collective, full_bytes: u64, n: u64, link: &Link) -> Ns {
@@ -49,17 +57,55 @@ pub fn collective_time_ns(op: Collective, full_bytes: u64, n: u64, link: &Link) 
         return 0;
     }
     let wire = wire_bytes_per_rank(op, full_bytes, n);
+    link.staged_transfer_ns(wire, ring_steps(op, n))
+}
+
+/// Time for a collective on a *tree* algorithm: `⌈log₂ n⌉` latency-bound
+/// steps (doubled for all-reduce) instead of the ring's `n-1`, with the same
+/// bandwidth term — the pipelined binary tree streams the identical per-rank
+/// wire volume. This is what NCCL switches to across node boundaries, and
+/// why large-fleet collectives are not latency-dominated. All-to-all has no
+/// tree formulation (every pair exchanges distinct data) and keeps its
+/// `n-1` personalized-exchange steps.
+pub fn tree_collective_time_ns(op: Collective, full_bytes: u64, n: u64, link: &Link) -> Ns {
+    if n <= 1 {
+        return 0;
+    }
+    let wire = wire_bytes_per_rank(op, full_bytes, n);
+    let depth = ((n - 1).ilog2() + 1) as u64; // ⌈log₂ n⌉ for n ≥ 2
     let steps = match op {
-        Collective::AllReduce => 2 * (n - 1),
-        _ => n - 1,
+        Collective::AllReduce => 2 * depth,
+        Collective::AllToAll => n - 1,
+        _ => depth,
     };
-    steps * link.latency_ns + bytes_over_bandwidth_ns(wire, link.bandwidth)
+    link.staged_transfer_ns(wire, steps)
+}
+
+/// The generalized two-level cost model a mesh axis prices through: an
+/// intra-node **ring** over `intra` among the `ranks_per_node` co-located
+/// group members, then an inter-node **tree** over `inter` among
+/// `num_nodes`. With one node this degenerates to the flat ring — exactly,
+/// which is what keeps every single-server result byte-identical to the
+/// pre-mesh model.
+pub fn hierarchical_collective_ns(
+    op: Collective,
+    full_bytes: u64,
+    intra: &Link,
+    inter: &Link,
+    ranks_per_node: u64,
+    num_nodes: u64,
+) -> Ns {
+    if num_nodes <= 1 {
+        return collective_time_ns(op, full_bytes, ranks_per_node, intra);
+    }
+    collective_time_ns(op, full_bytes, ranks_per_node, intra)
+        + tree_collective_time_ns(op, full_bytes, num_nodes, inter)
 }
 
 /// Time for a collective over a hierarchical cluster: intra-server ranks use
 /// NVLink; once multiple servers participate the inter-server NIC is the
 /// bottleneck link (its per-server aggregate bandwidth is shared by all the
-/// server's GPUs).
+/// server's GPUs) and the inter-server phase runs the tree algorithm.
 pub fn hierarchical_collective_time_ns(
     op: Collective,
     full_bytes: u64,
@@ -71,17 +117,14 @@ pub fn hierarchical_collective_time_ns(
         return collective_time_ns(op, full_bytes, num_gpus, &cluster.server.nvlink);
     }
     let servers = num_gpus.div_ceil(per_server);
-    // Phase 1: intra-server collective over NVLink.
-    let intra = collective_time_ns(op, full_bytes, per_server, &cluster.server.nvlink);
-    // Phase 2: inter-server collective over the NICs. All GPUs of a server
-    // share the server's aggregate NIC bandwidth.
-    let shared_nic = Link::new(
-        cluster.nic.class,
-        (cluster.nic.bandwidth / per_server).max(1),
-        cluster.nic.latency_ns,
-    );
-    let inter = collective_time_ns(op, full_bytes, servers, &shared_nic);
-    intra + inter
+    hierarchical_collective_ns(
+        op,
+        full_bytes,
+        &cluster.server.nvlink,
+        &cluster.shared_nic(),
+        per_server,
+        servers,
+    )
 }
 
 #[cfg(test)]
@@ -132,6 +175,100 @@ mod tests {
         let t8 = collective_time_ns(Collective::AllGather, b, 8, &nvlink());
         let t64 = collective_time_ns(Collective::AllGather, b, 64, &nvlink());
         assert!(t64 < t8 * 2);
+    }
+
+    const ALL_OPS: [Collective; 4] = [
+        Collective::AllGather,
+        Collective::ReduceScatter,
+        Collective::AllReduce,
+        Collective::AllToAll,
+    ];
+
+    /// Regression: on a 1-server cluster the hierarchical model must equal
+    /// the flat single-node ring *exactly*, for every op and group size —
+    /// this is the invariant that keeps all pre-mesh single-server results
+    /// byte-identical.
+    #[test]
+    fn one_server_matches_flat_model_exactly() {
+        let cluster = ClusterSpec::single_a100();
+        for op in ALL_OPS {
+            for n in [1u64, 2, 3, 4, 8] {
+                for bytes in [1u64, 4 << 20, 1 << 30] {
+                    assert_eq!(
+                        hierarchical_collective_time_ns(op, bytes, &cluster, n),
+                        collective_time_ns(op, bytes, n, &cluster.server.nvlink),
+                        "{op:?} n={n} bytes={bytes}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inter_node_tree_beats_ring_latency_at_scale() {
+        // 128 nodes: the ring pays 127 latency steps, the tree ⌈log₂128⌉ = 7;
+        // the bandwidth terms are identical.
+        let nic = Link::new(LinkClass::Nic, 25_000_000_000, 20_000);
+        let b = 4u64 << 20;
+        let ring = collective_time_ns(Collective::AllReduce, b, 128, &nic);
+        let tree = tree_collective_time_ns(Collective::AllReduce, b, 128, &nic);
+        assert_eq!(ring - tree, 2 * (127 - 7) * nic.latency_ns);
+        // All-to-all has no tree algorithm: same cost either way.
+        assert_eq!(
+            tree_collective_time_ns(Collective::AllToAll, b, 128, &nic),
+            collective_time_ns(Collective::AllToAll, b, 128, &nic)
+        );
+    }
+
+    proptest::proptest! {
+        /// More bytes never get cheaper.
+        #[test]
+        fn hierarchical_time_monotone_in_bytes(
+            bytes in 1u64..(1u64 << 32),
+            extra in 1u64..(1u64 << 24),
+            gpus in 1u64..1024,
+        ) {
+            let cluster = ClusterSpec::a100_tencent(128);
+            for op in ALL_OPS {
+                let t0 = hierarchical_collective_time_ns(op, bytes, &cluster, gpus);
+                let t1 = hierarchical_collective_time_ns(op, bytes + extra, &cluster, gpus);
+                proptest::prop_assert!(t0 <= t1, "{op:?} gpus={gpus} bytes={bytes}+{extra}");
+            }
+        }
+
+        /// More ranks never get cheaper (more latency steps, larger wire
+        /// fraction; the intra-server phase saturates at 8 ranks).
+        #[test]
+        fn hierarchical_time_monotone_in_ranks(
+            gpus in 1u64..1023,
+            extra in 1u64..64,
+            bytes in 1u64..(1u64 << 32),
+        ) {
+            let cluster = ClusterSpec::a100_tencent(136);
+            for op in ALL_OPS {
+                let t0 = hierarchical_collective_time_ns(op, bytes, &cluster, gpus);
+                let t1 = hierarchical_collective_time_ns(op, bytes, &cluster, gpus + extra);
+                proptest::prop_assert!(t0 <= t1, "{op:?} gpus={gpus}+{extra}");
+            }
+        }
+
+        /// Growing the fleet server by server (all GPUs participating)
+        /// never gets cheaper.
+        #[test]
+        fn hierarchical_time_monotone_in_servers(
+            servers in 1u64..128,
+            extra in 1u64..32,
+            bytes in 1u64..(1u64 << 32),
+        ) {
+            for op in ALL_OPS {
+                let c0 = ClusterSpec::a100_tencent(servers as usize);
+                let c1 = ClusterSpec::a100_tencent((servers + extra) as usize);
+                let t0 = hierarchical_collective_time_ns(op, bytes, &c0, servers * 8);
+                let t1 =
+                    hierarchical_collective_time_ns(op, bytes, &c1, (servers + extra) * 8);
+                proptest::prop_assert!(t0 <= t1, "{op:?} servers={servers}+{extra}");
+            }
+        }
     }
 
     #[test]

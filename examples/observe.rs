@@ -28,9 +28,18 @@ fn identity_cast(x: f32) -> f32 {
 fn main() {
     let recorder = Recorder::enabled();
 
-    // ---- Simulated side: a 13B iteration under the unified scheduler -----
+    // ---- Simulated side: a 13B iteration under the unified scheduler,
+    // on a composed mesh plan so the per-group communicator channels
+    // (dp / tp / pp) each show up as their own timeline track. -----
     let model = TransformerConfig::gpt3_13b();
-    let config = EngineConfig::single_server().with_batch_size(4);
+    let config = EngineConfig::single_server()
+        .with_batch_size(4)
+        .with_parallelism(angel_core::plan::ParallelismPlan {
+            dp: 2,
+            tp: 2,
+            pp: 2,
+            zero_stage: angel_core::plan::ZeroStage::Full,
+        });
     let mut engine = Engine::initialize(&model, &config).expect("13B fits on one server");
     engine.set_recorder(recorder.clone());
     let stats = engine.train_iteration();

@@ -25,5 +25,6 @@ fn main() {
     println!("wrote {path}: {events} events ({} bytes)", trace.len());
     println!("open chrome://tracing or https://ui.perfetto.dev and load the file.");
     println!("tracks: executor:gpu-stream, executor:cpu-stream, pcie-h2d/d2h,");
-    println!("        communicator:nccl-channel, ssd-channel");
+    println!("        communicator:dp-channel, ssd-channel");
+    println!("(mesh configs add communicator:tp-channel / pp-channel tracks)");
 }
