@@ -30,7 +30,7 @@ fn bench_allocators(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("page", "4MiB"), |b| {
         b.iter(|| {
             let mut a = PageAllocator::with_page_size(4 * MIB, false);
-            a.add_pool(DeviceId::gpu(0), capacity);
+            a.add_pool(DeviceId::gpu(0), capacity).unwrap();
             let ids: Vec<_> = sizes
                 .iter()
                 .map(|&s| a.alloc_tensor_raw(s, DeviceId::gpu(0)).unwrap())

@@ -50,7 +50,7 @@ fn main() {
             .collect();
         let total: u64 = sizes.iter().sum();
         let mut alloc = PageAllocator::with_page_size(page, false);
-        alloc.add_pool(DeviceId::gpu(0), total * 3);
+        alloc.add_pool(DeviceId::gpu(0), total * 3).unwrap();
         for &s in &sizes {
             alloc.alloc_tensor_raw(s, DeviceId::gpu(0)).unwrap();
         }

@@ -149,7 +149,7 @@ fn main() {
 
     // Angel-PTM pages: run the same trace through the real page allocator.
     let mut pages = PageAllocator::with_page_size(4 * MIB, false);
-    pages.add_pool(DeviceId::gpu(0), capacity);
+    pages.add_pool(DeviceId::gpu(0), capacity).unwrap();
     let mut page_failures = 0u64;
     let mut first = None;
     for _epoch in 0..6 {

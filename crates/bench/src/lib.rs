@@ -192,6 +192,62 @@ mod tests {
         );
     }
 
+    /// The checked-in allocation-churn baseline must stay parseable and
+    /// keep its acceptance properties: the size-class pool hits in steady
+    /// state, pooled page reuse beats the no-pool baseline on backed
+    /// churn, and the compaction pass reclaims whole frames. Regenerate
+    /// with `cargo run --release -p angel-bench --bin alloc_bench`.
+    #[test]
+    fn bench_alloc_baseline_parses() {
+        let path = format!("{}/../../BENCH_alloc.json", env!("CARGO_MANIFEST_DIR"));
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing alloc baseline {path}: {e}"));
+        let doc: serde_json::Value = serde_json::from_str(&raw).expect("valid JSON");
+        assert_eq!(doc["id"].as_str(), Some("alloc_bench"));
+
+        let memsim = doc["memsim_churn"].as_array().expect("memsim_churn array");
+        assert!(memsim.len() >= 5, "pooled + four baseline policies");
+        let pooled = memsim
+            .iter()
+            .find(|r| r["name"].as_str() == Some("pooled (size-class reuse)"))
+            .expect("pooled policy row");
+        assert_eq!(pooled["failures"].as_u64(), Some(0));
+        let hit_rate = pooled["hit_rate"].as_f64().unwrap();
+        assert!(
+            hit_rate > 0.9,
+            "recurring-shape churn must hit in steady state: {hit_rate}"
+        );
+
+        let page = doc["page_churn"].as_array().expect("page_churn array");
+        for mode in ["backed", "virtual"] {
+            let rec = page
+                .iter()
+                .find(|r| r["mode"].as_str() == Some(mode))
+                .unwrap_or_else(|| panic!("missing {mode} A/B row"));
+            assert!(rec["pages_reused"].as_u64().unwrap() > 0);
+            assert!(rec["pooled_ms"].as_f64().unwrap() > 0.0);
+        }
+        let backed = page
+            .iter()
+            .find(|r| r["mode"].as_str() == Some("backed"))
+            .unwrap();
+        let speedup = backed["speedup"].as_f64().unwrap();
+        assert!(
+            speedup >= 1.0,
+            "pooled reuse must win backed steady-state churn: {speedup}"
+        );
+
+        let compaction = &doc["compaction"];
+        let before = compaction["frag_ppm_before"].as_u64().unwrap();
+        let after = compaction["frag_ppm_after"].as_u64().unwrap();
+        assert!(before > 0, "fixture must actually fragment");
+        assert!(after <= before, "compaction may not worsen fragmentation");
+        assert!(
+            compaction["pages_reclaimed"].as_u64().unwrap() >= 1,
+            "consolidation must free at least one frame"
+        );
+    }
+
     /// The checked-in cluster-scaling baseline must stay parseable and keep
     /// its acceptance properties: a weak-scaling curve out to ≥1024
     /// simulated GPUs with per-point throughput, a verified composed mesh

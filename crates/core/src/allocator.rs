@@ -28,7 +28,7 @@
 //! `motivation_fragmentation` experiment.
 
 use crate::error::{Error, Result};
-use crate::obs::{Counter, Gauge, Recorder};
+use crate::obs::{Counter, Gauge, ObsThread, Recorder};
 use crate::page::{Page, PageId, PAGE_SIZE_DEFAULT};
 use crate::tensor::{DType, PageRange, Tensor, TensorId};
 use angel_hw::DeviceId;
@@ -43,6 +43,11 @@ pub struct PoolStats {
     pub tenant_bytes: u64,
     pub peak_used_pages: usize,
     pub page_size: u64,
+    /// Free page frames still holding materialized (reusable) memory.
+    pub cached_pages: usize,
+    /// Free page frames whose backing memory was trimmed; taking one pays
+    /// a fresh materialization.
+    pub reclaimed_pages: usize,
 }
 
 impl PoolStats {
@@ -76,8 +81,14 @@ struct Pool {
     used_pages: usize,
     peak_used_pages: usize,
     tenant_bytes: u64,
-    /// Fully-free page objects ready for reuse on this device.
+    /// The reuse pool: fully-free page objects that kept their backing
+    /// memory, in LRU order (oldest first, hottest at the back). Taking
+    /// one skips materialization entirely — pages are one uniform size
+    /// class, so any cached frame serves any request.
     free_list: Vec<PageId>,
+    /// Free frames whose backing memory was trimmed under the reuse
+    /// limit. Still counted as capacity, but taking one re-materializes.
+    reclaimed: Vec<PageId>,
     /// The page with one tenant and remaining space where the next large
     /// tensor may start.
     open_page: Option<PageId>,
@@ -91,6 +102,7 @@ impl Pool {
             peak_used_pages: 0,
             tenant_bytes: 0,
             free_list: Vec::new(),
+            reclaimed: Vec::new(),
             open_page: None,
         }
     }
@@ -100,6 +112,22 @@ impl Pool {
     }
 }
 
+/// What one [`PageAllocator::compact_device`] pass accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+pub struct CompactionReport {
+    /// Pages whose stranded bump-cursor gap was squeezed out in place.
+    pub pages_compacted: usize,
+    /// Tenant ranges relocated into another partial page.
+    pub tenant_moves: usize,
+    /// Page frames freed back to the pool by consolidation.
+    pub pages_reclaimed: usize,
+    /// Tenant bytes physically copied (backed pools) or re-addressed.
+    pub bytes_copied: u64,
+    /// `alloc.*.frag_ppm` before and after the pass.
+    pub frag_ppm_before: u64,
+    pub frag_ppm_after: u64,
+}
+
 /// Per-device gauges published on every pool mutation.
 #[derive(Debug, Clone)]
 struct PoolGauges {
@@ -107,6 +135,7 @@ struct PoolGauges {
     peak_pages: Gauge,
     used_bytes: Gauge,
     frag_ppm: Gauge,
+    cached_pages: Gauge,
 }
 
 impl PoolGauges {
@@ -116,6 +145,7 @@ impl PoolGauges {
             peak_pages: rec.gauge(&format!("alloc.{device}.peak_pages")),
             used_bytes: rec.gauge(&format!("alloc.{device}.used_bytes")),
             frag_ppm: rec.gauge(&format!("alloc.{device}.frag_ppm")),
+            cached_pages: rec.gauge(&format!("alloc.{device}.cached_pages")),
         }
     }
 }
@@ -131,6 +161,10 @@ struct AllocObs {
     tensors_allocated: Counter,
     tensors_released: Counter,
     failures: Counter,
+    pages_reused: Counter,
+    pages_materialized: Counter,
+    pages_trimmed: Counter,
+    compactions: Counter,
     pools: BTreeMap<DeviceId, PoolGauges>,
 }
 
@@ -143,6 +177,10 @@ impl AllocObs {
             tensors_allocated: recorder.counter("alloc.tensors_allocated"),
             tensors_released: recorder.counter("alloc.tensors_released"),
             failures: recorder.counter("alloc.failures"),
+            pages_reused: recorder.counter("alloc.pages_reused"),
+            pages_materialized: recorder.counter("alloc.pages_materialized"),
+            pages_trimmed: recorder.counter("alloc.pages_trimmed"),
+            compactions: recorder.counter("alloc.compactions"),
             pools: BTreeMap::new(),
             recorder,
         }
@@ -160,6 +198,14 @@ pub struct PageAllocator {
     pools: BTreeMap<DeviceId, Pool>,
     tensors: HashMap<TensorId, Tensor>,
     next_tensor_id: usize,
+    /// Per-device cap on the reuse pool (materialized free pages).
+    /// `None` keeps every released page warm; `Some(0)` disables reuse —
+    /// every take pays a fresh materialization (the BENCH_alloc "no-pool"
+    /// baseline).
+    reuse_limit: Option<usize>,
+    /// When `Some(t)`, [`PageAllocator::maybe_compact`] runs a compaction
+    /// pass once `alloc.{device}.frag_ppm` exceeds `t`.
+    compaction_threshold_ppm: Option<u64>,
     obs: Option<AllocObs>,
 }
 
@@ -179,8 +225,35 @@ impl PageAllocator {
             pools: BTreeMap::new(),
             tensors: HashMap::new(),
             next_tensor_id: 0,
+            reuse_limit: None,
+            compaction_threshold_ppm: None,
             obs: None,
         }
+    }
+
+    /// Cap the per-device reuse pool at `limit` cached pages, trimming any
+    /// excess immediately. `Some(0)` disables pooled reuse entirely.
+    pub fn set_reuse_limit(&mut self, limit: Option<usize>) {
+        self.reuse_limit = limit;
+        if let Some(keep) = limit {
+            let devices: Vec<DeviceId> = self.pools.keys().copied().collect();
+            for device in devices {
+                self.trim_reuse_pool(device, keep);
+            }
+        }
+    }
+
+    /// Builder-style [`PageAllocator::set_reuse_limit`].
+    pub fn with_reuse_limit(mut self, limit: Option<usize>) -> Self {
+        self.set_reuse_limit(limit);
+        self
+    }
+
+    /// Arm [`PageAllocator::maybe_compact`]: compaction fires when a
+    /// device's internal fragmentation exceeds `threshold_ppm` parts per
+    /// million. `None` (the default) never compacts automatically.
+    pub fn set_compaction_threshold_ppm(&mut self, threshold_ppm: Option<u64>) {
+        self.compaction_threshold_ppm = threshold_ppm;
     }
 
     /// Attach an observability recorder: per-device used/peak/frag gauges
@@ -211,6 +284,7 @@ impl PageAllocator {
                 g.peak_pages.set(s.peak_used_pages as u64);
                 g.used_bytes.set(s.used_bytes());
                 g.frag_ppm.set((s.internal_frag() * 1e6) as u64);
+                g.cached_pages.set(s.cached_pages as u64);
             }
         }
     }
@@ -226,14 +300,34 @@ impl PageAllocator {
     }
 
     /// Pre-allocate a pool of `capacity_bytes / page_size` pages on `device`.
-    pub fn add_pool(&mut self, device: DeviceId, capacity_bytes: u64) {
+    ///
+    /// Re-registering a device whose pool still holds live tensors is
+    /// rejected with [`Error::PoolInUse`] — silently replacing it would
+    /// zero `used_pages`/`tenant_bytes` under the residents and corrupt
+    /// every stat afterwards. Resizing an *empty* pool stays legal and
+    /// keeps its cached pages (trimming any that no longer fit).
+    pub fn add_pool(&mut self, device: DeviceId, capacity_bytes: u64) -> Result<()> {
         let pages = (capacity_bytes / self.page_size) as usize;
-        self.pools.insert(device, Pool::new(pages));
+        if let Some(existing) = self.pools.get_mut(&device) {
+            if existing.used_pages > 0 {
+                let used_pages = existing.used_pages;
+                self.note_failure();
+                return Err(Error::PoolInUse { device, used_pages });
+            }
+            existing.capacity_pages = pages;
+            let cached = existing.free_list.len() + existing.reclaimed.len();
+            if cached > pages {
+                self.trim_cached_frames(device, cached - pages);
+            }
+        } else {
+            self.pools.insert(device, Pool::new(pages));
+        }
         if let Some(obs) = &mut self.obs {
             let gauges = PoolGauges::new(&obs.recorder, device);
             obs.pools.insert(device, gauges);
         }
         self.publish_stats(device);
+        Ok(())
     }
 
     pub fn has_pool(&self, device: DeviceId) -> bool {
@@ -248,6 +342,8 @@ impl PageAllocator {
             tenant_bytes: pool.tenant_bytes,
             peak_used_pages: pool.peak_used_pages,
             page_size: self.page_size,
+            cached_pages: pool.free_list.len(),
+            reclaimed_pages: pool.reclaimed.len(),
         }
     }
 
@@ -296,13 +392,31 @@ impl PageAllocator {
             pool.capacity_pages
         );
         pool.peak_used_pages = pool.peak_used_pages.max(pool.used_pages);
-        let taken = pool.free_list.pop();
+        // Reuse order: warm cached page (pool hit, no materialization) →
+        // reclaimed frame (re-materialize) → brand-new page.
+        let cached = pool.free_list.pop();
+        let reclaimed = if cached.is_none() {
+            pool.reclaimed.pop()
+        } else {
+            None
+        };
         if let Some(obs) = &self.obs {
             obs.pages_taken.inc();
+            if cached.is_some() {
+                obs.pages_reused.inc();
+            } else {
+                obs.pages_materialized.inc();
+            }
         }
         self.publish_stats(device);
-        if let Some(id) = taken {
+        if let Some(id) = cached {
             debug_assert!(self.pages[id.0].is_free());
+            self.pages[id.0].move_to(device);
+            return Ok(id);
+        }
+        if let Some(id) = reclaimed {
+            debug_assert!(self.pages[id.0].is_free());
+            self.pages[id.0].rematerialize(backed);
             self.pages[id.0].move_to(device);
             return Ok(id);
         }
@@ -316,7 +430,8 @@ impl PageAllocator {
         Ok(id)
     }
 
-    /// Return an empty page to its device's free list.
+    /// Return an empty page to its device's reuse pool, trimming the
+    /// oldest cached page past the reuse limit.
     fn return_page(&mut self, id: PageId) {
         let device = self.pages[id.0].device();
         let pool = self.pools.get_mut(&device).expect("pool");
@@ -332,7 +447,42 @@ impl PageAllocator {
         if let Some(obs) = &self.obs {
             obs.pages_returned.inc();
         }
+        if let Some(limit) = self.reuse_limit {
+            let excess = self.pools[&device].free_list.len().saturating_sub(limit);
+            if excess > 0 {
+                self.trim_cached_frames(device, excess);
+            }
+        }
         self.publish_stats(device);
+    }
+
+    /// Unmaterialize up to `n` of the oldest cached pages on `device`,
+    /// moving them to the reclaimed list. Returns how many were trimmed.
+    fn trim_cached_frames(&mut self, device: DeviceId, n: usize) -> usize {
+        let pool = self.pools.get_mut(&device).expect("pool");
+        let n = n.min(pool.free_list.len());
+        let trimmed: Vec<PageId> = pool.free_list.drain(..n).collect();
+        for id in &trimmed {
+            self.pages[id.0].unmaterialize();
+        }
+        let pool = self.pools.get_mut(&device).expect("pool");
+        pool.reclaimed.extend(trimmed);
+        if let Some(obs) = &self.obs {
+            obs.pages_trimmed.add(n as u64);
+        }
+        n
+    }
+
+    /// Shrink `device`'s reuse pool down to at most `keep` cached pages
+    /// (oldest trimmed first), releasing their backing memory. Returns the
+    /// number of pages trimmed — the knob for external memory pressure.
+    pub fn trim_reuse_pool(&mut self, device: DeviceId, keep: usize) -> usize {
+        let cached = self.pools[&device].free_list.len();
+        let trimmed = self.trim_cached_frames(device, cached.saturating_sub(keep));
+        if trimmed > 0 {
+            self.publish_stats(device);
+        }
+        trimmed
     }
 
     // ----- tensor allocation ---------------------------------------------
@@ -560,12 +710,89 @@ impl PageAllocator {
             .filter(|r| self.pages[r.page.0].num_tenants() > 1)
             .collect();
         if shared.is_empty() {
+            // Atomicity: pre-check that the target pool can absorb every
+            // page before moving any. Each move of an off-target page
+            // consumes exactly one target frame (pages already on the
+            // target are no-ops, and source-side frees never touch the
+            // target pool), so this count is exact and the loop below
+            // cannot fail halfway, which would strand the tensor split
+            // across devices.
+            let needed = tensor
+                .pages
+                .iter()
+                .filter(|r| self.pages[r.page.0].device() != target)
+                .count();
+            let free = self
+                .pools
+                .get(&target)
+                .unwrap_or_else(|| panic!("no pool registered for {target}"))
+                .free_pages();
+            if needed > free {
+                self.note_failure();
+                return Err(Error::OutOfPages {
+                    device: target,
+                    requested_pages: needed,
+                    free_pages: free,
+                });
+            }
             for r in &tensor.pages {
                 self.move_page(r.page, target)?;
             }
             return Ok(());
         }
         // Mixed case: reallocate the whole tensor on the target device.
+        // Atomicity: releasing before allocating is what makes the move
+        // cheap (the tensor's own frames on the target are recycled), but
+        // a naive release-then-alloc destroys the tensor when the target
+        // is full. Replay the release's exact effect on the target pool up
+        // front, and only proceed when the subsequent allocation is known
+        // to succeed.
+        let bytes = tensor.bytes();
+        {
+            let tpool = self
+                .pools
+                .get(&target)
+                .unwrap_or_else(|| panic!("no pool registered for {target}"));
+            // Frames the release would hand back to the target pool: this
+            // tensor's single-tenant pages already living there. (Shared
+            // pages survive the release, and a surviving page's
+            // availability never changes — bump allocation.)
+            let freed_on_target = tensor
+                .pages
+                .iter()
+                .filter(|r| {
+                    self.pages[r.page.0].device() == target
+                        && self.pages[r.page.0].num_tenants() == 1
+                })
+                .count();
+            // The open page always has exactly one tenant, so it either
+            // survives untouched or is freed wholesale by the release.
+            let open_freed = tpool.open_page.is_some_and(|p| {
+                self.pages[p.0].num_tenants() == 1 && tensor.pages.iter().any(|r| r.page == p)
+            });
+            let fresh = if bytes < self.page_size {
+                1
+            } else {
+                let open_avail = if open_freed {
+                    0
+                } else {
+                    tpool
+                        .open_page
+                        .map(|p| self.pages[p.0].available_bytes())
+                        .unwrap_or(0)
+                };
+                (bytes - open_avail.min(bytes)).div_ceil(self.page_size) as usize
+            };
+            let free_after_release = tpool.free_pages() + freed_on_target;
+            if fresh > free_after_release {
+                self.note_failure();
+                return Err(Error::OutOfPages {
+                    device: target,
+                    requested_pages: fresh,
+                    free_pages: free_after_release,
+                });
+            }
+        }
         let data = if self.backed {
             Some(self.read_tensor(id)?)
         } else {
@@ -574,7 +801,16 @@ impl PageAllocator {
         let shape = tensor.shape.clone();
         let dtype = tensor.dtype;
         self.release_tensor(id)?;
-        let new_id = self.alloc_tensor(shape, dtype, target)?;
+        let new_id = match self.alloc_tensor(shape, dtype, target) {
+            Ok(nid) => nid,
+            Err(e) => {
+                debug_assert!(
+                    false,
+                    "move_tensor pre-check admitted an infeasible move: {e}"
+                );
+                return Err(e);
+            }
+        };
         if let Some(bytes) = data {
             self.write_tensor(new_id, &bytes)?;
         }
@@ -611,6 +847,28 @@ impl PageAllocator {
             expected: None,
             actual: None,
         })?;
+        // Atomicity: merge re-lays the tensor with the open page disabled,
+        // so it needs exactly ⌈bytes / page_size⌉ fresh frames. The release
+        // frees this tensor's single-tenant pages back to the same pool;
+        // check the budget before touching anything so a full pool returns
+        // a typed error instead of destroying the tensor.
+        {
+            let needed = self.pages_for(tensor.bytes());
+            let freed = tensor
+                .pages
+                .iter()
+                .filter(|r| self.pages[r.page.0].num_tenants() == 1)
+                .count();
+            let free_after_release = self.pools[&device].free_pages() + freed;
+            if needed > free_after_release {
+                self.note_failure();
+                return Err(Error::OutOfPages {
+                    device,
+                    requested_pages: needed,
+                    free_pages: free_after_release,
+                });
+            }
+        }
         let data = if self.backed {
             Some(self.read_tensor(id)?)
         } else {
@@ -620,7 +878,17 @@ impl PageAllocator {
         // Re-allocate with sharing disabled by temporarily clearing the open
         // page.
         let saved_open = self.pools.get_mut(&device).unwrap().open_page.take();
-        let new_id = self.alloc_tensor(tensor.shape.clone(), tensor.dtype, device)?;
+        let new_id = match self.alloc_tensor(tensor.shape.clone(), tensor.dtype, device) {
+            Ok(nid) => nid,
+            Err(e) => {
+                self.pools.get_mut(&device).unwrap().open_page = saved_open;
+                debug_assert!(
+                    false,
+                    "merge_tensor pre-check admitted an infeasible merge: {e}"
+                );
+                return Err(e);
+            }
+        };
         // Merged tensors never leave an open tail for others either.
         self.pools.get_mut(&device).unwrap().open_page = saved_open;
         if let Some(bytes) = data {
@@ -642,6 +910,227 @@ impl PageAllocator {
             .pages
             .iter()
             .all(|r| r.offset == 0 && self.pages[r.page.0].num_tenants() == 1)
+    }
+
+    // ----- compaction -----------------------------------------------------
+
+    /// Defragment `device`'s pool. Two passes:
+    ///
+    /// 1. **In-place squeeze** — a page whose co-tenant departed keeps a
+    ///    stranded gap below its bump cursor; repack its survivors to
+    ///    offset 0 ([`Page::compact_tenants`]).
+    /// 2. **Consolidation** — greedily best-fit the smallest single-tenant
+    ///    partial page's range into another partial page (the same
+    ///    machinery as `move_tensor`'s shared path, intra-device), freeing
+    ///    whole frames back to the reuse pool.
+    ///
+    /// Both passes preserve every tensor's bytes (backed data is copied)
+    /// and the two-tenants-per-page invariant; compacted tensors may stop
+    /// being "merged" (offset ≠ 0) until [`PageAllocator::merge_tensor`]
+    /// re-lays them.
+    pub fn compact_device(&mut self, device: DeviceId) -> Result<CompactionReport> {
+        let before = self.stats(device);
+        let mut report = CompactionReport {
+            frag_ppm_before: (before.internal_frag() * 1e6) as u64,
+            ..Default::default()
+        };
+
+        let page_ids: Vec<PageId> = (0..self.pages.len())
+            .map(PageId)
+            .filter(|id| self.pages[id.0].device() == device && !self.pages[id.0].is_free())
+            .collect();
+
+        // Pass 1: squeeze stranded bump-cursor gaps in place.
+        for &id in &page_ids {
+            let page = &self.pages[id.0];
+            let tenant_sum: u64 = page.tenants().map(|t| t.bytes).sum();
+            if page.used_bytes() == tenant_sum {
+                continue;
+            }
+            let tenants_before: Vec<(TensorId, u64, u64)> = page
+                .tenants()
+                .map(|t| (t.tensor, t.offset, t.bytes))
+                .collect();
+            self.pages[id.0].compact_tenants();
+            report.pages_compacted += 1;
+            for (tid, old_offset, bytes) in tenants_before {
+                let new_offset = self.pages[id.0].tenant_of(tid).expect("survivor").offset;
+                if new_offset != old_offset {
+                    report.bytes_copied += bytes;
+                    let t = self.tensors.get_mut(&tid).expect("tenant resolvable");
+                    for r in t.pages.iter_mut().filter(|r| r.page == id) {
+                        r.offset = new_offset;
+                    }
+                }
+            }
+        }
+
+        // Pass 2: consolidate partial single-tenant pages, smallest tenant
+        // first — every successful relocation frees one whole frame.
+        let mut candidates: Vec<PageId> = page_ids
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.pages[id.0].num_tenants() == 1 && self.pages[id.0].available_bytes() > 0
+            })
+            .collect();
+        candidates.sort_by_key(|id| {
+            let t = self.pages[id.0].tenants().next().expect("single tenant");
+            (t.bytes, id.0)
+        });
+        let mut emptied: Vec<PageId> = Vec::new();
+        for i in 0..candidates.len() {
+            let donor = candidates[i];
+            // A candidate that absorbed another range is no longer a donor
+            // (relocating one of two tenants frees nothing).
+            if emptied.contains(&donor) || self.pages[donor.0].num_tenants() != 1 {
+                continue;
+            }
+            let tenant = *self.pages[donor.0].tenants().next().expect("single tenant");
+            // Best-fit destination: tightest page that still fits the
+            // range, holds at most one (different) tensor, and isn't the
+            // donor.
+            let mut best: Option<(PageId, u64)> = None;
+            for &dest in &candidates {
+                if dest == donor || emptied.contains(&dest) {
+                    continue;
+                }
+                let page = &self.pages[dest.0];
+                if page.num_tenants() >= 2 || page.tenant_of(tenant.tensor).is_some() {
+                    continue;
+                }
+                let avail = page.available_bytes();
+                if avail >= tenant.bytes && best.is_none_or(|(_, b)| avail < b) {
+                    best = Some((dest, avail));
+                }
+            }
+            let Some((dest, _)) = best else { continue };
+            let payload: Option<Vec<u8>> = if self.backed {
+                Some(self.pages[donor.0].read(tenant.tensor)?.to_vec())
+            } else {
+                None
+            };
+            self.pages[donor.0].release(tenant.tensor)?;
+            let new_offset = self.pages[dest.0].allocate(tenant.bytes, tenant.tensor)?;
+            if let Some(bytes) = payload {
+                self.pages[dest.0].write(tenant.tensor, 0, &bytes)?;
+            }
+            let t = self
+                .tensors
+                .get_mut(&tenant.tensor)
+                .expect("tenant resolvable");
+            for r in t.pages.iter_mut().filter(|r| r.page == donor) {
+                r.page = dest;
+                r.offset = new_offset;
+            }
+            // A destination that filled up can no longer be the open page.
+            let dest_full = self.pages[dest.0].num_tenants() == 2;
+            let pool = self.pools.get_mut(&device).expect("pool");
+            if dest_full && pool.open_page == Some(dest) {
+                pool.open_page = None;
+            }
+            self.return_page(donor);
+            emptied.push(donor);
+            report.tenant_moves += 1;
+            report.pages_reclaimed += 1;
+            report.bytes_copied += tenant.bytes;
+        }
+
+        let after = self.stats(device);
+        report.frag_ppm_after = (after.internal_frag() * 1e6) as u64;
+        if let Some(obs) = &self.obs {
+            obs.compactions.inc();
+            obs.recorder.counter_sample(
+                ObsThread::Allocator,
+                "alloc.compactions",
+                obs.compactions.get(),
+            );
+            obs.recorder
+                .instant(ObsThread::Allocator, "alloc.compact_device", -1);
+        }
+        self.publish_stats(device);
+        Ok(report)
+    }
+
+    /// Run [`PageAllocator::compact_device`] iff the device's internal
+    /// fragmentation exceeds the configured threshold. Returns the report
+    /// when a pass ran. A no-op unless
+    /// [`PageAllocator::set_compaction_threshold_ppm`] armed it.
+    pub fn maybe_compact(&mut self, device: DeviceId) -> Option<CompactionReport> {
+        let threshold = self.compaction_threshold_ppm?;
+        let frag_ppm = (self.stats(device).internal_frag() * 1e6) as u64;
+        if frag_ppm <= threshold {
+            return None;
+        }
+        self.compact_device(device).ok()
+    }
+
+    // ----- state fingerprint ----------------------------------------------
+
+    /// A deterministic digest of the allocator's complete observable state:
+    /// pool accounting, every page's placement/tenancy/contents (backed
+    /// data is FNV-hashed), and every tensor's layout. Two allocators with
+    /// equal fingerprints are behaviorally identical — the regression tests
+    /// use this to prove failed operations have *zero* side effects.
+    pub fn state_fingerprint(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "ps={} backed={} next_id={}",
+            self.page_size, self.backed, self.next_tensor_id
+        );
+        for (device, pool) in &self.pools {
+            let _ = write!(
+                out,
+                ";pool[{device}]=cap:{},used:{},peak:{},tb:{},open:{:?},free:{:?},recl:{:?}",
+                pool.capacity_pages,
+                pool.used_pages,
+                pool.peak_used_pages,
+                pool.tenant_bytes,
+                pool.open_page.map(|p| p.0),
+                pool.free_list.iter().map(|p| p.0).collect::<Vec<_>>(),
+                pool.reclaimed.iter().map(|p| p.0).collect::<Vec<_>>(),
+            );
+        }
+        for page in &self.pages {
+            let mut data_hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+            let mut backed = false;
+            if let Some(bytes) = page.send() {
+                backed = true;
+                for &b in bytes {
+                    data_hash ^= b as u64;
+                    data_hash = data_hash.wrapping_mul(0x1000_0000_01b3);
+                }
+            }
+            let _ = write!(
+                out,
+                ";page[{}]={},avail:{},backed:{},hash:{:016x}",
+                page.id().0,
+                page.device(),
+                page.available_bytes(),
+                backed,
+                data_hash,
+            );
+            for t in page.tenants() {
+                let _ = write!(out, ",t{}@{}+{}", t.tensor.0, t.offset, t.bytes);
+            }
+        }
+        let mut tensor_ids: Vec<TensorId> = self.tensors.keys().copied().collect();
+        tensor_ids.sort();
+        for tid in tensor_ids {
+            let t = &self.tensors[&tid];
+            let _ = write!(
+                out,
+                ";tensor[{}]=dev:{:?}",
+                tid.0,
+                t.device.map(|d| d.to_string())
+            );
+            for r in &t.pages {
+                let _ = write!(out, ",p{}@{}+{}", r.page.0, r.offset, r.bytes);
+            }
+        }
+        out
     }
 
     // ----- backed data access ---------------------------------------------
@@ -692,8 +1181,8 @@ mod tests {
 
     fn alloc_two_pools() -> PageAllocator {
         let mut a = PageAllocator::with_page_size(PS, false);
-        a.add_pool(DeviceId::gpu(0), 16 * PS);
-        a.add_pool(DeviceId::CPU, 64 * PS);
+        a.add_pool(DeviceId::gpu(0), 16 * PS).unwrap();
+        a.add_pool(DeviceId::CPU, 64 * PS).unwrap();
         a
     }
 
@@ -769,7 +1258,7 @@ mod tests {
     #[test]
     fn out_of_pages_is_clean_failure() {
         let mut a = PageAllocator::with_page_size(PS, false);
-        a.add_pool(DeviceId::gpu(0), 2 * PS);
+        a.add_pool(DeviceId::gpu(0), 2 * PS).unwrap();
         let before = a.stats(DeviceId::gpu(0));
         assert!(matches!(
             a.alloc_tensor_raw(PS * 3, DeviceId::gpu(0)),
@@ -790,7 +1279,7 @@ mod tests {
         // full-pool-sized tensor still fits afterwards. This is the property
         // the baselines in angel-memsim lack.
         let mut a = PageAllocator::with_page_size(PS, false);
-        a.add_pool(DeviceId::gpu(0), 8 * PS);
+        a.add_pool(DeviceId::gpu(0), 8 * PS).unwrap();
         let ts: Vec<_> = (0..8)
             .map(|_| a.alloc_tensor_raw(PS, DeviceId::gpu(0)).unwrap())
             .collect();
@@ -849,8 +1338,8 @@ mod tests {
     #[test]
     fn move_page_to_full_pool_fails() {
         let mut a = PageAllocator::with_page_size(PS, false);
-        a.add_pool(DeviceId::gpu(0), 4 * PS);
-        a.add_pool(DeviceId::CPU, PS);
+        a.add_pool(DeviceId::gpu(0), 4 * PS).unwrap();
+        a.add_pool(DeviceId::CPU, PS).unwrap();
         let _cpu_t = a.alloc_tensor_raw(PS, DeviceId::CPU).unwrap();
         let t = a.alloc_tensor_raw(PS, DeviceId::gpu(0)).unwrap();
         let p = a.tensor(t).unwrap().pages[0].page;
@@ -878,8 +1367,8 @@ mod tests {
     #[test]
     fn backed_data_survives_moves_and_merges() {
         let mut a = PageAllocator::with_page_size(64, true);
-        a.add_pool(DeviceId::gpu(0), 64 * 16);
-        a.add_pool(DeviceId::CPU, 64 * 16);
+        a.add_pool(DeviceId::gpu(0), 64 * 16).unwrap();
+        a.add_pool(DeviceId::CPU, 64 * 16).unwrap();
         let t1 = a.alloc_tensor_raw(96, DeviceId::gpu(0)).unwrap();
         let t2 = a.alloc_tensor_raw(96, DeviceId::gpu(0)).unwrap(); // shares page
         let payload: Vec<u8> = (0..96).map(|i| i as u8).collect();
@@ -924,6 +1413,8 @@ mod tests {
             tenant_bytes: 0,
             peak_used_pages: 5,
             page_size: PS,
+            cached_pages: 0,
+            reclaimed_pages: 0,
         };
         assert_eq!(s.free_pages(), 0);
     }
@@ -954,6 +1445,311 @@ mod tests {
     }
 
     #[test]
+    fn add_pool_rejects_nonempty_reregistration() {
+        let mut a = alloc_two_pools();
+        let t = a.alloc_tensor_raw(PS, DeviceId::gpu(0)).unwrap();
+        let before = a.state_fingerprint();
+        let err = a.add_pool(DeviceId::gpu(0), 128 * PS).unwrap_err();
+        assert_eq!(
+            err,
+            Error::PoolInUse {
+                device: DeviceId::gpu(0),
+                used_pages: 1
+            }
+        );
+        assert_eq!(
+            a.state_fingerprint(),
+            before,
+            "rejected add_pool must not mutate"
+        );
+        // Draining the pool makes resizing legal again, and the resize
+        // keeps history (peak) while adopting the new capacity.
+        a.release_tensor(t).unwrap();
+        a.add_pool(DeviceId::gpu(0), 128 * PS).unwrap();
+        let s = a.stats(DeviceId::gpu(0));
+        assert_eq!(s.capacity_pages, 128);
+        assert_eq!(s.peak_used_pages, 1);
+        assert!(a.alloc_tensor_raw(100 * PS, DeviceId::gpu(0)).is_ok());
+    }
+
+    #[test]
+    fn failed_exclusive_move_leaves_state_byte_identical() {
+        // Regression: a mid-loop move_page failure used to strand the
+        // tensor split across devices. The pre-check must reject the move
+        // with *zero* side effects.
+        let mut a = PageAllocator::with_page_size(PS, true);
+        a.add_pool(DeviceId::gpu(0), 4 * PS).unwrap();
+        a.add_pool(DeviceId::CPU, 2 * PS).unwrap();
+        let _filler = a.alloc_tensor_raw(PS, DeviceId::CPU).unwrap();
+        let t = a.alloc_tensor_raw(3 * PS, DeviceId::gpu(0)).unwrap();
+        let payload: Vec<u8> = (0..3 * PS).map(|i| (i % 251) as u8).collect();
+        a.write_tensor(t, &payload).unwrap();
+        let before = a.state_fingerprint();
+        // 3 pages needed, 1 frame free on CPU: must fail atomically.
+        let err = a.move_tensor(t, DeviceId::CPU).unwrap_err();
+        assert_eq!(
+            err,
+            Error::OutOfPages {
+                device: DeviceId::CPU,
+                requested_pages: 3,
+                free_pages: 1
+            }
+        );
+        assert_eq!(a.state_fingerprint(), before, "failed move must be a no-op");
+        assert_eq!(a.tensor(t).unwrap().device, Some(DeviceId::gpu(0)));
+        assert_eq!(a.read_tensor(t).unwrap(), payload);
+    }
+
+    #[test]
+    fn failed_shared_move_leaves_state_byte_identical() {
+        // Regression: the shared-page path released the tensor before
+        // allocating on the target, so a full target pool destroyed the
+        // id and its backed data.
+        let mut a = PageAllocator::with_page_size(PS, true);
+        a.add_pool(DeviceId::gpu(0), 8 * PS).unwrap();
+        a.add_pool(DeviceId::CPU, 2 * PS).unwrap();
+        let _filler = a.alloc_tensor_raw(2 * PS, DeviceId::CPU).unwrap();
+        let t1 = a.alloc_tensor_raw(PS * 3 / 2, DeviceId::gpu(0)).unwrap();
+        let t2 = a.alloc_tensor_raw(PS * 5 / 2, DeviceId::gpu(0)).unwrap(); // shares t1's tail
+        let shared = a.tensor(t2).unwrap().pages[0].page;
+        assert_eq!(a.page(shared).num_tenants(), 2, "fixture shares a page");
+        let payload: Vec<u8> = (0..PS * 5 / 2).map(|i| (i % 249) as u8).collect();
+        a.write_tensor(t2, &payload).unwrap();
+        let before = a.state_fingerprint();
+        let err = a.move_tensor(t2, DeviceId::CPU).unwrap_err();
+        assert!(matches!(err, Error::OutOfPages { device, .. } if device == DeviceId::CPU));
+        assert_eq!(a.state_fingerprint(), before, "failed move must be a no-op");
+        // The tensor survives, resident and intact on the source.
+        assert_eq!(a.tensor(t2).unwrap().device, Some(DeviceId::gpu(0)));
+        assert_eq!(a.read_tensor(t2).unwrap(), payload);
+        let _ = t1;
+    }
+
+    #[test]
+    fn shared_move_precheck_counts_freed_target_frames() {
+        // The move must still succeed when it only fits because the
+        // tensor's own single-tenant pages on the target free up: the
+        // pre-check replays the release, not the current pool state.
+        let mut a = PageAllocator::with_page_size(PS, false);
+        a.add_pool(DeviceId::gpu(0), 8 * PS).unwrap();
+        a.add_pool(DeviceId::CPU, 3 * PS).unwrap();
+        let t1 = a.alloc_tensor_raw(PS * 3 / 2, DeviceId::gpu(0)).unwrap();
+        let t2 = a.alloc_tensor_raw(PS * 5 / 2, DeviceId::gpu(0)).unwrap(); // head shares t1's tail
+                                                                            // Move t2's exclusive pages to CPU by hand so the CPU pool is full
+                                                                            // of t2's own frames (2 exclusive pages) plus one filler.
+        let excl: Vec<PageId> = a
+            .tensor(t2)
+            .unwrap()
+            .pages
+            .iter()
+            .filter(|r| a.page(r.page).num_tenants() == 1)
+            .map(|r| r.page)
+            .collect();
+        for p in excl {
+            a.move_page(p, DeviceId::CPU).unwrap();
+        }
+        let _filler = a.alloc_tensor_raw(PS, DeviceId::CPU).unwrap();
+        assert_eq!(a.stats(DeviceId::CPU).free_pages(), 0);
+        // 0 frames free, but t2's 2 single-tenant CPU pages free on
+        // release and 2.5 pages are needed → 3 fresh ≤ 0 + 2? No: needs 3.
+        let err = a.move_tensor(t2, DeviceId::CPU).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::OutOfPages {
+                requested_pages: 3,
+                free_pages: 2,
+                ..
+            }
+        ));
+        // With one more frame the same move goes through.
+        a.release_tensor(_filler).unwrap();
+        a.move_tensor(t2, DeviceId::CPU).unwrap();
+        assert_eq!(a.tensor(t2).unwrap().device, Some(DeviceId::CPU));
+        assert_eq!(a.tensor(t1).unwrap().device, Some(DeviceId::gpu(0)));
+    }
+
+    #[test]
+    fn failed_merge_leaves_state_byte_identical() {
+        let mut a = PageAllocator::with_page_size(PS, true);
+        a.add_pool(DeviceId::gpu(0), 5 * PS).unwrap();
+        // t1 fills 1.5 pages; t2 starts in t1's tail and spills 1.5 more;
+        // the filler below consumes the last frame, so the merge (which
+        // needs 2 exclusive frames but frees only t2's single exclusive
+        // page) must fail.
+        let t1 = a.alloc_tensor_raw(PS * 3 / 2, DeviceId::gpu(0)).unwrap();
+        let t2 = a.alloc_tensor_raw(PS * 2, DeviceId::gpu(0)).unwrap();
+        let payload: Vec<u8> = (0..PS * 2).map(|i| (i % 253) as u8).collect();
+        a.write_tensor(t2, &payload).unwrap();
+        assert!(!a.tensor_is_merged(a.tensor(t2).unwrap()));
+        let before = a.state_fingerprint();
+        // Merge needs 2 exclusive frames; releasing t2 frees only its
+        // 2 single-tenant pages... which is enough — so fill the pool
+        // first to force failure.
+        let _filler = a.alloc_tensor_raw(PS, DeviceId::gpu(0)).unwrap();
+        let before_full = a.state_fingerprint();
+        assert_ne!(before, before_full);
+        match a.merge_tensor(t2) {
+            Err(Error::OutOfPages { .. }) => {
+                assert_eq!(
+                    a.state_fingerprint(),
+                    before_full,
+                    "failed merge must be a no-op"
+                );
+                assert_eq!(a.read_tensor(t2).unwrap(), payload);
+            }
+            other => {
+                // If the budget happens to fit, merging must succeed cleanly.
+                other.unwrap();
+                assert!(a.tensor_is_merged(a.tensor(t2).unwrap()));
+                assert_eq!(a.read_tensor(t2).unwrap(), payload);
+            }
+        }
+        let _ = t1;
+    }
+
+    #[test]
+    fn reuse_pool_caches_and_trims() {
+        let mut a = PageAllocator::with_page_size(PS, true);
+        a.add_pool(DeviceId::gpu(0), 8 * PS).unwrap();
+        let rec = crate::obs::Recorder::enabled();
+        a.set_recorder(rec.clone());
+        let t = a.alloc_tensor_raw(4 * PS, DeviceId::gpu(0)).unwrap();
+        a.release_tensor(t).unwrap();
+        let s = a.stats(DeviceId::gpu(0));
+        assert_eq!(s.cached_pages, 4, "released pages stay warm");
+        // The next allocation is served from the cache: no materialization.
+        let before = rec.snapshot().counters["alloc.pages_materialized"];
+        let t2 = a.alloc_tensor_raw(4 * PS, DeviceId::gpu(0)).unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["alloc.pages_materialized"], before);
+        assert_eq!(snap.counters["alloc.pages_reused"], 4);
+        a.release_tensor(t2).unwrap();
+        // Trim under pressure: keep 1, reclaim 3.
+        assert_eq!(a.trim_reuse_pool(DeviceId::gpu(0), 1), 3);
+        let s = a.stats(DeviceId::gpu(0));
+        assert_eq!((s.cached_pages, s.reclaimed_pages), (1, 3));
+        assert_eq!(rec.snapshot().counters["alloc.pages_trimmed"], 3);
+        // Reclaimed frames still serve allocations (re-materialized,
+        // zeroed like fresh pages).
+        let t3 = a.alloc_tensor_raw(4 * PS, DeviceId::gpu(0)).unwrap();
+        assert_eq!(a.read_tensor(t3).unwrap(), vec![0u8; 4 * PS as usize]);
+        assert_eq!(rec.snapshot().gauges["alloc.GPU0.cached_pages"], 0);
+    }
+
+    #[test]
+    fn reuse_limit_zero_disables_pooling() {
+        let mut a = PageAllocator::with_page_size(PS, true).with_reuse_limit(Some(0));
+        a.add_pool(DeviceId::gpu(0), 8 * PS).unwrap();
+        let rec = crate::obs::Recorder::enabled();
+        a.set_recorder(rec.clone());
+        for _ in 0..3 {
+            let t = a.alloc_tensor_raw(2 * PS, DeviceId::gpu(0)).unwrap();
+            a.release_tensor(t).unwrap();
+        }
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counters["alloc.pages_reused"], 0,
+            "no pooled reuse at limit 0"
+        );
+        assert_eq!(snap.counters["alloc.pages_materialized"], 6);
+        let s = a.stats(DeviceId::gpu(0));
+        assert_eq!(s.cached_pages, 0);
+        assert_eq!(s.reclaimed_pages, 2);
+    }
+
+    #[test]
+    fn compaction_squeezes_gaps_and_consolidates() {
+        let mut a = PageAllocator::with_page_size(PS, true);
+        a.add_pool(DeviceId::gpu(0), 8 * PS).unwrap();
+        let rec = crate::obs::Recorder::enabled();
+        a.set_recorder(rec.clone());
+        // Build fragmentation: four small tensors, each alone in a page.
+        let keep: Vec<TensorId> = (0..4)
+            .map(|i| {
+                let t = a.alloc_tensor_raw(PS / 4 + i, DeviceId::gpu(0)).unwrap();
+                let payload: Vec<u8> = (0..PS / 4 + i).map(|j| (j + 7 * i) as u8).collect();
+                a.write_tensor(t, &payload).unwrap();
+                t
+            })
+            .collect();
+        let s = a.stats(DeviceId::gpu(0));
+        assert_eq!(s.used_pages, 4);
+        assert!(s.internal_frag() > 0.5);
+        let report = a.compact_device(DeviceId::gpu(0)).unwrap();
+        assert!(
+            report.pages_reclaimed >= 2,
+            "four quarter-pages pack into one"
+        );
+        assert!(report.frag_ppm_after < report.frag_ppm_before);
+        let s = a.stats(DeviceId::gpu(0));
+        assert_eq!(s.used_pages, 4 - report.pages_reclaimed);
+        // Every tensor still reads back intact.
+        for (i, t) in keep.iter().enumerate() {
+            let expected: Vec<u8> = (0..PS / 4 + i as u64)
+                .map(|j| (j + 7 * i as u64) as u8)
+                .collect();
+            assert_eq!(a.read_tensor(*t).unwrap(), expected);
+        }
+        // Observability: the pass is counted and lands on the allocator track.
+        assert_eq!(rec.snapshot().counters["alloc.compactions"], 1);
+        assert!(rec.events().iter().any(|e| matches!(
+            e.kind,
+            crate::obs::ObsEventKind::Counter {
+                name: "alloc.compactions",
+                ..
+            }
+        ) && e.thread == ObsThread::Allocator));
+    }
+
+    #[test]
+    fn compaction_squeezes_departed_cotenant_gap() {
+        let mut a = PageAllocator::with_page_size(PS, true);
+        a.add_pool(DeviceId::gpu(0), 8 * PS).unwrap();
+        // t1 (1.5 pages) then t2 starting in t1's tail; release t1 →
+        // t2's head range sits stranded at offset PS/2 of its page.
+        let t1 = a.alloc_tensor_raw(PS * 3 / 2, DeviceId::gpu(0)).unwrap();
+        let t2 = a.alloc_tensor_raw(PS * 3 / 2, DeviceId::gpu(0)).unwrap();
+        let payload: Vec<u8> = (0..PS * 3 / 2).map(|i| (i % 241) as u8).collect();
+        a.write_tensor(t2, &payload).unwrap();
+        a.release_tensor(t1).unwrap();
+        let head = a.tensor(t2).unwrap().pages[0];
+        assert!(head.offset > 0, "fixture: head range stranded mid-page");
+        let report = a.compact_device(DeviceId::gpu(0)).unwrap();
+        assert!(report.pages_compacted >= 1);
+        let head_after = a.tensor(t2).unwrap().pages[0];
+        assert_eq!(head_after.offset, 0, "gap squeezed out");
+        assert_eq!(
+            a.read_tensor(t2).unwrap(),
+            payload,
+            "data moved with the range"
+        );
+    }
+
+    #[test]
+    fn maybe_compact_respects_threshold() {
+        let mut a = alloc_two_pools();
+        // Unarmed: never compacts.
+        let t = a.alloc_tensor_raw(10, DeviceId::gpu(0)).unwrap();
+        assert!(a.maybe_compact(DeviceId::gpu(0)).is_none());
+        // Armed with a high threshold: small frag stays untouched.
+        a.set_compaction_threshold_ppm(Some(999_999));
+        a.release_tensor(t).unwrap();
+        let _t1 = a.alloc_tensor_raw(PS, DeviceId::gpu(0)).unwrap();
+        assert!(
+            a.maybe_compact(DeviceId::gpu(0)).is_none(),
+            "full pages have no frag"
+        );
+        // Low threshold + two fragmented pages: fires and reports.
+        let _a1 = a.alloc_tensor_raw(PS / 4, DeviceId::gpu(0)).unwrap();
+        let _a2 = a.alloc_tensor_raw(PS / 4, DeviceId::gpu(0)).unwrap();
+        a.set_compaction_threshold_ppm(Some(100_000));
+        let report = a
+            .maybe_compact(DeviceId::gpu(0))
+            .expect("threshold crossed");
+        assert_eq!(report.pages_reclaimed, 1);
+    }
+
+    #[test]
     fn typed_allocation() {
         let mut a = alloc_two_pools();
         let t = a
@@ -972,22 +1768,54 @@ mod proptests {
     /// Random operation against the allocator.
     #[derive(Debug, Clone)]
     enum Op {
-        Alloc { bytes: u64, gpu: bool },
-        Release { pick: usize },
-        MoveTensor { pick: usize, to_gpu: bool },
-        MovePage { pick: usize, to_gpu: bool },
-        Merge { pick: usize },
+        Alloc {
+            bytes: u64,
+            gpu: bool,
+        },
+        Release {
+            pick: usize,
+        },
+        MoveTensor {
+            pick: usize,
+            to_gpu: bool,
+        },
+        /// Move a *shared-page* tensor specifically (exercises the
+        /// release-then-realloc path, which was the headline bug).
+        MoveShared {
+            pick: usize,
+            to_gpu: bool,
+        },
+        MovePage {
+            pick: usize,
+            to_gpu: bool,
+        },
+        Merge {
+            pick: usize,
+        },
+        Compact {
+            gpu: bool,
+        },
+        Trim {
+            keep: usize,
+            gpu: bool,
+        },
     }
 
     fn op_strategy() -> impl Strategy<Value = Op> {
         prop_oneof![
+            // Bias sizes toward multi-page tensors so open-page sharing
+            // (and with the small GPU pool, full-pool failures) are common.
             (1u64..5_000, any::<bool>()).prop_map(|(bytes, gpu)| Op::Alloc { bytes, gpu }),
             (any::<usize>()).prop_map(|pick| Op::Release { pick }),
             (any::<usize>(), any::<bool>())
                 .prop_map(|(pick, to_gpu)| Op::MoveTensor { pick, to_gpu }),
             (any::<usize>(), any::<bool>())
+                .prop_map(|(pick, to_gpu)| Op::MoveShared { pick, to_gpu }),
+            (any::<usize>(), any::<bool>())
                 .prop_map(|(pick, to_gpu)| Op::MovePage { pick, to_gpu }),
             (any::<usize>()).prop_map(|pick| Op::Merge { pick }),
+            (any::<bool>()).prop_map(|gpu| Op::Compact { gpu }),
+            (0usize..4, any::<bool>()).prop_map(|(keep, gpu)| Op::Trim { keep, gpu }),
         ]
     }
 
@@ -1003,6 +1831,18 @@ mod proptests {
             assert!(s.used_pages <= s.capacity_pages);
             assert!(s.tenant_bytes <= s.used_pages as u64 * s.page_size);
             assert!(s.peak_used_pages >= s.used_pages);
+            // Reuse-pool hygiene: cached and reclaimed frames are free
+            // (no tenants), reclaimed ones carry no backing memory, and
+            // no frame sits on both lists.
+            let pool = &a.pools[&d];
+            for id in &pool.free_list {
+                assert!(a.page(*id).is_free(), "cached page with tenants");
+                assert!(!pool.reclaimed.contains(id), "frame on both lists");
+            }
+            for id in &pool.reclaimed {
+                assert!(a.page(*id).is_free(), "reclaimed page with tenants");
+                assert!(!a.page(*id).is_backed(), "reclaimed page kept memory");
+            }
         }
         for &t in live {
             let tensor = a.tensor(t).expect("live tensor resolvable");
@@ -1035,15 +1875,35 @@ mod proptests {
         ) {
             const PS: u64 = 1024;
             let mut a = PageAllocator::with_page_size(PS, false);
-            a.add_pool(DeviceId::gpu(0), 24 * PS);
-            a.add_pool(DeviceId::CPU, 48 * PS);
+            // A deliberately tight GPU pool (~1.6 max-sized tensors) so
+            // moves and allocations routinely target a full pool, plus a
+            // reuse limit low enough that trims happen under churn.
+            a.add_pool(DeviceId::gpu(0), 8 * PS).unwrap();
+            a.add_pool(DeviceId::CPU, 48 * PS).unwrap();
+            a.set_reuse_limit(Some(6));
             let mut live: Vec<TensorId> = Vec::new();
+
+            // Every fallible operation must be all-or-nothing: on `Err`
+            // the allocator is byte-identical to before the call.
+            macro_rules! atomic {
+                ($call:expr) => {{
+                    let fp = a.state_fingerprint();
+                    let result = $call;
+                    if result.is_err() {
+                        prop_assert!(
+                            a.state_fingerprint() == fp,
+                            "failed op left side effects"
+                        );
+                    }
+                    result
+                }};
+            }
 
             for op in ops {
                 match op {
                     Op::Alloc { bytes, gpu } => {
                         let dev = if gpu { DeviceId::gpu(0) } else { DeviceId::CPU };
-                        if let Ok(t) = a.alloc_tensor_raw(bytes, dev) {
+                        if let Ok(t) = atomic!(a.alloc_tensor_raw(bytes, dev)) {
                             live.push(t);
                         }
                     }
@@ -1055,21 +1915,50 @@ mod proptests {
                         let t = live[pick % live.len()];
                         let dev = if to_gpu { DeviceId::gpu(0) } else { DeviceId::CPU };
                         // May fail when the target pool is full: must be clean.
-                        let _ = a.move_tensor(t, dev);
+                        let _ = atomic!(a.move_tensor(t, dev));
+                    }
+                    Op::MoveShared { pick, to_gpu } if !live.is_empty() => {
+                        // Target specifically tensors with a shared page —
+                        // the release-then-realloc path.
+                        let shared: Vec<TensorId> = live
+                            .iter()
+                            .copied()
+                            .filter(|t| {
+                                a.tensor(*t).unwrap().pages.iter().any(|r| {
+                                    a.page(r.page).num_tenants() > 1
+                                })
+                            })
+                            .collect();
+                        if !shared.is_empty() {
+                            let t = shared[pick % shared.len()];
+                            let dev = if to_gpu { DeviceId::gpu(0) } else { DeviceId::CPU };
+                            let _ = atomic!(a.move_tensor(t, dev));
+                        }
                     }
                     Op::MovePage { pick, to_gpu } if !live.is_empty() => {
                         let t = live[pick % live.len()];
                         let dev = if to_gpu { DeviceId::gpu(0) } else { DeviceId::CPU };
                         let page = a.tensor(t).unwrap().pages[0].page;
-                        let _ = a.move_page(page, dev);
+                        let _ = atomic!(a.move_page(page, dev));
                     }
                     Op::Merge { pick } if !live.is_empty() => {
                         let t = live[pick % live.len()];
                         // Merge requires a compute-ready (single-device) tensor.
-                        if a.tensor(t).unwrap().device.is_some() {
-                            a.merge_tensor(t).unwrap();
+                        if a.tensor(t).unwrap().device.is_some()
+                            && atomic!(a.merge_tensor(t)).is_ok()
+                        {
                             prop_assert!(a.tensor_is_merged(a.tensor(t).unwrap()));
                         }
+                    }
+                    Op::Compact { gpu } => {
+                        let dev = if gpu { DeviceId::gpu(0) } else { DeviceId::CPU };
+                        let report = a.compact_device(dev).unwrap();
+                        prop_assert!(report.frag_ppm_after <= report.frag_ppm_before);
+                    }
+                    Op::Trim { keep, gpu } => {
+                        let dev = if gpu { DeviceId::gpu(0) } else { DeviceId::CPU };
+                        a.trim_reuse_pool(dev, keep);
+                        prop_assert!(a.stats(dev).cached_pages <= keep);
                     }
                     _ => {}
                 }
@@ -1092,8 +1981,8 @@ mod proptests {
         ) {
             const PS: u64 = 64;
             let mut a = PageAllocator::with_page_size(PS, true);
-            a.add_pool(DeviceId::gpu(0), 64 * PS);
-            a.add_pool(DeviceId::CPU, 64 * PS);
+            a.add_pool(DeviceId::gpu(0), 64 * PS).unwrap();
+            a.add_pool(DeviceId::CPU, 64 * PS).unwrap();
             let mut live: Vec<(TensorId, Vec<u8>)> = Vec::new();
             for (i, (bytes, mv)) in seeds.into_iter().enumerate() {
                 if let Ok(t) = a.alloc_tensor_raw(bytes, DeviceId::gpu(0)) {

@@ -41,6 +41,7 @@ use crate::plan::{
 use crate::scheduler::Schedule;
 use crate::tracer::Trace;
 use crate::zero::ZeroPartition;
+use angel_hw::DeviceId;
 use angel_model::TransformerConfig;
 use serde::{Deserialize, Serialize};
 
@@ -164,6 +165,13 @@ impl Engine {
         &self.allocator
     }
 
+    /// Mutable allocator access — for arming compaction
+    /// ([`PageAllocator::set_compaction_threshold_ppm`]) or trimming reuse
+    /// pools under external memory pressure.
+    pub fn allocator_mut(&mut self) -> &mut PageAllocator {
+        &mut self.allocator
+    }
+
     /// One optimizer update cycle over this rank's CPU/SSD states — SSD
     /// read, CPU update, SSD write — with the CPU/SSD bandwidth shared by
     /// the server's ranks.
@@ -255,7 +263,14 @@ impl Engine {
         };
         if self.recorder.is_enabled() {
             self.record_iteration(&lowered, &report, &stats, wall_start);
+            // Allocator health per iteration: the CPU pool holds the bulk
+            // of the model states, so its fragmentation is the one worth a
+            // timeline track (and the compaction trigger, when armed).
+            let frag_ppm = (self.allocator.stats(DeviceId::CPU).internal_frag() * 1e6) as u64;
+            self.recorder
+                .counter_sample(ObsThread::Allocator, "alloc.cpu_frag_ppm", frag_ppm);
         }
+        self.allocator.maybe_compact(DeviceId::CPU);
         stats
     }
 

@@ -146,6 +146,10 @@ pub enum Error {
     /// cluster (axis product ≠ GPU count, TP spilling out of the NVLink
     /// domain, invalid ZeRO stage, ...).
     InvalidParallelism(String),
+    /// `add_pool` was asked to re-register a pool that still holds live
+    /// tensors. Silently replacing it would zero `used_pages`/`tenant_bytes`
+    /// under the residents and corrupt every stat and gauge afterwards.
+    PoolInUse { device: DeviceId, used_pages: usize },
 }
 
 impl fmt::Display for Error {
@@ -187,6 +191,10 @@ impl fmt::Display for Error {
                 "collective handle {handle} was never flushed to the channel"
             ),
             Error::InvalidParallelism(msg) => write!(f, "invalid parallelism plan: {msg}"),
+            Error::PoolInUse { device, used_pages } => write!(
+                f,
+                "pool on {device} still holds {used_pages} used page(s); release its tensors before re-registering"
+            ),
         }
     }
 }
@@ -216,6 +224,12 @@ mod tests {
         assert!(e.to_string().contains("handle 3"));
         let e = Error::InvalidParallelism("dp × tp mismatch".into());
         assert!(e.to_string().contains("dp × tp mismatch"));
+        let e = Error::PoolInUse {
+            device: DeviceId::CPU,
+            used_pages: 4,
+        };
+        assert!(e.to_string().contains("CPU"));
+        assert!(e.to_string().contains("4 used page"));
     }
 
     #[test]

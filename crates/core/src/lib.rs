@@ -84,7 +84,7 @@ pub mod tracer;
 pub mod verify;
 pub mod zero;
 
-pub use allocator::PageAllocator;
+pub use allocator::{CompactionReport, PageAllocator, PoolStats};
 pub use communicator::{CommGroup, Communicator, GroupSpec};
 pub use config::EngineConfig;
 pub use engine::{Engine, IterStats, RunReport};

@@ -34,6 +34,8 @@ pub enum ObsThread {
     Engine,
     /// The simulated executor (reports lowered-schedule milestones).
     Executor,
+    /// The page allocator (compaction passes, reuse-pool trims).
+    Allocator,
 }
 
 impl ObsThread {
@@ -47,6 +49,7 @@ impl ObsThread {
             ObsThread::Updating => 2,
             ObsThread::Engine => 3,
             ObsThread::Executor => 4,
+            ObsThread::Allocator => 5,
         }
     }
 
@@ -58,18 +61,20 @@ impl ObsThread {
             ObsThread::Updating => "lockfree-updating",
             ObsThread::Engine => "engine",
             ObsThread::Executor => "sim-executor",
+            ObsThread::Allocator => "allocator",
         }
     }
 
     /// All runtime tracks, in `tid` order (used to emit thread-name
     /// metadata deterministically).
-    pub fn all() -> [ObsThread; 5] {
+    pub fn all() -> [ObsThread; 6] {
         [
             ObsThread::TrainLoop,
             ObsThread::Buffering,
             ObsThread::Updating,
             ObsThread::Engine,
             ObsThread::Executor,
+            ObsThread::Allocator,
         ]
     }
 }

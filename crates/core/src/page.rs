@@ -209,6 +209,53 @@ impl Page {
         Ok(())
     }
 
+    /// Drop the page's backing memory. Only legal on an empty page — the
+    /// allocator calls this when trimming its reuse pool, so a reclaimed
+    /// frame costs nothing until [`Page::rematerialize`] revives it.
+    pub(crate) fn unmaterialize(&mut self) {
+        debug_assert!(self.is_free(), "unmaterializing a page with tenants");
+        self.data = None;
+    }
+
+    /// Re-attach backing memory to a reclaimed page (zeroed, like a fresh
+    /// materialization — reuse-pool hits skip this and keep old contents,
+    /// which is the entire point of the pool). No-op for virtual allocators.
+    pub(crate) fn rematerialize(&mut self, backed: bool) {
+        debug_assert!(self.is_free(), "rematerializing a page with tenants");
+        if backed && self.data.is_none() {
+            self.data = Some(BytesMut::zeroed(self.total_bytes as usize));
+        }
+    }
+
+    /// Repack tenants to bump layout from offset 0, reclaiming the
+    /// unusable gap a departed co-tenant left behind. Returns the bytes
+    /// recovered. Backed pages physically move the tenant data.
+    pub(crate) fn compact_tenants(&mut self) -> u64 {
+        let mut entries: Vec<Tenant> = self.tenants.iter().flatten().copied().collect();
+        entries.sort_by_key(|t| t.offset);
+        let mut cursor = 0u64;
+        for entry in &mut entries {
+            if entry.offset != cursor {
+                debug_assert!(entry.offset > cursor, "overlapping tenants");
+                if let Some(data) = self.data.as_mut() {
+                    data.copy_within(
+                        entry.offset as usize..(entry.offset + entry.bytes) as usize,
+                        cursor as usize,
+                    );
+                }
+                entry.offset = cursor;
+            }
+            cursor += entry.bytes;
+        }
+        let before = self.available_bytes;
+        self.available_bytes = self.total_bytes - cursor;
+        self.tenants = [None, None];
+        for (slot, entry) in entries.into_iter().enumerate() {
+            self.tenants[slot] = Some(entry);
+        }
+        self.available_bytes - before
+    }
+
     /// `move(target_device_index)`: relocate the page (bookkeeping; the
     /// transfer cost is charged by the scheduler/simulator — the paper's
     /// `move` is likewise asynchronous, the data motion happening on a CUDA
@@ -386,6 +433,42 @@ mod tests {
         let payload = a.send().unwrap().to_vec();
         b.receive(&payload).unwrap();
         assert_eq!(b.read(TensorId(1)).unwrap(), &[42u8; 64]);
+    }
+
+    #[test]
+    fn unmaterialize_and_rematerialize_round_trip() {
+        let mut p = Page::new_backed(PageId(0), 64, gpu0());
+        assert!(p.is_backed());
+        p.unmaterialize();
+        assert!(!p.is_backed());
+        // Rematerialized pages come back zeroed, like a fresh allocation.
+        p.rematerialize(true);
+        assert!(p.is_backed());
+        p.allocate(64, TensorId(1)).unwrap();
+        assert_eq!(p.read(TensorId(1)).unwrap(), &[0u8; 64]);
+        // Virtual allocators never attach data.
+        let mut v = Page::new_virtual(PageId(1), 64, gpu0());
+        v.rematerialize(false);
+        assert!(!v.is_backed());
+    }
+
+    #[test]
+    fn compact_tenants_closes_release_gap() {
+        let mut p = Page::new_backed(PageId(0), 100, gpu0());
+        p.allocate(60, TensorId(1)).unwrap();
+        p.allocate(30, TensorId(2)).unwrap();
+        p.write(TensorId(2), 0, &[7u8; 30]).unwrap();
+        p.release(TensorId(1)).unwrap();
+        // Bump allocation strands the released low range...
+        assert_eq!(p.available_bytes(), 10);
+        // ...until compaction slides the survivor down to offset 0.
+        let recovered = p.compact_tenants();
+        assert_eq!(recovered, 60);
+        assert_eq!(p.available_bytes(), 70);
+        assert_eq!(p.tenant_of(TensorId(2)).unwrap().offset, 0);
+        assert_eq!(p.read(TensorId(2)).unwrap(), &[7u8; 30]);
+        // Already-packed pages are untouched.
+        assert_eq!(p.compact_tenants(), 0);
     }
 
     #[test]

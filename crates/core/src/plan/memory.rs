@@ -178,10 +178,10 @@ impl MemoryPlan {
         placed: &PlacementPlan,
     ) -> Result<PageAllocator> {
         let mut allocator = PageAllocator::with_page_size(config.page_size, false);
-        allocator.add_pool(DeviceId::gpu(0), self.gpu_budget);
-        allocator.add_pool(DeviceId::CPU, self.rank_cpu_pool);
+        allocator.add_pool(DeviceId::gpu(0), self.gpu_budget)?;
+        allocator.add_pool(DeviceId::CPU, self.rank_cpu_pool)?;
         if config.use_ssd {
-            allocator.add_pool(DeviceId::SSD, self.rank_ssd_pool);
+            allocator.add_pool(DeviceId::SSD, self.rank_ssd_pool)?;
         }
         let layers = n_layers as u64;
         // div_ceil so the layer slices cover the placement in full (floor

@@ -26,6 +26,7 @@
 
 pub mod alloc;
 pub mod pool;
+pub mod reuse;
 pub mod segfit;
 pub mod stats;
 
@@ -33,6 +34,7 @@ pub use alloc::{
     AddressAllocator, AllocError, Allocation, BestFitAllocator, ChunkAllocator, NaiveAllocator,
 };
 pub use pool::{BytePool, Extent};
+pub use reuse::PooledAllocator;
 pub use segfit::SegregatedFitAllocator;
 pub use stats::FragmentationStats;
 
@@ -97,6 +99,20 @@ mod proptests {
         fn segfit_invariants(ops in proptest::collection::vec((any::<bool>(), 1u64..64_000), 1..200)) {
             let mut a = SegregatedFitAllocator::new(1 << 21);
             exercise(&mut a, &ops);
+        }
+
+        #[test]
+        fn pooled_invariants(ops in proptest::collection::vec((any::<bool>(), 1u64..64_000), 1..200)) {
+            let mut a = PooledAllocator::new(BestFitAllocator::new(1 << 21));
+            exercise(&mut a, &ops);
+        }
+
+        #[test]
+        fn pooled_capped_invariants(ops in proptest::collection::vec((any::<bool>(), 1u64..64_000), 1..200)) {
+            // A tight cache cap forces the LRU-trim path constantly.
+            let mut a = PooledAllocator::with_config(BestFitAllocator::new(1 << 21), 256, 1 << 16);
+            exercise(&mut a, &ops);
+            prop_assert!(a.cached_bytes() <= 1 << 16);
         }
     }
 }

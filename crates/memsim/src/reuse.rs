@@ -1,0 +1,401 @@
+//! Size-class reuse pooling over any [`AddressAllocator`].
+//!
+//! The paper's Section 3.2 observation is that offload workloads *churn*: the
+//! same tensor shapes are allocated and released every iteration as model
+//! states bounce between tiers. A caching layer that keeps released blocks
+//! binned by size class turns that churn into O(1) pops from a free list —
+//! the policy real caching allocators (PyTorch's CUDA caching allocator,
+//! CNMeM) use to avoid round-trips to the driver.
+//!
+//! [`PooledAllocator`] wraps an inner allocator and interposes a cache:
+//!
+//! * requests round up to a power-of-two **size class** (`min_class`
+//!   floor), so any cached slot of a class serves any request of that class;
+//! * `free` parks the slot in its class bin instead of returning it to the
+//!   inner allocator (LIFO within a bin — the hottest slot is reused first);
+//! * when the cache exceeds `max_cached_bytes`, or when the inner allocator
+//!   cannot satisfy a miss, least-recently-used bins are flushed back to the
+//!   inner allocator (which coalesces) until the request fits.
+//!
+//! The trade is explicit and measurable: pooling adds the size-class rounding
+//! tax (internal fragmentation, same as [`SegregatedFitAllocator`]) and holds
+//! freed memory hostage from other consumers, in exchange for steady-state
+//! reuse hits that never touch the inner free-list search. `BENCH_alloc`
+//! in `angel-bench` quantifies both sides on churn workloads.
+//!
+//! [`SegregatedFitAllocator`]: crate::SegregatedFitAllocator
+
+use crate::alloc::{AddressAllocator, AllocError, Allocation};
+use crate::stats::FragmentationStats;
+use std::collections::BTreeMap;
+
+/// Default size-class floor: requests below 256 B round up to 256 B.
+pub const DEFAULT_MIN_CLASS: u64 = 256;
+
+/// One size class's cached slots.
+#[derive(Debug, Clone, Default)]
+struct Bin {
+    /// Parked allocations, all with `reserved == class`. LIFO: the most
+    /// recently freed slot is reused first (warmest address).
+    slots: Vec<Allocation>,
+    /// Logical clock of the last hit or free; bins with the oldest
+    /// `last_used` are flushed first under pressure.
+    last_used: u64,
+}
+
+/// Size-class reuse cache over an inner [`AddressAllocator`].
+#[derive(Debug, Clone)]
+pub struct PooledAllocator<A: AddressAllocator> {
+    inner: A,
+    min_class: u64,
+    /// Cap on bytes parked in bins; `u64::MAX` means unbounded.
+    max_cached_bytes: u64,
+    cached_bytes: u64,
+    clock: u64,
+    bins: BTreeMap<u64, Bin>,
+    stats: FragmentationStats,
+    hits: u64,
+    misses: u64,
+    trims: u64,
+}
+
+impl<A: AddressAllocator> PooledAllocator<A> {
+    /// Wrap `inner` with an unbounded cache and the default class floor.
+    pub fn new(inner: A) -> Self {
+        Self::with_config(inner, DEFAULT_MIN_CLASS, u64::MAX)
+    }
+
+    /// `min_class` must be a power of two; `max_cached_bytes` bounds the
+    /// bytes parked in bins (0 disables caching entirely — every free goes
+    /// straight to the inner allocator, the A/B baseline).
+    pub fn with_config(inner: A, min_class: u64, max_cached_bytes: u64) -> Self {
+        assert!(min_class.is_power_of_two());
+        let capacity = inner.capacity();
+        Self {
+            inner,
+            min_class,
+            max_cached_bytes,
+            cached_bytes: 0,
+            clock: 0,
+            bins: BTreeMap::new(),
+            stats: FragmentationStats::new(capacity),
+            hits: 0,
+            misses: 0,
+            trims: 0,
+        }
+    }
+
+    /// Round a request up to its size class.
+    pub fn class_of(&self, size: u64) -> u64 {
+        size.max(self.min_class).next_power_of_two()
+    }
+
+    /// Cache hits (requests served from a bin without touching the inner
+    /// allocator).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (requests that went to the inner allocator).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of bins flushed back to the inner allocator under pressure.
+    pub fn trims(&self) -> u64 {
+        self.trims
+    }
+
+    /// Bytes currently parked in bins, invisible to the inner allocator.
+    pub fn cached_bytes(&self) -> u64 {
+        self.cached_bytes
+    }
+
+    /// Fraction of allocations served from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Return every cached slot to the inner allocator. Returns the bytes
+    /// released.
+    pub fn flush_all(&mut self) -> u64 {
+        let released = self.cached_bytes;
+        let bins = std::mem::take(&mut self.bins);
+        for (_, bin) in bins {
+            for slot in bin.slots {
+                self.inner.free(slot);
+            }
+        }
+        self.cached_bytes = 0;
+        released
+    }
+
+    /// Flush the least-recently-used non-empty bin. Returns the bytes
+    /// released (0 when the cache is empty).
+    fn flush_lru_bin(&mut self) -> u64 {
+        let victim = self
+            .bins
+            .iter()
+            .filter(|(_, b)| !b.slots.is_empty())
+            .min_by_key(|(class, b)| (b.last_used, **class))
+            .map(|(class, _)| *class);
+        let Some(class) = victim else { return 0 };
+        let bin = self.bins.remove(&class).expect("victim bin exists");
+        let released = class * bin.slots.len() as u64;
+        for slot in bin.slots {
+            self.inner.free(slot);
+        }
+        self.cached_bytes -= released;
+        self.trims += 1;
+        released
+    }
+
+    /// Flush LRU bins until the cache fits under `max_cached_bytes`.
+    fn enforce_cap(&mut self) {
+        while self.cached_bytes > self.max_cached_bytes {
+            if self.flush_lru_bin() == 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl<A: AddressAllocator> AddressAllocator for PooledAllocator<A> {
+    fn allocate(&mut self, size: u64) -> Result<Allocation, AllocError> {
+        let class = self.class_of(size);
+        self.clock += 1;
+        if let Some(bin) = self.bins.get_mut(&class) {
+            if let Some(slot) = bin.slots.pop() {
+                bin.last_used = self.clock;
+                self.cached_bytes -= class;
+                self.hits += 1;
+                self.stats.on_allocate(size, class);
+                return Ok(Allocation {
+                    offset: slot.offset,
+                    size,
+                    reserved: class,
+                });
+            }
+        }
+        self.misses += 1;
+        // Miss: take a fresh slot from the inner allocator, flushing LRU
+        // bins back (they coalesce inside) if it is out of room.
+        loop {
+            match self.inner.allocate(class) {
+                Ok(ia) => {
+                    self.stats.on_allocate(size, class);
+                    return Ok(Allocation {
+                        offset: ia.offset,
+                        size,
+                        reserved: class,
+                    });
+                }
+                Err(e) => {
+                    if self.flush_lru_bin() == 0 {
+                        self.stats.on_failure();
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+
+    fn free(&mut self, alloc: Allocation) {
+        let class = alloc.reserved;
+        debug_assert!(class.is_power_of_two() && class >= alloc.size);
+        self.stats.on_free(alloc.size, class);
+        if self.max_cached_bytes == 0 {
+            // Caching disabled: the A/B baseline path.
+            self.inner.free(Allocation {
+                offset: alloc.offset,
+                size: class,
+                reserved: class,
+            });
+            return;
+        }
+        self.clock += 1;
+        let bin = self.bins.entry(class).or_default();
+        bin.last_used = self.clock;
+        bin.slots.push(Allocation {
+            offset: alloc.offset,
+            size: class,
+            reserved: class,
+        });
+        self.cached_bytes += class;
+        self.enforce_cap();
+    }
+
+    fn capacity(&self) -> u64 {
+        self.inner.capacity()
+    }
+
+    fn stats(&self) -> FragmentationStats {
+        // Allocation/free counters and internal fragmentation (the rounding
+        // tax) are tracked here, where the size-class decision is made;
+        // external fragmentation is a property of the inner address space.
+        let inner = self.inner.stats();
+        let mut s = self.stats.clone();
+        s.largest_free_extent = inner.largest_free_extent;
+        s.external_frag = inner.external_frag;
+        s.worst_external_frag = s.worst_external_frag.max(inner.worst_external_frag);
+        s
+    }
+
+    fn name(&self) -> &'static str {
+        "pooled (size-class reuse)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BestFitAllocator;
+
+    fn pooled(capacity: u64) -> PooledAllocator<BestFitAllocator> {
+        PooledAllocator::new(BestFitAllocator::new(capacity))
+    }
+
+    #[test]
+    fn classes_round_to_power_of_two() {
+        let a = pooled(1 << 20);
+        assert_eq!(a.class_of(1), 256);
+        assert_eq!(a.class_of(256), 256);
+        assert_eq!(a.class_of(257), 512);
+        assert_eq!(a.class_of(5000), 8192);
+    }
+
+    #[test]
+    fn freed_slot_is_reused_at_same_offset() {
+        let mut a = pooled(1 << 20);
+        let x = a.allocate(1000).unwrap();
+        assert_eq!(a.misses(), 1);
+        a.free(x);
+        assert_eq!(a.cached_bytes(), 1024);
+        // Same class (1024) → served from the bin, same address.
+        let y = a.allocate(900).unwrap();
+        assert_eq!(y.offset, x.offset);
+        assert_eq!(a.hits(), 1);
+        assert_eq!(a.cached_bytes(), 0);
+        a.free(y);
+    }
+
+    #[test]
+    fn lifo_reuse_prefers_warmest_slot() {
+        let mut a = pooled(1 << 20);
+        let x = a.allocate(512).unwrap();
+        let y = a.allocate(512).unwrap();
+        a.free(x);
+        a.free(y); // y freed last → reused first
+        let z = a.allocate(512).unwrap();
+        assert_eq!(z.offset, y.offset);
+        a.free(z);
+    }
+
+    #[test]
+    fn cap_zero_disables_caching() {
+        let mut a = PooledAllocator::with_config(BestFitAllocator::new(1 << 20), 256, 0);
+        let x = a.allocate(1000).unwrap();
+        a.free(x);
+        assert_eq!(a.cached_bytes(), 0);
+        // Next allocation is a miss again: nothing was cached.
+        let y = a.allocate(1000).unwrap();
+        assert_eq!(a.hits(), 0);
+        assert_eq!(a.misses(), 2);
+        a.free(y);
+    }
+
+    #[test]
+    fn cap_bounds_cached_bytes_via_lru_trim() {
+        let mut a = PooledAllocator::with_config(BestFitAllocator::new(1 << 20), 256, 2048);
+        let slots: Vec<_> = (0..4).map(|_| a.allocate(1024).unwrap()).collect();
+        for s in slots {
+            a.free(s);
+        }
+        // 4 KiB freed into one bin but the cap is 2 KiB: the whole bin is
+        // LRU-flushed once it exceeds the cap.
+        assert!(a.cached_bytes() <= 2048);
+        assert!(a.trims() >= 1);
+    }
+
+    #[test]
+    fn pressure_flushes_cache_back_to_inner() {
+        // Fill the pool with small slots, park them all in bins, then ask
+        // for one allocation larger than any cached class: the cache must
+        // drain back to the inner allocator (which coalesces) to serve it.
+        let mut a = pooled(4096);
+        let slots: Vec<_> = (0..4).map(|_| a.allocate(1024).unwrap()).collect();
+        for s in slots {
+            a.free(s);
+        }
+        assert_eq!(a.cached_bytes(), 4096);
+        let big = a.allocate(4096).unwrap();
+        assert_eq!(big.reserved, 4096);
+        assert_eq!(a.cached_bytes(), 0);
+        assert!(a.trims() >= 1);
+        a.free(big);
+    }
+
+    #[test]
+    fn recurring_shapes_hit_steady_state() {
+        // The churn pattern the paper describes: the same shapes allocated
+        // and freed every iteration. After warm-up every request is a hit.
+        let mut a = pooled(1 << 20);
+        let shapes = [5000u64, 12_000, 700, 5000];
+        for _ in 0..50 {
+            let live: Vec<_> = shapes.iter().map(|&s| a.allocate(s).unwrap()).collect();
+            for x in live {
+                a.free(x);
+            }
+        }
+        let total = a.hits() + a.misses();
+        assert_eq!(total, 200);
+        // First iteration misses (4), everything after hits.
+        assert_eq!(a.misses(), 4);
+        assert!(a.hit_rate() > 0.97);
+    }
+
+    #[test]
+    fn flush_all_returns_everything() {
+        let mut a = pooled(1 << 20);
+        let x = a.allocate(1000).unwrap();
+        let y = a.allocate(300).unwrap();
+        a.free(x);
+        a.free(y);
+        let released = a.flush_all();
+        assert_eq!(released, 1024 + 512);
+        assert_eq!(a.cached_bytes(), 0);
+        // Inner allocator got everything back: a full-capacity allocation
+        // succeeds.
+        let big = a.allocate(1 << 20).unwrap();
+        a.free(big);
+    }
+
+    #[test]
+    fn failure_counted_once_after_cache_drain() {
+        let mut a = pooled(1024);
+        let x = a.allocate(1024).unwrap();
+        assert!(matches!(
+            a.allocate(512),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+        assert_eq!(a.stats().num_failures, 1);
+        a.free(x);
+    }
+
+    #[test]
+    fn stats_account_rounding_as_internal_frag() {
+        let mut a = pooled(1 << 20);
+        let x = a.allocate(1000).unwrap();
+        let s = a.stats();
+        assert_eq!(s.used_bytes, 1000);
+        assert_eq!(s.reserved_bytes, 1024);
+        assert!(s.internal_frag() > 0.02);
+        a.free(x);
+        assert_eq!(a.stats().used_bytes, 0);
+    }
+}

@@ -57,7 +57,7 @@ fn gpu_budget_shrink_degrades_gracefully() {
 #[test]
 fn allocator_survives_exhaustion_cycles() {
     let mut alloc = angel_core::PageAllocator::with_page_size(1 << 20, false);
-    alloc.add_pool(DeviceId::gpu(0), 8 << 20);
+    alloc.add_pool(DeviceId::gpu(0), 8 << 20).unwrap();
     for _round in 0..50 {
         let a = alloc.alloc_tensor_raw(5 << 20, DeviceId::gpu(0)).unwrap();
         assert!(alloc.alloc_tensor_raw(5 << 20, DeviceId::gpu(0)).is_err());

@@ -201,7 +201,7 @@ fn motivation_pages_beat_chunks_under_churn() {
 
     // Page allocator: same trace, same pool size — zero failures.
     let mut pages = angel_core::PageAllocator::with_page_size(4 << 20, false);
-    pages.add_pool(DeviceId::gpu(0), capacity);
+    pages.add_pool(DeviceId::gpu(0), capacity).unwrap();
     let mut page_failures = 0u64;
     let mut live: std::collections::VecDeque<Vec<angel_core::TensorId>> = Default::default();
     for _ in 0..6 {
