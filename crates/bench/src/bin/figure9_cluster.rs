@@ -24,24 +24,69 @@
 //! ```
 
 use angel_bench::{fmt_params, fmt_sps, Experiment};
+use angel_core::communicator::CommRecord;
 use angel_core::plan::{ParallelismPlan, ZeroStage};
 use angel_core::scheduler::{input_from_trace, UnifiedScheduler};
 use angel_core::verify::PlanGraph;
-use angel_core::{Engine, EngineConfig, Tracer};
+use angel_core::{Engine, EngineConfig, SpmdTrace, Tracer};
+use angel_hw::DeviceMesh;
 use angel_model::TransformerConfig;
 use std::time::Instant;
 
-/// One engine run: wall-clock planning time + simulated throughput.
-fn run_point(model: &TransformerConfig, config: &EngineConfig) -> Option<(f64, f64, u64)> {
+/// SPMD certification of one lowered iteration's communication journal:
+/// always the symmetry-reduced pass (recorded in the baseline), plus the
+/// exhaustive full-projection pass when `full` is set (`--verify`). Panics
+/// on any mismatch or deadlock — an uncertifiable plan fails the run.
+fn spmd_point(log: &[CommRecord], mesh: &DeviceMesh, what: &str, full: bool) -> serde_json::Value {
+    let t0 = Instant::now();
+    let reduced = SpmdTrace::project_reduced(log, mesh).verify();
+    let reduced_ms = t0.elapsed().as_secs_f64() * 1e3;
+    reduced.assert_certified(what);
+    if full {
+        let t0 = Instant::now();
+        let report = SpmdTrace::project_full(log, mesh).verify();
+        let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+        report.assert_certified(what);
+        serde_json::json!({
+            "ranks": mesh.num_ranks(),
+            "certified": true,
+            "reduced_ranks_checked": reduced.ranks_checked,
+            "reduced_events": reduced.events_checked,
+            "reduced_ms": reduced_ms,
+            "full_events": report.events_checked,
+            "full_ms": full_ms,
+        })
+    } else {
+        serde_json::json!({
+            "ranks": mesh.num_ranks(),
+            "certified": true,
+            "reduced_ranks_checked": reduced.ranks_checked,
+            "reduced_events": reduced.events_checked,
+            "reduced_ms": reduced_ms,
+        })
+    }
+}
+
+/// One engine run: wall-clock planning time + simulated throughput + the
+/// SPMD certification record of the lowered iteration.
+fn run_point(
+    model: &TransformerConfig,
+    config: &EngineConfig,
+    what: &str,
+    full_verify: bool,
+) -> Option<(f64, f64, u64, serde_json::Value)> {
     let t0 = Instant::now();
     let mut engine = Engine::initialize(model, config).ok()?;
     let planning_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mesh = config.device_mesh().expect("engine validated the plan");
+    let spmd = spmd_point(&engine.lower_iteration().comm_log, &mesh, what, full_verify);
     let stats = engine.train_iteration();
-    Some((planning_ms, stats.samples_per_sec, stats.iter_time_ns))
+    Some((planning_ms, stats.samples_per_sec, stats.iter_time_ns, spmd))
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let verify = std::env::args().any(|a| a == "--verify");
     let sweep: &[usize] = if quick {
         &[1, 128]
     } else {
@@ -66,11 +111,14 @@ fn main() {
         ],
     );
     let mut points = Vec::new();
+    let mut verify_rows: Vec<Vec<String>> = Vec::new();
     for &servers in sweep {
         let gpus = servers * 8;
         let fixed = run_point(
             &fixed_model,
             &EngineConfig::servers(servers).with_batch_size(1),
+            &format!("fixed plan at {gpus} GPUs"),
+            verify,
         )
         .expect("13B fits every fleet");
         let scaled_model = scaled_geometry
@@ -79,6 +127,8 @@ fn main() {
         let scaled = run_point(
             &scaled_model,
             &EngineConfig::servers(servers).with_batch_size(1),
+            &format!("weak-scaled plan at {gpus} GPUs"),
+            verify,
         )
         .expect("weak-scaled model keeps per-GPU bytes constant");
         table.row(vec![
@@ -90,6 +140,15 @@ fn main() {
             fmt_sps(scaled.1),
             format!("{:.1}", scaled.0),
         ]);
+        if verify {
+            verify_rows.push(vec![
+                gpus.to_string(),
+                scaled.3["full_events"].as_u64().unwrap_or(0).to_string(),
+                format!("{:.1}", scaled.3["full_ms"].as_f64().unwrap_or(0.0)),
+                scaled.3["reduced_events"].as_u64().unwrap_or(0).to_string(),
+                format!("{:.2}", scaled.3["reduced_ms"].as_f64().unwrap_or(0.0)),
+            ]);
+        }
         points.push(serde_json::json!({
             "servers": servers,
             "gpus": gpus,
@@ -98,6 +157,7 @@ fn main() {
                 "samples_per_sec": fixed.1,
                 "planning_ms": fixed.0,
                 "iter_ms": fixed.2 as f64 / 1e6,
+                "spmd": fixed.3,
             },
             "scaled": {
                 "model": "gpt3-28b-geometry",
@@ -106,6 +166,7 @@ fn main() {
                 "samples_per_sec": scaled.1,
                 "planning_ms": scaled.0,
                 "iter_ms": scaled.2 as f64 / 1e6,
+                "spmd": scaled.3,
             },
         }));
     }
@@ -129,18 +190,32 @@ fn main() {
     let composed_model = scaled_geometry
         .clone()
         .with_layers(layers_per_server * max_servers);
+    let composed_config = EngineConfig::servers(max_servers)
+        .with_batch_size(1)
+        .with_parallelism(plan);
     let t0 = Instant::now();
-    let engine = Engine::initialize(
-        &composed_model,
-        &EngineConfig::servers(max_servers)
-            .with_batch_size(1)
-            .with_parallelism(plan),
-    )
-    .expect("composed plan must initialize at max scale");
+    let engine = Engine::initialize(&composed_model, &composed_config)
+        .expect("composed plan must initialize at max scale");
     let composed_planning_ms = t0.elapsed().as_secs_f64() * 1e3;
     let lowered = engine.lower_iteration();
     let verdict = PlanGraph::from_sim(&lowered.sim).verify();
     verdict.assert_clean("composed mesh plan");
+    // Cross-rank SPMD certification of the same plan: always run both
+    // passes here — the full-vs-reduced contrast at max scale is the
+    // symmetry reduction's headline number.
+    let mesh = composed_config
+        .device_mesh()
+        .expect("composed plan factors the fleet");
+    let spmd = spmd_point(&lowered.comm_log, &mesh, "composed mesh plan", true);
+    if verify {
+        verify_rows.push(vec![
+            format!("{max_gpus} (composed)"),
+            spmd["full_events"].as_u64().unwrap_or(0).to_string(),
+            format!("{:.1}", spmd["full_ms"].as_f64().unwrap_or(0.0)),
+            spmd["reduced_events"].as_u64().unwrap_or(0).to_string(),
+            format!("{:.2}", spmd["reduced_ms"].as_f64().unwrap_or(0.0)),
+        ]);
+    }
     let report = lowered.sim.run();
     verdict.assert_covers(&report, "composed mesh plan");
     let composed = serde_json::json!({
@@ -151,12 +226,16 @@ fn main() {
         "tasks": lowered.sim.num_tasks(),
         "slot_makespan_ms": report.makespan as f64 / 1e6,
         "verified": true,
+        "spmd": spmd,
     });
     table.note(format!(
         "composed plan at {max_gpus} GPUs: dp={} × tp=2 × pp=2, {} lowered \
-         tasks, verifier clean.",
+         tasks, verifier clean; SPMD-certified in {:.2} ms (reduced) / \
+         {:.1} ms (full).",
         plan.dp,
         lowered.sim.num_tasks(),
+        composed["spmd"]["reduced_ms"].as_f64().unwrap_or(0.0),
+        composed["spmd"]["full_ms"].as_f64().unwrap_or(0.0),
     ));
 
     // Planner stress: the raw Algorithm 1 input at 1024-GPU model scale —
@@ -198,6 +277,29 @@ fn main() {
     };
 
     table.emit();
+
+    if verify {
+        let mut vt = Experiment::new(
+            "spmd_verify",
+            "SPMD certification time vs. GPU count (weak-scaling plan)",
+            &[
+                "gpus",
+                "full events",
+                "full ms",
+                "reduced events",
+                "reduced ms",
+            ],
+        );
+        for row in verify_rows {
+            vt.row(row);
+        }
+        vt.note(
+            "full = every mesh rank projected and matched; reduced = one \
+             representative rank per pipeline stage (symmetry reduction). \
+             Both passes must certify (mismatch/deadlock panics the run).",
+        );
+        vt.emit();
+    }
 
     let out = std::env::args()
         .skip(1)

@@ -267,6 +267,12 @@ mod tests {
             for curve in ["fixed", "scaled"] {
                 assert!(p[curve]["samples_per_sec"].as_f64().unwrap() > 0.0);
                 assert!(p[curve]["planning_ms"].as_f64().unwrap() >= 0.0);
+                // Every point carries its SPMD certificate: the lowered
+                // plan's collective traffic matched across the mesh.
+                let spmd = &p[curve]["spmd"];
+                assert_eq!(spmd["certified"].as_bool(), Some(true));
+                assert!(spmd["reduced_events"].as_u64().unwrap() > 0);
+                assert!(spmd["reduced_ms"].as_f64().unwrap() >= 0.0);
             }
         }
         let last = points.last().unwrap();
@@ -297,6 +303,11 @@ mod tests {
         let composed = &doc["composed"];
         assert_eq!(composed["verified"].as_bool(), Some(true));
         assert!(composed["tasks"].as_u64().unwrap() > 0);
+        // The composed mesh plan is certified both exhaustively and under
+        // symmetry reduction; both passes are recorded.
+        let spmd = &composed["spmd"];
+        assert_eq!(spmd["certified"].as_bool(), Some(true));
+        assert!(spmd["full_events"].as_u64().unwrap() > spmd["reduced_events"].as_u64().unwrap());
         let stress = &doc["planner_stress"];
         assert!(
             stress["pages"].as_u64().unwrap() >= 1_000_000,

@@ -334,6 +334,31 @@ impl PageAllocator {
         self.pools.contains_key(&device)
     }
 
+    /// Mutable pool lookup for a registered tier. Every public entry point
+    /// resolves placements against pools created by `add_pool` during
+    /// materialization, so a miss is memory-plan corruption, not a
+    /// recoverable condition.
+    fn pool_mut(&mut self, device: DeviceId) -> &mut Pool {
+        // Invariant: callers only reach here with a device `add_pool`
+        // registered (checked by `has_pool` at the planning boundary).
+        #[allow(clippy::disallowed_methods)]
+        self.pools
+            .get_mut(&device)
+            .unwrap_or_else(|| panic!("no pool registered for {device}"))
+    }
+
+    /// Tensor lookup for a tenant recorded in a live page. Page tenancy and
+    /// the tensor table are updated together, so a dangling tenant id means
+    /// the allocator's own state is corrupt.
+    fn tenant_mut(&mut self, id: TensorId) -> &mut Tensor {
+        // Invariant: every page tenant has a row in `tensors` (the two maps
+        // change in the same critical sections).
+        #[allow(clippy::disallowed_methods)]
+        self.tensors
+            .get_mut(&id)
+            .expect("page tenant has a tensor record")
+    }
+
     pub fn stats(&self, device: DeviceId) -> PoolStats {
         let pool = &self.pools[&device];
         PoolStats {
@@ -383,7 +408,7 @@ impl PageAllocator {
                 });
             }
         }
-        let pool = self.pools.get_mut(&device).expect("pool");
+        let pool = self.pool_mut(device);
         pool.used_pages += 1;
         debug_assert!(
             pool.used_pages <= pool.capacity_pages,
@@ -434,7 +459,7 @@ impl PageAllocator {
     /// oldest cached page past the reuse limit.
     fn return_page(&mut self, id: PageId) {
         let device = self.pages[id.0].device();
-        let pool = self.pools.get_mut(&device).expect("pool");
+        let pool = self.pool_mut(device);
         debug_assert!(
             pool.used_pages > 0,
             "returning page {id:?} to an empty pool on {device}"
@@ -459,13 +484,13 @@ impl PageAllocator {
     /// Unmaterialize up to `n` of the oldest cached pages on `device`,
     /// moving them to the reclaimed list. Returns how many were trimmed.
     fn trim_cached_frames(&mut self, device: DeviceId, n: usize) -> usize {
-        let pool = self.pools.get_mut(&device).expect("pool");
+        let pool = self.pool_mut(device);
         let n = n.min(pool.free_list.len());
         let trimmed: Vec<PageId> = pool.free_list.drain(..n).collect();
         for id in &trimmed {
             self.pages[id.0].unmaterialize();
         }
-        let pool = self.pools.get_mut(&device).expect("pool");
+        let pool = self.pool_mut(device);
         pool.reclaimed.extend(trimmed);
         if let Some(obs) = &self.obs {
             obs.pages_trimmed.add(n as u64);
@@ -519,7 +544,12 @@ impl PageAllocator {
 
         // Start in the open page when the rules allow it.
         if open_take > 0 {
-            let open_id = self.pools[&device].open_page.expect("planned open page");
+            let Some(open_id) = self.pools[&device].open_page else {
+                // `plan_allocation` only returns open_take > 0 after
+                // selecting an open page; the plan and this executor run
+                // under the same &mut self.
+                unreachable!("open-page take planned without an open page on {device}");
+            };
             let offset = self.pages[open_id.0].allocate(open_take, id)?;
             ranges.push(PageRange {
                 page: open_id,
@@ -528,7 +558,7 @@ impl PageAllocator {
             });
             remaining -= open_take;
             // Two tenants now: the page is closed.
-            self.pools.get_mut(&device).unwrap().open_page = None;
+            self.pool_mut(device).open_page = None;
         }
 
         // Fill fresh pages.
@@ -546,11 +576,11 @@ impl PageAllocator {
             // A partially filled tail of a *large* tensor becomes the open
             // page; small tensors keep their page to themselves.
             if remaining == 0 && take < self.page_size && bytes >= self.page_size {
-                self.pools.get_mut(&device).unwrap().open_page = Some(pid);
+                self.pool_mut(device).open_page = Some(pid);
             }
         }
 
-        self.pools.get_mut(&device).unwrap().tenant_bytes += bytes;
+        self.pool_mut(device).tenant_bytes += bytes;
         tensor.pages = ranges;
         tensor.device = Some(device);
         self.tensors.insert(id, tensor);
@@ -597,7 +627,7 @@ impl PageAllocator {
             if self.pages[range.page.0].is_free() {
                 self.return_page(range.page);
             }
-            let pool = self.pools.get_mut(&device).unwrap();
+            let pool = self.pool_mut(device);
             debug_assert!(
                 pool.tenant_bytes >= range.bytes,
                 "tenant bytes underflow on {device}"
@@ -641,7 +671,7 @@ impl PageAllocator {
             }
         }
         {
-            let tpool = self.pools.get_mut(&target).unwrap();
+            let tpool = self.pool_mut(target);
             tpool.used_pages += 1;
             debug_assert!(
                 tpool.used_pages <= tpool.capacity_pages,
@@ -651,7 +681,7 @@ impl PageAllocator {
             tpool.tenant_bytes += tenant_bytes;
         }
         {
-            let spool = self.pools.get_mut(&source).unwrap();
+            let spool = self.pool_mut(source);
             debug_assert!(
                 spool.used_pages > 0 && spool.tenant_bytes >= tenant_bytes,
                 "source pool underflow on {source} during move"
@@ -815,7 +845,9 @@ impl PageAllocator {
             self.write_tensor(new_id, &bytes)?;
         }
         // Preserve the public id: re-key the new tensor under the old id.
-        let mut t = self.tensors.remove(&new_id).unwrap();
+        let Some(mut t) = self.tensors.remove(&new_id) else {
+            unreachable!("tensor allocated above under {new_id:?}");
+        };
         t.id = id;
         for r in &t.pages {
             // Retag tenants in the pages.
@@ -877,11 +909,11 @@ impl PageAllocator {
         self.release_tensor(id)?;
         // Re-allocate with sharing disabled by temporarily clearing the open
         // page.
-        let saved_open = self.pools.get_mut(&device).unwrap().open_page.take();
+        let saved_open = self.pool_mut(device).open_page.take();
         let new_id = match self.alloc_tensor(tensor.shape.clone(), tensor.dtype, device) {
             Ok(nid) => nid,
             Err(e) => {
-                self.pools.get_mut(&device).unwrap().open_page = saved_open;
+                self.pool_mut(device).open_page = saved_open;
                 debug_assert!(
                     false,
                     "merge_tensor pre-check admitted an infeasible merge: {e}"
@@ -890,11 +922,13 @@ impl PageAllocator {
             }
         };
         // Merged tensors never leave an open tail for others either.
-        self.pools.get_mut(&device).unwrap().open_page = saved_open;
+        self.pool_mut(device).open_page = saved_open;
         if let Some(bytes) = data {
             self.write_tensor(new_id, &bytes)?;
         }
-        let mut t = self.tensors.remove(&new_id).unwrap();
+        let Some(mut t) = self.tensors.remove(&new_id) else {
+            unreachable!("tensor allocated above under {new_id:?}");
+        };
         t.id = id;
         for r in &t.pages {
             self.pages[r.page.0].release(new_id)?;
@@ -954,10 +988,14 @@ impl PageAllocator {
             self.pages[id.0].compact_tenants();
             report.pages_compacted += 1;
             for (tid, old_offset, bytes) in tenants_before {
-                let new_offset = self.pages[id.0].tenant_of(tid).expect("survivor").offset;
+                let Some(survivor) = self.pages[id.0].tenant_of(tid) else {
+                    // compact_tenants slides ranges; it never evicts one.
+                    unreachable!("tenant {tid:?} lost by compaction of {id:?}");
+                };
+                let new_offset = survivor.offset;
                 if new_offset != old_offset {
                     report.bytes_copied += bytes;
-                    let t = self.tensors.get_mut(&tid).expect("tenant resolvable");
+                    let t = self.tenant_mut(tid);
                     for r in t.pages.iter_mut().filter(|r| r.page == id) {
                         r.offset = new_offset;
                     }
@@ -975,8 +1013,9 @@ impl PageAllocator {
             })
             .collect();
         candidates.sort_by_key(|id| {
-            let t = self.pages[id.0].tenants().next().expect("single tenant");
-            (t.bytes, id.0)
+            // The filter above kept only single-tenant pages.
+            let bytes = self.pages[id.0].tenants().next().map_or(0, |t| t.bytes);
+            (bytes, id.0)
         });
         let mut emptied: Vec<PageId> = Vec::new();
         for i in 0..candidates.len() {
@@ -986,7 +1025,9 @@ impl PageAllocator {
             if emptied.contains(&donor) || self.pages[donor.0].num_tenants() != 1 {
                 continue;
             }
-            let tenant = *self.pages[donor.0].tenants().next().expect("single tenant");
+            let Some(&tenant) = self.pages[donor.0].tenants().next() else {
+                continue; // guarded above: the donor has exactly one tenant
+            };
             // Best-fit destination: tightest page that still fits the
             // range, holds at most one (different) tensor, and isn't the
             // donor.
@@ -1015,17 +1056,14 @@ impl PageAllocator {
             if let Some(bytes) = payload {
                 self.pages[dest.0].write(tenant.tensor, 0, &bytes)?;
             }
-            let t = self
-                .tensors
-                .get_mut(&tenant.tensor)
-                .expect("tenant resolvable");
+            let t = self.tenant_mut(tenant.tensor);
             for r in t.pages.iter_mut().filter(|r| r.page == donor) {
                 r.page = dest;
                 r.offset = new_offset;
             }
             // A destination that filled up can no longer be the open page.
             let dest_full = self.pages[dest.0].num_tenants() == 2;
-            let pool = self.pools.get_mut(&device).expect("pool");
+            let pool = self.pool_mut(device);
             if dest_full && pool.open_page == Some(dest) {
                 pool.open_page = None;
             }
@@ -1072,6 +1110,12 @@ impl PageAllocator {
     /// data is FNV-hashed), and every tensor's layout. Two allocators with
     /// equal fingerprints are behaviorally identical — the regression tests
     /// use this to prove failed operations have *zero* side effects.
+    ///
+    /// Walks (and for backed pools, hashes) every byte the allocator holds,
+    /// so it is compiled only for tests and the opt-in `verify-extras`
+    /// feature — production builds cannot accidentally call it in a hot
+    /// path.
+    #[cfg(any(test, feature = "verify-extras"))]
     pub fn state_fingerprint(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();

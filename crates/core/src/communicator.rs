@@ -31,7 +31,7 @@ use angel_sim::{Ns, ResourceId, Resources, SimTask, Simulation, Work};
 
 /// Which parallelism group a communication operation belongs to. Each group
 /// maps to one NCCL-style FIFO channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CommGroup {
     /// Data parallelism: ZeRO all-gather / reduce-scatter / all-reduce.
     Dp,
@@ -51,11 +51,21 @@ impl CommGroup {
         }
     }
 
-    fn axis(self) -> MeshAxis {
+    /// The mesh axis this group runs along.
+    pub fn axis(self) -> MeshAxis {
         match self {
             CommGroup::Dp => MeshAxis::Dp,
             CommGroup::Tp => MeshAxis::Tp,
             CommGroup::Pp => MeshAxis::Pp,
+        }
+    }
+
+    /// Short lowercase name used in verifier reports ("dp"/"tp"/"pp").
+    pub fn short(self) -> &'static str {
+        match self {
+            CommGroup::Dp => "dp",
+            CommGroup::Tp => "tp",
+            CommGroup::Pp => "pp",
         }
     }
 }
@@ -142,6 +152,48 @@ impl GroupSpec {
     }
 }
 
+/// What kind of communication operation a [`CommRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommKind {
+    /// A group collective (all members participate symmetrically).
+    Collective(Collective),
+    /// The sending half of a point-to-point transfer (pp boundary).
+    P2pSend,
+    /// The receiving half of a point-to-point transfer (pp boundary).
+    P2pRecv,
+}
+
+impl CommKind {
+    /// Short human form used in trace excerpts and reports.
+    pub fn describe(self) -> String {
+        match self {
+            CommKind::Collective(op) => format!("{op:?}"),
+            CommKind::P2pSend => "P2pSend".into(),
+            CommKind::P2pRecv => "P2pRecv".into(),
+        }
+    }
+}
+
+/// One communication operation as submitted to the simulation, in channel
+/// program order. The lowered [`angel_sim::SimTask`] only keeps a duration;
+/// the SPMD verifier needs the *semantic* description — which group, which
+/// op, how many bytes — to project the single-rank lowering onto every mesh
+/// rank and match collectives across the group, so the Communicator journals
+/// every submission here.
+#[derive(Debug, Clone)]
+pub struct CommRecord {
+    /// The channel (parallelism group) the operation rode.
+    pub group: CommGroup,
+    /// Collective vs. p2p half.
+    pub kind: CommKind,
+    /// Payload bytes (per-rank shard size as handed to the cost model).
+    pub bytes: u64,
+    /// The simulation task id this record describes.
+    pub task: usize,
+    /// The submitted task's label (mismatch reports cite it).
+    pub label: String,
+}
+
 /// One group's FIFO channel plus its cost model.
 #[derive(Debug)]
 struct GroupChannel {
@@ -173,6 +225,8 @@ pub struct Communicator {
     queue: Vec<Pending>,
     /// handle → submitted sim task id (populated by flush).
     submitted: Vec<Option<usize>>,
+    /// Journal of every submitted operation, in submission order.
+    log: Vec<CommRecord>,
 }
 
 impl Communicator {
@@ -189,6 +243,7 @@ impl Communicator {
             pp: None,
             queue: Vec::new(),
             submitted: Vec::new(),
+            log: Vec::new(),
         }
     }
 
@@ -209,6 +264,7 @@ impl Communicator {
             pp,
             queue: Vec::new(),
             submitted: Vec::new(),
+            log: Vec::new(),
         }
     }
 
@@ -306,6 +362,13 @@ impl Communicator {
                     .with_label(p.label.clone()),
             );
             self.submitted[p.handle] = Some(id);
+            self.log.push(CommRecord {
+                group: p.group,
+                kind: CommKind::Collective(p.op),
+                bytes: p.bytes,
+                task: id,
+                label: p.label,
+            });
         }
         reordered
     }
@@ -326,7 +389,7 @@ impl Communicator {
     /// used when the caller already emits operations in trigger order, as
     /// the Unified Scheduler's sorted task list does.
     pub fn submit_now(
-        &self,
+        &mut self,
         sim: &mut Simulation,
         op: Collective,
         bytes: u64,
@@ -340,7 +403,7 @@ impl Communicator {
     /// (falling back to the dp channel when the axis is trivial, with zero
     /// duration — the degenerate group communicates nothing).
     pub fn submit_now_on(
-        &self,
+        &mut self,
         group: CommGroup,
         sim: &mut Simulation,
         op: Collective,
@@ -348,13 +411,71 @@ impl Communicator {
         deps: impl IntoIterator<Item = usize>,
         label: impl Into<String>,
     ) -> usize {
+        let label = label.into();
         let dur = self.group_collective_ns(group, op, bytes);
         let channel = self.group(group).unwrap_or(&self.dp).channel;
-        sim.submit(
+        let id = sim.submit(
             SimTask::new(channel, Work::Duration(dur))
                 .with_deps(deps)
-                .with_label(label),
-        )
+                .with_label(label.clone()),
+        );
+        self.log.push(CommRecord {
+            group,
+            kind: CommKind::Collective(op),
+            bytes,
+            task: id,
+            label,
+        });
+        id
+    }
+
+    /// Submit one half of a pipeline point-to-point transfer on the pp
+    /// channel, priced by the pp group's boundary link (falling back to the
+    /// dp channel with zero duration when pp is trivial). `kind` must be
+    /// [`CommKind::P2pSend`] or [`CommKind::P2pRecv`]; the two halves of
+    /// one transfer carry equal bytes so the verifier can pair them across
+    /// adjacent stages.
+    pub fn submit_p2p(
+        &mut self,
+        sim: &mut Simulation,
+        kind: CommKind,
+        bytes: u64,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        debug_assert!(
+            !matches!(kind, CommKind::Collective(_)),
+            "collectives go through submit_now_on"
+        );
+        let label = label.into();
+        let (dur, channel) = match self.group(CommGroup::Pp) {
+            Some(g) => (g.spec.p2p_ns(bytes), g.channel),
+            None => (0, self.dp.channel),
+        };
+        let id = sim.submit(
+            SimTask::new(channel, Work::Duration(dur))
+                .with_deps(deps)
+                .with_label(label.clone()),
+        );
+        self.log.push(CommRecord {
+            group: CommGroup::Pp,
+            kind,
+            bytes,
+            task: id,
+            label,
+        });
+        id
+    }
+
+    /// The journal of every submitted operation, in submission order.
+    pub fn comm_log(&self) -> &[CommRecord] {
+        &self.log
+    }
+
+    /// Take ownership of the journal (used when a lowering hands its
+    /// communication history to the SPMD verifier).
+    pub fn take_comm_log(&mut self) -> Vec<CommRecord> {
+        std::mem::take(&mut self.log)
     }
 }
 

@@ -203,6 +203,18 @@ impl Engine {
         self.build_iteration_sim()
     }
 
+    /// Cross-rank SPMD certification of this engine's lowered iteration:
+    /// project the Communicator's journal onto every rank of the configured
+    /// device mesh and run the collective-matching / deadlock verifier
+    /// ([`crate::verify::spmd`]) — exhaustively on small fleets, symmetry-
+    /// reduced at cluster scale. Errors when the parallelism plan does not
+    /// factor the fleet (same contract as [`EngineConfig::device_mesh`]).
+    pub fn verify_spmd(&self) -> Result<crate::verify::SpmdReport> {
+        let mesh = self.config.device_mesh()?;
+        let lowered = self.build_iteration_sim();
+        Ok(crate::verify::spmd::certify(&lowered.comm_log, &mesh))
+    }
+
     /// Lower this engine's schedule onto the simulated hardware.
     fn build_iteration_sim(&self) -> LoweredIteration {
         lower_schedule(&ScheduleLowering {
@@ -232,6 +244,14 @@ impl Engine {
             let verdict = crate::verify::PlanGraph::from_sim(&lowered.sim).verify();
             verdict.assert_clean("engine iteration lowering");
             verdict.assert_covers(&report, "engine iteration lowering");
+            // Cross-rank story: the same lowering, projected onto every
+            // mesh rank, must certify deadlock-free with matched
+            // collectives (symmetry-reduced, so this stays cheap even for
+            // cluster-sized meshes).
+            if let Ok(mesh) = self.config.device_mesh() {
+                crate::verify::spmd::certify(&lowered.comm_log, &mesh)
+                    .assert_certified("engine iteration lowering (spmd)");
+            }
         }
         // The lowered graph covers one pipeline slot (one micro-batch through
         // this rank's stage). A 1F1B pipeline drains `micro_batches + pp − 1`

@@ -641,6 +641,9 @@ impl LockFreeTrainer {
 
         // ---- Buffering thread (Algorithm 2 lines 9–15) -------------------
         let buf_shared = Arc::clone(&shared);
+        // Thread spawn only fails on OS resource exhaustion; the trainer
+        // has no degraded single-threaded mode to fall back to.
+        #[allow(clippy::disallowed_methods)]
         let buffering = thread::Builder::new()
             .name("angel-buffering".into())
             .spawn(move || buffering_loop(buf_shared, rx))
@@ -649,6 +652,8 @@ impl LockFreeTrainer {
         // ---- Updating thread (Algorithm 2 lines 1–7) ----------------------
         let upd_shared = Arc::clone(&shared);
         let upd_tx = tx.clone();
+        // Same justification as the buffering thread above.
+        #[allow(clippy::disallowed_methods)]
         let updating = thread::Builder::new()
             .name("angel-updating".into())
             .spawn(move || {
@@ -1122,6 +1127,10 @@ fn updating_loop(
                 orphaned[layer] = Some(state);
                 let drop = match shared.clear_policy {
                     ClearPolicy::TakeAtSnapshot => protocol::ParkDrop::Always,
+                    // Protocol invariant (Algorithm 2): an update under
+                    // OnUpdateReceipt is always preceded by the snapshot
+                    // that produced it, which recorded its version here.
+                    #[allow(clippy::disallowed_methods)]
                     ClearPolicy::OnUpdateReceipt => protocol::ParkDrop::UnlessReceiptInFlight {
                         snapshot_version: last_snapshot_version[layer]
                             .expect("OnUpdateReceipt update implies a recorded snapshot"),

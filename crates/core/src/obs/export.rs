@@ -114,6 +114,9 @@ impl MetricsSnapshot {
 
     /// Pretty-printed JSON document.
     pub fn to_json_string(&self) -> String {
+        // `to_json` builds the value from integers and strings only —
+        // serialization of such a tree is infallible.
+        #[allow(clippy::disallowed_methods)]
         serde_json::to_string_pretty(&self.to_json()).expect("snapshot serializes")
     }
 
@@ -249,6 +252,9 @@ pub fn merged_perfetto(sim: &Simulation, report: &ExecutionReport, events: &[Obs
         "args": {"name": "runtime-threads"},
     }));
     all.extend(runtime_trace_events(events, RUNTIME_PID));
+    // Trace events are integers and strings only; serialization of such a
+    // tree is infallible.
+    #[allow(clippy::disallowed_methods)]
     serde_json::to_string_pretty(&serde_json::json!({
         "traceEvents": all,
         "displayTimeUnit": "ms",

@@ -17,7 +17,7 @@
 //! memory domain for acquire/release accounting.
 
 use crate::cache::CachePlan;
-use crate::communicator::{CommGroup, Communicator};
+use crate::communicator::{CommGroup, CommKind, CommRecord, Communicator};
 use crate::config::EngineConfig;
 use crate::executor::{Executor, Stream};
 use crate::scheduler::{Schedule, StepKind, TaskOp};
@@ -264,28 +264,29 @@ impl Lowering {
         )
     }
 
-    /// Point-to-point stage boundary transfer on the pipeline group's
-    /// channel: NVLink while the pp group sits inside one server, the NIC
-    /// once stages span servers.
-    pub fn pp_transfer(
+    /// The sending half of a pipeline stage boundary transfer on the pp
+    /// group's channel: NVLink while the pp group sits inside one server,
+    /// the NIC once stages span servers.
+    pub fn pp_send(
         &mut self,
         bytes: u64,
         deps: impl IntoIterator<Item = usize>,
         label: impl Into<String>,
     ) -> usize {
-        let dur = self
-            .communicator
-            .group_spec(CommGroup::Pp)
-            .map_or(0, |s| s.p2p_ns(bytes));
-        let channel = self
-            .communicator
-            .group_channel(CommGroup::Pp)
-            .unwrap_or_else(|| self.communicator.channel_id());
-        self.sim.submit(
-            SimTask::duration(channel, dur)
-                .with_deps(deps)
-                .with_label(label),
-        )
+        self.communicator
+            .submit_p2p(&mut self.sim, CommKind::P2pSend, bytes, deps, label)
+    }
+
+    /// The receiving half of a pipeline stage boundary transfer (same
+    /// channel and pricing as [`Lowering::pp_send`]).
+    pub fn pp_recv(
+        &mut self,
+        bytes: u64,
+        deps: impl IntoIterator<Item = usize>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.communicator
+            .submit_p2p(&mut self.sim, CommKind::P2pRecv, bytes, deps, label)
     }
 
     /// A zero-duration marker on the dp channel — keeps the task-graph
@@ -410,6 +411,18 @@ impl Lowering {
     pub fn into_sim(self) -> Simulation {
         self.sim
     }
+
+    /// The journal of every communication operation submitted so far.
+    pub fn comm_log(&self) -> &[CommRecord] {
+        self.communicator.comm_log()
+    }
+
+    /// Hand the finished graph plus the communication journal to the
+    /// caller (the SPMD verifier consumes both).
+    pub fn into_sim_and_log(mut self) -> (Simulation, Vec<CommRecord>) {
+        let log = self.communicator.take_comm_log();
+        (self.sim, log)
+    }
 }
 
 /// Everything needed to lower one planned Engine iteration.
@@ -432,6 +445,10 @@ pub struct LoweredIteration {
     pub h2d: ResourceId,
     pub d2h: ResourceId,
     pub comm: ResourceId,
+    /// The Communicator's journal of every collective and p2p half, in
+    /// submission order — the SPMD verifier's input (see
+    /// [`crate::verify::spmd`]).
+    pub comm_log: Vec<CommRecord>,
 }
 
 /// Lower an Algorithm 1 [`Schedule`] plus its [`Placement`] onto the
@@ -496,7 +513,10 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
 
     // 2. Per-step gathers and computes in trigger order.
     for i in 0..n_steps {
-        let step = step_kind[i].expect("every step has a compute task");
+        let Some(step) = step_kind[i] else {
+            // Pass 1 above records a StepKind for every step index.
+            unreachable!("step {i} lowered without a compute kind");
+        };
         let layer = step.layer();
         // All-gather of the full layer parameters across ranks, launched
         // at its (phase-2 advanced) trigger: dependency on the compute
@@ -574,8 +594,8 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
         // for the gradients to come back on the pp channel.
         if plan.pp > 1 && i + 1 == n_steps / 2 {
             let pp_bytes = boundary_bytes.div_ceil(tp);
-            let send = lo.pp_transfer(pp_bytes, [eid], "pp_send");
-            let recv = lo.pp_transfer(pp_bytes, [send], "pp_recv");
+            let send = lo.pp_send(pp_bytes, [eid], "pp_send");
+            let recv = lo.pp_recv(pp_bytes, [send], "pp_recv");
             compute_task[i] = Some(recv);
         }
 
@@ -671,12 +691,14 @@ pub fn lower_schedule(args: &ScheduleLowering<'_>) -> LoweredIteration {
     }
 
     let (gpu, h2d, d2h, comm) = (lo.gpu_id(), lo.h2d_id(), lo.d2h_id(), lo.comm_id());
+    let (sim, comm_log) = lo.into_sim_and_log();
     LoweredIteration {
-        sim: lo.into_sim(),
+        sim,
         gpu,
         h2d,
         d2h,
         comm,
+        comm_log,
     }
 }
 
@@ -836,7 +858,7 @@ mod tests {
         let pp_spec = GroupSpec::from_mesh(&mesh, MeshAxis::Pp);
         let mut lo = Lowering::new(&LoweringConfig::new(cluster, 32).with_mesh(mesh));
         let t = lo.tp_all_reduce(64 << 20, [], "tp");
-        let p = lo.pp_transfer(8 << 20, [t], "pp");
+        let p = lo.pp_send(8 << 20, [t], "pp");
         let _ = p;
         assert_eq!(
             lo.run().makespan,

@@ -255,7 +255,11 @@ impl<'a> Timeline<'a> {
         }
         let last_use: Vec<usize> = steps_of_layer
             .iter()
-            .map(|v| *v.last().expect("layer unused"))
+            .map(|v| match v.last() {
+                Some(&j) => j,
+                // The trace emits at least a forward step per layer.
+                None => unreachable!("layer with no steps in the trace"),
+            })
             .collect();
         let resident0: Vec<u64> = input.layers.iter().map(|l| l.shard_bytes()).collect();
         // Resident shards via a difference array (O(layers + steps) instead
@@ -575,7 +579,8 @@ impl UnifiedScheduler {
         for i in 1..trigger_offsets.len() {
             trigger_offsets[i] += trigger_offsets[i - 1];
         }
-        let total_tasks = *trigger_offsets.last().unwrap();
+        // `trigger_offsets` has n_steps + 1 slots; the last holds the total.
+        let total_tasks = trigger_offsets.last().copied().unwrap_or(0);
         let mut cursor = trigger_offsets.clone();
         let mut tasks = vec![
             ScheduleTask {
@@ -701,7 +706,11 @@ pub mod oracle {
             }
             let last_use: Vec<usize> = steps_of_layer
                 .iter()
-                .map(|v| *v.last().expect("layer unused"))
+                .map(|v| match v.last() {
+                    Some(&j) => j,
+                    // The trace emits at least a forward step per layer.
+                    None => unreachable!("layer with no steps in the trace"),
+                })
                 .collect();
             let resident0: Vec<u64> = input.layers.iter().map(|l| l.shard_bytes()).collect();
             let mut mem = vec![0u64; n_steps];

@@ -18,7 +18,13 @@
 //!   offload, Algorithm 2) on a protocol state machine that calls the same
 //!   [`crate::lockfree::protocol`] arithmetic as the production threads,
 //!   checking gradient conservation, absence of double-application /
-//!   double-settle, and abort-safe shutdown.
+//!   double-settle, and abort-safe shutdown;
+//! * [`spmd`] — a cross-rank collective-matching verifier over device-mesh
+//!   plans: every member of each dp/tp/pp communication group must observe
+//!   the same sequence of collectives (ops, bytes, arities), and the
+//!   cross-rank wait-for graph over the per-group FIFO channels must be
+//!   acyclic — with a symmetry reduction that certifies a 1024-GPU plan by
+//!   checking one representative rank per pipeline stage.
 //!
 //! Both engines must demonstrate *teeth*: deleting a dependency edge from a
 //! real lowered graph is flagged as a race, and skipping an update receipt
@@ -28,9 +34,11 @@
 
 pub mod model;
 pub mod plan;
+pub mod spmd;
 
 pub use model::{check_lockfree, Exploration, ModelConfig, Mutation, ShutdownMode, Violation};
 pub use plan::{LifetimeIssue, PlanGraph, PlanReport, Race};
+pub use spmd::{SpmdDeadlock, SpmdMismatch, SpmdReport, SpmdTrace};
 
 /// Tagged [`angel_sim::ObjectId`] encodings used by the engine and baseline
 /// lowerings. The tag occupies the top byte so the families can never

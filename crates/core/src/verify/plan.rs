@@ -405,7 +405,11 @@ impl PlanGraph {
                 }
             }
             if st == LState::Live {
-                let at = alloc_task.expect("Live implies an alloc");
+                let Some(at) = alloc_task else {
+                    // The state machine only enters Live on an alloc, which
+                    // records its task index.
+                    unreachable!("Live lifetime state without an alloc task");
+                };
                 lifetime.push(LifetimeViolation {
                     object: obj,
                     task: at,
@@ -503,8 +507,10 @@ fn toposort(preds: &[Vec<usize>]) -> Vec<usize> {
     order
 }
 
-/// Return a cycle (as a task loop) if the edge relation has one.
-fn find_cycle(preds: &[Vec<usize>]) -> Option<Vec<usize>> {
+/// Return a cycle (as a task loop) if the edge relation has one. Shared
+/// with the SPMD verifier, whose cross-rank wait-for graph reuses the same
+/// predecessor-list representation (see [`crate::verify::spmd`]).
+pub(crate) fn find_cycle(preds: &[Vec<usize>]) -> Option<Vec<usize>> {
     let n = preds.len();
     // 0 = unvisited, 1 = on stack, 2 = done.
     let mut state = vec![0u8; n];

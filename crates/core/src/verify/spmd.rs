@@ -1,0 +1,824 @@
+//! SPMD collective-matching verification over a device mesh.
+//!
+//! A `LoweredIteration` is built from one rank's perspective, but the plan
+//! it encodes runs SPMD on every rank of the [`DeviceMesh`]. The canonical
+//! SPMD failure class — ranks issuing collectives in mismatched order and
+//! deadlocking the whole job — is invisible to the single-rank plan-graph
+//! verifier, so this module certifies the *cross-rank* story:
+//!
+//! 1. **Projection** ([`SpmdTrace::project_full`]): replay the
+//!    Communicator's journal ([`CommRecord`]) as the per-rank communication
+//!    program of every mesh rank. dp/tp collectives map onto the rank's own
+//!    concrete group instances; the journal's single pp send/recv pair
+//!    unfolds into the stage-asymmetric boundary handshake (stage 0 only
+//!    sends forward, the last stage only receives, interior stages do
+//!    both).
+//! 2. **Matching**: all members of each concrete [`CommGroup`] instance
+//!    must observe the same sequence of collectives with equal ops, byte
+//!    counts and group arities, and the two halves of every point-to-point
+//!    pair must agree — the NCCL contract whose violation hangs a job.
+//! 3. **Deadlock detection**: an operational matching simulation advances
+//!    per-rank program counters over the per-group FIFO channels (a group
+//!    fires when every member's head is on it; p2p halves rendezvous). If
+//!    the simulation stalls, the cross-rank wait-for graph is built and
+//!    searched for a cycle with the same detector the plan-graph verifier
+//!    uses ([`super::plan`]).
+//!
+//! **Symmetry reduction** ([`SpmdTrace::project_reduced`]): under the
+//! dp-outer/pp-middle/tp-inner layout, a rank's projected program depends
+//! only on its pipeline stage ([`DeviceMesh::symmetry_class`]), and dp/tp
+//! groups never span stages. Members of one class therefore carry
+//! *identical* programs, and a lockstep execution of each class is a valid
+//! completion of every within-class collective — so within-class
+//! operations can neither mismatch nor deadlock among themselves, and it
+//! suffices to verify the representative pipeline column
+//! ([`DeviceMesh::representative_column`]): `pp` ranks instead of
+//! `dp × pp × tp`. That is what lets a 1024-GPU plan certify in
+//! milliseconds (see `figure9_cluster --verify`).
+
+use crate::communicator::{CommGroup, CommKind, CommRecord};
+use crate::verify::plan::find_cycle;
+use angel_hw::DeviceMesh;
+use std::collections::HashMap;
+
+/// Where one projected communication event synchronizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventSite {
+    /// A collective on concrete group instance `index` of `group`'s axis
+    /// (see [`DeviceMesh::group_index`]).
+    Group { group: CommGroup, index: usize },
+    /// The sending half of a p2p transfer to mesh rank `to`.
+    Send { to: usize },
+    /// The receiving half of a p2p transfer from mesh rank `from`.
+    Recv { from: usize },
+}
+
+/// One event of a rank's projected communication program.
+#[derive(Debug, Clone)]
+pub struct SpmdEvent {
+    /// Synchronization site (concrete group or p2p partner).
+    pub site: EventSite,
+    /// Operation kind (collective op, or p2p half).
+    pub kind: CommKind,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Expected participant count: the group's arity, or 2 for p2p.
+    pub peers: usize,
+    /// Human label carried from the lowering (cited in reports).
+    pub label: String,
+}
+
+impl SpmdEvent {
+    fn render(&self) -> String {
+        let site = match self.site {
+            EventSite::Group { group, index } => format!("{} group {index}", group.short()),
+            EventSite::Send { to } => format!("send→{to}"),
+            EventSite::Recv { from } => format!("recv←{from}"),
+        };
+        format!(
+            "{} {}B x{} on {site} [{}]",
+            self.kind.describe(),
+            self.bytes,
+            self.peers,
+            self.label
+        )
+    }
+
+    /// Content equality for matching: everything but the label. On a p2p
+    /// site the two halves carry complementary kinds (one send, one recv)
+    /// by construction of the site key, so only payload is compared there.
+    fn matches(&self, other: &Self, key: SiteKey) -> bool {
+        let kind_ok = match key {
+            SiteKey::Group(..) => self.kind == other.kind,
+            SiteKey::P2p(..) => true,
+        };
+        kind_ok && self.bytes == other.bytes && self.peers == other.peers
+    }
+}
+
+/// Global key of a synchronization site: concrete group instance, or the
+/// ordered (sender, receiver) pair of a p2p channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum SiteKey {
+    Group(CommGroup, usize),
+    P2p(usize, usize),
+}
+
+impl SiteKey {
+    fn render(self) -> String {
+        match self {
+            SiteKey::Group(g, i) => format!("{} group {i}", g.short()),
+            SiteKey::P2p(a, b) => format!("p2p {a}→{b}"),
+        }
+    }
+}
+
+fn site_key(rank: usize, site: EventSite) -> SiteKey {
+    match site {
+        EventSite::Group { group, index } => SiteKey::Group(group, index),
+        EventSite::Send { to } => SiteKey::P2p(rank, to),
+        EventSite::Recv { from } => SiteKey::P2p(from, rank),
+    }
+}
+
+/// One rank's position in a stall or deadlock cycle.
+#[derive(Debug, Clone)]
+pub struct WaitPoint {
+    /// Mesh rank.
+    pub rank: usize,
+    /// Index of the blocked event in the rank's program.
+    pub event: usize,
+    /// Rendered blocked event.
+    pub label: String,
+}
+
+/// A certified-impossible execution: either a genuine wait-for cycle, or a
+/// stall with no cycle (an orphaned operation — some rank ran out of
+/// matching partners, e.g. after a dropped group member).
+#[derive(Debug, Clone)]
+pub struct SpmdDeadlock {
+    /// The wait-for cycle, when one exists (each entry waits on the next,
+    /// the last on the first). Empty for an orphaned-op stall.
+    pub cycle: Vec<WaitPoint>,
+    /// Every stalled rank's blocked head event.
+    pub stalled: Vec<WaitPoint>,
+}
+
+/// Two ranks disagreeing about one synchronization site's sequence.
+#[derive(Debug, Clone)]
+pub struct SpmdMismatch {
+    /// Rendered site ("dp group 3", "p2p 4→12").
+    pub site: String,
+    /// The reference rank and the divergent rank.
+    pub ranks: (usize, usize),
+    /// First divergent position in the per-site sequences.
+    pub position: usize,
+    /// What diverged (length vs. content).
+    pub reason: String,
+    /// The two ranks' rendered per-site sequences (divergence excerpts).
+    pub traces: (Vec<String>, Vec<String>),
+}
+
+/// The SPMD verifier's verdict over one projected trace.
+#[derive(Debug, Clone)]
+pub struct SpmdReport {
+    /// Per-site sequence disagreements (empty when matching holds).
+    pub mismatches: Vec<SpmdMismatch>,
+    /// Stall/deadlock evidence (None when the matching simulation
+    /// completed every rank's program).
+    pub deadlock: Option<SpmdDeadlock>,
+    /// Ranks the underlying mesh runs (full fleet, even when reduced).
+    pub ranks: usize,
+    /// Ranks actually enumerated by this verification.
+    pub ranks_checked: usize,
+    /// Symmetry classes (pipeline stages) covered.
+    pub classes: usize,
+    /// Total projected events examined.
+    pub events_checked: usize,
+    /// Whether symmetry reduction was applied.
+    pub reduced: bool,
+}
+
+impl SpmdReport {
+    /// A certified plan: no sequence mismatches and no stall.
+    pub fn is_certified(&self) -> bool {
+        self.mismatches.is_empty() && self.deadlock.is_none()
+    }
+
+    /// Multi-line human rendering of every finding.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for m in &self.mismatches {
+            out.push_str(&format!(
+                "mismatch at {} (ranks {} vs {}, position {}): {}\n",
+                m.site, m.ranks.0, m.ranks.1, m.position, m.reason
+            ));
+            out.push_str(&format!("  rank {} trace:\n", m.ranks.0));
+            for t in &m.traces.0 {
+                out.push_str(&format!("    {t}\n"));
+            }
+            out.push_str(&format!("  rank {} trace:\n", m.ranks.1));
+            for t in &m.traces.1 {
+                out.push_str(&format!("    {t}\n"));
+            }
+        }
+        if let Some(d) = &self.deadlock {
+            if d.cycle.is_empty() {
+                out.push_str("stall without cycle (orphaned operations):\n");
+            } else {
+                out.push_str("deadlock cycle:\n");
+                for w in &d.cycle {
+                    out.push_str(&format!(
+                        "  rank {} waits at #{}: {}\n",
+                        w.rank, w.event, w.label
+                    ));
+                }
+                out.push_str("stalled ranks:\n");
+            }
+            for w in &d.stalled {
+                out.push_str(&format!(
+                    "  rank {} blocked at #{}: {}\n",
+                    w.rank, w.event, w.label
+                ));
+            }
+        }
+        if out.is_empty() {
+            out = format!(
+                "certified: {} ranks ({} checked, {} classes, reduced={}), {} events\n",
+                self.ranks, self.ranks_checked, self.classes, self.reduced, self.events_checked
+            );
+        }
+        out
+    }
+
+    /// Panic with the full report unless certified — the debug self-verify
+    /// surface ([`crate::Engine`]) and tests call this.
+    pub fn assert_certified(&self, what: &str) {
+        assert!(
+            self.is_certified(),
+            "SPMD verification failed for {what}:\n{}",
+            self.describe()
+        );
+    }
+}
+
+/// The projected per-rank communication programs of one lowered iteration,
+/// plus the mesh structure the verifier needs (group membership within the
+/// verified universe).
+#[derive(Debug, Clone)]
+pub struct SpmdTrace {
+    /// Mesh ranks in the verified universe (all ranks, or the
+    /// representative column).
+    ranks: Vec<usize>,
+    /// Universe index per mesh rank.
+    rank_index: HashMap<usize, usize>,
+    /// Symmetry class of each universe rank.
+    classes: Vec<usize>,
+    /// Per-universe-rank event program.
+    programs: Vec<Vec<SpmdEvent>>,
+    /// Universe members of every concrete group instance.
+    site_members: HashMap<SiteKey, Vec<usize>>,
+    /// Full fleet size.
+    total_ranks: usize,
+    /// Number of symmetry classes (pipeline stages).
+    num_classes: usize,
+    reduced: bool,
+}
+
+impl SpmdTrace {
+    /// Project the journal onto every mesh rank (exhaustive enumeration —
+    /// the mode mutation tests run, and the ground truth the reduction is
+    /// checked against).
+    pub fn project_full(log: &[CommRecord], mesh: &DeviceMesh) -> Self {
+        Self::project(log, mesh, false)
+    }
+
+    /// Project the journal onto one representative rank per symmetry
+    /// class (the dp=0/tp=0 pipeline column). Sound because within-class
+    /// programs are identical and dp/tp groups never span classes — see
+    /// the module docs and DESIGN.md §13.
+    pub fn project_reduced(log: &[CommRecord], mesh: &DeviceMesh) -> Self {
+        Self::project(log, mesh, true)
+    }
+
+    fn project(log: &[CommRecord], mesh: &DeviceMesh, reduced: bool) -> Self {
+        // Split the single-rank journal at the pipeline boundary pair.
+        let mut forward: Vec<&CommRecord> = Vec::new();
+        let mut backward: Vec<&CommRecord> = Vec::new();
+        let mut boundary_bytes: Option<u64> = None;
+        let mut seen_send = false;
+        for rec in log {
+            match rec.kind {
+                CommKind::P2pSend => {
+                    seen_send = true;
+                    boundary_bytes = Some(rec.bytes);
+                }
+                CommKind::P2pRecv => {
+                    debug_assert_eq!(
+                        boundary_bytes,
+                        Some(rec.bytes),
+                        "pp send/recv halves carry equal bytes"
+                    );
+                }
+                CommKind::Collective(_) => {
+                    if seen_send {
+                        backward.push(rec);
+                    } else {
+                        forward.push(rec);
+                    }
+                }
+            }
+        }
+
+        let ranks: Vec<usize> = if reduced {
+            mesh.representative_column()
+        } else {
+            (0..mesh.num_ranks()).collect()
+        };
+        let rank_index: HashMap<usize, usize> =
+            ranks.iter().enumerate().map(|(u, &r)| (r, u)).collect();
+        let classes: Vec<usize> = ranks.iter().map(|&r| mesh.symmetry_class(r)).collect();
+
+        // Group membership restricted to the verified universe. In reduced
+        // mode dp/tp groups become singletons — the reduction's soundness
+        // rests on dp/tp groups never spanning symmetry classes, which the
+        // dp-outer/pp-middle/tp-inner layout guarantees structurally.
+        let mut site_members: HashMap<SiteKey, Vec<usize>> = HashMap::new();
+        for (u, &r) in ranks.iter().enumerate() {
+            for group in [CommGroup::Dp, CommGroup::Tp] {
+                let key = SiteKey::Group(group, mesh.group_index(group.axis(), r));
+                site_members.entry(key).or_default().push(u);
+            }
+        }
+        if cfg!(debug_assertions) {
+            for (key, members) in &site_members {
+                let class_of = |&u: &usize| classes[u];
+                debug_assert!(
+                    members
+                        .windows(2)
+                        .all(|w| class_of(&w[0]) == class_of(&w[1])),
+                    "{:?} spans symmetry classes — layout invariant broken",
+                    key
+                );
+            }
+        }
+
+        let pp = mesh.pp();
+        let programs: Vec<Vec<SpmdEvent>> = ranks
+            .iter()
+            .map(|&r| {
+                let (_, p, _) = mesh.coords_of(r);
+                let (prev, next) = mesh.pp_neighbors(r);
+                let bb = boundary_bytes.unwrap_or(0);
+                let mut prog = Vec::with_capacity(forward.len() + backward.len() + 4);
+                let group_event = |rec: &CommRecord| SpmdEvent {
+                    site: EventSite::Group {
+                        group: rec.group,
+                        index: mesh.group_index(rec.group.axis(), r),
+                    },
+                    kind: rec.kind,
+                    bytes: rec.bytes,
+                    peers: mesh.axis_size(rec.group.axis()),
+                    label: rec.label.clone(),
+                };
+                let p2p = |site: EventSite, kind: CommKind, label: &str| SpmdEvent {
+                    site,
+                    kind,
+                    bytes: bb,
+                    peers: 2,
+                    label: label.to_string(),
+                };
+                // Stage-asymmetric pipeline handshake: interior stages
+                // receive activations, compute forward, send them on, wait
+                // for gradients from downstream, compute backward, send
+                // gradients back upstream. The ends drop the missing half.
+                if pp > 1 {
+                    if let Some(prev) = prev {
+                        prog.push(p2p(
+                            EventSite::Recv { from: prev },
+                            CommKind::P2pRecv,
+                            &format!("pp_recv_act s{p}"),
+                        ));
+                    }
+                }
+                prog.extend(forward.iter().map(|rec| group_event(rec)));
+                if pp > 1 {
+                    if let Some(next) = next {
+                        prog.push(p2p(
+                            EventSite::Send { to: next },
+                            CommKind::P2pSend,
+                            &format!("pp_send_act s{p}"),
+                        ));
+                        prog.push(p2p(
+                            EventSite::Recv { from: next },
+                            CommKind::P2pRecv,
+                            &format!("pp_recv_grad s{p}"),
+                        ));
+                    }
+                }
+                prog.extend(backward.iter().map(|rec| group_event(rec)));
+                if pp > 1 {
+                    if let Some(prev) = prev {
+                        prog.push(p2p(
+                            EventSite::Send { to: prev },
+                            CommKind::P2pSend,
+                            &format!("pp_send_grad s{p}"),
+                        ));
+                    }
+                }
+                prog
+            })
+            .collect();
+
+        Self {
+            rank_index,
+            classes,
+            programs,
+            site_members,
+            total_ranks: mesh.num_ranks(),
+            num_classes: pp,
+            reduced,
+            ranks,
+        }
+    }
+
+    /// Ranks in the verified universe.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The projected program of mesh rank `rank` (panics when the rank is
+    /// outside the verified universe).
+    pub fn program(&self, rank: usize) -> &[SpmdEvent] {
+        &self.programs[self.rank_index[&rank]]
+    }
+
+    /// The symmetry class (pipeline stage) of mesh rank `rank`.
+    pub fn class_of(&self, rank: usize) -> usize {
+        self.classes[self.rank_index[&rank]]
+    }
+
+    fn universe_index(&self, rank: usize) -> usize {
+        match self.rank_index.get(&rank) {
+            Some(&u) => u,
+            None => panic!("rank {rank} is outside the verified universe"),
+        }
+    }
+
+    // ---- Mutation hooks (planted-fault testing) -------------------------
+
+    /// Swap two events of one rank's program — models a rank issuing its
+    /// collectives in a different order than its peers (the canonical SPMD
+    /// deadlock) or, within one channel, a reordered pair.
+    pub fn swap_events(&mut self, rank: usize, i: usize, j: usize) {
+        let u = self.universe_index(rank);
+        self.programs[u].swap(i, j);
+    }
+
+    /// Delete one event of one rank's program — models a rank dropping out
+    /// of a collective its group peers still wait on.
+    pub fn remove_event(&mut self, rank: usize, i: usize) {
+        let u = self.universe_index(rank);
+        self.programs[u].remove(i);
+    }
+
+    /// Rewrite one event's byte count — models mismatched buffer sizes
+    /// (e.g. a dp collective priced with pp-boundary bytes).
+    pub fn set_bytes(&mut self, rank: usize, i: usize, bytes: u64) {
+        let u = self.universe_index(rank);
+        self.programs[u][i].bytes = bytes;
+    }
+
+    // ---- Verification ----------------------------------------------------
+
+    /// Run matching + deadlock detection and produce the typed report.
+    pub fn verify(&self) -> SpmdReport {
+        let mismatches = self.match_sites();
+        let deadlock = self.simulate();
+        SpmdReport {
+            mismatches,
+            deadlock,
+            ranks: self.total_ranks,
+            ranks_checked: self.ranks.len(),
+            classes: self.num_classes,
+            events_checked: self.programs.iter().map(Vec::len).sum(),
+            reduced: self.reduced,
+        }
+    }
+
+    /// Phase 1 — per-site sequence matching: every member of a concrete
+    /// group must issue the identical sequence of operations on it, and
+    /// the two halves of each p2p channel must agree one-to-one.
+    fn match_sites(&self) -> Vec<SpmdMismatch> {
+        // Per-site, per-universe-rank event index sequences.
+        let mut by_site: HashMap<SiteKey, HashMap<usize, Vec<usize>>> = HashMap::new();
+        for (u, prog) in self.programs.iter().enumerate() {
+            for (i, e) in prog.iter().enumerate() {
+                by_site
+                    .entry(site_key(self.ranks[u], e.site))
+                    .or_default()
+                    .entry(u)
+                    .or_default()
+                    .push(i);
+            }
+        }
+        // Group sites where a member issued nothing still owe an (empty)
+        // sequence — a fully dropped member is a length mismatch, not an
+        // invisible one.
+        for (key, members) in &self.site_members {
+            if let Some(seqs) = by_site.get_mut(key) {
+                for &m in members {
+                    seqs.entry(m).or_default();
+                }
+            }
+        }
+
+        let mut keys: Vec<SiteKey> = by_site.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out = Vec::new();
+        for key in keys {
+            let seqs = &by_site[&key];
+            let mut members: Vec<usize> = seqs.keys().copied().collect();
+            members.sort_unstable();
+            let reference = members[0];
+            for &other in &members[1..] {
+                if let Some(m) = self.diverge(key, reference, other, seqs) {
+                    out.push(m);
+                    if out.len() >= 32 {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// First divergence between two ranks' sequences on one site, if any.
+    fn diverge(
+        &self,
+        key: SiteKey,
+        a: usize,
+        b: usize,
+        seqs: &HashMap<usize, Vec<usize>>,
+    ) -> Option<SpmdMismatch> {
+        let (sa, sb) = (&seqs[&a], &seqs[&b]);
+        let (pa, pb) = (&self.programs[a], &self.programs[b]);
+        let mut position = None;
+        let mut reason = String::new();
+        for i in 0..sa.len().min(sb.len()) {
+            let (ea, eb) = (&pa[sa[i]], &pb[sb[i]]);
+            if !ea.matches(eb, key) {
+                position = Some(i);
+                reason = format!("'{}' vs '{}'", ea.render(), eb.render());
+                break;
+            }
+        }
+        if position.is_none() && sa.len() != sb.len() {
+            position = Some(sa.len().min(sb.len()));
+            reason = format!("{} operations vs {}", sa.len(), sb.len());
+        }
+        let position = position?;
+        // Excerpt a window around the divergence so gigantic programs
+        // still report readably.
+        let window = |seq: &[usize], prog: &[SpmdEvent]| -> Vec<String> {
+            let lo = position.saturating_sub(2);
+            seq.iter()
+                .skip(lo)
+                .take(5)
+                .map(|&i| prog[i].render())
+                .collect()
+        };
+        Some(SpmdMismatch {
+            site: key.render(),
+            ranks: (self.ranks[a], self.ranks[b]),
+            position,
+            reason,
+            traces: (window(sa, pa), window(sb, pb)),
+        })
+    }
+
+    /// Phase 2 — operational matching simulation over the per-group FIFO
+    /// channels. Sites fire when fully attended; a drained worklist with
+    /// unfinished programs is a stall, reported as the wait-for cycle when
+    /// one exists.
+    fn simulate(&self) -> Option<SpmdDeadlock> {
+        let n = self.programs.len();
+        let required = |key: &SiteKey| match key {
+            SiteKey::Group(..) => self.site_members.get(key).map_or(usize::MAX, Vec::len),
+            SiteKey::P2p(..) => 2,
+        };
+        let mut pc = vec![0usize; n];
+        let mut parked: HashMap<SiteKey, Vec<usize>> = HashMap::new();
+        let mut ready: Vec<SiteKey> = Vec::new();
+
+        // Park `u` at its head event's site; collect newly complete sites.
+        let arrive = |u: usize,
+                      pc: &[usize],
+                      parked: &mut HashMap<SiteKey, Vec<usize>>,
+                      ready: &mut Vec<SiteKey>| {
+            if let Some(e) = self.programs[u].get(pc[u]) {
+                let key = site_key(self.ranks[u], e.site);
+                let slot = parked.entry(key).or_default();
+                slot.push(u);
+                if slot.len() >= required(&key) {
+                    ready.push(key);
+                }
+            }
+        };
+        for u in 0..n {
+            arrive(u, &pc, &mut parked, &mut ready);
+        }
+        while let Some(key) = ready.pop() {
+            let complete = parked.get(&key).is_some_and(|w| w.len() >= required(&key));
+            if !complete {
+                continue;
+            }
+            let waiters = parked.remove(&key).unwrap_or_default();
+            for &u in &waiters {
+                pc[u] += 1;
+            }
+            for &u in &waiters {
+                arrive(u, &pc, &mut parked, &mut ready);
+            }
+        }
+
+        let stalled: Vec<usize> = (0..n).filter(|&u| pc[u] < self.programs[u].len()).collect();
+        if stalled.is_empty() {
+            return None;
+        }
+        // Wait-for graph: each stalled rank waits on the peers that have
+        // not arrived at its head site.
+        let mut waits_on: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &u in &stalled {
+            let key = site_key(self.ranks[u], self.programs[u][pc[u]].site);
+            match key {
+                SiteKey::Group(..) => {
+                    let here = parked.get(&key);
+                    for &m in self.site_members.get(&key).map_or(&[][..], |v| v) {
+                        let arrived = here.is_some_and(|w| w.contains(&m));
+                        if m != u && !arrived {
+                            waits_on[u].push(m);
+                        }
+                    }
+                }
+                SiteKey::P2p(a, b) => {
+                    let partner = if self.ranks[u] == a { b } else { a };
+                    if let Some(&p) = self.rank_index.get(&partner) {
+                        if !parked.get(&key).is_some_and(|w| w.contains(&p)) {
+                            waits_on[u].push(p);
+                        }
+                    }
+                }
+            }
+        }
+        let wait_point = |u: usize| WaitPoint {
+            rank: self.ranks[u],
+            event: pc[u],
+            label: self.programs[u][pc[u]].render(),
+        };
+        let cycle = find_cycle(&waits_on)
+            .map(|c| c.into_iter().map(wait_point).collect())
+            .unwrap_or_default();
+        Some(SpmdDeadlock {
+            cycle,
+            stalled: stalled.into_iter().map(wait_point).collect(),
+        })
+    }
+}
+
+/// Project and verify in one call: exhaustive below `FULL_THRESHOLD`
+/// ranks, symmetry-reduced above (where exhaustive enumeration would cost
+/// rank-count multiples for provably redundant work).
+pub fn certify(log: &[CommRecord], mesh: &DeviceMesh) -> SpmdReport {
+    const FULL_THRESHOLD: usize = 64;
+    if mesh.num_ranks() <= FULL_THRESHOLD {
+        SpmdTrace::project_full(log, mesh).verify()
+    } else {
+        SpmdTrace::project_reduced(log, mesh).verify()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use angel_hw::ClusterSpec;
+    use angel_sim::collectives::Collective;
+
+    /// A hand-written journal: two dp gathers, one tp all-reduce, the pp
+    /// boundary pair, one backward dp reduce-scatter.
+    fn journal() -> Vec<CommRecord> {
+        let rec = |group, kind, bytes, label: &str| CommRecord {
+            group,
+            kind,
+            bytes,
+            task: 0,
+            label: label.to_string(),
+        };
+        vec![
+            rec(
+                CommGroup::Dp,
+                CommKind::Collective(Collective::AllGather),
+                1024,
+                "all_gather s0",
+            ),
+            rec(
+                CommGroup::Tp,
+                CommKind::Collective(Collective::AllReduce),
+                512,
+                "tp_all_reduce s0",
+            ),
+            rec(CommGroup::Pp, CommKind::P2pSend, 256, "pp_send"),
+            rec(CommGroup::Pp, CommKind::P2pRecv, 256, "pp_recv"),
+            rec(
+                CommGroup::Dp,
+                CommKind::Collective(Collective::ReduceScatter),
+                1024,
+                "reduce_scatter l0",
+            ),
+        ]
+    }
+
+    fn mesh() -> DeviceMesh {
+        // 1 server, 8 GPUs: dp=2 × pp=2 × tp=2.
+        match DeviceMesh::new(ClusterSpec::single_a100(), 2, 2, 2) {
+            Ok(m) => m,
+            Err(e) => panic!("mesh: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn honest_projection_certifies() {
+        let mesh = mesh();
+        let report = SpmdTrace::project_full(&journal(), &mesh).verify();
+        report.assert_certified("full");
+        assert_eq!(report.ranks_checked, 8);
+        let reduced = SpmdTrace::project_reduced(&journal(), &mesh).verify();
+        reduced.assert_certified("reduced");
+        assert_eq!(reduced.ranks_checked, 2);
+        assert_eq!(reduced.classes, 2);
+        assert!(reduced.reduced);
+    }
+
+    #[test]
+    fn stage_roles_are_asymmetric() {
+        let mesh = mesh();
+        let trace = SpmdTrace::project_full(&journal(), &mesh);
+        // Rank 0 is stage 0: sends activations forward, never receives
+        // them; the last stage is the mirror image.
+        let first = trace.program(0);
+        assert!(matches!(first[0].site, EventSite::Group { .. }));
+        assert!(first
+            .iter()
+            .any(|e| matches!(e.site, EventSite::Send { .. })));
+        let last_rank = mesh.rank_of(0, mesh.pp() - 1, 0);
+        let last = trace.program(last_rank);
+        assert!(matches!(last[0].site, EventSite::Recv { .. }));
+        assert!(matches!(last[last.len() - 1].site, EventSite::Send { .. }));
+    }
+
+    #[test]
+    fn mismatched_bytes_are_caught() {
+        let mesh = mesh();
+        let mut trace = SpmdTrace::project_full(&journal(), &mesh);
+        trace.set_bytes(3, 0, 999);
+        let report = trace.verify();
+        assert!(!report.is_certified());
+        assert!(!report.mismatches.is_empty());
+        assert!(report.describe().contains("999"));
+    }
+
+    #[test]
+    fn reordered_collective_on_one_channel_is_a_mismatch() {
+        let mesh = mesh();
+        let mut trace = SpmdTrace::project_full(&journal(), &mesh);
+        // Rank 0's program: [ag, tp_ar, send, recv, rs]. Swapping the two
+        // dp-channel collectives makes rank 0's dp-group sequence
+        // [rs, ag] while every peer still runs [ag, rs].
+        trace.swap_events(0, 0, 4);
+        let report = trace.verify();
+        assert!(!report.is_certified());
+        assert!(
+            report.mismatches.iter().any(|m| m.site.starts_with("dp")),
+            "dp sequence mismatch expected:\n{}",
+            report.describe()
+        );
+    }
+
+    #[test]
+    fn pp_recv_hoisted_above_tp_allreduce_deadlocks() {
+        let mesh = mesh();
+        let mut trace = SpmdTrace::project_full(&journal(), &mesh);
+        // Rank 0's program: [ag, tp_ar, send→2, recv←2, rs]. Hoisting the
+        // gradient recv above the tp all-reduce (and its own send) makes
+        // rank 0 wait for rank 2's last event while rank 2's first event
+        // waits for rank 0's send — a genuine cross-rank wait-for cycle,
+        // with rank 1 stalled behind it at the tp all-reduce.
+        trace.swap_events(0, 1, 3);
+        let report = trace.verify();
+        let deadlock = match &report.deadlock {
+            Some(d) => d,
+            None => panic!("expected deadlock:\n{}", report.describe()),
+        };
+        assert!(
+            !deadlock.cycle.is_empty(),
+            "hoisted recv is a true cycle:\n{}",
+            report.describe()
+        );
+        let in_cycle: Vec<usize> = deadlock.cycle.iter().map(|w| w.rank).collect();
+        assert!(in_cycle.contains(&0) && in_cycle.contains(&2));
+    }
+
+    #[test]
+    fn dropped_member_stalls_the_group() {
+        let mesh = mesh();
+        let mut trace = SpmdTrace::project_full(&journal(), &mesh);
+        // Remove rank 5's first dp gather: its dp peers wait forever.
+        trace.remove_event(5, 1);
+        let report = trace.verify();
+        assert!(!report.is_certified());
+        assert!(
+            !report.mismatches.is_empty(),
+            "length mismatch must be reported"
+        );
+    }
+}

@@ -257,6 +257,78 @@ impl DeviceMesh {
             &self.cluster.nic
         }
     }
+
+    // ---- Group enumeration and SPMD symmetry ----------------------------
+    //
+    // The SPMD verifier reasons about *concrete* group instances (the dp
+    // group containing rank 7, the third tp group, ...) rather than the
+    // per-axis layout summaries above, and exploits the homogeneous
+    // dp-outer/pp-middle/tp-inner layout to verify one representative rank
+    // per equivalence class. These helpers give groups stable indices and
+    // name the symmetry.
+
+    /// Number of distinct groups along `axis` (every rank belongs to
+    /// exactly one, so this is `num_ranks / axis_size`).
+    pub fn num_groups(&self, axis: MeshAxis) -> usize {
+        self.num_ranks() / self.axis_size(axis)
+    }
+
+    /// Canonical index of `rank`'s group along `axis`, in
+    /// `0..num_groups(axis)`: the rank's coordinates on the *other* two
+    /// axes, flattened in (outer, inner) order.
+    pub fn group_index(&self, axis: MeshAxis, rank: usize) -> usize {
+        let (d, p, t) = self.coords_of(rank);
+        match axis {
+            MeshAxis::Dp => p * self.tp + t,
+            MeshAxis::Pp => d * self.tp + t,
+            MeshAxis::Tp => d * self.pp + p,
+        }
+    }
+
+    /// Members of group `index` along `axis`, in group (axis-coordinate)
+    /// order — the inverse of [`DeviceMesh::group_index`].
+    pub fn group_members(&self, axis: MeshAxis, index: usize) -> Vec<usize> {
+        debug_assert!(index < self.num_groups(axis));
+        (0..self.axis_size(axis))
+            .map(|i| match axis {
+                MeshAxis::Dp => self.rank_of(i, index / self.tp, index % self.tp),
+                MeshAxis::Pp => self.rank_of(index / self.tp, i, index % self.tp),
+                MeshAxis::Tp => self.rank_of(index / self.pp, index % self.pp, i),
+            })
+            .collect()
+    }
+
+    /// The pipeline neighbors of `rank`: the same (dp, tp) coordinates one
+    /// stage earlier and one stage later, `None` at the pipeline ends.
+    pub fn pp_neighbors(&self, rank: usize) -> (Option<usize>, Option<usize>) {
+        let (d, p, t) = self.coords_of(rank);
+        let prev = (p > 0).then(|| self.rank_of(d, p - 1, t));
+        let next = (p + 1 < self.pp).then(|| self.rank_of(d, p + 1, t));
+        (prev, next)
+    }
+
+    /// The SPMD symmetry class of `rank`. Under the homogeneous layout the
+    /// lowered per-rank program depends only on the pipeline stage: dp peers
+    /// run identical ZeRO shards of the same stage and tp peers run
+    /// identical slices of the same layers, while different stages hold
+    /// different layers and different pipeline-boundary roles. The class is
+    /// therefore the pp coordinate.
+    pub fn symmetry_class(&self, rank: usize) -> usize {
+        self.coords_of(rank).1
+    }
+
+    /// Ranks per symmetry class (`dp × tp`).
+    pub fn class_size(&self) -> usize {
+        self.dp * self.tp
+    }
+
+    /// One representative rank per symmetry class: the dp=0 / tp=0 pipeline
+    /// column, in stage order. Every cross-class interaction (the pp
+    /// boundary handshakes) happens inside one such column, so verifying
+    /// the column plus per-class trace equality covers the whole mesh.
+    pub fn representative_column(&self) -> Vec<usize> {
+        (0..self.pp).map(|p| self.rank_of(0, p, 0)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +443,70 @@ mod tests {
         let g0 = m.group_ranks(MeshAxis::Dp, 0);
         for &r in &g0 {
             assert_eq!(m.group_ranks(MeshAxis::Dp, r), g0, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn group_index_and_members_invert_each_other() {
+        let m = mesh(4, 4, 2, 4);
+        for axis in [MeshAxis::Dp, MeshAxis::Pp, MeshAxis::Tp] {
+            // Every rank appears in exactly the group its index names, and
+            // the enumerated members agree with the membership-by-rank view.
+            let mut seen = vec![0usize; m.num_ranks()];
+            for g in 0..m.num_groups(axis) {
+                let members = m.group_members(axis, g);
+                assert_eq!(members.len(), m.axis_size(axis));
+                for &r in &members {
+                    assert_eq!(m.group_index(axis, r), g, "{axis:?} rank {r}");
+                    assert_eq!(m.group_ranks(axis, r), members);
+                    seen[r] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{axis:?} partitions ranks");
+        }
+    }
+
+    #[test]
+    fn pp_neighbors_walk_the_pipeline() {
+        let m = mesh(4, 4, 4, 2);
+        for r in 0..m.num_ranks() {
+            let (d, p, t) = m.coords_of(r);
+            let (prev, next) = m.pp_neighbors(r);
+            assert_eq!(prev.is_none(), p == 0);
+            assert_eq!(next.is_none(), p + 1 == m.pp());
+            if let Some(prev) = prev {
+                assert_eq!(m.coords_of(prev), (d, p - 1, t));
+                // Symmetric: my upstream's downstream is me.
+                assert_eq!(m.pp_neighbors(prev).1, Some(r));
+            }
+            if let Some(next) = next {
+                assert_eq!(m.coords_of(next), (d, p + 1, t));
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_classes_are_pipeline_stages() {
+        let m = mesh(4, 4, 2, 4);
+        // dp and tp groups stay within one class; only pp crosses them.
+        for r in 0..m.num_ranks() {
+            assert_eq!(m.symmetry_class(r), m.coords_of(r).1);
+            for axis in [MeshAxis::Dp, MeshAxis::Tp] {
+                for &peer in &m.group_ranks(axis, r) {
+                    assert_eq!(m.symmetry_class(peer), m.symmetry_class(r));
+                }
+            }
+        }
+        assert_eq!(m.class_size(), 16);
+        // One representative per class, in stage order, chained by
+        // pp_neighbors — the column the reduced SPMD verifier walks.
+        let col = m.representative_column();
+        assert_eq!(col.len(), m.pp());
+        for (s, &r) in col.iter().enumerate() {
+            assert_eq!(m.symmetry_class(r), s);
+        }
+        for w in col.windows(2) {
+            assert_eq!(m.pp_neighbors(w[0]).1, Some(w[1]));
         }
     }
 }

@@ -145,7 +145,10 @@ impl<A: AddressAllocator> PooledAllocator<A> {
             .min_by_key(|(class, b)| (b.last_used, **class))
             .map(|(class, _)| *class);
         let Some(class) = victim else { return 0 };
-        let bin = self.bins.remove(&class).expect("victim bin exists");
+        let Some(bin) = self.bins.remove(&class) else {
+            // `victim` was drawn from `self.bins` two lines up.
+            unreachable!("LRU victim bin {class} vanished");
+        };
         let released = class * bin.slots.len() as u64;
         for slot in bin.slots {
             self.inner.free(slot);

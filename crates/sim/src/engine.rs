@@ -632,7 +632,8 @@ impl Simulation {
             // memory level that a same-t completion was about to release.
             let mut batch = vec![task];
             while heap.peek().is_some_and(|p| p.finish == now) {
-                batch.push(heap.pop().expect("peeked").task);
+                let Some(p) = heap.pop() else { break };
+                batch.push(p.task);
             }
             for &task in &batch {
                 if task == WAKE {

@@ -135,6 +135,9 @@ pub fn counter_events(
 /// with microsecond timestamps (the trace-event format's unit).
 pub fn chrome_trace(sim: &Simulation, report: &ExecutionReport) -> String {
     let events = trace_events(sim, report, 1);
+    // Trace events are integers and strings only; serialization of such a
+    // tree is infallible.
+    #[allow(clippy::disallowed_methods)]
     serde_json::to_string_pretty(&serde_json::json!({ "traceEvents": events }))
         .expect("trace serializes")
 }

@@ -53,9 +53,8 @@ pub fn generate(
             probs
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(i, _)| i)
-                .unwrap()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map_or(0, |(i, _)| i)
         } else {
             // Temperature rescale in probability space: p^(1/T).
             let inv_t = 1.0 / cfg.temperature;

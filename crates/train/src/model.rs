@@ -273,7 +273,12 @@ impl TinyGpt {
         target: &[usize],
     ) -> (f32, Vec<Vec<f32>>) {
         let (loss, grads) = self.forward_backward_inner(params, input, target, true);
-        (loss, grads.expect("grads requested"))
+        let Some(grads) = grads else {
+            // `forward_backward_inner` returns gradients whenever its
+            // `backward` flag is set, as it is on the line above.
+            unreachable!("backward pass returned no gradients");
+        };
+        (loss, grads)
     }
 
     fn forward_backward_inner(
