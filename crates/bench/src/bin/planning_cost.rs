@@ -17,7 +17,7 @@ use angel_bench::Experiment;
 use angel_core::scheduler::{
     input_from_trace, oracle, LayerPlan, Schedule, SchedulerInput, UnifiedScheduler,
 };
-use angel_core::{MetricsSnapshot, Recorder, Tracer};
+use angel_core::{MetricsSnapshot, Planner, Recorder, ReplanDelta, Tracer};
 use angel_model::TransformerConfig;
 use std::time::Instant;
 
@@ -81,7 +81,59 @@ fn model_row(name: &'static str, cfg: &TransformerConfig, dp: usize, budget: u64
     Row { name, input }
 }
 
+/// A replan case: a named mutation of `base`, expressed both as the mutated
+/// input (for the from-scratch side) and as forward/reverse deltas (for the
+/// incremental side, applied alternately so each timed replan starts from a
+/// warm session with reusable buffers).
+struct DeltaCase {
+    name: String,
+    base: SchedulerInput,
+    mutated: SchedulerInput,
+}
+
+impl DeltaCase {
+    fn single_layer(model: &str, base: &SchedulerInput) -> Self {
+        // A one-byte working-set nudge on one layer: the canonical local
+        // delta (an activation-footprint re-estimate). The planner must
+        // revalidate, recompute the touched layer and diff triggers, but the
+        // surviving decisions let the emission patch in place.
+        let idx = base.layers.len() / 2;
+        let mut mutated = base.clone();
+        mutated.layers[idx].working_set += 1;
+        Self {
+            name: format!("replan-single-layer-{model}"),
+            base: base.clone(),
+            mutated,
+        }
+    }
+
+    fn outage(model: &str, base: &SchedulerInput) -> Self {
+        // A degraded fleet tightens the budget by 1/16 — a pure capacity
+        // delta, the Engine::run_online outage splice.
+        let mut mutated = base.clone();
+        mutated.gpu_budget -= mutated.gpu_budget / 16;
+        Self {
+            name: format!("replan-outage-{model}"),
+            base: base.clone(),
+            mutated,
+        }
+    }
+
+    fn resize(model: &str, base: &SchedulerInput, resized: &SchedulerInput) -> Self {
+        // Elastic resize dp 8 → 16: every layer's shard halves — the delta
+        // touches all layers, the fast path's worst case.
+        Self {
+            name: format!("replan-resize-{model}"),
+            base: base.clone(),
+            mutated: resized.clone(),
+        }
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reps = if quick { 1 } else { 3 };
     let gib = 1u64 << 30;
     let rows = vec![
         // The acceptance input: ~10⁵ pages over ≥192 compute steps (384
@@ -133,7 +185,7 @@ fn main() {
     for row in &rows {
         let pages: usize = row.input.layers.iter().map(|l| l.shard_pages.len()).sum();
         let (opt_s, fast): (f64, Schedule) =
-            time_best(3, || sched.schedule(&row.input).expect("feasible"));
+            time_best(reps, || sched.schedule(&row.input).expect("feasible"));
         let (ora_s, slow) = time_best(1, || {
             oracle::schedule(&sched, &row.input).expect("feasible")
         });
@@ -171,17 +223,109 @@ fn main() {
             "identical": identical,
         }));
     }
+    // Incremental replanning (the ReplanDelta fast path) vs. a from-scratch
+    // schedule of the same mutated input. Columns map as: optimized =
+    // warm-session incremental replan, oracle = full schedule() of the
+    // mutated input. `identical` asserts the session's emitted schedule is
+    // byte-equal to the from-scratch one.
+    let mut cases = Vec::new();
+    for (model, cfg) in [
+        ("gpt3-13b", TransformerConfig::gpt3_13b()),
+        ("gpt3-175b", TransformerConfig::gpt3_175b()),
+        ("gpt3-1t", TransformerConfig::gpt3_175b().with_layers(548)),
+    ] {
+        let base = model_row("base", &cfg, 8, 30 * gib).input;
+        let resized = model_row("resized", &cfg, 16, 30 * gib).input;
+        cases.push(DeltaCase::single_layer(model, &base));
+        cases.push(DeltaCase::outage(model, &base));
+        cases.push(DeltaCase::resize(model, &base, &resized));
+    }
+    for case in &cases {
+        let fwd = ReplanDelta::diff(&case.base, &case.mutated);
+        let rev = ReplanDelta::diff(&case.mutated, &case.base);
+        let mut planner = Planner::new(sched.clone(), case.base.clone()).expect("feasible base");
+        // Alternate forward/reverse applies: each timed replan runs on a
+        // warm session whose timeline and emission buffers are reused
+        // (reset, not reallocated). Best-of over both directions.
+        let mut inc_s = f64::INFINITY;
+        for _ in 0..reps {
+            for delta in [&fwd, &rev] {
+                let t0 = Instant::now();
+                planner.replan(delta).expect("feasible delta");
+                inc_s = inc_s.min(t0.elapsed().as_secs_f64());
+            }
+        }
+        planner.replan(&fwd).expect("feasible delta"); // land on `mutated`
+        let outcome = planner.last_outcome();
+        let (full_s, full): (f64, Schedule) =
+            time_best(reps, || sched.schedule(&case.mutated).expect("feasible"));
+        let identical = *planner.schedule() == full;
+        assert!(
+            identical,
+            "{}: incremental replan diverges from from-scratch schedule",
+            case.name
+        );
+        let speedup = full_s / inc_s.max(1e-9);
+        let pages: usize = case
+            .mutated
+            .layers
+            .iter()
+            .map(|l| l.shard_pages.len())
+            .sum();
+        recorder.counter("plan.replans").inc();
+        recorder.counter("plan.replan_ns").add((inc_s * 1e9) as u64);
+        recorder
+            .counter("plan.layers_reused")
+            .add(outcome.layers_reused as u64);
+        plan_us.observe((inc_s * 1e6) as u64);
+        table.row(vec![
+            case.name.clone(),
+            case.mutated.layers.len().to_string(),
+            case.mutated.steps.len().to_string(),
+            pages.to_string(),
+            format!("{:.3} ms", inc_s * 1e3),
+            format!("{:.3} ms", full_s * 1e3),
+            format!("{speedup:.1}x"),
+            identical.to_string(),
+        ]);
+        records.push(serde_json::json!({
+            "name": case.name.clone(),
+            "layers": case.mutated.layers.len(),
+            "steps": case.mutated.steps.len(),
+            "pages": pages,
+            "tasks": full.tasks.len(),
+            "optimized_ms": inc_s * 1e3,
+            "oracle_ms": full_s * 1e3,
+            "speedup": speedup,
+            "identical": identical,
+            "layers_reused": outcome.layers_reused,
+            "layers_touched": outcome.layers_touched,
+            "patched_in_place": outcome.patched_in_place,
+        }));
+    }
+
     table.note(
         "Optimized = lazy range-add/range-max segment-tree timeline with batched \
          per-layer evict/re-add; oracle = retained per-page O(pages × steps) \
-         implementation. Both emit byte-identical schedules (asserted).",
+         implementation. Both emit byte-identical schedules (asserted). \
+         replan-* rows compare a warm incremental session (optimized) against \
+         a from-scratch schedule of the mutated input (oracle).",
     );
     table.emit();
 
-    let out = std::env::args()
-        .nth(1)
-        .filter(|a| !a.starts_with('-'))
-        .unwrap_or_else(|| format!("{}/../../BENCH_plan.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::create_dir_all("target").ok();
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .cloned()
+        .unwrap_or_else(|| {
+            if quick {
+                // Smoke runs must not overwrite the checked-in baseline.
+                "target/BENCH_plan.json".to_string()
+            } else {
+                format!("{}/../../BENCH_plan.json", env!("CARGO_MANIFEST_DIR"))
+            }
+        });
     let doc = serde_json::json!({
         "id": "plan_bench",
         "generated_by": "cargo run --release -p angel-bench --bin planning_cost",

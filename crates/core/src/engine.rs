@@ -35,14 +35,16 @@ use crate::config::EngineConfig;
 use crate::error::Result;
 use crate::obs::{ObsThread, Recorder};
 use crate::plan::{
-    lower_schedule, LoweredIteration, MemoryPlan, ScheduleLowering, SchedulePlan, ShardPlan,
-    TracePlan,
+    lower_schedule, FaultTarget, LoweredIteration, MemoryPlan, ScheduleLowering, SchedulePlan,
+    ShardPlan, TracePlan,
 };
+use crate::replan::{Planner, ReplanOutcome};
 use crate::scheduler::Schedule;
 use crate::tracer::Trace;
 use crate::zero::ZeroPartition;
 use angel_hw::DeviceId;
 use angel_model::TransformerConfig;
+use angel_sim::{FaultEvent, FaultKind};
 use serde::{Deserialize, Serialize};
 
 pub use crate::plan::memory::Placement;
@@ -70,6 +72,9 @@ pub struct IterStats {
     pub update_cycle_ns: u64,
     /// Update staleness in iterations (lock-free mode; 0.0 when synchronous).
     pub staleness_iters: f64,
+    /// Lowered tasks that did not complete (0 on fault-free runs; > 0 when
+    /// an injected [`ClusterEvent`] killed in-flight work).
+    pub tasks_failed: u64,
 }
 
 /// Multi-iteration aggregate.
@@ -79,6 +84,83 @@ pub struct RunReport {
     pub total_time_ns: u64,
     pub samples_per_sec: f64,
     pub per_iter: IterStats,
+}
+
+/// A mid-run cluster change the online-replanning loop reacts to. Events
+/// are anchored to an iteration index: faults fire *inside* iteration
+/// `at_iter` (injected into that iteration's simulation), and the engine
+/// replans and splices at the `at_iter → at_iter + 1` boundary — no task of
+/// the abandoned tail ever executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterEvent {
+    /// A transient resource outage during iteration `at_iter`. The topology
+    /// is unchanged, but the engine treats the fault as a degraded-headroom
+    /// signal: the splice replans with a tightened GPU budget (capacity
+    /// delta) so subsequent iterations keep slack for re-executed work.
+    Outage {
+        at_iter: usize,
+        target: FaultTarget,
+        /// Simulation time within the iteration at which the fault fires.
+        at_ns: u64,
+        duration_ns: u64,
+    },
+    /// Permanent loss of `servers` servers detected during iteration
+    /// `at_iter` (sim-side: the collective channel dies at `at_ns`). The
+    /// splice replans onto the surviving fleet.
+    ServerLoss {
+        at_iter: usize,
+        servers: usize,
+        at_ns: u64,
+    },
+    /// Elastic resize to `servers` total servers, effective at the
+    /// `at_iter → at_iter + 1` boundary (no in-iteration fault).
+    Resize { at_iter: usize, servers: usize },
+}
+
+impl ClusterEvent {
+    /// The iteration this event is anchored to.
+    pub fn at_iter(&self) -> usize {
+        match *self {
+            ClusterEvent::Outage { at_iter, .. }
+            | ClusterEvent::ServerLoss { at_iter, .. }
+            | ClusterEvent::Resize { at_iter, .. } => at_iter,
+        }
+    }
+}
+
+/// One plan splice performed by [`Engine::run_online`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpliceReport {
+    /// The splice happened at the `at_iter → at_iter + 1` boundary.
+    pub at_iter: usize,
+    /// Cluster size (servers) after the splice.
+    pub servers: usize,
+    /// Wall-clock nanoseconds of the full replan (trace → shard → place →
+    /// incremental schedule → materialize).
+    pub replan_ns: u64,
+    /// What the incremental planner reused versus recomputed.
+    pub outcome: ReplanOutcome,
+    /// Whether the spliced lowering was re-verified (plan graph + SPMD) —
+    /// debug builds only, subject to the task-count gate.
+    pub verified: bool,
+}
+
+/// Result of an online-replanning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineReport {
+    pub iters: usize,
+    /// Per-iteration stats: iterations before a splice ran the old plan
+    /// (possibly degraded by injected faults), iterations after it run the
+    /// replanned one.
+    pub per_iter: Vec<IterStats>,
+    /// One entry per replan, in boundary order.
+    pub splices: Vec<SpliceReport>,
+    /// Sum of the per-iteration times.
+    pub total_time_ns: u64,
+    /// Samples completed ÷ total time (each iteration's global batch is
+    /// counted under the config it actually ran with; iterations with
+    /// failed tasks contribute time but no samples).
+    pub samples_per_sec: f64,
 }
 
 /// The initialized training engine for one model on one cluster.
@@ -99,6 +181,10 @@ pub struct Engine {
     /// Observability handle; disabled (free) unless attached via
     /// [`Engine::set_recorder`] / [`Engine::with_recorder`].
     recorder: Recorder,
+    /// The persistent incremental-planner session behind this engine's
+    /// schedule. [`Engine::run_online`] replans through it, so a cluster
+    /// change pays only for the layers it touches.
+    planner: Option<Planner>,
 }
 
 impl Engine {
@@ -108,7 +194,9 @@ impl Engine {
         let traced = TracePlan::build(model, config)?;
         let shard = ShardPlan::build(model, config, &traced);
         let mem = MemoryPlan::build(config, &shard)?;
-        let planned = SchedulePlan::build(config, &shard, &mem, &traced.zero)?;
+        let mut planner = None;
+        let planned =
+            SchedulePlan::build_with_planner(config, &shard, &mem, &traced.zero, &mut planner)?;
         let placed = mem.place(config, &shard, &planned)?;
         let allocator = mem.materialize(config, model.layers, &placed)?;
 
@@ -123,6 +211,7 @@ impl Engine {
             zero: traced.zero,
             layer_comm_bytes: shard.layer_comm_bytes,
             recorder: Recorder::disabled(),
+            planner,
         })
     }
 
@@ -143,6 +232,12 @@ impl Engine {
     /// The engine's recorder (disabled unless one was attached).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// The configuration currently in force — updated by splices
+    /// ([`Engine::run_online`]) when the cluster resizes or degrades.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     pub fn schedule(&self) -> &Schedule {
@@ -230,8 +325,14 @@ impl Engine {
 
     /// Execute one training iteration on the simulated hardware.
     pub fn train_iteration(&mut self) -> IterStats {
-        let wall_start = self.recorder.now_ns();
         let lowered = self.build_iteration_sim();
+        self.run_lowered(lowered)
+    }
+
+    /// Execute one already-lowered iteration (possibly with injected
+    /// [`FaultEvent`]s) and report its stats.
+    fn run_lowered(&mut self, lowered: LoweredIteration) -> IterStats {
+        let wall_start = self.recorder.now_ns();
         let report = lowered.sim.run();
         // Debug builds statically verify the lowered iteration: no
         // unordered conflicting accesses, well-formed object lifetimes, and
@@ -239,8 +340,12 @@ impl Engine {
         // The verifier's happens-before closure is O(V²·E/64), so large
         // lowerings are skipped past `debug_verify_task_limit` — see
         // `should_debug_verify` for the `ANGEL_DEBUG_VERIFY` override.
+        // Fault-injected runs are exempt: killed/deferred tasks violate the
+        // coverage bound by design.
         #[cfg(debug_assertions)]
-        if should_debug_verify(lowered.sim.num_tasks(), self.config.debug_verify_task_limit) {
+        if lowered.sim.faults().is_empty()
+            && should_debug_verify(lowered.sim.num_tasks(), self.config.debug_verify_task_limit)
+        {
             let verdict = crate::verify::PlanGraph::from_sim(&lowered.sim).verify();
             verdict.assert_clean("engine iteration lowering");
             verdict.assert_covers(&report, "engine iteration lowering");
@@ -280,6 +385,7 @@ impl Engine {
             resident_fraction: self.schedule.stats.resident_fraction,
             update_cycle_ns: update_cycle,
             staleness_iters: staleness,
+            tasks_failed: report.failed_tasks.len() as u64,
         };
         if self.recorder.is_enabled() {
             self.record_iteration(&lowered, &report, &stats, wall_start);
@@ -393,6 +499,188 @@ impl Engine {
             samples_per_sec: per_iter.samples_per_sec,
             per_iter,
         }
+    }
+
+    /// Run `iters` iterations under a stream of [`ClusterEvent`]s — the
+    /// online-replanning loop. Each event's faults are injected into the
+    /// simulation of iteration `at_iter`; at the `at_iter → at_iter + 1`
+    /// boundary the engine replans the remaining iterations against the
+    /// changed topology through its persistent incremental [`Planner`] and
+    /// splices the new lowered schedule in. The abandoned tail of the old
+    /// plan never executes: every post-splice iteration lowers the new
+    /// schedule, byte-identical to a fresh engine initialized at the new
+    /// configuration. Debug builds re-verify each spliced lowering (plan
+    /// graph + symmetry-reduced SPMD certification).
+    ///
+    /// Errors when a replan is infeasible (e.g. the surviving fleet cannot
+    /// hold the model, or the model-parallel block does not divide it) —
+    /// the engine is left on its last good plan.
+    pub fn run_online(&mut self, iters: usize, events: &[ClusterEvent]) -> Result<OnlineReport> {
+        assert!(iters >= 1);
+        let mut per_iter = Vec::with_capacity(iters);
+        let mut splices = Vec::new();
+        let mut total_ns = 0u64;
+        let mut samples = 0f64;
+        for k in 0..iters {
+            let mut lowered = self.build_iteration_sim();
+            for ev in events.iter().filter(|e| e.at_iter() == k) {
+                match *ev {
+                    ClusterEvent::Outage {
+                        target,
+                        at_ns,
+                        duration_ns,
+                        ..
+                    } => lowered.sim.inject_fault(FaultEvent {
+                        resource: lowered.fault_resource(target),
+                        at: at_ns,
+                        kind: FaultKind::Outage {
+                            duration: duration_ns,
+                        },
+                    }),
+                    ClusterEvent::ServerLoss { at_ns, .. } => {
+                        lowered.sim.inject_fault(FaultEvent {
+                            resource: lowered.comm,
+                            at: at_ns,
+                            kind: FaultKind::Permanent,
+                        })
+                    }
+                    ClusterEvent::Resize { .. } => {} // boundary-only
+                }
+            }
+            let mut stats = self.run_lowered(lowered);
+            total_ns += stats.iter_time_ns;
+            if stats.tasks_failed == 0 {
+                samples += self.config.global_batch() as f64;
+            } else {
+                // A permanent fault strands the iteration: whatever the sim
+                // completed before dying produced no usable batch, so the
+                // iteration contributes time but no samples.
+                stats.samples_per_sec = 0.0;
+            }
+            per_iter.push(stats);
+
+            // Splice at the boundary: replan against the new topology so
+            // iterations k+1.. run the new schedule.
+            if k + 1 < iters {
+                for ev in events.iter().filter(|e| e.at_iter() == k) {
+                    let splice = match *ev {
+                        // Degraded headroom: tighten the budget by 1/16 of
+                        // the current GPU budget (accumulates across
+                        // outages) — a pure capacity delta for the planner.
+                        ClusterEvent::Outage { .. } => {
+                            let tightened =
+                                self.config.gpu_reserved + self.config.gpu_budget() / 16;
+                            self.resplice(k, self.config.cluster.num_servers, tightened)?
+                        }
+                        ClusterEvent::ServerLoss { servers, .. } => {
+                            let survivors = self
+                                .config
+                                .cluster
+                                .num_servers
+                                .saturating_sub(servers)
+                                .max(1);
+                            self.resplice(k, survivors, self.config.gpu_reserved)?
+                        }
+                        ClusterEvent::Resize { servers, .. } => {
+                            self.resplice(k, servers, self.config.gpu_reserved)?
+                        }
+                    };
+                    splices.push(splice);
+                }
+            }
+        }
+        Ok(OnlineReport {
+            iters,
+            per_iter,
+            splices,
+            total_time_ns: total_ns,
+            samples_per_sec: samples / (total_ns.max(1) as f64 / 1e9),
+        })
+    }
+
+    /// Replan the engine onto `servers` servers with `gpu_reserved` bytes
+    /// held back, through the persistent incremental planner, and splice
+    /// the new plan in. On error the engine keeps its previous plan.
+    fn resplice(
+        &mut self,
+        at_iter: usize,
+        servers: usize,
+        gpu_reserved: u64,
+    ) -> Result<SpliceReport> {
+        let wall_start = self.recorder.now_ns();
+        let t0 = std::time::Instant::now();
+        let mut config = self.config.clone();
+        config.cluster = config.cluster.resized(servers);
+        config.gpu_reserved = gpu_reserved;
+        config.parallelism = config.parallelism.refit(config.cluster.total_gpus())?;
+        let traced = TracePlan::build(&self.model, &config)?;
+        let shard = ShardPlan::build(&self.model, &config, &traced);
+        let mem = MemoryPlan::build(&config, &shard)?;
+        let planned = SchedulePlan::build_with_planner(
+            &config,
+            &shard,
+            &mem,
+            &traced.zero,
+            &mut self.planner,
+        )?;
+        let placed = mem.place(&config, &shard, &planned)?;
+        let allocator = mem.materialize(&config, self.model.layers, &placed)?;
+        let replan_ns = (t0.elapsed().as_nanos() as u64).max(1);
+
+        // Commit the spliced plan.
+        self.config = config;
+        self.trace = traced.trace;
+        self.schedule = planned.schedule;
+        self.placement = placed.placement;
+        self.cache_plan = planned.cache_plan;
+        self.allocator = allocator;
+        self.zero = traced.zero;
+        self.layer_comm_bytes = shard.layer_comm_bytes;
+        if self.recorder.is_enabled() {
+            self.allocator.set_recorder(self.recorder.clone());
+        }
+        let outcome = self
+            .planner
+            .as_ref()
+            .map(|p| p.last_outcome())
+            .unwrap_or_default();
+        let verified = self.debug_verify_splice();
+
+        let rec = &self.recorder;
+        rec.counter("plan.replans").inc();
+        rec.counter("plan.replan_ns").add(replan_ns);
+        rec.counter("plan.layers_reused")
+            .add(outcome.layers_reused as u64);
+        rec.span(ObsThread::Engine, "replan", -1, wall_start);
+        rec.counter_sample(ObsThread::Engine, "plan.replan_ns", replan_ns);
+        Ok(SpliceReport {
+            at_iter,
+            servers,
+            replan_ns,
+            outcome,
+            verified,
+        })
+    }
+
+    /// Debug-build verification of a freshly spliced plan: lower it and run
+    /// the plan-graph verifier plus the symmetry-reduced SPMD certifier.
+    /// Returns whether verification actually ran (false in release builds
+    /// and past the task-count gate).
+    fn debug_verify_splice(&self) -> bool {
+        #[cfg(debug_assertions)]
+        {
+            let lowered = self.build_iteration_sim();
+            if should_debug_verify(lowered.sim.num_tasks(), self.config.debug_verify_task_limit) {
+                let verdict = crate::verify::PlanGraph::from_sim(&lowered.sim).verify();
+                verdict.assert_clean("spliced iteration lowering");
+                if let Ok(mesh) = self.config.device_mesh() {
+                    crate::verify::spmd::certify(&lowered.comm_log, &mesh)
+                        .assert_certified("spliced iteration lowering (spmd)");
+                }
+                return true;
+            }
+        }
+        false
     }
 
     /// The largest layer count of `base` that [`Engine::initialize`] accepts
@@ -527,6 +815,71 @@ mod tests {
         let r = e.run(10);
         assert_eq!(r.iters, 10);
         assert_eq!(r.total_time_ns, r.per_iter.iter_time_ns * 10);
+    }
+
+    #[test]
+    fn run_online_without_events_matches_run() {
+        let mut e = Engine::initialize(&tiny_model(), &EngineConfig::single_server()).unwrap();
+        let baseline = e.train_iteration();
+        let r = e.run_online(3, &[]).unwrap();
+        assert_eq!(r.iters, 3);
+        assert!(r.splices.is_empty());
+        for s in &r.per_iter {
+            assert_eq!(*s, baseline);
+        }
+        assert_eq!(r.total_time_ns, baseline.iter_time_ns * 3);
+    }
+
+    #[test]
+    fn outage_defers_tasks_and_splices_a_tighter_budget() {
+        let mut e = Engine::initialize(&tiny_model(), &EngineConfig::single_server()).unwrap();
+        let reserved_before = e.config().gpu_reserved;
+        let r = e
+            .run_online(
+                2,
+                &[ClusterEvent::Outage {
+                    at_iter: 0,
+                    target: FaultTarget::Comm,
+                    at_ns: 0,
+                    duration_ns: 2_000_000,
+                }],
+            )
+            .unwrap();
+        // An outage defers work rather than killing it: the degraded
+        // iteration is slower but complete.
+        assert_eq!(r.per_iter[0].tasks_failed, 0);
+        assert!(r.per_iter[0].iter_time_ns > r.per_iter[1].iter_time_ns);
+        // The splice replanned under a tightened budget.
+        assert_eq!(r.splices.len(), 1);
+        assert_eq!(r.splices[0].at_iter, 0);
+        assert!(e.config().gpu_reserved > reserved_before);
+        if cfg!(debug_assertions) {
+            assert!(r.splices[0].verified);
+        }
+    }
+
+    #[test]
+    fn server_loss_fails_tasks_then_replans_onto_survivors() {
+        let mut e = Engine::initialize(&tiny_model(), &EngineConfig::servers(2)).unwrap();
+        let r = e
+            .run_online(
+                2,
+                &[ClusterEvent::ServerLoss {
+                    at_iter: 0,
+                    servers: 1,
+                    at_ns: 0,
+                }],
+            )
+            .unwrap();
+        // A permanent comm fault strands the collective chain.
+        assert!(r.per_iter[0].tasks_failed > 0);
+        // The splice reshaped the mesh onto the surviving server and the
+        // next iteration runs clean.
+        assert_eq!(e.config().cluster.num_servers, 1);
+        assert_eq!(e.config().parallelism.dp, 8);
+        assert_eq!(r.per_iter[1].tasks_failed, 0);
+        assert_eq!(r.splices.len(), 1);
+        assert_eq!(r.splices[0].servers, 1);
     }
 
     #[test]

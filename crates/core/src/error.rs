@@ -150,6 +150,11 @@ pub enum Error {
     /// tensors. Silently replacing it would zero `used_pages`/`tenant_bytes`
     /// under the residents and corrupt every stat and gauge afterwards.
     PoolInUse { device: DeviceId, used_pages: usize },
+    /// A [`crate::replan::ReplanDelta`] is malformed (out-of-range or
+    /// duplicate layer index, layer-count change without a step list, a step
+    /// referencing a missing layer, ...). The planner rejects it without
+    /// mutating its state, so the previous plan stays live.
+    BadReplanDelta(&'static str),
 }
 
 impl fmt::Display for Error {
@@ -195,6 +200,7 @@ impl fmt::Display for Error {
                 f,
                 "pool on {device} still holds {used_pages} used page(s); release its tensors before re-registering"
             ),
+            Error::BadReplanDelta(msg) => write!(f, "bad replan delta: {msg}"),
         }
     }
 }

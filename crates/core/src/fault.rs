@@ -22,8 +22,10 @@
 //! scheduling — determinism here means reproducible fault *behaviour per
 //! op*, not a reproducible global interleaving).
 
+use crate::engine::ClusterEvent;
 use crate::error::{StoreError, StoreOp};
 use crate::lockfree::{LayerState, StateStore};
+use crate::plan::FaultTarget;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -201,6 +203,47 @@ impl<S: StateStore> StateStore for FaultyStore<S> {
     }
 }
 
+/// Draw a deterministic stream of [`ClusterEvent`]s from an exponential
+/// fleet-failure model — the bridge from the MTBF fault plans of the
+/// goodput studies to [`crate::Engine::run_online`]. Each iteration fails
+/// independently with probability `iter_time / fleet_mttf`; a failure is a
+/// transient interconnect outage (half of the time, lasting a quarter of an
+/// iteration) or the permanent loss of one server. Server losses stop once
+/// the fleet is down to two servers, so replanning stays feasible.
+pub fn mtbf_cluster_events(
+    seed: u64,
+    iters: usize,
+    iter_time_ns: u64,
+    fleet_mttf_secs: f64,
+    servers: usize,
+) -> Vec<ClusterEvent> {
+    assert!(fleet_mttf_secs > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = ((iter_time_ns as f64 / 1e9) / fleet_mttf_secs).min(1.0);
+    let mut alive = servers;
+    let mut events = Vec::new();
+    for at_iter in 0..iters {
+        if p > 0.0 && rng.gen_bool(p) {
+            if rng.gen_bool(0.5) || alive <= 2 {
+                events.push(ClusterEvent::Outage {
+                    at_iter,
+                    target: FaultTarget::Comm,
+                    at_ns: 0,
+                    duration_ns: iter_time_ns / 4,
+                });
+            } else {
+                alive -= 1;
+                events.push(ClusterEvent::ServerLoss {
+                    at_iter,
+                    servers: 1,
+                    at_ns: 0,
+                });
+            }
+        }
+    }
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +290,27 @@ mod tests {
         assert_eq!(a, b, "same seed + same op sequence ⇒ same faults");
         assert_eq!(na, nb);
         assert!(na > 0, "p=0.5 over 50 ops must fire");
+    }
+
+    #[test]
+    fn mtbf_cluster_events_are_deterministic_and_bounded() {
+        let iter_ns = 2_000_000_000; // 2 s iterations
+        let a = mtbf_cluster_events(7, 500, iter_ns, 20.0, 8);
+        let b = mtbf_cluster_events(7, 500, iter_ns, 20.0, 8);
+        assert_eq!(a, b, "same seed ⇒ same event stream");
+        assert!(!a.is_empty(), "MTBF of 10 iterations must fire over 500");
+        // Server losses never shrink the fleet below two servers.
+        let losses = a
+            .iter()
+            .filter(|e| matches!(e, ClusterEvent::ServerLoss { .. }))
+            .count();
+        assert!(losses <= 6);
+        // Events arrive in iteration order, at most one per iteration.
+        for w in a.windows(2) {
+            assert!(w[0].at_iter() < w[1].at_iter());
+        }
+        // A long MTBF yields a quiet stream.
+        assert!(mtbf_cluster_events(7, 10, iter_ns, 1e9, 8).is_empty());
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub mod obs;
 pub mod page;
 pub mod plan;
 pub mod recovery;
+pub mod replan;
 pub mod scheduler;
 pub mod seqtree;
 pub mod sync;
@@ -91,16 +92,17 @@ pub mod zero;
 pub use allocator::{CompactionReport, PageAllocator, PoolStats};
 pub use communicator::{CommGroup, CommKind, CommRecord, Communicator, GroupSpec};
 pub use config::EngineConfig;
-pub use engine::{Engine, IterStats, RunReport};
+pub use engine::{ClusterEvent, Engine, IterStats, OnlineReport, RunReport, SpliceReport};
 pub use error::{Error, Result, StoreError, StoreErrorKind, StoreOp, TrainerError};
 pub use executor::{Executor, Stream};
 pub use fault::{FaultCounters, FaultPlan, FaultyStore};
 pub use obs::{MetricsSnapshot, ObsEvent, ObsThread, Recorder};
 pub use page::{Page, PageId, PAGE_SIZE_DEFAULT};
 pub use plan::{
-    lower_schedule, Lowering, LoweringConfig, MemoryPlan, ParallelismPlan, Placement, SchedulePlan,
-    ShardPlan, TracePlan, ZeroStage,
+    lower_schedule, FaultTarget, Lowering, LoweringConfig, MemoryPlan, ParallelismPlan, Placement,
+    SchedulePlan, ShardPlan, TracePlan, ZeroStage,
 };
+pub use replan::{Planner, ReplanDelta, ReplanOutcome};
 pub use scheduler::{ScheduleTask, TaskOp, UnifiedScheduler};
 pub use tensor::{Tensor, TensorId};
 pub use tracer::{TensorTrace, Tracer};

@@ -28,6 +28,7 @@ use angel_sim::collectives::Collective;
 use angel_sim::{
     Access, ExecutionReport, MemDomainId, MemEffect, Ns, ResourceId, Resources, SimTask, Simulation,
 };
+use serde::{Deserialize, Serialize};
 
 use crate::verify::{objects, PlanGraph, PlanReport};
 
@@ -449,6 +450,35 @@ pub struct LoweredIteration {
     /// submission order — the SPMD verifier's input (see
     /// [`crate::verify::spmd`]).
     pub comm_log: Vec<CommRecord>,
+}
+
+/// Which lowered hardware resource a cluster fault event strikes — the
+/// stable vocabulary [`crate::engine::ClusterEvent`]s use, resolved against
+/// each fresh lowering's [`ResourceId`]s by
+/// [`LoweredIteration::fault_resource`] (ids are per-simulation, so events
+/// cannot carry them directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// The GPU compute stream (kernel-level stall or device loss).
+    Gpu,
+    /// The host-to-device PCIe channel (staging path).
+    H2d,
+    /// The device-to-host PCIe channel (offload path).
+    D2h,
+    /// The collective-communication channel (NIC reset, fabric loss).
+    Comm,
+}
+
+impl LoweredIteration {
+    /// Resolve a [`FaultTarget`] to this lowering's resource id.
+    pub fn fault_resource(&self, target: FaultTarget) -> ResourceId {
+        match target {
+            FaultTarget::Gpu => self.gpu,
+            FaultTarget::H2d => self.h2d,
+            FaultTarget::D2h => self.d2h,
+            FaultTarget::Comm => self.comm,
+        }
+    }
 }
 
 /// Lower an Algorithm 1 [`Schedule`] plus its [`Placement`] onto the

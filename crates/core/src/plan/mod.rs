@@ -35,7 +35,7 @@ pub mod trace;
 
 pub use lower::{
     checkpoint_restore_graph, checkpoint_write_graph, lower_checkpoint, lower_schedule,
-    CheckpointLowering, LoweredIteration, Lowering, LoweringConfig, ScheduleLowering,
+    CheckpointLowering, FaultTarget, LoweredIteration, Lowering, LoweringConfig, ScheduleLowering,
 };
 pub use memory::{MemoryPlan, Placement, PlacementPlan};
 pub use parallel::{ParallelismPlan, ZeroStage};

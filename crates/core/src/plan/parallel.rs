@@ -120,6 +120,25 @@ impl ParallelismPlan {
     pub fn stage_layers(&self, layers: usize) -> usize {
         layers.div_ceil(self.pp).max(1)
     }
+
+    /// Refit the plan onto `total_gpus` after a server loss or an elastic
+    /// resize: tp, pp and the ZeRO stage are preserved (they shape the
+    /// lowered kernels and the pipeline partition), and the dp axis absorbs
+    /// the fleet change. Errors when the model-parallel block `tp × pp`
+    /// does not divide the new fleet.
+    pub fn refit(&self, total_gpus: usize) -> Result<Self> {
+        let mp = self.tp * self.pp;
+        if mp == 0 || total_gpus == 0 || !total_gpus.is_multiple_of(mp) {
+            return Err(Error::InvalidParallelism(format!(
+                "cannot refit tp={} × pp={} onto {total_gpus} GPUs",
+                self.tp, self.pp
+            )));
+        }
+        Ok(Self {
+            dp: total_gpus / mp,
+            ..*self
+        })
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +195,21 @@ mod tests {
         .validate(&cluster)
         .unwrap_err();
         assert!(err.to_string().contains("NVLink"));
+    }
+
+    #[test]
+    fn refit_absorbs_fleet_changes_on_the_dp_axis() {
+        let p = ParallelismPlan::megatron(4, 2, 4); // 32 GPUs
+        let shrunk = p.refit(16).unwrap();
+        assert_eq!((shrunk.dp, shrunk.tp, shrunk.pp), (2, 2, 4));
+        assert_eq!(shrunk.zero_stage, p.zero_stage);
+        let grown = p.refit(64).unwrap();
+        assert_eq!(grown.dp, 8);
+        // The model-parallel block must divide the new fleet.
+        assert!(matches!(p.refit(20), Err(Error::InvalidParallelism(_))));
+        assert!(p.refit(0).is_err());
+        // Pure ZeRO-3 refits onto anything ≥ 1 GPU.
+        assert_eq!(ParallelismPlan::zero3(768).refit(760).unwrap().dp, 760);
     }
 
     #[test]

@@ -91,6 +91,35 @@ impl RecoveryModel {
     pub fn optimal_goodput(&self) -> f64 {
         self.goodput(self.young_daly_interval_secs())
     }
+
+    /// Goodput under **online replanning** ([`crate::Engine::run_online`])
+    /// instead of full restart: a failure costs half an interval of re-done
+    /// work plus an in-process replan (`replan_secs`) and checkpoint restore
+    /// (`restore_secs`) — but *not* the detection/rescheduling downtime of a
+    /// cold restart, because the surviving ranks replan in place. After the
+    /// splice the job runs degraded at `degraded_throughput` (relative, ≤ 1,
+    /// e.g. 95/96 after losing one of 96 servers) until the fleet heals at
+    /// the next checkpoint interval, charged as extra lost time on the
+    /// second half of the interval.
+    pub fn replanned_goodput(
+        &self,
+        interval_secs: f64,
+        replan_secs: f64,
+        restore_secs: f64,
+        degraded_throughput: f64,
+    ) -> f64 {
+        assert!(interval_secs > 0.0);
+        assert!((0.0..=1.0).contains(&degraded_throughput) && degraded_throughput > 0.0);
+        let checkpoint_overhead = self.checkpoint_write_secs / interval_secs;
+        let failure_rate = 1.0 / self.fleet_mttf_secs();
+        let degraded_penalty = (interval_secs / 2.0) * (1.0 / degraded_throughput - 1.0);
+        let lost_per_failure = interval_secs / 2.0
+            + replan_secs
+            + restore_secs
+            + self.checkpoint_write_secs
+            + degraded_penalty;
+        (1.0 - checkpoint_overhead - failure_rate * lost_per_failure).max(0.0)
+    }
 }
 
 /// Checkpoint write time for `state_bytes` of FP32 master states over a
@@ -181,6 +210,36 @@ mod tests {
         // but it now includes link latency and per-layer serialization.
         assert!(m.checkpoint_write_secs > 3.0 && m.checkpoint_write_secs < 20.0);
         assert!(m.optimal_goodput() > 0.95);
+    }
+
+    #[test]
+    fn replanning_beats_restarting() {
+        // The replan (seconds) plus a mild degraded-throughput penalty is
+        // cheaper than the cold restart's detection + rescheduling downtime
+        // (minutes) across fleet sizes and checkpoint intervals.
+        for gpus in [64, 256, 768] {
+            let m = job(gpus);
+            let star = m.young_daly_interval_secs();
+            for factor in [0.5, 1.0, 2.0] {
+                let interval = star * factor;
+                let static_g = m.goodput(interval);
+                let replanned = m.replanned_goodput(interval, 5.0, 60.0, 95.0 / 96.0);
+                assert!(
+                    replanned >= static_g,
+                    "gpus={gpus} interval={interval}: {replanned} < {static_g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_speed_replan_recovers_the_static_formula_minus_detection() {
+        // With no degradation and zero replan cost, the only difference from
+        // `goodput` is restart_secs vs restore_secs.
+        let m = job(256);
+        let a = m.replanned_goodput(3600.0, 0.0, m.restart_secs, 1.0);
+        let b = m.goodput(3600.0);
+        assert!((a - b).abs() < 1e-12);
     }
 
     #[test]

@@ -86,7 +86,7 @@ pub struct ScheduleTask {
 }
 
 /// Per-layer scheduling input distilled from the Tracer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LayerPlan {
     pub layer: usize,
     /// Byte sizes of the pages of this rank's parameter shard (FP16 params
@@ -106,9 +106,15 @@ impl LayerPlan {
     }
 }
 
+/// A [`LayerPlan`]'s byte totals as a `(shard, full, working_set)` triple.
+pub(crate) type LayerTotals = (u64, u64, u64);
+
+/// One timeline revert patch: `(layer, old totals, new totals)`.
+pub(crate) type LayerPatch = (usize, LayerTotals, LayerTotals);
+
 /// Scheduler input: the model plan, the compute-step list, the GPU byte
 /// budget available to model states, and the page size.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedulerInput {
     pub layers: Vec<LayerPlan>,
     pub steps: Vec<StepKind>,
@@ -196,7 +202,7 @@ fn trigger_offsets_of(tasks: &[ScheduleTask], num_steps: usize) -> Vec<usize> {
 /// behind one or two intervening computes, and the memory it would pin is
 /// better spent on the optimizer-state cache (Section 4.2's "dynamically
 /// make cache size decisions ... based on tensor lifetime information").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnifiedScheduler {
     pub phase2: bool,
     pub prefetch_horizon: usize,
@@ -219,9 +225,24 @@ impl Default for UnifiedScheduler {
 /// Logical content (identical to [`oracle::NaiveTimeline`]): `mem[j]` =
 /// resident shard bytes live at step `j` + gathered-buffer extras whose
 /// span covers `j` + step `j`'s working set.
-struct Timeline<'a> {
-    input: &'a SchedulerInput,
+///
+/// The state owns every buffer (no borrow of the input) so the incremental
+/// replanner (`crate::replan`) can keep one timeline alive across plans and
+/// re-arm it with [`TimelineState::reset`] — reusing the tree nodes and all
+/// per-layer vectors instead of reallocating them each call. Methods that
+/// need the model take `&SchedulerInput` explicitly; callers must pass the
+/// same input the state was last reset with.
+pub(crate) struct TimelineState {
     mem: RangeAddMax,
+    /// Snapshot of `mem` as of the last reset, *before* any decision was
+    /// applied — the revert point for [`TimelineState::reset_reverting`].
+    mem_base: RangeAddMax,
+    /// Pristine per-layer shard bytes matching `mem_base`.
+    resident0_base: Vec<u64>,
+    /// Scratch: the initial per-step totals the tree is (re)built from.
+    mem0: Vec<u64>,
+    /// Scratch: difference array for the resident-shard fill.
+    diff: Vec<i64>,
     /// Bytes of layer `l`'s shard moved at trigger 0 and still scheduled.
     resident0: Vec<u64>,
     /// Re-added bytes per layer as `(trigger, cumulative bytes)`, trigger
@@ -241,69 +262,166 @@ struct Timeline<'a> {
     words: usize,
 }
 
-impl<'a> Timeline<'a> {
-    fn new(input: &'a SchedulerInput) -> Self {
+impl TimelineState {
+    pub(crate) fn new(input: &SchedulerInput) -> Self {
+        let mut state = Self {
+            mem: RangeAddMax::from_values(&[]),
+            mem_base: RangeAddMax::from_values(&[]),
+            resident0_base: Vec::new(),
+            mem0: Vec::new(),
+            diff: Vec::new(),
+            resident0: Vec::new(),
+            resched_cum: Vec::new(),
+            gather_trigger: Vec::new(),
+            last_use: Vec::new(),
+            steps_of_layer: Vec::new(),
+            own_bits: Vec::new(),
+            words: 0,
+        };
+        state.reset(input, true);
+        state
+    }
+
+    /// Re-arm for a fresh plan over `input`, reusing every allocation. The
+    /// step-derived structures (per-layer step lists, bitmaps, last uses)
+    /// are only rebuilt when `steps_changed` says the step list differs from
+    /// the previous reset — layer/budget deltas skip that entire pass.
+    pub(crate) fn reset(&mut self, input: &SchedulerInput, steps_changed: bool) {
         let n_steps = input.steps.len();
         let n_layers = input.layers.len();
-        let words = n_steps.div_ceil(64);
-        let mut steps_of_layer = vec![Vec::new(); n_layers];
-        let mut own_bits = vec![0u64; n_layers * words];
-        for (j, s) in input.steps.iter().enumerate() {
-            let l = s.layer();
-            steps_of_layer[l].push(j);
-            own_bits[l * words + j / 64] |= 1 << (j % 64);
+        if steps_changed || self.steps_of_layer.len() != n_layers || self.words == 0 {
+            self.words = n_steps.div_ceil(64);
+            for v in &mut self.steps_of_layer {
+                v.clear();
+            }
+            self.steps_of_layer.resize_with(n_layers, Vec::new);
+            self.own_bits.clear();
+            self.own_bits.resize(n_layers * self.words, 0);
+            for (j, s) in input.steps.iter().enumerate() {
+                let l = s.layer();
+                self.steps_of_layer[l].push(j);
+                self.own_bits[l * self.words + j / 64] |= 1 << (j % 64);
+            }
+            self.last_use.clear();
+            self.last_use
+                .extend(self.steps_of_layer.iter().map(|v| match v.last() {
+                    Some(&j) => j,
+                    // The trace emits at least a forward step per layer.
+                    None => unreachable!("layer with no steps in the trace"),
+                }));
         }
-        let last_use: Vec<usize> = steps_of_layer
-            .iter()
-            .map(|v| match v.last() {
-                Some(&j) => j,
-                // The trace emits at least a forward step per layer.
-                None => unreachable!("layer with no steps in the trace"),
-            })
-            .collect();
-        let resident0: Vec<u64> = input.layers.iter().map(|l| l.shard_bytes()).collect();
+        self.resident0.clear();
+        self.resident0
+            .extend(input.layers.iter().map(|l| l.shard_bytes()));
         // Resident shards via a difference array (O(layers + steps) instead
         // of the oracle's O(layers × steps) fill): every page starts at
         // trigger 0, live until the layer's last use.
-        let mut diff = vec![0i64; n_steps + 1];
-        for (l, &bytes) in resident0.iter().enumerate() {
-            diff[0] += bytes as i64;
-            diff[last_use[l] + 1] -= bytes as i64;
+        self.diff.clear();
+        self.diff.resize(n_steps + 1, 0);
+        for (l, &bytes) in self.resident0.iter().enumerate() {
+            self.diff[0] += bytes as i64;
+            self.diff[self.last_use[l] + 1] -= bytes as i64;
         }
-        let mut mem = vec![0u64; n_steps];
+        self.mem0.clear();
+        self.mem0.resize(n_steps, 0);
         let mut running = 0i64;
-        for (j, m) in mem.iter_mut().enumerate() {
-            running += diff[j];
+        for (j, m) in self.mem0.iter_mut().enumerate() {
+            running += self.diff[j];
             *m = running as u64;
         }
         // Per-step working set + just-in-time gather extra (full − resident)
         // + external base load.
         for (j, s) in input.steps.iter().enumerate() {
             let l = s.layer();
-            mem[j] += input.layers[l].working_set;
-            mem[j] += input.layers[l]
+            self.mem0[j] += input.layers[l].working_set;
+            self.mem0[j] += input.layers[l]
                 .full_param_bytes
-                .saturating_sub(resident0[l]);
+                .saturating_sub(self.resident0[l]);
             if let Some(&base) = input.step_base_load.get(j) {
-                mem[j] += base;
+                self.mem0[j] += base;
             }
         }
-        Self {
-            input,
-            mem: RangeAddMax::from_values(&mem),
-            resident0,
-            resched_cum: vec![Vec::new(); n_layers],
-            gather_trigger: (0..n_steps).collect(),
-            last_use,
-            steps_of_layer,
-            own_bits,
-            words,
+        self.mem.reset_from_values(&self.mem0);
+        self.mem_base.restore_from(&self.mem);
+        self.resident0_base.clone_from(&self.resident0);
+        for v in &mut self.resched_cum {
+            v.clear();
         }
+        self.resched_cum.resize_with(n_layers, Vec::new);
+        self.gather_trigger.clear();
+        self.gather_trigger.extend(0..n_steps);
+    }
+
+    /// Re-arm by *range-revert* instead of rebuild — valid only when the
+    /// step list, layer count and base load are unchanged since the last
+    /// reset. The byte deltas of the touched layers are applied to the
+    /// baseline tree as O(log steps) range patches, then the live tree
+    /// reverts to that baseline with one `restore_from` memcpy: untouched
+    /// layers' timeline contributions come back verbatim, nothing is
+    /// recomputed per-page or per-step.
+    ///
+    /// Each patch is `(layer, old LayerPlan totals, new LayerPlan totals)`
+    /// as `(shard, full, working_set)` byte triples.
+    pub(crate) fn reset_reverting(&mut self, input: &SchedulerInput, patches: &[LayerPatch]) {
+        for &(l, (old_shard, old_full, old_ws), (new_shard, new_full, new_ws)) in patches {
+            let lu = self.last_use[l];
+            let d_res = new_shard as i64 - old_shard as i64;
+            self.mem_base.add(0, lu, d_res);
+            let old_extra = old_ws + old_full.saturating_sub(old_shard);
+            let new_extra = new_ws + new_full.saturating_sub(new_shard);
+            let d_extra = new_extra as i64 - old_extra as i64;
+            if d_extra != 0 {
+                for &s in &self.steps_of_layer[l] {
+                    self.mem_base.add(s, s, d_extra);
+                }
+            }
+            self.resident0_base[l] = new_shard;
+        }
+        self.mem.restore_from(&self.mem_base);
+        self.resident0.clone_from(&self.resident0_base);
+        for v in &mut self.resched_cum {
+            v.clear();
+        }
+        self.gather_trigger.clear();
+        self.gather_trigger.extend(0..input.steps.len());
     }
 
     /// Whether step `j` computes layer `l` (O(1) bitmap lookup).
-    fn is_own_step(&self, l: usize, j: usize) -> bool {
+    pub(crate) fn is_own_step(&self, l: usize, j: usize) -> bool {
         self.own_bits[l * self.words + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// The compute steps of layer `l`, ascending.
+    pub(crate) fn steps_of(&self, l: usize) -> &[usize] {
+        &self.steps_of_layer[l]
+    }
+
+    /// Grow the planned total at layer `l`'s own compute steps by `d` bytes
+    /// on *both* the live tree and the reset baseline — the replanner's
+    /// slack fast path committing a working-set-only increase without
+    /// re-running decisions. Patching `mem_base` too keeps the next
+    /// [`Self::reset_reverting`] diffing against the input this timeline
+    /// now reflects.
+    pub(crate) fn nudge_own_steps(&mut self, l: usize, d: u64) {
+        for &s in &self.steps_of_layer[l] {
+            self.mem.add(s, s, d as i64);
+            self.mem_base.add(s, s, d as i64);
+        }
+    }
+
+    /// The planned total at step `i` (the phase-1 fit check's read).
+    pub(crate) fn step_total(&self, i: usize) -> u64 {
+        self.mem.get(i)
+    }
+
+    /// Last compute step touching layer `l`.
+    pub(crate) fn last_use(&self, l: usize) -> usize {
+        self.last_use[l]
+    }
+
+    /// The current all-gather trigger of every step.
+    pub(crate) fn gather_triggers(&self) -> &[usize] {
+        &self.gather_trigger
     }
 
     /// Shard bytes of layer `l` resident at step `j` — prefix-sum lookup
@@ -321,7 +439,7 @@ impl<'a> Timeline<'a> {
     /// lines 7–9): the shard bytes leave every step, but the layer's own
     /// compute steps must now gather those bytes remotely, so their totals
     /// are unchanged.
-    fn evict(&mut self, l: usize, total: u64) {
+    pub(crate) fn evict(&mut self, l: usize, total: u64) {
         self.resident0[l] -= total;
         self.mem.add(0, self.last_use[l], -(total as i64));
         for &s in &self.steps_of_layer[l] {
@@ -335,7 +453,7 @@ impl<'a> Timeline<'a> {
     /// within budget. Affected steps are `[t, last_use(l)]` minus the
     /// layer's own compute steps (net-zero there), checked as range-max
     /// queries over the gaps between own steps.
-    fn readd_capacity(&self, l: usize, t: usize) -> Option<u64> {
+    pub(crate) fn readd_capacity(&self, input: &SchedulerInput, l: usize, t: usize) -> Option<u64> {
         if t > self.last_use[l] {
             return None; // pages would arrive after the layer's last use
         }
@@ -353,13 +471,13 @@ impl<'a> Timeline<'a> {
         }
         match gap_max {
             None => Some(u64::MAX), // only own steps affected: anything fits
-            Some(m) => self.input.gpu_budget.checked_sub(m),
+            Some(m) => input.gpu_budget.checked_sub(m),
         }
     }
 
     /// Commit a batched re-add of `total` bytes of layer `l` at trigger `t`
     /// (phase 1, lines 13–15).
-    fn readd(&mut self, l: usize, total: u64, t: usize) {
+    pub(crate) fn readd(&mut self, l: usize, total: u64, t: usize) {
         self.mem.add(t, self.last_use[l], total as i64);
         for &s in &self.steps_of_layer[l] {
             if s >= t {
@@ -376,9 +494,40 @@ impl<'a> Timeline<'a> {
     /// so the stop point is the latest step in `[floor, g−1]` already above
     /// `budget − extra` — one segment-tree descent instead of a per-step
     /// walk.
-    fn advance_gather(&mut self, i: usize, horizon: usize) -> bool {
-        let l = self.input.steps[i].layer();
-        let extra = self.input.layers[l]
+    pub(crate) fn advance_gather(
+        &mut self,
+        input: &SchedulerInput,
+        i: usize,
+        horizon: usize,
+    ) -> bool {
+        self.advance_gather_impl(input, i, horizon, None)
+    }
+
+    /// [`Self::advance_gather`] that also records, for each fired advance,
+    /// the span it occupied and the minimum byte margin by which the stop
+    /// condition held across that span: `(new_g, g − 1, margin)`. A later
+    /// increase of `≤ margin` bytes at any single step inside the span
+    /// provably leaves this advance's stop point unchanged — the evidence
+    /// the replanner's slack fast path runs on.
+    pub(crate) fn advance_gather_recording(
+        &mut self,
+        input: &SchedulerInput,
+        i: usize,
+        horizon: usize,
+        spans: &mut Vec<(usize, usize, u64)>,
+    ) -> bool {
+        self.advance_gather_impl(input, i, horizon, Some(spans))
+    }
+
+    fn advance_gather_impl(
+        &mut self,
+        input: &SchedulerInput,
+        i: usize,
+        horizon: usize,
+        spans: Option<&mut Vec<(usize, usize, u64)>>,
+    ) -> bool {
+        let l = input.steps[i].layer();
+        let extra = input.layers[l]
             .full_param_bytes
             .saturating_sub(self.resident(l, i));
         let floor = i.saturating_sub(horizon);
@@ -386,7 +535,7 @@ impl<'a> Timeline<'a> {
         if g <= floor {
             return false;
         }
-        let new_g = match self.input.gpu_budget.checked_sub(extra) {
+        let new_g = match input.gpu_budget.checked_sub(extra) {
             // The gather buffer alone overflows the budget: no step can
             // absorb it (mem ≥ 0), so the trigger stays just-in-time.
             None => g,
@@ -398,13 +547,21 @@ impl<'a> Timeline<'a> {
         if new_g < g {
             self.mem.add(new_g, g - 1, extra as i64);
             self.gather_trigger[i] = new_g;
+            if let Some(spans) = spans {
+                // Every step in [new_g, g−1] sat at ≤ threshold before the
+                // add, i.e. at ≤ budget after it; the span max after the add
+                // bounds how close the tightest step came.
+                let span_max = self.mem.max_in(new_g, g - 1).unwrap_or(0);
+                let margin = input.gpu_budget.saturating_sub(span_max);
+                spans.push((new_g, g - 1, margin));
+            }
             true
         } else {
             false
         }
     }
 
-    fn peak(&self) -> u64 {
+    pub(crate) fn peak(&self) -> u64 {
         self.mem.max_all()
     }
 }
@@ -438,7 +595,7 @@ impl UnifiedScheduler {
             }
         }
 
-        let mut res = Timeline::new(input);
+        let mut res = TimelineState::new(input);
 
         // ---- Phase 1 ----------------------------------------------------
         // Lines 3–5: prioritize move_to_gpu for every page, trigger 0. The
@@ -473,7 +630,7 @@ impl UnifiedScheduler {
             // exactly enough pages to reach the budget — or not at all —
             // the whole run drains, as the per-page loop would.
             loop {
-                let current = res.mem.get(i);
+                let current = res.step_total(i);
                 if current <= input.gpu_budget {
                     break;
                 }
@@ -482,7 +639,7 @@ impl UnifiedScheduler {
                 };
                 let l = top.layer;
                 let run_start = run_start_of(&move_stack, l);
-                let net_zero = i > res.last_use[l] || res.is_own_step(l, i);
+                let net_zero = i > res.last_use(l) || res.is_own_step(l, i);
                 let mut batch = 0u64;
                 let mut taken = move_stack.len();
                 if net_zero {
@@ -510,7 +667,7 @@ impl UnifiedScheduler {
             'readd: while let Some(&top) = wait_stack.last() {
                 let l = top.layer;
                 let t = i + 1;
-                let Some(cap) = res.readd_capacity(l, t) else {
+                let Some(cap) = res.readd_capacity(input, l, t) else {
                     break;
                 };
                 let run_start = run_start_of(&wait_stack, l);
@@ -549,7 +706,7 @@ impl UnifiedScheduler {
         let mut gathers_advanced = 0usize;
         if self.phase2 {
             for i in 0..n_steps {
-                if res.advance_gather(i, self.prefetch_horizon) {
+                if res.advance_gather(input, i, self.prefetch_horizon) {
                     gathers_advanced += 1;
                 }
             }
@@ -573,7 +730,7 @@ impl UnifiedScheduler {
         }
         for (i, step) in input.steps.iter().enumerate() {
             let n_pages = input.layers[step.layer()].shard_pages.len();
-            bump(&mut trigger_offsets, res.gather_trigger[i], n_pages);
+            bump(&mut trigger_offsets, res.gather_triggers()[i], n_pages);
             bump(&mut trigger_offsets, i, 1); // the compute task
         }
         for i in 1..trigger_offsets.len() {
@@ -618,7 +775,7 @@ impl UnifiedScheduler {
         }
         for (i, step) in input.steps.iter().enumerate() {
             let l = step.layer();
-            let trig = res.gather_trigger[i];
+            let trig = res.gather_triggers()[i];
             for (pi, &bytes) in input.layers[l].shard_pages.iter().enumerate() {
                 place(
                     &mut tasks,

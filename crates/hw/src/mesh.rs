@@ -147,6 +147,18 @@ impl DeviceMesh {
         }
     }
 
+    /// The same logical mesh on a resized fleet: tp and pp are preserved
+    /// (they shape the lowered kernels and the pipeline partition), and the
+    /// dp axis absorbs the server change — the reshape an online replanner
+    /// applies after a server loss or an elastic grow. Errors when the
+    /// model-parallel block `tp × pp` does not divide the new GPU count.
+    pub fn resized(&self, num_servers: usize) -> Result<Self, MeshError> {
+        let cluster = self.cluster.resized(num_servers);
+        let mp = self.pp * self.tp;
+        let dp = cluster.total_gpus() / mp.max(1);
+        Self::new(cluster, dp.max(1), self.pp, self.tp)
+    }
+
     pub fn cluster(&self) -> &ClusterSpec {
         &self.cluster
     }
@@ -338,6 +350,22 @@ mod tests {
 
     fn mesh(servers: usize, dp: usize, pp: usize, tp: usize) -> DeviceMesh {
         DeviceMesh::new(ClusterSpec::a100_tencent(servers), dp, pp, tp).unwrap()
+    }
+
+    #[test]
+    fn resized_preserves_model_parallel_axes() {
+        let m = mesh(4, 4, 2, 4); // 32 GPUs
+        let shrunk = m.resized(2).unwrap(); // 16 GPUs
+        assert_eq!((shrunk.dp(), shrunk.pp(), shrunk.tp()), (2, 2, 4));
+        assert_eq!(shrunk.cluster().num_servers, 2);
+        let grown = m.resized(8).unwrap(); // 64 GPUs
+        assert_eq!((grown.dp(), grown.pp(), grown.tp()), (8, 2, 4));
+        // A fleet the model-parallel block does not divide is rejected.
+        let m = mesh(4, 2, 2, 8); // tp*pp = 16
+        assert!(matches!(
+            m.resized(3), // 24 GPUs: 24/16 = 1 → 1*2*8 ≠ 24
+            Err(MeshError::SizeMismatch { .. })
+        ));
     }
 
     #[test]

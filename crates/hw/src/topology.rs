@@ -163,6 +163,19 @@ impl ClusterSpec {
             self.nic.latency_ns,
         )
     }
+
+    /// The same server design and fabric at a different fleet size — the
+    /// surviving cluster after a server loss, or the grown cluster after an
+    /// elastic resize. Per-server hardware (GPUs, links, SSD) is unchanged;
+    /// only the server count moves.
+    pub fn resized(&self, num_servers: usize) -> Self {
+        assert!(num_servers >= 1);
+        Self {
+            server: self.server.clone(),
+            num_servers,
+            nic: self.nic.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -409,6 +409,13 @@ impl Simulation {
         self.faults.push(fault);
     }
 
+    /// Faults scheduled for the next [`Self::run`] — callers that verify
+    /// executed graphs (e.g. debug-build plan verification) use this to
+    /// skip coverage assertions that only hold on fault-free runs.
+    pub fn faults(&self) -> &[FaultEvent] {
+        &self.faults
+    }
+
     /// Submit a task; returns its index for use in later `deps`.
     pub fn submit(&mut self, task: SimTask) -> usize {
         for &d in &task.deps {

@@ -50,6 +50,29 @@ fn main() {
         stats.overlap_ratio,
     );
 
+    // ---- Online replanning: an injected outage tightens the budget and
+    // splices a replanned schedule at the iteration boundary — the replan
+    // span and the `plan.replan_ns` counter land on the engine's runtime
+    // track. ---------------------------------------------------------------
+    let online = engine
+        .run_online(
+            2,
+            &[angel_core::ClusterEvent::Outage {
+                at_iter: 0,
+                target: angel_core::plan::FaultTarget::H2d,
+                at_ns: 0,
+                duration_ns: 1_000_000,
+            }],
+        )
+        .expect("online replanning run completes");
+    println!(
+        "online: {} splice(s), replan {:.2} ms, {} of {} layers reused",
+        online.splices.len(),
+        online.splices[0].replan_ns as f64 / 1e6,
+        online.splices[0].outcome.layers_reused,
+        online.splices[0].outcome.layers_reused + online.splices[0].outcome.layers_touched,
+    );
+
     // ---- Runtime side: Algorithm 2 on real OS threads --------------------
     let layers = 8;
     let initial: Vec<Vec<f32>> = (0..layers).map(|l| vec![l as f32; 4096]).collect();
