@@ -20,7 +20,7 @@ use angel_bench::Experiment;
 use angel_core::fault::mtbf_cluster_events;
 use angel_core::plan::{checkpoint_write_graph, lower_checkpoint};
 use angel_core::recovery::RecoveryModel;
-use angel_core::{ClusterEvent, Engine, EngineConfig, MetricsSnapshot, Recorder};
+use angel_core::{ClusterEvent, Engine, EngineConfig, Error, MetricsSnapshot, Recorder};
 use angel_model::TransformerConfig;
 use angel_sim::{ns_to_s, FaultEvent, FaultKind};
 
@@ -219,6 +219,44 @@ fn main() {
             events.len(),
             report.splices.len(),
             retained * 100.0,
+        ));
+    }
+
+    // Terminal failure: losing the whole fleet is not a splice — it is a
+    // typed error. A ServerLoss covering every server used to be silently
+    // respliced onto one phantom server; now it surfaces as
+    // ClusterExhausted and the only recovery path is a checkpoint restart
+    // on new hardware (the Static column's cost model).
+    {
+        let mut engine =
+            Engine::initialize(&jobs[1].1, &EngineConfig::servers(2).with_batch_size(1))
+                .expect("engine initializes");
+        let err = engine
+            .run_online(
+                2,
+                &[ClusterEvent::ServerLoss {
+                    at_iter: 0,
+                    servers: 2,
+                    at_ns: 0,
+                }],
+            )
+            .expect_err("total fleet loss must not replan");
+        assert!(
+            matches!(
+                err,
+                Error::ClusterExhausted {
+                    had_servers: 2,
+                    lost_servers: 2,
+                }
+            ),
+            "total loss must be ClusterExhausted, got: {err}"
+        );
+        recorder.counter("goodput.cluster_exhausted").inc();
+        table.note(format!(
+            "Terminal failure: a ServerLoss covering the whole 2-server fleet does \
+             not splice — the engine returns the typed error \"{err}\" and keeps its \
+             last good plan; recovery means a checkpoint restart on new hardware, \
+             priced by the Static column.",
         ));
     }
 

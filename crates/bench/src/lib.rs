@@ -331,4 +331,68 @@ mod tests {
         );
         assert!(stress["planning_ms"].as_f64().unwrap() > 0.0);
     }
+
+    /// The checked-in multi-job service baseline must stay parseable and
+    /// keep its acceptance properties: a full (non-quick) open-loop sweep
+    /// with throughput and TTFI percentiles per point, and a deterministic
+    /// acceptance scenario with ≥3 concurrent admitted jobs, at least one
+    /// preemption/resume cycle, and every admission certificate-backed.
+    /// Regenerate with `cargo run --release -p angel-bench --bin service_bench`.
+    #[test]
+    fn bench_service_baseline_parses() {
+        let path = format!("{}/../../BENCH_service.json", env!("CARGO_MANIFEST_DIR"));
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing service baseline {path}: {e}"));
+        let doc: serde_json::Value = serde_json::from_str(&raw).expect("valid JSON");
+        assert_eq!(doc["id"].as_str(), Some("service_bench"));
+        assert_eq!(
+            doc["quick"].as_bool(),
+            Some(false),
+            "checked-in baseline must be the full sweep, not --quick"
+        );
+        let points = doc["points"].as_array().expect("points array");
+        assert!(points.len() >= 3, "need a multi-point load sweep");
+        for p in points {
+            assert!(p["offered_load"].as_f64().unwrap() > 0.0);
+            assert_eq!(
+                p["submitted"].as_u64(),
+                Some(p["admitted"].as_u64().unwrap() + p["rejected"].as_u64().unwrap()),
+                "every submission must be decided"
+            );
+            assert_eq!(p["completed"].as_u64(), p["admitted"].as_u64());
+            assert!(p["jobs_per_hour"].as_f64().unwrap() > 0.0);
+            let p50 = p["ttfi_p50_ms"].as_f64().unwrap();
+            let p99 = p["ttfi_p99_ms"].as_f64().unwrap();
+            assert!(p99 >= p50, "TTFI p99 below p50: {p99} < {p50}");
+            let util = p["utilization"].as_f64().unwrap();
+            assert!(util > 0.0 && util <= 1.0);
+            assert_eq!(p["admissions_all_verified"].as_bool(), Some(true));
+        }
+        let acc = &doc["acceptance"];
+        assert!(
+            acc["max_concurrent"].as_u64().unwrap() >= 3,
+            "acceptance scenario must time-share ≥3 admitted jobs"
+        );
+        assert!(acc["preemptions"].as_u64().unwrap() >= 1);
+        assert!(acc["resumes"].as_u64().unwrap() >= 1);
+        assert_eq!(acc["completed"].as_u64(), acc["admitted"].as_u64());
+        assert_eq!(acc["admissions_all_verified"].as_bool(), Some(true));
+        assert!(
+            acc["obs_events"].as_u64().unwrap() >= 4,
+            "job events must land on the Perfetto service track"
+        );
+        let events = acc["events"].as_array().expect("acceptance event log");
+        // The event log itself proves the cycle: a preemption down to zero
+        // servers followed by a resume of the same job.
+        let suspended = events.iter().find(|e| {
+            e["kind"].as_str() == Some("job_preempted") && e["to_servers"].as_u64() == Some(0)
+        });
+        let victim = suspended.expect("a full suspension in the log")["job"].as_u64();
+        assert!(
+            events.iter().any(|e| {
+                e["kind"].as_str() == Some("job_resumed") && e["job"].as_u64() == victim
+            }),
+            "the suspended victim must resume"
+        );
+    }
 }

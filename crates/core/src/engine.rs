@@ -32,7 +32,7 @@ use crate::allocator::PageAllocator;
 use crate::cache::CachePlan;
 use crate::communicator::CommGroup;
 use crate::config::EngineConfig;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::obs::{ObsThread, Recorder};
 use crate::plan::{
     lower_schedule, FaultTarget, LoweredIteration, MemoryPlan, ScheduleLowering, SchedulePlan,
@@ -163,6 +163,42 @@ pub struct OnlineReport {
     pub samples_per_sec: f64,
 }
 
+/// Millisecond-decade histogram bucket edges for `engine.iter_time_ns`:
+/// 1 ms … 100 s of simulated time. Integer constants, so every bucket
+/// boundary is exact and lossless on all targets — float-literal edges
+/// (`1e6 as u64`-style) are exact only while the edge happens to be
+/// representable, and the cast hides it when one stops being.
+const ITER_TIME_BUCKETS_NS: [u64; 6] = [
+    1_000_000,       // 1 ms
+    10_000_000,      // 10 ms
+    100_000_000,     // 100 ms
+    1_000_000_000,   // 1 s
+    10_000_000_000,  // 10 s
+    100_000_000_000, // 100 s
+];
+
+/// Checked parts-per-million conversion for ratio gauges (clippy
+/// `cast_possible_truncation` audit): NaN and negative inputs clamp to 0,
+/// overlarge inputs saturate at `u64::MAX`, and the final cast is in-range
+/// by construction instead of relying on `as`-cast saturation semantics.
+pub(crate) fn ppm_u64(ratio: f64) -> u64 {
+    let scaled = ratio * 1e6;
+    if scaled.is_nan() || scaled <= 0.0 {
+        return 0;
+    }
+    if scaled >= u64::MAX as f64 {
+        return u64::MAX;
+    }
+    scaled as u64
+}
+
+/// Saturating `u128 → u64` narrowing for wall-clock nanosecond readings
+/// (`Instant::elapsed().as_nanos()` is `u128`; 2⁶⁴ ns ≈ 584 years, so
+/// saturation is unreachable in practice but stated rather than assumed).
+pub(crate) fn saturating_ns(ns: u128) -> u64 {
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
 /// The initialized training engine for one model on one cluster.
 pub struct Engine {
     model: TransformerConfig,
@@ -185,6 +221,12 @@ pub struct Engine {
     /// schedule. [`Engine::run_online`] replans through it, so a cluster
     /// change pays only for the layers it touches.
     planner: Option<Planner>,
+    /// The healthy-fleet GPU reservation from the config this engine was
+    /// initialized with. Outage splices *tighten* `config.gpu_reserved`
+    /// (degraded headroom accumulates across outages); an elastic
+    /// [`ClusterEvent::Resize`] recovery restores this baseline, so
+    /// degradation is never permanent across recoveries.
+    baseline_gpu_reserved: u64,
 }
 
 impl Engine {
@@ -212,6 +254,7 @@ impl Engine {
             layer_comm_bytes: shard.layer_comm_bytes,
             recorder: Recorder::disabled(),
             planner,
+            baseline_gpu_reserved: config.gpu_reserved,
         })
     }
 
@@ -238,6 +281,13 @@ impl Engine {
     /// ([`Engine::run_online`]) when the cluster resizes or degrades.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The healthy-fleet GPU reservation this engine was initialized with.
+    /// `config().gpu_reserved` drifts above it while outage-degraded and
+    /// returns to it on elastic recovery.
+    pub fn baseline_gpu_reserved(&self) -> u64 {
+        self.baseline_gpu_reserved
     }
 
     pub fn schedule(&self) -> &Schedule {
@@ -392,7 +442,7 @@ impl Engine {
             // Allocator health per iteration: the CPU pool holds the bulk
             // of the model states, so its fragmentation is the one worth a
             // timeline track (and the compaction trigger, when armed).
-            let frag_ppm = (self.allocator.stats(DeviceId::CPU).internal_frag() * 1e6) as u64;
+            let frag_ppm = ppm_u64(self.allocator.stats(DeviceId::CPU).internal_frag());
             self.recorder
                 .counter_sample(ObsThread::Allocator, "alloc.cpu_frag_ppm", frag_ppm);
         }
@@ -414,21 +464,10 @@ impl Engine {
         wall_start: u64,
     ) {
         let rec = &self.recorder;
-        let ppm = |x: f64| (x * 1e6).max(0.0) as u64;
+        let ppm = ppm_u64;
         rec.counter("engine.iterations").inc();
-        rec.histogram(
-            "engine.iter_time_ns",
-            // Millisecond-decade buckets: 1ms .. 100s of simulated time.
-            &[
-                1e6 as u64,
-                1e7 as u64,
-                1e8 as u64,
-                1e9 as u64,
-                1e10 as u64,
-                1e11 as u64,
-            ],
-        )
-        .observe(stats.iter_time_ns);
+        rec.histogram("engine.iter_time_ns", &ITER_TIME_BUCKETS_NS)
+            .observe(stats.iter_time_ns);
         rec.gauge("engine.peak_gpu_bytes").set(stats.peak_gpu_bytes);
         rec.gauge("engine.update_cycle_ns")
             .set(stats.update_cycle_ns);
@@ -560,33 +599,43 @@ impl Engine {
             per_iter.push(stats);
 
             // Splice at the boundary: replan against the new topology so
-            // iterations k+1.. run the new schedule.
-            if k + 1 < iters {
-                for ev in events.iter().filter(|e| e.at_iter() == k) {
-                    let splice = match *ev {
-                        // Degraded headroom: tighten the budget by 1/16 of
-                        // the current GPU budget (accumulates across
-                        // outages) — a pure capacity delta for the planner.
-                        ClusterEvent::Outage { .. } => {
-                            let tightened =
-                                self.config.gpu_reserved + self.config.gpu_budget() / 16;
-                            self.resplice(k, self.config.cluster.num_servers, tightened)?
-                        }
-                        ClusterEvent::ServerLoss { servers, .. } => {
-                            let survivors = self
-                                .config
-                                .cluster
-                                .num_servers
-                                .saturating_sub(servers)
-                                .max(1);
-                            self.resplice(k, survivors, self.config.gpu_reserved)?
-                        }
-                        ClusterEvent::Resize { servers, .. } => {
-                            self.resplice(k, servers, self.config.gpu_reserved)?
-                        }
-                    };
-                    splices.push(splice);
+            // iterations k+1.. run the new schedule. Total fleet loss is
+            // checked even after the final iteration — a dead cluster must
+            // never be reported as a completed run.
+            for ev in events.iter().filter(|e| e.at_iter() == k) {
+                if let ClusterEvent::ServerLoss { servers, .. } = *ev {
+                    let had = self.config.cluster.num_servers;
+                    if servers >= had {
+                        return Err(Error::ClusterExhausted {
+                            had_servers: had,
+                            lost_servers: servers,
+                        });
+                    }
                 }
+                if k + 1 >= iters {
+                    continue; // no further iteration to replan for
+                }
+                let splice = match *ev {
+                    // Degraded headroom: tighten the budget by 1/16 of
+                    // the current GPU budget (accumulates across
+                    // outages) — a pure capacity delta for the planner.
+                    ClusterEvent::Outage { .. } => {
+                        let tightened = self.config.gpu_reserved + self.config.gpu_budget() / 16;
+                        self.resplice(k, self.config.cluster.num_servers, tightened)?
+                    }
+                    ClusterEvent::ServerLoss { servers, .. } => {
+                        let survivors = self.config.cluster.num_servers - servers;
+                        self.resplice(k, survivors, self.config.gpu_reserved)?
+                    }
+                    // An elastic resize is a *recovery*: the replacement
+                    // fleet is healthy, so the outage-tightened reservation
+                    // (if any) is restored to the initialization baseline
+                    // rather than carried over forever.
+                    ClusterEvent::Resize { servers, .. } => {
+                        self.resplice(k, servers, self.baseline_gpu_reserved)?
+                    }
+                };
+                splices.push(splice);
             }
         }
         Ok(OnlineReport {
@@ -598,6 +647,26 @@ impl Engine {
         })
     }
 
+    /// Elastically grow or shrink this engine onto `servers` servers at an
+    /// iteration boundary — the resumable-session primitive the multi-job
+    /// training service (`angel-service`) builds on. The engine *is* the
+    /// session: a scheduler may park it (simply stop calling
+    /// [`Engine::train_iteration`]), later resize it onto whatever slice of
+    /// the cluster is free, and resume stepping — the persistent incremental
+    /// planner makes the resize pay only for what changed, and the spliced
+    /// plan is byte-identical to a fresh engine initialized at the new size.
+    ///
+    /// The resized fleet is healthy capacity, so any outage-tightened GPU
+    /// reservation is restored to the initialization baseline (same recovery
+    /// semantics as [`ClusterEvent::Resize`]). `at_iter` only labels the
+    /// returned [`SpliceReport`] (the caller's iteration clock). On error
+    /// (e.g. the model cannot fit the new slice, or the model-parallel
+    /// block does not divide it) the engine keeps its current plan and
+    /// remains runnable at its current size.
+    pub fn splice_resize(&mut self, at_iter: usize, servers: usize) -> Result<SpliceReport> {
+        self.resplice(at_iter, servers, self.baseline_gpu_reserved)
+    }
+
     /// Replan the engine onto `servers` servers with `gpu_reserved` bytes
     /// held back, through the persistent incremental planner, and splice
     /// the new plan in. On error the engine keeps its previous plan.
@@ -607,6 +676,11 @@ impl Engine {
         servers: usize,
         gpu_reserved: u64,
     ) -> Result<SpliceReport> {
+        if servers == 0 {
+            return Err(Error::InvalidParallelism(
+                "cannot replan onto 0 servers".to_string(),
+            ));
+        }
         let wall_start = self.recorder.now_ns();
         let t0 = std::time::Instant::now();
         let mut config = self.config.clone();
@@ -625,7 +699,7 @@ impl Engine {
         )?;
         let placed = mem.place(&config, &shard, &planned)?;
         let allocator = mem.materialize(&config, self.model.layers, &placed)?;
-        let replan_ns = (t0.elapsed().as_nanos() as u64).max(1);
+        let replan_ns = saturating_ns(t0.elapsed().as_nanos()).max(1);
 
         // Commit the spliced plan.
         self.config = config;
@@ -880,6 +954,154 @@ mod tests {
         assert_eq!(r.per_iter[1].tasks_failed, 0);
         assert_eq!(r.splices.len(), 1);
         assert_eq!(r.splices[0].servers, 1);
+    }
+
+    #[test]
+    fn resize_recovery_restores_baseline_reservation() {
+        // Regression: an outage used to *commit* the tightened budget into
+        // `config.gpu_reserved`, so a subsequent Resize recovery re-read the
+        // tightened value and the degradation became permanent. The
+        // sequence outage → resize → outage must see the resize restore the
+        // baseline, and goodput return to the pre-outage level.
+        let mut e = Engine::initialize(&tiny_model(), &EngineConfig::single_server()).unwrap();
+        let baseline = e.baseline_gpu_reserved();
+        assert_eq!(e.config().gpu_reserved, baseline);
+        let healthy = e.train_iteration();
+        let outage = |at_iter| ClusterEvent::Outage {
+            at_iter,
+            target: FaultTarget::Comm,
+            at_ns: 0,
+            duration_ns: 2_000_000,
+        };
+        let r = e
+            .run_online(
+                6,
+                &[
+                    outage(0),
+                    ClusterEvent::Resize {
+                        at_iter: 2,
+                        servers: 1,
+                    },
+                    outage(4),
+                ],
+            )
+            .unwrap();
+        assert_eq!(r.splices.len(), 3);
+        assert_eq!(
+            [
+                r.splices[0].at_iter,
+                r.splices[1].at_iter,
+                r.splices[2].at_iter
+            ],
+            [0, 2, 4]
+        );
+        // Iteration 3 runs the plan spliced by the Resize recovery: the
+        // reservation is back at the baseline and goodput returns exactly
+        // to the pre-outage level.
+        assert_eq!(
+            r.per_iter[3], healthy,
+            "post-recovery iteration must match the pre-outage engine"
+        );
+        // The second outage then tightens *from the baseline*, not from the
+        // already-degraded value: after the full sequence the reservation
+        // equals exactly one outage's worth of degradation.
+        let budget_at_baseline = EngineConfig::single_server()
+            .with_gpu_reserved(baseline)
+            .gpu_budget();
+        assert_eq!(
+            e.config().gpu_reserved,
+            baseline + budget_at_baseline / 16,
+            "resize must restore the baseline before the next outage tightens"
+        );
+    }
+
+    #[test]
+    fn total_server_loss_is_a_typed_error() {
+        // Regression: `saturating_sub(servers).max(1)` used to resplice a
+        // fully-destroyed fleet onto 1 phantom server. Losing every server
+        // must surface as ClusterExhausted, not a silent 1-server replan.
+        let mut e = Engine::initialize(&tiny_model(), &EngineConfig::servers(2)).unwrap();
+        let err = e
+            .run_online(
+                3,
+                &[ClusterEvent::ServerLoss {
+                    at_iter: 0,
+                    servers: 2,
+                    at_ns: 0,
+                }],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::ClusterExhausted {
+                had_servers: 2,
+                lost_servers: 2,
+            }
+        );
+        // The engine keeps its last good plan (still 2 servers configured).
+        assert_eq!(e.config().cluster.num_servers, 2);
+        // Over-loss (more servers reported lost than exist) is exhaustion
+        // too, and it is detected even on the final iteration, where no
+        // replanning boundary follows.
+        let mut e = Engine::initialize(&tiny_model(), &EngineConfig::servers(2)).unwrap();
+        let err = e
+            .run_online(
+                1,
+                &[ClusterEvent::ServerLoss {
+                    at_iter: 0,
+                    servers: 5,
+                    at_ns: 0,
+                }],
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::ClusterExhausted {
+                lost_servers: 5,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn splice_resize_grows_and_shrinks_a_session() {
+        // The service's elasticity primitive: resize to a bigger slice,
+        // then back; the spliced engine matches a fresh one at each size.
+        let mut e = Engine::initialize(&tiny_model(), &EngineConfig::single_server()).unwrap();
+        let s1 = e.train_iteration();
+        let grown = e.splice_resize(0, 2).unwrap();
+        assert_eq!(grown.servers, 2);
+        let s2 = e.train_iteration();
+        let fresh2 = Engine::initialize(&tiny_model(), &EngineConfig::servers(2))
+            .unwrap()
+            .train_iteration();
+        assert_eq!(s2, fresh2, "spliced session must match a fresh engine");
+        assert_eq!(e.config().global_batch(), 16); // dp refit onto 16 GPUs
+        let shrunk = e.splice_resize(1, 1).unwrap();
+        assert_eq!(shrunk.servers, 1);
+        assert_eq!(e.train_iteration(), s1);
+        // An infeasible resize leaves the session runnable at its size.
+        assert!(e.splice_resize(2, 0).is_err());
+        assert_eq!(e.config().cluster.num_servers, 1);
+        assert_eq!(e.train_iteration(), s1);
+    }
+
+    #[test]
+    fn ppm_conversion_is_checked() {
+        assert_eq!(ppm_u64(0.5), 500_000);
+        assert_eq!(ppm_u64(1.0), 1_000_000);
+        assert_eq!(ppm_u64(0.0), 0);
+        assert_eq!(ppm_u64(-3.0), 0);
+        assert_eq!(ppm_u64(f64::NAN), 0);
+        assert_eq!(ppm_u64(f64::INFINITY), u64::MAX);
+        assert_eq!(ppm_u64(1e300), u64::MAX);
+        assert_eq!(saturating_ns(42), 42);
+        assert_eq!(saturating_ns(u128::MAX), u64::MAX);
+        // Bucket edges are exact powers of ten in integer arithmetic.
+        for w in ITER_TIME_BUCKETS_NS.windows(2) {
+            assert_eq!(w[1], w[0] * 10);
+        }
+        assert_eq!(ITER_TIME_BUCKETS_NS[0], 1_000_000);
     }
 
     #[test]

@@ -155,6 +155,17 @@ pub enum Error {
     /// referencing a missing layer, ...). The planner rejects it without
     /// mutating its state, so the previous plan stays live.
     BadReplanDelta(&'static str),
+    /// A [`crate::ClusterEvent::ServerLoss`] destroyed the entire fleet:
+    /// no server survives to replan onto. Earlier versions silently
+    /// respliced onto one phantom server; total loss is terminal and must
+    /// surface to the caller (the engine keeps its last good plan, but no
+    /// further iteration can run for real).
+    ClusterExhausted {
+        /// Servers the fleet held before the fatal event.
+        had_servers: usize,
+        /// Servers the event removed (≥ `had_servers`).
+        lost_servers: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -201,6 +212,13 @@ impl fmt::Display for Error {
                 "pool on {device} still holds {used_pages} used page(s); release its tensors before re-registering"
             ),
             Error::BadReplanDelta(msg) => write!(f, "bad replan delta: {msg}"),
+            Error::ClusterExhausted {
+                had_servers,
+                lost_servers,
+            } => write!(
+                f,
+                "cluster exhausted: lost {lost_servers} of {had_servers} server(s), none survive to replan onto"
+            ),
         }
     }
 }
@@ -236,6 +254,12 @@ mod tests {
         };
         assert!(e.to_string().contains("CPU"));
         assert!(e.to_string().contains("4 used page"));
+        let e = Error::ClusterExhausted {
+            had_servers: 2,
+            lost_servers: 3,
+        };
+        assert!(e.to_string().contains("lost 3 of 2"));
+        assert!(e.to_string().contains("none survive"));
     }
 
     #[test]

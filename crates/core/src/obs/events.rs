@@ -36,6 +36,9 @@ pub enum ObsThread {
     Executor,
     /// The page allocator (compaction passes, reuse-pool trims).
     Allocator,
+    /// The multi-job training service's control plane (admissions,
+    /// preemptions, splice-driven resizes — `angel-service`).
+    Service,
 }
 
 impl ObsThread {
@@ -50,6 +53,7 @@ impl ObsThread {
             ObsThread::Engine => 3,
             ObsThread::Executor => 4,
             ObsThread::Allocator => 5,
+            ObsThread::Service => 6,
         }
     }
 
@@ -62,12 +66,13 @@ impl ObsThread {
             ObsThread::Engine => "engine",
             ObsThread::Executor => "sim-executor",
             ObsThread::Allocator => "allocator",
+            ObsThread::Service => "service",
         }
     }
 
     /// All runtime tracks, in `tid` order (used to emit thread-name
     /// metadata deterministically).
-    pub fn all() -> [ObsThread; 6] {
+    pub fn all() -> [ObsThread; 7] {
         [
             ObsThread::TrainLoop,
             ObsThread::Buffering,
@@ -75,6 +80,7 @@ impl ObsThread {
             ObsThread::Engine,
             ObsThread::Executor,
             ObsThread::Allocator,
+            ObsThread::Service,
         ]
     }
 }

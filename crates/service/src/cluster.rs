@@ -1,0 +1,133 @@
+//! Server-slice accounting for the shared cluster.
+//!
+//! The service carves the cluster into disjoint per-job slices of whole
+//! servers (each job's engine then simulates its slice as a private
+//! cluster). The ledger tracks who holds what, and integrates
+//! allocated-server time so the bench can report cluster utilization over
+//! the virtual timeline.
+
+use crate::job::JobId;
+use std::collections::BTreeMap;
+
+/// Disjoint server-slice ledger with an allocated-time integral.
+#[derive(Debug)]
+pub struct ClusterLedger {
+    total: usize,
+    free: usize,
+    slices: BTreeMap<JobId, usize>,
+    /// ∫ allocated_servers · dt over virtual time, in server-nanoseconds.
+    busy_server_ns: u128,
+    last_ns: u64,
+}
+
+impl ClusterLedger {
+    pub fn new(total: usize) -> Self {
+        assert!(total >= 1, "a cluster has at least one server");
+        Self {
+            total,
+            free: total,
+            slices: BTreeMap::new(),
+            busy_server_ns: 0,
+            last_ns: 0,
+        }
+    }
+
+    pub fn total_servers(&self) -> usize {
+        self.total
+    }
+
+    pub fn free_servers(&self) -> usize {
+        self.free
+    }
+
+    pub fn slice_of(&self, job: JobId) -> Option<usize> {
+        self.slices.get(&job).copied()
+    }
+
+    /// Advance the utilization integral to `now_ns` (monotone; earlier
+    /// timestamps are ignored).
+    pub fn advance(&mut self, now_ns: u64) {
+        if now_ns > self.last_ns {
+            let dt = now_ns - self.last_ns;
+            let allocated = (self.total - self.free) as u128;
+            self.busy_server_ns += allocated * dt as u128;
+            self.last_ns = now_ns;
+        }
+    }
+
+    /// Fraction of server-time allocated to jobs over `[0, horizon_ns]`.
+    /// Call [`ClusterLedger::advance`] to the horizon first.
+    pub fn utilization(&self, horizon_ns: u64) -> f64 {
+        if horizon_ns == 0 {
+            return 0.0;
+        }
+        let denom = self.total as u128 * horizon_ns as u128;
+        (self.busy_server_ns as f64 / denom as f64).min(1.0)
+    }
+
+    /// Carve `servers` servers for `job`. Caller must have checked
+    /// capacity; carving beyond it (or double-carving a job) is a
+    /// scheduler bug and panics in debug builds, saturating in release.
+    pub fn carve(&mut self, job: JobId, servers: usize) {
+        debug_assert!(servers <= self.free, "carve beyond free capacity");
+        debug_assert!(!self.slices.contains_key(&job), "job already holds a slice");
+        let granted = servers.min(self.free);
+        self.free -= granted;
+        self.slices.insert(job, granted);
+    }
+
+    /// Return `job`'s whole slice to the free pool.
+    pub fn release(&mut self, job: JobId) -> usize {
+        let held = self.slices.remove(&job).unwrap_or(0);
+        self.free += held;
+        held
+    }
+
+    /// Resize `job`'s slice in place (grow bounded by free capacity,
+    /// shrink returns servers to the pool). Returns the new size.
+    pub fn resize(&mut self, job: JobId, servers: usize) -> usize {
+        let held = self.release(job);
+        let granted = servers.min(self.free);
+        debug_assert!(granted == servers, "grow beyond free capacity");
+        self.free -= granted;
+        self.slices.insert(job, granted);
+        let _ = held;
+        granted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carve_release_resize() {
+        let mut l = ClusterLedger::new(8);
+        assert_eq!(l.free_servers(), 8);
+        l.carve(JobId(1), 3);
+        l.carve(JobId(2), 2);
+        assert_eq!(l.free_servers(), 3);
+        assert_eq!(l.slice_of(JobId(1)), Some(3));
+        assert_eq!(l.resize(JobId(1), 1), 1); // shrink
+        assert_eq!(l.free_servers(), 5);
+        assert_eq!(l.resize(JobId(1), 4), 4); // grow
+        assert_eq!(l.free_servers(), 2);
+        assert_eq!(l.release(JobId(2)), 2);
+        assert_eq!(l.release(JobId(2)), 0); // idempotent
+        assert_eq!(l.free_servers(), 4);
+    }
+
+    #[test]
+    fn utilization_integral() {
+        let mut l = ClusterLedger::new(4);
+        l.advance(100); // idle prefix
+        l.carve(JobId(1), 2);
+        l.advance(200); // 2 servers for 100 ns = 200 server-ns
+        l.release(JobId(1));
+        l.advance(400); // idle again
+                        // 200 server-ns over 4 * 400 = 1600 server-ns available.
+        let u = l.utilization(400);
+        assert!((u - 0.125).abs() < 1e-12, "got {u}");
+        assert_eq!(ClusterLedger::new(2).utilization(0), 0.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Job vocabulary: specifications, identities, rejection reasons and the
+//! typed event stream every submission produces.
+
+use angel_model::TransformerConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Service-assigned job identity, unique for the lifetime of one service.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// One training job submitted to the service: what to train, how urgently,
+/// and on how large a slice of the shared cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human-readable label (carried through events and reports).
+    pub name: String,
+    /// The model to train.
+    pub model: TransformerConfig,
+    /// Scheduling priority; higher values preempt lower ones. Equal
+    /// priorities never preempt each other (FIFO within a priority).
+    pub priority: u8,
+    /// Requested server slice (the job's steady-state size).
+    pub servers: usize,
+    /// Smallest slice the job accepts: under pressure the scheduler may
+    /// shrink the job down to this (splice-based elasticity) instead of
+    /// suspending it outright.
+    pub min_servers: usize,
+    /// Training iterations until the job completes.
+    pub iters: usize,
+    /// Per-GPU micro-batch size.
+    pub batch_size: u64,
+}
+
+impl JobSpec {
+    /// A spec with sane defaults: priority 0, one server, batch 1.
+    pub fn new(name: impl Into<String>, model: TransformerConfig, iters: usize) -> Self {
+        Self {
+            name: name.into(),
+            model,
+            priority: 0,
+            servers: 1,
+            min_servers: 1,
+            iters,
+            batch_size: 1,
+        }
+    }
+
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Request `servers`, accepting a shrink down to `min_servers`.
+    pub fn with_servers(mut self, servers: usize, min_servers: usize) -> Self {
+        self.servers = servers;
+        self.min_servers = min_servers;
+        self
+    }
+
+    pub fn with_batch_size(mut self, batch_size: u64) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Structural validation, before any planning happens.
+    pub fn validate(&self) -> Result<(), RejectReason> {
+        let detail = if self.servers == 0 {
+            "servers must be >= 1"
+        } else if self.min_servers == 0 || self.min_servers > self.servers {
+            "min_servers must be in 1..=servers"
+        } else if self.iters == 0 {
+            "iters must be >= 1"
+        } else if self.batch_size == 0 {
+            "batch_size must be >= 1"
+        } else {
+            return Ok(());
+        };
+        Err(RejectReason::BadSpec { detail })
+    }
+}
+
+/// Why the service refused a submission. Every reason is terminal: a
+/// rejected job is never retried by the service itself.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The spec is structurally invalid (zero servers, empty run, ...).
+    BadSpec { detail: &'static str },
+    /// Planning failed outright at the job's *requested* slice — the model
+    /// cannot be placed even on the largest slice it asked for (typed
+    /// planner error carried as text).
+    Infeasible { error: String },
+    /// The plan-graph verifier's provable per-GPU peak-memory bound exceeds
+    /// the slice's GPU budget at the requested size. The plan might run —
+    /// but the service only admits jobs whose peak is *certified* to fit,
+    /// never optimistically (the PatrickStar lesson).
+    PeakBoundExceedsBudget {
+        peak_bound_bytes: u64,
+        gpu_budget_bytes: u64,
+    },
+    /// The admission queue is at capacity; shedding load at submission
+    /// beats collapsing under it later.
+    QueueFull { depth: usize },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::BadSpec { detail } => write!(f, "bad spec: {detail}"),
+            RejectReason::Infeasible { error } => write!(f, "planning infeasible: {error}"),
+            RejectReason::PeakBoundExceedsBudget {
+                peak_bound_bytes,
+                gpu_budget_bytes,
+            } => write!(
+                f,
+                "certified peak {peak_bound_bytes} B exceeds the per-GPU budget {gpu_budget_bytes} B"
+            ),
+            RejectReason::QueueFull { depth } => write!(f, "admission queue full ({depth} waiting)"),
+        }
+    }
+}
+
+/// What happened to a job. One `JobEvent` per transition, in virtual-time
+/// order, mirrored onto the Perfetto `service` track through the obs layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobEventKind {
+    /// Accepted for consideration; waiting for planning/capacity.
+    Queued,
+    /// Planned and certified: the job holds `servers` servers, and the
+    /// verifier proved its per-GPU peak (`peak_bound_bytes`) fits the
+    /// budget (`gpu_budget_bytes`).
+    Admitted {
+        servers: usize,
+        peak_bound_bytes: u64,
+        gpu_budget_bytes: u64,
+    },
+    /// Higher-priority work took part or all of the job's slice at an
+    /// iteration boundary. `to_servers == 0` means fully suspended (the
+    /// engine session is parked, not destroyed).
+    Preempted {
+        from_servers: usize,
+        to_servers: usize,
+    },
+    /// The job got servers back — a parked session rejoined the cluster,
+    /// or a shrunk job grew back toward its requested size.
+    Resumed { servers: usize },
+    /// All requested iterations ran. `ttfi_ns` is the time from submission
+    /// to the end of the job's first iteration (the service SLO metric).
+    Completed { iters: usize, ttfi_ns: u64 },
+    /// Terminally refused.
+    Rejected { reason: RejectReason },
+}
+
+impl JobEventKind {
+    /// Stable event name for the obs layer (Perfetto instant names must be
+    /// `&'static str`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobEventKind::Queued => "job_queued",
+            JobEventKind::Admitted { .. } => "job_admitted",
+            JobEventKind::Preempted { .. } => "job_preempted",
+            JobEventKind::Resumed { .. } => "job_resumed",
+            JobEventKind::Completed { .. } => "job_completed",
+            JobEventKind::Rejected { .. } => "job_rejected",
+        }
+    }
+}
+
+/// One job transition at a virtual timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobEvent {
+    /// Virtual nanoseconds since the service epoch.
+    pub at_ns: u64,
+    pub job: JobId,
+    pub kind: JobEventKind,
+}
+
+impl JobEvent {
+    /// Hand-built JSON value (the vendored serde derives are inert markers;
+    /// JSON producers in this workspace build `Value` trees directly).
+    pub fn to_json(&self) -> serde_json::Value {
+        match &self.kind {
+            JobEventKind::Queued => serde_json::json!({
+                "at_ns": self.at_ns, "job": self.job.0, "kind": self.kind.name(),
+            }),
+            JobEventKind::Admitted {
+                servers,
+                peak_bound_bytes,
+                gpu_budget_bytes,
+            } => serde_json::json!({
+                "at_ns": self.at_ns, "job": self.job.0, "kind": self.kind.name(),
+                "servers": *servers as u64,
+                "peak_bound_bytes": *peak_bound_bytes,
+                "gpu_budget_bytes": *gpu_budget_bytes,
+            }),
+            JobEventKind::Preempted {
+                from_servers,
+                to_servers,
+            } => serde_json::json!({
+                "at_ns": self.at_ns, "job": self.job.0, "kind": self.kind.name(),
+                "from_servers": *from_servers as u64,
+                "to_servers": *to_servers as u64,
+            }),
+            JobEventKind::Resumed { servers } => serde_json::json!({
+                "at_ns": self.at_ns, "job": self.job.0, "kind": self.kind.name(),
+                "servers": *servers as u64,
+            }),
+            JobEventKind::Completed { iters, ttfi_ns } => serde_json::json!({
+                "at_ns": self.at_ns, "job": self.job.0, "kind": self.kind.name(),
+                "iters": *iters as u64,
+                "ttfi_ns": *ttfi_ns,
+            }),
+            JobEventKind::Rejected { reason } => serde_json::json!({
+                "at_ns": self.at_ns, "job": self.job.0, "kind": self.kind.name(),
+                "reason": reason.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TransformerConfig {
+        TransformerConfig::gpt3_1_7b().with_layers(2)
+    }
+
+    #[test]
+    fn spec_validation() {
+        let ok = JobSpec::new("a", model(), 3).with_servers(2, 1);
+        assert!(ok.validate().is_ok());
+        let bad = JobSpec::new("b", model(), 0);
+        assert!(matches!(
+            bad.validate(),
+            Err(RejectReason::BadSpec { detail }) if detail.contains("iters")
+        ));
+        let bad = JobSpec::new("c", model(), 1).with_servers(2, 3);
+        assert!(bad.validate().is_err());
+        let mut bad = JobSpec::new("d", model(), 1);
+        bad.batch_size = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = JobSpec::new("e", model(), 1);
+        bad.servers = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn reject_reasons_display() {
+        let r = RejectReason::PeakBoundExceedsBudget {
+            peak_bound_bytes: 100,
+            gpu_budget_bytes: 50,
+        };
+        assert!(r.to_string().contains("100 B"));
+        assert!(RejectReason::QueueFull { depth: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(RejectReason::BadSpec { detail: "x" }
+            .to_string()
+            .contains('x'));
+        assert!(RejectReason::Infeasible { error: "y".into() }
+            .to_string()
+            .contains('y'));
+    }
+
+    #[test]
+    fn event_names_are_stable() {
+        assert_eq!(JobEventKind::Queued.name(), "job_queued");
+        assert_eq!(
+            JobEventKind::Rejected {
+                reason: RejectReason::QueueFull { depth: 1 }
+            }
+            .name(),
+            "job_rejected"
+        );
+        assert_eq!(format!("{}", JobId(7)), "job-7");
+    }
+
+    #[test]
+    fn events_render_to_json() {
+        let ev = JobEvent {
+            at_ns: 42,
+            job: JobId(3),
+            kind: JobEventKind::Admitted {
+                servers: 2,
+                peak_bound_bytes: 1024,
+                gpu_budget_bytes: 2048,
+            },
+        };
+        let v = ev.to_json();
+        assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("job_admitted"));
+        assert_eq!(v.get("at_ns").and_then(|k| k.as_u64()), Some(42));
+        assert_eq!(v.get("job").and_then(|k| k.as_u64()), Some(3));
+        assert_eq!(v.get("servers").and_then(|k| k.as_u64()), Some(2));
+        // The rendered text parses back with the same fields.
+        let s = serde_json::to_string(&v).expect("serializes");
+        let back = serde_json::from_str(&s).expect("parses");
+        assert_eq!(
+            back.get("peak_bound_bytes").and_then(|k| k.as_u64()),
+            Some(1024)
+        );
+        let rej = JobEvent {
+            at_ns: 1,
+            job: JobId(0),
+            kind: JobEventKind::Rejected {
+                reason: RejectReason::QueueFull { depth: 4 },
+            },
+        };
+        let r = rej.to_json();
+        assert_eq!(r.get("kind").and_then(|k| k.as_str()), Some("job_rejected"));
+        assert!(r
+            .get("reason")
+            .and_then(|k| k.as_str())
+            .is_some_and(|s| s.contains("full")));
+    }
+}

@@ -1,0 +1,116 @@
+//! The long-running service front-end: a control thread plus channels.
+//!
+//! The design brief called for an async control plane; the workspace builds
+//! offline with no async runtime vendored, so the service uses the same
+//! substitution as the rest of the repo (vendor/README.md): a dedicated
+//! control thread owning the [`ControlPlane`], an MPSC submission channel
+//! in, and an event channel out. Handles are cheap to clone and `Sync`, so
+//! any number of submitter threads can stream jobs in concurrently; the
+//! control thread serializes them onto the deterministic virtual timeline.
+
+use crate::job::{JobEvent, JobId, JobSpec};
+use crate::scheduler::{ControlPlane, ServiceConfig, ServiceReport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Control {
+    Submit {
+        id: JobId,
+        spec: JobSpec,
+        at_ns: u64,
+    },
+    Shutdown,
+}
+
+/// A cloneable, thread-safe submission handle.
+pub struct ServiceHandle {
+    tx: Sender<Control>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl Clone for ServiceHandle {
+    fn clone(&self) -> Self {
+        Self {
+            tx: self.tx.clone(),
+            next_id: Arc::clone(&self.next_id),
+        }
+    }
+}
+
+impl ServiceHandle {
+    /// Submit a job with a virtual arrival time. The id is assigned
+    /// immediately; the admit/queue/reject decision arrives on the event
+    /// stream. Arrival times should be non-decreasing across the whole
+    /// submission stream (earlier times clamp to the virtual clock).
+    pub fn submit(&self, spec: JobSpec, at_ns: u64) -> JobId {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let _ = self.tx.send(Control::Submit { id, spec, at_ns });
+        id
+    }
+}
+
+/// A running multi-job training service. Owns the control thread; dropping
+/// without [`Service::shutdown`] detaches it.
+pub struct Service {
+    handle: ServiceHandle,
+    events: Receiver<JobEvent>,
+    thread: JoinHandle<ServiceReport>,
+}
+
+impl Service {
+    /// Start the control thread over a fresh simulated cluster.
+    pub fn spawn(config: ServiceConfig) -> Self {
+        let (ctl_tx, ctl_rx) = unbounded::<Control>();
+        let (ev_tx, ev_rx) = unbounded::<JobEvent>();
+        let thread = std::thread::spawn(move || {
+            let mut cp = ControlPlane::new(&config);
+            cp.set_event_sink(ev_tx);
+            while let Ok(msg) = ctl_rx.recv() {
+                match msg {
+                    Control::Submit { id, spec, at_ns } => cp.submit_with_id(id, spec, at_ns),
+                    Control::Shutdown => break,
+                }
+            }
+            cp.into_report()
+        });
+        Self {
+            handle: ServiceHandle {
+                tx: ctl_tx,
+                next_id: Arc::new(AtomicU64::new(0)),
+            },
+            events: ev_rx,
+            thread,
+        }
+    }
+
+    /// A clone of the submission handle (hand these to producer threads).
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// Submit from the owning thread.
+    pub fn submit(&self, spec: JobSpec, at_ns: u64) -> JobId {
+        self.handle.submit(spec, at_ns)
+    }
+
+    /// Drain every job event currently buffered, without blocking.
+    pub fn poll_events(&self) -> Vec<JobEvent> {
+        let mut out = Vec::new();
+        while let Ok(ev) = self.events.try_recv() {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Stop accepting submissions, drain every in-flight job to completion
+    /// (resuming anything parked), and return the final report.
+    pub fn shutdown(self) -> ServiceReport {
+        let _ = self.handle.tx.send(Control::Shutdown);
+        match self.thread.join() {
+            Ok(report) => report,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Online-replanning robustness under *random* cluster-event sequences.
+//!
+//! `Engine::run_online` documents three invariants this harness pins down
+//! property-style (the unit tests in `engine.rs` check single scenarios):
+//!
+//! 1. **Budget accounting** — `gpu_reserved` evolves exactly as the event
+//!    semantics say: outages tighten it by 1/16 of the current budget,
+//!    server losses carry it unchanged onto the survivors, and resizes
+//!    restore the initialization baseline (the outage→resize regression).
+//! 2. **Every splice re-verifies** — in debug builds each spliced lowering
+//!    passes the §8 plan-graph verifier and the §13 SPMD certifier
+//!    (`SpliceReport::verified`).
+//! 3. **No abandoned tail** — iterations without an injected fault run
+//!    clean, and after the run the engine's next iteration is
+//!    byte-identical to a fresh engine initialized at the spliced config:
+//!    no state from any abandoned plan tail leaks forward.
+
+use angel_core::{ClusterEvent, Engine, EngineConfig, FaultTarget};
+use angel_model::TransformerConfig;
+use proptest::prelude::*;
+
+fn tiny() -> TransformerConfig {
+    TransformerConfig::gpt3_1_7b()
+        .with_layers(2)
+        .with_seq_len(256)
+}
+
+const ITERS: usize = 5;
+
+/// Decode proptest-chosen codes into at most one event per iteration, never
+/// exhausting the fleet, and replay the documented splice semantics to
+/// compute the expected end state: `(events, servers, gpu_reserved)`.
+fn build_events(
+    codes: &[u8],
+    start_servers: usize,
+    capacity: u64,
+    baseline: u64,
+) -> (Vec<ClusterEvent>, usize, u64) {
+    let mut events = Vec::new();
+    let mut servers = start_servers;
+    let mut reserved = baseline;
+    for (at_iter, &code) in codes.iter().enumerate() {
+        // Splices only happen when an iteration follows the boundary.
+        let splices = at_iter + 1 < ITERS;
+        match code % 4 {
+            0 => {} // quiet boundary
+            1 => {
+                events.push(ClusterEvent::Outage {
+                    at_iter,
+                    target: FaultTarget::Gpu,
+                    at_ns: 1_000,
+                    duration_ns: 50_000,
+                });
+                if splices {
+                    reserved += (capacity - reserved) / 16;
+                }
+            }
+            2 => {
+                // Lose one server, only while survivors remain.
+                if servers >= 2 {
+                    events.push(ClusterEvent::ServerLoss {
+                        at_iter,
+                        servers: 1,
+                        at_ns: 1_000,
+                    });
+                    if splices {
+                        servers -= 1;
+                    }
+                }
+            }
+            _ => {
+                let to = 1 + (code >= 4) as usize; // resize to 1 or 2
+                events.push(ClusterEvent::Resize {
+                    at_iter,
+                    servers: to,
+                });
+                if splices {
+                    servers = to;
+                    reserved = baseline;
+                }
+            }
+        }
+    }
+    (events, servers, reserved)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_event_sequences_preserve_invariants(
+        start in 1usize..3,
+        codes in proptest::collection::vec(0u8..8, ITERS..ITERS + 1),
+    ) {
+        let cfg = EngineConfig::servers(start);
+        let capacity = cfg.cluster.server.gpu(0).capacity;
+        let baseline = cfg.gpu_reserved;
+        let (events, want_servers, want_reserved) =
+            build_events(&codes, start, capacity, baseline);
+
+        let mut e = Engine::initialize(&tiny(), &cfg).unwrap();
+        let r = e.run_online(ITERS, &events).unwrap();
+        prop_assert_eq!(r.per_iter.len(), ITERS);
+
+        // 1. Budget accounting replays exactly.
+        prop_assert_eq!(e.config().cluster.num_servers, want_servers);
+        prop_assert_eq!(e.config().gpu_reserved, want_reserved);
+        prop_assert!(e.config().gpu_reserved >= baseline);
+        prop_assert!(e.config().gpu_budget() > 0);
+
+        // 2. One splice per event with a following iteration, each onto a
+        //    live fleet, each re-verified in debug builds.
+        let expected_splices = events.iter().filter(|ev| ev.at_iter() + 1 < ITERS).count();
+        prop_assert_eq!(r.splices.len(), expected_splices);
+        for s in &r.splices {
+            prop_assert!(s.servers >= 1);
+            if cfg!(debug_assertions) {
+                prop_assert!(s.verified, "splice at iter {} was not re-verified", s.at_iter);
+            }
+        }
+
+        // 3. No abandoned tail: fault-free iterations completed every task,
+        //    and the engine's next iteration matches a fresh engine at the
+        //    final spliced config bit-for-bit.
+        for (k, stats) in r.per_iter.iter().enumerate() {
+            let faulted = events.iter().any(|ev| {
+                ev.at_iter() == k && !matches!(ev, ClusterEvent::Resize { .. })
+            });
+            if !faulted {
+                prop_assert!(stats.tasks_failed == 0, "clean iteration {} failed tasks", k);
+            }
+        }
+        let next = e.train_iteration();
+        let fresh = Engine::initialize(&tiny(), e.config()).unwrap().train_iteration();
+        prop_assert_eq!(next, fresh);
+    }
+}
+
+/// The outage→resize→outage regression, cross-crate: the second outage must
+/// tighten from the restored baseline, not from the first outage's already
+/// tightened reservation (the bug was `gpu_reserved` ratcheting forever).
+#[test]
+fn resize_recovery_is_idempotent_across_outage_cycles() {
+    let outage = |at_iter| ClusterEvent::Outage {
+        at_iter,
+        target: FaultTarget::Gpu,
+        at_ns: 1_000,
+        duration_ns: 50_000,
+    };
+    let cycle = |n: usize| {
+        let mut e = Engine::initialize(&tiny(), &EngineConfig::servers(1)).unwrap();
+        let mut events = Vec::new();
+        for c in 0..n {
+            events.push(outage(2 * c));
+            events.push(ClusterEvent::Resize {
+                at_iter: 2 * c + 1,
+                servers: 1,
+            });
+        }
+        let r = e.run_online(2 * n + 1, &events).unwrap();
+        assert_eq!(r.splices.len(), 2 * n);
+        e.config().gpu_reserved
+    };
+    let baseline = EngineConfig::servers(1).gpu_reserved;
+    // However many outage→resize cycles run, the reservation always comes
+    // back to baseline — it does not ratchet.
+    assert_eq!(cycle(1), baseline);
+    assert_eq!(cycle(3), baseline);
+}
